@@ -1,0 +1,37 @@
+#!/bin/sh
+# End-to-end smoke: build, tests, every example, every CLI subcommand.
+# Exits non-zero on the first failure.  A fast-ish full-repo check
+# (couple of minutes; the heavyweight experiment suite runs separately
+# via `dune exec bench/main.exe`).
+set -eux
+
+dune build @all
+dune runtest
+
+dune exec examples/quickstart.exe > /dev/null
+dune exec examples/adversary.exe > /dev/null
+dune exec examples/flex_batch.exe > /dev/null
+dune exec examples/gantt_compare.exe > /dev/null
+dune exec examples/autoscaler.exe > /dev/null
+dune exec examples/vm_consolidation.exe > /dev/null
+# examples/cloud_gaming_day.exe also works but runs the whole portfolio
+# (including O(n^4) Dual Coloring) on a two-day trace: minutes, not here.
+
+DBP="dune exec bin/dbp.exe --"
+$DBP run --seed 1 -a ddff -a first-fit > /dev/null
+$DBP run -w vm -a ddff --metrics > /dev/null
+$DBP figure8 --max-mu 10 > /dev/null
+$DBP figure8 --csv --max-mu 5 > /dev/null
+$DBP experiments --only F8 > /dev/null
+$DBP gadget > /dev/null
+$DBP flex --slack 1 > /dev/null
+$DBP vector --dims 2 > /dev/null
+$DBP audit -w analytics > /dev/null
+
+trace=$(mktemp /tmp/dbp-smoke-XXXX.csv)
+$DBP gen -w gaming --seed 2 -o "$trace" > /dev/null
+$DBP pack --trace "$trace" -a ddff > /dev/null
+$DBP pack --trace "$trace" -a first-fit --gantt > /dev/null
+rm -f "$trace"
+
+echo "smoke: all green"
