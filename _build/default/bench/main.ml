@@ -1,0 +1,169 @@
+(* The benchmark harness.
+
+   Two parts:
+
+   1. Experiment tables — regenerates every table/figure of the paper's
+      evaluation (see DESIGN.md section 4 for the experiment index).  This
+      is the part whose *shape* is compared against the paper in
+      EXPERIMENTS.md.
+
+   2. Bechamel micro-benchmarks — packing throughput of each algorithm and
+      of the supporting machinery, one Test.make per subject.
+
+   Run everything: `dune exec bench/main.exe`
+   Tables only:    `dune exec bench/main.exe -- tables`
+   Micro only:     `dune exec bench/main.exe -- micro` *)
+
+open Bechamel
+open Toolkit
+
+(* ------------------------------------------------------------------ *)
+(* Part 1: experiment tables.                                           *)
+
+let run_tables () =
+  print_endline "=== Experiment tables (paper reproduction) ===";
+  List.iter
+    (fun (name, table) -> Dbp_sim.Report.print ~title:name table)
+    (Dbp_sim.Experiments.all ());
+  Printf.printf "\nFigure-8 crossover mu (paper: 4): %.2f\n"
+    (Dbp_sim.Experiments.figure8_crossover ())
+
+(* ------------------------------------------------------------------ *)
+(* Part 2: micro-benchmarks.                                            *)
+
+let medium_instance =
+  lazy (Dbp_workload.Generator.generate ~seed:42 Dbp_workload.Generator.default)
+
+let small_instance =
+  lazy
+    (Dbp_workload.Generator.generate ~seed:42
+       { Dbp_workload.Generator.default with arrival_rate = 0.4; horizon = 30. })
+
+let sized_instance n =
+  lazy
+    (Dbp_workload.Generator.generate ~seed:42
+       {
+         Dbp_workload.Generator.default with
+         horizon = float_of_int n /. 2.;
+       })
+
+let instance_1k = sized_instance 1000
+let instance_3k = sized_instance 3000
+
+let vector_instance =
+  lazy
+    (Dbp_multidim.Vector_workload.generate ~seed:42
+       Dbp_multidim.Vector_workload.default)
+
+let flex_jobs =
+  lazy
+    (Dbp_core.Instance.items (Lazy.force small_instance)
+    |> List.map (fun item ->
+           Dbp_flex.Flex_job.of_item
+             ~slack:(Dbp_core.Item.duration item)
+             item))
+
+let pack_test name pack =
+  Test.make ~name
+    (Staged.stage (fun () -> pack (Lazy.force medium_instance)))
+
+let online_test name algo =
+  pack_test name (Dbp_online.Engine.run algo)
+
+let tests () =
+  let inst = Lazy.force medium_instance in
+  [
+    pack_test "offline/ddff" Dbp_offline.Ddff.pack;
+    pack_test "offline/dual-coloring" Dbp_offline.Dual_coloring.pack;
+    pack_test "offline/arrival-ff" Dbp_offline.First_fit_offline.arrival_order;
+    online_test "online/first-fit" Dbp_online.Any_fit.first_fit;
+    online_test "online/best-fit" Dbp_online.Any_fit.best_fit;
+    online_test "online/worst-fit" Dbp_online.Any_fit.worst_fit;
+    online_test "online/next-fit" Dbp_online.Any_fit.next_fit;
+    online_test "online/hybrid-ff" (Dbp_online.Hybrid_first_fit.make ());
+    online_test "online/cbdt-ff" (Dbp_online.Classify_departure.tuned inst);
+    online_test "online/cbd-ff" (Dbp_online.Classify_duration.tuned inst);
+    online_test "online/combined-ff" (Dbp_online.Classify_combined.tuned inst);
+    Test.make ~name:"substrate/size-profile"
+      (Staged.stage (fun () -> Dbp_core.Instance.size_profile inst));
+    Test.make ~name:"substrate/lower-bounds"
+      (Staged.stage (fun () -> Dbp_opt.Lower_bounds.best inst));
+    Test.make ~name:"substrate/demand-chart-phase1"
+      (Staged.stage (fun () ->
+           Dbp_offline.Demand_chart.place_all
+             (Dbp_core.Instance.restrict inst (fun r ->
+                  Dbp_core.Item.size r <= 0.5))));
+    Test.make ~name:"substrate/opt-total-small"
+      (Staged.stage (fun () -> Dbp_opt.Opt_total.value (Lazy.force small_instance)));
+    Test.make ~name:"substrate/workload-generate"
+      (Staged.stage (fun () ->
+           Dbp_workload.Generator.generate ~seed:7 Dbp_workload.Generator.default));
+    Test.make ~name:"theory/figure8-series"
+      (Staged.stage (fun () -> Dbp_theory.Figure8.series ()));
+    Test.make ~name:"multidim/first-fit-3d"
+      (Staged.stage (fun () ->
+           Dbp_multidim.Vector_algorithms.first_fit
+             (Lazy.force vector_instance)));
+    Test.make ~name:"multidim/ddff-3d"
+      (Staged.stage (fun () ->
+           Dbp_multidim.Vector_algorithms.ddff (Lazy.force vector_instance)));
+    Test.make ~name:"flex/greedy"
+      (Staged.stage (fun () ->
+           Dbp_flex.Flex_schedule.greedy (Lazy.force flex_jobs)));
+    Test.make ~name:"flex/asap"
+      (Staged.stage (fun () ->
+           Dbp_flex.Flex_schedule.asap (Lazy.force flex_jobs)));
+    Test.make ~name:"scale/first-fit-1k"
+      (Staged.stage (fun () ->
+           Dbp_online.Engine.run Dbp_online.Any_fit.first_fit
+             (Lazy.force instance_1k)));
+    Test.make ~name:"scale/first-fit-3k"
+      (Staged.stage (fun () ->
+           Dbp_online.Engine.run Dbp_online.Any_fit.first_fit
+             (Lazy.force instance_3k)));
+    Test.make ~name:"scale/ddff-1k"
+      (Staged.stage (fun () -> Dbp_offline.Ddff.pack (Lazy.force instance_1k)));
+    Test.make ~name:"scale/ddff-3k"
+      (Staged.stage (fun () -> Dbp_offline.Ddff.pack (Lazy.force instance_3k)));
+  ]
+
+let run_micro () =
+  print_endline "\n=== Micro-benchmarks (bechamel) ===";
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None () in
+  let instances = Instance.[ monotonic_clock ] in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let rows =
+    List.map
+      (fun test ->
+        let results = Benchmark.all cfg instances test in
+        let analyzed = Analyze.all ols Instance.monotonic_clock results in
+        Hashtbl.fold
+          (fun name ols_result acc ->
+            let ns_per_run =
+              match Analyze.OLS.estimates ols_result with
+              | Some [ est ] -> est
+              | _ -> Float.nan
+            in
+            [ (if String.length name > 0 && name.[0] = '/' then String.sub name 1 (String.length name - 1) else name); Printf.sprintf "%.3f" (ns_per_run /. 1e6) ] :: acc)
+          analyzed [])
+      (List.map (fun t -> Test.make_grouped ~name:"" [ t ]) (tests ()))
+    |> List.concat
+    |> List.sort compare
+  in
+  Dbp_sim.Report.print ~title:"packing throughput"
+    (Dbp_sim.Report.make
+       ~columns:
+         [ ("benchmark", Dbp_sim.Report.Left); ("ms/run", Dbp_sim.Report.Right) ]
+       ~rows)
+
+let () =
+  let mode = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  (match mode with
+  | "tables" -> run_tables ()
+  | "micro" -> run_micro ()
+  | _ ->
+      run_tables ();
+      run_micro ());
+  print_newline ()

@@ -1,0 +1,411 @@
+(* The dbp command-line tool.
+
+   Subcommands:
+     run          pack a workload with the algorithm portfolio and score it
+     figure8      print the paper's Figure 8 series (theoretical curves)
+     experiments  regenerate the full experiment suite (see DESIGN.md)
+     gadget       run the Theorem 3 golden-ratio gadget
+     gen          generate a workload trace to CSV
+     pack         pack a CSV trace with one algorithm and dump assignments *)
+
+open Cmdliner
+
+(* ---- shared argument parsing ---- *)
+
+let seed_arg =
+  Arg.(value & opt int 0 & info [ "seed" ] ~docv:"N" ~doc:"PRNG seed.")
+
+let workload_conv =
+  Arg.enum
+    [
+      ("uniform", `Uniform); ("gaming", `Gaming); ("analytics", `Analytics);
+      ("vm", `Vm);
+    ]
+
+let workload_arg =
+  Arg.(
+    value
+    & opt workload_conv `Uniform
+    & info [ "workload"; "w" ] ~docv:"KIND"
+        ~doc:
+          "Workload family: $(b,uniform), $(b,gaming), $(b,analytics) or \
+           $(b,vm).")
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "trace" ] ~docv:"FILE" ~doc:"Read the instance from a CSV trace.")
+
+let make_instance ~seed workload trace =
+  match trace with
+  | Some path -> Dbp_workload.Trace.load path
+  | None -> (
+      match workload with
+      | `Uniform ->
+          Dbp_workload.Generator.generate ~seed Dbp_workload.Generator.default
+      | `Gaming ->
+          Dbp_workload.Cloud_gaming.generate ~seed
+            Dbp_workload.Cloud_gaming.default
+      | `Analytics ->
+          Dbp_workload.Analytics.generate ~seed Dbp_workload.Analytics.default
+      | `Vm -> Dbp_workload.Vm_fleet.generate ~seed Dbp_workload.Vm_fleet.default)
+
+(* ---- run ---- *)
+
+let run_cmd =
+  let opt_flag =
+    Arg.(
+      value & flag
+      & info [ "opt" ]
+          ~doc:
+            "Also compute the exact repacking-adversary ratio (exponential; \
+             small instances only).")
+  in
+  let algos_arg =
+    Arg.(
+      value
+      & opt_all string []
+      & info [ "algo"; "a" ] ~docv:"NAME"
+          ~doc:
+            (Printf.sprintf "Restrict to an algorithm (repeatable). One of: %s."
+               (String.concat ", " Dbp_sim.Runner.names)))
+  in
+  let metrics_flag =
+    Arg.(
+      value & flag
+      & info [ "metrics" ]
+          ~doc:"Also print detailed per-algorithm packing metrics.")
+  in
+  let run seed workload trace opt algos metrics =
+    let instance = make_instance ~seed workload trace in
+    let packers =
+      match algos with
+      | [] -> Dbp_sim.Runner.default_portfolio
+      | names ->
+          List.map
+            (fun n ->
+              match Dbp_sim.Runner.by_name n with
+              | Some p -> p
+              | None ->
+                  Printf.eprintf "unknown algorithm %S; known: %s\n" n
+                    (String.concat ", " Dbp_sim.Runner.names);
+                  exit 2)
+            names
+    in
+    Printf.printf "instance: %d items, span %.2f, demand %.2f, mu %.2f\n"
+      (Dbp_core.Instance.length instance)
+      (Dbp_core.Instance.span instance)
+      (Dbp_core.Instance.demand instance)
+      (Dbp_core.Instance.mu instance);
+    let scores = Dbp_sim.Runner.evaluate ~opt packers instance in
+    Dbp_sim.Report.print (Dbp_sim.Runner.score_table scores);
+    if metrics then
+      List.iter
+        (fun (p : Dbp_sim.Runner.packer) ->
+          Printf.printf "\n%s\n" p.Dbp_sim.Runner.label;
+          Format.printf "%a"
+            Dbp_core.Metrics.pp
+            (Dbp_core.Metrics.of_packing (p.Dbp_sim.Runner.pack instance)))
+        packers
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Pack a workload with the portfolio and score it.")
+    Term.(
+      const run $ seed_arg $ workload_arg $ trace_arg $ opt_flag $ algos_arg
+      $ metrics_flag)
+
+(* ---- figure8 ---- *)
+
+let figure8_cmd =
+  let max_mu =
+    Arg.(value & opt int 100 & info [ "max-mu" ] ~docv:"N" ~doc:"Largest mu.")
+  in
+  let csv =
+    Arg.(value & flag & info [ "csv" ] ~doc:"Emit CSV instead of a table.")
+  in
+  let run max_mu csv =
+    let mus = List.init max_mu (fun i -> float_of_int (i + 1)) in
+    let table = Dbp_sim.Experiments.figure8 ~mus () in
+    if csv then print_string (Dbp_sim.Report.to_csv table)
+    else begin
+      Dbp_sim.Report.print ~title:"Figure 8: best competitive ratios" table;
+      Printf.printf "\ncrossover mu (paper: 4): %.2f\n"
+        (Dbp_sim.Experiments.figure8_crossover ())
+    end
+  in
+  Cmd.v
+    (Cmd.info "figure8" ~doc:"Print the paper's Figure 8 series.")
+    Term.(const run $ max_mu $ csv)
+
+(* ---- experiments ---- *)
+
+let experiments_cmd =
+  let only =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "only" ] ~docv:"PREFIX"
+          ~doc:"Run only experiments whose id starts with PREFIX (e.g. T3).")
+  in
+  let run only =
+    let selected =
+      Dbp_sim.Experiments.all ()
+      |> List.filter (fun (name, _) ->
+             match only with
+             | None -> true
+             | Some p ->
+                 String.length name >= String.length p
+                 && String.sub name 0 (String.length p) = p)
+    in
+    if selected = [] then begin
+      Printf.eprintf "no experiment matches %s\n"
+        (Option.value ~default:"" only);
+      exit 2
+    end;
+    List.iter
+      (fun (name, table) -> Dbp_sim.Report.print ~title:name table)
+      selected
+  in
+  Cmd.v
+    (Cmd.info "experiments"
+       ~doc:"Regenerate the experiment suite (tables T1-T5, E1-E4, F8).")
+    Term.(const run $ only)
+
+(* ---- gadget ---- *)
+
+let gadget_cmd =
+  let x_arg =
+    Arg.(
+      value
+      & opt float Dbp_workload.Adversarial.golden_ratio
+      & info [ "x" ] ~docv:"X" ~doc:"Duration of the long items (> 1).")
+  in
+  let eps_arg =
+    Arg.(value & opt float 0.01 & info [ "eps" ] ~docv:"E" ~doc:"Size offset.")
+  in
+  let tau_arg =
+    Arg.(
+      value & opt float 1e-6 & info [ "tau" ] ~docv:"T" ~doc:"Second-wave delay.")
+  in
+  let run x eps tau =
+    let open Dbp_workload.Adversarial in
+    let algos =
+      [
+        Dbp_online.Any_fit.first_fit;
+        Dbp_online.Any_fit.best_fit;
+        Dbp_online.Classify_departure.make ~rho:(sqrt x) ();
+        Dbp_online.Classify_duration.make ~alpha:2. ();
+      ]
+    in
+    Printf.printf
+      "Theorem 3 gadget (x=%g, eps=%g, tau=%g); online LB = %.6f\n\n" x eps tau
+      Dbp_theory.Ratios.online_lower_bound;
+    List.iter
+      (fun algo ->
+        let ratio case =
+          let inst = theorem3 ~x ~eps ~tau case in
+          Dbp_core.Packing.total_usage_time (Dbp_online.Engine.run algo inst)
+          /. theorem3_opt_usage ~x ~tau case
+        in
+        let a = ratio A and b = ratio B in
+        Printf.printf "%-22s case A %.4f   case B %.4f   worst %.4f\n"
+          algo.Dbp_online.Engine.name a b (Float.max a b))
+      algos
+  in
+  Cmd.v
+    (Cmd.info "gadget" ~doc:"Run the Theorem 3 golden-ratio gadget.")
+    Term.(const run $ x_arg $ eps_arg $ tau_arg)
+
+(* ---- gen ---- *)
+
+let gen_cmd =
+  let out =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output CSV path.")
+  in
+  let run seed workload out =
+    let instance = make_instance ~seed workload None in
+    Dbp_workload.Trace.save out instance;
+    Printf.printf "wrote %d items to %s\n" (Dbp_core.Instance.length instance) out
+  in
+  Cmd.v
+    (Cmd.info "gen" ~doc:"Generate a workload trace to CSV.")
+    Term.(const run $ seed_arg $ workload_arg $ out)
+
+(* ---- pack ---- *)
+
+let pack_cmd =
+  let algo_arg =
+    Arg.(
+      value
+      & opt string "first-fit"
+      & info [ "algo"; "a" ] ~docv:"NAME" ~doc:"Algorithm to pack with.")
+  in
+  let trace_req =
+    Arg.(
+      required
+      & opt (some file) None
+      & info [ "trace" ] ~docv:"FILE" ~doc:"CSV trace to pack.")
+  in
+  let gantt_flag =
+    Arg.(
+      value & flag
+      & info [ "gantt" ] ~doc:"Render an ASCII Gantt chart instead of CSV.")
+  in
+  let run algo trace gantt =
+    let instance = Dbp_workload.Trace.load trace in
+    let packer =
+      match Dbp_sim.Runner.by_name algo with
+      | Some p -> p
+      | None ->
+          Printf.eprintf "unknown algorithm %S; known: %s\n" algo
+            (String.concat ", " Dbp_sim.Runner.names);
+          exit 2
+    in
+    let packing = packer.Dbp_sim.Runner.pack instance in
+    if gantt then print_string (Dbp_sim.Gantt.render packing)
+    else begin
+      Printf.printf "item_id,bin\n";
+      List.iter
+        (fun r ->
+          Printf.printf "%d,%d\n" (Dbp_core.Item.id r)
+            (Dbp_core.Packing.bin_of_item packing (Dbp_core.Item.id r)))
+        (Dbp_core.Instance.items instance)
+    end;
+    Printf.eprintf "# %s: usage %.4f over %d bins\n" algo
+      (Dbp_core.Packing.total_usage_time packing)
+      (Dbp_core.Packing.bin_count packing)
+  in
+  Cmd.v
+    (Cmd.info "pack"
+       ~doc:"Pack a CSV trace and print item-to-bin assignment or a chart.")
+    Term.(const run $ algo_arg $ trace_req $ gantt_flag)
+
+(* ---- flex ---- *)
+
+let flex_cmd =
+  let slack_arg =
+    Arg.(
+      value & opt float 1.
+      & info [ "slack" ] ~docv:"F"
+          ~doc:"Window slack as a multiple of each job's length.")
+  in
+  let run seed workload slack =
+    let instance = make_instance ~seed workload None in
+    let jobs =
+      Dbp_core.Instance.items instance
+      |> List.map (fun item ->
+             Dbp_flex.Flex_job.of_item
+               ~slack:(slack *. Dbp_core.Item.duration item)
+               item)
+    in
+    Printf.printf "%d jobs, slack %.2fx length\n\n" (List.length jobs) slack;
+    List.iter
+      (fun name ->
+        let scheduler = Option.get (Dbp_flex.Flex_schedule.by_name name) in
+        let s = scheduler jobs in
+        Dbp_flex.Flex_schedule.check s;
+        Printf.printf "%-8s usage %10.2f   bins %4d\n" name
+          (Dbp_flex.Flex_schedule.usage s)
+          (Dbp_core.Packing.bin_count s.Dbp_flex.Flex_schedule.packing))
+      Dbp_flex.Flex_schedule.names
+  in
+  Cmd.v
+    (Cmd.info "flex"
+       ~doc:"Schedule a workload as flexible jobs (release + deadline).")
+    Term.(const run $ seed_arg $ workload_arg $ slack_arg)
+
+(* ---- vector ---- *)
+
+let vector_cmd =
+  let dims_arg =
+    Arg.(value & opt int 3 & info [ "dims" ] ~docv:"D" ~doc:"Resource dimensions.")
+  in
+  let run seed dims =
+    let config = { Dbp_multidim.Vector_workload.default with dims } in
+    let instance = Dbp_multidim.Vector_workload.generate ~seed config in
+    Printf.printf "%d jobs in %d dimensions; lower bound %.2f\n\n"
+      (Dbp_multidim.Vector_instance.length instance)
+      dims
+      (Dbp_multidim.Vector_instance.lower_bound instance);
+    List.iter
+      (fun (name, pack) ->
+        let p = pack instance in
+        Printf.printf "%-22s usage %10.2f   bins %4d   ratio/LB %6.3f\n" name
+          (Dbp_multidim.Vector_packing.total_usage_time p)
+          (Dbp_multidim.Vector_packing.bin_count p)
+          (Dbp_multidim.Vector_packing.ratio_to_lower_bound p))
+      [
+        ("first-fit", Dbp_multidim.Vector_algorithms.first_fit);
+        ("best-fit", Dbp_multidim.Vector_algorithms.best_fit);
+        ("cbdt-ff(rho=5)", Dbp_multidim.Vector_algorithms.classify_departure ~rho:5.);
+        ( "cbd-ff(alpha=2)",
+          Dbp_multidim.Vector_algorithms.classify_duration ~base:1. ~alpha:2. );
+        ("ddff", Dbp_multidim.Vector_algorithms.ddff);
+      ]
+  in
+  Cmd.v
+    (Cmd.info "vector" ~doc:"Pack a multi-resource (CPU/mem/bw) workload.")
+    Term.(const run $ seed_arg $ dims_arg)
+
+(* ---- audit ---- *)
+
+let audit_cmd =
+  let run seed workload trace =
+    let instance = make_instance ~seed workload trace in
+    Printf.printf "auditing %d items\n\n" (Dbp_core.Instance.length instance);
+    let ddff = Dbp_offline.Ddff_analysis.analyze instance in
+    let ddff_failures = Dbp_offline.Ddff_analysis.check ddff in
+    Printf.printf "Section 4.1 (Theorem 1) decomposition: %d bins audited, %s\n"
+      (List.length ddff.Dbp_offline.Ddff_analysis.reports)
+      (if ddff_failures = [] then "all checks pass"
+       else Printf.sprintf "%d FAILURES" (List.length ddff_failures));
+    List.iter
+      (fun f ->
+        Format.printf "  %a@." Dbp_offline.Ddff_analysis.pp_failure f)
+      ddff_failures;
+    if not (Dbp_core.Instance.is_empty instance) then begin
+      let cbdt = Dbp_online.Cbdt_analysis.analyze ~rho:3. instance in
+      let cbdt_failures = Dbp_online.Cbdt_analysis.check cbdt in
+      Printf.printf
+        "Section 5.2 (Theorem 4) stages:       %d categories audited, %s\n"
+        (List.length cbdt.Dbp_online.Cbdt_analysis.stages)
+        (if cbdt_failures = [] then "all checks pass"
+         else Printf.sprintf "%d FAILURES" (List.length cbdt_failures));
+      List.iter
+        (fun f -> Format.printf "  %a@." Dbp_online.Cbdt_analysis.pp_failure f)
+        cbdt_failures
+    end;
+    if Dbp_core.Instance.length instance <= 40 then begin
+      let schedule = Dbp_migration.Migrating_schedule.build instance in
+      let violations = Dbp_migration.Migrating_schedule.check schedule in
+      Printf.printf
+        "Repacking adversary:                  cost %.3f, %d migrations, %s\n"
+        schedule.Dbp_migration.Migrating_schedule.cost
+        schedule.Dbp_migration.Migrating_schedule.migrations
+        (if violations = [] then "schedule valid"
+         else Printf.sprintf "%d FAILURES" (List.length violations))
+    end
+    else
+      Printf.printf
+        "Repacking adversary:                  skipped (instance > 40 items)\n"
+  in
+  Cmd.v
+    (Cmd.info "audit"
+       ~doc:
+         "Machine-check the paper's proof decompositions on a workload or \
+          trace.")
+    Term.(const run $ seed_arg $ workload_arg $ trace_arg)
+
+let () =
+  let doc = "Clairvoyant MinUsageTime dynamic bin packing (SPAA'16 reproduction)" in
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "dbp" ~version:"1.0.0" ~doc)
+          [
+            run_cmd; figure8_cmd; experiments_cmd; gadget_cmd; gen_cmd;
+            pack_cmd; flex_cmd; vector_cmd; audit_cmd;
+          ]))

@@ -1,0 +1,1 @@
+examples/adversary.ml: Dbp_core Dbp_online Dbp_opt Dbp_theory Dbp_workload Float List Packing Printf

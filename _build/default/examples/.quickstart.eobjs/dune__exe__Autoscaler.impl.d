@@ -1,0 +1,1 @@
+examples/autoscaler.ml: Array Dbp_core Dbp_online Dbp_opt Dbp_workload Format Hashtbl Instance Item Packing Printf

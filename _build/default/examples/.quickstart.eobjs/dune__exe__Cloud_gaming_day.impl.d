@@ -1,0 +1,1 @@
+examples/cloud_gaming_day.ml: Array Dbp_core Dbp_online Dbp_sim Dbp_workload Float Format Instance List Packing Printf Step_function

@@ -1,0 +1,1 @@
+examples/flex_batch.ml: Dbp_core Dbp_flex Dbp_workload Float List Option Printf

@@ -1,0 +1,1 @@
+examples/flex_batch.mli:

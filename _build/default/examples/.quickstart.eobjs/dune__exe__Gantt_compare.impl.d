@@ -1,0 +1,1 @@
+examples/gantt_compare.ml: Dbp_offline Dbp_online Dbp_opt Dbp_sim Dbp_workload Printf

@@ -1,0 +1,1 @@
+examples/gantt_compare.mli:

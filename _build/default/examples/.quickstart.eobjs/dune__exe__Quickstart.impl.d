@@ -1,0 +1,1 @@
+examples/quickstart.ml: Dbp_core Dbp_offline Dbp_online Dbp_opt Format Instance Item Packing

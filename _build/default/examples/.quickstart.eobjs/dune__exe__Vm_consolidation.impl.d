@@ -1,0 +1,1 @@
+examples/vm_consolidation.ml: Dbp_billing Dbp_core Dbp_online Dbp_opt Dbp_workload Instance List Metrics Printf Step_function

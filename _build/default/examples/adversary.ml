@@ -1,0 +1,70 @@
+(* A walk through the paper's lower-bound constructions.
+
+   Part 1 replays Theorem 3's golden-ratio gadget against several online
+   algorithms and shows that each one loses at least (1+sqrt(5))/2 on one
+   of the two cases -- no online algorithm can dodge both.
+
+   Part 2 runs the mixed-duration trap that makes every Any Fit algorithm
+   pay a factor ~mu, and shows classify-by-departure-time dismantling it.
+
+   Run with: dune exec examples/adversary.exe *)
+
+open Dbp_core
+module Adv = Dbp_workload.Adversarial
+
+let () =
+  let x = Adv.golden_ratio in
+  Printf.printf "Part 1: Theorem 3 gadget (x = phi = %.6f)\n\n" x;
+  Printf.printf
+    "Two items of size 1/2-eps arrive at t=0 with durations x and 1.\n\
+     Case A: nothing else arrives. Packing them together is optimal.\n\
+     Case B: two items of size 1/2+eps follow immediately; now packing\n\
+     the first two together blocks both bins and costs 2x+1 vs x+1.\n\n";
+  let tau = 1e-9 in
+  let algorithms =
+    [
+      Dbp_online.Any_fit.first_fit;
+      Dbp_online.Any_fit.best_fit;
+      Dbp_online.Any_fit.worst_fit;
+      Dbp_online.Classify_departure.make ~rho:(sqrt x) ();
+      Dbp_online.Classify_duration.make ~alpha:2. ();
+      Dbp_online.Classify_combined.make ~alpha:2. ();
+    ]
+  in
+  Printf.printf "%-24s %8s %8s %8s\n" "algorithm" "case A" "case B" "worst";
+  List.iter
+    (fun algo ->
+      let ratio case =
+        let inst = Adv.theorem3 ~x ~tau case in
+        Packing.total_usage_time (Dbp_online.Engine.run algo inst)
+        /. Adv.theorem3_opt_usage ~x ~tau case
+      in
+      let a = ratio Adv.A and b = ratio Adv.B in
+      Printf.printf "%-24s %8.4f %8.4f %8.4f\n" algo.Dbp_online.Engine.name a b
+        (Float.max a b))
+    algorithms;
+  Printf.printf "\nTheorem 3 lower bound: %.4f -- no worst column can beat it.\n"
+    Dbp_theory.Ratios.online_lower_bound;
+
+  Printf.printf "\nPart 2: the mixed-duration trap (mu = 50, 20 pairs)\n\n";
+  Printf.printf
+    "Pairs of (size 0.99, duration 1) and (size 0.01, duration 50) arrive\n\
+     in quick succession.  Any Fit glues each tiny straggler to a big\n\
+     item, so 20 bins each stay open for ~50 time units.\n\n";
+  let trap = Adv.mixed_duration_trap ~pairs:20 ~mu:50. () in
+  let lb = Dbp_opt.Lower_bounds.best trap in
+  List.iter
+    (fun algo ->
+      let usage =
+        Packing.total_usage_time (Dbp_online.Engine.run algo trap)
+      in
+      Printf.printf "%-24s usage %8.1f   ratio/LB %6.2f\n"
+        algo.Dbp_online.Engine.name usage (usage /. lb))
+    [
+      Dbp_online.Any_fit.first_fit;
+      Dbp_online.Any_fit.best_fit;
+      Dbp_online.Any_fit.next_fit;
+      Dbp_online.Classify_departure.make ~rho:5. ();
+      Dbp_online.Classify_duration.make ~alpha:2. ();
+    ];
+  Printf.printf "\nlower bound: %.1f; clairvoyant classification recovers it.\n" lb

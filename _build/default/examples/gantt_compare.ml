@@ -1,0 +1,21 @@
+(* Visual comparison: what the duration-mixing trap does to First Fit,
+   and how classification dismantles it -- as Gantt charts.
+
+   Run with: dune exec examples/gantt_compare.exe *)
+
+let () =
+  let trap = Dbp_workload.Adversarial.mixed_duration_trap ~pairs:8 ~mu:30. () in
+  let show name packing =
+    Printf.printf "\n--- %s ---\n" name;
+    print_string (Dbp_sim.Gantt.render ~width:64 packing)
+  in
+  Printf.printf
+    "The mixed-duration trap: 8 pairs of (big, 1 time unit) + (tiny, 30 \n\
+     time units) items.  Watch the long tails.\n";
+  show "online first-fit (blind)"
+    (Dbp_online.Engine.run Dbp_online.Any_fit.first_fit trap);
+  show "classify-by-departure-time (rho = 5)"
+    (Dbp_online.Engine.run (Dbp_online.Classify_departure.make ~rho:5. ()) trap);
+  show "offline ddff"
+    (Dbp_offline.Ddff.pack trap);
+  Printf.printf "\nlower bound: %.1f\n" (Dbp_opt.Lower_bounds.best trap)

@@ -1,0 +1,50 @@
+(* Quickstart: build a handful of jobs by hand, pack them with a
+   non-clairvoyant and a clairvoyant algorithm, and compare server time.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+open Dbp_core
+
+let () =
+  (* Five jobs: (size, arrival, departure).  Sizes are fractions of one
+     server; times are in hours.  Job 1 is a long-running small service;
+     the rest are short batch jobs. *)
+  let jobs =
+    [
+      Item.make ~id:0 ~size:0.55 ~arrival:0. ~departure:2.;
+      Item.make ~id:1 ~size:0.10 ~arrival:0. ~departure:12.;
+      Item.make ~id:2 ~size:0.55 ~arrival:2.5 ~departure:4.5;
+      Item.make ~id:3 ~size:0.55 ~arrival:5. ~departure:7.;
+      Item.make ~id:4 ~size:0.40 ~arrival:5.5 ~departure:7.5;
+    ]
+  in
+  let instance = Instance.of_items jobs in
+  Format.printf "%a@." Instance.pp instance;
+
+  (* A packing algorithm returns a Packing.t; the objective is its total
+     usage time (server-hours rented). *)
+  let report name packing =
+    Format.printf "%-28s %a@." name Packing.pp_summary packing
+  in
+
+  (* Non-clairvoyant First Fit: departure times ignored. *)
+  report "online first-fit:"
+    (Dbp_online.Engine.run Dbp_online.Any_fit.first_fit instance);
+
+  (* Clairvoyant classification (Theorem 4): departure times known, items
+     grouped so each bin's jobs end at about the same time. *)
+  report "classify-by-departure-time:"
+    (Dbp_online.Engine.run (Dbp_online.Classify_departure.tuned instance) instance);
+
+  (* Offline 5-approximation (Theorem 1). *)
+  report "offline ddff:" (Dbp_offline.Ddff.pack instance);
+
+  (* How close is any of this to optimal?  For small instances the exact
+     repacking adversary and the exact non-migrating optimum are both
+     computable. *)
+  Format.printf "repacking adversary OPT_total:  %.3f@."
+    (Dbp_opt.Opt_total.value instance);
+  Format.printf "exact optimum (no migration):   %.3f@."
+    (Dbp_opt.Brute_force.optimal_usage instance);
+  Format.printf "Proposition-3 lower bound:      %.3f@."
+    (Dbp_opt.Lower_bounds.best instance)

@@ -1,0 +1,55 @@
+(* VM consolidation under realistic billing: the full pipeline.
+
+   A 48-hour VM-fleet trace (deployment bursts, power-of-two shapes,
+   heavy-tailed lifetimes) is packed by four algorithms; each packing is
+   then priced under per-second and per-hour billing with paid-idle
+   reuse, and dissected with the packing metrics — which bill you pay
+   and *why*.
+
+   Run with: dune exec examples/vm_consolidation.exe *)
+
+open Dbp_core
+module BM = Dbp_billing.Billing_model
+module BE = Dbp_billing.Billed_engine
+
+let () =
+  let fleet =
+    Dbp_workload.Vm_fleet.generate ~seed:7 Dbp_workload.Vm_fleet.default
+  in
+  Printf.printf "%d VMs over 48 h; mu = %.0f; peak demand %.1f hosts\n\n"
+    (Instance.length fleet) (Instance.mu fleet)
+    (Step_function.max_value (Instance.size_profile fleet));
+
+  let algorithms =
+    [
+      ("first-fit", Dbp_online.Any_fit.first_fit);
+      ("best-fit", Dbp_online.Any_fit.best_fit);
+      ("cbdt-ff", Dbp_online.Classify_departure.tuned fleet);
+      ("aligned-ff", Dbp_online.Departure_aligned.tuned fleet);
+    ]
+  in
+  Printf.printf "%-12s %12s %12s %8s %8s %10s\n" "algorithm" "host-hours"
+    "hourly bill" "hosts" "util" "low-level";
+  List.iter
+    (fun (name, algo) ->
+      let per_second = BE.run ~model:BM.per_second algo fleet in
+      let hourly = BE.run ~model:(BM.quantum 1.) algo fleet in
+      let m = Metrics.of_packing per_second.BE.packing in
+      Printf.printf "%-12s %12.1f %12.1f %8d %7.1f%% %9.1f%%\n" name
+        per_second.BE.usage hourly.BE.cost m.Metrics.bins
+        (100. *. m.Metrics.utilization)
+        (100. *. m.Metrics.low_level_fraction))
+    algorithms;
+
+  Printf.printf "\nlower bound: %.1f host-hours\n"
+    (Dbp_opt.Lower_bounds.best fleet);
+  Printf.printf
+    "\n\
+     Reading the metrics: on this heavy-tailed trace blind first fit\n\
+     wins -- the Pareto lifetimes (mu ~ 160) stretch the classifiers'\n\
+     grids so far that category bins sit half-empty (their low-level\n\
+     column is the highest).  Soft alignment recovers part of the gap.\n\
+     The worst-case picture is the opposite: see the adversary example,\n\
+     where first fit pays ~mu and the classifiers stay near optimal.\n\
+     Average-case frugality and worst-case insurance are different\n\
+     products; this library lets you price both.\n"

@@ -1,0 +1,1 @@
+lib/billing/billed_engine.ml: Billing_model Bin_state Dbp_core Dbp_online Event Float Hashtbl Item List Packing Printf

@@ -1,0 +1,1 @@
+lib/billing/billed_engine.mli: Billing_model Dbp_core Dbp_online Instance Packing

@@ -1,0 +1,1 @@
+lib/billing/billing_model.ml: Float Format Printf

@@ -1,0 +1,1 @@
+lib/billing/billing_model.mli: Format

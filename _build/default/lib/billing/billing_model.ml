@@ -1,0 +1,45 @@
+type t = Per_second | Quantum of float
+
+let per_second = Per_second
+
+let quantum q =
+  if not (Float.is_finite q && q > 0.) then
+    invalid_arg (Printf.sprintf "Billing_model.quantum: %g" q);
+  Quantum q
+
+let granularity = function Per_second -> 0. | Quantum q -> q
+
+let check_session ~acquired ~released =
+  if released < acquired then
+    invalid_arg
+      (Printf.sprintf "Billing_model: released %g < acquired %g" released
+         acquired)
+
+let quanta_used t ~acquired ~released =
+  check_session ~acquired ~released;
+  match t with
+  | Per_second -> 0
+  | Quantum q ->
+      if released <= acquired then 0
+      else
+        (* pay per started quantum, with a tolerance so a session ending
+           exactly on a boundary does not start a new quantum *)
+        int_of_float (Float.ceil (((released -. acquired) /. q) -. 1e-9))
+        |> max 1
+
+let rental_cost t ~acquired ~released =
+  check_session ~acquired ~released;
+  match t with
+  | Per_second -> released -. acquired
+  | Quantum q -> float_of_int (quanta_used t ~acquired ~released) *. q
+
+let next_boundary t ~acquired ~after =
+  match t with
+  | Per_second -> Float.infinity
+  | Quantum q ->
+      let k = Float.floor (((after -. acquired) /. q) +. 1e-9) +. 1. in
+      acquired +. (k *. q)
+
+let pp ppf = function
+  | Per_second -> Format.fprintf ppf "per-second"
+  | Quantum q -> Format.fprintf ppf "quantum(%g)" q

@@ -1,0 +1,34 @@
+(** Billing models for rented servers.
+
+    The paper's objective — total bin usage time — is the idealised
+    per-second ("pay exactly while open") bill.  Real clouds at the time
+    of the paper billed in coarse quanta (Amazon EC2: full hours, the
+    paper's citation [1]); a server acquired at t is paid for
+    ceil((release - t)/Q) quanta of length Q.  This module prices a bin's
+    rental under either model. *)
+
+type t =
+  | Per_second  (** cost = usage time exactly *)
+  | Quantum of float  (** granularity Q > 0; pay per started quantum *)
+
+val per_second : t
+
+val quantum : float -> t
+(** @raise Invalid_argument if the granularity is not positive. *)
+
+val granularity : t -> float
+(** 0. for {!Per_second}. *)
+
+val rental_cost : t -> acquired:float -> released:float -> float
+(** Price of one server session.
+    @raise Invalid_argument if [released < acquired]. *)
+
+val quanta_used : t -> acquired:float -> released:float -> int
+(** Number of started quanta (1 minimum for a non-empty session); for
+    {!Per_second} this is 0 by convention. *)
+
+val next_boundary : t -> acquired:float -> after:float -> float
+(** The first quantum boundary strictly after [after] for a server
+    acquired at [acquired]; [infinity] for {!Per_second}. *)
+
+val pp : Format.formatter -> t -> unit

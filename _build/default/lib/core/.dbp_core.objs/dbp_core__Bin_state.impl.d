@@ -1,0 +1,1 @@
+lib/core/bin_state.ml: Float Format Interval Item List Step_function

@@ -1,0 +1,1 @@
+lib/core/bin_state.mli: Format Interval Item Step_function

@@ -1,0 +1,1 @@
+lib/core/event.ml: Float Format Instance Int Item List

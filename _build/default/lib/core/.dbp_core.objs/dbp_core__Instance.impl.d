@@ -1,0 +1,1 @@
+lib/core/instance.ml: Float Format Int Interval Item List Map Printf Step_function

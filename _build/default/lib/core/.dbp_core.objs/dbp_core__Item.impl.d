@@ -1,0 +1,1 @@
+lib/core/item.ml: Float Format Int Interval Printf

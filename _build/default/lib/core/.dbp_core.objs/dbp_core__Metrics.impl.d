@@ -1,0 +1,1 @@
+lib/core/metrics.ml: Bin_state Float Format List Packing Printf Step_function

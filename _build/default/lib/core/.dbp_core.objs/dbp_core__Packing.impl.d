@@ -1,0 +1,1 @@
+lib/core/packing.ml: Bin_state Float Format Instance Int Item List Map Printf Step_function

@@ -1,0 +1,1 @@
+lib/core/packing.mli: Bin_state Format Instance Step_function

@@ -1,0 +1,1 @@
+lib/core/step_function.ml: Float Format Interval List

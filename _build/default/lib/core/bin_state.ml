@@ -1,0 +1,61 @@
+type t = {
+  index : int;
+  items : Item.t list; (* most recently placed first *)
+  profile : Step_function.t; (* cached level profile *)
+}
+
+let capacity = 1.
+let tolerance = 1e-9
+
+let empty ~index = { index; items = []; profile = Step_function.zero }
+let index b = b.index
+let items b = List.rev b.items
+let is_empty b = b.items = []
+let level_profile b = b.profile
+let level_at b t = Step_function.value_at b.profile t
+
+let fits b r =
+  Step_function.max_over b.profile (Item.interval r) +. Item.size r
+  <= capacity +. tolerance
+
+let fits_at b ~at r =
+  Item.active_at r at
+  && Step_function.value_at b.profile at +. Item.size r
+     <= capacity +. tolerance
+
+let place b r =
+  if not (fits b r) then
+    invalid_arg
+      (Format.asprintf "Bin_state.place: %a overflows bin %d" Item.pp r
+         b.index);
+  {
+    b with
+    items = r :: b.items;
+    profile =
+      Step_function.add b.profile
+        (Step_function.indicator (Item.interval r) (Item.size r));
+  }
+
+let usage_intervals b =
+  List.map Item.interval b.items |> Interval.union
+
+let usage_time b = Step_function.support_length b.profile
+
+let opening_time b =
+  match items b with
+  | [] -> invalid_arg "Bin_state.opening_time: empty bin"
+  | rs -> List.fold_left (fun acc r -> Float.min acc (Item.arrival r))
+            Float.infinity rs
+
+let closing_time b =
+  match items b with
+  | [] -> invalid_arg "Bin_state.closing_time: empty bin"
+  | rs -> List.fold_left (fun acc r -> Float.max acc (Item.departure r))
+            Float.neg_infinity rs
+
+let active_at b t = Step_function.value_at b.profile t > 0.
+
+let pp ppf b =
+  Format.fprintf ppf "@[<v>bin %d (usage %g):@," b.index (usage_time b);
+  List.iter (fun r -> Format.fprintf ppf "  %a@," Item.pp r) (items b);
+  Format.fprintf ppf "@]"

@@ -1,0 +1,34 @@
+type kind = Arrival | Departure
+
+type t = { time : float; kind : kind; item : Item.t }
+
+let kind_rank = function Departure -> 0 | Arrival -> 1
+
+let compare a b =
+  match Float.compare a.time b.time with
+  | 0 -> (
+      match Int.compare (kind_rank a.kind) (kind_rank b.kind) with
+      | 0 -> Item.compare_by_id a.item b.item
+      | c -> c)
+  | c -> c
+
+let of_instance instance =
+  Instance.items instance
+  |> List.concat_map (fun r ->
+         [
+           { time = Item.arrival r; kind = Arrival; item = r };
+           { time = Item.departure r; kind = Departure; item = r };
+         ])
+  |> List.sort compare
+
+let arrivals events =
+  List.filter_map
+    (fun e -> match e.kind with Arrival -> Some e.item | Departure -> None)
+    events
+
+let kind_to_string = function
+  | Arrival -> "arrival"
+  | Departure -> "departure"
+
+let pp ppf e =
+  Format.fprintf ppf "%g %s %a" e.time (kind_to_string e.kind) Item.pp e.item

@@ -1,0 +1,21 @@
+(** Arrival/departure event streams.
+
+    The online engine consumes an instance as a time-ordered stream of
+    events.  At equal times departures are delivered before arrivals: the
+    intervals are half-open, so an item departing at t frees its capacity
+    to an item arriving at t. *)
+
+type kind = Arrival | Departure
+
+type t = { time : float; kind : kind; item : Item.t }
+
+val of_instance : Instance.t -> t list
+(** All events in delivery order: increasing time; at equal times
+    departures first; ties broken by item id. *)
+
+val arrivals : t list -> Item.t list
+(** The items of the arrival events, in stream order. *)
+
+val kind_to_string : kind -> string
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,84 @@
+type t = { left : float; right : float }
+
+let make left right =
+  if not (Float.is_finite left && Float.is_finite right) then
+    invalid_arg "Interval.make: non-finite endpoint";
+  if right < left then invalid_arg "Interval.make: right < left";
+  { left; right }
+
+let empty = { left = 0.; right = 0. }
+let left i = i.left
+let right i = i.right
+let length i = i.right -. i.left
+let is_empty i = i.right <= i.left
+let mem t i = i.left <= t && t < i.right
+
+let overlaps a b = Float.max a.left b.left < Float.min a.right b.right
+
+let intersect a b =
+  let l = Float.max a.left b.left and r = Float.min a.right b.right in
+  if l < r then Some { left = l; right = r } else None
+
+let contains outer inner =
+  is_empty inner || (outer.left <= inner.left && inner.right <= outer.right)
+
+let hull a b =
+  if is_empty a then b
+  else if is_empty b then a
+  else { left = Float.min a.left b.left; right = Float.max a.right b.right }
+
+let shift dt i = { left = i.left +. dt; right = i.right +. dt }
+
+let compare_left a b =
+  match Float.compare a.left b.left with
+  | 0 -> Float.compare a.right b.right
+  | c -> c
+
+let equal a b = Float.equal a.left b.left && Float.equal a.right b.right
+
+(* Sweep over intervals sorted by left endpoint, merging overlapping or
+   touching ones into maximal runs. *)
+let union intervals =
+  let sorted =
+    List.filter (fun i -> not (is_empty i)) intervals
+    |> List.sort compare_left
+  in
+  let rec merge acc current = function
+    | [] -> List.rev (current :: acc)
+    | i :: rest ->
+        if i.left <= current.right then
+          merge acc { current with right = Float.max current.right i.right }
+            rest
+        else merge (current :: acc) i rest
+  in
+  match sorted with [] -> [] | first :: rest -> merge [] first rest
+
+let union_length intervals =
+  union intervals |> List.fold_left (fun acc i -> acc +. length i) 0.
+
+let complement_within frame parts =
+  if is_empty frame then []
+  else
+    let covered =
+      union parts
+      |> List.filter_map (fun p -> intersect p frame)
+    in
+    let rec gaps cursor acc = function
+      | [] ->
+          let acc =
+            if cursor < frame.right then
+              { left = cursor; right = frame.right } :: acc
+            else acc
+          in
+          List.rev acc
+      | p :: rest ->
+          let acc =
+            if cursor < p.left then { left = cursor; right = p.left } :: acc
+            else acc
+          in
+          gaps (Float.max cursor p.right) acc rest
+    in
+    gaps frame.left [] covered
+
+let pp ppf i = Format.fprintf ppf "[%g, %g)" i.left i.right
+let to_string i = Format.asprintf "%a" pp i

@@ -1,0 +1,65 @@
+(** Half-open time intervals [l, r).
+
+    All of MinUsageTime DBP is phrased over half-open intervals (the paper's
+    Section 3.1): an item active on [a, d) has left endpoint [a] and right
+    endpoint [d], and two intervals meeting exactly at an endpoint do not
+    overlap.  Times are floats; an interval is valid when [l <= r].  The
+    empty interval is any interval with [l = r]. *)
+
+type t = private { left : float; right : float }
+
+val make : float -> float -> t
+(** [make l r] is the interval [l, r).
+    @raise Invalid_argument if [r < l] or either bound is not finite. *)
+
+val empty : t
+(** A canonical empty interval [0, 0). *)
+
+val left : t -> float
+val right : t -> float
+
+val length : t -> float
+(** [length i] is [right i -. left i]; the paper's l(I). *)
+
+val is_empty : t -> bool
+
+val mem : float -> t -> bool
+(** [mem t i] is true iff [left i <= t < right i]. *)
+
+val overlaps : t -> t -> bool
+(** [overlaps a b] is true iff the half-open intervals intersect in a set of
+    positive measure, i.e. [max lefts < min rights]. *)
+
+val intersect : t -> t -> t option
+(** [intersect a b] is the common part if non-empty. *)
+
+val contains : t -> t -> bool
+(** [contains outer inner] is true iff [inner] is a subset of [outer].
+    An empty [inner] is contained in everything. *)
+
+val hull : t -> t -> t
+(** Smallest interval containing both arguments (empty intervals ignored). *)
+
+val shift : float -> t -> t
+(** [shift dt i] translates both endpoints by [dt]. *)
+
+val compare_left : t -> t -> int
+(** Order by left endpoint, ties by right endpoint. *)
+
+val equal : t -> t -> bool
+
+val union_length : t list -> float
+(** Total measure of the union of the intervals: the paper's span when the
+    intervals are item active intervals. *)
+
+val union : t list -> t list
+(** Canonical union: disjoint, non-empty intervals sorted by left endpoint,
+    adjacent intervals ([a.right = b.left]) merged. *)
+
+val complement_within : t -> t list -> t list
+(** [complement_within frame parts] is the part of [frame] not covered by
+    [parts], as a canonical disjoint list. *)
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string

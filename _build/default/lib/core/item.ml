@@ -1,0 +1,48 @@
+type t = { id : int; size : float; arrival : float; departure : float }
+
+let make ~id ~size ~arrival ~departure =
+  if not (Float.is_finite size && size > 0. && size <= 1.) then
+    invalid_arg
+      (Printf.sprintf "Item.make: size %g not in (0, 1] (item %d)" size id);
+  if not (Float.is_finite arrival && Float.is_finite departure) then
+    invalid_arg "Item.make: non-finite time";
+  if departure <= arrival then
+    invalid_arg
+      (Printf.sprintf "Item.make: departure %g <= arrival %g (item %d)"
+         departure arrival id);
+  { id; size; arrival; departure }
+
+let interval r = Interval.make r.arrival r.departure
+let duration r = r.departure -. r.arrival
+let demand r = r.size *. duration r
+let active_at r t = r.arrival <= t && t < r.departure
+let id r = r.id
+let size r = r.size
+let arrival r = r.arrival
+let departure r = r.departure
+
+let contains_duration a b =
+  a.arrival <= b.arrival && b.departure <= a.departure
+
+let compare_by_id a b = Int.compare a.id b.id
+
+let compare_duration_descending a b =
+  match Float.compare (duration b) (duration a) with
+  | 0 -> (
+      match Float.compare a.arrival b.arrival with
+      | 0 -> Int.compare a.id b.id
+      | c -> c)
+  | c -> c
+
+let compare_arrival a b =
+  match Float.compare a.arrival b.arrival with
+  | 0 -> Int.compare a.id b.id
+  | c -> c
+
+let equal a b = a.id = b.id
+
+let pp ppf r =
+  Format.fprintf ppf "item#%d(s=%g, [%g, %g))" r.id r.size r.arrival
+    r.departure
+
+let to_string r = Format.asprintf "%a" pp r

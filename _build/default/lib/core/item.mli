@@ -1,0 +1,53 @@
+(** Items to pack: the jobs of the scheduling problem.
+
+    An item has a size in (0, 1] (its resource demand as a fraction of a
+    unit-capacity bin/server), an arrival time and a departure time with
+    arrival < departure.  The active interval is half-open
+    [\[arrival, departure)] (paper Section 3.1). *)
+
+type t = private {
+  id : int;  (** unique within an instance; ties in orderings break by id *)
+  size : float;
+  arrival : float;
+  departure : float;
+}
+
+val make : id:int -> size:float -> arrival:float -> departure:float -> t
+(** @raise Invalid_argument if [size] is not in (0, 1], times are not finite,
+    or [departure <= arrival]. *)
+
+val interval : t -> Interval.t
+(** The active interval I(r) = [arrival, departure). *)
+
+val duration : t -> float
+(** l(I(r)) = departure - arrival. *)
+
+val demand : t -> float
+(** Time-space demand s(r) * l(I(r)). *)
+
+val active_at : t -> float -> bool
+(** [active_at r t] iff [arrival <= t < departure]. *)
+
+val id : t -> int
+val size : t -> float
+val arrival : t -> float
+val departure : t -> float
+
+val contains_duration : t -> t -> bool
+(** [contains_duration a b] iff b's active interval is a subset of a's (used
+    by the DDFF analysis reduction and by proper-interval checks). *)
+
+val compare_by_id : t -> t -> int
+
+val compare_duration_descending : t -> t -> int
+(** Longer duration first; ties by earlier arrival, then by id, making the
+    DDFF order deterministic. *)
+
+val compare_arrival : t -> t -> int
+(** Earlier arrival first; ties by id (the online arrival order). *)
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string

@@ -1,0 +1,83 @@
+type t = {
+  bins : int;
+  total_usage : float;
+  utilization : float;
+  mean_bin_lifetime : float;
+  max_bin_lifetime : float;
+  mean_items_per_bin : float;
+  low_level_time : float;
+  low_level_fraction : float;
+}
+
+let low_threshold = 0.25
+
+let of_packing packing =
+  let bins = Packing.bins packing in
+  let n = List.length bins in
+  if n = 0 then
+    {
+      bins = 0;
+      total_usage = 0.;
+      utilization = 1.;
+      mean_bin_lifetime = 0.;
+      max_bin_lifetime = 0.;
+      mean_items_per_bin = 0.;
+      low_level_time = 0.;
+      low_level_fraction = 0.;
+    }
+  else begin
+    let total_usage = Packing.total_usage_time packing in
+    let lifetimes =
+      List.map
+        (fun b -> Bin_state.closing_time b -. Bin_state.opening_time b)
+        bins
+    in
+    let low_level_time =
+      List.fold_left
+        (fun acc b ->
+          (* time the bin is open but at level <= threshold: support of
+             the profile minus time above the threshold *)
+          let profile = Bin_state.level_profile b in
+          let above =
+            Step_function.map
+              (fun v -> if v > low_threshold then 1. else 0.)
+              profile
+          in
+          acc
+          +. (Step_function.support_length profile
+             -. Step_function.integral above))
+        0. bins
+    in
+    let item_count =
+      List.fold_left (fun acc b -> acc + List.length (Bin_state.items b)) 0 bins
+    in
+    {
+      bins = n;
+      total_usage;
+      utilization = Packing.utilization packing;
+      mean_bin_lifetime =
+        List.fold_left ( +. ) 0. lifetimes /. float_of_int n;
+      max_bin_lifetime = List.fold_left Float.max 0. lifetimes;
+      mean_items_per_bin = float_of_int item_count /. float_of_int n;
+      low_level_time;
+      low_level_fraction =
+        (if total_usage > 0. then low_level_time /. total_usage else 0.);
+    }
+  end
+
+let to_rows m =
+  [
+    ("bins", string_of_int m.bins);
+    ("total usage", Printf.sprintf "%.4g" m.total_usage);
+    ("utilization", Printf.sprintf "%.3f" m.utilization);
+    ("mean bin lifetime", Printf.sprintf "%.4g" m.mean_bin_lifetime);
+    ("max bin lifetime", Printf.sprintf "%.4g" m.max_bin_lifetime);
+    ("mean items/bin", Printf.sprintf "%.2f" m.mean_items_per_bin);
+    ("low-level open time", Printf.sprintf "%.4g" m.low_level_time);
+    ("low-level fraction", Printf.sprintf "%.3f" m.low_level_fraction);
+  ]
+
+let pp ppf m =
+  List.iter
+    (fun (label, value) -> Format.fprintf ppf "%-22s %s@." label value)
+    (to_rows m)

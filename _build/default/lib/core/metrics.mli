@@ -1,0 +1,29 @@
+(** Derived metrics of a packing, beyond the headline usage time.
+
+    These quantify *how* a packing spends its server time: how long bins
+    live, how full they run, how much of the bill is idle tail (bins held
+    open at low level), and how fragmented the assignment is.  Reports
+    and examples use them to explain why one algorithm beats another, not
+    just by how much. *)
+
+type t = {
+  bins : int;
+  total_usage : float;
+  utilization : float;  (** demand / usage *)
+  mean_bin_lifetime : float;  (** mean over bins of closing - opening *)
+  max_bin_lifetime : float;
+  mean_items_per_bin : float;
+  low_level_time : float;
+      (** total bin-time spent open at level <= 1/4: the "lingering
+          straggler" cost the classify-by-departure-time strategy
+          targets *)
+  low_level_fraction : float;  (** low_level_time / total_usage (0 if idle) *)
+}
+
+val of_packing : Packing.t -> t
+(** All-zero metrics for an empty packing. *)
+
+val pp : Format.formatter -> t -> unit
+
+val to_rows : t -> (string * string) list
+(** Label/value pairs for table rendering. *)

@@ -1,0 +1,103 @@
+module Int_map = Map.Make (Int)
+
+type t = {
+  instance : Instance.t;
+  bins : Bin_state.t list; (* index order, non-empty *)
+  bin_of_item : int Int_map.t;
+}
+
+let validate instance bins =
+  let seen =
+    List.fold_left
+      (fun acc b ->
+        List.fold_left
+          (fun acc r ->
+            let id = Item.id r in
+            if Int_map.mem id acc then
+              invalid_arg
+                (Printf.sprintf "Packing: item %d placed twice" id)
+            else Int_map.add id (Bin_state.index b) acc)
+          acc (Bin_state.items b))
+      Int_map.empty bins
+  in
+  List.iter
+    (fun r ->
+      if not (Int_map.mem (Item.id r) seen) then
+        invalid_arg
+          (Printf.sprintf "Packing: item %d not placed" (Item.id r)))
+    (Instance.items instance);
+  if Int_map.cardinal seen <> Instance.length instance then
+    invalid_arg "Packing: packed items not in the instance";
+  List.iter
+    (fun b ->
+      if
+        Step_function.max_value (Bin_state.level_profile b)
+        > Bin_state.capacity +. Bin_state.tolerance
+      then
+        invalid_arg
+          (Printf.sprintf "Packing: bin %d exceeds capacity"
+             (Bin_state.index b)))
+    bins;
+  seen
+
+let of_bins instance bins =
+  let bins =
+    List.filter (fun b -> not (Bin_state.is_empty b)) bins
+    |> List.sort (fun a b -> Int.compare (Bin_state.index a) (Bin_state.index b))
+  in
+  let bin_of_item = validate instance bins in
+  { instance; bins; bin_of_item }
+
+let of_assignment instance pairs =
+  let by_bin =
+    List.fold_left
+      (fun acc (item_id, bin_index) ->
+        let r = Instance.find instance item_id in
+        let existing =
+          match Int_map.find_opt bin_index acc with
+          | Some rs -> rs
+          | None -> []
+        in
+        Int_map.add bin_index (r :: existing) acc)
+      Int_map.empty pairs
+  in
+  let bins =
+    Int_map.bindings by_bin
+    |> List.map (fun (index, rs) ->
+           (* Place in arrival order so intermediate states are sensible. *)
+           List.sort Item.compare_arrival rs
+           |> List.fold_left Bin_state.place (Bin_state.empty ~index))
+  in
+  of_bins instance bins
+
+let instance p = p.instance
+let bins p = p.bins
+let bin_count p = List.length p.bins
+let bin_of_item p item_id = Int_map.find item_id p.bin_of_item
+
+let total_usage_time p =
+  List.fold_left (fun acc b -> acc +. Bin_state.usage_time b) 0. p.bins
+
+let open_bins_profile p =
+  p.bins
+  |> List.map (fun b ->
+         Bin_state.usage_intervals b
+         |> List.map (fun i -> Step_function.indicator i 1.)
+         |> List.fold_left Step_function.add Step_function.zero)
+  |> List.fold_left Step_function.add Step_function.zero
+
+let max_concurrent_bins p =
+  int_of_float (Float.round (Step_function.max_value (open_bins_profile p)))
+
+let utilization p =
+  let usage = total_usage_time p in
+  if usage = 0. then 1. else Instance.demand p.instance /. usage
+
+let pp_summary ppf p =
+  Format.fprintf ppf "%d bins, usage %.6g, util %.3f" (bin_count p)
+    (total_usage_time p) (utilization p)
+
+let pp ppf p =
+  Format.fprintf ppf "@[<v>packing: %a@," pp_summary p;
+  List.iter (fun b -> Format.fprintf ppf "%a@," Bin_state.pp b) p.bins;
+  Format.fprintf ppf "@]"

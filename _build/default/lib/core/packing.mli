@@ -1,0 +1,43 @@
+(** A complete packing: every item of an instance assigned to a bin.
+
+    This is the output type shared by all offline and online algorithms,
+    and the object the MinUsageTime objective is evaluated on. *)
+
+type t
+
+val of_bins : Instance.t -> Bin_state.t list -> t
+(** Build a packing from filled bins.
+    @raise Invalid_argument if the bins do not contain exactly the items of
+    the instance, contain duplicates, or any bin overflows. *)
+
+val of_assignment : Instance.t -> (int * int) list -> t
+(** [of_assignment inst pairs] with [(item_id, bin_index)] pairs; bins are
+    created as needed.  Same validation as {!of_bins}. *)
+
+val instance : t -> Instance.t
+
+val bins : t -> Bin_state.t list
+(** Non-empty bins in index order. *)
+
+val bin_count : t -> int
+
+val bin_of_item : t -> int -> int
+(** [bin_of_item p item_id] is the index of the bin holding the item.
+    @raise Not_found *)
+
+val total_usage_time : t -> float
+(** The objective: sum over bins of the span of the bin's items. *)
+
+val open_bins_profile : t -> Step_function.t
+(** Number of open (active) bins as a function of time; its integral equals
+    [total_usage_time]. *)
+
+val max_concurrent_bins : t -> int
+
+val utilization : t -> float
+(** d(R) / total usage time: average fraction of rented capacity doing
+    work; in (0, 1] for a valid packing of a non-empty instance. *)
+
+val pp : Format.formatter -> t -> unit
+
+val pp_summary : Format.formatter -> t -> unit

@@ -1,0 +1,173 @@
+(* Canonical form: breaks = [(x1, v1); ...; (xn, vn)] with x strictly
+   increasing, v_i <> v_{i+1}, v_n = 0., and the implicit value 0. before
+   x1.  The invariant is established by [normalize] and preserved by every
+   operation. *)
+
+type t = { breaks : (float * float) list }
+
+let zero = { breaks = [] }
+
+let normalize breaks =
+  (* Drop repeated values, including a leading 0.-valued run. *)
+  let rec dedup prev = function
+    | [] -> []
+    | (x, v) :: rest ->
+        if Float.equal v prev then dedup prev rest
+        else (x, v) :: dedup v rest
+  in
+  { breaks = dedup 0. breaks }
+
+let check_breaks breaks =
+  let rec go last = function
+    | [] -> ()
+    | (x, v) :: rest ->
+        if not (Float.is_finite x && Float.is_finite v) then
+          invalid_arg "Step_function.of_breaks: non-finite";
+        (match last with
+        | Some lx when x <= lx ->
+            invalid_arg "Step_function.of_breaks: breakpoints not increasing"
+        | _ -> ());
+        go (Some x) rest
+  in
+  go None breaks;
+  match List.rev breaks with
+  | (_, v) :: _ when not (Float.equal v 0.) ->
+      invalid_arg "Step_function.of_breaks: unbounded support (last value <> 0)"
+  | _ -> ()
+
+let of_breaks breaks =
+  check_breaks breaks;
+  normalize breaks
+
+let indicator i v =
+  if Interval.is_empty i || Float.equal v 0. then zero
+  else normalize [ (Interval.left i, v); (Interval.right i, 0.) ]
+
+let value_at f t =
+  let rec go acc = function
+    | [] -> acc
+    | (x, v) :: rest -> if x <= t then go v rest else acc
+  in
+  go 0. f.breaks
+
+(* Merge two breakpoint lists, combining values with [op]. *)
+let combine op f g =
+  let rec merge fa ga fl gl acc =
+    match (fl, gl) with
+    | [], [] -> List.rev acc
+    | (x, v) :: fl', [] -> merge v ga fl' [] ((x, op v ga) :: acc)
+    | [], (x, w) :: gl' -> merge fa w [] gl' ((x, op fa w) :: acc)
+    | (xf, v) :: fl', (xg, w) :: gl' ->
+        if xf < xg then merge v ga fl' gl ((xf, op v ga) :: acc)
+        else if xg < xf then merge fa w fl gl' ((xg, op fa w) :: acc)
+        else merge v w fl' gl' ((xf, op v w) :: acc)
+  in
+  normalize (merge 0. 0. f.breaks g.breaks [])
+
+let add f g = combine ( +. ) f g
+let sub f g = combine ( -. ) f g
+
+let scale c f =
+  if Float.equal c 0. then zero
+  else normalize (List.map (fun (x, v) -> (x, c *. v)) f.breaks)
+
+let map g f =
+  if not (Float.equal (g 0.) 0.) then
+    invalid_arg "Step_function.map: g 0. <> 0.";
+  normalize (List.map (fun (x, v) -> (x, g v)) f.breaks)
+
+let ceil_eps = 1e-9
+
+let ceil f =
+  let round_up v =
+    let c = Float.ceil v in
+    (* Pull values a hair above an integer back down to it. *)
+    if c -. v > 1. -. ceil_eps && c -. v < 1. then c -. 1. else c
+  in
+  map round_up f
+
+let max_value f = List.fold_left (fun m (_, v) -> Float.max m v) 0. f.breaks
+
+let integral f =
+  let rec go acc = function
+    | (x, v) :: ((x', _) :: _ as rest) -> go (acc +. (v *. (x' -. x))) rest
+    | [ (_, v) ] ->
+        assert (Float.equal v 0.);
+        acc
+    | [] -> acc
+  in
+  go 0. f.breaks
+
+let integral_over f frame =
+  if Interval.is_empty frame then 0.
+  else
+    let l = Interval.left frame and r = Interval.right frame in
+    let rec go acc = function
+      | (x, v) :: ((x', _) :: _ as rest) ->
+          let a = Float.max x l and b = Float.min x' r in
+          let acc = if a < b then acc +. (v *. (b -. a)) else acc in
+          go acc rest
+      | _ -> acc
+    in
+    go 0. f.breaks
+
+let max_over f frame =
+  if Interval.is_empty frame then 0.
+  else
+    let l = Interval.left frame and r = Interval.right frame in
+    let rec go acc = function
+      | (x, v) :: ((x', _) :: _ as rest) ->
+          let acc = if x < r && l < x' then Float.max acc v else acc in
+          go acc rest
+      | _ -> acc
+    in
+    go 0. f.breaks
+
+let min_over f frame =
+  if Interval.is_empty frame then 0.
+  else
+    let l = Interval.left frame and r = Interval.right frame in
+    match f.breaks with
+    | [] -> 0.
+    | (x1, _) :: _ ->
+        let last_x =
+          List.fold_left (fun _ (x, _) -> x) x1 f.breaks
+        in
+        (* outside the breakpoint range the function is 0 *)
+        let outside = l < x1 || r > last_x in
+        let rec go acc = function
+          | (x, v) :: ((x', _) :: _ as rest) ->
+              let acc = if x < r && l < x' then Float.min acc v else acc in
+              go acc rest
+          | _ -> acc
+        in
+        let inner = go Float.infinity f.breaks in
+        let inner = if Float.is_finite inner then inner else 0. in
+        if outside then Float.min 0. inner else inner
+
+let support f =
+  let rec go acc = function
+    | (x, v) :: ((x', _) :: _ as rest) ->
+        let acc =
+          if not (Float.equal v 0.) then Interval.make x x' :: acc else acc
+        in
+        go acc rest
+    | _ -> List.rev acc
+  in
+  Interval.union (go [] f.breaks)
+
+let support_length f =
+  support f |> List.fold_left (fun acc i -> acc +. Interval.length i) 0.
+
+let breaks f = f.breaks
+
+let equal ?(eps = 1e-12) f g =
+  let d = sub f g in
+  List.for_all (fun (_, v) -> Float.abs v <= eps) d.breaks
+
+let sum fs = List.fold_left (fun acc f -> acc +. integral f) 0. fs
+
+let pp ppf f =
+  Format.fprintf ppf "@[<h>step{";
+  List.iter (fun (x, v) -> Format.fprintf ppf "%g:%g; " x v) f.breaks;
+  Format.fprintf ppf "}@]"

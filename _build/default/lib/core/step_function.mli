@@ -1,0 +1,73 @@
+(** Piecewise-constant functions of time.
+
+    A step function is zero outside a finite set of breakpoints and constant
+    on each half-open segment [\[x_i, x_{i+1})].  They model the paper's
+    time-varying quantities: the total active size S(t) (Proposition 3), a
+    bin's level over time, the demand chart height of the Dual Coloring
+    algorithm, and the number of open bins of any packing. *)
+
+type t
+
+val zero : t
+
+val of_breaks : (float * float) list -> t
+(** [of_breaks [(x1, v1); (x2, v2); ...]] is the function equal to [v_i] on
+    [\[x_i, x_{i+1})] and to [v_n] on [\[x_n, +inf)] when [v_n = 0.]; the
+    last value must be [0.] so the function has bounded support (raises
+    [Invalid_argument] otherwise, or if breakpoints are not strictly
+    increasing or values not finite).  An empty list is [zero]. *)
+
+val indicator : Interval.t -> float -> t
+(** [indicator i v] is [v] on [i] and [0] elsewhere. *)
+
+val value_at : t -> float -> float
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val scale : float -> t -> t
+
+val sum : t list -> float
+(** Unused-arg-free alias kept for symmetry; [sum fs] integrates each and
+    adds the results: equal to [List.fold_left (fun a f -> a +. integral f) 0. fs]. *)
+
+val map : (float -> float) -> t -> t
+(** [map g f] applies [g] to every segment value ([g 0. = 0.] is required so
+    the result still has bounded support; raises [Invalid_argument] if not). *)
+
+val ceil : t -> t
+(** Pointwise [Float.ceil] with a tolerance: values within [1e-9] below an
+    integer are treated as that integer, guarding against accumulation
+    noise in sums of item sizes (e.g. 0.1 +. 0.2). *)
+
+val max_value : t -> float
+(** Supremum of the function (at least [0.], attained since piecewise
+    constant). *)
+
+val integral : t -> float
+(** Lebesgue integral over the whole line. *)
+
+val integral_over : t -> Interval.t -> float
+
+val max_over : t -> Interval.t -> float
+(** Supremum of the function on a non-empty interval; [0.] on an empty
+    interval or where the interval lies outside the support. *)
+
+val min_over : t -> Interval.t -> float
+(** Infimum of the function on an interval ([0.] contributions from any
+    part outside the support); [0.] on an empty interval. *)
+
+val support : t -> Interval.t list
+(** Canonical disjoint intervals where the function is non-zero. *)
+
+val support_length : t -> float
+(** Measure of the support: the span when the function is an activity
+    profile. *)
+
+val breaks : t -> (float * float) list
+(** The canonical breakpoint representation: strictly increasing
+    breakpoints, consecutive values distinct, last value [0.]. *)
+
+val equal : ?eps:float -> t -> t -> bool
+(** Pointwise equality up to [eps] (default [1e-12]). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/flex/flex_job.ml: Dbp_core Float Format Int Item Printf

@@ -1,0 +1,1 @@
+lib/flex/flex_job.mli: Dbp_core Format Item

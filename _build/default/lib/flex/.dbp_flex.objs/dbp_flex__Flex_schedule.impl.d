@@ -1,0 +1,1 @@
+lib/flex/flex_schedule.ml: Bin_state Dbp_core Dbp_offline Flex_job Float Hashtbl Instance Interval Item List Packing Printf

@@ -1,0 +1,1 @@
+lib/flex/flex_schedule.mli: Dbp_core Flex_job Packing

@@ -1,0 +1,57 @@
+open Dbp_core
+
+type t = {
+  id : int;
+  size : float;
+  length : float;
+  release : float;
+  deadline : float;
+}
+
+let make ~id ~size ~length ~release ~deadline =
+  if not (Float.is_finite size && size > 0. && size <= 1.) then
+    invalid_arg (Printf.sprintf "Flex_job.make: size %g (job %d)" size id);
+  if not (Float.is_finite length && length > 0.) then
+    invalid_arg (Printf.sprintf "Flex_job.make: length %g (job %d)" length id);
+  if not (Float.is_finite release && Float.is_finite deadline) then
+    invalid_arg "Flex_job.make: non-finite time";
+  if deadline -. release < length -. 1e-12 then
+    invalid_arg
+      (Printf.sprintf "Flex_job.make: window [%g, %g] shorter than length %g"
+         release deadline length);
+  { id; size; length; release; deadline }
+
+let id j = j.id
+let size j = j.size
+let length j = j.length
+let release j = j.release
+let deadline j = j.deadline
+let slack j = j.deadline -. j.release -. j.length
+let latest_start j = j.deadline -. j.length
+
+let window_valid_start j start =
+  start >= j.release -. 1e-9 && start <= latest_start j +. 1e-9
+
+let to_item j ~start =
+  if not (window_valid_start j start) then
+    invalid_arg
+      (Printf.sprintf "Flex_job.to_item: start %g outside [%g, %g] (job %d)"
+         start j.release (latest_start j) j.id);
+  Item.make ~id:j.id ~size:j.size ~arrival:start ~departure:(start +. j.length)
+
+let of_item ~slack item =
+  if slack < 0. then invalid_arg "Flex_job.of_item: slack < 0";
+  make ~id:(Item.id item) ~size:(Item.size item)
+    ~length:(Item.duration item) ~release:(Item.arrival item)
+    ~deadline:(Item.departure item +. slack)
+
+let compare_by_id a b = Int.compare a.id b.id
+
+let compare_length_descending a b =
+  match Float.compare b.length a.length with
+  | 0 -> Int.compare a.id b.id
+  | c -> c
+
+let pp ppf j =
+  Format.fprintf ppf "job#%d(s=%g, len=%g, window [%g, %g])" j.id j.size
+    j.length j.release j.deadline

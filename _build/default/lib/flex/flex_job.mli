@@ -1,0 +1,52 @@
+(** Flexible jobs: release times and deadlines (paper Section 6).
+
+    A flexible job needs [length] units of uninterrupted processing that
+    may start anywhere in the window [\[release, deadline - length\]] —
+    the real-time scheduling model of Khandekar et al. (FSTTCS 2010) that
+    the paper names as an extension of Clairvoyant MinUsageTime DBP
+    (which is the special case deadline = release + length, i.e. no
+    slack). *)
+
+open Dbp_core
+
+type t = private {
+  id : int;
+  size : float;
+  length : float;
+  release : float;
+  deadline : float;
+}
+
+val make :
+  id:int -> size:float -> length:float -> release:float -> deadline:float -> t
+(** @raise Invalid_argument if the size is outside (0, 1], the length is
+    not positive, times are not finite, or the window is too short
+    ([deadline - release < length]). *)
+
+val id : t -> int
+val size : t -> float
+val length : t -> float
+val release : t -> float
+val deadline : t -> float
+
+val slack : t -> float
+(** deadline - release - length: how much the start can move. *)
+
+val latest_start : t -> float
+
+val window_valid_start : t -> float -> bool
+(** Whether a start time respects the window. *)
+
+val to_item : t -> start:float -> Item.t
+(** The fixed-interval item this job becomes once a start is chosen.
+    @raise Invalid_argument if [start] is outside the window. *)
+
+val of_item : slack:float -> Item.t -> t
+(** Lift a rigid item into a flexible job with the given extra [slack]
+    appended to its window (slack 0 = rigid). *)
+
+val compare_by_id : t -> t -> int
+
+val compare_length_descending : t -> t -> int
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,133 @@
+open Dbp_core
+
+type assignment = { job : Flex_job.t; start : float; bin : int }
+
+type t = { packing : Packing.t; assignments : assignment list }
+
+let usage t = Packing.total_usage_time t.packing
+
+let check t =
+  List.iter
+    (fun a ->
+      if not (Flex_job.window_valid_start a.job a.start) then
+        invalid_arg
+          (Printf.sprintf "Flex_schedule: job %d starts at %g outside window"
+             (Flex_job.id a.job) a.start))
+    t.assignments
+
+let check_unique_ids jobs =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun j ->
+      if Hashtbl.mem tbl (Flex_job.id j) then
+        invalid_arg
+          (Printf.sprintf "Flex_schedule: duplicate job id %d" (Flex_job.id j))
+      else Hashtbl.add tbl (Flex_job.id j) ())
+    jobs
+
+(* Schedule with a fixed per-job start rule, then pack with DDFF. *)
+let fixed_start start_of jobs =
+  check_unique_ids jobs;
+  let items = List.map (fun j -> Flex_job.to_item j ~start:(start_of j)) jobs in
+  let instance = Instance.of_items items in
+  let packing = Dbp_offline.Ddff.pack instance in
+  let assignments =
+    List.map
+      (fun j ->
+        {
+          job = j;
+          start = start_of j;
+          bin = Packing.bin_of_item packing (Flex_job.id j);
+        })
+      jobs
+  in
+  { packing; assignments }
+
+let asap jobs = fixed_start Flex_job.release jobs
+let alap jobs = fixed_start Flex_job.latest_start jobs
+
+(* Greedy: usage increase of placing [item] into a bin whose busy
+   intervals are [busy] equals the measure the new interval adds to
+   their union. *)
+let usage_increase busy interval =
+  Interval.union (interval :: busy)
+  |> List.fold_left (fun a i -> a +. Interval.length i) 0.
+  |> fun total ->
+  total
+  -. (busy |> List.fold_left (fun a i -> a +. Interval.length i) 0.)
+
+let candidate_starts job bin =
+  let lo = Flex_job.release job and hi = Flex_job.latest_start job in
+  let len = Flex_job.length job in
+  let clamp s = Float.min hi (Float.max lo s) in
+  let from_busy =
+    Bin_state.usage_intervals bin
+    |> List.concat_map (fun i ->
+           [
+             (* align the job's start with a busy interval's start, or
+                its end with a busy interval's end, or butt it up against
+                either endpoint *)
+             clamp (Interval.left i);
+             clamp (Interval.right i);
+             clamp (Interval.left i -. len);
+             clamp (Interval.right i -. len);
+           ])
+  in
+  List.sort_uniq Float.compare (lo :: hi :: from_busy)
+
+let greedy jobs =
+  check_unique_ids jobs;
+  let sorted = List.sort Flex_job.compare_length_descending jobs in
+  let place (bins, assignments) job =
+    let best =
+      List.fold_left
+        (fun best bin ->
+          List.fold_left
+            (fun best start ->
+              let item = Flex_job.to_item job ~start in
+              if not (Bin_state.fits bin item) then best
+              else
+                let incr =
+                  usage_increase (Bin_state.usage_intervals bin)
+                    (Item.interval item)
+                in
+                match best with
+                | Some (_, _, best_incr) when best_incr <= incr +. 1e-12 -> best
+                | _ -> Some (bin, start, incr))
+            best (candidate_starts job bin))
+        None bins
+    in
+    match best with
+    | Some (bin, start, _) ->
+        let item = Flex_job.to_item job ~start in
+        let bins =
+          List.map
+            (fun b ->
+              if Bin_state.index b = Bin_state.index bin then
+                Bin_state.place b item
+              else b)
+            bins
+        in
+        (bins, { job; start; bin = Bin_state.index bin } :: assignments)
+    | None ->
+        let index = List.length bins in
+        let start = Flex_job.release job in
+        let bin =
+          Bin_state.place (Bin_state.empty ~index) (Flex_job.to_item job ~start)
+        in
+        (bins @ [ bin ], { job; start; bin = index } :: assignments)
+  in
+  let bins, assignments = List.fold_left place ([], []) sorted in
+  let items =
+    List.map (fun a -> Flex_job.to_item a.job ~start:a.start) assignments
+  in
+  let packing = Packing.of_bins (Instance.of_items items) bins in
+  { packing; assignments = List.rev assignments }
+
+let names = [ "asap"; "alap"; "greedy" ]
+
+let by_name = function
+  | "asap" -> Some asap
+  | "alap" -> Some alap
+  | "greedy" -> Some greedy
+  | _ -> None

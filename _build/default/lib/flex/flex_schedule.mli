@@ -1,0 +1,43 @@
+(** Schedulers for flexible jobs.
+
+    A scheduler picks a start time within every job's window and a bin
+    for the resulting fixed interval; the objective is still total bin
+    usage time.  The rigid problem is the slack-0 special case, so any
+    scheduler here, fed rigid jobs, must coincide with its fixed-interval
+    counterpart. *)
+
+open Dbp_core
+
+type assignment = { job : Flex_job.t; start : float; bin : int }
+
+type t = {
+  packing : Packing.t;  (** the realised fixed-interval packing *)
+  assignments : assignment list;
+}
+
+val usage : t -> float
+
+val check : t -> unit
+(** @raise Invalid_argument if any start violates its job's window (the
+    capacity and coverage checks are inherited from [Packing]). *)
+
+val asap : Flex_job.t list -> t
+(** Every job starts at its release; pack with duration-descending first
+    fit.  The baseline that ignores flexibility. *)
+
+val alap : Flex_job.t list -> t
+(** Every job starts as late as possible, then DDFF.  Useful as a
+    contrast: lateness alone does not help. *)
+
+val greedy : Flex_job.t list -> t
+(** Length-descending greedy in the spirit of Khandekar et al.'s
+    First-Fit-with-Demands: for each job, among the already-open bins (in
+    index order) and the candidate starts derived from the bin's current
+    busy intervals (start aligned to extend no gap: the job's release,
+    the bin's interval endpoints, and the latest start), choose the
+    placement that increases that bin's span the least; open a fresh bin
+    at the release time only when nothing fits.  No approximation claim;
+    measured in experiment E7. *)
+
+val names : string list
+val by_name : string -> (Flex_job.t list -> t) option

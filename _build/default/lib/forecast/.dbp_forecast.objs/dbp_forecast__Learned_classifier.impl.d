@@ -1,0 +1,1 @@
+lib/forecast/learned_classifier.ml: Dbp_core Dbp_online Float Hashtbl Item List Predictor Printf

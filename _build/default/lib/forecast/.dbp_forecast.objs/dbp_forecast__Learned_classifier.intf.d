@@ -1,0 +1,1 @@
+lib/forecast/learned_classifier.mli: Dbp_core Dbp_online Item

@@ -1,0 +1,1 @@
+lib/forecast/predictor.ml: Dbp_core Float Hashtbl Instance Item List Option

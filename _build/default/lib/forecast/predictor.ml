@@ -1,0 +1,67 @@
+open Dbp_core
+
+(* Welford running statistics per class. *)
+type stats = { mutable n : int; mutable mean : float; mutable m2 : float }
+
+type t = { key : Item.t -> string; table : (string, stats) Hashtbl.t }
+
+let create ~key () = { key; table = Hashtbl.create 16 }
+
+let stats_for t item =
+  let k = t.key item in
+  match Hashtbl.find_opt t.table k with
+  | Some s -> s
+  | None ->
+      let s = { n = 0; mean = 0.; m2 = 0. } in
+      Hashtbl.add t.table k s;
+      s
+
+let observe t item =
+  let s = stats_for t item in
+  let x = Item.duration item in
+  s.n <- s.n + 1;
+  let delta = x -. s.mean in
+  s.mean <- s.mean +. (delta /. float_of_int s.n);
+  s.m2 <- s.m2 +. (delta *. (x -. s.mean))
+
+let observe_all t instance = List.iter (observe t) (Instance.items instance)
+
+let classes t = Hashtbl.length t.table
+
+let lookup t item =
+  match Hashtbl.find_opt t.table (t.key item) with
+  | Some s when s.n > 0 -> Some s
+  | _ -> None
+
+let samples t item =
+  match lookup t item with Some s -> s.n | None -> 0
+
+let predict_duration t item =
+  Option.map (fun s -> s.mean) (lookup t item)
+
+let predict_stddev t item =
+  Option.map
+    (fun s -> if s.n < 2 then 0. else sqrt (s.m2 /. float_of_int (s.n - 1)))
+    (lookup t item)
+
+let estimator ?(fallback = 1.) t item =
+  let duration =
+    match predict_duration t item with Some d -> d | None -> fallback
+  in
+  Item.arrival item +. Float.max 1e-9 duration
+
+let mean_absolute_error t instance =
+  let items = Instance.items instance in
+  match items with
+  | [] -> 0.
+  | _ ->
+      let total =
+        List.fold_left
+          (fun acc item ->
+            let predicted =
+              match predict_duration t item with Some d -> d | None -> 1.
+            in
+            acc +. Float.abs (predicted -. Item.duration item))
+          0. items
+      in
+      total /. float_of_int (List.length items)

@@ -1,0 +1,49 @@
+(** Learned duration prediction.
+
+    The clairvoyant setting assumes departure times are known on arrival;
+    the paper grounds this in cloud gaming (session length predictable
+    per title) and recurring analytics (duration predictable per job
+    template).  This module is that predictor: a running per-class
+    estimate of job duration, trained on completed jobs and queried on
+    arrivals — turning the paper's assumption into a measurable pipeline
+    (experiment F1: train on one day, schedule the next).
+
+    Classes are free-form string keys (e.g. the job's size rendered as a
+    string works as a template proxy for the built-in workloads).
+    Statistics use Welford's algorithm, so mean and variance are stable
+    over long streams. *)
+
+open Dbp_core
+
+type t
+
+val create : key:(Item.t -> string) -> unit -> t
+
+val observe : t -> Item.t -> unit
+(** Record a *completed* job's true duration under its class. *)
+
+val observe_all : t -> Instance.t -> unit
+(** Train on a whole historical instance. *)
+
+val classes : t -> int
+(** Distinct classes seen so far. *)
+
+val samples : t -> Item.t -> int
+(** Completed jobs seen in this item's class. *)
+
+val predict_duration : t -> Item.t -> float option
+(** Mean duration of the item's class; [None] for an unseen class. *)
+
+val predict_stddev : t -> Item.t -> float option
+(** Sample standard deviation of the class (0 with fewer than 2
+    samples). *)
+
+val estimator : ?fallback:float -> t -> Item.t -> float
+(** Departure-time estimator (plugs into the classifiers' [?estimate]):
+    arrival + predicted duration, falling back to [fallback] (default 1.)
+    for unseen classes.  Clamped so the predicted departure is after the
+    arrival. *)
+
+val mean_absolute_error : t -> Instance.t -> float
+(** Mean |predicted - true| duration error over an instance (unseen
+    classes use the fallback 1.). *)

@@ -1,0 +1,1 @@
+lib/migration/migrating_schedule.ml: Array Dbp_core Dbp_opt Float Format Hashtbl Instance Int Interval Item List Option

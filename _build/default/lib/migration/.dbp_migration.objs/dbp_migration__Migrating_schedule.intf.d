@@ -1,0 +1,1 @@
+lib/migration/migrating_schedule.mli: Dbp_core Format Instance Interval

@@ -1,0 +1,184 @@
+open Dbp_core
+
+type segment = {
+  interval : Interval.t;
+  assignment : (int * int) list;
+  bins_used : int;
+}
+
+type t = {
+  instance : Instance.t;
+  segments : segment list;
+  cost : float;
+  exact : bool;
+  migrations : int;
+}
+
+(* Relabel a fresh segment's bins to agree with the previous segment
+   where possible: greedily match each new bin to the previous-segment
+   label sharing the most items with it. *)
+let align_labels ~prev assignment =
+  let groups = Hashtbl.create 8 in
+  List.iter
+    (fun (item, bin) ->
+      Hashtbl.replace groups bin
+        (item :: Option.value ~default:[] (Hashtbl.find_opt groups bin)))
+    assignment;
+  let prev_label item = List.assoc_opt item prev in
+  let new_bins = Hashtbl.fold (fun bin items acc -> (bin, items) :: acc) groups [] in
+  (* score of mapping a new bin to an old label = carried-over items *)
+  let candidates =
+    List.concat_map
+      (fun (bin, items) ->
+        let votes = Hashtbl.create 4 in
+        List.iter
+          (fun item ->
+            match prev_label item with
+            | Some l ->
+                Hashtbl.replace votes l
+                  (1 + Option.value ~default:0 (Hashtbl.find_opt votes l))
+            | None -> ())
+          items;
+        Hashtbl.fold (fun label count acc -> (count, bin, label) :: acc) votes [])
+      new_bins
+    |> List.sort (fun (a, _, _) (b, _, _) -> Int.compare b a)
+  in
+  let bin_to_label = Hashtbl.create 8 in
+  let taken = Hashtbl.create 8 in
+  List.iter
+    (fun (_, bin, label) ->
+      if (not (Hashtbl.mem bin_to_label bin)) && not (Hashtbl.mem taken label)
+      then begin
+        Hashtbl.replace bin_to_label bin label;
+        Hashtbl.replace taken label ()
+      end)
+    candidates;
+  (* unmatched bins get fresh labels *)
+  let next_fresh = ref 0 in
+  let fresh () =
+    while Hashtbl.mem taken !next_fresh do
+      incr next_fresh
+    done;
+    Hashtbl.replace taken !next_fresh ();
+    !next_fresh
+  in
+  List.iter
+    (fun (bin, _) ->
+      if not (Hashtbl.mem bin_to_label bin) then
+        Hashtbl.replace bin_to_label bin (fresh ()))
+    new_bins;
+  List.map (fun (item, bin) -> (item, Hashtbl.find bin_to_label bin)) assignment
+
+let build ?max_nodes instance =
+  let times = Array.of_list (Instance.critical_times instance) in
+  let exact = ref true in
+  let segments = ref [] in
+  let prev = ref [] in
+  for i = 0 to Array.length times - 2 do
+    let l = times.(i) and r = times.(i + 1) in
+    let mid = 0.5 *. (l +. r) in
+    let active = Instance.active_at instance mid in
+    if active <> [] then begin
+      let sizes = List.map Item.size active in
+      let raw_assignment, was_exact =
+        Dbp_opt.Bin_packing_exact.optimal_assignment ?max_nodes sizes
+      in
+      if not was_exact then exact := false;
+      let labelled =
+        List.map2 (fun item bin -> (Item.id item, bin)) active raw_assignment
+        |> align_labels ~prev:!prev
+      in
+      let bins_used =
+        List.map snd labelled |> List.sort_uniq Int.compare |> List.length
+      in
+      segments :=
+        { interval = Interval.make l r; assignment = labelled; bins_used }
+        :: !segments;
+      prev := labelled
+    end
+    else prev := []
+  done;
+  let segments = List.rev !segments in
+  let cost =
+    List.fold_left
+      (fun acc s ->
+        acc +. (float_of_int s.bins_used *. Interval.length s.interval))
+      0. segments
+  in
+  let migrations =
+    let rec count prev = function
+      | [] -> 0
+      | s :: rest ->
+          let here =
+            List.fold_left
+              (fun acc (item, bin) ->
+                match List.assoc_opt item prev with
+                | Some old_bin when old_bin <> bin -> acc + 1
+                | _ -> acc)
+              0 s.assignment
+          in
+          here + count s.assignment rest
+    in
+    count [] segments
+  in
+  { instance; segments; cost; exact = !exact; migrations }
+
+type violation =
+  | Overfull of Interval.t * int * float
+  | Item_missing of Interval.t * int
+  | Cost_mismatch of float * float
+
+let pp_violation ppf = function
+  | Overfull (i, bin, level) ->
+      Format.fprintf ppf "segment %a: bin %d at level %g" Interval.pp i bin level
+  | Item_missing (i, item) ->
+      Format.fprintf ppf "segment %a: active item %d unassigned" Interval.pp i
+        item
+  | Cost_mismatch (a, b) ->
+      Format.fprintf ppf "cost %g but Opt_total %g" a b
+
+let check t =
+  let feasibility =
+    List.concat_map
+      (fun s ->
+        let mid =
+          0.5 *. (Interval.left s.interval +. Interval.right s.interval)
+        in
+        let active = Instance.active_at t.instance mid in
+        let missing =
+          List.filter_map
+            (fun r ->
+              if List.mem_assoc (Item.id r) s.assignment then None
+              else Some (Item_missing (s.interval, Item.id r)))
+            active
+        in
+        let by_bin = Hashtbl.create 8 in
+        List.iter
+          (fun (item, bin) ->
+            let size = Item.size (Instance.find t.instance item) in
+            Hashtbl.replace by_bin bin
+              (size +. Option.value ~default:0. (Hashtbl.find_opt by_bin bin)))
+          s.assignment;
+        let overfull =
+          Hashtbl.fold
+            (fun bin level acc ->
+              if level > 1. +. 1e-9 then Overfull (s.interval, bin, level) :: acc
+              else acc)
+            by_bin []
+        in
+        missing @ overfull)
+      t.segments
+  in
+  let cost_check =
+    let reference = Dbp_opt.Opt_total.compute t.instance in
+    if
+      t.exact && reference.Dbp_opt.Opt_total.exact
+      && Float.abs (t.cost -. reference.Dbp_opt.Opt_total.value) > 1e-6
+    then [ Cost_mismatch (t.cost, reference.Dbp_opt.Opt_total.value) ]
+    else []
+  in
+  feasibility @ cost_check
+
+let migration_rate t =
+  let n = Instance.length t.instance in
+  if n = 0 then 0. else float_of_int t.migrations /. float_of_int n

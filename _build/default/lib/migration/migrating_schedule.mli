@@ -1,0 +1,48 @@
+(** The repacking adversary made concrete.
+
+    The paper's OPT_total (Section 3.2) is defined for an adversary that
+    may repack all active items at any time; its cost is the integral of
+    the per-instant optimal bin count.  This module *constructs* such a
+    schedule: an optimal bin assignment for every inter-event segment
+    (exact bin packing per segment), with bin labels aligned between
+    consecutive segments to keep items in place where possible, and
+    reports how many migrations the adversary actually needs.
+
+    Two uses: it validates {!Dbp_opt.Opt_total} from first principles
+    (same cost, now with an explicit witness schedule), and it prices the
+    paper's no-migration constraint: the gap between this schedule's cost
+    and the best non-migrating packing is the value of migration. *)
+
+open Dbp_core
+
+type segment = {
+  interval : Interval.t;
+  assignment : (int * int) list;  (** (item id, bin label), active items only *)
+  bins_used : int;
+}
+
+type t = {
+  instance : Instance.t;
+  segments : segment list;  (** non-empty segments, in time order *)
+  cost : float;  (** = OPT_total when [exact] *)
+  exact : bool;
+  migrations : int;
+      (** items whose bin label changes between consecutive segments while
+          they remain active *)
+}
+
+val build : ?max_nodes:int -> Instance.t -> t
+
+type violation =
+  | Overfull of Interval.t * int * float  (** segment, bin, level *)
+  | Item_missing of Interval.t * int
+  | Cost_mismatch of float * float  (** computed vs Opt_total *)
+
+val check : t -> violation list
+(** Validates feasibility per segment, coverage of active items, and cost
+    agreement with {!Dbp_opt.Opt_total} (when both are exact). *)
+
+val migration_rate : t -> float
+(** Migrations per item (0 when the instance is empty). *)
+
+val pp_violation : Format.formatter -> violation -> unit

@@ -1,0 +1,1 @@
+lib/multidim/resource.ml: Array Float Format List Printf String

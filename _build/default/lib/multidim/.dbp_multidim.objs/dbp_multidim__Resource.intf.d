@@ -1,0 +1,1 @@
+lib/multidim/resource.mli: Format

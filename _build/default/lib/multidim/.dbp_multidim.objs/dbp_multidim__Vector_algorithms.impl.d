@@ -1,0 +1,1 @@
+lib/multidim/vector_algorithms.ml: Bool Float Hashtbl List Resource String Vector_bin Vector_instance Vector_item Vector_packing

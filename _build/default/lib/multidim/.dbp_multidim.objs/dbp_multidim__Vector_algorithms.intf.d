@@ -1,0 +1,1 @@
+lib/multidim/vector_algorithms.mli: Vector_instance Vector_packing

@@ -1,0 +1,1 @@
+lib/multidim/vector_bin.ml: Array Dbp_core Float Format Fun Interval List Resource Step_function Vector_item

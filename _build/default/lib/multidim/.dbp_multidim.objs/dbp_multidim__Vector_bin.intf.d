@@ -1,0 +1,1 @@
+lib/multidim/vector_bin.mli: Dbp_core Format Interval Resource Vector_item

@@ -1,0 +1,1 @@
+lib/multidim/vector_instance.ml: Dbp_core Float Format Int Interval List Map Printf Resource Step_function Vector_item

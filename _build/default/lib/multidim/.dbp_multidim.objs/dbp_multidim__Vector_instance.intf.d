@@ -1,0 +1,1 @@
+lib/multidim/vector_instance.mli: Dbp_core Format Step_function Vector_item

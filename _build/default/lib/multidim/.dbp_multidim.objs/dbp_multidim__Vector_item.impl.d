@@ -1,0 +1,1 @@
+lib/multidim/vector_item.ml: Dbp_core Float Format Int Interval Printf Resource

@@ -1,0 +1,1 @@
+lib/multidim/vector_item.mli: Dbp_core Format Interval Resource

@@ -1,0 +1,1 @@
+lib/multidim/vector_packing.ml: Format Int List Map Printf Vector_bin Vector_instance Vector_item

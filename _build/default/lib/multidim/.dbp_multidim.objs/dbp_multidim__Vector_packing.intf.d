@@ -1,0 +1,1 @@
+lib/multidim/vector_packing.mli: Format Vector_bin Vector_instance

@@ -1,0 +1,1 @@
+lib/multidim/vector_workload.ml: Array Dbp_core Dbp_workload Float List Resource Vector_instance Vector_item

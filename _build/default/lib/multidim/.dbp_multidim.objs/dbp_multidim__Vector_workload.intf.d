@@ -1,0 +1,1 @@
+lib/multidim/vector_workload.mli: Dbp_core Vector_instance

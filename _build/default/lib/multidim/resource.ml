@@ -1,0 +1,49 @@
+type t = float array
+
+let tolerance = 1e-9
+
+let dims = Array.length
+
+let of_array a =
+  if Array.length a = 0 then invalid_arg "Resource.of_array: empty";
+  Array.iter
+    (fun x ->
+      if not (Float.is_finite x) || x < 0. then
+        invalid_arg (Printf.sprintf "Resource.of_array: component %g" x))
+    a;
+  Array.copy a
+
+let of_list l = of_array (Array.of_list l)
+let to_array = Array.copy
+let get = Array.get
+let zero d = Array.make (max d 1) 0.
+
+let is_valid_demand v =
+  Array.exists (fun x -> x > 0.) v && Array.for_all (fun x -> x <= 1. +. tolerance) v
+
+let check_dims a b =
+  if Array.length a <> Array.length b then
+    invalid_arg "Resource: dimension mismatch"
+
+let add a b =
+  check_dims a b;
+  Array.map2 ( +. ) a b
+
+let sub a b =
+  check_dims a b;
+  Array.map2 ( -. ) a b
+
+let max_component v = Array.fold_left Float.max 0. v
+let sum_components v = Array.fold_left ( +. ) 0. v
+
+let fits_within ~capacity v =
+  Array.for_all (fun x -> x <= capacity +. tolerance) v
+
+let dominant_fit_key level demand = max_component (add level demand)
+
+let equal a b =
+  Array.length a = Array.length b && Array.for_all2 Float.equal a b
+
+let pp ppf v =
+  Format.fprintf ppf "(%s)"
+    (Array.to_list v |> List.map (Printf.sprintf "%g") |> String.concat ", ")

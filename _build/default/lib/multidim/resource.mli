@@ -1,0 +1,50 @@
+(** Resource vectors for multi-dimensional MinUsageTime DBP.
+
+    The paper's Section 6 proposes extending MinUsageTime DBP to multiple
+    resource dimensions (CPU, memory, bandwidth, ...).  A demand is a
+    vector in (0, 1]^d against a unit-capacity bin in every dimension; a
+    set of items fits iff the per-dimension sums all stay within 1.
+
+    Vectors are immutable float arrays; all operations check dimension
+    agreement. *)
+
+type t
+
+val dims : t -> int
+
+val of_array : float array -> t
+(** @raise Invalid_argument if empty, or any component is not finite or
+    is negative. *)
+
+val of_list : float list -> t
+
+val to_array : t -> float array
+(** A fresh copy. *)
+
+val get : t -> int -> float
+
+val zero : int -> t
+(** The origin of the given dimension. *)
+
+val is_valid_demand : t -> bool
+(** All components in (0, 1]... at least one strictly positive and none
+    above 1; a demand of all-zeros is rejected at item creation. *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+(** @raise Invalid_argument on dimension mismatch. *)
+
+val max_component : t -> float
+(** The dominant load: max over dimensions. *)
+
+val sum_components : t -> float
+
+val fits_within : capacity:float -> t -> bool
+(** Every component at most [capacity] (plus the shared tolerance). *)
+
+val dominant_fit_key : t -> t -> float
+(** [dominant_fit_key level demand] is the max component of
+    [level + demand]: the quantity Best Fit variants order bins by. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,152 @@
+(* A compact event-driven engine for the multi-dimensional case.  The
+   one-dimensional engine's invariants are preserved: departures are
+   delivered before arrivals at equal times, bins close when their last
+   item departs and are never reused, and every placement is checked by
+   Vector_bin (which raises on overflow). *)
+
+type live = { mutable bin : Vector_bin.t; mutable active : int }
+
+type event = { time : float; is_arrival : bool; item : Vector_item.t }
+
+let events_of instance =
+  Vector_instance.items instance
+  |> List.concat_map (fun r ->
+         [
+           { time = Vector_item.arrival r; is_arrival = true; item = r };
+           { time = Vector_item.departure r; is_arrival = false; item = r };
+         ])
+  |> List.sort (fun a b ->
+         match Float.compare a.time b.time with
+         | 0 -> (
+             match Bool.compare a.is_arrival b.is_arrival with
+             | 0 -> Vector_item.compare_by_id a.item b.item
+             | c -> c (* false (departure) sorts first *))
+         | c -> c)
+
+(* [choose] picks among the open bins that can take the item at its
+   arrival instant (in opening order); [None] means open a new bin. *)
+let run_online ~choose instance =
+  if Vector_instance.is_empty instance then
+    Vector_packing.of_bins instance []
+  else begin
+    let dims = Vector_instance.dims instance in
+    let bins : live list ref = ref [] (* reverse opening order *) in
+    let home = Hashtbl.create 64 in
+    let handle ev =
+      if not ev.is_arrival then begin
+        let lb = Hashtbl.find home (Vector_item.id ev.item) in
+        lb.active <- lb.active - 1
+      end
+      else begin
+        let open_bins =
+          List.rev !bins
+          |> List.filter (fun lb ->
+                 lb.active > 0 && Vector_bin.fits_at lb.bin ~at:ev.time ev.item)
+        in
+        let target =
+          match choose ~now:ev.time open_bins ev.item with
+          | Some lb -> lb
+          | None ->
+              let lb =
+                {
+                  bin = Vector_bin.empty ~dims ~index:(List.length !bins);
+                  active = 0;
+                }
+              in
+              bins := lb :: !bins;
+              lb
+        in
+        target.bin <- Vector_bin.place target.bin ev.item;
+        target.active <- target.active + 1;
+        Hashtbl.replace home (Vector_item.id ev.item) target
+      end
+    in
+    List.iter handle (events_of instance);
+    Vector_packing.of_bins instance (List.rev_map (fun lb -> lb.bin) !bins)
+  end
+
+let first_fit instance =
+  run_online instance ~choose:(fun ~now:_ fitting _ ->
+      match fitting with [] -> None | lb :: _ -> Some lb)
+
+let best_fit instance =
+  run_online instance ~choose:(fun ~now fitting item ->
+      let load lb =
+        Resource.dominant_fit_key
+          (Vector_bin.level_at lb.bin now)
+          (Vector_item.demand item)
+      in
+      List.fold_left
+        (fun acc lb ->
+          match acc with
+          | None -> Some lb
+          | Some cur -> if load lb > load cur +. 1e-12 then Some lb else acc)
+        None fitting)
+
+(* Category first fit: bins are tagged with the category of the items
+   they hold and first fit runs within each category.  The engine opens
+   a new bin exactly when [choose] returns [None], giving it index equal
+   to the number of bins opened so far, so the tag for a fresh bin can
+   be recorded at decision time. *)
+let categorized ~category instance =
+  let owner : (int, string) Hashtbl.t = Hashtbl.create 32 in
+  let next_index = ref 0 in
+  run_online instance ~choose:(fun ~now:_ fitting item ->
+      let cat = category item in
+      let mine =
+        List.filter
+          (fun lb ->
+            match Hashtbl.find_opt owner (Vector_bin.index lb.bin) with
+            | Some c -> String.equal c cat
+            | None -> false)
+          fitting
+      in
+      match mine with
+      | lb :: _ -> Some lb
+      | [] ->
+          Hashtbl.replace owner !next_index cat;
+          incr next_index;
+          None)
+
+let classify_departure ~rho instance =
+  if rho <= 0. then invalid_arg "Vector_algorithms.classify_departure: rho";
+  categorized instance ~category:(fun item ->
+      let j =
+        int_of_float (Float.ceil ((Vector_item.departure item /. rho) -. 1e-9))
+      in
+      string_of_int (max j 1))
+
+let classify_duration ?(base = 1.) ~alpha instance =
+  if alpha <= 1. then invalid_arg "Vector_algorithms.classify_duration: alpha";
+  if base <= 0. then invalid_arg "Vector_algorithms.classify_duration: base";
+  categorized instance ~category:(fun item ->
+      let x = log (Vector_item.duration item /. base) /. log alpha in
+      string_of_int (int_of_float (Float.floor (x +. 1e-9))))
+
+let ddff instance =
+  if Vector_instance.is_empty instance then
+    Vector_packing.of_bins instance []
+  else begin
+    let dims = Vector_instance.dims instance in
+    let place bins item =
+      let rec go acc = function
+        | [] ->
+            let b =
+              Vector_bin.place
+                (Vector_bin.empty ~dims ~index:(List.length acc))
+                item
+            in
+            List.rev (b :: acc)
+        | b :: rest ->
+            if Vector_bin.fits b item then
+              List.rev_append acc (Vector_bin.place b item :: rest)
+            else go (b :: acc) rest
+      in
+      go [] bins
+    in
+    let sorted =
+      List.sort Vector_item.compare_duration_descending
+        (Vector_instance.items instance)
+    in
+    Vector_packing.of_bins instance (List.fold_left place [] sorted)
+  end

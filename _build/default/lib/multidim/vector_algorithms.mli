@@ -1,0 +1,30 @@
+(** Packing algorithms for multi-dimensional MinUsageTime DBP.
+
+    Straightforward generalisations of the one-dimensional algorithms:
+    admission tests check every dimension, Best Fit orders bins by the
+    dominant (max-dimension) resulting load, and the classification
+    strategies are unchanged (they classify on time, not size).  No
+    approximation guarantee is claimed — the paper leaves the
+    multi-dimensional analysis open; these are the natural candidates an
+    evaluation would start from, and the E6 experiment measures them
+    against the generalised lower bound. *)
+
+val first_fit : Vector_instance.t -> Vector_packing.t
+(** Online first fit in arrival order (bins indexed by opening order;
+    closed bins never reused). *)
+
+val best_fit : Vector_instance.t -> Vector_packing.t
+(** Online; picks the fitting open bin whose dominant load after
+    placement is highest (ties: earliest opened). *)
+
+val classify_departure : rho:float -> Vector_instance.t -> Vector_packing.t
+(** Classify-by-departure-time first fit with grid width [rho].
+    @raise Invalid_argument if [rho <= 0]. *)
+
+val classify_duration :
+  ?base:float -> alpha:float -> Vector_instance.t -> Vector_packing.t
+(** Classify-by-duration first fit.
+    @raise Invalid_argument if [alpha <= 1] or [base <= 0]. *)
+
+val ddff : Vector_instance.t -> Vector_packing.t
+(** Offline duration-descending first fit. *)

@@ -1,0 +1,84 @@
+open Dbp_core
+
+let capacity = 1.
+let tolerance = 1e-9
+
+type t = {
+  index : int;
+  items : Vector_item.t list; (* most recent first *)
+  profiles : Step_function.t array; (* one level profile per dimension *)
+}
+
+let empty ~dims ~index =
+  if dims < 1 then invalid_arg "Vector_bin.empty: dims < 1";
+  { index; items = []; profiles = Array.make dims Step_function.zero }
+
+let index b = b.index
+let dims b = Array.length b.profiles
+let items b = List.rev b.items
+let is_empty b = b.items = []
+
+let level_at b t =
+  Resource.of_array
+    (Array.map (fun p -> Float.max 0. (Step_function.value_at p t)) b.profiles)
+
+let check_dims b item =
+  if Resource.dims (Vector_item.demand item) <> dims b then
+    invalid_arg "Vector_bin: dimension mismatch"
+
+let fits b item =
+  check_dims b item;
+  let frame = Vector_item.interval item in
+  let demand = Vector_item.demand item in
+  Array.for_all
+    (fun i ->
+      Step_function.max_over b.profiles.(i) frame +. Resource.get demand i
+      <= capacity +. tolerance)
+    (Array.init (dims b) Fun.id)
+
+let fits_at b ~at item =
+  check_dims b item;
+  Vector_item.active_at item at
+  &&
+  let demand = Vector_item.demand item in
+  Array.for_all
+    (fun i ->
+      Step_function.value_at b.profiles.(i) at +. Resource.get demand i
+      <= capacity +. tolerance)
+    (Array.init (dims b) Fun.id)
+
+let place b item =
+  if not (fits b item) then
+    invalid_arg
+      (Format.asprintf "Vector_bin.place: %a overflows bin %d" Vector_item.pp
+         item b.index);
+  let demand = Vector_item.demand item in
+  let frame = Vector_item.interval item in
+  {
+    b with
+    items = item :: b.items;
+    profiles =
+      Array.mapi
+        (fun i p ->
+          let d = Resource.get demand i in
+          if d = 0. then p
+          else Step_function.add p (Step_function.indicator frame d))
+        b.profiles;
+  }
+
+let usage_intervals b =
+  List.map Vector_item.interval b.items |> Interval.union
+
+let usage_time b =
+  usage_intervals b |> List.fold_left (fun a i -> a +. Interval.length i) 0.
+
+let active_at b t = List.exists (fun r -> Vector_item.active_at r t) b.items
+
+let max_level b =
+  Array.fold_left (fun acc p -> Float.max acc (Step_function.max_value p)) 0.
+    b.profiles
+
+let pp ppf b =
+  Format.fprintf ppf "@[<v>vbin %d (usage %g):@," b.index (usage_time b);
+  List.iter (fun r -> Format.fprintf ppf "  %a@," Vector_item.pp r) (items b);
+  Format.fprintf ppf "@]"

@@ -1,0 +1,35 @@
+(** A unit-capacity bin in every resource dimension. *)
+
+open Dbp_core
+
+type t
+
+val empty : dims:int -> index:int -> t
+
+val index : t -> int
+val dims : t -> int
+val items : t -> Vector_item.t list
+val is_empty : t -> bool
+
+val level_at : t -> float -> Resource.t
+(** Per-dimension load at an instant. *)
+
+val fits : t -> Vector_item.t -> bool
+(** Whole-interval admission: in every dimension, the level plus the
+    item's demand stays within 1 throughout the item's activity.
+    @raise Invalid_argument on dimension mismatch. *)
+
+val fits_at : t -> at:float -> Vector_item.t -> bool
+
+val place : t -> Vector_item.t -> t
+(** @raise Invalid_argument if it does not fit. *)
+
+val usage_time : t -> float
+val usage_intervals : t -> Interval.t list
+val active_at : t -> float -> bool
+
+val max_level : t -> float
+(** Peak load over all dimensions and times — must never exceed 1 for a
+    feasible bin. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,90 @@
+open Dbp_core
+module Int_map = Map.Make (Int)
+
+type t = { by_id : Vector_item.t Int_map.t; dims : int }
+
+let of_items items =
+  let dims =
+    match items with
+    | [] -> 1
+    | r :: _ -> Resource.dims (Vector_item.demand r)
+  in
+  let by_id =
+    List.fold_left
+      (fun acc r ->
+        if Resource.dims (Vector_item.demand r) <> dims then
+          invalid_arg "Vector_instance.of_items: mixed dimensions";
+        let id = Vector_item.id r in
+        if Int_map.mem id acc then
+          invalid_arg
+            (Printf.sprintf "Vector_instance.of_items: duplicate id %d" id)
+        else Int_map.add id r acc)
+      Int_map.empty items
+  in
+  { by_id; dims }
+
+let items t = Int_map.bindings t.by_id |> List.map snd
+let length t = Int_map.cardinal t.by_id
+let is_empty t = Int_map.is_empty t.by_id
+let dims t = t.dims
+let find t id = Int_map.find id t.by_id
+
+let span t =
+  items t |> List.map Vector_item.interval |> Interval.union_length
+
+let fold_durations f init t =
+  Int_map.fold (fun _ r acc -> f acc (Vector_item.duration r)) t.by_id init
+
+let min_duration t =
+  if is_empty t then invalid_arg "Vector_instance.min_duration: empty";
+  fold_durations Float.min Float.infinity t
+
+let max_duration t =
+  if is_empty t then invalid_arg "Vector_instance.max_duration: empty";
+  fold_durations Float.max Float.neg_infinity t
+
+let mu t = max_duration t /. min_duration t
+
+let demand_profile t ~dim =
+  items t
+  |> List.filter_map (fun r ->
+         let d = Resource.get (Vector_item.demand r) dim in
+         if d > 0. then
+           Some (Step_function.indicator (Vector_item.interval r) d)
+         else None)
+  |> List.fold_left Step_function.add Step_function.zero
+
+let total_demand t =
+  Int_map.fold (fun _ r acc -> acc +. Vector_item.time_space_demand r) t.by_id 0.
+
+let per_dimension_demand t ~dim =
+  Step_function.integral (demand_profile t ~dim)
+
+let arrivals_in_order t = items t |> List.sort Vector_item.compare_arrival
+
+let lower_bound t =
+  if is_empty t then 0.
+  else
+    let dominant =
+      (* pointwise max over dimensions of the demand profiles *)
+      List.init t.dims (fun dim -> demand_profile t ~dim)
+      |> List.fold_left
+           (fun acc p ->
+             (* max(f, g) = f + max(g - f, 0) *)
+             Step_function.add acc
+               (Step_function.map (fun v -> Float.max v 0.)
+                  (Step_function.sub p acc)))
+           Step_function.zero
+    in
+    let ceil_integral = Step_function.integral (Step_function.ceil dominant) in
+    let demand_bound =
+      List.init t.dims (fun dim -> per_dimension_demand t ~dim)
+      |> List.fold_left Float.max 0.
+    in
+    Float.max (span t) (Float.max demand_bound ceil_integral)
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>vector instance (%d items, %d dims):@," (length t)
+    t.dims;
+  List.iter (fun r -> Format.fprintf ppf "  %a@," Vector_item.pp r) (items t);
+  Format.fprintf ppf "@]"

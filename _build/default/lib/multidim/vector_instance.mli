@@ -1,0 +1,45 @@
+(** A multi-dimensional problem instance and its lower bounds. *)
+
+open Dbp_core
+
+type t
+
+val of_items : Vector_item.t list -> t
+(** @raise Invalid_argument on duplicate ids or mixed dimensions. *)
+
+val items : t -> Vector_item.t list
+val length : t -> int
+val is_empty : t -> bool
+val dims : t -> int
+(** 1 on an empty instance. *)
+
+val find : t -> int -> Vector_item.t
+
+val span : t -> float
+val min_duration : t -> float
+val max_duration : t -> float
+val mu : t -> float
+
+val demand_profile : t -> dim:int -> Step_function.t
+(** S_i(t): total demand in one dimension over time. *)
+
+val total_demand : t -> float
+(** Sum over items of dominant-component size times duration.  A packing
+    *quality metric* (how much dominant work exists), NOT a lower bound
+    on usage: items peaking in different dimensions can share a bin, so
+    this sum can exceed the optimum. *)
+
+val per_dimension_demand : t -> dim:int -> float
+(** Integral of S_dim(t): total time-space demand in one dimension.  The
+    optimum is at least this for every dimension (capacity 1 per
+    dimension) — the valid Proposition-1 generalisation. *)
+
+val arrivals_in_order : t -> Vector_item.t list
+
+val lower_bound : t -> float
+(** max(span, max_dim per-dimension demand, integral of
+    ceil(max_dim S_dim(t))): the multi-dimensional analogue of
+    Propositions 1-3 — at any instant the bin count is at least the
+    ceiling of the most loaded dimension. *)
+
+val pp : Format.formatter -> t -> unit

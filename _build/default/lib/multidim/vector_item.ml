@@ -1,0 +1,46 @@
+open Dbp_core
+
+type t = {
+  id : int;
+  demand : Resource.t;
+  arrival : float;
+  departure : float;
+}
+
+let make ~id ~demand ~arrival ~departure =
+  if not (Resource.is_valid_demand demand) then
+    invalid_arg (Printf.sprintf "Vector_item.make: invalid demand (item %d)" id);
+  if not (Float.is_finite arrival && Float.is_finite departure) then
+    invalid_arg "Vector_item.make: non-finite time";
+  if departure <= arrival then
+    invalid_arg
+      (Printf.sprintf "Vector_item.make: departure <= arrival (item %d)" id);
+  { id; demand; arrival; departure }
+
+let id r = r.id
+let demand r = r.demand
+let arrival r = r.arrival
+let departure r = r.departure
+let duration r = r.departure -. r.arrival
+let interval r = Interval.make r.arrival r.departure
+let active_at r t = r.arrival <= t && t < r.departure
+
+let time_space_demand r = Resource.max_component r.demand *. duration r
+
+let compare_by_id a b = Int.compare a.id b.id
+
+let compare_arrival a b =
+  match Float.compare a.arrival b.arrival with
+  | 0 -> Int.compare a.id b.id
+  | c -> c
+
+let compare_duration_descending a b =
+  match Float.compare (duration b) (duration a) with
+  | 0 -> compare_arrival a b
+  | c -> c
+
+let equal a b = a.id = b.id
+
+let pp ppf r =
+  Format.fprintf ppf "vitem#%d(%a, [%g, %g))" r.id Resource.pp r.demand
+    r.arrival r.departure

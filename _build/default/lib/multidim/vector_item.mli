@@ -1,0 +1,36 @@
+(** Items with vector demands (multi-dimensional MinUsageTime DBP). *)
+
+open Dbp_core
+
+type t = private {
+  id : int;
+  demand : Resource.t;
+  arrival : float;
+  departure : float;
+}
+
+val make :
+  id:int -> demand:Resource.t -> arrival:float -> departure:float -> t
+(** @raise Invalid_argument on an invalid demand (zero everywhere or any
+    component above 1), non-finite times, or departure <= arrival. *)
+
+val id : t -> int
+val demand : t -> Resource.t
+val arrival : t -> float
+val departure : t -> float
+val duration : t -> float
+
+val interval : t -> Interval.t
+
+val active_at : t -> float -> bool
+
+val time_space_demand : t -> float
+(** Dominant-component size times duration — the scalarisation used by
+    the lower bounds. *)
+
+val compare_by_id : t -> t -> int
+val compare_arrival : t -> t -> int
+val compare_duration_descending : t -> t -> int
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

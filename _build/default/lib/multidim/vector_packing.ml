@@ -1,0 +1,55 @@
+module Int_map = Map.Make (Int)
+
+type t = {
+  instance : Vector_instance.t;
+  bins : Vector_bin.t list;
+  bin_of_item : int Int_map.t;
+}
+
+let of_bins instance bins =
+  let bins =
+    List.filter (fun b -> not (Vector_bin.is_empty b)) bins
+    |> List.sort (fun a b ->
+           Int.compare (Vector_bin.index a) (Vector_bin.index b))
+  in
+  let seen =
+    List.fold_left
+      (fun acc b ->
+        if Vector_bin.max_level b > 1. +. 1e-9 then
+          invalid_arg
+            (Printf.sprintf "Vector_packing: bin %d exceeds capacity"
+               (Vector_bin.index b));
+        List.fold_left
+          (fun acc r ->
+            let id = Vector_item.id r in
+            if Int_map.mem id acc then
+              invalid_arg
+                (Printf.sprintf "Vector_packing: item %d placed twice" id)
+            else Int_map.add id (Vector_bin.index b) acc)
+          acc (Vector_bin.items b))
+      Int_map.empty bins
+  in
+  if Int_map.cardinal seen <> Vector_instance.length instance then
+    invalid_arg "Vector_packing: item set mismatch";
+  List.iter
+    (fun r ->
+      if not (Int_map.mem (Vector_item.id r) seen) then
+        invalid_arg
+          (Printf.sprintf "Vector_packing: item %d missing" (Vector_item.id r)))
+    (Vector_instance.items instance);
+  { instance; bins; bin_of_item = seen }
+
+let instance p = p.instance
+let bins p = p.bins
+let bin_count p = List.length p.bins
+let bin_of_item p id = Int_map.find id p.bin_of_item
+
+let total_usage_time p =
+  List.fold_left (fun acc b -> acc +. Vector_bin.usage_time b) 0. p.bins
+
+let ratio_to_lower_bound p =
+  let lb = Vector_instance.lower_bound p.instance in
+  if lb <= 0. then 1. else total_usage_time p /. lb
+
+let pp_summary ppf p =
+  Format.fprintf ppf "%d bins, usage %.6g" (bin_count p) (total_usage_time p)

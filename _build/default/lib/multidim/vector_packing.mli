@@ -1,0 +1,18 @@
+(** A validated multi-dimensional packing. *)
+
+type t
+
+val of_bins : Vector_instance.t -> Vector_bin.t list -> t
+(** @raise Invalid_argument unless the bins partition the instance's
+    items and respect the unit capacity in every dimension. *)
+
+val instance : t -> Vector_instance.t
+val bins : t -> Vector_bin.t list
+val bin_count : t -> int
+val bin_of_item : t -> int -> int
+val total_usage_time : t -> float
+
+val ratio_to_lower_bound : t -> float
+(** usage / {!Vector_instance.lower_bound} (1. on an empty instance). *)
+
+val pp_summary : Format.formatter -> t -> unit

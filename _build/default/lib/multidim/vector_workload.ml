@@ -1,0 +1,50 @@
+module Prng = Dbp_workload.Prng
+
+type config = {
+  dims : int;
+  arrival_rate : float;
+  horizon : float;
+  mean_duration : float;
+}
+
+let default = { dims = 3; arrival_rate = 2.; horizon = 100.; mean_duration = 5. }
+
+(* Job profiles: (weight, per-dimension demand scales).  The heavy
+   dimension draws from a larger range. *)
+let profile_demand rng ~dims ~heavy =
+  Array.init dims (fun i ->
+      if i = heavy then Prng.uniform rng ~lo:0.25 ~hi:0.6
+      else Prng.uniform rng ~lo:0.02 ~hi:0.15)
+
+let generate ?(seed = 0) config =
+  if config.dims < 1 then invalid_arg "Vector_workload.generate: dims < 1";
+  if config.arrival_rate <= 0. || config.horizon <= 0. || config.mean_duration <= 0.
+  then invalid_arg "Vector_workload.generate: non-positive parameter";
+  let rng = Prng.create seed in
+  let demand_rng = Prng.split rng in
+  let rec arrive t acc id =
+    let t = t +. Prng.exponential rng ~mean:(1. /. config.arrival_rate) in
+    if t >= config.horizon then List.rev acc
+    else
+      let heavy = Prng.int demand_rng config.dims in
+      let demand =
+        Resource.of_array (profile_demand demand_rng ~dims:config.dims ~heavy)
+      in
+      let duration =
+        Float.max 0.2 (Prng.exponential rng ~mean:config.mean_duration)
+      in
+      let item =
+        Vector_item.make ~id ~demand ~arrival:t ~departure:(t +. duration)
+      in
+      arrive t (item :: acc) (id + 1)
+  in
+  Vector_instance.of_items (arrive 0. [] 0)
+
+let scalar_projection vinst =
+  Vector_instance.items vinst
+  |> List.map (fun r ->
+         Dbp_core.Item.make ~id:(Vector_item.id r)
+           ~size:(Resource.max_component (Vector_item.demand r))
+           ~arrival:(Vector_item.arrival r)
+           ~departure:(Vector_item.departure r))
+  |> Dbp_core.Instance.of_items

@@ -1,0 +1,23 @@
+(** Synthetic multi-resource workloads.
+
+    Jobs demand CPU, memory and bandwidth shares drawn from correlated
+    profiles: a compute-heavy, a memory-heavy and a balanced profile, so
+    the dominant dimension varies across jobs — the regime where
+    multi-dimensional packing differs from packing on a single scalar. *)
+
+type config = {
+  dims : int;  (** number of resource dimensions (default 3) *)
+  arrival_rate : float;
+  horizon : float;
+  mean_duration : float;
+}
+
+val default : config
+
+val generate : ?seed:int -> config -> Vector_instance.t
+
+val scalar_projection : Vector_instance.t -> Dbp_core.Instance.t
+(** The one-dimensional instance whose item sizes are the dominant
+    component of each vector demand — what a single-resource scheduler
+    would see.  Used to compare multidim-aware packing against packing
+    the projection. *)

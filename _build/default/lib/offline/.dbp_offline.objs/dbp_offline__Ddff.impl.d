@@ -1,0 +1,1 @@
+lib/offline/ddff.ml: Dbp_core First_fit_offline Instance Item

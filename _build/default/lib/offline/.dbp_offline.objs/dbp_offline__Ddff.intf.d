@@ -1,0 +1,1 @@
+lib/offline/ddff.mli: Dbp_core Instance Packing

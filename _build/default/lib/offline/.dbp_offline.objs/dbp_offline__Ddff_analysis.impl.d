@@ -1,0 +1,1 @@
+lib/offline/ddff_analysis.ml: Bin_state Dbp_core Float Format Hashtbl Instance Interval Item List Option Packing Step_function

@@ -1,0 +1,1 @@
+lib/offline/ddff_analysis.mli: Dbp_core Format Instance Interval Item Packing

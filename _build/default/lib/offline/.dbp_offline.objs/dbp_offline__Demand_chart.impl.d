@@ -1,0 +1,1 @@
+lib/offline/demand_chart.ml: Array Dbp_core Float Format Hashtbl Instance Int Interval Item List Step_function

@@ -1,0 +1,1 @@
+lib/offline/demand_chart.mli: Dbp_core Format Instance Item Step_function

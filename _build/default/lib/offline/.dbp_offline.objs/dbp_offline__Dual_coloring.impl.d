@@ -1,0 +1,1 @@
+lib/offline/dual_coloring.ml: Bin_state Dbp_core Demand_chart Float Hashtbl Instance Item List Option Packing Step_function

@@ -1,0 +1,1 @@
+lib/offline/first_fit_offline.ml: Bin_state Dbp_core Float Instance Item List Packing Step_function

@@ -1,0 +1,1 @@
+lib/offline/first_fit_offline.mli: Dbp_core Instance Item Packing

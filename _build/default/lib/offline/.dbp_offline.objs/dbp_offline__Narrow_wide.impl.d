@@ -1,0 +1,1 @@
+lib/offline/narrow_wide.ml: Dbp_core Ddff Instance Item List Packing

@@ -1,0 +1,1 @@
+lib/offline/narrow_wide.mli: Dbp_core Instance Packing

@@ -1,0 +1,7 @@
+open Dbp_core
+
+let pack instance =
+  First_fit_offline.pack_sorted Item.compare_duration_descending instance
+
+let usage_upper_bound instance =
+  (4. *. Instance.demand instance) +. Instance.span instance

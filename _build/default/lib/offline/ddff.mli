@@ -1,0 +1,14 @@
+(** Duration Descending First Fit (paper Section 4.1, Theorem 1).
+
+    Sort all items in descending order of duration, then place each with
+    first fit using the clairvoyant whole-interval admission test.  The
+    paper proves an approximation ratio of 5 for Clairvoyant MinUsageTime
+    DBP: total usage < 4 d(R) + span(R) <= 5 OPT_total(R). *)
+
+open Dbp_core
+
+val pack : Instance.t -> Packing.t
+
+val usage_upper_bound : Instance.t -> float
+(** The analysis bound 4 d(R) + span(R) on the usage time of the packing
+    produced by {!pack} — checkable against the measured usage. *)

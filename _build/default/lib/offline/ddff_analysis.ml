@@ -1,0 +1,228 @@
+open Dbp_core
+
+type x_period = { item : Item.t; period : Interval.t }
+
+type witness = { item : Item.t; time : float; blocking : Item.t list }
+
+type bin_report = {
+  index : int;
+  span : float;
+  reduced_items : Item.t list;
+  x_periods : x_period list;
+  witnesses : witness list;
+  d_k : float;
+  d_k_star : float;
+  demand : float;
+  prev_demand : float;
+}
+
+type t = { packing : Packing.t; reports : bin_report list }
+
+(* R'_k: drop any item whose interval is contained in another's (equal
+   intervals keep the lower id). *)
+let reduce items =
+  List.filter
+    (fun r ->
+      not
+        (List.exists
+           (fun other ->
+             (not (Item.equal other r))
+             && Item.contains_duration other r
+             && not
+                  (Item.contains_duration r other
+                  && Item.compare_by_id r other < 0))
+           items))
+    items
+  |> List.sort Item.compare_arrival
+
+(* X-periods: split the union of R'_k intervals at arrivals. *)
+let x_periods_of reduced =
+  let rec go = function
+    | [] -> []
+    | [ last ] -> [ { item = last; period = Item.interval last } ]
+    | r :: (next :: _ as rest) ->
+        let right =
+          Float.min (Item.arrival next) (Item.departure r)
+        in
+        let period = Interval.make (Item.arrival r) (Float.max (Item.arrival r) right) in
+        { item = r; period } :: go rest
+  in
+  go reduced
+
+(* Instrumented DDFF: while packing we snapshot, for every item that ends
+   up in bin k >= 1, a witness time in the previous bin at placement
+   time.  The witness time is any moment where the previous bin's
+   *current* level plus the item's size exceeds capacity; we take the
+   midpoint of a maximal violating segment. *)
+let find_witness_time prev_bin item =
+  let profile = Bin_state.level_profile prev_bin in
+  let frame = Item.interval item in
+  let violates t =
+    Step_function.value_at profile t +. Item.size item
+    > Bin_state.capacity +. Bin_state.tolerance
+  in
+  (* candidate times: segment midpoints of the level profile clipped to
+     the frame *)
+  let breaks = List.map fst (Step_function.breaks profile) in
+  let candidates =
+    Interval.left frame :: List.filter (fun t -> Interval.mem t frame) breaks
+    |> List.sort_uniq Float.compare
+  in
+  let rec scan = function
+    | [] -> None
+    | [ t ] -> if violates t then Some t else None
+    | t :: (t' :: _ as rest) ->
+        let mid = 0.5 *. (t +. t') in
+        if violates mid then Some mid else scan rest
+  in
+  scan candidates
+
+let analyze instance =
+  let sorted =
+    List.sort Item.compare_duration_descending (Instance.items instance)
+  in
+  (* replicate First Fit placement while recording witnesses *)
+  let bins : Bin_state.t list ref = ref [] in
+  let witness_tbl : (int, witness list) Hashtbl.t = Hashtbl.create 16 in
+  let place r =
+    let rec go index prev = function
+      | [] ->
+          let b = Bin_state.place (Bin_state.empty ~index) r in
+          (match prev with
+          | Some prev_bin when index >= 1 -> (
+              match find_witness_time prev_bin r with
+              | Some time ->
+                  let blocking =
+                    Bin_state.items prev_bin
+                    |> List.filter (fun x -> Item.active_at x time)
+                  in
+                  let w = { item = r; time; blocking } in
+                  Hashtbl.replace witness_tbl index
+                    (w :: Option.value ~default:[] (Hashtbl.find_opt witness_tbl index))
+              | None -> ())
+          | _ -> ());
+          [ b ]
+      | b :: rest ->
+          if Bin_state.fits b r then begin
+            (if index >= 1 then
+               let prev_bin = Option.get prev in
+               match find_witness_time prev_bin r with
+               | Some time ->
+                   let blocking =
+                     Bin_state.items prev_bin
+                     |> List.filter (fun x -> Item.active_at x time)
+                   in
+                   let w = { item = r; time; blocking } in
+                   Hashtbl.replace witness_tbl index
+                     (w :: Option.value ~default:[] (Hashtbl.find_opt witness_tbl index))
+               | None -> ());
+            Bin_state.place b r :: rest
+          end
+          else b :: go (index + 1) (Some b) rest
+    in
+    bins := go 0 None !bins
+  in
+  List.iter place sorted;
+  let bins = !bins in
+  let packing = Packing.of_bins instance bins in
+  let bin_items k =
+    match List.nth_opt bins k with
+    | Some b -> Bin_state.items b
+    | None -> []
+  in
+  let demand_of items = List.fold_left (fun a r -> a +. Item.demand r) 0. items in
+  let reports =
+    List.init (List.length bins - 1) (fun i ->
+        let k = i + 1 in
+        let items = bin_items k in
+        let reduced = reduce items in
+        let xps = x_periods_of reduced in
+        let witnesses =
+          Option.value ~default:[] (Hashtbl.find_opt witness_tbl k)
+          |> List.filter (fun w ->
+                 List.exists (fun r -> Item.equal r w.item) reduced)
+        in
+        let x_of item =
+          List.find (fun (xp : x_period) -> Item.equal xp.item item) xps
+        in
+        let d_k =
+          List.fold_left
+            (fun a (xp : x_period) ->
+              a +. (Item.size xp.item *. Interval.length xp.period))
+            0. xps
+        in
+        let d_k_star =
+          List.fold_left
+            (fun a w ->
+              let xp = x_of w.item in
+              a
+              +. List.fold_left
+                   (fun acc blk -> acc +. (Item.size blk *. Interval.length xp.period))
+                   0. w.blocking)
+            0. witnesses
+        in
+        {
+          index = k;
+          span = Interval.union_length (List.map Item.interval items);
+          reduced_items = reduced;
+          x_periods = xps;
+          witnesses;
+          d_k;
+          d_k_star;
+          demand = demand_of items;
+          prev_demand = demand_of (bin_items (k - 1));
+        })
+  in
+  { packing; reports }
+
+type check_failure =
+  | X_periods_cover_span of int * float * float
+  | Missing_witness of int * Item.t
+  | Witness_durations of int * Item.t
+  | Inequality_2 of int * float * float
+  | Lemma_1 of int * float * float
+
+let pp_failure ppf = function
+  | X_periods_cover_span (k, sum, span) ->
+      Format.fprintf ppf "bin %d: X-periods total %g <> span %g" k sum span
+  | Missing_witness (k, r) ->
+      Format.fprintf ppf "bin %d: no witness for %a" k Item.pp r
+  | Witness_durations (k, r) ->
+      Format.fprintf ppf "bin %d: a blocker of %a is shorter than it" k
+        Item.pp r
+  | Inequality_2 (k, lhs, span) ->
+      Format.fprintf ppf "bin %d: d_k + d_k* = %g not > span %g" k lhs span
+  | Lemma_1 (k, star, cap) ->
+      Format.fprintf ppf "bin %d: d_k* = %g > 3 d(prev) = %g" k star cap
+
+let check t =
+  List.concat_map
+    (fun r ->
+      let failures = ref [] in
+      let fail f = failures := f :: !failures in
+      let x_total =
+        List.fold_left
+          (fun a (xp : x_period) -> a +. Interval.length xp.period)
+          0. r.x_periods
+      in
+      if Float.abs (x_total -. r.span) > 1e-6 then
+        fail (X_periods_cover_span (r.index, x_total, r.span));
+      List.iter
+        (fun item ->
+          if not (List.exists (fun w -> Item.equal w.item item) r.witnesses)
+          then fail (Missing_witness (r.index, item)))
+        r.reduced_items;
+      List.iter
+        (fun w ->
+          if
+            List.exists
+              (fun blk -> Item.duration blk < Item.duration w.item -. 1e-9)
+              w.blocking
+          then fail (Witness_durations (r.index, w.item)))
+        r.witnesses;
+      if r.d_k +. r.d_k_star <= r.span -. 1e-6 then
+        fail (Inequality_2 (r.index, r.d_k +. r.d_k_star, r.span));
+      if r.d_k_star > (3. *. r.prev_demand) +. 1e-6 then
+        fail (Lemma_1 (r.index, r.d_k_star, 3. *. r.prev_demand));
+      List.rev !failures)
+    t.reports

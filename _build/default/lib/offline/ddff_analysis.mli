@@ -1,0 +1,60 @@
+(** The analysis machinery of Theorem 1 (paper Section 4.1), executable.
+
+    The proof of the 5-approximation decomposes each DDFF bin's span into
+    X-periods and charges them against witnesses in the previous bin:
+
+    - reduce the items of bin k to R'_k by dropping items whose active
+      interval is contained in another's;
+    - split the span into X-periods at the arrival times of R'_k;
+    - for each item r_i of R'_k (k >= 1) there is a witness time t_i in
+      I(r_i) at which the *previous* bin's level (at placement time) plus
+      s(r_i) exceeds the capacity — that is why r_i was not placed there;
+    - with W(r_i) the items active in bin k-1 at t_i, the quantities
+      d_k = sum s(r_i) l(X(r_i)) and d_k* = sum_{r in W(r_i)} s(r)
+      l(X(r_i)) satisfy d_k + d_k* > span(R_k) (inequality (2)) and
+      d_k* <= 3 d(R_{k-1}) (Lemma 1).
+
+    This module re-runs DDFF with instrumentation, extracts all of the
+    above, and reports each inequality — so the proof's internal steps
+    are machine-checked on every instance the test suite generates. *)
+
+open Dbp_core
+
+type x_period = { item : Item.t; period : Interval.t }
+
+type witness = {
+  item : Item.t;  (** an item of R'_k *)
+  time : float;  (** t_i: a time where it failed to fit in bin k-1 *)
+  blocking : Item.t list;  (** W(r_i): items active in bin k-1 at t_i *)
+}
+
+type bin_report = {
+  index : int;  (** k (0-based; reports start at k = 1) *)
+  span : float;  (** span(R_k) *)
+  reduced_items : Item.t list;  (** R'_k in arrival order *)
+  x_periods : x_period list;
+  witnesses : witness list;
+  d_k : float;
+  d_k_star : float;
+  demand : float;  (** d(R_k) *)
+  prev_demand : float;  (** d(R_{k-1}) *)
+}
+
+type t = {
+  packing : Packing.t;
+  reports : bin_report list;  (** bins 1..m-1 *)
+}
+
+val analyze : Instance.t -> t
+
+type check_failure =
+  | X_periods_cover_span of int * float * float  (** bin, sum, span *)
+  | Missing_witness of int * Item.t
+  | Witness_durations of int * Item.t  (** some blocker shorter than item *)
+  | Inequality_2 of int * float * float  (** d_k + d_k* vs span *)
+  | Lemma_1 of int * float * float  (** d_k* vs 3 d(R_{k-1}) *)
+
+val check : t -> check_failure list
+(** Empty when every step of the Section 4.1 analysis holds. *)
+
+val pp_failure : Format.formatter -> check_failure -> unit

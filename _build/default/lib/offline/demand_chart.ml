@@ -1,0 +1,322 @@
+open Dbp_core
+
+let eps = 1e-9
+
+type placement = { item : Item.t; altitude : float }
+
+(* A coloured rectangle: [time] in the horizontal dimension, altitudes in
+   the half-open range (alt_lo, alt_hi]. *)
+type rect = { time : Interval.t; alt_lo : float; alt_hi : float }
+
+type t = {
+  instance : Instance.t;
+  height : Step_function.t;
+  endpoints : float array; (* sorted distinct item endpoints *)
+  placements : placement list; (* placement order *)
+  red : rect list;
+  blue : rect list;
+}
+
+type segment_class = Red | Blue | Uncolored | Outside
+
+let height_profile t = t.height
+let max_height t = Step_function.max_value t.height
+let placements t = List.rev t.placements
+
+let altitude_of t item =
+  match
+    List.find_opt (fun p -> Item.equal p.item item) t.placements
+  with
+  | Some p -> p.altitude
+  | None -> raise Not_found
+
+let rect_covers_altitude h rect = rect.alt_lo +. eps < h && h <= rect.alt_hi +. eps
+
+(* Elementary segments: consecutive pairs of item endpoints.  All rectangle
+   boundaries are item endpoints, so every segment is uniformly coloured. *)
+let segments endpoints =
+  let n = Array.length endpoints in
+  let rec go i acc =
+    if i + 1 >= n then List.rev acc
+    else go (i + 1) ((endpoints.(i), endpoints.(i + 1)) :: acc)
+  in
+  go 0 []
+
+let classify_segment t ~red_rects h (l, r) =
+  let mid = 0.5 *. (l +. r) in
+  if h > Step_function.value_at t.height mid +. eps then Outside
+  else
+    let covering rects =
+      List.exists
+        (fun rect -> Interval.mem mid rect.time && rect_covers_altitude h rect)
+        rects
+    in
+    if covering red_rects then Red
+    else if covering t.blue then Blue
+    else Uncolored
+
+(* Merge consecutive same-class segments into maximal intervals of each
+   class, dropping [Outside]. *)
+let line_intervals t ~red_rects h =
+  let classified =
+    segments t.endpoints
+    |> List.map (fun seg -> (classify_segment t ~red_rects h seg, seg))
+  in
+  let rec merge acc = function
+    | [] -> List.rev acc
+    | (cls, (l, r)) :: rest -> (
+        match acc with
+        | (cls', iv) :: acc' when cls' = cls && Interval.right iv >= l -. eps ->
+            merge ((cls, Interval.make (Interval.left iv) r) :: acc') rest
+        | _ -> merge ((cls, Interval.make l r) :: acc) rest)
+  in
+  let merged = merge [] classified in
+  let select want =
+    List.filter_map (fun (cls, iv) -> if cls = want then Some iv else None)
+      merged
+  in
+  (select Red, select Blue, select Uncolored)
+
+(* Step 7: an unplaced item is eligible for I_u iff its interval meets I_u,
+   stays inside the demand chart at altitude h over its whole interval
+   (the "placed in the demand chart" requirement that makes Lemma 3 hold),
+   and meets no other uncoloured interval and no red interval at h. *)
+let eligible t h ~others ~red_rects_at_h i_u item =
+  let ir = Item.interval item in
+  Interval.overlaps ir i_u
+  && Step_function.min_over t.height ir >= h -. eps
+  && (not (List.exists (Interval.overlaps ir) others))
+  && not (List.exists (Interval.overlaps ir) red_rects_at_h)
+
+type pick_rule = Smallest_id | Longest_duration | Largest_demand
+
+let pick_order = function
+  | Smallest_id -> Item.compare_by_id
+  | Longest_duration -> Item.compare_duration_descending
+  | Largest_demand ->
+      fun a b ->
+        (match Float.compare (Item.demand b) (Item.demand a) with
+        | 0 -> Item.compare_by_id a b
+        | c -> c)
+
+let find_eligible ~pick t h unplaced ~others ~red_rects_at_h i_u =
+  unplaced
+  |> List.filter (eligible t h ~others ~red_rects_at_h i_u)
+  |> List.sort (pick_order pick)
+  |> function
+  | [] -> None
+  | r :: _ -> Some r
+
+(* Altitude worklist: sorted descending, deduplicated within eps. *)
+module Altitudes = struct
+
+
+  let mem h m = List.exists (fun x -> Float.abs (x -. h) <= eps) m
+
+  let add h m = if mem h m then m else List.sort (fun a b -> Float.compare b a) (h :: m)
+
+  let of_profile profile =
+    List.fold_left
+      (fun m (_, v) -> if v > eps then add v m else m)
+      [] (Step_function.breaks profile)
+end
+
+(* The inner loop of Phase 1 for one altitude h: consume uncoloured
+   intervals, placing items or colouring blue.  Returns the updated chart
+   and altitudes.  [red_at_h] tracks the red intervals at altitude h
+   including ones created by placements made in this very loop. *)
+let examine_altitude ~pick (chart, altitudes) h =
+  let red_rects = chart.red in
+  let red_at_h, _blue_at_h, uncolored = line_intervals chart ~red_rects h in
+  let unplaced =
+    let placed_ids =
+      List.map (fun p -> Item.id p.item) chart.placements
+    in
+    Instance.items chart.instance
+    |> List.filter (fun r -> not (List.mem (Item.id r) placed_ids))
+  in
+  let rec loop chart altitudes unplaced red_at_h = function
+    | [] -> (chart, altitudes)
+    | i_u :: u_rest -> (
+        match
+          find_eligible ~pick chart h unplaced ~others:u_rest
+            ~red_rects_at_h:red_at_h i_u
+        with
+        | Some r ->
+            let ir = Item.interval r in
+            let covered =
+              match Interval.intersect ir i_u with
+              | Some c -> c
+              | None -> assert false
+            in
+            let rect = { time = covered; alt_lo = h -. Item.size r; alt_hi = h } in
+            let chart =
+              {
+                chart with
+                placements = { item = r; altitude = h } :: chart.placements;
+                red = rect :: chart.red;
+              }
+            in
+            let u_rest =
+              let before =
+                if Interval.left i_u +. eps < Interval.left ir then
+                  [ Interval.make (Interval.left i_u) (Interval.left ir) ]
+                else []
+              and after =
+                if Interval.right ir +. eps < Interval.right i_u then
+                  [ Interval.make (Interval.right ir) (Interval.right i_u) ]
+                else []
+              in
+              before @ after @ u_rest
+            in
+            let altitudes =
+              let lower = h -. Item.size r in
+              if lower > eps then Altitudes.add lower altitudes else altitudes
+            in
+            let unplaced =
+              List.filter (fun x -> not (Item.equal x r)) unplaced
+            in
+            loop chart altitudes unplaced (covered :: red_at_h) u_rest
+        | None ->
+            let chart =
+              { chart with blue = { time = i_u; alt_lo = 0.; alt_hi = h } :: chart.blue }
+            in
+            loop chart altitudes unplaced red_at_h u_rest)
+  in
+  loop chart altitudes unplaced red_at_h uncolored
+
+let place_all ?(pick = Smallest_id) instance =
+  let height = Instance.size_profile instance in
+  let endpoints = Array.of_list (Instance.critical_times instance) in
+  let chart =
+    { instance; height; endpoints; placements = []; red = []; blue = [] }
+  in
+  let rec outer chart altitudes =
+    match altitudes with
+    | [] -> chart
+    | h :: rest ->
+        let chart, altitudes = examine_altitude ~pick (chart, rest) h in
+        (* [examine_altitude] may have discovered new (lower) altitudes;
+           they sort below h so taking the head keeps high-to-low order. *)
+        outer chart altitudes
+  in
+  outer chart (Altitudes.of_profile height)
+
+(* ------------------------------------------------------------------ *)
+(* Verification of Lemmas 2-5.                                         *)
+
+type violation =
+  | Not_all_placed of int
+  | Outside_chart of placement
+  | Triple_overlap of placement * placement * placement
+  | Uncolored_area of float
+
+let pp_violation ppf = function
+  | Not_all_placed n -> Format.fprintf ppf "%d items unplaced" n
+  | Outside_chart p ->
+      Format.fprintf ppf "%a placed at altitude %g outside the chart"
+        Item.pp p.item p.altitude
+  | Triple_overlap (a, b, c) ->
+      Format.fprintf ppf "triple overlap of %a, %a, %a" Item.pp a.item
+        Item.pp b.item Item.pp c.item
+  | Uncolored_area a -> Format.fprintf ppf "%g chart area left uncoloured" a
+
+let check_all_placed t =
+  let n = Instance.length t.instance - List.length t.placements in
+  if n > 0 then [ Not_all_placed n ] else []
+
+let check_within_chart t =
+  List.filter_map
+    (fun p ->
+      let ir = Item.interval p.item in
+      let ok_top =
+        segments t.endpoints
+        |> List.for_all (fun (l, r) ->
+               let mid = 0.5 *. (l +. r) in
+               (not (Interval.mem mid ir))
+               || p.altitude <= Step_function.value_at t.height mid +. eps)
+      and ok_bottom = p.altitude -. Item.size p.item >= -.eps in
+      if ok_top && ok_bottom then None else Some (Outside_chart p))
+    t.placements
+
+(* Sweep the altitude ranges of the placements covering one time segment;
+   three simultaneously active ranges of positive common measure form a
+   triple overlap. *)
+let triple_at t (l, r) =
+  let mid = 0.5 *. (l +. r) in
+  let active =
+    List.filter (fun p -> Interval.mem mid (Item.interval p.item)) t.placements
+  in
+  (* Altitude dedup in Phase 1 introduces up to [eps] of jitter between
+     ranges that meet exactly; shrink each range by [eps] at the bottom so
+     touching ranges never read as overlapping. *)
+  let events =
+    List.concat_map
+      (fun p ->
+        [
+          (p.altitude -. Item.size p.item +. eps, 1, p); (p.altitude, -1, p);
+        ])
+      active
+    |> List.sort (fun (a, ka, _) (b, kb, _) ->
+           match Float.compare a b with 0 -> Int.compare ka kb | c -> c)
+  in
+  let rec sweep open_ps = function
+    | [] -> None
+    | (_, 1, p) :: rest ->
+        let open_ps = p :: open_ps in
+        (match open_ps with
+        | a :: b :: c :: _ -> Some (Triple_overlap (a, b, c))
+        | _ -> sweep open_ps rest)
+    | (_, _, p) :: rest ->
+        sweep (List.filter (fun q -> not (q == p)) open_ps) rest
+  in
+  sweep [] events
+
+(* The same triple shows up once per elementary segment it spans; report
+   each distinct item trio once. *)
+let check_triple_overlap t =
+  let seen = Hashtbl.create 8 in
+  segments t.endpoints
+  |> List.filter_map (fun seg ->
+         match triple_at t seg with
+         | Some (Triple_overlap (a, b, c) as v) ->
+             let ids =
+               List.sort Int.compare
+                 [ Item.id a.item; Item.id b.item; Item.id c.item ]
+             in
+             if Hashtbl.mem seen ids then None
+             else begin
+               Hashtbl.add seen ids ();
+               Some v
+             end
+         | other -> other)
+
+(* Uncoloured chart area: per time segment, the measure of (0, H] not
+   covered by the union of red and blue altitude ranges. *)
+let uncovered_measure t (l, r) =
+  let mid = 0.5 *. (l +. r) in
+  let h = Step_function.value_at t.height mid in
+  if h <= eps then 0.
+  else
+    let ranges =
+      List.filter (fun rect -> Interval.mem mid rect.time) (t.red @ t.blue)
+      |> List.map (fun rect ->
+             Interval.make
+               (Float.max 0. rect.alt_lo)
+               (Float.min h (Float.max rect.alt_lo rect.alt_hi)))
+    in
+    Float.max 0. (h -. Interval.union_length ranges)
+
+let check_colored t =
+  let area =
+    segments t.endpoints
+    |> List.fold_left
+         (fun acc (l, r) -> acc +. (uncovered_measure t (l, r) *. (r -. l)))
+         0.
+  in
+  let total = Step_function.integral t.height in
+  if area > (1e-6 *. Float.max total 1.) then [ Uncolored_area area ] else []
+
+let check t =
+  check_all_placed t @ check_within_chart t @ check_triple_overlap t
+  @ check_colored t

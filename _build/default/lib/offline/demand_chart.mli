@@ -1,0 +1,60 @@
+(** The demand chart of the Dual Coloring algorithm (paper Section 4.2).
+
+    The chart's horizontal dimension is time over the span of the small
+    items; its height at time t is the total size of the active small items
+    at t.  Phase 1 places every small item as a rectangle
+    [I(r) x (h - s(r), h]] in the chart, colouring placed area red and
+    abandoned area blue, examining candidate altitudes from high to low.
+
+    This module implements the chart state machine: the coloured-rectangle
+    bookkeeping, the classification of a horizontal line into maximal red /
+    blue / uncoloured intervals, and the placement loop.  The resulting
+    placement satisfies (and {!check} verifies):
+
+    - every item of the instance is placed (Lemma 4);
+    - every rectangle lies within the chart (Lemma 3);
+    - no three rectangles share a common point (Lemma 5);
+    - the whole chart area is coloured (Lemma 2). *)
+
+open Dbp_core
+
+type placement = { item : Item.t; altitude : float }
+(** Item [item] occupies altitudes (altitude - size, altitude] over its
+    active interval. *)
+
+type t
+
+val height_profile : t -> Step_function.t
+(** The chart height H(t): total size of active items at t. *)
+
+val max_height : t -> float
+
+type pick_rule = Smallest_id | Longest_duration | Largest_demand
+(** Which eligible item step 7 places when several qualify.  The paper
+    leaves the choice open ("if such an item r exists"); the lemmas hold
+    for any rule, and {!Dual_coloring} uses {!Smallest_id} for
+    determinism.  Exposed so the choice can be ablated. *)
+
+val place_all : ?pick:pick_rule -> Instance.t -> t
+(** Run Phase 1 on all items of the instance.  Intended for instances of
+    small items (size <= 1/2); the routine itself accepts any sizes, the
+    1/2 restriction is enforced by {!Dual_coloring}.
+    @param pick the step-7 tie-breaking rule (default {!Smallest_id}). *)
+
+val placements : t -> placement list
+(** One placement per instance item, in placement order. *)
+
+val altitude_of : t -> Item.t -> float
+(** @raise Not_found if the item was not placed. *)
+
+type violation =
+  | Not_all_placed of int  (** number of unplaced items *)
+  | Outside_chart of placement
+  | Triple_overlap of placement * placement * placement
+  | Uncolored_area of float  (** measure of chart area left uncoloured *)
+
+val check : t -> violation list
+(** Empirical verification of Lemmas 2–5 on a finished chart; empty list
+    means all hold. *)
+
+val pp_violation : Format.formatter -> violation -> unit

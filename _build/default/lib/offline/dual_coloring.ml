@@ -1,0 +1,109 @@
+open Dbp_core
+
+let small_threshold = 0.5
+let eps = 1e-9
+
+type stripe_assignment = Within of int | Crossing of int
+
+(* An item placed at altitude h spans (h - s, h].  Stripe k (1-based)
+   covers ((k-1)/2, k/2].  The item is within stripe k when
+   (k-1)/2 <= h - s and h <= k/2 for the smallest k with h <= k/2;
+   otherwise it crosses the boundary below that stripe (at most one
+   boundary since s <= 1/2). *)
+let stripe_of ~altitude ~size =
+  let k_top = int_of_float (Float.ceil ((2. *. altitude) -. eps)) in
+  let k_top = max k_top 1 in
+  if altitude -. size >= (float_of_int (k_top - 1) /. 2.) -. eps then
+    Within k_top
+  else Crossing (k_top - 1)
+
+let split instance =
+  let small = Instance.restrict instance (fun r -> Item.size r <= small_threshold)
+  and large = Instance.restrict instance (fun r -> Item.size r > small_threshold) in
+  (small, large)
+
+(* Pack the small items from their Phase-1 chart positions.  Bin indices:
+   stripe k -> k - 1; boundary k -> m + k - 1 where m is the stripe count. *)
+let pack_small ?pick small =
+  if Instance.is_empty small then []
+  else
+    let chart = Demand_chart.place_all ?pick small in
+    let m =
+      int_of_float (Float.ceil ((2. *. Demand_chart.max_height chart) -. eps))
+    in
+    let m = max m 1 in
+    let bin_index p =
+      match
+        stripe_of ~altitude:p.Demand_chart.altitude
+          ~size:(Item.size p.Demand_chart.item)
+      with
+      | Within k -> k - 1
+      | Crossing k -> m + k - 1
+    in
+    let groups = Hashtbl.create 16 in
+    List.iter
+      (fun p ->
+        let idx = bin_index p in
+        let existing = Option.value ~default:[] (Hashtbl.find_opt groups idx) in
+        Hashtbl.replace groups idx (p.Demand_chart.item :: existing))
+      (Demand_chart.placements chart);
+    Hashtbl.fold
+      (fun index items acc ->
+        let bin =
+          List.sort Item.compare_arrival items
+          |> List.fold_left Bin_state.place (Bin_state.empty ~index)
+        in
+        bin :: acc)
+      groups []
+
+(* Large items (> 1/2) never share a bin instant; first fit in arrival
+   order reuses a large bin once its previous occupant departed. *)
+let pack_large ~first_index large =
+  let place bins r =
+    let rec go acc = function
+      | [] ->
+          let index = first_index + List.length acc in
+          List.rev (Bin_state.place (Bin_state.empty ~index) r :: acc)
+      | b :: rest ->
+          if Bin_state.fits b r then
+            List.rev_append acc (Bin_state.place b r :: rest)
+          else go (b :: acc) rest
+    in
+    go [] bins
+  in
+  Instance.arrivals_in_order large |> List.fold_left place []
+
+let pack ?pick instance =
+  let small, large = split instance in
+  let small_bins = pack_small ?pick small in
+  let first_index =
+    1 + List.fold_left (fun acc b -> max acc (Bin_state.index b)) (-1) small_bins
+  in
+  let large_bins = pack_large ~first_index large in
+  Packing.of_bins instance (small_bins @ large_bins)
+
+let usage_upper_bound instance =
+  let small, large = split instance in
+  let small_part =
+    if Instance.is_empty small then 0.
+    else
+      let s_s = Instance.size_profile small in
+      let open_bound =
+        Step_function.map
+          (fun v -> if v <= eps then 0. else (2. *. Float.ceil (v -. eps)) -. 1.)
+          (Step_function.scale 2. s_s)
+      in
+      Step_function.integral open_bound
+  and large_part =
+    if Instance.is_empty large then 0.
+    else
+      let s_l = Instance.size_profile large in
+      Step_function.integral
+        (Step_function.map
+           (fun v -> Float.of_int (int_of_float (v +. eps)))
+           (Step_function.scale 2. s_l))
+  in
+  small_part +. large_part
+
+let theorem_bound instance =
+  4. *. Step_function.integral (Step_function.ceil (Instance.size_profile instance))

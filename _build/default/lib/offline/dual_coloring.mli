@@ -1,0 +1,34 @@
+(** The Dual Coloring algorithm (paper Section 4.2, Theorem 2).
+
+    Items are split into a small group (size <= 1/2) and a large group
+    (size > 1/2), packed separately.  Small items are placed into the
+    demand chart by Phase 1 ({!Demand_chart}); Phase 2 partitions the chart
+    into stripes of height 1/2 and packs each item according to its
+    position: items lying within stripe k go to one bin per stripe, items
+    crossing the boundary between stripes k and k+1 go to one bin per
+    boundary.  Large items are packed with first fit among large-only
+    bins.  The paper proves an approximation ratio of 4. *)
+
+open Dbp_core
+
+val small_threshold : float
+(** 1/2: the size separating the small and large groups. *)
+
+val pack : ?pick:Demand_chart.pick_rule -> Instance.t -> Packing.t
+(** @param pick the Phase-1 step-7 tie-breaking rule (default
+    [Smallest_id]); the approximation guarantee holds for any rule. *)
+
+type stripe_assignment =
+  | Within of int  (** entirely inside stripe k (1-based) *)
+  | Crossing of int  (** crossing the boundary between stripes k and k+1 *)
+
+val stripe_of : altitude:float -> size:float -> stripe_assignment
+(** Phase 2 case analysis for an item placed at [altitude] with [size];
+    exposed for testing. *)
+
+val usage_upper_bound : Instance.t -> float
+(** The analysis bound: integral of (2 ceil(2 S_S(t)) - 1) over the small
+    span plus integral of floor(2 S_L(t)) over the large span. *)
+
+val theorem_bound : Instance.t -> float
+(** 4 * integral of ceil(S(t)) — Theorem 2's bound via Proposition 3. *)

@@ -1,0 +1,70 @@
+open Dbp_core
+
+(* Bins kept in index order; first fit scans from the front. *)
+let place_first_fit bins r =
+  let rec go acc = function
+    | [] ->
+        let b = Bin_state.place (Bin_state.empty ~index:(List.length acc)) r in
+        List.rev (b :: acc)
+    | b :: rest ->
+        if Bin_state.fits b r then List.rev_append acc (Bin_state.place b r :: rest)
+        else go (b :: acc) rest
+  in
+  go [] bins
+
+let pack_sequence instance items =
+  let bins = List.fold_left place_first_fit [] items in
+  Packing.of_bins instance bins
+
+let pack_sorted cmp instance =
+  pack_sequence instance (List.sort cmp (Instance.items instance))
+
+let arrival_order instance = pack_sorted Item.compare_arrival instance
+
+let size_descending instance =
+  let by_size_desc a b =
+    match Float.compare (Item.size b) (Item.size a) with
+    | 0 -> Item.compare_by_id a b
+    | c -> c
+  in
+  pack_sorted by_size_desc instance
+
+let best_fit_duration_descending instance =
+  let peak bin r =
+    Step_function.max_over (Bin_state.level_profile bin) (Item.interval r)
+  in
+  let place bins r =
+    let fitting =
+      List.filter (fun b -> Bin_state.fits b r) bins
+    in
+    match fitting with
+    | [] ->
+        bins @ [ Bin_state.place (Bin_state.empty ~index:(List.length bins)) r ]
+    | first :: rest ->
+        let best =
+          List.fold_left
+            (fun acc b -> if peak b r > peak acc r +. 1e-12 then b else acc)
+            first rest
+        in
+        List.map
+          (fun b ->
+            if Bin_state.index b = Bin_state.index best then Bin_state.place b r
+            else b)
+          bins
+  in
+  let sorted =
+    List.sort Item.compare_duration_descending (Instance.items instance)
+  in
+  Packing.of_bins instance (List.fold_left place [] sorted)
+
+let next_fit_duration_descending instance =
+  let place bins r =
+    match bins with
+    | current :: older when Bin_state.fits current r ->
+        Bin_state.place current r :: older
+    | _ -> Bin_state.place (Bin_state.empty ~index:(List.length bins)) r :: bins
+  in
+  let sorted =
+    List.sort Item.compare_duration_descending (Instance.items instance)
+  in
+  Packing.of_bins instance (List.fold_left place [] sorted)

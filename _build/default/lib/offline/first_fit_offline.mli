@@ -1,0 +1,42 @@
+(** Generic offline First Fit over an arbitrary item order.
+
+    Items are taken one at a time in the given order and placed into the
+    lowest-indexed bin that can hold them throughout their whole active
+    interval (the clairvoyant admission test); a new bin is opened when
+    none fits.  Every sorted-order offline heuristic in this library is
+    this routine composed with a comparator. *)
+
+open Dbp_core
+
+val pack_sequence : Instance.t -> Item.t list -> Packing.t
+(** [pack_sequence inst items] packs the items in list order.
+    @raise Invalid_argument if [items] is not a permutation of the
+    instance's items (detected by {!Packing.of_bins} validation). *)
+
+val pack_sorted : (Item.t -> Item.t -> int) -> Instance.t -> Packing.t
+(** [pack_sorted cmp inst] sorts the instance's items by [cmp] and packs
+    them with first fit. *)
+
+val arrival_order : Instance.t -> Packing.t
+(** First Fit in arrival order.  Close to online First Fit but not
+    identical: as an offline packer it may place an item into a bin whose
+    previous items have all departed (bins never close), whereas the
+    online model closes empty bins for good (paper Section 5).  The two
+    agree while no bin empties; when one does, their decisions can
+    diverge — see the integration tests for a witness instance. *)
+
+val size_descending : Instance.t -> Packing.t
+(** First Fit Decreasing by size (classical bin-packing order), ignoring
+    durations: a deliberately duration-blind baseline. *)
+
+val best_fit_duration_descending : Instance.t -> Packing.t
+(** Duration-descending order, but each item goes to the *fullest* bin
+    that can hold it throughout its interval (fullness = the bin's peak
+    level over the item's interval).  The Best-Fit counterpart of DDFF,
+    for ablating the first-fit rule inside Theorem 1's algorithm. *)
+
+val next_fit_duration_descending : Instance.t -> Packing.t
+(** Duration-descending order with the Next Fit rule (only the most
+    recently opened bin is considered).  A deliberately weak baseline
+    bounding how much of DDFF's quality comes from revisiting old
+    bins. *)

@@ -1,0 +1,25 @@
+open Dbp_core
+
+let threshold = 0.5
+
+let split instance =
+  ( Instance.restrict instance (fun r -> Item.size r <= threshold),
+    Instance.restrict instance (fun r -> Item.size r > threshold) )
+
+let pack_groups instance =
+  let narrow, wide = split instance in
+  (Ddff.pack narrow, Ddff.pack wide)
+
+let pack instance =
+  let narrow_packing, wide_packing = pack_groups instance in
+  let offset = Packing.bin_count narrow_packing in
+  let assignments =
+    List.map
+      (fun r -> (Item.id r, Packing.bin_of_item narrow_packing (Item.id r)))
+      (Instance.items (Packing.instance narrow_packing))
+    @ List.map
+        (fun r ->
+          (Item.id r, offset + Packing.bin_of_item wide_packing (Item.id r)))
+        (Instance.items (Packing.instance wide_packing))
+  in
+  Packing.of_assignment instance assignments

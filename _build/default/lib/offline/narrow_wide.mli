@@ -1,0 +1,21 @@
+(** Narrow/wide split packing (baseline after Khandekar et al. 2010).
+
+    Khandekar et al.'s First_Fit_with_Demands divides jobs into narrow
+    (demand <= 1/2) and wide (demand > 1/2) and packs the groups into
+    separate machines, achieving a 5-approximation for busy-time
+    scheduling of flexible jobs.  The paper contrasts its own Theorem-1
+    algorithm with this split (Section 2: "a 5-approximation algorithm
+    different from [14] (without dividing jobs according to their
+    demands)").  This module is that comparator for fixed intervals:
+    duration-descending first fit run separately on the narrow and the
+    wide group. *)
+
+open Dbp_core
+
+val threshold : float
+(** 1/2. *)
+
+val pack : Instance.t -> Packing.t
+
+val pack_groups : Instance.t -> Packing.t * Packing.t
+(** The (narrow, wide) sub-packings before merging; exposed for tests. *)

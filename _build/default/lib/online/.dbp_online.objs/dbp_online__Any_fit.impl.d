@@ -1,0 +1,1 @@
+lib/online/any_fit.ml: Bin_state Dbp_core Engine Int64 Item List Printf

@@ -1,0 +1,1 @@
+lib/online/any_fit.mli: Dbp_core Engine Item

@@ -1,0 +1,1 @@
+lib/online/category_first_fit.ml: Any_fit Engine Hashtbl List String

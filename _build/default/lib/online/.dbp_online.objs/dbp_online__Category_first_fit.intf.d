@@ -1,0 +1,1 @@
+lib/online/category_first_fit.mli: Dbp_core Engine Item

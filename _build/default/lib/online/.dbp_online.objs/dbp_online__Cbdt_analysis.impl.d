@@ -1,0 +1,1 @@
+lib/online/cbdt_analysis.ml: Bin_state Classify_departure Dbp_core Engine Float Format Instance Int List Packing

@@ -1,0 +1,1 @@
+lib/online/cbdt_analysis.mli: Dbp_core Format Instance Packing

@@ -1,0 +1,1 @@
+lib/online/classify_combined.ml: Category_first_fit Classify_departure Classify_duration Dbp_core Instance Item Option Printf

@@ -1,0 +1,1 @@
+lib/online/classify_combined.mli: Dbp_core Engine Instance Item

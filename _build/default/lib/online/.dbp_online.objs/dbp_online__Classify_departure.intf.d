@@ -1,0 +1,1 @@
+lib/online/classify_departure.mli: Dbp_core Engine Instance Item

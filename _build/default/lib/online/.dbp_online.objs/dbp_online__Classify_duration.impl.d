@@ -1,0 +1,1 @@
+lib/online/classify_duration.ml: Category_first_fit Dbp_core Float Instance Item Option Printf

@@ -1,0 +1,1 @@
+lib/online/departure_aligned.ml: Any_fit Bin_state Dbp_core Engine Float Instance Item List Printf

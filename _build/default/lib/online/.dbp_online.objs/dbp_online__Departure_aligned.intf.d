@@ -1,0 +1,1 @@
+lib/online/departure_aligned.mli: Dbp_core Engine Instance

@@ -1,0 +1,1 @@
+lib/online/engine.ml: Bin_state Dbp_core Event Format Hashtbl Item List Packing

@@ -1,0 +1,1 @@
+lib/online/engine.mli: Bin_state Dbp_core Instance Item Packing

@@ -1,0 +1,1 @@
+lib/online/hybrid_first_fit.ml: Category_first_fit Dbp_core Item Printf

@@ -1,0 +1,1 @@
+lib/online/hybrid_first_fit.mli: Engine

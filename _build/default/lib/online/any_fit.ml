@@ -1,0 +1,121 @@
+open Dbp_core
+
+let fits (view : Engine.bin_view) item =
+  view.level +. Item.size item <= Bin_state.capacity +. Bin_state.tolerance
+
+let choose_fitting better views item =
+  let fitting = List.filter (fun v -> fits v item) views in
+  match fitting with
+  | [] -> Engine.Open_new
+  | first :: rest ->
+      let best =
+        List.fold_left (fun acc v -> if better v acc then v else acc) first rest
+      in
+      Engine.Place best.Engine.index
+
+let first_fit =
+  Engine.stateless "first-fit" (fun ~now:_ ~open_bins item ->
+      choose_fitting (fun _ _ -> false) open_bins item)
+
+let best_fit =
+  Engine.stateless "best-fit" (fun ~now:_ ~open_bins item ->
+      choose_fitting
+        (fun a b -> a.Engine.level > b.Engine.level +. 1e-12)
+        open_bins item)
+
+let worst_fit =
+  Engine.stateless "worst-fit" (fun ~now:_ ~open_bins item ->
+      choose_fitting
+        (fun a b -> a.Engine.level < b.Engine.level -. 1e-12)
+        open_bins item)
+
+(* Tiny self-contained splitmix64 so the online library stays independent
+   of the workload package; good enough for algorithmic coin flips. *)
+module Coin = struct
+  type t = { mutable state : int64 }
+
+  let make seed = { state = Int64.of_int seed }
+
+  let next t =
+    t.state <- Int64.add t.state 0x9E3779B97F4A7C15L;
+    let z = t.state in
+    let z =
+      Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+        0xBF58476D1CE4E5B9L
+    in
+    let z =
+      Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+        0x94D049BB133111EBL
+    in
+    Int64.logxor z (Int64.shift_right_logical z 31)
+
+  let float t =
+    Int64.to_float (Int64.shift_right_logical (next t) 11)
+    *. (1. /. 9007199254740992.)
+
+  let int t n = int_of_float (float t *. float_of_int n)
+end
+
+let random_fit ~seed =
+  {
+    Engine.name = Printf.sprintf "random-fit(seed=%d)" seed;
+    make =
+      (fun () ->
+        let coin = Coin.make seed in
+        let decide ~now:_ ~open_bins item =
+          let fitting = List.filter (fun v -> fits v item) open_bins in
+          match fitting with
+          | [] -> Engine.Open_new
+          | _ ->
+              let pick = Coin.int coin (List.length fitting) in
+              Engine.Place (List.nth fitting pick).Engine.index
+        in
+        {
+          Engine.decide;
+          notify = (fun ~item:_ ~index:_ -> ());
+          departed = Engine.default_departed;
+        });
+  }
+
+let biased_open ~p ~seed =
+  if not (0. <= p && p <= 1.) then invalid_arg "Any_fit.biased_open: p";
+  {
+    Engine.name = Printf.sprintf "biased-open(p=%g)" p;
+    make =
+      (fun () ->
+        let coin = Coin.make seed in
+        let decide ~now:_ ~open_bins item =
+          if Coin.float coin < p then Engine.Open_new
+          else choose_fitting (fun _ _ -> false) open_bins item
+        in
+        {
+          Engine.decide;
+          notify = (fun ~item:_ ~index:_ -> ());
+          departed = Engine.default_departed;
+        });
+  }
+
+(* Next Fit: remember the index of the bin opened most recently by us; if
+   it is still open and fits, use it, otherwise open a new current bin.
+   Bins left behind stay open until their items depart but never receive
+   another item. *)
+let next_fit =
+  {
+    Engine.name = "next-fit";
+    make =
+      (fun () ->
+        let current = ref None in
+        let decide ~now:_ ~open_bins item =
+          let current_view =
+            match !current with
+            | None -> None
+            | Some idx ->
+                List.find_opt (fun v -> v.Engine.index = idx) open_bins
+          in
+          match current_view with
+          | Some v when fits v item -> Engine.Place v.Engine.index
+          | Some _ | None -> Engine.Open_new
+        in
+        let notify ~item:_ ~index = current := Some index in
+        { Engine.decide; notify; departed = Engine.default_departed });
+  }

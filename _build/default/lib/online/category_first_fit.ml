@@ -1,0 +1,21 @@
+
+let make ~name ~category =
+  let make_stepper () =
+    (* Closed bins keep a stale entry; harmless, they never reappear. *)
+    let bin_category : (int, string) Hashtbl.t = Hashtbl.create 32 in
+    let decide ~now:_ ~open_bins item =
+      let cat = category item in
+      let mine =
+        List.filter
+          (fun v ->
+            match Hashtbl.find_opt bin_category v.Engine.index with
+            | Some c -> String.equal c cat
+            | None -> false)
+          open_bins
+      in
+      Any_fit.choose_fitting (fun _ _ -> false) mine item
+    in
+    let notify ~item ~index = Hashtbl.replace bin_category index (category item) in
+    { Engine.decide; notify; departed = Engine.default_departed }
+  in
+  { Engine.name; make = make_stepper }

@@ -1,0 +1,15 @@
+(** Generic category-based First Fit.
+
+    Both of the paper's clairvoyant strategies (Sections 5.2 and 5.3), the
+    combined strategy it leaves as future work, and the size-class Hybrid
+    First Fit baseline share one skeleton: a function assigns each item a
+    category computable at its arrival (from the known departure time,
+    duration or size), and First Fit runs independently within each
+    category — a bin only ever holds items of one category. *)
+
+open Dbp_core
+
+val make : name:string -> category:(Item.t -> string) -> Engine.t
+(** [make ~name ~category] is the online algorithm that places each item
+    with First Fit among the open bins already owning its category, and
+    opens a category-tagged bin otherwise. *)

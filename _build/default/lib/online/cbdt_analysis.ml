@@ -1,0 +1,133 @@
+open Dbp_core
+
+type stage_report = {
+  category : int;
+  t1 : float;
+  t2 : float;
+  t3 : float;
+  t_end : float;
+  bins : int;
+  stage1_max_open : int;
+  stage2_min_avg_level : float option;
+}
+
+type t = { packing : Packing.t; stages : stage_report list }
+
+(* Sample points covering every constant segment of the instance within
+   [lo, hi): all critical times clipped to the window, plus segment
+   midpoints. *)
+let sample_points instance lo hi =
+  if hi <= lo then []
+  else
+    let times =
+      Instance.critical_times instance
+      |> List.filter (fun t -> lo <= t && t < hi)
+      |> fun ts -> lo :: ts |> List.sort_uniq Float.compare
+    in
+    let rec mids = function
+      | a :: (b :: _ as rest) -> a :: (0.5 *. (a +. b)) :: mids rest
+      | [ a ] -> [ a; 0.5 *. (a +. hi) ]
+      | [] -> []
+    in
+    mids times
+
+let analyze ?(origin = 0.) ~rho instance =
+  if rho <= 0. then invalid_arg "Cbdt_analysis.analyze: rho <= 0";
+  if Instance.is_empty instance then
+    invalid_arg "Cbdt_analysis.analyze: empty instance";
+  let packing =
+    Engine.run (Classify_departure.make ~origin ~rho ()) instance
+  in
+  let delta = Instance.min_duration instance in
+  let mu = Instance.mu instance in
+  let category_of_bin bin =
+    match Bin_state.items bin with
+    | [] -> assert false
+    | r :: _ -> Classify_departure.category ~origin ~rho r
+  in
+  let categories =
+    Packing.bins packing
+    |> List.map category_of_bin
+    |> List.sort_uniq Int.compare
+  in
+  let stages =
+    List.map
+      (fun category ->
+        let bins =
+          Packing.bins packing
+          |> List.filter (fun b -> category_of_bin b = category)
+        in
+        let t = origin +. (float_of_int (category - 1) *. rho) in
+        let t_end = t +. rho in
+        let t1 = t -. (mu *. delta) in
+        let t3 = t -. delta in
+        let t2 =
+          let openings =
+            List.map Bin_state.opening_time bins |> List.sort Float.compare
+          in
+          match openings with
+          | _ :: second :: _ when second < t3 -> second
+          | _ -> t3
+        in
+        let open_count at =
+          List.length (List.filter (fun b -> Bin_state.active_at b at) bins)
+        in
+        let stage1_max_open =
+          sample_points instance t1 t2
+          |> List.fold_left (fun acc at -> max acc (open_count at)) 0
+        in
+        let stage2_min_avg_level =
+          sample_points instance t2 t3
+          |> List.filter_map (fun at ->
+                 let open_bins =
+                   List.filter (fun b -> Bin_state.active_at b at) bins
+                 in
+                 match open_bins with
+                 | [] -> None
+                 | _ ->
+                     let total =
+                       List.fold_left
+                         (fun a b -> a +. Bin_state.level_at b at)
+                         0. open_bins
+                     in
+                     Some (total /. float_of_int (List.length open_bins)))
+          |> function
+          | [] -> None
+          | avgs -> Some (List.fold_left Float.min Float.infinity avgs)
+        in
+        {
+          category;
+          t1;
+          t2;
+          t3;
+          t_end;
+          bins = List.length bins;
+          stage1_max_open;
+          stage2_min_avg_level;
+        })
+      categories
+  in
+  { packing; stages }
+
+type check_failure = Stage1_two_bins of int * int | Lemma_6 of int * float
+
+let pp_failure ppf = function
+  | Stage1_two_bins (c, n) ->
+      Format.fprintf ppf "category %d: %d bins open during stage 1" c n
+  | Lemma_6 (c, avg) ->
+      Format.fprintf ppf "category %d: average open-bin level %g <= 1/2" c avg
+
+let check t =
+  List.concat_map
+    (fun s ->
+      let stage1 =
+        if s.stage1_max_open > 1 then
+          [ Stage1_two_bins (s.category, s.stage1_max_open) ]
+        else []
+      and lemma6 =
+        match s.stage2_min_avg_level with
+        | Some avg when avg <= 0.5 -> [ Lemma_6 (s.category, avg) ]
+        | _ -> []
+      in
+      stage1 @ lemma6)
+    t.stages

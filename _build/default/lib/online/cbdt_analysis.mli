@@ -1,0 +1,42 @@
+(** The three-stage analysis of Theorem 4 (paper Section 5.2), executable.
+
+    For each departure-time category with interval (t, t + rho], the proof
+    splits time at t1 = t - mu*Delta (no item of the category is active
+    earlier), t2 = the opening of the category's second bin (or t3 if it
+    never opens by then) and t3 = t - Delta:
+
+    - stage 1 [t1, t2): at most one of the category's bins is open;
+    - stage 2 [t2, t3): Lemma 6 — the average level of the category's
+      open bins exceeds 1/2 at every moment;
+    - stage 3 [t3, t + rho]: right usage bounded by rho + Delta.
+
+    This module runs classify-by-departure-time First Fit and extracts
+    the stage structure per category, with checks for the stage-1 and
+    Lemma-6 invariants. *)
+
+open Dbp_core
+
+type stage_report = {
+  category : int;
+  t1 : float;
+  t2 : float;
+  t3 : float;
+  t_end : float;  (** t + rho *)
+  bins : int;  (** bins the category opened in total *)
+  stage1_max_open : int;
+  stage2_min_avg_level : float option;
+      (** None when stage 2 is empty or never has an open bin *)
+}
+
+type t = { packing : Packing.t; stages : stage_report list }
+
+val analyze : ?origin:float -> rho:float -> Instance.t -> t
+(** @raise Invalid_argument if [rho <= 0] or the instance is empty. *)
+
+type check_failure =
+  | Stage1_two_bins of int * int  (** category, max open bins in stage 1 *)
+  | Lemma_6 of int * float  (** category, violating average level *)
+
+val check : t -> check_failure list
+
+val pp_failure : Format.formatter -> check_failure -> unit

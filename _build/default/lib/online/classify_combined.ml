@@ -1,0 +1,33 @@
+open Dbp_core
+
+let estimated_category ~base ~alpha ~origin ~estimate item =
+  let i = Classify_duration.estimated_category ~base ~alpha ~estimate item in
+  let rho = sqrt alpha *. base *. (alpha ** float_of_int i) in
+  let j = Classify_departure.estimated_category ~origin ~rho ~estimate item in
+  Printf.sprintf "%d:%d" i j
+
+let category ~base ~alpha ~origin item =
+  estimated_category ~base ~alpha ~origin ~estimate:Item.departure item
+
+let make ?(origin = 0.) ?(base = 1.) ?estimate ~alpha () =
+  if alpha <= 1. then invalid_arg "Classify_combined.make: alpha <= 1";
+  if base <= 0. then invalid_arg "Classify_combined.make: base <= 0";
+  let estimate = Option.value ~default:Item.departure estimate in
+  Category_first_fit.make
+    ~name:(Printf.sprintf "combined-ff(alpha=%g)" alpha)
+    ~category:(estimated_category ~base ~alpha ~origin ~estimate)
+
+let tuned ?categories instance =
+  let delta = Instance.min_duration instance in
+  let mu = Instance.mu instance in
+  let n =
+    match categories with
+    | Some n when n >= 1 -> n
+    | Some n -> invalid_arg (Printf.sprintf "Classify_combined.tuned: n = %d" n)
+    | None ->
+        let ratio n = (mu ** (1. /. float_of_int n)) +. float_of_int n +. 3. in
+        let rec climb n = if ratio (n + 1) < ratio n then climb (n + 1) else n in
+        climb 1
+  in
+  let alpha = if mu <= 1. then 2. else mu ** (1. /. float_of_int n) in
+  make ~base:delta ~alpha ()

@@ -1,0 +1,35 @@
+(** Combined duration-then-departure classification.
+
+    The paper's Section 5.4 observes that classify-by-departure-time wins
+    for mu < 4 and classify-by-duration for mu > 4, and suggests (leaving
+    it as future work, Section 6) first classifying by duration to bring
+    the per-category ratio down to alpha, then sub-classifying each
+    duration category by departure time.
+
+    This module implements that combination: duration category i (grid
+    base, alpha) is sub-divided with a departure grid of width
+    rho_i = sqrt(alpha) * base * alpha^i — the Theorem 4 optimum for a
+    category whose duration ratio is alpha and minimum duration is
+    base * alpha^i.  It is evaluated as an ablation (experiment E3); no
+    competitive-ratio claim is made for it beyond the two theorems it
+    composes. *)
+
+open Dbp_core
+
+val category : base:float -> alpha:float -> origin:float -> Item.t -> string
+(** "i:j" where i is the duration category and j the departure interval
+    within the rho_i grid. *)
+
+val make :
+  ?origin:float ->
+  ?base:float ->
+  ?estimate:(Item.t -> float) ->
+  alpha:float ->
+  unit ->
+  Engine.t
+(** @param estimate departure-time estimate used for both classification
+    layers (default the true departure); see {!Classify_departure.make}.
+    @raise Invalid_argument if [alpha <= 1] or [base <= 0]. *)
+
+val tuned : ?categories:int -> Instance.t -> Engine.t
+(** base = Delta and alpha = mu^(1/n) as in {!Classify_duration.tuned}. *)

@@ -1,0 +1,27 @@
+open Dbp_core
+
+let category ~origin ~rho item =
+  let x = (Item.departure item -. origin) /. rho in
+  (* Departure exactly on a grid line belongs to the interval ending
+     there: ceil with a tolerance against float noise. *)
+  let j = int_of_float (Float.ceil (x -. 1e-9)) in
+  max j 1
+
+let estimated_category ~origin ~rho ~estimate item =
+  let x = (estimate item -. origin) /. rho in
+  max (int_of_float (Float.ceil (x -. 1e-9))) 1
+
+let make ?(origin = 0.) ?estimate ~rho () =
+  if rho <= 0. then invalid_arg "Classify_departure.make: rho <= 0";
+  let estimate = Option.value ~default:Item.departure estimate in
+  Category_first_fit.make
+    ~name:(Printf.sprintf "cbdt-ff(rho=%g)" rho)
+    ~category:(fun item ->
+      string_of_int (estimated_category ~origin ~rho ~estimate item))
+
+let optimal_rho ~delta ~mu = sqrt mu *. delta
+
+let tuned instance =
+  let delta = Instance.min_duration instance in
+  let mu = Instance.mu instance in
+  make ~rho:(optimal_rho ~delta ~mu) ()

@@ -1,0 +1,39 @@
+(** The classify-by-departure-time strategy (paper Section 5.2, Theorem 4).
+
+    Time is split into intervals of length [rho]; items departing in the
+    same interval ((j-1) rho, j rho] form one category, and First Fit packs
+    each category separately, so the items of a bin all depart within rho
+    of each other and the bin closes promptly.
+
+    Competitive ratio: rho/Delta + mu Delta/rho + 3 where Delta is the
+    minimum item duration.  With Delta and mu known, rho = sqrt(mu) Delta
+    attains 2 sqrt(mu) + 3. *)
+
+open Dbp_core
+
+val category : origin:float -> rho:float -> Item.t -> int
+(** The 1-based index j of the departure interval
+    (origin + (j-1) rho, origin + j rho] containing the item's departure. *)
+
+val estimated_category :
+  origin:float -> rho:float -> estimate:(Item.t -> float) -> Item.t -> int
+(** {!category} computed from an estimated departure time. *)
+
+val make :
+  ?origin:float -> ?estimate:(Item.t -> float) -> rho:float -> unit -> Engine.t
+(** @param origin the time the interval grid is anchored at (default 0.,
+    matching the paper's convention that the first item arrives at 0).
+    @param estimate the departure-time estimate used for classification
+    (default the true departure — perfect clairvoyance).  Items still
+    *depart* at their true times; only the category assignment uses the
+    estimate.  This models the paper's Section 6 question of how
+    inaccurate duration estimates affect competitiveness.
+    @raise Invalid_argument if [rho <= 0]. *)
+
+val optimal_rho : delta:float -> mu:float -> float
+(** sqrt(mu) * delta, the minimiser of the Theorem 4 bound. *)
+
+val tuned : Instance.t -> Engine.t
+(** The algorithm with rho set from the instance's own Delta and mu — the
+    "durations known" setting of Theorem 4 (still an online algorithm; it
+    just reads the two scalars offline, as the theorem permits). *)

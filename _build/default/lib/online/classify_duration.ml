@@ -1,0 +1,46 @@
+open Dbp_core
+
+let category ~base ~alpha item =
+  let d = Item.duration item in
+  let x = log (d /. base) /. log alpha in
+  int_of_float (Float.floor (x +. 1e-9))
+
+let estimated_category ~base ~alpha ~estimate item =
+  (* guard: a botched estimate could put the departure before the
+     arrival; clamp the duration to a tiny positive value *)
+  let d = Float.max 1e-9 (estimate item -. Item.arrival item) in
+  let x = log (d /. base) /. log alpha in
+  int_of_float (Float.floor (x +. 1e-9))
+
+let make ?(base = 1.) ?estimate ~alpha () =
+  if alpha <= 1. then invalid_arg "Classify_duration.make: alpha <= 1";
+  if base <= 0. then invalid_arg "Classify_duration.make: base <= 0";
+  let estimate = Option.value ~default:Item.departure estimate in
+  Category_first_fit.make
+    ~name:(Printf.sprintf "cbd-ff(alpha=%g)" alpha)
+    ~category:(fun item ->
+      string_of_int (estimated_category ~base ~alpha ~estimate item))
+
+let alpha_for_categories ~mu ~n =
+  if n < 1 then invalid_arg "Classify_duration.alpha_for_categories: n < 1";
+  mu ** (1. /. float_of_int n)
+
+(* mu^(1/n) + n + 3 is unimodal in n; scan up from 1 until it rises. *)
+let best_category_count mu =
+  let ratio n = (mu ** (1. /. float_of_int n)) +. float_of_int n +. 3. in
+  let rec climb n =
+    if ratio (n + 1) < ratio n then climb (n + 1) else n
+  in
+  climb 1
+
+let tuned ?categories instance =
+  let delta = Instance.min_duration instance in
+  let mu = Instance.mu instance in
+  let n =
+    match categories with
+    | Some n when n >= 1 -> n
+    | Some n -> invalid_arg (Printf.sprintf "Classify_duration.tuned: n = %d" n)
+    | None -> best_category_count mu
+  in
+  let alpha = if mu <= 1. then 2. else alpha_for_categories ~mu ~n in
+  make ~base:delta ~alpha ()

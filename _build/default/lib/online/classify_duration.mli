@@ -1,0 +1,43 @@
+(** The classify-by-duration strategy (paper Section 5.3, Theorem 5).
+
+    Items are classified so that the max/min duration ratio within each
+    category is at most [alpha]: given a base duration [base], category i
+    holds durations in [base * alpha^i, base * alpha^(i+1)).  First Fit
+    packs each category separately; by the (mu+4)-competitiveness of First
+    Fit (Tang et al. 2016) each category costs at most
+    (alpha + 3) d(R_i) + span(R_i), giving alpha + ceil(log_alpha mu) + 4
+    overall.
+
+    With Delta and mu known, setting base = Delta and alpha = mu^(1/n)
+    yields exactly n categories and ratio mu^(1/n) + n + 3, minimised over
+    n >= 1 numerically. *)
+
+open Dbp_core
+
+val category : base:float -> alpha:float -> Item.t -> int
+(** The integer i with duration in [base * alpha^i, base * alpha^(i+1)),
+    up to a relative tolerance so durations on a boundary go to the
+    category whose lower edge they sit on. *)
+
+val estimated_category :
+  base:float -> alpha:float -> estimate:(Item.t -> float) -> Item.t -> int
+(** {!category} computed from an estimated departure time (duration
+    clamped positive when the estimate precedes the arrival). *)
+
+val make :
+  ?base:float -> ?estimate:(Item.t -> float) -> alpha:float -> unit -> Engine.t
+(** @param base the base duration b anchoring the geometric grid
+    (default 1.).
+    @param estimate the departure-time estimate used to compute the
+    duration for classification (default the true departure); see
+    {!Classify_departure.make}.
+    @raise Invalid_argument if [alpha <= 1] or [base <= 0]. *)
+
+val alpha_for_categories : mu:float -> n:int -> float
+(** mu^(1/n): the ratio making exactly n categories cover [Delta, mu
+    Delta]. *)
+
+val tuned : ?categories:int -> Instance.t -> Engine.t
+(** The "durations known" setting of Theorem 5: base = Delta and alpha =
+    mu^(1/n) with [n] either given or chosen to minimise
+    mu^(1/n) + n + 3. *)

@@ -1,0 +1,41 @@
+open Dbp_core
+
+(* The bin's "departure" is the latest departure among its items placed
+   so far (future items may extend it; that is inherent to online).  The
+   engine's views carry the full bin state, so this is read directly. *)
+let bin_departure view =
+  Bin_state.items view.Engine.state
+  |> List.fold_left (fun acc r -> Float.max acc (Item.departure r)) neg_infinity
+
+let make ?(window = 5.) () =
+  if window < 0. then invalid_arg "Departure_aligned.make: window < 0";
+  Engine.stateless
+    (Printf.sprintf "aligned-ff(w=%g)" window)
+    (fun ~now:_ ~open_bins item ->
+      let candidates =
+        List.filter_map
+          (fun v ->
+            if Any_fit.fits v item then begin
+              let mismatch =
+                Float.abs (bin_departure v -. Item.departure item)
+              in
+              if mismatch <= window then Some (mismatch, v) else None
+            end
+            else None)
+          open_bins
+      in
+      match candidates with
+      | [] -> Engine.Open_new
+      | first :: rest ->
+          let _, best =
+            List.fold_left
+              (fun ((best_d, _) as acc) ((d, _) as c) ->
+                if d < best_d -. 1e-12 then c else acc)
+              first rest
+          in
+          Engine.Place best.Engine.index)
+
+let tuned instance =
+  let delta = Instance.min_duration instance in
+  let mu = Instance.mu instance in
+  make ~window:(sqrt mu *. delta) ()

@@ -1,0 +1,27 @@
+(** Soft departure alignment: classification without category walls.
+
+    The classify-by-departure-time strategy quantises departures into a
+    rho-grid, which buys its proof but costs fragmentation: items landing
+    just across a grid line cannot share a bin.  This algorithm keeps the
+    *idea* — a bin's items should depart together — but drops the grid:
+    an arriving item is placed into the fitting open bin whose current
+    latest departure is closest to the item's own departure, provided the
+    mismatch is within [window]; otherwise a new bin opens.
+
+    With [window = infinity] every fitting bin qualifies and the
+    algorithm degenerates to closest-departure Best Fit; with
+    [window = 0] it opens a bin per distinct departure time.  No
+    competitive-ratio claim is made — this is the repository's extension,
+    evaluated empirically (it dismantles the duration-mixing trap like
+    the paper's classifiers while avoiding most of their fragmentation on
+    benign workloads; see experiment E9). *)
+
+open Dbp_core
+
+val make : ?window:float -> unit -> Engine.t
+(** @param window largest tolerated |bin latest departure - item
+    departure| (default 5.).
+    @raise Invalid_argument if [window < 0]. *)
+
+val tuned : Instance.t -> Engine.t
+(** window = sqrt(mu) * Delta, mirroring Theorem 4's optimal rho. *)

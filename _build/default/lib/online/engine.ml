@@ -1,0 +1,120 @@
+open Dbp_core
+
+type bin_view = {
+  index : int;
+  opened_at : float;
+  level : float;
+  state : Bin_state.t;
+}
+
+type decision = Place of int | Open_new
+
+type stepper = {
+  decide : now:float -> open_bins:bin_view list -> Item.t -> decision;
+  notify : item:Item.t -> index:int -> unit;
+  departed : Item.t -> unit;
+}
+
+type t = { name : string; make : unit -> stepper }
+
+exception Invalid_decision of string
+
+let default_departed (_ : Item.t) = ()
+
+let stateless name decide =
+  {
+    name;
+    make =
+      (fun () ->
+        {
+          decide;
+          notify = (fun ~item:_ ~index:_ -> ());
+          departed = default_departed;
+        });
+  }
+
+(* Engine-side bin record.  [active] counts items currently active and
+   [level] tracks their total size, so openness checks and level reads
+   are O(1) instead of probing the level profile.  [level] is reset to 0
+   whenever the bin empties, so float drift cannot accumulate across
+   open/close cycles. *)
+type live_bin = {
+  idx : int;
+  opened : float;
+  mutable bin : Bin_state.t;
+  mutable active : int;
+  mutable level : float;
+}
+
+let invalid fmt = Format.kasprintf (fun s -> raise (Invalid_decision s)) fmt
+
+let run algo instance =
+  let stepper = algo.make () in
+  let bins : live_bin list ref = ref [] (* reverse opening order *) in
+  let home = Hashtbl.create 64 (* item id -> live_bin *) in
+  let views _now =
+    List.rev !bins
+    |> List.filter_map (fun lb ->
+           if lb.active > 0 then
+             Some
+               {
+                 index = lb.idx;
+                 opened_at = lb.opened;
+                 level = lb.level;
+                 state = lb.bin;
+               }
+           else None)
+  in
+  let place lb item =
+    let now = Item.arrival item in
+    if not (Bin_state.fits_at lb.bin ~at:now item) then
+      invalid "%s: %s overflows bin %d at %g" algo.name (Item.to_string item)
+        lb.idx now;
+    lb.bin <- Bin_state.place lb.bin item;
+    lb.active <- lb.active + 1;
+    lb.level <- lb.level +. Item.size item;
+    Hashtbl.replace home (Item.id item) lb;
+    stepper.notify ~item ~index:lb.idx
+  in
+  let handle event =
+    match event.Event.kind with
+    | Event.Departure ->
+        let lb =
+          try Hashtbl.find home (Item.id event.Event.item)
+          with Not_found ->
+            invalid "%s: departure of unplaced item %d" algo.name
+              (Item.id event.Event.item)
+        in
+        lb.active <- lb.active - 1;
+        lb.level <-
+          (if lb.active = 0 then 0.
+           else lb.level -. Item.size event.Event.item);
+        stepper.departed event.Event.item
+    | Event.Arrival -> (
+        let now = event.Event.time in
+        let item = event.Event.item in
+        match stepper.decide ~now ~open_bins:(views now) item with
+        | Open_new ->
+            let lb =
+              {
+                idx = List.length !bins;
+                opened = now;
+                bin = Bin_state.empty ~index:(List.length !bins);
+                active = 0;
+                level = 0.;
+              }
+            in
+            bins := lb :: !bins;
+            place lb item
+        | Place idx -> (
+            match List.find_opt (fun lb -> lb.idx = idx) !bins with
+            | None -> invalid "%s: unknown bin %d" algo.name idx
+            | Some lb ->
+                if lb.active = 0 then
+                  invalid "%s: bin %d is closed at %g" algo.name idx now;
+                place lb item))
+  in
+  List.iter handle (Event.of_instance instance);
+  Packing.of_bins instance (List.rev_map (fun lb -> lb.bin) !bins)
+
+let usage_time algo instance = Packing.total_usage_time (run algo instance)

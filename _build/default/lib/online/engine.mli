@@ -1,0 +1,58 @@
+(** The online packing engine.
+
+    Events of an instance are delivered in time order (departures before
+    arrivals at equal times, see {!Dbp_core.Event}); on each arrival the
+    algorithm under test must irrevocably place the item into one of the
+    currently open bins or open a new one.  A bin is *open* from the moment
+    it receives its first item until all its items have departed, after
+    which it is closed for good and never receives again (paper
+    Section 5).
+
+    The engine owns the bins, exposes read-only views to the algorithm,
+    and validates every decision: placing into a closed bin, an unknown
+    bin, or over capacity raises {!Invalid_decision} — an algorithm bug,
+    never a property of the input. *)
+
+open Dbp_core
+
+type bin_view = {
+  index : int;  (** opening order, 0-based *)
+  opened_at : float;
+  level : float;  (** total size of active items at the current instant *)
+  state : Bin_state.t;
+}
+
+type decision = Place of int  (** bin index *) | Open_new
+
+type stepper = {
+  decide : now:float -> open_bins:bin_view list -> Item.t -> decision;
+      (** [open_bins] are in opening order (index order). *)
+  notify : item:Item.t -> index:int -> unit;
+      (** Called after every successful placement with the final bin index
+          (freshly opened or existing), letting stateful algorithms track
+          bin ownership, e.g. which category a bin belongs to. *)
+  departed : Item.t -> unit;
+      (** Called on every departure event (after the bin bookkeeping).
+          Lets learning algorithms observe completed jobs — e.g. the
+          online-trained duration predictor.  Default: ignore. *)
+}
+
+val default_departed : Item.t -> unit
+(** The no-op departure hook, for steppers built by hand. *)
+
+type t = { name : string; make : unit -> stepper }
+(** An online algorithm: a name for reports and a factory producing a
+    fresh, independent stepper per run. *)
+
+exception Invalid_decision of string
+
+val stateless :
+  string -> (now:float -> open_bins:bin_view list -> Item.t -> decision) -> t
+(** An algorithm with no cross-arrival state beyond what the views carry. *)
+
+val run : t -> Instance.t -> Packing.t
+(** Feed the instance's event stream through a fresh stepper.
+    @raise Invalid_decision on an illegal placement. *)
+
+val usage_time : t -> Instance.t -> float
+(** [total_usage_time (run t inst)]. *)

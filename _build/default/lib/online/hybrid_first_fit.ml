@@ -1,0 +1,14 @@
+open Dbp_core
+
+let size_class ~classes s =
+  let j = int_of_float ((1. /. s) +. 1e-9) in
+  (* size in (1/(j+1), 1/j]; everything at most 1/classes collapses into
+     the last class. *)
+  min classes (max j 1)
+
+let make ?(classes = 4) () =
+  if classes < 1 then invalid_arg "Hybrid_first_fit.make: classes < 1";
+  Category_first_fit.make
+    ~name:(Printf.sprintf "hybrid-ff(%d)" classes)
+    ~category:(fun item ->
+      string_of_int (size_class ~classes (Item.size item)))

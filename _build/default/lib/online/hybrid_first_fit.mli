@@ -1,0 +1,19 @@
+(** Size-class Hybrid First Fit (non-clairvoyant baseline).
+
+    Li et al. (SPAA 2014 / TPDS 2016) improve on plain First Fit for
+    Non-Clairvoyant MinUsageTime DBP with a Hybrid First Fit that
+    classifies items by *size* and packs each class separately, achieving
+    8/7 mu + 55/7 without knowing mu.  We implement the harmonic variant:
+    class j holds sizes in (1/(j+1), 1/j] for j < k and class k holds
+    sizes in (0, 1/k], packing each class with First Fit.  It is the
+    size-classification counterpart against which the paper's
+    time-classification strategies are compared. *)
+
+
+val size_class : classes:int -> float -> int
+(** [size_class ~classes s] is the harmonic class of size [s] in
+    [1..classes]. *)
+
+val make : ?classes:int -> unit -> Engine.t
+(** @param classes number of harmonic classes (default 4).
+    @raise Invalid_argument if [classes < 1]. *)

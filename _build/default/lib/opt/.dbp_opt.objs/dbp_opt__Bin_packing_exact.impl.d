@@ -1,0 +1,1 @@
+lib/opt/bin_packing_exact.ml: Array Float List Printf

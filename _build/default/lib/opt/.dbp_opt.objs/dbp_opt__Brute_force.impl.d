@@ -1,0 +1,1 @@
+lib/opt/brute_force.ml: Array Bin_state Dbp_core Float Instance List Packing Printf

@@ -1,0 +1,1 @@
+lib/opt/brute_force.mli: Dbp_core Instance Packing

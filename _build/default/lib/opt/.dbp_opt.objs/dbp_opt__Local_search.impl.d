@@ -1,0 +1,1 @@
+lib/opt/local_search.ml: Array Bin_state Dbp_core Dbp_offline Float Hashtbl Instance Item List Packing Step_function

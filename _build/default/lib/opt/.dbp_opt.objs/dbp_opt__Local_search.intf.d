@@ -1,0 +1,1 @@
+lib/opt/local_search.mli: Dbp_core Instance Packing

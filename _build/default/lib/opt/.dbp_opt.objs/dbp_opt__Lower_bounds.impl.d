@@ -1,0 +1,1 @@
+lib/opt/lower_bounds.ml: Dbp_core Float Instance Step_function

@@ -1,0 +1,1 @@
+lib/opt/lower_bounds.mli: Dbp_core Instance

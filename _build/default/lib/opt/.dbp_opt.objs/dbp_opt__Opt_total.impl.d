@@ -1,0 +1,1 @@
+lib/opt/opt_total.ml: Array Bin_packing_exact Dbp_core Float Hashtbl Instance Item List Printf Step_function String

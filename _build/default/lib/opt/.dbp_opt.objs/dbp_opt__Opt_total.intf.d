@@ -1,0 +1,1 @@
+lib/opt/opt_total.mli: Dbp_core Instance Step_function

@@ -1,0 +1,170 @@
+let capacity = 1.
+let tolerance = 1e-9
+
+let check_sizes sizes =
+  List.iter
+    (fun s ->
+      if not (Float.is_finite s && s > 0. && s <= capacity +. tolerance) then
+        invalid_arg (Printf.sprintf "Bin_packing_exact: size %g" s))
+    sizes
+
+let sort_descending sizes = List.sort (fun a b -> Float.compare b a) sizes
+
+let ffd_count sizes =
+  check_sizes sizes;
+  let place levels s =
+    let rec go acc = function
+      | [] -> List.rev (s :: acc)
+      | l :: rest ->
+          if l +. s <= capacity +. tolerance then
+            List.rev_append acc ((l +. s) :: rest)
+          else go (l :: acc) rest
+    in
+    go [] levels
+  in
+  List.length (List.fold_left place [] (sort_descending sizes))
+
+let lower_bound sizes =
+  check_sizes sizes;
+  let total = List.fold_left ( +. ) 0. sizes in
+  let by_sum = int_of_float (Float.ceil (total -. tolerance)) in
+  let by_halves = List.length (List.filter (fun s -> s > 0.5 +. tolerance) sizes) in
+  max by_sum by_halves
+
+exception Done of int
+
+(* Depth-first branch and bound over the descending size order.  Each item
+   goes into one of the open bins, or one new bin; bins with equal level
+   are interchangeable so only the first of each level is tried. *)
+let optimal_is_exact ?(max_nodes = 2_000_000) sizes =
+  check_sizes sizes;
+  match sort_descending sizes with
+  | [] -> (0, true)
+  | sizes ->
+      let arr = Array.of_list sizes in
+      let n = Array.length arr in
+      let best = ref (ffd_count sizes) in
+      let lb_all = lower_bound sizes in
+      let nodes = ref 0 in
+      let truncated = ref false in
+      let levels = Array.make n 0. in
+      (* levels.(0..used-1) are open bin levels *)
+      let rec branch i used =
+        if !best = lb_all then raise (Done !best);
+        if i = n then best := min !best used
+        else if used >= !best then () (* cannot improve *)
+        else begin
+          incr nodes;
+          if !nodes > max_nodes then truncated := true
+          else begin
+            let s = arr.(i) in
+            let tried = ref [] in
+            for b = 0 to used - 1 do
+              let l = levels.(b) in
+              let fresh =
+                not (List.exists (fun x -> Float.abs (x -. l) <= tolerance) !tried)
+              in
+              if fresh && l +. s <= capacity +. tolerance then begin
+                tried := l :: !tried;
+                levels.(b) <- l +. s;
+                branch (i + 1) used;
+                levels.(b) <- l
+              end
+            done;
+            (* new bin; the recursive call prunes if it cannot improve *)
+            levels.(used) <- s;
+            branch (i + 1) (used + 1);
+            levels.(used) <- 0.
+          end
+        end
+      in
+      (try branch 0 0 with Done _ -> ());
+      (!best, not !truncated)
+
+let optimal_count ?max_nodes sizes = fst (optimal_is_exact ?max_nodes sizes)
+
+(* FFD with an assignment: bin index per size, in the given order. *)
+let ffd_assignment indexed_sizes =
+  let sorted =
+    List.sort (fun (_, a) (_, b) -> Float.compare b a) indexed_sizes
+  in
+  let assignment = Array.make (List.length indexed_sizes) 0 in
+  let place levels (original, s) =
+    let rec go idx acc = function
+      | [] ->
+          assignment.(original) <- List.length acc;
+          List.rev (s :: acc)
+      | l :: rest ->
+          if l +. s <= capacity +. tolerance then begin
+            assignment.(original) <- idx;
+            List.rev_append acc ((l +. s) :: rest)
+          end
+          else go (idx + 1) (l :: acc) rest
+    in
+    go 0 [] levels
+  in
+  let levels = List.fold_left place [] sorted in
+  (assignment, List.length levels)
+
+let optimal_assignment ?(max_nodes = 2_000_000) sizes =
+  check_sizes sizes;
+  match sizes with
+  | [] -> ([], true)
+  | _ ->
+      let indexed = List.mapi (fun i s -> (i, s)) sizes in
+      let sorted =
+        List.sort (fun (_, a) (_, b) -> Float.compare b a) indexed
+      in
+      let arr = Array.of_list sorted in
+      let n = Array.length arr in
+      let ffd_assign, ffd_bins = ffd_assignment indexed in
+      let best_count = ref ffd_bins in
+      let best_assign = ref (Array.copy ffd_assign) in
+      let lb_all = lower_bound sizes in
+      let nodes = ref 0 in
+      let truncated = ref false in
+      let levels = Array.make n 0. in
+      let chosen = Array.make n 0 (* bin of arr.(i) *) in
+      let rec branch i used =
+        if !best_count = lb_all then raise (Done !best_count);
+        if i = n then begin
+          if used < !best_count then begin
+            best_count := used;
+            let assign = Array.make n 0 in
+            Array.iteri
+              (fun j bin ->
+                let original, _ = arr.(j) in
+                assign.(original) <- bin)
+              chosen;
+            best_assign := assign
+          end
+        end
+        else if used >= !best_count then ()
+        else begin
+          incr nodes;
+          if !nodes > max_nodes then truncated := true
+          else begin
+            let _, s = arr.(i) in
+            let tried = ref [] in
+            for b = 0 to used - 1 do
+              let l = levels.(b) in
+              let fresh =
+                not (List.exists (fun x -> Float.abs (x -. l) <= tolerance) !tried)
+              in
+              if fresh && l +. s <= capacity +. tolerance then begin
+                tried := l :: !tried;
+                levels.(b) <- l +. s;
+                chosen.(i) <- b;
+                branch (i + 1) used;
+                levels.(b) <- l
+              end
+            done;
+            levels.(used) <- s;
+            chosen.(i) <- used;
+            branch (i + 1) (used + 1);
+            levels.(used) <- 0.
+          end
+        end
+      in
+      (try branch 0 0 with Done _ -> ());
+      (Array.to_list !best_assign, not !truncated)

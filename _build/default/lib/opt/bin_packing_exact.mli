@@ -1,0 +1,32 @@
+(** Exact and heuristic solvers for classical (static) bin packing.
+
+    Classical bin packing is the inner problem of the repacking adversary:
+    OPT(R, t) is the minimum number of unit bins holding the sizes of the
+    items active at time t.  The exact solver is branch-and-bound with
+    first-fit-decreasing as the initial incumbent, the size-sum ceiling as
+    the bound, and symmetry pruning (equal-level bins are
+    interchangeable).  Exponential worst case; intended for the instance
+    scales of the experiments (tens of active items per instant). *)
+
+val ffd_count : float list -> int
+(** Number of unit bins used by First Fit Decreasing — an upper bound on
+    the optimum, and the fallback when the exact search is truncated. *)
+
+val lower_bound : float list -> int
+(** max(ceil(sum sizes), number of sizes > 1/2): a cheap lower bound. *)
+
+val optimal_count : ?max_nodes:int -> float list -> int
+(** Minimum number of unit-capacity bins that hold all the sizes.
+    @param max_nodes search-node budget (default 2_000_000); when
+    exhausted the best incumbent found so far is returned, which is then
+    only an upper bound on the optimum.
+    @raise Invalid_argument if a size is outside (0, 1]. *)
+
+val optimal_is_exact : ?max_nodes:int -> float list -> int * bool
+(** Like {!optimal_count} but also reports whether the search completed
+    (true) or hit the node budget (false). *)
+
+val optimal_assignment : ?max_nodes:int -> float list -> int list * bool
+(** A bin index (0-based, contiguous) for each input size, in input
+    order, realising an optimal (or best-found, when truncated) packing;
+    the boolean reports search completion as in {!optimal_is_exact}. *)

@@ -1,0 +1,49 @@
+open Dbp_core
+
+let max_items = 16
+
+let optimal_packing ?(limit = max_items) instance =
+  if Instance.length instance > limit then
+    invalid_arg
+      (Printf.sprintf "Brute_force.optimal_packing: %d items > limit %d"
+         (Instance.length instance) limit);
+  let items = Array.of_list (Instance.arrivals_in_order instance) in
+  let n = Array.length items in
+  if n = 0 then Packing.of_bins instance []
+  else begin
+    let best_usage = ref Float.infinity in
+    let best_bins = ref [] in
+    (* bins in use, reverse index order, paired with current usage sum *)
+    let rec branch i bins used usage =
+      if usage >= !best_usage then ()
+      else if i = n then begin
+        best_usage := usage;
+        best_bins := bins
+      end
+      else begin
+        let item = items.(i) in
+        (* try existing bins *)
+        List.iter
+          (fun b ->
+            if Bin_state.fits b item then begin
+              let b' = Bin_state.place b item in
+              let delta = Bin_state.usage_time b' -. Bin_state.usage_time b in
+              let bins' =
+                List.map
+                  (fun x -> if Bin_state.index x = Bin_state.index b then b' else x)
+                  bins
+              in
+              branch (i + 1) bins' used (usage +. delta)
+            end)
+          bins;
+        (* fresh bin *)
+        let b = Bin_state.place (Bin_state.empty ~index:used) item in
+        branch (i + 1) (b :: bins) (used + 1) (usage +. Bin_state.usage_time b)
+      end
+    in
+    branch 0 [] 0 0.;
+    Packing.of_bins instance !best_bins
+  end
+
+let optimal_usage ?limit instance =
+  Packing.total_usage_time (optimal_packing ?limit instance)

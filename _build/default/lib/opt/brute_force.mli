@@ -1,0 +1,25 @@
+(** Exact optimal packing *without* migration, for tiny instances.
+
+    The paper's ratios are measured against the repacking adversary
+    ({!Opt_total}), which lower-bounds this stricter optimum; the
+    brute-force solver gives the true best achievable by any (offline,
+    non-migrating) packing algorithm, used in tests and in the Theorem 3
+    gadget experiment where exact small optima matter.
+
+    Branch and bound over items in arrival order: each item goes into one
+    of the bins already used or the next fresh bin (canonical bin
+    numbering kills bin-permutation symmetry); partial total usage is a
+    monotone lower bound, enabling pruning. *)
+
+open Dbp_core
+
+val max_items : int
+(** Guard: instances larger than this are refused (default 16) since the
+    search is exponential. *)
+
+val optimal_packing : ?limit:int -> Instance.t -> Packing.t
+(** A packing of minimum total usage time.
+    @param limit overrides {!max_items}.
+    @raise Invalid_argument if the instance has more than [limit] items. *)
+
+val optimal_usage : ?limit:int -> Instance.t -> float

@@ -1,0 +1,115 @@
+open Dbp_core
+
+type stats = {
+  moves : int;
+  rounds : int;
+  initial_usage : float;
+  final_usage : float;
+}
+
+(* Float residue from add-then-sub of indicators must not pollute the
+   support; flush near-zeros after every removal. *)
+let clean profile =
+  Step_function.map (fun v -> if Float.abs v < 1e-12 then 0. else v) profile
+
+type work_bin = {
+  mutable items : Item.t list;
+  mutable profile : Step_function.t;
+}
+
+let span_of b = Step_function.support_length b.profile
+
+let remove_item b item =
+  b.items <- List.filter (fun r -> not (Item.equal r item)) b.items;
+  b.profile <-
+    clean
+      (Step_function.sub b.profile
+         (Step_function.indicator (Item.interval item) (Item.size item)))
+
+let add_item b item =
+  b.items <- item :: b.items;
+  b.profile <-
+    Step_function.add b.profile
+      (Step_function.indicator (Item.interval item) (Item.size item))
+
+let fits b item =
+  Step_function.max_over b.profile (Item.interval item) +. Item.size item
+  <= Bin_state.capacity +. Bin_state.tolerance
+
+(* A relocation to a *fresh* bin can never strictly improve: removing an
+   item shrinks its source bin's span by at most the item's duration,
+   which is exactly what the fresh bin would cost.  So only existing bins
+   are candidate targets. *)
+let improve ?(max_rounds = 50) packing =
+  let instance = Packing.instance packing in
+  let bins =
+    Packing.bins packing
+    |> List.map (fun b ->
+           { items = Bin_state.items b; profile = Bin_state.level_profile b })
+    |> Array.of_list
+  in
+  let initial_usage = Packing.total_usage_time packing in
+  let moves = ref 0 and rounds = ref 0 in
+  let items = Instance.items instance in
+  let home = Hashtbl.create 64 in
+  Array.iteri
+    (fun i b -> List.iter (fun r -> Hashtbl.replace home (Item.id r) i) b.items)
+    bins;
+  let try_move item =
+    let src_idx = Hashtbl.find home (Item.id item) in
+    let src = bins.(src_idx) in
+    (* gain of removing from source *)
+    let span_src = span_of src in
+    remove_item src item;
+    let removal_gain = span_src -. span_of src in
+    let best = ref None in
+    Array.iteri
+      (fun i target ->
+        if i <> src_idx && fits target item then begin
+          let span_t = span_of target in
+          add_item target item;
+          let added_cost = span_of target -. span_t in
+          remove_item target item;
+          let delta = added_cost -. removal_gain in
+          match !best with
+          | Some (_, best_delta) when best_delta <= delta +. 1e-12 -> ()
+          | _ -> if delta < -1e-9 then best := Some (i, delta)
+        end)
+      bins;
+    match !best with
+    | Some (i, _) ->
+        add_item bins.(i) item;
+        Hashtbl.replace home (Item.id item) i;
+        incr moves;
+        true
+    | None ->
+        add_item src item;
+        false
+  in
+  let rec loop () =
+    if !rounds >= max_rounds then ()
+    else begin
+      incr rounds;
+      let improved = List.fold_left (fun acc r -> try_move r || acc) false items in
+      if improved then loop ()
+    end
+  in
+  if Array.length bins > 1 then loop ();
+  let final_bins =
+    Array.to_list bins
+    |> List.mapi (fun index b ->
+           List.sort Item.compare_arrival b.items
+           |> List.fold_left Bin_state.place (Bin_state.empty ~index))
+  in
+  let improved = Packing.of_bins instance final_bins in
+  ( improved,
+    {
+      moves = !moves;
+      rounds = !rounds;
+      initial_usage;
+      final_usage = Packing.total_usage_time improved;
+    } )
+
+let upper_bound ?max_rounds instance =
+  let improved, _ = improve ?max_rounds (Dbp_offline.Ddff.pack instance) in
+  Packing.total_usage_time improved

@@ -1,0 +1,31 @@
+(** Local-search improvement of a packing.
+
+    Exact optima ({!Brute_force}) stop being computable beyond ~16 items;
+    between the Proposition-3 lower bound and a heuristic's output there
+    can be daylight.  This local search closes some of it from above:
+    starting from any feasible packing it repeatedly relocates single
+    items into other (or fresh) bins whenever that strictly reduces total
+    usage time, until no single-item move helps or the move budget runs
+    out.  The result is a certified *upper* bound on OPT that is usually
+    much tighter than any one-shot heuristic.
+
+    Moves preserve feasibility by construction (the receiving bin must
+    accommodate the item over its whole interval), so the result is a
+    valid packing of the same instance. *)
+
+open Dbp_core
+
+type stats = {
+  moves : int;  (** improving moves applied *)
+  rounds : int;  (** full passes over the items *)
+  initial_usage : float;
+  final_usage : float;
+}
+
+val improve : ?max_rounds:int -> Packing.t -> Packing.t * stats
+(** [improve p] runs first-improvement passes (items in id order, target
+    bins in index order, then a fresh bin) until a full pass makes no
+    move or [max_rounds] (default 50) passes elapse. *)
+
+val upper_bound : ?max_rounds:int -> Instance.t -> float
+(** Usage of the improved DDFF packing: a one-call OPT upper bound. *)

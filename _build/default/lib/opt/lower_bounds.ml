@@ -1,0 +1,15 @@
+open Dbp_core
+
+let demand = Instance.demand
+let span = Instance.span
+
+let ceil_size_integral instance =
+  Step_function.integral (Step_function.ceil (Instance.size_profile instance))
+
+let best instance =
+  Float.max (demand instance)
+    (Float.max (span instance) (ceil_size_integral instance))
+
+let ratio_to_best instance usage =
+  let lb = best instance in
+  if lb <= 0. then 1. else usage /. lb

@@ -1,0 +1,33 @@
+(** Lower bounds on OPT_total(R) (paper Section 3.2).
+
+    OPT_total is the cost of an optimal offline adversary allowed to
+    repack everything at any time: the integral over the span of
+    OPT(R, t), the minimum number of bins the active items can be
+    repacked into at time t.  Three lower bounds:
+
+    - Proposition 1: d(R), the total time-space demand;
+    - Proposition 2: span(R);
+    - Proposition 3: integral of ceil(S(t)) dt, with S(t) the total active
+      size — tighter than both. *)
+
+open Dbp_core
+
+val demand : Instance.t -> float
+(** Proposition 1. *)
+
+val span : Instance.t -> float
+(** Proposition 2. *)
+
+val ceil_size_integral : Instance.t -> float
+(** Proposition 3. *)
+
+val best : Instance.t -> float
+(** The largest of the three bounds.  Since Proposition 3 dominates the
+    other two pointwise this equals {!ceil_size_integral} (up to float
+    noise), but taking the max keeps the guarantee explicit. *)
+
+val ratio_to_best : Instance.t -> float -> float
+(** [ratio_to_best inst usage] is [usage /. best inst]: a certified upper
+    bound on the algorithm-to-optimal ratio on this instance (the true
+    ratio can only be smaller, because [best] underestimates OPT).
+    Returns [1.] for an empty instance. *)

@@ -1,0 +1,62 @@
+open Dbp_core
+
+type result = { value : float; exact : bool; segments : int; solves : int }
+
+(* Memo key: active sizes sorted descending, printed at full precision. *)
+let key sizes =
+  List.map (fun s -> Printf.sprintf "%.17g" s) sizes |> String.concat ","
+
+let compute ?max_nodes instance =
+  let times = Array.of_list (Instance.critical_times instance) in
+  let cache : (string, int * bool) Hashtbl.t = Hashtbl.create 64 in
+  let solves = ref 0 in
+  let solve sizes =
+    let k = key sizes in
+    match Hashtbl.find_opt cache k with
+    | Some r -> r
+    | None ->
+        incr solves;
+        let r = Bin_packing_exact.optimal_is_exact ?max_nodes sizes in
+        Hashtbl.add cache k r;
+        r
+  in
+  let value = ref 0. and exact = ref true and segments = ref 0 in
+  for i = 0 to Array.length times - 2 do
+    let l = times.(i) and r = times.(i + 1) in
+    let mid = 0.5 *. (l +. r) in
+    let sizes =
+      Instance.active_at instance mid
+      |> List.map Item.size
+      |> List.sort (fun a b -> Float.compare b a)
+    in
+    if sizes <> [] then begin
+      incr segments;
+      let count, was_exact = solve sizes in
+      if not was_exact then exact := false;
+      value := !value +. (float_of_int count *. (r -. l))
+    end
+  done;
+  { value = !value; exact = !exact; segments = !segments; solves = !solves }
+
+let value ?max_nodes instance = (compute ?max_nodes instance).value
+
+let ratio ?max_nodes instance usage =
+  let opt = value ?max_nodes instance in
+  if opt <= 0. then 1. else usage /. opt
+
+let opt_profile ?max_nodes instance =
+  let times = Array.of_list (Instance.critical_times instance) in
+  let breaks = ref [] in
+  for i = Array.length times - 1 downto 0 do
+    let t = times.(i) in
+    let count =
+      if i = Array.length times - 1 then 0
+      else
+        let mid = 0.5 *. (t +. times.(i + 1)) in
+        let sizes = Instance.active_at instance mid |> List.map Item.size in
+        if sizes = [] then 0
+        else Bin_packing_exact.optimal_count ?max_nodes sizes
+    in
+    breaks := (t, float_of_int count) :: !breaks
+  done;
+  Step_function.of_breaks !breaks

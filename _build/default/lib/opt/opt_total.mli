@@ -1,0 +1,33 @@
+(** The repacking adversary's cost OPT_total(R) (paper Section 3.2).
+
+    OPT_total(R) = integral over the span of OPT(R, t), where OPT(R, t) is
+    the minimum achievable number of bins into which the items active at
+    time t can be repacked.  OPT(R, t) is constant between consecutive
+    critical times (arrivals/departures), so the integral is a finite sum
+    of exact classical-bin-packing solves, memoised on the multiset of
+    active sizes. *)
+
+open Dbp_core
+
+type result = {
+  value : float;  (** the integral *)
+  exact : bool;
+      (** true when every per-segment solve completed within its node
+          budget; false means [value] is only an upper bound on OPT_total
+          (still at least the Proposition 1-3 lower bounds). *)
+  segments : int;  (** number of constant segments integrated *)
+  solves : int;  (** distinct bin-packing instances actually solved *)
+}
+
+val compute : ?max_nodes:int -> Instance.t -> result
+
+val value : ?max_nodes:int -> Instance.t -> float
+(** Just the integral. *)
+
+val ratio : ?max_nodes:int -> Instance.t -> float -> float
+(** [ratio inst usage] is [usage / OPT_total(R)]: the measured
+    approximation/competitive ratio on this instance (exact when
+    [(compute inst).exact]).  [1.] on an empty instance. *)
+
+val opt_profile : ?max_nodes:int -> Instance.t -> Step_function.t
+(** OPT(R, t) as a step function of t. *)

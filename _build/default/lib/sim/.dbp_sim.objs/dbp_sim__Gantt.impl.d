@@ -1,0 +1,1 @@
+lib/sim/gantt.ml: Bin_state Buffer Dbp_core Float Instance Interval List Packing Printf

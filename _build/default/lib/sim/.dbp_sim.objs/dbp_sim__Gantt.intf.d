@@ -1,0 +1,1 @@
+lib/sim/gantt.mli: Dbp_core Packing

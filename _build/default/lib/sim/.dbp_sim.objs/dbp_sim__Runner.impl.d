@@ -1,0 +1,1 @@
+lib/sim/runner.ml: Dbp_core Dbp_offline Dbp_online Dbp_opt Format Instance List Option Packing Report String

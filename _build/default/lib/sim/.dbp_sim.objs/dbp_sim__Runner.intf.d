@@ -1,0 +1,1 @@
+lib/sim/runner.mli: Dbp_core Dbp_online Format Instance Packing Report

@@ -1,0 +1,1 @@
+lib/sim/sweep.ml: Dbp_core Dbp_opt Float List Packing Printf Report Runner Stats String

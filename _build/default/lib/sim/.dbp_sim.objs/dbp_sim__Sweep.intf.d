@@ -1,0 +1,1 @@
+lib/sim/sweep.mli: Dbp_core Instance Packing Report Runner Stats

@@ -1,0 +1,176 @@
+(** The experiment suite: one entry per paper artifact (DESIGN.md Section
+    4), each returning a {!Report.table} whose rows are what the paper
+    reports (or what an empirical counterpart of a theorem reports).
+
+    Conventions: "ratio/LB" columns are usage divided by the
+    Proposition-3 lower bound — an *upper bound* on the true ratio to
+    OPT, so a value within a theorem's bound certifies the theorem on
+    that instance; "ratio/OPT" columns use the exact repacking adversary
+    and are only computed on small instances. *)
+
+val figure8 : ?mus:float list -> unit -> Report.table
+(** F8: the three theoretical curves of the paper's Figure 8. *)
+
+val figure8_crossover : unit -> float
+
+val bound_landscape : ?mus:float list -> unit -> Report.table
+(** F8x: every closed-form bound the paper states or cites, side by side
+    as functions of mu — the non-clairvoyant upper bounds (First Fit old
+    and new, Next Fit, Hybrid FF, the Any Fit lower bound), the prior
+    online interval-scheduling bound (BucketFirstFit) and the paper's two
+    clairvoyant bounds.  Shows at a glance where clairvoyance changes the
+    asymptotics. *)
+
+val ddff_ratio : ?seeds:int -> unit -> Report.table
+(** T1: DDFF measured ratios across workload families; every ratio/OPT
+    must be <= 5. *)
+
+val dual_coloring_ratio : ?seeds:int -> unit -> Report.table
+(** T2: Dual Coloring measured ratios; every ratio/OPT must be <= 4. *)
+
+val lower_bound_gadget : unit -> Report.table
+(** T3: the golden-ratio gadget.  For each online algorithm, the ratio on
+    case A, on case B, and the max of the two — which Theorem 3 says
+    cannot be below (1+sqrt 5)/2 ~= 1.618 for any deterministic online
+    algorithm at x = phi. *)
+
+val cbdt_sweep : ?seeds:int -> ?mu:float -> unit -> Report.table
+(** T4: classify-by-departure-time First Fit across rho, measured ratio
+    vs the Theorem 4 bound rho/Delta + mu Delta/rho + 3. *)
+
+val cbd_sweep : ?seeds:int -> ?mu:float -> unit -> Report.table
+(** T5: classify-by-duration First Fit across alpha, measured ratio vs
+    the Theorem 5 bound alpha + ceil(log_alpha mu) + 4. *)
+
+val ratio_vs_mu : ?seeds:int -> ?mus:float list -> unit -> Report.table
+(** Empirical Figure 8 counterpart: portfolio mean ratios as mu grows. *)
+
+val gaming_compare : ?seeds:int -> unit -> Report.table
+(** E1: the portfolio on the cloud-gaming workload. *)
+
+val analytics_compare : ?seeds:int -> unit -> Report.table
+(** E2: the portfolio on the recurring-analytics workload. *)
+
+val combined_ablation : ?seeds:int -> ?mus:float list -> unit -> Report.table
+(** E3: the two single classification strategies vs their combination. *)
+
+val nonclairvoyant_gadgets : unit -> Report.table
+(** E4: the duration-mixing trap (Any Fit pays ~mu, classification
+    recovers), the staggered-departure gadget (prices classification's
+    fragmentation overhead) and a random adversarial search. *)
+
+val flexibility_sweep : ?seeds:int -> unit -> Report.table
+(** E7: the paper's Section-6 flexible-jobs direction (release times and
+    deadlines a la Khandekar et al.).  Sweeps the window slack (as a
+    multiple of the job length) and reports total usage of the asap,
+    alap and greedy schedulers relative to the slack-0 (rigid) baseline:
+    how much does scheduling freedom reduce server time? *)
+
+val multidim_compare : ?seeds:int -> unit -> Report.table
+(** E6: the paper's Section-6 multi-resource direction.  Three-dimensional
+    (CPU/memory/bandwidth) workloads packed by the generalised
+    algorithms, scored against the generalised Proposition-3 lower bound
+    (the per-instant ceiling of the most loaded dimension). *)
+
+val estimate_robustness : ?seeds:int -> ?mu:float -> unit -> Report.table
+(** E5: the paper's Section-6 question — classification driven by noisy
+    departure estimates.  Sweeps the lognormal error sigma and reports
+    the ratio degradation of cbdt-ff and cbd-ff relative to perfect
+    clairvoyance and to blind First Fit. *)
+
+val startup_cost_sweep : ?seeds:int -> unit -> Report.table
+(** E10: server provisioning overhead.  Real servers cost startup time
+    before doing work, which the usage-time objective ignores; with a
+    per-acquisition surcharge c the effective cost is
+    usage + c * bins_opened.  Sweeping c on the gaming workload shows how
+    quickly bin-hungry strategies (the classifiers) fall behind and where
+    the ranking flips. *)
+
+val dual_coloring_pick_ablation : ?seeds:int -> unit -> Report.table
+(** A2: the Phase-1 step-7 pick rule the paper leaves open.  Compares
+    smallest-id, longest-duration and largest-demand tie-breaking on the
+    Dual Coloring ratio; the lemmas (and the 4x bound) hold for all
+    three, so this measures only average-case quality. *)
+
+val soft_alignment : ?seeds:int -> unit -> Report.table
+(** E9 (extension): soft departure alignment vs the paper's hard
+    rho-grid classification, across the benign workloads and the
+    adversarial trap.  Measures whether dropping the category walls
+    recovers the fragmentation overhead without losing the trap
+    robustness. *)
+
+val interval_scheduling : ?seeds:int -> ?g:int -> unit -> Report.table
+(** I1: the Section 5.3 remark.  Interval scheduling with bounded
+    parallelism is the special case where every job demands 1/g of a
+    machine; on such instances classify-by-duration First Fit is exactly
+    Shalom et al.'s BucketFirstFit, and the paper's bound
+    alpha + ceil(log_alpha mu) + 4 improves their
+    (2 alpha + 2) ceil(log_alpha mu).  The experiment packs unit-demand
+    workloads and reports the measured ratio against both bounds. *)
+
+val ddff_rule_ablation : ?seeds:int -> unit -> Report.table
+(** A1: what does the *first fit* rule contribute to Theorem 1's
+    algorithm?  Same duration-descending order, three placement rules
+    (first fit / best fit / next fit), mean ratio/LB across workload
+    families. *)
+
+val randomized_gadget : ?trials:int -> unit -> Report.table
+(** R1: Theorem 3's lower bound is for *deterministic* algorithms.  This
+    experiment runs the biased-open randomised First Fit on the
+    golden-ratio gadget and reports the expected ratio on each case and
+    the max of the two as the open probability p sweeps.  Around p = 1/4
+    the expected worst case dips to ~1.53, below the deterministic bound
+    phi ~= 1.618 — the standard separation between deterministic and
+    randomised competitiveness.  (The naive two-point analysis suggests
+    ~1.31 at p = 1/2, but this algorithm keeps flipping its coin on the
+    later items too, which costs it on case B.) *)
+
+val billing_sweep : ?seeds:int -> unit -> Report.table
+(** E8: the systems layer behind the paper's motivation — pay-per-quantum
+    billing (EC2 billed whole hours in 2016).  Sweeps the billing quantum
+    on the cloud-gaming workload and prices First Fit and tuned
+    classify-by-departure-time with and without paid-idle server reuse,
+    relative to the per-second bill. *)
+
+val proof_audit : ?seeds:int -> unit -> Report.table
+(** P1: machine-check of the proofs' internal structure on concrete
+    workloads — the Section 4.1 X-period/witness decomposition behind
+    Theorem 1 and the Section 5.2 three-stage decomposition (single bin
+    in stage 1, Lemma 6's average level > 1/2 in stage 2) behind
+    Theorem 4. *)
+
+val lower_bound_quality : ?seeds:int -> unit -> Report.table
+(** S1 (substrate ablation): how tight are Propositions 1-3 against the
+    exact repacking adversary OPT_total on small instances?  Reports each
+    bound as a fraction of OPT_total. *)
+
+val exact_solver_gap : ?seeds:int -> unit -> Report.table
+(** S2 (substrate ablation): First Fit Decreasing vs the exact
+    branch-and-bound bin-packing solver across the per-instant packing
+    problems of random instances: how often FFD is already optimal, and
+    the worst bin-count gap. *)
+
+val learned_clairvoyance : ?seeds:int -> unit -> Report.table
+(** F1: closing the loop on the clairvoyance assumption.  A per-class
+    duration predictor is trained on day 1 of the recurring-analytics
+    workload and drives classify-by-departure-time on day 2; compared
+    against the oracle (true departures) and blind First Fit.  Also
+    reports the predictor's mean absolute duration error on day 2. *)
+
+val migration_value : ?seeds:int -> unit -> Report.table
+(** M1: the price of the paper's no-migration rule.  On small instances
+    the exact migrating adversary (OPT_total, realised as an explicit
+    schedule) is compared with the exact non-migrating optimum and with
+    DDFF; the adversary's actual migration count is reported.  A small
+    gap justifies measuring algorithms against OPT_total even though real
+    schedulers cannot migrate. *)
+
+val optimality_bracket : ?seeds:int -> unit -> Report.table
+(** S3: bracketing OPT on medium instances where the exact solver cannot
+    reach: Proposition-3 lower bound from below, local-search-improved
+    DDFF from above.  The bracket width bounds how much of the measured
+    "ratio/LB" is algorithm suboptimality vs lower-bound slack. *)
+
+val all : unit -> (string * Report.table) list
+(** Every experiment above with its id, at default sizes — the content of
+    EXPERIMENTS.md and of the bench executable's report section. *)

@@ -1,0 +1,44 @@
+open Dbp_core
+
+let level_char level =
+  if level > 0.75 then '#'
+  else if level > 0.5 then '='
+  else if level > 0.25 then '-'
+  else if level > 1e-12 then '.'
+  else ' '
+
+let render ?(width = 72) packing =
+  let bins = Packing.bins packing in
+  if bins = [] then "(empty packing)\n"
+  else begin
+    let instance = Packing.instance packing in
+    let spans = Instance.span_intervals instance in
+    let t0 = Interval.left (List.hd spans) in
+    let t1 =
+      List.fold_left (fun acc i -> Float.max acc (Interval.right i)) t0 spans
+    in
+    let horizon = Float.max (t1 -. t0) 1e-9 in
+    let cell_width = horizon /. float_of_int width in
+    let buf = Buffer.create 1024 in
+    (* header: time marks at the quarters *)
+    Buffer.add_string buf (Printf.sprintf "%8s " "");
+    let quarter q = t0 +. (horizon *. q) in
+    Buffer.add_string buf
+      (Printf.sprintf "t=%-*.4g%-*.4g%-*.4g%.4g\n" ((width / 4) - 2)
+         (quarter 0.) (width / 4) (quarter 0.25) (width / 4) (quarter 0.5)
+         (quarter 0.75));
+    List.iter
+      (fun bin ->
+        Buffer.add_string buf (Printf.sprintf "bin %3d |" (Bin_state.index bin));
+        for c = 0 to width - 1 do
+          let mid = t0 +. ((float_of_int c +. 0.5) *. cell_width) in
+          Buffer.add_char buf (level_char (Bin_state.level_at bin mid))
+        done;
+        Buffer.add_string buf
+          (Printf.sprintf "| %.4g\n" (Bin_state.usage_time bin)))
+      bins;
+    Buffer.add_string buf
+      (Printf.sprintf "%d bins, total usage %.6g\n" (List.length bins)
+         (Packing.total_usage_time packing));
+    Buffer.contents buf
+  end

@@ -1,0 +1,23 @@
+(** ASCII Gantt rendering of packings.
+
+    One row per bin over a scaled time axis; each cell shows the bin's
+    load during that time slice:
+
+    - ['#'] level above 3/4,
+    - ['='] above 1/2,
+    - ['-'] above 1/4,
+    - ['.'] positive,
+    - [' '] empty (bin closed or idle).
+
+    Meant for eyeballing packings in the CLI and examples: fragmentation,
+    lingering low-level bins and reuse gaps are all visible at a glance. *)
+
+open Dbp_core
+
+val render : ?width:int -> Packing.t -> string
+(** [render ?width p] (default width 72 columns) returns the chart with a
+    time-axis header and one line per bin ("bin NN |cells| usage").  The
+    empty packing renders as a single message line. *)
+
+val level_char : float -> char
+(** The cell character for a load level; exposed for tests. *)

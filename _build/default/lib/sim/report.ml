@@ -1,0 +1,83 @@
+type align = Left | Right
+
+type column = { title : string; align : align }
+
+type table = { columns : column list; rows : string list list }
+
+let make ~columns ~rows =
+  let width = List.length columns in
+  List.iteri
+    (fun i row ->
+      if List.length row <> width then
+        invalid_arg
+          (Printf.sprintf "Report.make: row %d has %d cells, want %d" i
+             (List.length row) width))
+    rows;
+  { columns = List.map (fun (title, align) -> { title; align }) columns; rows }
+
+let cell_f ?(decimals = 4) v =
+  if Float.is_integer v && Float.abs v < 1e15 then
+    Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.*f" decimals v
+
+let cell_i = string_of_int
+
+let pad align width s =
+  let n = width - String.length s in
+  if n <= 0 then s
+  else
+    match align with
+    | Left -> s ^ String.make n ' '
+    | Right -> String.make n ' ' ^ s
+
+let to_text t =
+  let widths =
+    List.mapi
+      (fun i c ->
+        List.fold_left
+          (fun acc row -> max acc (String.length (List.nth row i)))
+          (String.length c.title) t.rows)
+      t.columns
+  in
+  let render_row cells =
+    List.map2
+      (fun (c, w) s -> pad c.align w s)
+      (List.combine t.columns widths)
+      cells
+    |> String.concat "  "
+  in
+  let header = render_row (List.map (fun c -> c.title) t.columns) in
+  let rule = String.make (String.length header) '-' in
+  String.concat "\n" (header :: rule :: List.map render_row t.rows) ^ "\n"
+
+let escape_csv s =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  else s
+
+let to_csv t =
+  let line cells = String.concat "," (List.map escape_csv cells) in
+  String.concat "\n"
+    (line (List.map (fun c -> c.title) t.columns) :: List.map line t.rows)
+  ^ "\n"
+
+let to_markdown t =
+  let line cells = "| " ^ String.concat " | " cells ^ " |" in
+  let sep =
+    List.map
+      (fun c -> match c.align with Left -> ":---" | Right -> "---:")
+      t.columns
+  in
+  String.concat "\n"
+    (line (List.map (fun c -> c.title) t.columns) :: line sep
+    :: List.map line t.rows)
+  ^ "\n"
+
+let print ?title t =
+  (match title with
+  | Some s ->
+      print_newline ();
+      print_endline s;
+      print_endline (String.make (String.length s) '=')
+  | None -> ());
+  print_string (to_text t)

@@ -1,0 +1,29 @@
+(** Table rendering: aligned plain text, CSV, and GitHub markdown.
+
+    One [table] value drives all three renderers so every experiment
+    prints consistently in the bench harness, the CLI and EXPERIMENTS.md. *)
+
+type align = Left | Right
+
+type column = { title : string; align : align }
+
+type table = { columns : column list; rows : string list list }
+
+val make :
+  columns:(string * align) list -> rows:string list list -> table
+(** @raise Invalid_argument if any row's width differs from the header's. *)
+
+val cell_f : ?decimals:int -> float -> string
+(** Float cell with fixed decimals (default 4); integers print bare. *)
+
+val cell_i : int -> string
+
+val to_text : table -> string
+(** Space-aligned columns. *)
+
+val to_csv : table -> string
+
+val to_markdown : table -> string
+
+val print : ?title:string -> table -> unit
+(** [to_text] to stdout, preceded by an underlined title when given. *)

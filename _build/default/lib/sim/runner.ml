@@ -1,0 +1,102 @@
+open Dbp_core
+
+type packer = { label : string; pack : Instance.t -> Packing.t }
+
+let offline label pack = { label; pack }
+
+let online algo =
+  { label = algo.Dbp_online.Engine.name; pack = Dbp_online.Engine.run algo }
+
+let online_tuned label make =
+  { label; pack = (fun inst -> Dbp_online.Engine.run (make inst) inst) }
+
+let default_portfolio =
+  [
+    offline "ddff" Dbp_offline.Ddff.pack;
+    offline "dual-coloring" Dbp_offline.Dual_coloring.pack;
+    offline "narrow-wide" Dbp_offline.Narrow_wide.pack;
+    online Dbp_online.Any_fit.first_fit;
+    online Dbp_online.Any_fit.best_fit;
+    online Dbp_online.Any_fit.worst_fit;
+    online Dbp_online.Any_fit.next_fit;
+    online (Dbp_online.Hybrid_first_fit.make ());
+    online_tuned "cbdt-ff*" Dbp_online.Classify_departure.tuned;
+    online_tuned "aligned-ff*" Dbp_online.Departure_aligned.tuned;
+    online_tuned "cbd-ff*" (fun inst ->
+        Dbp_online.Classify_duration.tuned inst);
+    online_tuned "combined-ff*" (fun inst ->
+        Dbp_online.Classify_combined.tuned inst);
+  ]
+
+let names = List.map (fun p -> p.label) default_portfolio
+
+let by_name name =
+  List.find_opt (fun p -> String.equal p.label name) default_portfolio
+
+type score = {
+  label : string;
+  usage : float;
+  bins : int;
+  max_concurrent : int;
+  utilization : float;
+  ratio_lb : float;
+  ratio_opt : float option;
+}
+
+let evaluate ?(opt = false) packers instance =
+  let lb = Dbp_opt.Lower_bounds.best instance in
+  let opt_total =
+    if opt then Some (Dbp_opt.Opt_total.value instance) else None
+  in
+  List.map
+    (fun p ->
+      let packing = p.pack instance in
+      let usage = Packing.total_usage_time packing in
+      {
+        label = p.label;
+        usage;
+        bins = Packing.bin_count packing;
+        max_concurrent = Packing.max_concurrent_bins packing;
+        utilization = Packing.utilization packing;
+        ratio_lb = (if lb > 0. then usage /. lb else 1.);
+        ratio_opt =
+          Option.map (fun o -> if o > 0. then usage /. o else 1.) opt_total;
+      })
+    packers
+
+let score_table scores =
+  let has_opt = List.exists (fun s -> s.ratio_opt <> None) scores in
+  let columns =
+    [
+      ("algorithm", Report.Left);
+      ("usage", Report.Right);
+      ("bins", Report.Right);
+      ("max-conc", Report.Right);
+      ("util", Report.Right);
+      ("ratio/LB", Report.Right);
+    ]
+    @ (if has_opt then [ ("ratio/OPT", Report.Right) ] else [])
+  in
+  let rows =
+    List.map
+      (fun s ->
+        [
+          s.label;
+          Report.cell_f ~decimals:2 s.usage;
+          Report.cell_i s.bins;
+          Report.cell_i s.max_concurrent;
+          Report.cell_f ~decimals:3 s.utilization;
+          Report.cell_f ~decimals:3 s.ratio_lb;
+        ]
+        @
+        match (has_opt, s.ratio_opt) with
+        | false, _ -> []
+        | true, Some r -> [ Report.cell_f ~decimals:3 r ]
+        | true, None -> [ "-" ])
+      scores
+  in
+  Report.make ~columns ~rows
+
+let pp_score ppf s =
+  Format.fprintf ppf "%s: usage=%.4g bins=%d ratio/LB=%.3f" s.label s.usage
+    s.bins s.ratio_lb

@@ -1,0 +1,51 @@
+(** Running a portfolio of algorithms on instances and scoring them.
+
+    A [packer] is any function from instance to packing — offline
+    algorithms directly, online algorithms through {!Dbp_online.Engine} —
+    paired with a label for reports.  The runner evaluates each packer on
+    an instance against the Proposition-3 lower bound and (optionally,
+    when the instance is small enough) the exact repacking adversary
+    OPT_total. *)
+
+open Dbp_core
+
+type packer = { label : string; pack : Instance.t -> Packing.t }
+
+val offline : string -> (Instance.t -> Packing.t) -> packer
+val online : Dbp_online.Engine.t -> packer
+(** Label taken from the engine algorithm's name. *)
+
+val online_tuned :
+  string -> (Instance.t -> Dbp_online.Engine.t) -> packer
+(** An online algorithm whose parameters are set per-instance from scalar
+    statistics (Delta, mu) the theorems allow it to know. *)
+
+val default_portfolio : packer list
+(** The standard comparison set: ddff, dual-coloring, first-fit,
+    best-fit, worst-fit, next-fit, hybrid-ff, cbdt-ff (tuned), cbd-ff
+    (tuned), combined-ff (tuned). *)
+
+val names : string list
+(** Labels of the default portfolio, for CLI completion/validation. *)
+
+val by_name : string -> packer option
+(** Look a portfolio member up by its label (e.g. "ddff", "cbdt-ff*"). *)
+
+type score = {
+  label : string;
+  usage : float;
+  bins : int;
+  max_concurrent : int;
+  utilization : float;
+  ratio_lb : float;  (** usage / Proposition-3 lower bound (upper bounds
+                         the true ratio) *)
+  ratio_opt : float option;  (** usage / OPT_total when computed *)
+}
+
+val evaluate : ?opt:bool -> packer list -> Instance.t -> score list
+(** @param opt also compute exact OPT_total ratios (default false; cost is
+    exponential in the per-instant active-item count). *)
+
+val score_table : score list -> Report.table
+
+val pp_score : Format.formatter -> score -> unit

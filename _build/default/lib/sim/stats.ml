@@ -1,0 +1,58 @@
+type summary = {
+  n : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+}
+
+let check xs = if xs = [] then invalid_arg "Stats: empty sample"
+
+let mean xs =
+  check xs;
+  List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs)
+
+let stddev xs =
+  check xs;
+  let n = List.length xs in
+  if n < 2 then 0.
+  else
+    let m = mean xs in
+    let ss = List.fold_left (fun acc x -> acc +. ((x -. m) ** 2.)) 0. xs in
+    sqrt (ss /. float_of_int (n - 1))
+
+let minimum xs =
+  check xs;
+  List.fold_left Float.min Float.infinity xs
+
+let maximum xs =
+  check xs;
+  List.fold_left Float.max Float.neg_infinity xs
+
+let summarize xs =
+  check xs;
+  {
+    n = List.length xs;
+    mean = mean xs;
+    stddev = stddev xs;
+    min = minimum xs;
+    max = maximum xs;
+  }
+
+let percentile p xs =
+  check xs;
+  if p < 0. || p > 100. then invalid_arg "Stats.percentile: p out of range";
+  let arr = Array.of_list xs in
+  Array.sort Float.compare arr;
+  let n = Array.length arr in
+  if n = 1 then arr.(0)
+  else
+    let rank = p /. 100. *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.floor rank) in
+    let hi = min (lo + 1) (n - 1) in
+    let frac = rank -. float_of_int lo in
+    arr.(lo) +. (frac *. (arr.(hi) -. arr.(lo)))
+
+let pp_summary ppf s =
+  Format.fprintf ppf "n=%d mean=%.4g sd=%.3g min=%.4g max=%.4g" s.n s.mean
+    s.stddev s.min s.max

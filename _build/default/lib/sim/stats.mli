@@ -1,0 +1,24 @@
+(** Small descriptive-statistics kit for aggregating runs across seeds. *)
+
+type summary = {
+  n : int;
+  mean : float;
+  stddev : float;  (** sample standard deviation (n-1); 0 for n < 2 *)
+  min : float;
+  max : float;
+}
+
+val summarize : float list -> summary
+(** @raise Invalid_argument on an empty list. *)
+
+val mean : float list -> float
+val stddev : float list -> float
+val minimum : float list -> float
+val maximum : float list -> float
+
+val percentile : float -> float list -> float
+(** [percentile p xs] with p in [0, 100], linear interpolation between
+    order statistics. @raise Invalid_argument on empty input or p out of
+    range. *)
+
+val pp_summary : Format.formatter -> summary -> unit

@@ -1,0 +1,62 @@
+open Dbp_core
+
+type point = {
+  parameter : float;
+  label : string;
+  ratios : Stats.summary;
+}
+
+let default_metric instance packing =
+  Dbp_opt.Lower_bounds.ratio_to_best instance
+    (Packing.total_usage_time packing)
+
+let run ?(seeds = 5) ~parameters ~generate ~packers ?(metric = default_metric)
+    () =
+  if seeds < 1 then invalid_arg "Sweep.run: seeds < 1";
+  List.concat_map
+    (fun parameter ->
+      let instances =
+        List.init seeds (fun seed -> generate ~seed parameter)
+      in
+      List.map
+        (fun (p : Runner.packer) ->
+          let ratios =
+            List.map (fun inst -> metric inst (p.Runner.pack inst)) instances
+          in
+          { parameter; label = p.Runner.label; ratios = Stats.summarize ratios })
+        packers)
+    parameters
+
+let table ?(param_name = "param") points =
+  let parameters =
+    List.map (fun p -> p.parameter) points |> List.sort_uniq Float.compare
+  in
+  let labels =
+    List.fold_left
+      (fun acc p -> if List.mem p.label acc then acc else acc @ [ p.label ])
+      [] points
+  in
+  let columns =
+    (param_name, Report.Right)
+    :: List.map (fun l -> (l, Report.Right)) labels
+  in
+  let rows =
+    List.map
+      (fun param ->
+        Report.cell_f ~decimals:2 param
+        :: List.map
+             (fun label ->
+               match
+                 List.find_opt
+                   (fun p ->
+                     Float.equal p.parameter param && String.equal p.label label)
+                   points
+               with
+               | Some p ->
+                   Printf.sprintf "%.3f (%.3f)" p.ratios.Stats.mean
+                     p.ratios.Stats.max
+               | None -> "-")
+             labels)
+      parameters
+  in
+  Report.make ~columns ~rows

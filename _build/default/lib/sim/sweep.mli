@@ -1,0 +1,30 @@
+(** Parameter sweeps with seed replication.
+
+    The experiments all share one shape: for each value of a swept
+    parameter, generate [seeds] instances, run a set of packers, and
+    aggregate a per-run metric (usually the ratio to the Proposition-3
+    lower bound) into mean/min/max.  This module is that shape. *)
+
+open Dbp_core
+
+type point = {
+  parameter : float;
+  label : string;
+  ratios : Stats.summary;  (** aggregated metric over the seeds *)
+}
+
+val run :
+  ?seeds:int ->
+  parameters:float list ->
+  generate:(seed:int -> float -> Instance.t) ->
+  packers:Runner.packer list ->
+  ?metric:(Instance.t -> Packing.t -> float) ->
+  unit ->
+  point list
+(** Default [seeds] 5; default [metric] is usage divided by the
+    Proposition-3 lower bound.  Points come out grouped by parameter, in
+    packer order within a parameter. *)
+
+val table : ?param_name:string -> point list -> Report.table
+(** Wide table: one row per parameter value, one column per packer label,
+    cells "mean (max)". *)

@@ -1,0 +1,1 @@
+lib/theory/figure8.mli: Format

@@ -1,0 +1,40 @@
+type row = {
+  mu : float;
+  cbdt : float;
+  cbd : float;
+  cbd_n : int;
+  first_fit : float;
+}
+
+let row mu =
+  {
+    mu;
+    cbdt = Ratios.cbdt_best ~mu;
+    cbd = Ratios.cbd_best ~mu;
+    cbd_n = Ratios.cbd_best_n ~mu;
+    first_fit = Ratios.first_fit ~mu;
+  }
+
+let default_mus = List.init 100 (fun i -> float_of_int (i + 1))
+
+let series ?(mus = default_mus) () = List.map row mus
+
+let crossover () =
+  let step = 0.01 in
+  let rec scan mu =
+    if mu > 1000. then nan
+    else if Ratios.cbd_best ~mu < Ratios.cbdt_best ~mu -. 1e-12 then mu
+    else scan (mu +. step)
+  in
+  scan 1.
+
+let equal_point_value = 7.
+
+let pp_row ppf r =
+  Format.fprintf ppf "%8.2f  %10.4f  %10.4f (n=%d)  %10.4f" r.mu r.cbdt r.cbd
+    r.cbd_n r.first_fit
+
+let pp_table ppf rows =
+  Format.fprintf ppf "%8s  %10s  %16s  %10s@." "mu" "cbdt-ff" "cbd-ff"
+    "first-fit";
+  List.iter (fun r -> Format.fprintf ppf "%a@." pp_row r) rows

@@ -1,0 +1,34 @@
+(** The data behind the paper's Figure 8 (Section 5.4).
+
+    Best achievable competitive ratios, durations known, as functions of
+    mu: classify-by-departure-time First Fit at rho = sqrt(mu) Delta,
+    classify-by-duration First Fit at the optimal category count n, and
+    the original (non-clairvoyant) First Fit mu + 4 reference line.  The
+    paper's observations to reproduce: both classification strategies are
+    asymptotically far below mu + 4; classify-by-departure-time wins for
+    mu < 4; classify-by-duration wins for mu > 4. *)
+
+type row = {
+  mu : float;
+  cbdt : float;  (** 2 sqrt(mu) + 3 *)
+  cbd : float;  (** min_n mu^(1/n) + n + 3 *)
+  cbd_n : int;  (** the minimising n *)
+  first_fit : float;  (** mu + 4 *)
+}
+
+val row : float -> row
+
+val series : ?mus:float list -> unit -> row list
+(** Default mu grid: 1 to 100 in steps of 1 (the x-range of Figure 8). *)
+
+val crossover : unit -> float
+(** The mu at which the two strategies' best ratios cross (cbd becomes
+    strictly better), found by scanning a fine grid; the paper reports 4. *)
+
+val equal_point_value : float
+(** The common ratio value at mu = 4: both strategies give 2*2 + 3 = 7 =
+    4^(1/2) + 2 + 3 ... i.e. 7.  Used as a sanity anchor in tests. *)
+
+val pp_row : Format.formatter -> row -> unit
+
+val pp_table : Format.formatter -> row list -> unit

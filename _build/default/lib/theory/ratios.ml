@@ -1,0 +1,72 @@
+let check_mu mu =
+  if not (Float.is_finite mu && mu >= 1.) then
+    invalid_arg (Printf.sprintf "Ratios: mu = %g < 1" mu)
+
+let ddff = 5.
+let dual_coloring = 4.
+let online_lower_bound = (1. +. sqrt 5.) /. 2.
+
+let first_fit ~mu =
+  check_mu mu;
+  mu +. 4.
+
+let first_fit_li ~mu =
+  check_mu mu;
+  (2. *. mu) +. 7.
+
+let next_fit ~mu =
+  check_mu mu;
+  (2. *. mu) +. 1.
+
+let any_fit_lower ~mu =
+  check_mu mu;
+  mu +. 1.
+
+let hybrid_first_fit_unknown_mu ~mu =
+  check_mu mu;
+  (8. /. 7. *. mu) +. (55. /. 7.)
+
+let hybrid_first_fit_known_mu ~mu =
+  check_mu mu;
+  mu +. 5.
+
+let cbdt ~rho ~delta ~mu =
+  check_mu mu;
+  if rho <= 0. || delta <= 0. then invalid_arg "Ratios.cbdt";
+  (rho /. delta) +. (mu *. delta /. rho) +. 3.
+
+let cbdt_best ~mu =
+  check_mu mu;
+  (2. *. sqrt mu) +. 3.
+
+(* ceil(log_alpha mu) with a relative tolerance so that exact powers of
+   alpha do not round up. *)
+let ceil_log ~alpha ~mu =
+  let x = log mu /. log alpha in
+  Float.ceil (x -. 1e-9)
+
+let cbd ~alpha ~mu =
+  check_mu mu;
+  if alpha <= 1. then invalid_arg "Ratios.cbd: alpha <= 1";
+  alpha +. ceil_log ~alpha ~mu +. 4.
+
+let cbd_known ~n ~mu =
+  check_mu mu;
+  if n < 1 then invalid_arg "Ratios.cbd_known: n < 1";
+  (mu ** (1. /. float_of_int n)) +. float_of_int n +. 3.
+
+(* mu^(1/n) + n + 3 is unimodal in n (convex in real n), so walk up from
+   n = 1 until the value stops decreasing. *)
+let cbd_best_n ~mu =
+  check_mu mu;
+  let rec climb n =
+    if cbd_known ~n:(n + 1) ~mu < cbd_known ~n ~mu then climb (n + 1) else n
+  in
+  climb 1
+
+let cbd_best ~mu = cbd_known ~n:(cbd_best_n ~mu) ~mu
+
+let bucket_first_fit ~alpha ~mu =
+  check_mu mu;
+  if alpha <= 1. then invalid_arg "Ratios.bucket_first_fit: alpha <= 1";
+  ((2. *. alpha) +. 2.) *. Float.max 1. (ceil_log ~alpha ~mu)

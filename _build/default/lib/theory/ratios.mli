@@ -1,0 +1,61 @@
+(** Closed-form approximation and competitive ratio bounds.
+
+    Every bound proven or cited by the paper, as functions of the max/min
+    item-duration ratio mu and the algorithm parameters.  These are the
+    series of Figure 8 and the reference lines the empirical experiments
+    are compared against. *)
+
+val ddff : float
+(** 5: Duration Descending First Fit approximation ratio (Theorem 1). *)
+
+val dual_coloring : float
+(** 4: Dual Coloring approximation ratio (Theorem 2). *)
+
+val online_lower_bound : float
+(** (1 + sqrt 5) / 2: no deterministic online algorithm beats the golden
+    ratio in the clairvoyant setting (Theorem 3). *)
+
+val first_fit : mu:float -> float
+(** mu + 4: non-clairvoyant First Fit upper bound (Tang et al. 2016),
+    the "original First Fit" line of Figure 8. *)
+
+val first_fit_li : mu:float -> float
+(** 2 mu + 7: the earlier First Fit upper bound (Li et al. 2014). *)
+
+val next_fit : mu:float -> float
+(** 2 mu + 1 (Kamali & Lopez-Ortiz 2015). *)
+
+val any_fit_lower : mu:float -> float
+(** mu + 1: lower bound for every Any Fit algorithm. *)
+
+val hybrid_first_fit_unknown_mu : mu:float -> float
+(** 8/7 mu + 55/7 (Li et al., mu unknown). *)
+
+val hybrid_first_fit_known_mu : mu:float -> float
+(** mu + 5 (Li et al., mu known). *)
+
+val cbdt : rho:float -> delta:float -> mu:float -> float
+(** rho/Delta + mu Delta/rho + 3: classify-by-departure-time First Fit
+    (Theorem 4, general rho).
+    @raise Invalid_argument on non-positive rho or delta or mu < 1. *)
+
+val cbdt_best : mu:float -> float
+(** 2 sqrt(mu) + 3: Theorem 4 at the optimal rho = sqrt(mu) Delta. *)
+
+val cbd : alpha:float -> mu:float -> float
+(** alpha + ceil(log_alpha mu) + 4: classify-by-duration First Fit
+    (Theorem 5, general alpha).
+    @raise Invalid_argument if alpha <= 1 or mu < 1. *)
+
+val cbd_known : n:int -> mu:float -> float
+(** mu^(1/n) + n + 3: Theorem 5 with durations known and n categories. *)
+
+val cbd_best : mu:float -> float
+(** min over n >= 1 of {!cbd_known}. *)
+
+val cbd_best_n : mu:float -> int
+(** The minimising n (smallest in case of ties). *)
+
+val bucket_first_fit : alpha:float -> mu:float -> float
+(** (2 alpha + 2) ceil(log_alpha mu): the BucketFirstFit bound of Shalom
+    et al. 2014 that Theorem 5 improves on (Section 5.3 remark). *)

@@ -1,0 +1,1 @@
+lib/workload/adversarial.ml: Dbp_core Instance Item List Packing Prng

@@ -1,0 +1,1 @@
+lib/workload/adversarial.mli: Dbp_core Instance Packing

@@ -1,0 +1,1 @@
+lib/workload/analytics.ml: Array Dbp_core Float Format Instance Item List Prng

@@ -1,0 +1,1 @@
+lib/workload/analytics.mli: Dbp_core Format Instance

@@ -1,0 +1,1 @@
+lib/workload/cloud_gaming.ml: Array Dbp_core Float Format Instance Item List Prng

@@ -1,0 +1,1 @@
+lib/workload/cloud_gaming.mli: Dbp_core Format Instance

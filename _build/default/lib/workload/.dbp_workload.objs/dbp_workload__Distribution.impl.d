@@ -1,0 +1,1 @@
+lib/workload/distribution.ml: Array Float List Printf Prng String

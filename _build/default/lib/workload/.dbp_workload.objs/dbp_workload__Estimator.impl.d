@@ -1,0 +1,1 @@
+lib/workload/estimator.ml: Dbp_core Float Instance Item List Prng

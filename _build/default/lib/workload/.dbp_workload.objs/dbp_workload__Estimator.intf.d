@@ -1,0 +1,1 @@
+lib/workload/estimator.mli: Dbp_core Instance Item

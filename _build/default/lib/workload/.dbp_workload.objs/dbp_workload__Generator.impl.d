@@ -1,0 +1,1 @@
+lib/workload/generator.ml: Dbp_core Distribution Float Format Instance Item List Prng

@@ -1,0 +1,1 @@
+lib/workload/generator.mli: Dbp_core Distribution Format Instance

@@ -1,0 +1,1 @@
+lib/workload/trace.ml: Buffer Dbp_core Fun Instance Item List Printf String

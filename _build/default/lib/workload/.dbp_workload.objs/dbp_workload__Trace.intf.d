@@ -1,0 +1,1 @@
+lib/workload/trace.mli: Dbp_core Instance

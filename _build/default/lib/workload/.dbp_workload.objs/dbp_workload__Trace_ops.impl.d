@@ -1,0 +1,1 @@
+lib/workload/trace_ops.ml: Dbp_core Float Instance Interval Item List Prng

@@ -1,0 +1,1 @@
+lib/workload/trace_ops.mli: Dbp_core Instance

@@ -1,0 +1,1 @@
+lib/workload/vm_fleet.ml: Array Dbp_core Float Instance Item List Prng

@@ -1,0 +1,1 @@
+lib/workload/vm_fleet.mli: Dbp_core Instance

@@ -1,0 +1,89 @@
+open Dbp_core
+
+type case = A | B
+
+let golden_ratio = (1. +. sqrt 5.) /. 2.
+
+let theorem3 ?(x = golden_ratio) ?(eps = 0.01) ?(tau = 0.001) case =
+  if x <= 1. then invalid_arg "Adversarial.theorem3: x <= 1";
+  if eps <= 0. || eps >= 0.5 then invalid_arg "Adversarial.theorem3: eps";
+  if tau <= 0. then invalid_arg "Adversarial.theorem3: tau <= 0";
+  let small = 0.5 -. eps and large = 0.5 +. eps in
+  let base =
+    [
+      Item.make ~id:0 ~size:small ~arrival:0. ~departure:x;
+      Item.make ~id:1 ~size:small ~arrival:0. ~departure:1.;
+    ]
+  in
+  let extra =
+    match case with
+    | A -> []
+    | B ->
+        [
+          Item.make ~id:2 ~size:large ~arrival:tau ~departure:(tau +. x);
+          Item.make ~id:3 ~size:large ~arrival:tau ~departure:(tau +. 1.);
+        ]
+  in
+  Instance.of_items (base @ extra)
+
+let theorem3_opt_usage ?(x = golden_ratio) ?(tau = 0.001) = function
+  | A -> x
+  | B -> x +. 1. +. (2. *. tau)
+
+let staggered_departures ?(k = 10) ?(long = 50.) () =
+  if k < 1 then invalid_arg "Adversarial.staggered_departures: k < 1";
+  if long <= 0. then invalid_arg "Adversarial.staggered_departures: long <= 0";
+  let size = 1. /. float_of_int k in
+  Instance.of_items
+    (List.init k (fun i ->
+         Item.make ~id:i ~size ~arrival:0.
+           ~departure:(float_of_int (i + 1) *. long /. float_of_int k)))
+
+let mixed_duration_trap ?(pairs = 20) ?(mu = 50.) () =
+  if pairs < 1 || pairs > 99 then
+    invalid_arg "Adversarial.mixed_duration_trap: pairs outside [1, 99]";
+  if mu <= 1. then invalid_arg "Adversarial.mixed_duration_trap: mu <= 1";
+  let tau = 1e-3 in
+  let items =
+    List.concat
+      (List.init pairs (fun i ->
+           let t = float_of_int i *. tau in
+           [
+             Item.make ~id:(2 * i) ~size:0.99 ~arrival:t ~departure:(t +. 1.);
+             Item.make ~id:(2 * i + 1) ~size:0.01 ~arrival:(t +. (tau /. 2.))
+               ~departure:(t +. mu);
+           ]))
+  in
+  Instance.of_items items
+
+let random_instance rng items =
+  let rec build i acc =
+    if i = items then acc
+    else
+      let arrival = Prng.uniform rng ~lo:0. ~hi:10. in
+      let duration = Prng.uniform rng ~lo:0.5 ~hi:10. in
+      let size = Prng.uniform rng ~lo:0.1 ~hi:1. in
+      build (i + 1)
+        (Item.make ~id:i ~size ~arrival ~departure:(arrival +. duration) :: acc)
+  in
+  Instance.of_items (build 0 [])
+
+let worst_of_random ?(seed = 0) ?(rounds = 200) ?(items = 8) ~pack ~ratio_of () =
+  if rounds < 1 then invalid_arg "Adversarial.worst_of_random: rounds < 1";
+  let rng = Prng.create seed in
+  let rec search i (best_inst, best_ratio) =
+    if i = rounds then (best_inst, best_ratio)
+    else
+      let inst = random_instance rng items in
+      let usage = Packing.total_usage_time (pack inst) in
+      let ratio = ratio_of inst usage in
+      let best =
+        if ratio > best_ratio then (inst, ratio) else (best_inst, best_ratio)
+      in
+      search (i + 1) best
+  in
+  let first = random_instance rng items in
+  let first_ratio =
+    ratio_of first (Packing.total_usage_time (pack first))
+  in
+  search 1 (first, first_ratio)

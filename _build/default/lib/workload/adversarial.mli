@@ -1,0 +1,59 @@
+(** Adversarial instances.
+
+    The centrepiece is the Theorem 3 gadget (paper Section 5.1, Figure 5):
+    two items of size 1/2 - epsilon arrive at time 0 with durations x and
+    1 (x > 1); in case B two more items of size 1/2 + epsilon arrive at
+    tau with durations x and 1.  Any deterministic online algorithm packs
+    the first two identically in both cases, so it loses a factor
+    approaching (1 + sqrt 5)/2 on one of them when x is the golden ratio.
+
+    Also here: a staggered-departure trap showing why departure-aware
+    packing helps (our construction, not from the paper), and a random
+    search that hunts for high-ratio instances for any packing function. *)
+
+open Dbp_core
+
+type case = A | B
+
+val theorem3 : ?x:float -> ?eps:float -> ?tau:float -> case -> Instance.t
+(** Defaults: x = golden ratio, eps = 0.01, tau = 0.001. Item ids: 0 and 1
+    are the size-(1/2 - eps) items with durations x and 1; in case B items
+    2 and 3 are the size-(1/2 + eps) items with durations x and 1.
+    @raise Invalid_argument unless x > 1, 0 < eps < 1/2, tau > 0. *)
+
+val theorem3_opt_usage : ?x:float -> ?tau:float -> case -> float
+(** The optimal total usage of the gadget: x for case A,
+    x + 1 + 2 tau for case B (from the proof). *)
+
+val golden_ratio : float
+
+val staggered_departures : ?k:int -> ?long:float -> unit -> Instance.t
+(** [k] items (default 10) of size 1/k all arrive at 0; item i departs at
+    (i+1) * long / k (default long = 50).  One First Fit bin holds them
+    all (optimal); departure classification fragments them into up to k
+    bins.  The *anti*-classification gadget: it prices the category
+    fragmentation overhead of the clairvoyant strategies. *)
+
+val mixed_duration_trap : ?pairs:int -> ?mu:float -> unit -> Instance.t
+(** The classic duration-mixing trap that makes Any Fit pay a factor ~mu
+    (the family behind the (mu+1) Any Fit lower bound of Li et al.):
+    [pairs] (default 20, capped by sizes at 99) pairs arrive in quick
+    succession at t = i/1000; pair i is a big item (size 0.99, duration 1)
+    and a tiny item (size 0.01, duration [mu], default 50).  Every Any Fit
+    algorithm fills bin i with exactly pair i, so each of the k bins stays
+    open for ~mu: cost ~ k mu.  The adversary packs bigs in k bins for
+    ~1 time unit and all tinies in one bin: cost ~ k + mu.
+    Classify-by-departure-time recovers the adversary's structure online. *)
+
+val worst_of_random :
+  ?seed:int ->
+  ?rounds:int ->
+  ?items:int ->
+  pack:(Instance.t -> Packing.t) ->
+  ratio_of:(Instance.t -> float -> float) ->
+  unit ->
+  Instance.t * float
+(** Random search for a bad instance: [rounds] (default 200) random small
+    instances ([items] default 8), returning the one maximising
+    [ratio_of instance (usage (pack instance))] together with that ratio.
+    A cheap empirical adversary for regression-testing ratio claims. *)

@@ -1,0 +1,81 @@
+open Dbp_core
+
+type template = {
+  name : string;
+  period : float;
+  duration : float;
+  duration_noise : float;
+  share : float;
+  jitter : float;
+}
+
+let default_templates =
+  [|
+    { name = "hourly-etl"; period = 60.; duration = 20.; duration_noise = 0.1; share = 0.5; jitter = 2. };
+    { name = "hourly-rollup"; period = 60.; duration = 10.; duration_noise = 0.15; share = 0.25; jitter = 2. };
+    { name = "15min-ingest"; period = 15.; duration = 5.; duration_noise = 0.1; share = 0.2; jitter = 1. };
+    { name = "daily-report"; period = 1440.; duration = 120.; duration_noise = 0.2; share = 0.6; jitter = 10. };
+    { name = "6h-training"; period = 360.; duration = 90.; duration_noise = 0.15; share = 0.4; jitter = 5. };
+  |]
+
+type config = {
+  templates : template array;
+  adhoc_rate : float;
+  horizon : float;
+}
+
+let default =
+  { templates = default_templates; adhoc_rate = 0.2; horizon = 2. *. 1440. }
+
+let generate ?(seed = 0) config =
+  if config.horizon <= 0. then invalid_arg "Analytics.generate: horizon <= 0";
+  if config.adhoc_rate < 0. then invalid_arg "Analytics.generate: rate < 0";
+  let rng = Prng.create seed in
+  let items = ref [] in
+  let next_id = ref 0 in
+  let add ~size ~arrival ~duration =
+    let id = !next_id in
+    incr next_id;
+    let arrival = Float.max 0. arrival in
+    let duration = Float.max 0.5 duration in
+    items := Item.make ~id ~size ~arrival ~departure:(arrival +. duration) :: !items
+  in
+  Array.iter
+    (fun tpl ->
+      let fire_rng = Prng.split rng in
+      let rec fire k =
+        let nominal = float_of_int k *. tpl.period in
+        if nominal < config.horizon then begin
+          let arrival =
+            nominal +. Prng.gaussian fire_rng ~mean:0. ~stddev:tpl.jitter
+          in
+          let duration =
+            tpl.duration
+            *. Float.max 0.2
+                 (Prng.gaussian fire_rng ~mean:1. ~stddev:tpl.duration_noise)
+          in
+          add ~size:tpl.share ~arrival ~duration;
+          fire (k + 1)
+        end
+      in
+      fire 0)
+    config.templates;
+  if config.adhoc_rate > 0. then begin
+    let adhoc_rng = Prng.split rng in
+    let rec arrive t =
+      let t = t +. Prng.exponential adhoc_rng ~mean:(1. /. config.adhoc_rate) in
+      if t < config.horizon then begin
+        let size = Prng.uniform adhoc_rng ~lo:0.05 ~hi:0.2 in
+        let duration = Prng.exponential adhoc_rng ~mean:3. in
+        add ~size ~arrival:t ~duration:(Float.max 0.5 duration);
+        arrive t
+      end
+    in
+    arrive 0.
+  end;
+  Instance.of_items (List.rev !items)
+
+let pp_template ppf t =
+  Format.fprintf ppf
+    "%s: every %gmin, runs %gmin (noise %g), share %g, jitter %gmin" t.name
+    t.period t.duration t.duration_noise t.share t.jitter

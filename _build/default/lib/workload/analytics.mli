@@ -1,0 +1,37 @@
+(** Recurring data-analytics workload (the paper's second motivation).
+
+    Data-analytics clusters run mostly recurring jobs — hourly ETL, daily
+    reports — whose durations are predictable from history (Jockey/
+    Corral/SIGCOMM'15 lines of work cited by the paper), again the
+    clairvoyant setting.
+
+    Model: a set of job templates; template j fires every [period_j]
+    minutes with a small arrival jitter, runs for its characteristic
+    duration with small relative noise, and demands a fixed fraction of a
+    worker.  On top of the periodic backbone, a Poisson stream of ad-hoc
+    exploratory queries (short, small) is mixed in. *)
+
+open Dbp_core
+
+type template = {
+  name : string;
+  period : float;  (** minutes between firings *)
+  duration : float;  (** characteristic run time, minutes *)
+  duration_noise : float;  (** relative sigma of the run time *)
+  share : float;  (** worker fraction *)
+  jitter : float;  (** arrival jitter, minutes *)
+}
+
+val default_templates : template array
+
+type config = {
+  templates : template array;
+  adhoc_rate : float;  (** ad-hoc queries per minute; 0 disables *)
+  horizon : float;  (** minutes *)
+}
+
+val default : config
+
+val generate : ?seed:int -> config -> Instance.t
+
+val pp_template : Format.formatter -> template -> unit

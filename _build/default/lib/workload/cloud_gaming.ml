@@ -1,0 +1,76 @@
+open Dbp_core
+
+type title = {
+  name : string;
+  share : float;
+  mean_minutes : float;
+  sigma : float;
+  weight : float;
+}
+
+let catalogue =
+  [|
+    { name = "arena-shooter"; share = 0.5; mean_minutes = 35.; sigma = 0.5; weight = 3. };
+    { name = "open-world"; share = 0.5; mean_minutes = 90.; sigma = 0.6; weight = 2. };
+    { name = "moba"; share = 1. /. 3.; mean_minutes = 40.; sigma = 0.35; weight = 4. };
+    { name = "racer"; share = 0.25; mean_minutes = 25.; sigma = 0.4; weight = 2. };
+    { name = "puzzle"; share = 0.1; mean_minutes = 15.; sigma = 0.5; weight = 1. };
+  |]
+
+type config = {
+  titles : title array;
+  base_rate : float;
+  days : float;
+  diurnal_amplitude : float;
+}
+
+let default =
+  { titles = catalogue; base_rate = 0.5; days = 2.; diurnal_amplitude = 0.8 }
+
+let minutes_per_day = 1440.
+
+(* Thinned Poisson process: candidate arrivals at the peak rate, each kept
+   with probability rate(t)/peak — exact for inhomogeneous Poisson. *)
+let diurnal_intensity config t =
+  let phase = 2. *. Float.pi *. (t /. minutes_per_day) in
+  (* Peak at 21:00, trough at 09:00: shift the cosine accordingly. *)
+  let peak_time = 21. /. 24. in
+  let value =
+    1. -. (config.diurnal_amplitude *. 0.5 *. (1. -. cos (phase -. (2. *. Float.pi *. peak_time))))
+  in
+  Float.max 0.05 value
+
+let generate ?(seed = 0) config =
+  if config.base_rate <= 0. then invalid_arg "Cloud_gaming.generate: rate <= 0";
+  if config.days <= 0. then invalid_arg "Cloud_gaming.generate: days <= 0";
+  if Array.length config.titles = 0 then
+    invalid_arg "Cloud_gaming.generate: no titles";
+  let rng = Prng.create seed in
+  let pick_rng = Prng.split rng in
+  let len_rng = Prng.split rng in
+  let horizon = config.days *. minutes_per_day in
+  let weighted =
+    Array.map (fun title -> (title, title.weight)) config.titles
+  in
+  let rec arrive t acc id =
+    let t = t +. Prng.exponential rng ~mean:(1. /. config.base_rate) in
+    if t >= horizon then List.rev acc
+    else if Prng.float rng > diurnal_intensity config t then arrive t acc id
+    else
+      let title = Prng.choose_weighted pick_rng weighted in
+      let minutes =
+        Prng.lognormal len_rng
+          ~mu:(log title.mean_minutes -. (title.sigma ** 2.) /. 2.)
+          ~sigma:title.sigma
+      in
+      let minutes = Float.max 1. (Float.min (8. *. 60.) minutes) in
+      let item =
+        Item.make ~id ~size:title.share ~arrival:t ~departure:(t +. minutes)
+      in
+      arrive t (item :: acc) (id + 1)
+  in
+  Instance.of_items (arrive 0. [] 0)
+
+let pp_title ppf t =
+  Format.fprintf ppf "%s: share=%g mean=%gmin sigma=%g weight=%g" t.name
+    t.share t.mean_minutes t.sigma t.weight

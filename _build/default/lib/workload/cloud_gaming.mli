@@ -1,0 +1,40 @@
+(** Cloud-gaming session workload (the paper's primary motivation).
+
+    Game sessions are the items: each session needs a fixed fraction of a
+    game server (GPU/CPU slice depending on the title) for the session's
+    length, which is predictable from the game being played (Li, Tang &
+    Cai 2015 dispatch on exactly this) — the clairvoyant setting.
+
+    Model: a small catalogue of game titles, each with a server-share
+    size, a characteristic session length (lognormal around it) and a
+    popularity weight; players arrive as a Poisson process whose rate is
+    modulated by a diurnal (sinusoidal) profile — evening peaks, morning
+    troughs. *)
+
+open Dbp_core
+
+type title = {
+  name : string;
+  share : float;  (** server fraction one session occupies *)
+  mean_minutes : float;  (** characteristic session length *)
+  sigma : float;  (** lognormal shape of the length *)
+  weight : float;  (** popularity *)
+}
+
+val catalogue : title array
+(** Five stock titles: two heavyweights (share 1/2), two mid (1/3, 1/4)
+    and one lightweight (1/10). *)
+
+type config = {
+  titles : title array;
+  base_rate : float;  (** mean session starts per minute at peak *)
+  days : float;  (** horizon in days *)
+  diurnal_amplitude : float;  (** 0 = flat, 1 = full swing *)
+}
+
+val default : config
+
+val generate : ?seed:int -> config -> Instance.t
+(** Times are in minutes from the start of day one. *)
+
+val pp_title : Format.formatter -> title -> unit

@@ -1,0 +1,58 @@
+type t = { sample : Prng.t -> float; describe : string }
+
+let constant v = { sample = (fun _ -> v); describe = Printf.sprintf "const(%g)" v }
+
+let uniform ~lo ~hi =
+  {
+    sample = (fun rng -> Prng.uniform rng ~lo ~hi);
+    describe = Printf.sprintf "uniform(%g, %g)" lo hi;
+  }
+
+let exponential ~mean =
+  {
+    sample = (fun rng -> Prng.exponential rng ~mean);
+    describe = Printf.sprintf "exp(mean=%g)" mean;
+  }
+
+let pareto ~shape ~scale =
+  {
+    sample = (fun rng -> Prng.pareto rng ~shape ~scale);
+    describe = Printf.sprintf "pareto(shape=%g, scale=%g)" shape scale;
+  }
+
+let lognormal ~mu ~sigma =
+  {
+    sample = (fun rng -> Prng.lognormal rng ~mu ~sigma);
+    describe = Printf.sprintf "lognormal(mu=%g, sigma=%g)" mu sigma;
+  }
+
+let choice pairs =
+  {
+    sample = (fun rng -> Prng.choose_weighted rng pairs);
+    describe =
+      Printf.sprintf "choice(%s)"
+        (Array.to_list pairs
+        |> List.map (fun (v, w) -> Printf.sprintf "%g:%g" v w)
+        |> String.concat ", ");
+  }
+
+let clamped ~lo ~hi inner =
+  {
+    sample = (fun rng -> Float.min hi (Float.max lo (inner.sample rng)));
+    describe = Printf.sprintf "clamp[%g, %g](%s)" lo hi inner.describe;
+  }
+
+let scaled c inner =
+  {
+    sample = (fun rng -> c *. inner.sample rng);
+    describe = Printf.sprintf "%g*%s" c inner.describe;
+  }
+
+let sample t rng = t.sample rng
+
+let mean_estimate ?(n = 10_000) ~seed t =
+  let rng = Prng.create seed in
+  let rec go i acc = if i = n then acc /. float_of_int n else go (i + 1) (acc +. t.sample rng) in
+  go 0 0.
+
+let describe t = t.describe

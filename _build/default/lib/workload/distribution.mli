@@ -1,0 +1,29 @@
+(** First-class sampling distributions for item sizes and durations.
+
+    Generators take distributions as values so that experiment configs can
+    mix and match (e.g. exponential durations with fixed sizes) without
+    new generator code.  Each sample takes the PRNG explicitly. *)
+
+type t
+
+val constant : float -> t
+val uniform : lo:float -> hi:float -> t
+val exponential : mean:float -> t
+val pareto : shape:float -> scale:float -> t
+val lognormal : mu:float -> sigma:float -> t
+val choice : (float * float) array -> t
+(** [choice [| (value, weight); ... |]]. *)
+
+val clamped : lo:float -> hi:float -> t -> t
+(** Clamp samples into [lo, hi]; used to keep sizes in (0, 1] and
+    durations within a target mu range. *)
+
+val scaled : float -> t -> t
+
+val sample : t -> Prng.t -> float
+
+val mean_estimate : ?n:int -> seed:int -> t -> float
+(** Monte-Carlo mean with [n] draws (default 10_000) from a dedicated
+    stream: handy in tests and for load calibration. *)
+
+val describe : t -> string

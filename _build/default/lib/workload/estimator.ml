@@ -1,0 +1,48 @@
+open Dbp_core
+
+type t = Item.t -> float
+
+let exact = Item.departure
+
+(* Noise must be a pure function of (seed, item id): derive a one-shot
+   PRNG stream per item. *)
+let item_rng ~seed item =
+  Prng.create ((seed * 0x9E3779B1) lxor ((Item.id item + 1) * 0x85EBCA77))
+
+let multiplicative ?(seed = 0) ~sigma () =
+  if sigma < 0. then invalid_arg "Estimator.multiplicative: sigma < 0";
+  fun item ->
+    let rng = item_rng ~seed item in
+    let factor = Prng.lognormal rng ~mu:0. ~sigma in
+    Item.arrival item +. (Item.duration item *. factor)
+
+let additive ?(seed = 0) ~spread () =
+  if spread < 0. then invalid_arg "Estimator.additive: spread < 0";
+  fun item ->
+    let rng = item_rng ~seed item in
+    let noise = Prng.uniform rng ~lo:(-.spread) ~hi:spread in
+    Float.max
+      (Item.arrival item +. 1e-9)
+      (Item.departure item +. noise)
+
+let biased ~factor =
+  if factor <= 0. then invalid_arg "Estimator.biased: factor <= 0";
+  fun item -> Item.arrival item +. (factor *. Item.duration item)
+
+let quantized ~grain =
+  if grain <= 0. then invalid_arg "Estimator.quantized: grain <= 0";
+  fun item -> grain *. Float.ceil (Item.departure item /. grain)
+
+let error_stats estimate instance =
+  let errors =
+    List.map
+      (fun item ->
+        Float.abs (estimate item -. Item.departure item) /. Item.duration item)
+      (Instance.items instance)
+  in
+  match errors with
+  | [] -> (0., 0.)
+  | _ ->
+      let sum = List.fold_left ( +. ) 0. errors in
+      ( sum /. float_of_int (List.length errors),
+        List.fold_left Float.max 0. errors )

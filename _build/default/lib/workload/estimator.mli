@@ -1,0 +1,43 @@
+(** Departure-time estimators: modelling imperfect clairvoyance.
+
+    The paper (Section 6) asks how inaccurate duration estimates affect
+    the competitiveness of the classification strategies.  An estimator
+    maps an item to a *predicted* departure time; the classifiers use it
+    for category assignment while the true departure still drives the
+    simulation.  Estimators are deterministic functions of the item (the
+    noise is derived from the item id and a seed), so a run is
+    reproducible and an item is predicted consistently wherever it is
+    consulted. *)
+
+open Dbp_core
+
+type t = Item.t -> float
+
+val exact : t
+(** Perfect clairvoyance: the true departure time. *)
+
+val multiplicative : ?seed:int -> sigma:float -> unit -> t
+(** True duration scaled by a lognormal factor exp(N(0, sigma^2)) — the
+    standard model for runtime-prediction error.  [sigma = 0.1] is a
+    ~10% typical error.  The predicted departure is
+    arrival + duration * factor.
+    @raise Invalid_argument if [sigma < 0]. *)
+
+val additive : ?seed:int -> spread:float -> unit -> t
+(** True departure plus uniform noise in [-spread, +spread], clamped so
+    the predicted departure stays after the arrival.
+    @raise Invalid_argument if [spread < 0]. *)
+
+val biased : factor:float -> t
+(** Systematic over/under-estimation: predicted duration = factor * true
+    duration (factor 1.2 = always 20% pessimistic).
+    @raise Invalid_argument if [factor <= 0]. *)
+
+val quantized : grain:float -> t
+(** Departure rounded up to a multiple of [grain] — "the session ends
+    some time this hour" style prediction.
+    @raise Invalid_argument if [grain <= 0]. *)
+
+val error_stats : t -> Instance.t -> float * float
+(** (mean, max) relative duration error of the estimator over an
+    instance's items: |predicted - true| / true duration. *)

@@ -1,0 +1,68 @@
+open Dbp_core
+
+type config = {
+  arrival_rate : float;
+  horizon : float;
+  size : Distribution.t;
+  duration : Distribution.t;
+}
+
+let default =
+  {
+    arrival_rate = 2.;
+    horizon = 100.;
+    size = Distribution.uniform ~lo:0.05 ~hi:0.5;
+    duration =
+      Distribution.clamped ~lo:0.5 ~hi:50. (Distribution.exponential ~mean:5.);
+  }
+
+let size_floor = 1e-6
+
+let generate ?(seed = 0) config =
+  if config.arrival_rate <= 0. then invalid_arg "Generator.generate: rate <= 0";
+  if config.horizon <= 0. then invalid_arg "Generator.generate: horizon <= 0";
+  let arrivals_rng = Prng.create seed in
+  let size_rng = Prng.split arrivals_rng in
+  let duration_rng = Prng.split arrivals_rng in
+  let rec arrive t acc id =
+    let t = t +. Prng.exponential arrivals_rng ~mean:(1. /. config.arrival_rate) in
+    if t >= config.horizon then List.rev acc
+    else
+      let size =
+        Float.min 1. (Float.max size_floor (Distribution.sample config.size size_rng))
+      in
+      let duration =
+        Float.max size_floor (Distribution.sample config.duration duration_rng)
+      in
+      let item =
+        Item.make ~id ~size ~arrival:t ~departure:(t +. duration)
+      in
+      arrive t (item :: acc) (id + 1)
+  in
+  Instance.of_items (arrive 0. [] 0)
+
+let with_mu ?(seed = 0) ?(items = 200) ~mu () =
+  if mu < 1. then invalid_arg "Generator.with_mu: mu < 1";
+  let rng = Prng.create seed in
+  let horizon = float_of_int items /. 2. in
+  let rec build i t acc =
+    if i = items then List.rev acc
+    else
+      let t = t +. Prng.exponential rng ~mean:(horizon /. float_of_int items) in
+      let duration =
+        (* Force the extremes once each so the realised mu matches. *)
+        if i = 0 then 1.
+        else if i = 1 then mu
+        else Prng.uniform rng ~lo:1. ~hi:(Float.max (1. +. 1e-9) mu)
+      in
+      let size = Prng.uniform rng ~lo:0.05 ~hi:0.5 in
+      let item = Item.make ~id:i ~size ~arrival:t ~departure:(t +. duration) in
+      build (i + 1) t (item :: acc)
+  in
+  Instance.of_items (build 0 0. [])
+
+let pp_config ppf c =
+  Format.fprintf ppf
+    "rate=%g horizon=%g size=%s duration=%s" c.arrival_rate c.horizon
+    (Distribution.describe c.size)
+    (Distribution.describe c.duration)

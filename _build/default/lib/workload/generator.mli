@@ -1,0 +1,30 @@
+(** The general synthetic workload generator.
+
+    Items arrive as a Poisson process of the given rate over a horizon;
+    sizes and durations are drawn independently from the configured
+    distributions (sizes clamped into (0, 1]).  All randomness comes from
+    the seed, so a config plus a seed identifies an instance exactly. *)
+
+open Dbp_core
+
+type config = {
+  arrival_rate : float;  (** mean arrivals per unit time *)
+  horizon : float;  (** arrivals occur in [0, horizon) *)
+  size : Distribution.t;
+  duration : Distribution.t;
+}
+
+val default : config
+(** rate 2, horizon 100, sizes uniform(0.05, 0.5], durations
+    exponential(mean 5) clamped to [0.5, 50] (mu <= 100). *)
+
+val generate : ?seed:int -> config -> Instance.t
+(** @raise Invalid_argument on a non-positive rate or horizon. *)
+
+val with_mu : ?seed:int -> ?items:int -> mu:float -> unit -> Instance.t
+(** A calibrated instance whose duration spread is close to the requested
+    mu: durations uniform in [1, mu] with the extremes forced to appear,
+    sizes uniform(0.05, 0.5], [items] arrivals (default 200) Poisson over
+    a horizon scaling with [items].  Used by the ratio-vs-mu sweeps. *)
+
+val pp_config : Format.formatter -> config -> unit

@@ -1,0 +1,79 @@
+(* splitmix64 (Steele, Lea, Flood 2014): tiny, fast, passes BigCrush when
+   used as here, and trivially splittable. *)
+
+type t = { mutable state : int64; mutable spare_gaussian : float option }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let create seed =
+  { state = Int64.of_int seed; spare_gaussian = None }
+
+let int64 t =
+  t.state <- Int64.add t.state golden;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let split t =
+  { state = int64 t; spare_gaussian = None }
+
+let copy t = { state = t.state; spare_gaussian = t.spare_gaussian }
+
+(* 53 random bits into [0, 1). *)
+let float t =
+  let bits = Int64.shift_right_logical (int64 t) 11 in
+  Int64.to_float bits *. (1. /. 9007199254740992.)
+
+let uniform t ~lo ~hi =
+  if hi < lo then invalid_arg "Prng.uniform: hi < lo";
+  lo +. ((hi -. lo) *. float t)
+
+let int t n =
+  if n <= 0 then invalid_arg "Prng.int: n <= 0";
+  (* Rejection-free for our purposes: modulo bias is negligible for the
+     small ranges used by generators (n << 2^63). *)
+  Int64.to_int (Int64.rem (Int64.shift_right_logical (int64 t) 1) (Int64.of_int n))
+
+let bool t = Int64.logand (int64 t) 1L = 1L
+
+let exponential t ~mean =
+  if mean <= 0. then invalid_arg "Prng.exponential: mean <= 0";
+  let u = 1. -. float t (* in (0, 1] *) in
+  -.mean *. log u
+
+let pareto t ~shape ~scale =
+  if shape <= 0. || scale <= 0. then invalid_arg "Prng.pareto";
+  let u = 1. -. float t in
+  scale /. (u ** (1. /. shape))
+
+let gaussian t ~mean ~stddev =
+  match t.spare_gaussian with
+  | Some g ->
+      t.spare_gaussian <- None;
+      mean +. (stddev *. g)
+  | None ->
+      (* Box-Muller *)
+      let u1 = 1. -. float t and u2 = float t in
+      let r = sqrt (-2. *. log u1) in
+      let theta = 2. *. Float.pi *. u2 in
+      t.spare_gaussian <- Some (r *. sin theta);
+      mean +. (stddev *. r *. cos theta)
+
+let lognormal t ~mu ~sigma = exp (gaussian t ~mean:mu ~stddev:sigma)
+
+let choose t arr =
+  if Array.length arr = 0 then invalid_arg "Prng.choose: empty";
+  arr.(int t (Array.length arr))
+
+let choose_weighted t arr =
+  if Array.length arr = 0 then invalid_arg "Prng.choose_weighted: empty";
+  let total = Array.fold_left (fun acc (_, w) -> acc +. w) 0. arr in
+  if total <= 0. then invalid_arg "Prng.choose_weighted: total weight <= 0";
+  let target = float t *. total in
+  let rec scan i acc =
+    let x, w = arr.(i) in
+    let acc = acc +. w in
+    if target < acc || i = Array.length arr - 1 then x else scan (i + 1) acc
+  in
+  scan 0 0.

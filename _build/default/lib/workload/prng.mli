@@ -1,0 +1,51 @@
+(** Deterministic pseudo-random number generation (splitmix64).
+
+    Experiments must be reproducible bit-for-bit across runs and machines,
+    so the workload generators use this self-contained splitmix64
+    generator rather than the global [Random] state.  Streams seeded
+    identically are identical; [split] derives independent substreams so
+    that, e.g., adding a sampler to one part of a generator does not
+    perturb the draws of another. *)
+
+type t
+
+val create : int -> t
+(** A fresh generator from an integer seed. *)
+
+val split : t -> t
+(** A statistically independent substream; advances the parent. *)
+
+val copy : t -> t
+
+val int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val float : t -> float
+(** Uniform in [0, 1). *)
+
+val uniform : t -> lo:float -> hi:float -> float
+(** Uniform in [lo, hi). @raise Invalid_argument if [hi < lo]. *)
+
+val int : t -> int -> int
+(** [int t n] uniform in [0, n). @raise Invalid_argument if [n <= 0]. *)
+
+val bool : t -> bool
+
+val exponential : t -> mean:float -> float
+(** @raise Invalid_argument if [mean <= 0]. *)
+
+val pareto : t -> shape:float -> scale:float -> float
+(** Heavy-tailed durations; minimum value [scale].
+    @raise Invalid_argument unless both parameters are positive. *)
+
+val lognormal : t -> mu:float -> sigma:float -> float
+(** exp(N(mu, sigma^2)). *)
+
+val gaussian : t -> mean:float -> stddev:float -> float
+
+val choose : t -> 'a array -> 'a
+(** Uniform element. @raise Invalid_argument on an empty array. *)
+
+val choose_weighted : t -> ('a * float) array -> 'a
+(** Element with probability proportional to its weight.
+    @raise Invalid_argument on an empty array or non-positive total. *)

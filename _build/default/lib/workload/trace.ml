@@ -1,0 +1,73 @@
+open Dbp_core
+
+let header = "id,size,arrival,departure"
+
+let to_channel oc instance =
+  output_string oc header;
+  output_char oc '\n';
+  List.iter
+    (fun r ->
+      Printf.fprintf oc "%d,%.17g,%.17g,%.17g\n" (Item.id r) (Item.size r)
+        (Item.arrival r) (Item.departure r))
+    (Instance.items instance)
+
+let to_string instance =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf header;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun r ->
+      Buffer.add_string buf
+        (Printf.sprintf "%d,%.17g,%.17g,%.17g\n" (Item.id r) (Item.size r)
+           (Item.arrival r) (Item.departure r)))
+    (Instance.items instance);
+  Buffer.contents buf
+
+let save path instance =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> to_channel oc instance)
+
+exception Parse_error of int * string
+
+let fail line fmt = Printf.ksprintf (fun s -> raise (Parse_error (line, s))) fmt
+
+let parse_line lineno line =
+  match String.split_on_char ',' (String.trim line) with
+  | [ id; size; arrival; departure ] -> (
+      let num name s =
+        match float_of_string_opt (String.trim s) with
+        | Some v -> v
+        | None -> fail lineno "bad %s %S" name s
+      in
+      match int_of_string_opt (String.trim id) with
+      | None -> fail lineno "bad id %S" id
+      | Some id ->
+          (try
+             Item.make ~id ~size:(num "size" size)
+               ~arrival:(num "arrival" arrival)
+               ~departure:(num "departure" departure)
+           with Invalid_argument msg -> fail lineno "%s" msg))
+  | parts -> fail lineno "expected 4 fields, got %d" (List.length parts)
+
+let of_string s =
+  let lines =
+    String.split_on_char '\n' s
+    |> List.mapi (fun i l -> (i + 1, String.trim l))
+    |> List.filter (fun (_, l) -> l <> "")
+  in
+  match lines with
+  | [] -> fail 1 "empty trace"
+  | (hline, h) :: rows ->
+      if not (String.equal h header) then fail hline "bad header %S" h;
+      let items = List.map (fun (n, l) -> parse_line n l) rows in
+      (try Instance.of_items items
+       with Invalid_argument msg -> fail 1 "%s" msg)
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let len = in_channel_length ic in
+      let s = really_input_string ic len in
+      of_string s)

@@ -1,0 +1,20 @@
+(** CSV trace import/export.
+
+    Format: a header line "id,size,arrival,departure" followed by one row
+    per item, full float precision.  Round-trips exactly; lets instances
+    move between the CLI, external tooling and regression fixtures. *)
+
+open Dbp_core
+
+val to_channel : out_channel -> Instance.t -> unit
+val to_string : Instance.t -> string
+val save : string -> Instance.t -> unit
+
+exception Parse_error of int * string
+(** Line number (1-based, header is line 1) and complaint. *)
+
+val of_string : string -> Instance.t
+(** @raise Parse_error on malformed input. *)
+
+val load : string -> Instance.t
+(** @raise Parse_error / [Sys_error]. *)

@@ -1,0 +1,61 @@
+open Dbp_core
+
+let remap_items f instance =
+  Instance.of_items (List.filter_map f (Instance.items instance))
+
+let scale_time factor instance =
+  if factor <= 0. then invalid_arg "Trace_ops.scale_time: factor <= 0";
+  remap_items
+    (fun r ->
+      Some
+        (Item.make ~id:(Item.id r) ~size:(Item.size r)
+           ~arrival:(factor *. Item.arrival r)
+           ~departure:(factor *. Item.departure r)))
+    instance
+
+let scale_sizes factor instance =
+  if factor <= 0. then invalid_arg "Trace_ops.scale_sizes: factor <= 0";
+  remap_items
+    (fun r ->
+      Some
+        (Item.make ~id:(Item.id r)
+           ~size:(Float.min 1. (Float.max 1e-9 (factor *. Item.size r)))
+           ~arrival:(Item.arrival r) ~departure:(Item.departure r)))
+    instance
+
+let thin ?(seed = 0) ~keep instance =
+  if not (0. <= keep && keep <= 1.) then invalid_arg "Trace_ops.thin: keep";
+  let rng = Prng.create seed in
+  remap_items
+    (fun r -> if Prng.float rng < keep then Some r else None)
+    instance
+
+let window ~from ~until instance =
+  if until <= from then invalid_arg "Trace_ops.window: empty window";
+  Instance.restrict instance (fun r ->
+      Item.arrival r >= from && Item.departure r <= until)
+
+let merge instances =
+  let items =
+    List.concat_map Instance.items instances
+    |> List.mapi (fun id r ->
+           Item.make ~id ~size:(Item.size r) ~arrival:(Item.arrival r)
+             ~departure:(Item.departure r))
+  in
+  Instance.of_items items
+
+let repeat ~times ~gap instance =
+  if times < 1 then invalid_arg "Trace_ops.repeat: times < 1";
+  if gap < 0. then invalid_arg "Trace_ops.repeat: gap < 0";
+  if Instance.is_empty instance then instance
+  else begin
+    let spans = Instance.span_intervals instance in
+    let left = Interval.left (List.hd spans) in
+    let right =
+      List.fold_left (fun acc i -> Float.max acc (Interval.right i)) left spans
+    in
+    let period = right -. left +. gap in
+    List.init times (fun k ->
+        Instance.shift (float_of_int k *. period) instance)
+    |> merge
+  end

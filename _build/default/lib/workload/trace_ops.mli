@@ -1,0 +1,36 @@
+(** Instance transformations for experiment design.
+
+    These operators derive new instances from existing ones — scaling
+    load or time, thinning, merging, windowing — so that one captured or
+    generated trace can drive a family of experiments (load sweeps,
+    horizon splits, composition of workloads). *)
+
+open Dbp_core
+
+val scale_time : float -> Instance.t -> Instance.t
+(** Multiply all arrivals and departures by a positive factor (stretches
+    durations by the same factor; sizes unchanged).
+    @raise Invalid_argument if the factor is not positive. *)
+
+val scale_sizes : float -> Instance.t -> Instance.t
+(** Multiply sizes by a positive factor, clamping into (0, 1].
+    @raise Invalid_argument if the factor is not positive. *)
+
+val thin : ?seed:int -> keep:float -> Instance.t -> Instance.t
+(** Keep each item independently with probability [keep] — the standard
+    way to lower the offered load without changing the process shape.
+    @raise Invalid_argument unless [0 <= keep <= 1]. *)
+
+val window : from:float -> until:float -> Instance.t -> Instance.t
+(** Items whose whole active interval lies in [\[from, until)].
+    @raise Invalid_argument if [until <= from]. *)
+
+val merge : Instance.t list -> Instance.t
+(** Union of instances with ids re-assigned (stable order: instances in
+    list order, items in id order within each). *)
+
+val repeat : times:int -> gap:float -> Instance.t -> Instance.t
+(** Concatenate [times] copies of the instance in time, each shifted past
+    the previous one's span end plus [gap] — recurring-day traces out of
+    a one-day trace.
+    @raise Invalid_argument if [times < 1] or [gap < 0]. *)

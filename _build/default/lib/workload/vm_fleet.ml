@@ -1,0 +1,63 @@
+open Dbp_core
+
+type config = {
+  deployment_rate : float;
+  horizon_hours : float;
+  max_group : int;
+  lifetime_shape : float;
+  median_lifetime_hours : float;
+}
+
+let default =
+  {
+    deployment_rate = 6.;
+    horizon_hours = 48.;
+    max_group = 5;
+    lifetime_shape = 1.2;
+    median_lifetime_hours = 1.;
+  }
+
+let sizes = [| 1. /. 16.; 1. /. 8.; 1. /. 4.; 1. /. 2.; 1. |]
+
+(* weights: small shapes dominate, as in published shape histograms *)
+let size_weights = [| 8.; 6.; 4.; 2.; 1. |]
+
+let generate ?(seed = 0) config =
+  if config.deployment_rate <= 0. || config.horizon_hours <= 0. then
+    invalid_arg "Vm_fleet.generate: non-positive rate or horizon";
+  if config.max_group < 1 then invalid_arg "Vm_fleet.generate: max_group < 1";
+  if config.lifetime_shape <= 0. || config.median_lifetime_hours <= 0. then
+    invalid_arg "Vm_fleet.generate: bad lifetime parameters";
+  let rng = Prng.create seed in
+  let group_rng = Prng.split rng in
+  let life_rng = Prng.split rng in
+  (* Pareto with the requested median: median = scale * 2^(1/shape) *)
+  let scale =
+    config.median_lifetime_hours /. (2. ** (1. /. config.lifetime_shape))
+  in
+  let weighted =
+    Array.init (Array.length sizes) (fun i -> (sizes.(i), size_weights.(i)))
+  in
+  let items = ref [] in
+  let next_id = ref 0 in
+  let rec deployments t =
+    let t = t +. Prng.exponential rng ~mean:(1. /. config.deployment_rate) in
+    if t < config.horizon_hours then begin
+      let group = 1 + Prng.int group_rng config.max_group in
+      let size = Prng.choose_weighted group_rng weighted in
+      for _ = 1 to group do
+        let lifetime =
+          Float.min (2. *. config.horizon_hours)
+            (Prng.pareto life_rng ~shape:config.lifetime_shape ~scale)
+        in
+        let lifetime = Float.max (1. /. 60.) lifetime in
+        let id = !next_id in
+        incr next_id;
+        items :=
+          Item.make ~id ~size ~arrival:t ~departure:(t +. lifetime) :: !items
+      done;
+      deployments t
+    end
+  in
+  deployments 0.;
+  Instance.of_items (List.rev !items)

@@ -1,0 +1,32 @@
+(** A VM-fleet workload in the style of published cloud traces.
+
+    Synthetic generator shaped by the well-known statistics of public VM
+    traces (e.g. the Azure Public Dataset): VM sizes concentrate on a
+    small set of instance shapes (power-of-two core fractions), lifetimes
+    are heavy-tailed (most VMs are short, a fat tail runs for days), and
+    arrivals come in bursts (deployment groups create several VMs at
+    once).  No proprietary data is used — the generator reproduces the
+    published *shape*, which is what exercises the packing behaviour:
+    long-lived stragglers pinned under churn is exactly the regime where
+    departure-aware packing matters. *)
+
+open Dbp_core
+
+type config = {
+  deployment_rate : float;  (** deployment groups per hour *)
+  horizon_hours : float;
+  max_group : int;  (** VMs per deployment group: uniform in [1, max] *)
+  lifetime_shape : float;  (** Pareto shape; smaller = heavier tail *)
+  median_lifetime_hours : float;
+}
+
+val default : config
+(** 6 deployments/hour for 48 hours, groups of up to 5, Pareto(1.2)
+    lifetimes with a 1-hour median (capped at the horizon). *)
+
+val sizes : float array
+(** The instance shapes: 1/16, 1/8, 1/4, 1/2, 1 of a host. *)
+
+val generate : ?seed:int -> config -> Instance.t
+(** Times in hours.  VMs of one deployment group arrive together and
+    share a size (as real deployment groups do). *)

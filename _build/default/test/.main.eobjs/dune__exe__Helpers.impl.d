@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Dbp_core Instance Interval Item List Packing QCheck2 QCheck_alcotest Random

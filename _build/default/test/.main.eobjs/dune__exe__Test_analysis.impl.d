@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Dbp_core Dbp_offline Dbp_online Dbp_workload Float Helpers Instance Interval Item List Packing

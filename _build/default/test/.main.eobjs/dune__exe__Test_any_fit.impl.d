@@ -1,0 +1,1 @@
+test/test_any_fit.ml: Alcotest Dbp_core Dbp_online Dbp_opt Helpers Instance List Packing

@@ -1,0 +1,1 @@
+test/test_billing.ml: Alcotest Bin_state Dbp_billing Dbp_core Dbp_offline Dbp_online Dbp_sim Dbp_workload Float Helpers Item List Packing String

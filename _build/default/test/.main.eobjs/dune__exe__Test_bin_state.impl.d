@@ -1,0 +1,1 @@
+test/test_bin_state.ml: Alcotest Bin_state Dbp_core Float Helpers Item List Printf QCheck2 Step_function

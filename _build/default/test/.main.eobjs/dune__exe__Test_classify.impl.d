@@ -1,0 +1,1 @@
+test/test_classify.ml: Alcotest Bin_state Dbp_core Dbp_online Dbp_workload Float Helpers Instance Item List Packing String

@@ -1,0 +1,1 @@
+test/test_demand_chart.ml: Alcotest Dbp_core Dbp_offline Dbp_workload Float Helpers Instance Item List Packing Step_function

@@ -1,0 +1,1 @@
+test/test_dual_coloring.ml: Alcotest Dbp_core Dbp_offline Dbp_workload Helpers Instance List Packing Printf Step_function

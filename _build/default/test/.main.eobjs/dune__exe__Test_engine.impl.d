@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Dbp_core Dbp_online Float Helpers Item List Packing

@@ -1,0 +1,1 @@
+test/test_estimator.ml: Alcotest Dbp_core Dbp_online Dbp_sim Dbp_workload Float Helpers Instance Item List Packing String

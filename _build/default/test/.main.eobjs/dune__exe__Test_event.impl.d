@@ -1,0 +1,1 @@
+test/test_event.ml: Alcotest Dbp_core Event Helpers Instance Item List

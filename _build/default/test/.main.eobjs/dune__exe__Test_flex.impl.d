@@ -1,0 +1,1 @@
+test/test_flex.ml: Alcotest Dbp_core Dbp_flex Dbp_offline Dbp_sim Float Helpers Instance Item List Option Packing Printf QCheck2 String

@@ -1,0 +1,1 @@
+test/test_forecast.ml: Alcotest Dbp_core Dbp_forecast Dbp_online Dbp_sim Dbp_workload Float Helpers Instance Item List Packing Printf QCheck2 String

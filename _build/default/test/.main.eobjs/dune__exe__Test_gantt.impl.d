@@ -1,0 +1,1 @@
+test/test_gantt.ml: Alcotest Dbp_core Dbp_offline Dbp_sim Helpers Instance List Packing Str_exists String

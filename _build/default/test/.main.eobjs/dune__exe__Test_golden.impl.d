@@ -1,0 +1,1 @@
+test/test_golden.ml: Alcotest Dbp_core Dbp_offline Dbp_online Dbp_opt Dbp_workload Filename Helpers Instance Lazy List Packing Sys

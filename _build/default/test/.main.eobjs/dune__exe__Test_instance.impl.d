@@ -1,0 +1,1 @@
+test/test_instance.ml: Alcotest Dbp_core Float Helpers Instance Interval Item List Step_function

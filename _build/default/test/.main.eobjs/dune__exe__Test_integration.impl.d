@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Bin_state Dbp_core Dbp_offline Dbp_online Dbp_opt Dbp_sim Dbp_theory Dbp_workload Float Helpers Instance Interval Item List Packing QCheck2 Str_exists String

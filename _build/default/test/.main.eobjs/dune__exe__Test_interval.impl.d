@@ -1,0 +1,1 @@
+test/test_interval.ml: Alcotest Dbp_core Float Helpers Interval List QCheck2

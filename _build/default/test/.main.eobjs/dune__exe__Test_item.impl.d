@@ -1,0 +1,1 @@
+test/test_item.ml: Alcotest Dbp_core Float Helpers Interval Item

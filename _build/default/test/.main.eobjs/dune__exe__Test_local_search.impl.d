@@ -1,0 +1,1 @@
+test/test_local_search.ml: Alcotest Dbp_core Dbp_offline Dbp_online Dbp_opt Dbp_workload Helpers Packing

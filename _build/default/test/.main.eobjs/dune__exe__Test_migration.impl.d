@@ -1,0 +1,1 @@
+test/test_migration.ml: Alcotest Dbp_core Dbp_migration Dbp_opt Float Helpers Instance List

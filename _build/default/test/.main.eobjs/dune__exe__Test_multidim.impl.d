@@ -1,0 +1,1 @@
+test/test_multidim.ml: Alcotest Dbp_core Dbp_multidim Dbp_sim Fun Helpers List QCheck2 String

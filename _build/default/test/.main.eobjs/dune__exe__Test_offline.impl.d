@@ -1,0 +1,1 @@
+test/test_offline.ml: Alcotest Bin_state Dbp_core Dbp_offline Dbp_opt Helpers Instance Item List Packing

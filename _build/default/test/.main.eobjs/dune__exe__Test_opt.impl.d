@@ -1,0 +1,1 @@
+test/test_opt.ml: Alcotest Dbp_core Dbp_offline Dbp_online Dbp_opt Hashtbl Helpers Instance Int Item List Option Packing QCheck2 Step_function

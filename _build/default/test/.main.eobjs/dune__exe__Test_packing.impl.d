@@ -1,0 +1,1 @@
+test/test_packing.ml: Alcotest Bin_state Dbp_core Dbp_offline Float Helpers Instance Packing Step_function

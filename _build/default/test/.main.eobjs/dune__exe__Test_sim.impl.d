@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Dbp_online Dbp_sim Dbp_workload Float Helpers List Str_exists String

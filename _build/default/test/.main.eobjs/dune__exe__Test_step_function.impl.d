@@ -1,0 +1,1 @@
+test/test_step_function.ml: Alcotest Dbp_core Float Helpers Interval List QCheck2 Step_function

@@ -1,0 +1,1 @@
+test/test_theory.ml: Alcotest Dbp_theory Helpers List Printf QCheck2

@@ -1,0 +1,1 @@
+test/test_trace_ops_metrics.ml: Alcotest Dbp_core Dbp_offline Dbp_workload Float Helpers Instance Item List Metrics Packing Step_function

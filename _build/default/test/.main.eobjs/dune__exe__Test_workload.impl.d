@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Dbp_core Dbp_online Dbp_opt Dbp_theory Dbp_workload Filename Float Fun Hashtbl Helpers Instance Item List Option Packing Sys

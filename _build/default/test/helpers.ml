@@ -1,0 +1,65 @@
+(* Shared builders and generators for the test suite. *)
+
+open Dbp_core
+
+let item ?(id = 0) ?(size = 0.5) arrival departure =
+  Item.make ~id ~size ~arrival ~departure
+
+(* Items with distinct ids from a (size, arrival, departure) list. *)
+let items specs =
+  List.mapi
+    (fun id (size, arrival, departure) -> Item.make ~id ~size ~arrival ~departure)
+    specs
+
+let instance specs = Instance.of_items (items specs)
+
+let check_float = Alcotest.(check (float 1e-9))
+let check_float_eps eps = Alcotest.(check (float eps))
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+let interval = Alcotest.testable Interval.pp Interval.equal
+
+(* ---- qcheck generators ---- *)
+
+(* A random valid item: size in (0, 1], arrival in [0, 20), duration in
+   (0.1, 10]. *)
+let gen_item_with_id id =
+  QCheck2.Gen.(
+    let* size = float_range 0.01 1.0 in
+    let* arrival = float_range 0. 20. in
+    let* duration = float_range 0.1 10. in
+    return (Item.make ~id ~size ~arrival ~departure:(arrival +. duration)))
+
+let gen_instance ?(max_items = 12) () =
+  QCheck2.Gen.(
+    let* n = int_range 1 max_items in
+    let* items =
+      flatten_l (List.init n (fun id -> gen_item_with_id id))
+    in
+    return (Instance.of_items items))
+
+(* Small items only (size <= 1/2), for demand-chart properties. *)
+let gen_small_instance ?(max_items = 10) () =
+  QCheck2.Gen.(
+    let* n = int_range 1 max_items in
+    let* items =
+      flatten_l
+        (List.init n (fun id ->
+             let* size = float_range 0.01 0.5 in
+             let* arrival = float_range 0. 20. in
+             let* duration = float_range 0.1 10. in
+             return (Item.make ~id ~size ~arrival ~departure:(arrival +. duration))))
+    in
+    return (Instance.of_items items))
+
+(* Fixed seed so test runs are reproducible (override with QCHECK_SEED). *)
+let qtest ?(count = 100) name gen prop =
+  QCheck_alcotest.to_alcotest
+    ~rand:(Random.State.make [| 0xdbb |])
+    (QCheck2.Test.make ~count ~name gen prop)
+
+(* Every algorithm output must be a valid packing; Packing.of_bins already
+   validates, so just force the packing and return usage. *)
+let usage_of pack inst = Packing.total_usage_time (pack inst)

@@ -1,0 +1,33 @@
+let () =
+  Alcotest.run "dbp"
+    [
+      ("interval", Test_interval.suite);
+      ("step-function", Test_step_function.suite);
+      ("item", Test_item.suite);
+      ("instance", Test_instance.suite);
+      ("bin-state", Test_bin_state.suite);
+      ("packing", Test_packing.suite);
+      ("event", Test_event.suite);
+      ("offline-first-fit", Test_offline.suite);
+      ("demand-chart", Test_demand_chart.suite);
+      ("dual-coloring", Test_dual_coloring.suite);
+      ("online-engine", Test_engine.suite);
+      ("any-fit", Test_any_fit.suite);
+      ("classification", Test_classify.suite);
+      ("opt", Test_opt.suite);
+      ("theory", Test_theory.suite);
+      ("workload", Test_workload.suite);
+      ("estimator", Test_estimator.suite);
+      ("multidim", Test_multidim.suite);
+      ("flex", Test_flex.suite);
+      ("proof-machinery", Test_analysis.suite);
+      ("billing", Test_billing.suite);
+      ("gantt", Test_gantt.suite);
+      ("local-search", Test_local_search.suite);
+      ("migration", Test_migration.suite);
+      ("forecast", Test_forecast.suite);
+      ("trace-ops-metrics", Test_trace_ops_metrics.suite);
+      ("golden", Test_golden.suite);
+      ("sim", Test_sim.suite);
+      ("integration", Test_integration.suite);
+    ]

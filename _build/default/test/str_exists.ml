@@ -1,0 +1,12 @@
+(* Tiny substring search used by tests (Stdlib has no String.is_substring). *)
+
+let contains_substring haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  if nn = 0 then true
+  else
+    let rec scan i =
+      if i + nn > nh then false
+      else if String.sub haystack i nn = needle then true
+      else scan (i + 1)
+    in
+    scan 0

@@ -1,0 +1,129 @@
+(* Machine-checking the proofs' internal decompositions (Sections 4.1 and
+   5.2) on concrete instances. *)
+
+open Dbp_core
+open Helpers
+module DA = Dbp_offline.Ddff_analysis
+module CA = Dbp_online.Cbdt_analysis
+
+(* ---- DDFF / Theorem 1 machinery ---- *)
+
+let test_ddff_analysis_single_bin_no_reports () =
+  let inst = instance [ (0.3, 0., 2.); (0.3, 1., 3.) ] in
+  let a = DA.analyze inst in
+  Alcotest.(check int) "one bin" 1 (Packing.bin_count a.DA.packing);
+  Alcotest.(check int) "no reports" 0 (List.length a.DA.reports)
+
+let test_ddff_analysis_two_bins () =
+  (* two fat items overlap: second bin opens; its item must carry a
+     witness against bin 0 *)
+  let inst = instance [ (0.7, 0., 4.); (0.7, 1., 3.) ] in
+  let a = DA.analyze inst in
+  Alcotest.(check int) "two bins" 2 (Packing.bin_count a.DA.packing);
+  (match a.DA.reports with
+  | [ r ] ->
+      Alcotest.(check int) "one witness" 1 (List.length r.DA.witnesses);
+      let w = List.hd r.DA.witnesses in
+      check_bool "witness inside item interval" true
+        (Item.active_at w.DA.item w.DA.time);
+      Alcotest.(check int) "blocking set is the long item" 1
+        (List.length w.DA.blocking)
+  | _ -> Alcotest.fail "expected exactly one report");
+  Alcotest.(check (list pass)) "all checks pass" [] (DA.check a)
+
+let test_ddff_x_periods_partition () =
+  let inst =
+    instance [ (0.6, 0., 10.); (0.6, 2., 12.); (0.6, 5., 15.) ]
+  in
+  let a = DA.analyze inst in
+  List.iter
+    (fun r ->
+      let total =
+        List.fold_left
+          (fun acc xp -> acc +. Interval.length xp.DA.period)
+          0. r.DA.x_periods
+      in
+      check_float_eps 1e-9 "x periods sum to span" r.DA.span total)
+    a.DA.reports
+
+let prop_ddff_analysis_checks_hold =
+  qtest ~count:60 "Section 4.1 decomposition holds on random instances"
+    (gen_instance ()) (fun inst ->
+      DA.check (DA.analyze inst) = [])
+
+let prop_ddff_analysis_matches_plain_ddff =
+  qtest ~count:60 "instrumented DDFF = plain DDFF" (gen_instance ())
+    (fun inst ->
+      let a = DA.analyze inst in
+      let plain = Dbp_offline.Ddff.pack inst in
+      Float.equal
+        (Packing.total_usage_time a.DA.packing)
+        (Packing.total_usage_time plain)
+      && Packing.bin_count a.DA.packing = Packing.bin_count plain)
+
+let prop_ddff_bin_spans_bounded =
+  (* the per-bin consequence of (1), (2) and Lemma 1:
+     span(R_k) < d(R_k) + 3 d(R_{k-1}) *)
+  qtest ~count:60 "span(R_k) < d(R_k) + 3 d(R_(k-1))" (gen_instance ())
+    (fun inst ->
+      let a = DA.analyze inst in
+      List.for_all
+        (fun r -> r.DA.span <= r.DA.demand +. (3. *. r.DA.prev_demand) +. 1e-6)
+        a.DA.reports)
+
+(* ---- CBDT / Theorem 4 machinery ---- *)
+
+let test_cbdt_analysis_shape () =
+  let inst = Dbp_workload.Generator.with_mu ~seed:5 ~items:150 ~mu:9. () in
+  let a = CA.analyze ~rho:3. inst in
+  check_bool "has categories" true (List.length a.CA.stages > 0);
+  List.iter
+    (fun s ->
+      check_bool "t1 <= t3" true (s.CA.t1 <= s.CA.t3 +. 1e-9);
+      check_bool "t2 in [t1, t3]" true
+        (s.CA.t2 >= s.CA.t1 -. 1e-9 && s.CA.t2 <= s.CA.t3 +. 1e-9);
+      check_bool "t3 < end" true (s.CA.t3 < s.CA.t_end))
+    a.CA.stages;
+  Alcotest.(check (list pass)) "stage invariants hold" [] (CA.check a)
+
+let test_cbdt_analysis_rejects_bad_input () =
+  check_bool "rho <= 0" true
+    (match CA.analyze ~rho:0. (instance [ (0.5, 0., 1.) ]) with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  check_bool "empty instance" true
+    (match CA.analyze ~rho:1. (Instance.of_items []) with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let prop_cbdt_stage_invariants_hold =
+  qtest ~count:40 "stage 1 single bin and Lemma 6 hold" (gen_instance ())
+    (fun inst -> CA.check (CA.analyze ~rho:2. inst) = [])
+
+let prop_cbdt_usage_consistent =
+  qtest ~count:40 "analysis packing = direct engine run" (gen_instance ())
+    (fun inst ->
+      let a = CA.analyze ~rho:2. inst in
+      let direct =
+        Dbp_online.Engine.run (Dbp_online.Classify_departure.make ~rho:2. ()) inst
+      in
+      Float.equal
+        (Packing.total_usage_time a.CA.packing)
+        (Packing.total_usage_time direct))
+
+let suite =
+  [
+    Alcotest.test_case "ddff single bin" `Quick
+      test_ddff_analysis_single_bin_no_reports;
+    Alcotest.test_case "ddff two bins witnesses" `Quick test_ddff_analysis_two_bins;
+    Alcotest.test_case "ddff x-period partition" `Quick
+      test_ddff_x_periods_partition;
+    prop_ddff_analysis_checks_hold;
+    prop_ddff_analysis_matches_plain_ddff;
+    prop_ddff_bin_spans_bounded;
+    Alcotest.test_case "cbdt stage shape" `Slow test_cbdt_analysis_shape;
+    Alcotest.test_case "cbdt rejects bad input" `Quick
+      test_cbdt_analysis_rejects_bad_input;
+    prop_cbdt_stage_invariants_hold;
+    prop_cbdt_usage_consistent;
+  ]

@@ -1,0 +1,155 @@
+open Dbp_core
+open Helpers
+module E = Dbp_online.Engine
+module AF = Dbp_online.Any_fit
+
+let run = E.run
+
+let test_first_fit_earliest_opened () =
+  (* two open bins can take the third item; FF picks the earlier one *)
+  let inst = instance [ (0.6, 0., 10.); (0.6, 1., 10.); (0.2, 2., 3.) ] in
+  let p = run AF.first_fit inst in
+  check_int "joins bin 0" 0 (Packing.bin_of_item p 2)
+
+let test_best_fit_fullest () =
+  (* bin 0 at 0.3, bin 1 at 0.6: best fit puts 0.2 into bin 1 *)
+  let inst = instance [ (0.3, 0., 10.); (0.7, 0.5, 1.5); (0.6, 1., 10.); (0.2, 2., 3.) ] in
+  (* item 1 forces bin 1 to open by blocking bin 0 (0.3+0.7=1.0 fills it) *)
+  let p = run AF.best_fit inst in
+  check_int "best fit joins fuller bin" (Packing.bin_of_item p 2)
+    (Packing.bin_of_item p 3)
+
+let test_worst_fit_emptiest () =
+  (* bin 0 at level 0.3, bin 1 at level 0.8; both fit a 0.2 item and worst
+     fit picks the emptier bin 0 *)
+  let inst = instance [ (0.3, 0., 10.); (0.8, 1., 10.); (0.2, 2., 3.) ] in
+  let p = run AF.worst_fit inst in
+  check_int "worst fit joins emptier bin" (Packing.bin_of_item p 0)
+    (Packing.bin_of_item p 2)
+
+let test_any_fit_never_opens_unnecessarily () =
+  (* a single small stream must stay in one bin for all Any Fit members *)
+  let inst =
+    instance [ (0.2, 0., 4.); (0.2, 1., 5.); (0.2, 2., 6.); (0.2, 3., 7.) ]
+  in
+  List.iter
+    (fun algo ->
+      check_int (E.(algo.name) ^ " single bin") 1
+        (Packing.bin_count (run algo inst)))
+    [ AF.first_fit; AF.best_fit; AF.worst_fit ]
+
+let test_next_fit_abandons_current () =
+  (* current bin cannot take item 1; NF opens a new bin even though the
+     old one will have room later; item 2 then cannot go back to bin 0 *)
+  let inst = instance [ (0.6, 0., 10.); (0.6, 1., 5.); (0.3, 3., 4.) ] in
+  let p = run AF.next_fit inst in
+  check_int "three items, current chain" 2 (Packing.bin_count p);
+  (* bin 0 could take item 2 (level 0.6 + 0.3 <= 1) but next fit only
+     looks at the current bin 1 *)
+  check_int "item 2 with item 1" (Packing.bin_of_item p 1) (Packing.bin_of_item p 2)
+
+let test_next_fit_reopens_after_close () =
+  (* when the current bin closes, next fit opens a fresh one *)
+  let inst = instance [ (0.5, 0., 1.); (0.5, 2., 3.) ] in
+  let p = run AF.next_fit inst in
+  check_int "two bins" 2 (Packing.bin_count p)
+
+let test_first_fit_vs_best_fit_difference () =
+  (* bins at levels 0.3 and 0.8 both fit the 0.2 item: FF takes the
+     earlier-opened bin 0, BF the fuller bin 1 *)
+  let inst = instance [ (0.3, 0., 10.); (0.8, 1., 10.); (0.2, 2., 3.) ] in
+  let ff = run AF.first_fit inst and bf = run AF.best_fit inst in
+  check_int "ff joins bin0" 0 (Packing.bin_of_item ff 2);
+  check_int "bf joins bin1" 1 (Packing.bin_of_item bf 2)
+
+let test_random_fit_deterministic_per_seed () =
+  let inst =
+    instance [ (0.2, 0., 5.); (0.2, 1., 6.); (0.2, 2., 7.); (0.2, 3., 8.) ]
+  in
+  let u seed = Packing.total_usage_time (run (AF.random_fit ~seed) inst) in
+  check_float "same seed, same result" (u 5) (u 5)
+
+let test_random_fit_is_any_fit () =
+  (* a stream of small items must end up in one bin: random fit never
+     opens when something fits *)
+  let inst = instance [ (0.2, 0., 4.); (0.2, 1., 5.); (0.2, 2., 6.) ] in
+  check_int "one bin" 1 (Packing.bin_count (run (AF.random_fit ~seed:1) inst))
+
+let test_biased_open_extremes () =
+  let inst = instance [ (0.2, 0., 4.); (0.2, 1., 5.); (0.2, 2., 6.) ] in
+  (* p = 0 behaves like first fit *)
+  check_int "p=0 one bin" 1
+    (Packing.bin_count (run (AF.biased_open ~p:0. ~seed:1) inst));
+  (* p = 1 always opens *)
+  check_int "p=1 one bin per item" 3
+    (Packing.bin_count (run (AF.biased_open ~p:1. ~seed:1) inst));
+  check_bool "p out of range" true
+    (match AF.biased_open ~p:1.5 ~seed:0 with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+(* ---- properties ---- *)
+
+let prop_random_algorithms_valid =
+  qtest ~count:40 "random fit and biased open pack validly" (gen_instance ())
+    (fun inst ->
+      List.for_all
+        (fun algo -> Packing.bin_count (run algo inst) >= 1)
+        [ AF.random_fit ~seed:3; AF.biased_open ~p:0.3 ~seed:3 ])
+
+let prop_any_fit_valid_on_random =
+  qtest "all any-fit members produce valid packings" (gen_instance ())
+    (fun inst ->
+      List.for_all
+        (fun algo -> Packing.bin_count (run algo inst) >= 1)
+        [ AF.first_fit; AF.best_fit; AF.worst_fit; AF.next_fit ])
+
+let prop_ff_bins_at_most_always_open =
+  qtest "FF never uses more bins than one-per-item" (gen_instance ())
+    (fun inst ->
+      Packing.bin_count (run AF.first_fit inst) <= Instance.length inst)
+
+let prop_ff_usage_at_least_span =
+  qtest "usage >= span for every member" (gen_instance ()) (fun inst ->
+      List.for_all
+        (fun algo ->
+          Packing.total_usage_time (run algo inst) >= Instance.span inst -. 1e-9)
+        [ AF.first_fit; AF.best_fit; AF.worst_fit; AF.next_fit ])
+
+let prop_ff_within_mu_plus_4 =
+  (* Tang et al. 2016: FF is (mu+4)-competitive; test against the
+     Proposition-3 lower bound *)
+  qtest ~count:60 "FF within (mu+4) * LB" (gen_instance ()) (fun inst ->
+      let mu = Instance.mu inst in
+      Packing.total_usage_time (run AF.first_fit inst)
+      <= ((mu +. 4.) *. Dbp_opt.Lower_bounds.best inst) +. 1e-6)
+
+let prop_next_fit_within_2mu_plus_1 =
+  qtest ~count:60 "NF within (2mu+1) * LB" (gen_instance ()) (fun inst ->
+      let mu = Instance.mu inst in
+      Packing.total_usage_time (run AF.next_fit inst)
+      <= (((2. *. mu) +. 1.) *. Dbp_opt.Lower_bounds.best inst) +. 1e-6)
+
+let suite =
+  [
+    Alcotest.test_case "first fit earliest opened" `Quick
+      test_first_fit_earliest_opened;
+    Alcotest.test_case "best fit fullest" `Quick test_best_fit_fullest;
+    Alcotest.test_case "worst fit emptiest" `Quick test_worst_fit_emptiest;
+    Alcotest.test_case "any fit never opens unnecessarily" `Quick
+      test_any_fit_never_opens_unnecessarily;
+    Alcotest.test_case "next fit abandons current" `Quick
+      test_next_fit_abandons_current;
+    Alcotest.test_case "next fit after close" `Quick test_next_fit_reopens_after_close;
+    Alcotest.test_case "ff vs bf difference" `Quick test_first_fit_vs_best_fit_difference;
+    Alcotest.test_case "random fit deterministic per seed" `Quick
+      test_random_fit_deterministic_per_seed;
+    Alcotest.test_case "random fit is any fit" `Quick test_random_fit_is_any_fit;
+    Alcotest.test_case "biased open extremes" `Quick test_biased_open_extremes;
+    prop_random_algorithms_valid;
+    prop_any_fit_valid_on_random;
+    prop_ff_bins_at_most_always_open;
+    prop_ff_usage_at_least_span;
+    prop_ff_within_mu_plus_4;
+    prop_next_fit_within_2mu_plus_1;
+  ]

@@ -1,0 +1,105 @@
+open Dbp_core
+open Helpers
+
+let test_empty () =
+  let b = Bin_state.empty ~index:3 in
+  check_int "index" 3 (Bin_state.index b);
+  check_bool "empty" true (Bin_state.is_empty b);
+  check_float "usage" 0. (Bin_state.usage_time b)
+
+let test_place_and_level () =
+  let b = Bin_state.empty ~index:0 in
+  let b = Bin_state.place b (item ~id:0 ~size:0.6 0. 4.) in
+  let b = Bin_state.place b (item ~id:1 ~size:0.4 2. 6.) in
+  check_float "both active" 1. (Bin_state.level_at b 3.);
+  check_float "first only" 0.6 (Bin_state.level_at b 1.);
+  check_float "second only" 0.4 (Bin_state.level_at b 5.);
+  check_float "none" 0. (Bin_state.level_at b 7.);
+  check_int "two items" 2 (List.length (Bin_state.items b))
+
+let test_fits_whole_interval () =
+  let b = Bin_state.place (Bin_state.empty ~index:0) (item ~id:0 ~size:0.6 0. 4.) in
+  (* overlaps the 0.6 item: only 0.4 fits *)
+  check_bool "0.5 too big" false (Bin_state.fits b (item ~id:1 ~size:0.5 1. 3.));
+  check_bool "0.4 fits" true (Bin_state.fits b (item ~id:1 ~size:0.4 1. 3.));
+  (* disjoint in time: anything fits *)
+  check_bool "disjoint fits" true (Bin_state.fits b (item ~id:1 ~size:1.0 4. 8.))
+
+let test_fits_peak_in_middle () =
+  (* item spanning a peak must be rejected even if endpoints are low *)
+  let b = Bin_state.empty ~index:0 in
+  let b = Bin_state.place b (item ~id:0 ~size:0.8 2. 3.) in
+  check_bool "spans peak" false (Bin_state.fits b (item ~id:1 ~size:0.3 0. 5.));
+  check_bool "avoids peak" true (Bin_state.fits b (item ~id:1 ~size:0.3 3. 5.))
+
+let test_fits_tolerance () =
+  (* ten 0.1-sized items must coexist despite float accumulation *)
+  let b = ref (Bin_state.empty ~index:0) in
+  for i = 0 to 9 do
+    let it = item ~id:i ~size:0.1 0. 1. in
+    check_bool (Printf.sprintf "item %d fits" i) true (Bin_state.fits !b it);
+    b := Bin_state.place !b it
+  done;
+  check_bool "eleventh rejected" false
+    (Bin_state.fits !b (item ~id:10 ~size:0.1 0. 1.))
+
+let test_place_overflow_raises () =
+  let b = Bin_state.place (Bin_state.empty ~index:0) (item ~id:0 ~size:0.7 0. 2.) in
+  check_bool "raises" true
+    (match Bin_state.place b (item ~id:1 ~size:0.5 0. 2.) with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_fits_at () =
+  let b = Bin_state.place (Bin_state.empty ~index:0) (item ~id:0 ~size:0.6 0. 4.) in
+  check_bool "at overlap" false (Bin_state.fits_at b ~at:1. (item ~id:1 ~size:0.5 1. 9.));
+  check_bool "fits now" true (Bin_state.fits_at b ~at:5. (item ~id:1 ~size:0.9 5. 9.));
+  (* item not active at [at] never fits *)
+  check_bool "inactive" false (Bin_state.fits_at b ~at:0. (item ~id:1 ~size:0.1 5. 9.))
+
+let test_usage_time_is_span () =
+  let b = Bin_state.empty ~index:0 in
+  let b = Bin_state.place b (item ~id:0 ~size:0.2 0. 2.) in
+  let b = Bin_state.place b (item ~id:1 ~size:0.2 1. 3.) in
+  let b = Bin_state.place b (item ~id:2 ~size:0.2 5. 6.) in
+  check_float "gap not counted" 4. (Bin_state.usage_time b);
+  check_int "two usage intervals" 2 (List.length (Bin_state.usage_intervals b))
+
+let test_opening_closing () =
+  let b = Bin_state.empty ~index:0 in
+  let b = Bin_state.place b (item ~id:0 ~size:0.2 2. 5.) in
+  let b = Bin_state.place b (item ~id:1 ~size:0.2 1. 3.) in
+  check_float "opening" 1. (Bin_state.opening_time b);
+  check_float "closing" 5. (Bin_state.closing_time b);
+  check_bool "active mid" true (Bin_state.active_at b 4.);
+  check_bool "inactive after" false (Bin_state.active_at b 5.)
+
+let prop_level_profile_integral_is_demand =
+  qtest "profile integral = sum of demands placed"
+    QCheck2.Gen.(
+      let* n = int_range 1 6 in
+      flatten_l
+        (List.init n (fun id ->
+             let* size = float_range 0.01 (1. /. float_of_int n) in
+             let* arrival = float_range 0. 10. in
+             let* d = float_range 0.1 5. in
+             return (Item.make ~id ~size ~arrival ~departure:(arrival +. d)))))
+    (fun items ->
+      let b = List.fold_left Bin_state.place (Bin_state.empty ~index:0) items in
+      let total = List.fold_left (fun a r -> a +. Item.demand r) 0. items in
+      Float.abs (Step_function.integral (Bin_state.level_profile b) -. total)
+      < 1e-6)
+
+let suite =
+  [
+    Alcotest.test_case "empty bin" `Quick test_empty;
+    Alcotest.test_case "place and level" `Quick test_place_and_level;
+    Alcotest.test_case "fits over whole interval" `Quick test_fits_whole_interval;
+    Alcotest.test_case "fits rejects mid-interval peak" `Quick test_fits_peak_in_middle;
+    Alcotest.test_case "fits has float tolerance" `Quick test_fits_tolerance;
+    Alcotest.test_case "place overflow raises" `Quick test_place_overflow_raises;
+    Alcotest.test_case "fits_at instant test" `Quick test_fits_at;
+    Alcotest.test_case "usage time is span" `Quick test_usage_time_is_span;
+    Alcotest.test_case "opening/closing times" `Quick test_opening_closing;
+    prop_level_profile_integral_is_demand;
+  ]

@@ -1,0 +1,111 @@
+open Dbp_core
+open Helpers
+module DC = Dbp_offline.Demand_chart
+
+let place specs = DC.place_all (instance specs)
+
+let test_single_item () =
+  let chart = place [ (0.4, 0., 2.) ] in
+  check_int "one placement" 1 (List.length (DC.placements chart));
+  check_float "at its own height" 0.4
+    (DC.altitude_of chart (Instance.find (instance [ (0.4, 0., 2.) ]) 0));
+  Alcotest.(check (list pass)) "no violations" [] (DC.check chart)
+
+let test_two_disjoint_items_share_level () =
+  let chart = place [ (0.4, 0., 2.); (0.4, 3., 5.) ] in
+  Alcotest.(check (list pass)) "no violations" [] (DC.check chart)
+
+let test_two_stacked_items () =
+  let specs = [ (0.4, 0., 2.); (0.4, 0., 2.) ] in
+  let chart = place specs in
+  let alts =
+    DC.placements chart
+    |> List.map (fun p -> p.DC.altitude)
+    |> List.sort Float.compare
+  in
+  Alcotest.(check (list (float 1e-9))) "stacked" [ 0.4; 0.8 ] alts;
+  Alcotest.(check (list pass)) "no violations" [] (DC.check chart)
+
+let test_staircase () =
+  (* the motivating case: overlapping chain must go to the low altitude *)
+  let chart = place [ (0.3, 0., 10.); (0.3, 5., 15.) ] in
+  Alcotest.(check (list pass)) "no violations" [] (DC.check chart)
+
+let test_height_profile () =
+  let chart = place [ (0.3, 0., 10.); (0.3, 5., 15.) ] in
+  let h = DC.height_profile chart in
+  check_float "single" 0.3 (Step_function.value_at h 2.);
+  check_float "double" 0.6 (Step_function.value_at h 7.);
+  check_float "max" 0.6 (DC.max_height chart)
+
+let test_dense_instance_all_lemmas () =
+  let inst =
+    Dbp_workload.Generator.generate ~seed:11
+      {
+        Dbp_workload.Generator.default with
+        arrival_rate = 1.5;
+        horizon = 30.;
+        size = Dbp_workload.Distribution.uniform ~lo:0.05 ~hi:0.5;
+      }
+  in
+  let chart = DC.place_all inst in
+  let violations = DC.check chart in
+  List.iter
+    (fun v -> Alcotest.failf "violation: %a" DC.pp_violation v)
+    violations
+
+let prop_lemmas_hold_on_random_small_instances =
+  qtest ~count:60 "Phase-1 lemmas 2-5 hold" (gen_small_instance ())
+    (fun inst ->
+      let chart = DC.place_all inst in
+      DC.check chart = [])
+
+let prop_lemmas_hold_for_all_pick_rules =
+  qtest ~count:40 "lemmas hold for every step-7 pick rule"
+    (gen_small_instance ()) (fun inst ->
+      List.for_all
+        (fun pick -> DC.check (DC.place_all ~pick inst) = [])
+        [ DC.Smallest_id; DC.Longest_duration; DC.Largest_demand ])
+
+let prop_dual_coloring_bound_for_all_pick_rules =
+  qtest ~count:40 "4x bound holds for every pick rule" (gen_instance ())
+    (fun inst ->
+      List.for_all
+        (fun pick ->
+          Packing.total_usage_time (Dbp_offline.Dual_coloring.pack ~pick inst)
+          <= Dbp_offline.Dual_coloring.theorem_bound inst +. 1e-6)
+        [ DC.Smallest_id; DC.Longest_duration; DC.Largest_demand ])
+
+let prop_every_item_has_altitude =
+  qtest ~count:60 "altitude_of defined for all items" (gen_small_instance ())
+    (fun inst ->
+      let chart = DC.place_all inst in
+      List.for_all
+        (fun r ->
+          let a = DC.altitude_of chart r in
+          a > 0. && a <= DC.max_height chart +. 1e-9)
+        (Instance.items inst))
+
+let prop_altitude_at_least_size =
+  qtest ~count:60 "altitude >= item size (bottom inside chart)"
+    (gen_small_instance ()) (fun inst ->
+      let chart = DC.place_all inst in
+      List.for_all
+        (fun r -> DC.altitude_of chart r >= Item.size r -. 1e-9)
+        (Instance.items inst))
+
+let suite =
+  [
+    Alcotest.test_case "single item" `Quick test_single_item;
+    Alcotest.test_case "disjoint items" `Quick test_two_disjoint_items_share_level;
+    Alcotest.test_case "stacked items" `Quick test_two_stacked_items;
+    Alcotest.test_case "staircase chain" `Quick test_staircase;
+    Alcotest.test_case "height profile" `Quick test_height_profile;
+    Alcotest.test_case "dense instance satisfies lemmas" `Slow
+      test_dense_instance_all_lemmas;
+    prop_lemmas_hold_on_random_small_instances;
+    prop_lemmas_hold_for_all_pick_rules;
+    prop_dual_coloring_bound_for_all_pick_rules;
+    prop_every_item_has_altitude;
+    prop_altitude_at_least_size;
+  ]

@@ -1,0 +1,118 @@
+open Dbp_core
+open Helpers
+module DC = Dbp_offline.Dual_coloring
+
+let test_stripe_of_within () =
+  (* altitude 0.5, size 0.5: exactly stripe 1 *)
+  (match DC.stripe_of ~altitude:0.5 ~size:0.5 with
+  | DC.Within 1 -> ()
+  | _ -> Alcotest.fail "expected Within 1");
+  (* altitude 0.9, size 0.3: inside stripe 2 ((0.5, 1.0]) *)
+  match DC.stripe_of ~altitude:0.9 ~size:0.3 with
+  | DC.Within 2 -> ()
+  | _ -> Alcotest.fail "expected Within 2"
+
+let test_stripe_of_crossing () =
+  (* altitude 0.6, size 0.3: spans (0.3, 0.6], crosses boundary at 0.5 *)
+  match DC.stripe_of ~altitude:0.6 ~size:0.3 with
+  | DC.Crossing 1 -> ()
+  | DC.Within k -> Alcotest.failf "unexpected Within %d" k
+  | DC.Crossing k -> Alcotest.failf "unexpected Crossing %d" k
+
+let test_stripe_boundary_exact () =
+  (* top exactly at a boundary, bottom exactly at the one below *)
+  match DC.stripe_of ~altitude:1.0 ~size:0.5 with
+  | DC.Within 2 -> ()
+  | _ -> Alcotest.fail "expected Within 2"
+
+let test_small_large_split_independent_bins () =
+  (* a large item and small items must never share a bin *)
+  let inst = instance [ (0.8, 0., 4.); (0.3, 0., 4.); (0.3, 0., 4.) ] in
+  let p = DC.pack inst in
+  let large_bin = Packing.bin_of_item p 0 in
+  check_bool "separate" true
+    (large_bin <> Packing.bin_of_item p 1 && large_bin <> Packing.bin_of_item p 2)
+
+let test_large_items_reuse_bins_over_time () =
+  let inst = instance [ (0.9, 0., 2.); (0.9, 3., 5.); (0.9, 0.5, 1.5) ] in
+  let p = DC.pack inst in
+  (* items 0 and 1 are disjoint in time: first fit packs them together *)
+  check_int "item 1 reuses" (Packing.bin_of_item p 0) (Packing.bin_of_item p 1);
+  check_bool "item 2 separate" true
+    (Packing.bin_of_item p 2 <> Packing.bin_of_item p 0)
+
+let test_only_large () =
+  let inst = instance [ (0.7, 0., 2.); (0.8, 1., 3.) ] in
+  let p = DC.pack inst in
+  check_int "two bins" 2 (Packing.bin_count p)
+
+let test_only_small () =
+  let inst = instance [ (0.2, 0., 2.); (0.3, 1., 3.); (0.5, 0.5, 2.5) ] in
+  let p = DC.pack inst in
+  check_bool "feasible and bounded" true (Packing.bin_count p <= 3)
+
+let test_empty () =
+  let p = DC.pack (Instance.of_items []) in
+  check_int "no bins" 0 (Packing.bin_count p)
+
+let test_theorem_bound_on_seeded_workloads () =
+  for seed = 0 to 4 do
+    let inst =
+      Dbp_workload.Generator.generate ~seed
+        { Dbp_workload.Generator.default with horizon = 40. }
+    in
+    let usage = Packing.total_usage_time (DC.pack inst) in
+    check_bool
+      (Printf.sprintf "usage within 4*ceil-integral (seed %d)" seed)
+      true
+      (usage <= DC.theorem_bound inst +. 1e-6)
+  done
+
+(* ---- properties ---- *)
+
+let prop_packing_valid_and_within_usage_bound =
+  qtest ~count:60 "usage <= analysis bound" (gen_instance ()) (fun inst ->
+      usage_of DC.pack inst <= DC.usage_upper_bound inst +. 1e-6)
+
+let prop_within_theorem2_bound =
+  qtest ~count:60 "usage <= 4 * ceil-size integral" (gen_instance ())
+    (fun inst -> usage_of DC.pack inst <= DC.theorem_bound inst +. 1e-6)
+
+let prop_open_bins_pointwise_bound =
+  (* the Theorem-2 proof invariant: at any time at most 4*ceil(S(t)) bins
+     are open *)
+  qtest ~count:40 "open bins <= 4 ceil(S(t)) pointwise" (gen_instance ())
+    (fun inst ->
+      let p = DC.pack inst in
+      let open_bins = Packing.open_bins_profile p in
+      let cap =
+        Step_function.scale 4. (Step_function.ceil (Instance.size_profile inst))
+      in
+      let diff = Step_function.sub cap open_bins in
+      List.for_all (fun (_, v) -> v >= -1e-9)
+        (Step_function.breaks diff)
+      |> fun ok ->
+      (* breaks of diff list only change points; also check midpoints *)
+      ok
+      && List.for_all
+           (fun t -> Step_function.value_at diff (t +. 1e-7) >= -1e-9)
+           (Instance.critical_times inst))
+
+let suite =
+  [
+    Alcotest.test_case "stripe_of within" `Quick test_stripe_of_within;
+    Alcotest.test_case "stripe_of crossing" `Quick test_stripe_of_crossing;
+    Alcotest.test_case "stripe boundary exact" `Quick test_stripe_boundary_exact;
+    Alcotest.test_case "small and large never share" `Quick
+      test_small_large_split_independent_bins;
+    Alcotest.test_case "large bins reused over time" `Quick
+      test_large_items_reuse_bins_over_time;
+    Alcotest.test_case "only large items" `Quick test_only_large;
+    Alcotest.test_case "only small items" `Quick test_only_small;
+    Alcotest.test_case "empty instance" `Quick test_empty;
+    Alcotest.test_case "theorem bound on seeded workloads" `Slow
+      test_theorem_bound_on_seeded_workloads;
+    prop_packing_valid_and_within_usage_bound;
+    prop_within_theorem2_bound;
+    prop_open_bins_pointwise_bound;
+  ]

@@ -1,0 +1,129 @@
+open Dbp_core
+open Helpers
+module E = Dbp_online.Engine
+
+(* An algorithm that always opens a new bin. *)
+let always_open = E.stateless "always-open" (fun ~now:_ ~open_bins:_ _ -> E.Open_new)
+
+let test_always_open () =
+  let inst = instance [ (0.1, 0., 2.); (0.1, 0.5, 3.) ] in
+  let p = E.run always_open inst in
+  check_int "one bin per item" 2 (Packing.bin_count p)
+
+let test_open_bins_view_excludes_closed () =
+  (* second item arrives after the first departed; a "place into bin 0"
+     algorithm must fail because bin 0 is closed *)
+  let place_zero =
+    E.stateless "place-zero" (fun ~now:_ ~open_bins _ ->
+        match open_bins with
+        | [] -> E.Open_new
+        | v :: _ -> E.Place v.E.index)
+  in
+  let inst = instance [ (0.5, 0., 1.); (0.5, 2., 3.) ] in
+  let p = E.run place_zero inst in
+  (* bin 0 closed at t=2, so view is empty and a new bin opens *)
+  check_int "two bins" 2 (Packing.bin_count p)
+
+let test_invalid_place_unknown_bin () =
+  let bad = E.stateless "bad" (fun ~now:_ ~open_bins:_ _ -> E.Place 99) in
+  let inst = instance [ (0.5, 0., 1.) ] in
+  check_bool "raises" true
+    (match E.run bad inst with
+    | exception E.Invalid_decision _ -> true
+    | _ -> false)
+
+let test_invalid_overflow_decision () =
+  let cram =
+    E.stateless "cram" (fun ~now:_ ~open_bins _ ->
+        match open_bins with [] -> E.Open_new | v :: _ -> E.Place v.E.index)
+  in
+  let inst = instance [ (0.7, 0., 2.); (0.7, 0.5, 2.5) ] in
+  check_bool "raises" true
+    (match E.run cram inst with
+    | exception E.Invalid_decision _ -> true
+    | _ -> false)
+
+let test_departure_frees_capacity_at_same_instant () =
+  (* item 1 arrives exactly when item 0 departs; half-open semantics means
+     bin 0 is already closed, so the engine reports no open bins *)
+  let observed = ref (-1) in
+  let observer =
+    E.stateless "observer" (fun ~now:_ ~open_bins _ ->
+        observed := List.length open_bins;
+        E.Open_new)
+  in
+  let inst = instance [ (1.0, 0., 5.); (1.0, 5., 6.) ] in
+  ignore (E.run observer inst);
+  check_int "no open bins at second arrival" 0 !observed
+
+let test_levels_reported_at_now () =
+  let seen_levels = ref [] in
+  let spy =
+    E.stateless "spy" (fun ~now:_ ~open_bins _ ->
+        seen_levels := List.map (fun v -> v.E.level) open_bins :: !seen_levels;
+        match open_bins with
+        | v :: _ when Dbp_online.Any_fit.fits v (item ~id:9 ~size:0.1 0. 1.) ->
+            E.Place v.E.index
+        | _ -> E.Open_new)
+  in
+  let inst = instance [ (0.4, 0., 10.); (0.3, 1., 2.); (0.2, 5., 6.) ] in
+  ignore (E.run spy inst);
+  match List.rev !seen_levels with
+  | [ []; [ l1 ]; [ l2 ] ] ->
+      check_float "level before second arrival" 0.4 l1;
+      (* the 0.3 item departed at 2, so at t=5 level is back to 0.4 *)
+      check_float "level after departure" 0.4 l2
+  | other ->
+      Alcotest.failf "unexpected level trace length %d" (List.length other)
+
+let test_notify_reports_final_index () =
+  let notified = ref [] in
+  let algo =
+    {
+      E.name = "notify-spy";
+      make =
+        (fun () ->
+          {
+            E.decide = (fun ~now:_ ~open_bins:_ _ -> E.Open_new);
+            notify =
+              (fun ~item ~index -> notified := (Item.id item, index) :: !notified);
+            departed = E.default_departed;
+          });
+    }
+  in
+  let inst = instance [ (0.5, 0., 1.); (0.5, 0.5, 2.) ] in
+  ignore (E.run algo inst);
+  Alcotest.(check (list (pair int int)))
+    "notifications" [ (0, 0); (1, 1) ] (List.rev !notified)
+
+let test_fresh_stepper_per_run () =
+  (* a stateful algorithm must not leak state between runs *)
+  let algo = Dbp_online.Any_fit.next_fit in
+  let inst = instance [ (0.6, 0., 2.); (0.6, 1., 3.) ] in
+  let p1 = E.run algo inst and p2 = E.run algo inst in
+  check_int "same result" (Packing.bin_count p1) (Packing.bin_count p2)
+
+let prop_usage_time_matches_packing =
+  qtest "usage_time = total of run" (gen_instance ()) (fun inst ->
+      Float.abs
+        (E.usage_time Dbp_online.Any_fit.first_fit inst
+        -. Packing.total_usage_time (E.run Dbp_online.Any_fit.first_fit inst))
+      < 1e-9)
+
+let suite =
+  [
+    Alcotest.test_case "always-open baseline" `Quick test_always_open;
+    Alcotest.test_case "closed bins leave the view" `Quick
+      test_open_bins_view_excludes_closed;
+    Alcotest.test_case "unknown bin rejected" `Quick test_invalid_place_unknown_bin;
+    Alcotest.test_case "overflow decision rejected" `Quick
+      test_invalid_overflow_decision;
+    Alcotest.test_case "departure frees capacity at same instant" `Quick
+      test_departure_frees_capacity_at_same_instant;
+    Alcotest.test_case "levels reported at arrival instant" `Quick
+      test_levels_reported_at_now;
+    Alcotest.test_case "notify gets final bin index" `Quick
+      test_notify_reports_final_index;
+    Alcotest.test_case "fresh stepper per run" `Quick test_fresh_stepper_per_run;
+    prop_usage_time_matches_packing;
+  ]

@@ -1,0 +1,116 @@
+open Dbp_core
+open Helpers
+module Est = Dbp_workload.Estimator
+module E = Dbp_online.Engine
+
+let sample = item ~id:3 ~size:0.5 2. 10.
+
+let test_exact () =
+  check_float "true departure" 10. (Est.exact sample)
+
+let test_multiplicative_zero_sigma_is_exact () =
+  let est = Est.multiplicative ~sigma:0. () in
+  check_float "sigma 0" 10. (est sample)
+
+let test_multiplicative_deterministic () =
+  let a = Est.multiplicative ~seed:5 ~sigma:0.3 () in
+  let b = Est.multiplicative ~seed:5 ~sigma:0.3 () in
+  check_float "same prediction" (a sample) (b sample);
+  (* repeated consultation of the same estimator is stable too *)
+  check_float "stable" (a sample) (a sample)
+
+let test_multiplicative_seed_changes () =
+  let a = Est.multiplicative ~seed:5 ~sigma:0.3 () in
+  let b = Est.multiplicative ~seed:6 ~sigma:0.3 () in
+  check_bool "different" true (a sample <> b sample)
+
+let test_multiplicative_after_arrival () =
+  let est = Est.multiplicative ~seed:1 ~sigma:2. () in
+  for id = 0 to 50 do
+    let r = item ~id ~size:0.5 5. 6. in
+    check_bool "departure after arrival" true (est r > Item.arrival r)
+  done
+
+let test_additive_clamped () =
+  let est = Est.additive ~seed:0 ~spread:100. () in
+  for id = 0 to 50 do
+    let r = item ~id ~size:0.5 5. 5.5 in
+    check_bool "clamped after arrival" true (est r > Item.arrival r)
+  done
+
+let test_biased () =
+  let est = Est.biased ~factor:1.5 in
+  (* duration 8 -> predicted 12, departure 2 + 12 = 14 *)
+  check_float "pessimistic" 14. (est sample);
+  check_bool "factor 0 rejected" true
+    (match Est.biased ~factor:0. sample with
+    | exception Invalid_argument _ -> true
+    | (_ : float) -> false)
+
+let test_quantized () =
+  let est = Est.quantized ~grain:4. in
+  check_float "rounded up" 12. (est sample);
+  check_float "exact multiple stays" 8. (est (item ~id:0 0. 8.))
+
+let test_error_stats () =
+  let inst = instance [ (0.5, 0., 10.); (0.5, 0., 20.) ] in
+  let mean, max = Est.error_stats (Est.biased ~factor:1.1) inst in
+  check_float_eps 1e-9 "mean 10%" 0.1 mean;
+  check_float_eps 1e-9 "max 10%" 0.1 max
+
+let test_error_stats_empty () =
+  let mean, max = Est.error_stats Est.exact (Instance.of_items []) in
+  check_float "mean" 0. mean;
+  check_float "max" 0. max
+
+(* Classification with a noisy estimate still yields valid packings and
+   the engine still uses true departures for closing bins. *)
+let prop_noisy_classification_valid =
+  qtest ~count:50 "noisy cbdt/cbd pack validly" (gen_instance ())
+    (fun inst ->
+      let estimate = Est.multiplicative ~seed:3 ~sigma:0.5 () in
+      List.for_all
+        (fun algo -> Packing.bin_count (E.run algo inst) >= 1)
+        [
+          Dbp_online.Classify_departure.make ~estimate ~rho:2. ();
+          Dbp_online.Classify_duration.make ~estimate ~alpha:2. ();
+          Dbp_online.Classify_combined.make ~estimate ~alpha:2. ();
+        ])
+
+let prop_exact_estimator_matches_default =
+  qtest ~count:50 "estimate=exact gives identical packing" (gen_instance ())
+    (fun inst ->
+      let with_est =
+        E.run (Dbp_online.Classify_departure.make ~estimate:Est.exact ~rho:2. ()) inst
+      and without =
+        E.run (Dbp_online.Classify_departure.make ~rho:2. ()) inst
+      in
+      Float.equal
+        (Packing.total_usage_time with_est)
+        (Packing.total_usage_time without)
+      && Packing.bin_count with_est = Packing.bin_count without)
+
+let test_experiment_e5_runs () =
+  let table = Dbp_sim.Experiments.estimate_robustness ~seeds:1 ~mu:4. () in
+  check_bool "renders" true
+    (String.length (Dbp_sim.Report.to_text table) > 40)
+
+let suite =
+  [
+    Alcotest.test_case "exact" `Quick test_exact;
+    Alcotest.test_case "multiplicative sigma=0" `Quick
+      test_multiplicative_zero_sigma_is_exact;
+    Alcotest.test_case "multiplicative deterministic" `Quick
+      test_multiplicative_deterministic;
+    Alcotest.test_case "multiplicative seeds" `Quick test_multiplicative_seed_changes;
+    Alcotest.test_case "multiplicative after arrival" `Quick
+      test_multiplicative_after_arrival;
+    Alcotest.test_case "additive clamped" `Quick test_additive_clamped;
+    Alcotest.test_case "biased" `Quick test_biased;
+    Alcotest.test_case "quantized" `Quick test_quantized;
+    Alcotest.test_case "error stats" `Quick test_error_stats;
+    Alcotest.test_case "error stats empty" `Quick test_error_stats_empty;
+    prop_noisy_classification_valid;
+    prop_exact_estimator_matches_default;
+    Alcotest.test_case "E5 experiment runs" `Slow test_experiment_e5_runs;
+  ]

@@ -1,0 +1,52 @@
+open Dbp_core
+open Helpers
+
+let test_order () =
+  let inst = instance [ (0.5, 0., 2.); (0.5, 1., 3.) ] in
+  let kinds =
+    Event.of_instance inst
+    |> List.map (fun e -> (e.Event.time, Event.kind_to_string e.Event.kind))
+  in
+  Alcotest.(check (list (pair (float 1e-12) string)))
+    "sorted"
+    [ (0., "arrival"); (1., "arrival"); (2., "departure"); (3., "departure") ]
+    kinds
+
+let test_departure_before_arrival_at_same_time () =
+  (* item 0 leaves exactly when item 1 arrives: departure delivered first *)
+  let inst = instance [ (0.5, 0., 5.); (0.5, 5., 6.) ] in
+  let kinds =
+    Event.of_instance inst
+    |> List.filter (fun e -> e.Event.time = 5.)
+    |> List.map (fun e -> Event.kind_to_string e.Event.kind)
+  in
+  Alcotest.(check (list string)) "departure first" [ "departure"; "arrival" ]
+    kinds
+
+let test_arrivals () =
+  let inst = instance [ (0.5, 2., 3.); (0.5, 0., 9.) ] in
+  let ids = Event.arrivals (Event.of_instance inst) |> List.map Item.id in
+  Alcotest.(check (list int)) "arrival order" [ 1; 0 ] ids
+
+let prop_event_count =
+  qtest "two events per item" (gen_instance ()) (fun inst ->
+      List.length (Event.of_instance inst) = 2 * Instance.length inst)
+
+let prop_events_sorted =
+  qtest "events nondecreasing in time" (gen_instance ()) (fun inst ->
+      let times = List.map (fun e -> e.Event.time) (Event.of_instance inst) in
+      let rec sorted = function
+        | a :: (b :: _ as rest) -> a <= b && sorted rest
+        | _ -> true
+      in
+      sorted times)
+
+let suite =
+  [
+    Alcotest.test_case "global order" `Quick test_order;
+    Alcotest.test_case "departures precede arrivals at ties" `Quick
+      test_departure_before_arrival_at_same_time;
+    Alcotest.test_case "arrivals extraction" `Quick test_arrivals;
+    prop_event_count;
+    prop_events_sorted;
+  ]

@@ -1,0 +1,211 @@
+open Dbp_core
+open Helpers
+module FJ = Dbp_flex.Flex_job
+module FS = Dbp_flex.Flex_schedule
+
+let job ?(id = 0) ?(size = 0.5) ~length ~release ~deadline () =
+  FJ.make ~id ~size ~length ~release ~deadline
+
+(* ---- jobs ---- *)
+
+let test_job_make () =
+  let j = job ~length:2. ~release:1. ~deadline:5. () in
+  check_float "slack" 2. (FJ.slack j);
+  check_float "latest start" 3. (FJ.latest_start j)
+
+let test_job_window_too_short () =
+  check_bool "raises" true
+    (match job ~length:3. ~release:0. ~deadline:2. () with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_job_rigid_window_ok () =
+  let j = job ~length:3. ~release:0. ~deadline:3. () in
+  check_float "no slack" 0. (FJ.slack j)
+
+let test_to_item () =
+  let j = job ~length:2. ~release:1. ~deadline:5. () in
+  let item = FJ.to_item j ~start:2. in
+  check_float "arrival" 2. (Item.arrival item);
+  check_float "departure" 4. (Item.departure item);
+  check_bool "start outside window raises" true
+    (match FJ.to_item j ~start:4. with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_of_item_roundtrip () =
+  let item = Helpers.item ~id:3 ~size:0.4 2. 6. in
+  let j = FJ.of_item ~slack:1.5 item in
+  check_float "release" 2. (FJ.release j);
+  check_float "deadline" 7.5 (FJ.deadline j);
+  check_float "length" 4. (FJ.length j);
+  (* slack 0 is exactly the rigid job *)
+  let r = FJ.of_item ~slack:0. item in
+  check_float "rigid latest = release" (FJ.release r) (FJ.latest_start r)
+
+(* ---- schedulers ---- *)
+
+let two_sequential_jobs slack =
+  (* two jobs that conflict when both start asap, but fit in one bin if
+     the second is delayed past the first *)
+  [
+    job ~id:0 ~size:0.7 ~length:2. ~release:0. ~deadline:(2. +. slack) ();
+    job ~id:1 ~size:0.7 ~length:2. ~release:1. ~deadline:(3. +. slack) ();
+  ]
+
+let test_asap_conflicts () =
+  let s = FS.asap (two_sequential_jobs 0.) in
+  FS.check s;
+  check_int "two bins" 2 (Packing.bin_count s.FS.packing);
+  check_float "usage" 4. (FS.usage s)
+
+let test_greedy_uses_slack () =
+  (* slack 1 lets job 1 start at 2, after job 0 ends: one bin, usage 4
+     but single bin  *)
+  let s = FS.greedy (two_sequential_jobs 1.) in
+  FS.check s;
+  check_int "one bin" 1 (Packing.bin_count s.FS.packing);
+  check_float "usage still 4 (contiguous)" 4. (FS.usage s)
+
+let test_greedy_rigid_matches_window () =
+  let s = FS.greedy (two_sequential_jobs 0.) in
+  FS.check s;
+  (* with no slack the greedy scheduler cannot avoid the conflict *)
+  check_int "two bins" 2 (Packing.bin_count s.FS.packing)
+
+let test_alap_starts_latest () =
+  let s = FS.alap (two_sequential_jobs 1.) in
+  FS.check s;
+  List.iter
+    (fun a ->
+      check_float
+        (Printf.sprintf "job %d at latest start" (FJ.id a.FS.job))
+        (FJ.latest_start a.FS.job) a.FS.start)
+    s.FS.assignments
+
+let test_duplicate_ids_rejected () =
+  check_bool "raises" true
+    (match
+       FS.asap
+         [
+           job ~id:0 ~length:1. ~release:0. ~deadline:1. ();
+           job ~id:0 ~length:1. ~release:0. ~deadline:1. ();
+         ]
+     with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_empty () =
+  let s = FS.greedy [] in
+  check_float "no usage" 0. (FS.usage s)
+
+let test_greedy_aligns_with_busy_intervals () =
+  (* a third job with a window covering the whole horizon should slot
+     exactly over the existing busy period, adding no usage *)
+  let jobs =
+    [
+      job ~id:0 ~size:0.3 ~length:4. ~release:0. ~deadline:4. ();
+      job ~id:1 ~size:0.3 ~length:2. ~release:0. ~deadline:20. ();
+    ]
+  in
+  let s = FS.greedy jobs in
+  FS.check s;
+  check_int "one bin" 1 (Packing.bin_count s.FS.packing);
+  check_float "no extra usage" 4. (FS.usage s)
+
+(* ---- properties ---- *)
+
+let gen_flex_jobs =
+  QCheck2.Gen.(
+    let* n = int_range 1 8 in
+    flatten_l
+      (List.init n (fun id ->
+           let* size = float_range 0.05 0.9 in
+           let* length = float_range 0.5 5. in
+           let* release = float_range 0. 10. in
+           let* slack = float_range 0. 5. in
+           return
+             (FJ.make ~id ~size ~length ~release
+                ~deadline:(release +. length +. slack)))))
+
+let prop_all_schedulers_respect_windows =
+  qtest ~count:60 "schedulers respect windows and capacity" gen_flex_jobs
+    (fun jobs ->
+      List.for_all
+        (fun name ->
+          let scheduler = Option.get (FS.by_name name) in
+          let s = scheduler jobs in
+          FS.check s;
+          true)
+        FS.names)
+
+(* greedy is myopic, so it is NOT always at most asap+ddff; but no
+   scheduler may exceed the trivial one-bin-per-job cost, and none may
+   beat the span of any single job. *)
+let prop_greedy_within_trivial_bounds =
+  qtest ~count:60 "greedy between max job length and sum of lengths"
+    gen_flex_jobs (fun jobs ->
+      let total = List.fold_left (fun a j -> a +. FJ.length j) 0. jobs in
+      let longest = List.fold_left (fun a j -> Float.max a (FJ.length j)) 0. jobs in
+      let u = FS.usage (FS.greedy jobs) in
+      u <= total +. 1e-6 && u >= longest -. 1e-6)
+
+(* With zero slack every scheduler faces the same rigid instance, so
+   asap and greedy costs must at least agree with a fixed-interval
+   packing's feasible range; and asap equals the DDFF packing cost. *)
+let prop_rigid_asap_equals_ddff =
+  qtest ~count:60 "slack-0 asap equals DDFF on the induced instance"
+    gen_flex_jobs (fun jobs ->
+      let rigid =
+        List.map
+          (fun j ->
+            FJ.make ~id:(FJ.id j) ~size:(FJ.size j) ~length:(FJ.length j)
+              ~release:(FJ.release j)
+              ~deadline:(FJ.release j +. FJ.length j))
+          jobs
+      in
+      let inst =
+        Instance.of_items
+          (List.map (fun j -> FJ.to_item j ~start:(FJ.release j)) rigid)
+      in
+      Float.abs
+        (FS.usage (FS.asap rigid)
+        -. Packing.total_usage_time (Dbp_offline.Ddff.pack inst))
+      < 1e-9)
+
+let prop_usage_at_least_busy_lower_bound =
+  qtest ~count:60 "usage >= total demand" gen_flex_jobs (fun jobs ->
+      let demand =
+        List.fold_left (fun a j -> a +. (FJ.size j *. FJ.length j)) 0. jobs
+      in
+      List.for_all
+        (fun name ->
+          FS.usage ((Option.get (FS.by_name name)) jobs) >= demand -. 1e-6)
+        FS.names)
+
+let test_experiment_e7_runs () =
+  let table = Dbp_sim.Experiments.flexibility_sweep ~seeds:1 () in
+  check_bool "renders" true
+    (String.length (Dbp_sim.Report.to_text table) > 40)
+
+let suite =
+  [
+    Alcotest.test_case "job make" `Quick test_job_make;
+    Alcotest.test_case "window too short" `Quick test_job_window_too_short;
+    Alcotest.test_case "rigid window ok" `Quick test_job_rigid_window_ok;
+    Alcotest.test_case "to_item" `Quick test_to_item;
+    Alcotest.test_case "of_item roundtrip" `Quick test_of_item_roundtrip;
+    Alcotest.test_case "asap conflicts" `Quick test_asap_conflicts;
+    Alcotest.test_case "greedy uses slack" `Quick test_greedy_uses_slack;
+    Alcotest.test_case "greedy rigid" `Quick test_greedy_rigid_matches_window;
+    Alcotest.test_case "alap starts latest" `Quick test_alap_starts_latest;
+    Alcotest.test_case "duplicate ids rejected" `Quick test_duplicate_ids_rejected;
+    Alcotest.test_case "empty" `Quick test_empty;
+    Alcotest.test_case "greedy aligns with busy intervals" `Quick
+      test_greedy_aligns_with_busy_intervals;
+    prop_all_schedulers_respect_windows;
+    prop_greedy_within_trivial_bounds;
+    prop_rigid_asap_equals_ddff;
+    prop_usage_at_least_busy_lower_bound;
+    Alcotest.test_case "E7 experiment runs" `Slow test_experiment_e7_runs;
+  ]

@@ -1,0 +1,62 @@
+open Dbp_core
+open Helpers
+module G = Dbp_sim.Gantt
+
+let test_level_chars () =
+  Alcotest.(check char) "full" '#' (G.level_char 0.9);
+  Alcotest.(check char) "high" '=' (G.level_char 0.6);
+  Alcotest.(check char) "mid" '-' (G.level_char 0.3);
+  Alcotest.(check char) "low" '.' (G.level_char 0.1);
+  Alcotest.(check char) "empty" ' ' (G.level_char 0.)
+
+let test_empty_packing () =
+  let p = Packing.of_bins (Instance.of_items []) [] in
+  check_string "placeholder" "(empty packing)\n" (G.render p)
+
+let test_render_rows_match_bins () =
+  let inst = instance [ (0.9, 0., 10.); (0.9, 2., 8.) ] in
+  let p = Dbp_offline.Ddff.pack inst in
+  let text = G.render ~width:40 p in
+  let lines = String.split_on_char '\n' text in
+  (* header + one line per bin + summary + trailing newline *)
+  check_int "line count" (1 + Packing.bin_count p + 1 + 1) (List.length lines)
+
+let test_render_shows_load () =
+  (* a single full-width item renders as '#' across its row *)
+  let inst = instance [ (0.9, 0., 10.) ] in
+  let p = Dbp_offline.Ddff.pack inst in
+  let text = G.render ~width:20 p in
+  check_bool "has full cells" true (String.contains text '#');
+  check_bool "mentions usage" true (Str_exists.contains_substring text "10")
+
+let test_render_gap_is_blank () =
+  (* one bin, two items with a long gap: middle cells blank *)
+  let inst = instance [ (0.9, 0., 1.); (0.9, 99., 100.) ] in
+  let p = Dbp_offline.Ddff.pack inst in
+  let text = G.render ~width:50 p in
+  let bin_line =
+    String.split_on_char '\n' text
+    |> List.find (fun l ->
+           String.length l > 4 && String.sub l 0 3 = "bin")
+  in
+  (* count blank cells between the bars *)
+  let bar1 = String.index bin_line '|' in
+  let bar2 = String.rindex bin_line '|' in
+  let cells = String.sub bin_line (bar1 + 1) (bar2 - bar1 - 1) in
+  let blanks = String.fold_left (fun n c -> if c = ' ' then n + 1 else n) 0 cells in
+  check_bool "mostly blank" true (blanks > 40)
+
+let prop_render_never_fails =
+  qtest ~count:40 "render succeeds on arbitrary packings" (gen_instance ())
+    (fun inst ->
+      String.length (G.render (Dbp_offline.Ddff.pack inst)) > 0)
+
+let suite =
+  [
+    Alcotest.test_case "level chars" `Quick test_level_chars;
+    Alcotest.test_case "empty packing" `Quick test_empty_packing;
+    Alcotest.test_case "rows match bins" `Quick test_render_rows_match_bins;
+    Alcotest.test_case "shows load" `Quick test_render_shows_load;
+    Alcotest.test_case "gap is blank" `Quick test_render_gap_is_blank;
+    prop_render_never_fails;
+  ]

@@ -1,0 +1,65 @@
+(* Golden regression tests: exact usage values of every algorithm on a
+   checked-in fixture trace (224 items, uniform workload, seed 77).  Any
+   behavioural change to an algorithm, the engine, the event ordering or
+   the float conventions shows up here as an exact-value diff.
+
+   Regenerate the numbers deliberately (after an intended change) by
+   running the algorithms on test/fixtures/uniform_seed77.csv and pasting
+   the new values. *)
+
+open Dbp_core
+open Helpers
+
+(* dune runs the test binary from the build's test directory (the fixture
+   is a declared dep there); the other candidates cover manual runs. *)
+let fixture =
+  lazy
+    (let candidates =
+       [
+         "fixtures/uniform_seed77.csv";
+         "test/fixtures/uniform_seed77.csv";
+         Filename.concat
+           (Filename.dirname Sys.executable_name)
+           "fixtures/uniform_seed77.csv";
+       ]
+     in
+     match List.find_opt Sys.file_exists candidates with
+     | Some path -> Dbp_workload.Trace.load path
+     | None -> failwith "golden fixture not found")
+
+let golden_usage = 1e-6
+
+let check_usage name expected pack () =
+  let inst = Lazy.force fixture in
+  check_float_eps golden_usage name expected
+    (Packing.total_usage_time (pack inst))
+
+let test_fixture_shape () =
+  let inst = Lazy.force fixture in
+  check_int "items" 224 (Instance.length inst);
+  check_float_eps golden_usage "lower bound" 409.779318605
+    (Dbp_opt.Lower_bounds.best inst)
+
+let suite =
+  [
+    Alcotest.test_case "fixture shape" `Quick test_fixture_shape;
+    Alcotest.test_case "ddff usage" `Quick
+      (check_usage "ddff" 504.630515721 Dbp_offline.Ddff.pack);
+    Alcotest.test_case "dual coloring usage" `Quick
+      (check_usage "dual-coloring" 897.357705308 Dbp_offline.Dual_coloring.pack);
+    Alcotest.test_case "first fit usage" `Quick
+      (check_usage "first-fit" 535.948051486
+         (Dbp_online.Engine.run Dbp_online.Any_fit.first_fit));
+    Alcotest.test_case "best fit usage" `Quick
+      (check_usage "best-fit" 529.190261336
+         (Dbp_online.Engine.run Dbp_online.Any_fit.best_fit));
+    Alcotest.test_case "next fit usage" `Quick
+      (check_usage "next-fit" 736.323036644
+         (Dbp_online.Engine.run Dbp_online.Any_fit.next_fit));
+    Alcotest.test_case "cbdt tuned usage" `Quick
+      (check_usage "cbdt" 648.84843442 (fun i ->
+           Dbp_online.Engine.run (Dbp_online.Classify_departure.tuned i) i));
+    Alcotest.test_case "cbd tuned usage" `Quick
+      (check_usage "cbd" 661.350927663 (fun i ->
+           Dbp_online.Engine.run (Dbp_online.Classify_duration.tuned i) i));
+  ]

@@ -1,0 +1,133 @@
+open Dbp_core
+open Helpers
+
+(* Two overlapping items and one disjoint late item. *)
+let sample () =
+  instance [ (0.5, 0., 4.); (0.25, 2., 6.); (0.75, 10., 12.) ]
+
+let test_of_items_rejects_duplicate_ids () =
+  Alcotest.check_raises "dup id" (Invalid_argument "Instance.of_items: duplicate id 0")
+    (fun () ->
+      ignore (Instance.of_items [ item ~id:0 0. 1.; item ~id:0 2. 3. ]))
+
+let test_length_and_find () =
+  let t = sample () in
+  check_int "length" 3 (Instance.length t);
+  check_float "find size" 0.25 (Item.size (Instance.find t 1));
+  check_bool "not empty" false (Instance.is_empty t)
+
+let test_span () =
+  (* [0,6) plus [10,12) = 8 *)
+  check_float "span" 8. (Instance.span (sample ()))
+
+let test_span_intervals () =
+  let spans = Instance.span_intervals (sample ()) in
+  Alcotest.(check (list interval)) "two islands"
+    [ Interval.make 0. 6.; Interval.make 10. 12. ]
+    spans
+
+let test_demand () =
+  (* 0.5*4 + 0.25*4 + 0.75*2 = 2 + 1 + 1.5 *)
+  check_float "demand" 4.5 (Instance.demand (sample ()))
+
+let test_durations_mu () =
+  let t = sample () in
+  check_float "min" 2. (Instance.min_duration t);
+  check_float "max" 4. (Instance.max_duration t);
+  check_float "mu" 2. (Instance.mu t)
+
+let test_empty_duration_raises () =
+  let empty = Instance.of_items [] in
+  check_bool "empty" true (Instance.is_empty empty);
+  Alcotest.check_raises "min of empty"
+    (Invalid_argument "Instance.min_duration: empty instance") (fun () ->
+      ignore (Instance.min_duration empty))
+
+let test_size_profile () =
+  let p = Instance.size_profile (sample ()) in
+  check_float "only first" 0.5 (Step_function.value_at p 1.);
+  check_float "overlap" 0.75 (Step_function.value_at p 3.);
+  check_float "only second" 0.25 (Step_function.value_at p 5.);
+  check_float "gap" 0. (Step_function.value_at p 8.);
+  check_float "late" 0.75 (Step_function.value_at p 11.)
+
+let test_active_at () =
+  let t = sample () in
+  check_int "two at t=3" 2 (List.length (Instance.active_at t 3.));
+  check_int "none at t=8" 0 (List.length (Instance.active_at t 8.));
+  (* departure instant excluded *)
+  check_int "one at t=4" 1 (List.length (Instance.active_at t 4.))
+
+let test_critical_times () =
+  Alcotest.(check (list (float 1e-12))) "sorted unique"
+    [ 0.; 2.; 4.; 6.; 10.; 12. ]
+    (Instance.critical_times (sample ()))
+
+let test_restrict () =
+  let t = Instance.restrict (sample ()) (fun r -> Item.size r <= 0.5) in
+  check_int "two small" 2 (Instance.length t)
+
+let test_split_disjoint () =
+  let parts = Instance.split_disjoint (sample ()) in
+  check_int "two parts" 2 (List.length parts);
+  Alcotest.(check (list int)) "sizes" [ 2; 1 ]
+    (List.map Instance.length parts)
+
+let test_shift () =
+  let t = Instance.shift 5. (sample ()) in
+  check_float "span preserved" 8. (Instance.span t);
+  check_float "moved" 5. (Item.arrival (Instance.find t 0))
+
+let test_arrivals_in_order () =
+  let t = instance [ (0.5, 3., 4.); (0.5, 1., 2.); (0.5, 2., 3.) ] in
+  Alcotest.(check (list int)) "order" [ 1; 2; 0 ]
+    (List.map Item.id (Instance.arrivals_in_order t))
+
+(* ---- properties ---- *)
+
+let prop_span_le_sum_durations =
+  qtest "span <= sum of durations" (gen_instance ()) (fun t ->
+      Instance.span t
+      <= List.fold_left (fun a r -> a +. Item.duration r) 0. (Instance.items t)
+         +. 1e-9)
+
+let prop_demand_equals_profile_integral =
+  qtest "demand = integral of S(t)" (gen_instance ()) (fun t ->
+      Float.abs (Instance.demand t -. Step_function.integral (Instance.size_profile t))
+      < 1e-6)
+
+let prop_span_equals_profile_support =
+  qtest "span = support of S(t)" (gen_instance ()) (fun t ->
+      Float.abs (Instance.span t -. Step_function.support_length (Instance.size_profile t))
+      < 1e-6)
+
+let prop_split_preserves_items =
+  qtest "split_disjoint partitions items" (gen_instance ()) (fun t ->
+      let total =
+        Instance.split_disjoint t
+        |> List.fold_left (fun a p -> a + Instance.length p) 0
+      in
+      total = Instance.length t)
+
+let suite =
+  [
+    Alcotest.test_case "duplicate ids rejected" `Quick
+      test_of_items_rejects_duplicate_ids;
+    Alcotest.test_case "length and find" `Quick test_length_and_find;
+    Alcotest.test_case "span" `Quick test_span;
+    Alcotest.test_case "span intervals" `Quick test_span_intervals;
+    Alcotest.test_case "demand" `Quick test_demand;
+    Alcotest.test_case "durations and mu" `Quick test_durations_mu;
+    Alcotest.test_case "empty duration raises" `Quick test_empty_duration_raises;
+    Alcotest.test_case "size profile" `Quick test_size_profile;
+    Alcotest.test_case "active_at" `Quick test_active_at;
+    Alcotest.test_case "critical times" `Quick test_critical_times;
+    Alcotest.test_case "restrict" `Quick test_restrict;
+    Alcotest.test_case "split_disjoint" `Quick test_split_disjoint;
+    Alcotest.test_case "shift" `Quick test_shift;
+    Alcotest.test_case "arrivals in order" `Quick test_arrivals_in_order;
+    prop_span_le_sum_durations;
+    prop_demand_equals_profile_integral;
+    prop_span_equals_profile_support;
+    prop_split_preserves_items;
+  ]

@@ -1,0 +1,179 @@
+(* Cross-library integration tests: the experiments run end-to-end at
+   reduced size, and the theorem-level invariants hold on their outputs. *)
+
+open Dbp_core
+open Helpers
+module E = Dbp_sim.Experiments
+module Rep = Dbp_sim.Report
+
+let nonempty_table name table =
+  check_bool (name ^ " renders") true (String.length (Rep.to_text table) > 40)
+
+let test_figure8_experiment () =
+  nonempty_table "figure8" (E.figure8 ~mus:[ 1.; 4.; 16. ] ())
+
+let test_figure8_crossover () =
+  check_bool "crossover near 4" true
+    (let c = E.figure8_crossover () in
+     c >= 4. && c < 4.5)
+
+let test_lower_bound_gadget_certifies_theorem3 () =
+  let table = E.lower_bound_gadget () in
+  let text = Rep.to_text table in
+  check_bool "mentions first-fit" true
+    (Str_exists.contains_substring text "first-fit");
+  (* FF packs the two small items together, so its worst case is >= phi *)
+  nonempty_table "gadget" table
+
+let test_combined_ablation_runs () =
+  nonempty_table "ablation" (E.combined_ablation ~seeds:1 ~mus:[ 4. ] ())
+
+let test_ratio_vs_mu_runs () =
+  nonempty_table "ratio vs mu" (E.ratio_vs_mu ~seeds:1 ~mus:[ 2.; 8. ] ())
+
+(* The key cross-check: every algorithm on every workload respects its
+   proved bound against the Proposition-3 lower bound. *)
+let test_bounds_respected_on_gaming_workload () =
+  let inst =
+    Dbp_workload.Cloud_gaming.generate ~seed:0
+      { Dbp_workload.Cloud_gaming.default with days = 0.25 }
+  in
+  let lb = Dbp_opt.Lower_bounds.best inst in
+  let mu = Instance.mu inst in
+  let usage pack = Packing.total_usage_time (pack inst) in
+  check_bool "ddff within 5x" true
+    (usage Dbp_offline.Ddff.pack <= (5. *. lb) +. 1e-6);
+  check_bool "dual coloring within 4x" true
+    (usage Dbp_offline.Dual_coloring.pack <= (4. *. lb) +. 1e-6);
+  check_bool "ff within mu+4" true
+    (usage (Dbp_online.Engine.run Dbp_online.Any_fit.first_fit)
+    <= ((mu +. 4.) *. lb) +. 1e-6)
+
+let test_cbdt_theorem4_bound_on_tuned_run () =
+  let inst = Dbp_workload.Generator.with_mu ~seed:3 ~items:120 ~mu:9. () in
+  let delta = Instance.min_duration inst and mu = Instance.mu inst in
+  let rho = Dbp_online.Classify_departure.optimal_rho ~delta ~mu in
+  let usage =
+    Packing.total_usage_time
+      (Dbp_online.Engine.run (Dbp_online.Classify_departure.make ~rho ()) inst)
+  in
+  let bound = Dbp_theory.Ratios.cbdt ~rho ~delta ~mu in
+  check_bool "within theorem 4 bound" true
+    (usage <= (bound *. Dbp_opt.Lower_bounds.best inst) +. 1e-6)
+
+let test_cbd_theorem5_bound_on_tuned_run () =
+  let inst = Dbp_workload.Generator.with_mu ~seed:3 ~items:120 ~mu:9. () in
+  let mu = Instance.mu inst in
+  let alpha = 3. in
+  let usage =
+    Packing.total_usage_time
+      (Dbp_online.Engine.run
+         (Dbp_online.Classify_duration.make
+            ~base:(Instance.min_duration inst) ~alpha ())
+         inst)
+  in
+  let bound = Dbp_theory.Ratios.cbd ~alpha ~mu in
+  check_bool "within theorem 5 bound" true
+    (usage <= (bound *. Dbp_opt.Lower_bounds.best inst) +. 1e-6)
+
+(* On instances small enough for the exact adversary, measured approximation
+   ratios certify Theorems 1 and 2. *)
+let prop_theorem1_certified_exactly =
+  qtest ~count:20 "DDFF ratio to exact OPT <= 5" (gen_instance ~max_items:8 ())
+    (fun inst ->
+      Dbp_opt.Opt_total.ratio inst (usage_of Dbp_offline.Ddff.pack inst)
+      <= 5. +. 1e-6)
+
+let prop_theorem2_certified_exactly =
+  qtest ~count:20 "Dual Coloring ratio to exact OPT <= 4"
+    (gen_instance ~max_items:8 ()) (fun inst ->
+      Dbp_opt.Opt_total.ratio inst
+        (usage_of Dbp_offline.Dual_coloring.pack inst)
+      <= 4. +. 1e-6)
+
+(* Differential testing between offline arrival-order First Fit and the
+   online engine's First Fit.  They use equivalent admission tests (the
+   level of already-placed items over a new item's interval peaks at its
+   arrival), but they differ on bin lifecycle: offline bins never close,
+   online bins close when they empty.  So:
+   - while no bin ever empties before the last arrival, the packings are
+     identical (tested on dense instances below);
+   - a closed-and-reused bin is a real divergence (witness test). *)
+let prop_offline_online_ff_agree_without_closures =
+  qtest ~count:60 "offline FF = online FF when no bin empties mid-run"
+    (gen_instance ()) (fun inst ->
+      let online = Dbp_online.Engine.run Dbp_online.Any_fit.first_fit inst in
+      let last_arrival =
+        List.fold_left
+          (fun acc r -> Float.max acc (Item.arrival r))
+          neg_infinity (Instance.items inst)
+      in
+      let some_bin_empties =
+        List.exists
+          (fun b ->
+            List.exists
+              (fun gap -> Interval.left gap < last_arrival)
+              (Interval.complement_within
+                 (Interval.make
+                    (Bin_state.opening_time b)
+                    (Bin_state.closing_time b))
+                 (Bin_state.usage_intervals b)))
+          (Packing.bins online)
+        (* a bin that closes before the last arrival also "empties" *)
+        || List.exists
+             (fun b -> Bin_state.closing_time b < last_arrival)
+             (Packing.bins online)
+      in
+      QCheck2.assume (not some_bin_empties);
+      let offline = Dbp_offline.First_fit_offline.arrival_order inst in
+      Float.equal
+        (Packing.total_usage_time offline)
+        (Packing.total_usage_time online)
+      && Packing.bin_count offline = Packing.bin_count online)
+
+let test_offline_online_ff_divergence_witness () =
+  (* bin 0 empties at t=2; the offline packer reuses it for item 1, the
+     online engine must open a fresh bin *)
+  let inst = instance [ (0.9, 0., 2.); (0.9, 3., 5.) ] in
+  let offline = Dbp_offline.First_fit_offline.arrival_order inst in
+  let online = Dbp_online.Engine.run Dbp_online.Any_fit.first_fit inst in
+  check_int "offline reuses" 1 (Packing.bin_count offline);
+  check_int "online cannot" 2 (Packing.bin_count online);
+  (* usage is the same here: the span union is identical *)
+  check_float "same usage" (Packing.total_usage_time offline)
+    (Packing.total_usage_time online)
+
+(* All algorithms beat the trivial one-bin-per-item packing. *)
+let prop_everyone_beats_trivial =
+  qtest ~count:30 "all portfolio members <= one bin per item"
+    (gen_instance ()) (fun inst ->
+      let trivial =
+        List.fold_left (fun a r -> a +. Item.duration r) 0. (Instance.items inst)
+      in
+      List.for_all
+        (fun (p : Dbp_sim.Runner.packer) ->
+          Packing.total_usage_time (p.Dbp_sim.Runner.pack inst)
+          <= trivial +. 1e-6)
+        Dbp_sim.Runner.default_portfolio)
+
+let suite =
+  [
+    Alcotest.test_case "figure8 experiment" `Quick test_figure8_experiment;
+    Alcotest.test_case "figure8 crossover" `Quick test_figure8_crossover;
+    Alcotest.test_case "theorem-3 gadget table" `Quick
+      test_lower_bound_gadget_certifies_theorem3;
+    Alcotest.test_case "combined ablation" `Slow test_combined_ablation_runs;
+    Alcotest.test_case "ratio vs mu" `Slow test_ratio_vs_mu_runs;
+    Alcotest.test_case "bounds on gaming workload" `Slow
+      test_bounds_respected_on_gaming_workload;
+    Alcotest.test_case "theorem 4 bound (tuned run)" `Quick
+      test_cbdt_theorem4_bound_on_tuned_run;
+    Alcotest.test_case "theorem 5 bound (tuned run)" `Quick
+      test_cbd_theorem5_bound_on_tuned_run;
+    prop_offline_online_ff_agree_without_closures;
+    Alcotest.test_case "offline/online FF divergence witness" `Quick
+      test_offline_online_ff_divergence_witness;
+    prop_theorem1_certified_exactly;
+    prop_theorem2_certified_exactly;
+    prop_everyone_beats_trivial;
+  ]

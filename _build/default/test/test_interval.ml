@@ -1,0 +1,152 @@
+open Dbp_core
+open Helpers
+
+let mk = Interval.make
+
+let test_make_valid () =
+  let i = mk 1. 3. in
+  check_float "left" 1. (Interval.left i);
+  check_float "right" 3. (Interval.right i);
+  check_float "length" 2. (Interval.length i)
+
+let test_make_point_is_empty () =
+  check_bool "empty" true (Interval.is_empty (mk 2. 2.));
+  check_float "zero length" 0. (Interval.length (mk 2. 2.))
+
+let test_make_invalid () =
+  Alcotest.check_raises "right < left" (Invalid_argument "Interval.make: right < left")
+    (fun () -> ignore (mk 3. 1.));
+  Alcotest.check_raises "nan" (Invalid_argument "Interval.make: non-finite endpoint")
+    (fun () -> ignore (mk Float.nan 1.))
+
+let test_mem_half_open () =
+  let i = mk 1. 3. in
+  check_bool "left endpoint in" true (Interval.mem 1. i);
+  check_bool "interior in" true (Interval.mem 2. i);
+  check_bool "right endpoint out" false (Interval.mem 3. i);
+  check_bool "before out" false (Interval.mem 0.5 i)
+
+let test_overlaps_touching () =
+  (* touching half-open intervals do not overlap *)
+  check_bool "touching" false (Interval.overlaps (mk 0. 1.) (mk 1. 2.));
+  check_bool "overlap" true (Interval.overlaps (mk 0. 1.5) (mk 1. 2.));
+  check_bool "nested" true (Interval.overlaps (mk 0. 10.) (mk 2. 3.));
+  check_bool "disjoint" false (Interval.overlaps (mk 0. 1.) (mk 2. 3.))
+
+let test_intersect () =
+  (match Interval.intersect (mk 0. 2.) (mk 1. 3.) with
+  | Some i -> Alcotest.check interval "intersection" (mk 1. 2.) i
+  | None -> Alcotest.fail "expected intersection");
+  check_bool "touching gives none" true
+    (Interval.intersect (mk 0. 1.) (mk 1. 2.) = None)
+
+let test_contains () =
+  check_bool "yes" true (Interval.contains (mk 0. 10.) (mk 2. 3.));
+  check_bool "equal" true (Interval.contains (mk 0. 10.) (mk 0. 10.));
+  check_bool "no" false (Interval.contains (mk 0. 10.) (mk 2. 11.));
+  check_bool "empty inner" true (Interval.contains (mk 5. 6.) Interval.empty)
+
+let test_hull () =
+  Alcotest.check interval "hull" (mk 0. 5.) (Interval.hull (mk 0. 1.) (mk 4. 5.));
+  Alcotest.check interval "hull with empty" (mk 4. 5.)
+    (Interval.hull Interval.empty (mk 4. 5.))
+
+let test_shift () =
+  Alcotest.check interval "shift" (mk 3. 5.) (Interval.shift 2. (mk 1. 3.))
+
+let test_union_merges_overlapping () =
+  let u = Interval.union [ mk 0. 2.; mk 1. 3.; mk 5. 6. ] in
+  Alcotest.(check (list interval)) "merged" [ mk 0. 3.; mk 5. 6. ] u
+
+let test_union_merges_touching () =
+  let u = Interval.union [ mk 0. 1.; mk 1. 2. ] in
+  Alcotest.(check (list interval)) "touching merged" [ mk 0. 2. ] u
+
+let test_union_drops_empty () =
+  let u = Interval.union [ mk 1. 1.; mk 0. 2. ] in
+  Alcotest.(check (list interval)) "empties dropped" [ mk 0. 2. ] u
+
+let test_union_length () =
+  check_float "union length" 4.
+    (Interval.union_length [ mk 0. 2.; mk 1. 3.; mk 5. 6. ])
+
+let test_complement_within () =
+  let gaps = Interval.complement_within (mk 0. 10.) [ mk 2. 3.; mk 5. 7. ] in
+  Alcotest.(check (list interval)) "gaps" [ mk 0. 2.; mk 3. 5.; mk 7. 10. ] gaps
+
+let test_complement_full_cover () =
+  Alcotest.(check (list interval)) "no gap" []
+    (Interval.complement_within (mk 0. 5.) [ mk 0. 5. ])
+
+let test_complement_overhang () =
+  Alcotest.(check (list interval)) "clipped" [ mk 3. 4. ]
+    (Interval.complement_within (mk 2. 4.) [ mk 0. 3. ])
+
+let test_compare_left () =
+  check_bool "orders by left" true (Interval.compare_left (mk 0. 5.) (mk 1. 2.) < 0);
+  check_bool "ties by right" true (Interval.compare_left (mk 0. 1.) (mk 0. 2.) < 0)
+
+(* ---- properties ---- *)
+
+let gen_interval =
+  QCheck2.Gen.(
+    let* l = float_range (-50.) 50. in
+    let* len = float_range 0. 20. in
+    return (Interval.make l (l +. len)))
+
+let prop_union_length_le_sum =
+  qtest "union length <= sum of lengths"
+    QCheck2.Gen.(list_size (int_range 0 10) gen_interval)
+    (fun is ->
+      let sum = List.fold_left (fun a i -> a +. Interval.length i) 0. is in
+      Interval.union_length is <= sum +. 1e-9)
+
+let prop_union_disjoint_sorted =
+  qtest "union is disjoint, sorted, merged"
+    QCheck2.Gen.(list_size (int_range 0 10) gen_interval)
+    (fun is ->
+      let u = Interval.union is in
+      let rec ok = function
+        | a :: (b :: _ as rest) ->
+            Interval.right a < Interval.left b && ok rest
+        | _ -> true
+      in
+      ok u && List.for_all (fun i -> not (Interval.is_empty i)) u)
+
+let prop_complement_partitions =
+  qtest "cover + complement measures add up"
+    QCheck2.Gen.(pair gen_interval (list_size (int_range 0 6) gen_interval))
+    (fun (frame, parts) ->
+      QCheck2.assume (not (Interval.is_empty frame));
+      let covered =
+        Interval.union parts
+        |> List.filter_map (fun p -> Interval.intersect p frame)
+        |> Interval.union_length
+      in
+      let gaps = Interval.complement_within frame parts in
+      let gap_len = List.fold_left (fun a i -> a +. Interval.length i) 0. gaps in
+      Float.abs (covered +. gap_len -. Interval.length frame) < 1e-6)
+
+let suite =
+  [
+    Alcotest.test_case "make valid" `Quick test_make_valid;
+    Alcotest.test_case "point interval is empty" `Quick test_make_point_is_empty;
+    Alcotest.test_case "make invalid raises" `Quick test_make_invalid;
+    Alcotest.test_case "mem is half-open" `Quick test_mem_half_open;
+    Alcotest.test_case "overlaps: touching do not overlap" `Quick test_overlaps_touching;
+    Alcotest.test_case "intersect" `Quick test_intersect;
+    Alcotest.test_case "contains" `Quick test_contains;
+    Alcotest.test_case "hull" `Quick test_hull;
+    Alcotest.test_case "shift" `Quick test_shift;
+    Alcotest.test_case "union merges overlapping" `Quick test_union_merges_overlapping;
+    Alcotest.test_case "union merges touching" `Quick test_union_merges_touching;
+    Alcotest.test_case "union drops empty" `Quick test_union_drops_empty;
+    Alcotest.test_case "union_length" `Quick test_union_length;
+    Alcotest.test_case "complement_within" `Quick test_complement_within;
+    Alcotest.test_case "complement full cover" `Quick test_complement_full_cover;
+    Alcotest.test_case "complement clips overhang" `Quick test_complement_overhang;
+    Alcotest.test_case "compare_left" `Quick test_compare_left;
+    prop_union_length_le_sum;
+    prop_union_disjoint_sorted;
+    prop_complement_partitions;
+  ]

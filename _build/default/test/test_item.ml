@@ -1,0 +1,86 @@
+open Dbp_core
+open Helpers
+
+let test_make_valid () =
+  let r = Item.make ~id:7 ~size:0.25 ~arrival:1. ~departure:4. in
+  check_int "id" 7 (Item.id r);
+  check_float "size" 0.25 (Item.size r);
+  check_float "duration" 3. (Item.duration r);
+  check_float "demand" 0.75 (Item.demand r)
+
+let test_make_size_bounds () =
+  let bad size =
+    match Item.make ~id:0 ~size ~arrival:0. ~departure:1. with
+    | exception Invalid_argument _ -> true
+    | _ -> false
+  in
+  check_bool "zero size" true (bad 0.);
+  check_bool "negative" true (bad (-0.5));
+  check_bool "over 1" true (bad 1.5);
+  check_bool "exactly 1 ok" false (bad 1.)
+
+let test_make_time_bounds () =
+  let bad arrival departure =
+    match Item.make ~id:0 ~size:0.5 ~arrival ~departure with
+    | exception Invalid_argument _ -> true
+    | _ -> false
+  in
+  check_bool "zero duration" true (bad 1. 1.);
+  check_bool "negative duration" true (bad 2. 1.);
+  check_bool "nan" true (bad Float.nan 1.)
+
+let test_interval_half_open () =
+  let r = item ~id:0 1. 4. in
+  check_bool "active at arrival" true (Item.active_at r 1.);
+  check_bool "active inside" true (Item.active_at r 3.);
+  check_bool "inactive at departure" false (Item.active_at r 4.);
+  check_bool "inactive before" false (Item.active_at r 0.)
+
+let test_contains_duration () =
+  let outer = item ~id:0 0. 10. and inner = item ~id:1 2. 5. in
+  check_bool "contains" true (Item.contains_duration outer inner);
+  check_bool "not contained" false (Item.contains_duration inner outer);
+  check_bool "self" true (Item.contains_duration outer outer)
+
+let test_duration_descending_order () =
+  let a = item ~id:0 0. 10. and b = item ~id:1 0. 5. in
+  check_bool "longer first" true (Item.compare_duration_descending a b < 0);
+  let c = item ~id:2 1. 11. in
+  (* same duration: earlier arrival first *)
+  check_bool "tie by arrival" true (Item.compare_duration_descending a c < 0);
+  let d = item ~id:3 0. 10. in
+  check_bool "tie by id" true (Item.compare_duration_descending a d < 0)
+
+let test_arrival_order () =
+  let a = item ~id:5 0. 10. and b = item ~id:1 1. 2. in
+  check_bool "earlier first" true (Item.compare_arrival a b < 0);
+  let c = item ~id:1 0. 3. in
+  check_bool "tie by id" true (Item.compare_arrival c a < 0)
+
+let test_equal_is_by_id () =
+  let a = item ~id:3 0. 1. and b = item ~id:3 ~size:0.9 5. 6. in
+  check_bool "same id equal" true (Item.equal a b)
+
+let prop_demand_size_times_duration =
+  qtest "demand = size * duration" (gen_item_with_id 0) (fun r ->
+      Float.abs (Item.demand r -. (Item.size r *. Item.duration r)) < 1e-12)
+
+let prop_interval_matches_times =
+  qtest "interval endpoints match" (gen_item_with_id 0) (fun r ->
+      Interval.left (Item.interval r) = Item.arrival r
+      && Interval.right (Item.interval r) = Item.departure r)
+
+let suite =
+  [
+    Alcotest.test_case "make valid" `Quick test_make_valid;
+    Alcotest.test_case "size bounds" `Quick test_make_size_bounds;
+    Alcotest.test_case "time bounds" `Quick test_make_time_bounds;
+    Alcotest.test_case "half-open activity" `Quick test_interval_half_open;
+    Alcotest.test_case "contains_duration" `Quick test_contains_duration;
+    Alcotest.test_case "duration descending order" `Quick
+      test_duration_descending_order;
+    Alcotest.test_case "arrival order" `Quick test_arrival_order;
+    Alcotest.test_case "equality by id" `Quick test_equal_is_by_id;
+    prop_demand_size_times_duration;
+    prop_interval_matches_times;
+  ]

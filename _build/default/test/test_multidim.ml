@@ -1,0 +1,299 @@
+open Helpers
+module M = Dbp_multidim
+module R = M.Resource
+module VI = M.Vector_item
+module VB = M.Vector_bin
+module VInst = M.Vector_instance
+module VP = M.Vector_packing
+module VA = M.Vector_algorithms
+
+let vec l = R.of_list l
+
+let vitem ?(id = 0) demand arrival departure =
+  VI.make ~id ~demand:(vec demand) ~arrival ~departure
+
+let vinstance specs =
+  VInst.of_items
+    (List.mapi (fun id (demand, a, d) -> vitem ~id demand a d) specs)
+
+(* ---- resource vectors ---- *)
+
+let test_resource_basics () =
+  let v = vec [ 0.5; 0.25 ] in
+  check_int "dims" 2 (R.dims v);
+  check_float "get" 0.25 (R.get v 1);
+  check_float "max" 0.5 (R.max_component v);
+  check_float "sum" 0.75 (R.sum_components v)
+
+let test_resource_validation () =
+  check_bool "empty rejected" true
+    (match R.of_list [] with exception Invalid_argument _ -> true | _ -> false);
+  check_bool "negative rejected" true
+    (match R.of_list [ -0.1 ] with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_resource_demand_validity () =
+  check_bool "zero vector not a demand" false (R.is_valid_demand (R.zero 3));
+  check_bool "valid" true (R.is_valid_demand (vec [ 0.; 0.5 ]));
+  check_bool "component > 1 invalid" false (R.is_valid_demand (vec [ 1.5 ]))
+
+let test_resource_arith () =
+  let a = vec [ 0.5; 0.2 ] and b = vec [ 0.25; 0.3 ] in
+  check_bool "add" true (R.equal (R.add a b) (vec [ 0.75; 0.5 ]));
+  let d = R.sub a b in
+  check_float "sub dim0" 0.25 (R.get d 0);
+  check_float_eps 1e-12 "sub dim1 (negatives allowed internally)" (-0.1)
+    (R.get d 1);
+  check_bool "mismatch raises" true
+    (match R.add a (vec [ 1. ]) with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_resource_fits_within () =
+  check_bool "fits" true (R.fits_within ~capacity:1. (vec [ 1.0; 0.5 ]));
+  check_bool "overflow" false (R.fits_within ~capacity:1. (vec [ 1.1; 0.5 ]))
+
+(* ---- items ---- *)
+
+let test_vitem_validation () =
+  check_bool "zero demand rejected" true
+    (match VI.make ~id:0 ~demand:(R.zero 2) ~arrival:0. ~departure:1. with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  check_bool "bad times rejected" true
+    (match vitem [ 0.5 ] 2. 2. with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_vitem_time_space_demand () =
+  (* dominant component 0.5, duration 4 *)
+  check_float "demand" 2. (VI.time_space_demand (vitem [ 0.5; 0.2 ] 0. 4.))
+
+(* ---- bins ---- *)
+
+let test_bin_fits_per_dimension () =
+  let b = VB.place (VB.empty ~dims:2 ~index:0) (vitem [ 0.6; 0.1 ] 0. 4.) in
+  (* fits the sum in dim 0 but not dim 1 *)
+  check_bool "dim1 blocks" false (VB.fits b (vitem ~id:1 [ 0.3; 0.95 ] 1. 3.));
+  check_bool "both fit" true (VB.fits b (vitem ~id:1 [ 0.3; 0.5 ] 1. 3.));
+  check_bool "disjoint time" true (VB.fits b (vitem ~id:1 [ 1.0; 1.0 ] 4. 5.))
+
+let test_bin_level_at () =
+  let b = VB.place (VB.empty ~dims:2 ~index:0) (vitem [ 0.6; 0.1 ] 0. 4.) in
+  let b = VB.place b (vitem ~id:1 [ 0.2; 0.4 ] 2. 6.) in
+  check_bool "combined level" true
+    (R.equal (VB.level_at b 3.) (vec [ 0.8; 0.5 ]));
+  check_bool "after first departs" true
+    (R.equal (VB.level_at b 5.) (vec [ 0.2; 0.4 ]))
+
+let test_bin_dimension_mismatch () =
+  let b = VB.empty ~dims:2 ~index:0 in
+  check_bool "raises" true
+    (match VB.fits b (vitem [ 0.5 ] 0. 1.) with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_bin_usage () =
+  let b = VB.place (VB.empty ~dims:1 ~index:0) (vitem [ 0.5 ] 0. 2.) in
+  let b = VB.place b (vitem ~id:1 [ 0.5 ] 5. 6.) in
+  check_float "gap skipped" 3. (VB.usage_time b)
+
+(* ---- instance / lower bound ---- *)
+
+let test_instance_rejects_mixed_dims () =
+  check_bool "raises" true
+    (match
+       VInst.of_items [ vitem [ 0.5 ] 0. 1.; vitem ~id:1 [ 0.5; 0.5 ] 0. 1. ]
+     with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_lower_bound_dominant_dimension () =
+  (* two concurrent items, each memory-heavy 0.6: dim 1 forces 2 bins *)
+  let inst =
+    vinstance [ ([ 0.1; 0.6 ], 0., 2.); ([ 0.1; 0.6 ], 0., 2.) ] in
+  (* ceil(max-dim S) = ceil(1.2) = 2 over [0,2) -> 4 *)
+  check_float "lb" 4. (VInst.lower_bound inst)
+
+let test_lower_bound_span_dominates_when_sparse () =
+  let inst = vinstance [ ([ 0.1; 0.1 ], 0., 10.) ] in
+  check_float "lb = span" 10. (VInst.lower_bound inst)
+
+(* ---- algorithms ---- *)
+
+let test_first_fit_splits_on_any_dimension () =
+  (* items conflict only in dim 1 *)
+  let inst =
+    vinstance [ ([ 0.2; 0.7 ], 0., 2.); ([ 0.2; 0.7 ], 1., 3.) ]
+  in
+  check_int "two bins" 2 (VP.bin_count (VA.first_fit inst))
+
+let test_first_fit_shares_when_compatible () =
+  (* complementary profiles share one bin *)
+  let inst =
+    vinstance [ ([ 0.7; 0.1 ], 0., 2.); ([ 0.1; 0.7 ], 1., 3.) ]
+  in
+  check_int "one bin" 1 (VP.bin_count (VA.first_fit inst))
+
+let test_bin_reuse_after_departure () =
+  let inst =
+    vinstance [ ([ 0.9; 0.9 ], 0., 2.); ([ 0.9; 0.9 ], 1., 2.5 ) ]
+  in
+  (* overlap: two bins; second bin still open at 2.4 *)
+  check_int "two bins" 2 (VP.bin_count (VA.first_fit inst))
+
+let test_classify_departure_separates () =
+  let inst =
+    vinstance [ ([ 0.1; 0.1 ], 0., 1.); ([ 0.1; 0.1 ], 0., 20.) ]
+  in
+  check_int "split" 2 (VP.bin_count (VA.classify_departure ~rho:5. inst));
+  check_int "ff keeps together" 1 (VP.bin_count (VA.first_fit inst))
+
+let test_classify_duration_groups () =
+  let inst =
+    vinstance
+      [ ([ 0.1; 0.1 ], 0., 1.5); ([ 0.1; 0.1 ], 0.5, 2.2); ([ 0.1; 0.1 ], 0., 30.) ]
+  in
+  let p = VA.classify_duration ~alpha:2. inst in
+  check_int "two categories" 2 (VP.bin_count p);
+  check_int "similar durations together" (VP.bin_of_item p 0)
+    (VP.bin_of_item p 1)
+
+let test_empty_instance_all_algorithms () =
+  let empty = VInst.of_items [] in
+  List.iter
+    (fun (name, pack) ->
+      check_int (name ^ " empty") 0 (VP.bin_count (pack empty)))
+    [
+      ("ff", VA.first_fit);
+      ("bf", VA.best_fit);
+      ("cbdt", VA.classify_departure ~rho:1.);
+      ("cbd", VA.classify_duration ~base:1. ~alpha:2.);
+      ("ddff", VA.ddff);
+    ]
+
+(* ---- workload + projection ---- *)
+
+let test_workload_generates_valid () =
+  let inst =
+    M.Vector_workload.generate ~seed:1 M.Vector_workload.default
+  in
+  check_bool "nonempty" false (VInst.is_empty inst);
+  check_int "three dims" 3 (VInst.dims inst)
+
+let test_scalar_projection_preserves_times () =
+  let inst = M.Vector_workload.generate ~seed:1 M.Vector_workload.default in
+  let proj = M.Vector_workload.scalar_projection inst in
+  check_int "same count" (VInst.length inst) (Dbp_core.Instance.length proj);
+  let r = List.hd (VInst.items inst) in
+  let p = Dbp_core.Instance.find proj (VI.id r) in
+  check_float "size is dominant component"
+    (R.max_component (VI.demand r))
+    (Dbp_core.Item.size p)
+
+(* ---- properties ---- *)
+
+let gen_vinstance =
+  QCheck2.Gen.(
+    let* n = int_range 1 10 in
+    let* dims = int_range 1 3 in
+    let* items =
+      flatten_l
+        (List.init n (fun id ->
+             let* demand =
+               flatten_l
+                 (List.init dims (fun _ -> float_range 0.05 0.8))
+             in
+             let* arrival = float_range 0. 10. in
+             let* duration = float_range 0.2 5. in
+             return
+               (VI.make ~id ~demand:(R.of_list demand) ~arrival
+                  ~departure:(arrival +. duration))))
+    in
+    return (VInst.of_items items))
+
+let prop_all_algorithms_valid =
+  qtest ~count:60 "all multidim algorithms produce valid packings"
+    gen_vinstance (fun inst ->
+      List.for_all
+        (fun pack -> VP.bin_count (pack inst) >= 1)
+        [
+          VA.first_fit;
+          VA.best_fit;
+          VA.classify_departure ~rho:2.;
+          VA.classify_duration ~base:1. ~alpha:2.;
+          VA.ddff;
+        ])
+
+let prop_usage_at_least_lower_bound =
+  qtest ~count:60 "every algorithm's usage >= generalised lower bound"
+    gen_vinstance (fun inst ->
+      let lb = VInst.lower_bound inst in
+      List.for_all
+        (fun pack -> VP.total_usage_time (pack inst) >= lb -. 1e-6)
+        [ VA.first_fit; VA.best_fit; VA.ddff ])
+
+let prop_per_dim_demand_below_bound =
+  qtest ~count:60 "per-dimension demand <= lower bound" gen_vinstance
+    (fun inst ->
+      let lb = VInst.lower_bound inst in
+      List.for_all
+        (fun dim -> VInst.per_dimension_demand inst ~dim <= lb +. 1e-9)
+        (List.init (VInst.dims inst) Fun.id))
+
+let prop_lower_bound_at_least_each_dim =
+  qtest ~count:60 "multidim LB >= every single-dimension ceil integral"
+    gen_vinstance (fun inst ->
+      let lb = VInst.lower_bound inst in
+      List.for_all
+        (fun dim ->
+          lb
+          >= Dbp_core.Step_function.integral
+               (Dbp_core.Step_function.ceil (VInst.demand_profile inst ~dim))
+             -. 1e-6)
+        (List.init (VInst.dims inst) Fun.id))
+
+let test_experiment_e6_runs () =
+  let table = Dbp_sim.Experiments.multidim_compare ~seeds:1 () in
+  check_bool "renders" true
+    (String.length (Dbp_sim.Report.to_text table) > 40)
+
+let suite =
+  [
+    Alcotest.test_case "resource basics" `Quick test_resource_basics;
+    Alcotest.test_case "resource validation" `Quick test_resource_validation;
+    Alcotest.test_case "demand validity" `Quick test_resource_demand_validity;
+    Alcotest.test_case "resource arithmetic" `Quick test_resource_arith;
+    Alcotest.test_case "fits_within" `Quick test_resource_fits_within;
+    Alcotest.test_case "vitem validation" `Quick test_vitem_validation;
+    Alcotest.test_case "vitem time-space demand" `Quick
+      test_vitem_time_space_demand;
+    Alcotest.test_case "bin fits per dimension" `Quick test_bin_fits_per_dimension;
+    Alcotest.test_case "bin level_at" `Quick test_bin_level_at;
+    Alcotest.test_case "bin dimension mismatch" `Quick test_bin_dimension_mismatch;
+    Alcotest.test_case "bin usage skips gaps" `Quick test_bin_usage;
+    Alcotest.test_case "mixed dims rejected" `Quick test_instance_rejects_mixed_dims;
+    Alcotest.test_case "LB uses dominant dimension" `Quick
+      test_lower_bound_dominant_dimension;
+    Alcotest.test_case "LB span when sparse" `Quick
+      test_lower_bound_span_dominates_when_sparse;
+    Alcotest.test_case "ff splits on any dimension" `Quick
+      test_first_fit_splits_on_any_dimension;
+    Alcotest.test_case "ff shares complementary profiles" `Quick
+      test_first_fit_shares_when_compatible;
+    Alcotest.test_case "bin reuse" `Quick test_bin_reuse_after_departure;
+    Alcotest.test_case "classify departure separates" `Quick
+      test_classify_departure_separates;
+    Alcotest.test_case "classify duration groups" `Quick
+      test_classify_duration_groups;
+    Alcotest.test_case "empty instance" `Quick test_empty_instance_all_algorithms;
+    Alcotest.test_case "workload valid" `Quick test_workload_generates_valid;
+    Alcotest.test_case "scalar projection" `Quick
+      test_scalar_projection_preserves_times;
+    prop_all_algorithms_valid;
+    prop_usage_at_least_lower_bound;
+    prop_per_dim_demand_below_bound;
+    prop_lower_bound_at_least_each_dim;
+    Alcotest.test_case "E6 experiment runs" `Slow test_experiment_e6_runs;
+  ]

@@ -1,0 +1,214 @@
+open Dbp_core
+open Helpers
+module LB = Dbp_opt.Lower_bounds
+module BP = Dbp_opt.Bin_packing_exact
+module OT = Dbp_opt.Opt_total
+module BF = Dbp_opt.Brute_force
+
+(* ---- lower bounds ---- *)
+
+let test_lower_bounds_simple () =
+  let inst = instance [ (0.6, 0., 2.); (0.6, 0., 2.) ] in
+  check_float "demand" 2.4 (LB.demand inst);
+  check_float "span" 2. (LB.span inst);
+  (* S(t) = 1.2 over [0,2): ceil = 2, integral 4 *)
+  check_float "ceil integral" 4. (LB.ceil_size_integral inst);
+  check_float "best is prop 3" 4. (LB.best inst)
+
+let test_ratio_to_best () =
+  let inst = instance [ (1.0, 0., 2.) ] in
+  check_float "ratio" 1.5 (LB.ratio_to_best inst 3.)
+
+let prop_prop3_dominates =
+  qtest "ceil integral >= demand and span" (gen_instance ()) (fun inst ->
+      let c = LB.ceil_size_integral inst in
+      c >= LB.demand inst -. 1e-6 && c >= LB.span inst -. 1e-6)
+
+(* ---- exact bin packing ---- *)
+
+let test_ffd_simple () =
+  check_int "three halves need 2" 2 (BP.ffd_count [ 0.5; 0.5; 0.5 ]);
+  check_int "perfect fit" 1 (BP.ffd_count [ 0.5; 0.3; 0.2 ]);
+  check_int "empty" 0 (BP.ffd_count [])
+
+let test_lower_bound_fn () =
+  check_int "sum bound" 2 (BP.lower_bound [ 0.9; 0.9 ]);
+  check_int "halves bound" 3 (BP.lower_bound [ 0.6; 0.6; 0.6 ])
+
+let test_optimal_beats_ffd () =
+  (* FFD is suboptimal here: sizes {0.55, 0.45, 0.45, 0.3, 0.25} -- FFD:
+     [0.55+0.45]; [0.45+0.3+0.25] = 2 bins (already optimal).  Use the
+     classic FFD-failure set instead. *)
+  let sizes = [ 0.41; 0.41; 0.41; 0.29; 0.29; 0.29; 0.3; 0.3; 0.3 ] in
+  let opt = BP.optimal_count sizes in
+  check_int "exact optimum 3" 3 opt;
+  check_bool "ffd >= opt" true (BP.ffd_count sizes >= opt)
+
+let test_optimal_exact_flag () =
+  let n, exact = BP.optimal_is_exact [ 0.5; 0.5 ] in
+  check_int "one bin" 1 n;
+  check_bool "exact" true exact
+
+let test_optimal_rejects_bad_sizes () =
+  check_bool "raises" true
+    (match BP.optimal_count [ 1.5 ] with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_node_budget_truncates () =
+  (* an absurdly small budget: result must still be a valid upper bound *)
+  let sizes = List.init 14 (fun i -> 0.2 +. (0.05 *. float_of_int (i mod 5))) in
+  let n, _exact = BP.optimal_is_exact ~max_nodes:3 sizes in
+  check_bool "at least the sum bound" true (n >= BP.lower_bound sizes)
+
+let prop_exact_between_lb_and_ffd =
+  qtest ~count:60 "lower_bound <= exact <= ffd"
+    QCheck2.Gen.(list_size (int_range 0 10) (float_range 0.05 1.0))
+    (fun sizes ->
+      let opt = BP.optimal_count sizes in
+      BP.lower_bound sizes <= opt && opt <= BP.ffd_count sizes)
+
+let test_optimal_assignment_simple () =
+  let assignment, exact = BP.optimal_assignment [ 0.6; 0.6; 0.4; 0.4 ] in
+  check_bool "exact" true exact;
+  check_int "four items assigned" 4 (List.length assignment);
+  (* optimum is 2 bins: each 0.6 pairs with a 0.4 *)
+  let bins = List.sort_uniq Int.compare assignment in
+  check_int "two bins" 2 (List.length bins)
+
+let test_optimal_assignment_empty () =
+  let assignment, exact = BP.optimal_assignment [] in
+  check_bool "exact" true exact;
+  check_int "empty" 0 (List.length assignment)
+
+let prop_optimal_assignment_feasible_and_optimal =
+  qtest ~count:50 "assignment is feasible and matches optimal_count"
+    QCheck2.Gen.(list_size (int_range 1 9) (float_range 0.05 1.0))
+    (fun sizes ->
+      let assignment, _ = BP.optimal_assignment sizes in
+      let by_bin = Hashtbl.create 8 in
+      List.iter2
+        (fun s b ->
+          Hashtbl.replace by_bin b
+            (s +. Option.value ~default:0. (Hashtbl.find_opt by_bin b)))
+        sizes assignment;
+      let feasible =
+        Hashtbl.fold (fun _ level ok -> ok && level <= 1. +. 1e-9) by_bin true
+      in
+      feasible && Hashtbl.length by_bin = BP.optimal_count sizes)
+
+(* ---- OPT_total ---- *)
+
+let test_opt_total_single_item () =
+  let inst = instance [ (0.5, 0., 3.) ] in
+  let r = OT.compute inst in
+  check_float "one bin whole time" 3. r.OT.value;
+  check_bool "exact" true r.OT.exact
+
+let test_opt_total_repacking_beats_no_migration () =
+  (* two staggered 0.6 items can never share, so OPT_total = integral of
+     per-time bin counts: [0,1):1, [1,2):2, [2,3):1 = 4 *)
+  let inst = instance [ (0.6, 0., 2.); (0.6, 1., 3.) ] in
+  check_float "opt total" 4. (OT.value inst)
+
+let test_opt_profile () =
+  let inst = instance [ (0.6, 0., 2.); (0.6, 1., 3.) ] in
+  let prof = OT.opt_profile inst in
+  check_float "one" 1. (Step_function.value_at prof 0.5);
+  check_float "two" 2. (Step_function.value_at prof 1.5);
+  check_float "after" 0. (Step_function.value_at prof 3.5)
+
+let test_opt_total_gap_in_span () =
+  let inst = instance [ (0.5, 0., 1.); (0.5, 5., 6.) ] in
+  check_float "gap not billed" 2. (OT.value inst)
+
+let prop_opt_total_between_bounds =
+  qtest ~count:40 "LB <= OPT_total <= always-open cost" (gen_instance ())
+    (fun inst ->
+      let opt = OT.value inst in
+      let sum_durations =
+        List.fold_left (fun a r -> a +. Item.duration r) 0. (Instance.items inst)
+      in
+      opt >= LB.best inst -. 1e-6 && opt <= sum_durations +. 1e-6)
+
+let prop_opt_total_le_any_algorithm =
+  qtest ~count:40 "OPT_total <= DDFF and FF" (gen_instance ()) (fun inst ->
+      let opt = OT.value inst in
+      opt <= usage_of Dbp_offline.Ddff.pack inst +. 1e-6
+      && opt
+         <= Packing.total_usage_time
+              (Dbp_online.Engine.run Dbp_online.Any_fit.first_fit inst)
+            +. 1e-6)
+
+(* ---- brute force ---- *)
+
+let test_brute_force_simple () =
+  let inst = instance [ (0.5, 0., 2.); (0.5, 0., 2.) ] in
+  check_float "together" 2. (BF.optimal_usage inst)
+
+let test_brute_force_split_required () =
+  let inst = instance [ (0.7, 0., 2.); (0.7, 0., 2.) ] in
+  check_float "split" 4. (BF.optimal_usage inst)
+
+let test_brute_force_respects_limit () =
+  let items = List.init 20 (fun id -> item ~id ~size:0.1 0. 1.) in
+  check_bool "limit" true
+    (match BF.optimal_packing (Instance.of_items items) with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_brute_force_nontrivial_choice () =
+  (* packing the long item with the short one early is a trap: optimum
+     keeps bins aligned by departure *)
+  let inst =
+    instance [ (0.5, 0., 1.); (0.5, 0., 10.); (0.6, 1.5, 10.) ]
+  in
+  let usage = BF.optimal_usage inst in
+  (* best: item0 alone ([0,1) = 1), items 1 in one bin (10), item 2 (8.5)
+     OR item0+item1 together (10) + item2 (8.5) = 18.5; second is better *)
+  check_float "optimal" 18.5 usage
+
+let prop_brute_force_at_least_opt_total =
+  qtest ~count:25 "OPT_total <= brute force optimum"
+    (gen_instance ~max_items:6 ()) (fun inst ->
+      OT.value inst <= BF.optimal_usage inst +. 1e-6)
+
+let prop_brute_force_at_most_ddff =
+  qtest ~count:25 "brute force <= DDFF" (gen_instance ~max_items:6 ())
+    (fun inst ->
+      BF.optimal_usage inst <= usage_of Dbp_offline.Ddff.pack inst +. 1e-6)
+
+let suite =
+  [
+    Alcotest.test_case "lower bounds simple" `Quick test_lower_bounds_simple;
+    Alcotest.test_case "ratio to best" `Quick test_ratio_to_best;
+    prop_prop3_dominates;
+    Alcotest.test_case "ffd" `Quick test_ffd_simple;
+    Alcotest.test_case "lower bound fn" `Quick test_lower_bound_fn;
+    Alcotest.test_case "optimal vs ffd" `Quick test_optimal_beats_ffd;
+    Alcotest.test_case "optimal exact flag" `Quick test_optimal_exact_flag;
+    Alcotest.test_case "bad sizes rejected" `Quick test_optimal_rejects_bad_sizes;
+    Alcotest.test_case "node budget truncates safely" `Quick
+      test_node_budget_truncates;
+    prop_exact_between_lb_and_ffd;
+    Alcotest.test_case "optimal assignment simple" `Quick
+      test_optimal_assignment_simple;
+    Alcotest.test_case "optimal assignment empty" `Quick
+      test_optimal_assignment_empty;
+    prop_optimal_assignment_feasible_and_optimal;
+    Alcotest.test_case "opt_total single item" `Quick test_opt_total_single_item;
+    Alcotest.test_case "opt_total staggered pair" `Quick
+      test_opt_total_repacking_beats_no_migration;
+    Alcotest.test_case "opt profile" `Quick test_opt_profile;
+    Alcotest.test_case "opt_total skips gaps" `Quick test_opt_total_gap_in_span;
+    prop_opt_total_between_bounds;
+    prop_opt_total_le_any_algorithm;
+    Alcotest.test_case "brute force together" `Quick test_brute_force_simple;
+    Alcotest.test_case "brute force split" `Quick test_brute_force_split_required;
+    Alcotest.test_case "brute force item limit" `Quick
+      test_brute_force_respects_limit;
+    Alcotest.test_case "brute force nontrivial" `Quick
+      test_brute_force_nontrivial_choice;
+    prop_brute_force_at_least_opt_total;
+    prop_brute_force_at_most_ddff;
+  ]

@@ -1,0 +1,110 @@
+open Dbp_core
+open Helpers
+
+let two_bin_packing () =
+  let inst = instance [ (0.6, 0., 4.); (0.6, 1., 3.); (0.2, 5., 7.) ] in
+  (* 0.6+0.6 > 1 so items 0 and 1 must split; item 2 reuses bin 0 *)
+  Packing.of_assignment inst [ (0, 0); (1, 1); (2, 0) ]
+
+let test_of_assignment () =
+  let p = two_bin_packing () in
+  check_int "bins" 2 (Packing.bin_count p);
+  check_int "item 1 in bin 1" 1 (Packing.bin_of_item p 1);
+  check_int "item 2 in bin 0" 0 (Packing.bin_of_item p 2)
+
+let test_total_usage () =
+  (* bin 0: [0,4) + [5,7) = 6; bin 1: [1,3) = 2 *)
+  check_float "usage" 8. (Packing.total_usage_time (two_bin_packing ()))
+
+let test_open_bins_profile () =
+  let prof = Packing.open_bins_profile (two_bin_packing ()) in
+  check_float "both open" 2. (Step_function.value_at prof 2.);
+  check_float "one open" 1. (Step_function.value_at prof 3.5);
+  check_float "gap" 0. (Step_function.value_at prof 4.5);
+  check_float "integral = usage" 8. (Step_function.integral prof)
+
+let test_max_concurrent () =
+  check_int "max concurrent" 2 (Packing.max_concurrent_bins (two_bin_packing ()))
+
+let test_utilization () =
+  let p = two_bin_packing () in
+  let d = 0.6 *. 4. +. 0.6 *. 2. +. 0.2 *. 2. in
+  check_float "utilization" (d /. 8.) (Packing.utilization p)
+
+let test_missing_item_rejected () =
+  let inst = instance [ (0.5, 0., 1.); (0.5, 2., 3.) ] in
+  check_bool "missing" true
+    (match Packing.of_assignment inst [ (0, 0) ] with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_duplicate_rejected () =
+  let inst = instance [ (0.5, 0., 1.) ] in
+  check_bool "dup" true
+    (match
+       Packing.of_bins inst
+         [
+           Bin_state.place (Bin_state.empty ~index:0) (Instance.find inst 0);
+           Bin_state.place (Bin_state.empty ~index:1) (Instance.find inst 0);
+         ]
+     with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_foreign_item_rejected () =
+  let inst = instance [ (0.5, 0., 1.) ] in
+  check_bool "foreign" true
+    (match
+       Packing.of_bins inst
+         [
+           Bin_state.place
+             (Bin_state.place (Bin_state.empty ~index:0) (Instance.find inst 0))
+             (item ~id:42 5. 6.);
+         ]
+     with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_overflow_rejected () =
+  let inst = instance [ (0.7, 0., 2.); (0.7, 1., 3.) ] in
+  check_bool "overflow" true
+    (match Packing.of_assignment inst [ (0, 0); (1, 0) ] with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_empty_instance () =
+  let p = Packing.of_bins (Instance.of_items []) [] in
+  check_int "no bins" 0 (Packing.bin_count p);
+  check_float "no usage" 0. (Packing.total_usage_time p);
+  check_float "utilization 1" 1. (Packing.utilization p)
+
+let prop_usage_equals_profile_integral =
+  qtest "usage = integral of open-bins profile" (gen_instance ())
+    (fun inst ->
+      let p = Dbp_offline.First_fit_offline.arrival_order inst in
+      Float.abs
+        (Packing.total_usage_time p
+        -. Step_function.integral (Packing.open_bins_profile p))
+      < 1e-6)
+
+let prop_utilization_at_most_one =
+  qtest "utilization in (0, 1]" (gen_instance ()) (fun inst ->
+      let p = Dbp_offline.First_fit_offline.arrival_order inst in
+      let u = Packing.utilization p in
+      u > 0. && u <= 1. +. 1e-9)
+
+let suite =
+  [
+    Alcotest.test_case "of_assignment" `Quick test_of_assignment;
+    Alcotest.test_case "total usage" `Quick test_total_usage;
+    Alcotest.test_case "open bins profile" `Quick test_open_bins_profile;
+    Alcotest.test_case "max concurrent" `Quick test_max_concurrent;
+    Alcotest.test_case "utilization" `Quick test_utilization;
+    Alcotest.test_case "missing item rejected" `Quick test_missing_item_rejected;
+    Alcotest.test_case "duplicate item rejected" `Quick test_duplicate_rejected;
+    Alcotest.test_case "foreign item rejected" `Quick test_foreign_item_rejected;
+    Alcotest.test_case "overflowing bin rejected" `Quick test_overflow_rejected;
+    Alcotest.test_case "empty instance" `Quick test_empty_instance;
+    prop_usage_equals_profile_integral;
+    prop_utilization_at_most_one;
+  ]

@@ -1,0 +1,176 @@
+open Helpers
+module S = Dbp_sim.Stats
+module Rep = Dbp_sim.Report
+module Run = Dbp_sim.Runner
+module Sw = Dbp_sim.Sweep
+
+(* ---- stats ---- *)
+
+let test_stats_summary () =
+  let s = S.summarize [ 1.; 2.; 3.; 4. ] in
+  check_int "n" 4 s.S.n;
+  check_float "mean" 2.5 s.S.mean;
+  check_float "min" 1. s.S.min;
+  check_float "max" 4. s.S.max;
+  check_float_eps 1e-9 "stddev" (sqrt (5. /. 3.)) s.S.stddev
+
+let test_stats_singleton () =
+  let s = S.summarize [ 7. ] in
+  check_float "stddev zero" 0. s.S.stddev
+
+let test_stats_empty_raises () =
+  check_bool "raises" true
+    (match S.mean [] with exception Invalid_argument _ -> true | _ -> false)
+
+let test_percentile () =
+  let xs = [ 10.; 20.; 30.; 40.; 50. ] in
+  check_float "median" 30. (S.percentile 50. xs);
+  check_float "p0" 10. (S.percentile 0. xs);
+  check_float "p100" 50. (S.percentile 100. xs);
+  check_float "interpolated" 15. (S.percentile 12.5 xs)
+
+(* ---- report ---- *)
+
+let sample_table () =
+  Rep.make
+    ~columns:[ ("name", Rep.Left); ("value", Rep.Right) ]
+    ~rows:[ [ "alpha"; "1" ]; [ "beta"; "22" ] ]
+
+let test_report_text_alignment () =
+  let text = Rep.to_text (sample_table ()) in
+  check_bool "contains header" true
+    (String.length text > 0 && String.sub text 0 4 = "name");
+  (* right-aligned numbers line up at the end of the column *)
+  check_bool "has rows" true
+    (List.length (String.split_on_char '\n' text) >= 4)
+
+let test_report_csv () =
+  let csv = Rep.to_csv (sample_table ()) in
+  check_string "csv" "name,value\nalpha,1\nbeta,22\n" csv
+
+let test_report_csv_escaping () =
+  let t =
+    Rep.make ~columns:[ ("a", Rep.Left) ] ~rows:[ [ "x,y" ]; [ "q\"z" ] ]
+  in
+  check_string "escaped" "a\n\"x,y\"\n\"q\"\"z\"\n" (Rep.to_csv t)
+
+let test_report_markdown () =
+  let md = Rep.to_markdown (sample_table ()) in
+  check_bool "pipe table" true (String.length md > 0 && md.[0] = '|')
+
+let test_report_rejects_ragged_rows () =
+  check_bool "raises" true
+    (match
+       Rep.make ~columns:[ ("a", Rep.Left) ] ~rows:[ [ "x"; "y" ] ]
+     with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_cell_formats () =
+  check_string "integer float" "3" (Rep.cell_f 3.);
+  check_string "decimals" "3.1416" (Rep.cell_f ~decimals:4 Float.pi);
+  check_string "int" "42" (Rep.cell_i 42)
+
+(* ---- runner ---- *)
+
+let test_runner_evaluate () =
+  let inst = instance [ (0.5, 0., 2.); (0.5, 0., 2.); (0.6, 1., 3.) ] in
+  let scores = Run.evaluate ~opt:true Run.default_portfolio inst in
+  check_int "all algorithms scored" (List.length Run.default_portfolio)
+    (List.length scores);
+  List.iter
+    (fun s ->
+      check_bool (s.Run.label ^ " ratio >= 1 vs LB") true (s.Run.ratio_lb >= 1. -. 1e-9);
+      match s.Run.ratio_opt with
+      | Some r ->
+          check_bool (s.Run.label ^ " ratio/opt >= 1") true (r >= 1. -. 1e-9)
+      | None -> Alcotest.fail "expected opt ratio")
+    scores
+
+let test_runner_score_table_shape () =
+  let inst = instance [ (0.5, 0., 2.) ] in
+  let scores = Run.evaluate Run.default_portfolio inst in
+  let table = Run.score_table scores in
+  check_bool "renders" true (String.length (Rep.to_text table) > 0)
+
+let test_registry () =
+  check_bool "first-fit known" true (Run.by_name "first-fit" <> None);
+  check_bool "unknown" true (Run.by_name "frobnicate" = None);
+  check_int "names match portfolio" (List.length Run.default_portfolio)
+    (List.length Run.names)
+
+let test_cheap_experiments_render () =
+  let nonempty t = String.length (Rep.to_text t) > 40 in
+  List.iter
+    (fun (name, t) -> check_bool name true (nonempty t))
+    [
+      ("bound landscape", Dbp_sim.Experiments.bound_landscape ());
+      ("soft alignment", Dbp_sim.Experiments.soft_alignment ~seeds:1 ());
+      ("ddff rules", Dbp_sim.Experiments.ddff_rule_ablation ~seeds:1 ());
+      ("startup sweep", Dbp_sim.Experiments.startup_cost_sweep ~seeds:1 ());
+      ( "interval scheduling",
+        Dbp_sim.Experiments.interval_scheduling ~seeds:1 () );
+      ("migration value", Dbp_sim.Experiments.migration_value ~seeds:1 ());
+      ("randomized gadget", Dbp_sim.Experiments.randomized_gadget ~trials:10 ());
+      ("proof audit", Dbp_sim.Experiments.proof_audit ~seeds:1 ());
+    ]
+
+let test_online_tuned_label () =
+  let p = Run.online_tuned "x*" Dbp_online.Classify_departure.tuned in
+  check_string "label" "x*" p.Run.label
+
+(* ---- sweep ---- *)
+
+let test_sweep_shape () =
+  let points =
+    Sw.run ~seeds:2 ~parameters:[ 1.; 2. ]
+      ~generate:(fun ~seed mu ->
+        Dbp_workload.Generator.with_mu ~seed ~items:30 ~mu ())
+      ~packers:[ Run.online Dbp_online.Any_fit.first_fit ]
+      ()
+  in
+  check_int "two points" 2 (List.length points);
+  List.iter
+    (fun p -> check_int "two seeds" 2 p.Sw.ratios.S.n)
+    points
+
+let test_sweep_table () =
+  let points =
+    Sw.run ~seeds:1 ~parameters:[ 4. ]
+      ~generate:(fun ~seed mu ->
+        Dbp_workload.Generator.with_mu ~seed ~items:30 ~mu ())
+      ~packers:
+        [
+          Run.online Dbp_online.Any_fit.first_fit;
+          Run.online Dbp_online.Any_fit.next_fit;
+        ]
+      ()
+  in
+  let t = Sw.table ~param_name:"mu" points in
+  let text = Rep.to_text t in
+  check_bool "mentions algorithms" true
+    (String.length text > 0
+    && Str_exists.contains_substring text "first-fit"
+    && Str_exists.contains_substring text "next-fit")
+
+let suite =
+  [
+    Alcotest.test_case "stats summary" `Quick test_stats_summary;
+    Alcotest.test_case "stats singleton" `Quick test_stats_singleton;
+    Alcotest.test_case "stats empty raises" `Quick test_stats_empty_raises;
+    Alcotest.test_case "percentile" `Quick test_percentile;
+    Alcotest.test_case "report text" `Quick test_report_text_alignment;
+    Alcotest.test_case "report csv" `Quick test_report_csv;
+    Alcotest.test_case "report csv escaping" `Quick test_report_csv_escaping;
+    Alcotest.test_case "report markdown" `Quick test_report_markdown;
+    Alcotest.test_case "report ragged rows" `Quick test_report_rejects_ragged_rows;
+    Alcotest.test_case "cell formats" `Quick test_cell_formats;
+    Alcotest.test_case "runner evaluate" `Quick test_runner_evaluate;
+    Alcotest.test_case "runner score table" `Quick test_runner_score_table_shape;
+    Alcotest.test_case "online tuned label" `Quick test_online_tuned_label;
+    Alcotest.test_case "algorithm registry" `Quick test_registry;
+    Alcotest.test_case "cheap experiments render" `Slow
+      test_cheap_experiments_render;
+    Alcotest.test_case "sweep shape" `Quick test_sweep_shape;
+    Alcotest.test_case "sweep table" `Quick test_sweep_table;
+  ]

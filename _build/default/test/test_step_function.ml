@@ -1,0 +1,177 @@
+open Dbp_core
+open Helpers
+
+module S = Step_function
+
+let mk = Interval.make
+
+let test_zero () =
+  check_float "value" 0. (S.value_at S.zero 3.);
+  check_float "integral" 0. (S.integral S.zero);
+  check_float "max" 0. (S.max_value S.zero)
+
+let test_indicator () =
+  let f = S.indicator (mk 1. 3.) 2. in
+  check_float "before" 0. (S.value_at f 0.5);
+  check_float "at left" 2. (S.value_at f 1.);
+  check_float "inside" 2. (S.value_at f 2.);
+  check_float "at right (half-open)" 0. (S.value_at f 3.);
+  check_float "integral" 4. (S.integral f)
+
+let test_of_breaks_requires_bounded_support () =
+  Alcotest.check_raises "last value nonzero"
+    (Invalid_argument "Step_function.of_breaks: unbounded support (last value <> 0)")
+    (fun () -> ignore (S.of_breaks [ (0., 1.) ]))
+
+let test_of_breaks_requires_increasing () =
+  Alcotest.check_raises "not increasing"
+    (Invalid_argument "Step_function.of_breaks: breakpoints not increasing")
+    (fun () -> ignore (S.of_breaks [ (1., 1.); (1., 0.) ]))
+
+let test_add () =
+  let f = S.indicator (mk 0. 2.) 1. and g = S.indicator (mk 1. 3.) 1. in
+  let s = S.add f g in
+  check_float "left only" 1. (S.value_at s 0.5);
+  check_float "both" 2. (S.value_at s 1.5);
+  check_float "right only" 1. (S.value_at s 2.5);
+  check_float "integral adds" 4. (S.integral s)
+
+let test_sub_cancels () =
+  let f = S.indicator (mk 0. 2.) 1. in
+  check_bool "f - f = 0" true (S.equal (S.sub f f) S.zero)
+
+let test_scale () =
+  let f = S.scale 3. (S.indicator (mk 0. 2.) 1.) in
+  check_float "scaled" 3. (S.value_at f 1.);
+  check_float "integral" 6. (S.integral f)
+
+let test_map_requires_zero_fixed () =
+  Alcotest.check_raises "g 0 <> 0"
+    (Invalid_argument "Step_function.map: g 0. <> 0.")
+    (fun () -> ignore (S.map (fun v -> v +. 1.) S.zero))
+
+let test_ceil () =
+  let f =
+    S.add (S.indicator (mk 0. 1.) 0.3) (S.indicator (mk 0.5 1.5) 1.2)
+  in
+  let c = S.ceil f in
+  check_float "ceil 0.3" 1. (S.value_at c 0.2);
+  check_float "ceil 1.5" 2. (S.value_at c 0.7);
+  check_float "ceil 1.2" 2. (S.value_at c 1.2)
+
+let test_ceil_tolerates_float_noise () =
+  (* 0.1 + 0.2 = 0.30000000000000004 must ceil to 1, not 2 when scaled *)
+  let f =
+    S.scale 10.
+      (S.add (S.indicator (mk 0. 1.) 0.1) (S.indicator (mk 0. 1.) 0.2))
+  in
+  check_float "3.0000000004 ceils to 3" 3. (S.value_at (S.ceil f) 0.5)
+
+let test_max_value () =
+  let f = S.add (S.indicator (mk 0. 2.) 1.) (S.indicator (mk 1. 3.) 2.) in
+  check_float "max" 3. (S.max_value f)
+
+let test_integral_over () =
+  let f = S.indicator (mk 0. 10.) 2. in
+  check_float "sub-range" 4. (S.integral_over f (mk 1. 3.));
+  check_float "overhang clipped" 2. (S.integral_over f (mk 9. 12.));
+  check_float "outside" 0. (S.integral_over f (mk 11. 12.))
+
+let test_max_over () =
+  let f = S.add (S.indicator (mk 0. 2.) 1.) (S.indicator (mk 1. 3.) 2.) in
+  check_float "peak window" 3. (S.max_over f (mk 0. 3.));
+  check_float "left window" 1. (S.max_over f (mk 0. 1.));
+  check_float "empty" 0. (S.max_over f (mk 5. 5.))
+
+let test_min_over () =
+  let f = S.add (S.indicator (mk 0. 2.) 1.) (S.indicator (mk 1. 3.) 2.) in
+  check_float "inside min" 1. (S.min_over f (mk 0. 2.));
+  check_float "all high" 3. (S.min_over f (mk 1. 2.));
+  check_float "touches outside" 0. (S.min_over f (mk 0. 4.));
+  check_float "fully outside" 0. (S.min_over f (mk 10. 11.))
+
+let test_support () =
+  let f = S.add (S.indicator (mk 0. 1.) 1.) (S.indicator (mk 2. 3.) 1.) in
+  Alcotest.(check (list interval)) "two islands" [ mk 0. 1.; mk 2. 3. ]
+    (S.support f);
+  check_float "support length" 2. (S.support_length f)
+
+let test_support_merges_adjacent () =
+  let f = S.add (S.indicator (mk 0. 1.) 1.) (S.indicator (mk 1. 2.) 2.) in
+  Alcotest.(check (list interval)) "merged" [ mk 0. 2. ] (S.support f)
+
+let test_equal_with_eps () =
+  let f = S.indicator (mk 0. 1.) 1. in
+  let g = S.indicator (mk 0. 1.) (1. +. 1e-13) in
+  check_bool "close enough" true (S.equal f g);
+  check_bool "not equal" false (S.equal f (S.scale 2. f))
+
+(* ---- properties ---- *)
+
+let gen_step =
+  QCheck2.Gen.(
+    let* parts =
+      list_size (int_range 0 8)
+        (let* l = float_range 0. 20. in
+         let* len = float_range 0.1 5. in
+         let* v = float_range (-3.) 3. in
+         return (S.indicator (Interval.make l (l +. len)) v))
+    in
+    return (List.fold_left S.add S.zero parts))
+
+let prop_add_comm =
+  qtest "add commutes" (QCheck2.Gen.pair gen_step gen_step) (fun (f, g) ->
+      S.equal ~eps:1e-9 (S.add f g) (S.add g f))
+
+let prop_integral_linear =
+  qtest "integral is additive" (QCheck2.Gen.pair gen_step gen_step)
+    (fun (f, g) ->
+      Float.abs (S.integral (S.add f g) -. (S.integral f +. S.integral g))
+      < 1e-6)
+
+let prop_value_at_add =
+  qtest "pointwise add"
+    QCheck2.Gen.(triple gen_step gen_step (float_range 0. 25.))
+    (fun (f, g, t) ->
+      Float.abs (S.value_at (S.add f g) t -. (S.value_at f t +. S.value_at g t))
+      < 1e-9)
+
+let prop_max_bounds_values =
+  qtest "max_value bounds sampled values"
+    QCheck2.Gen.(pair gen_step (float_range 0. 25.))
+    (fun (f, t) -> S.value_at f t <= S.max_value f +. 1e-12)
+
+let prop_integral_le_max_times_support =
+  qtest "integral <= max * support length" gen_step (fun f ->
+      let pos = S.map (fun v -> Float.max v 0.) f in
+      S.integral pos <= (S.max_value f *. S.support_length f) +. 1e-6)
+
+let suite =
+  [
+    Alcotest.test_case "zero" `Quick test_zero;
+    Alcotest.test_case "indicator" `Quick test_indicator;
+    Alcotest.test_case "of_breaks bounded support" `Quick
+      test_of_breaks_requires_bounded_support;
+    Alcotest.test_case "of_breaks increasing" `Quick
+      test_of_breaks_requires_increasing;
+    Alcotest.test_case "add" `Quick test_add;
+    Alcotest.test_case "sub cancels" `Quick test_sub_cancels;
+    Alcotest.test_case "scale" `Quick test_scale;
+    Alcotest.test_case "map checks zero" `Quick test_map_requires_zero_fixed;
+    Alcotest.test_case "ceil" `Quick test_ceil;
+    Alcotest.test_case "ceil tolerates noise" `Quick
+      test_ceil_tolerates_float_noise;
+    Alcotest.test_case "max_value" `Quick test_max_value;
+    Alcotest.test_case "integral_over" `Quick test_integral_over;
+    Alcotest.test_case "max_over" `Quick test_max_over;
+    Alcotest.test_case "min_over" `Quick test_min_over;
+    Alcotest.test_case "support" `Quick test_support;
+    Alcotest.test_case "support merges adjacent" `Quick
+      test_support_merges_adjacent;
+    Alcotest.test_case "equal with eps" `Quick test_equal_with_eps;
+    prop_add_comm;
+    prop_integral_linear;
+    prop_value_at_add;
+    prop_max_bounds_values;
+    prop_integral_le_max_times_support;
+  ]

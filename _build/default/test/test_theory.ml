@@ -1,0 +1,133 @@
+open Helpers
+module R = Dbp_theory.Ratios
+module F8 = Dbp_theory.Figure8
+
+let test_constants () =
+  check_float "ddff" 5. R.ddff;
+  check_float "dual coloring" 4. R.dual_coloring;
+  check_float_eps 1e-12 "golden ratio" ((1. +. sqrt 5.) /. 2.) R.online_lower_bound
+
+let test_first_fit_lines () =
+  check_float "mu+4" 14. (R.first_fit ~mu:10.);
+  check_float "2mu+7" 27. (R.first_fit_li ~mu:10.);
+  check_float "2mu+1" 21. (R.next_fit ~mu:10.);
+  check_float "mu+1" 11. (R.any_fit_lower ~mu:10.)
+
+let test_hybrid_lines () =
+  check_float_eps 1e-9 "8/7 mu + 55/7" ((8. /. 7. *. 7.) +. (55. /. 7.))
+    (R.hybrid_first_fit_unknown_mu ~mu:7.);
+  check_float "mu+5" 12. (R.hybrid_first_fit_known_mu ~mu:7.)
+
+let test_mu_below_one_rejected () =
+  check_bool "raises" true
+    (match R.first_fit ~mu:0.5 with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_cbdt_formula () =
+  (* rho/delta + mu*delta/rho + 3 *)
+  check_float "general" (2. +. 8. +. 3.) (R.cbdt ~rho:2. ~delta:1. ~mu:16.);
+  check_float "best" 11. (R.cbdt_best ~mu:16.)
+
+let test_cbdt_best_is_minimum () =
+  let mu = 16. in
+  List.iter
+    (fun rho ->
+      check_bool
+        (Printf.sprintf "best <= rho=%g" rho)
+        true
+        (R.cbdt_best ~mu <= R.cbdt ~rho ~delta:1. ~mu +. 1e-9))
+    [ 0.5; 1.; 2.; 4.; 8.; 16. ]
+
+let test_cbd_formula () =
+  (* alpha + ceil(log_alpha mu) + 4 *)
+  check_float "alpha 2 mu 16" (2. +. 4. +. 4.) (R.cbd ~alpha:2. ~mu:16.);
+  check_float "exact power no round-up" (4. +. 2. +. 4.) (R.cbd ~alpha:4. ~mu:16.)
+
+let test_cbd_known () =
+  check_float "n=2 mu=16" (4. +. 2. +. 3.) (R.cbd_known ~n:2 ~mu:16.);
+  check_float "n=1 is mu+4" 20. (R.cbd_known ~n:1 ~mu:16.)
+
+let test_cbd_best_n () =
+  (* mu = 16: n=2 -> 9, n=3 -> 2.52+6 = 8.52, n=4 -> 2+7 = 9 *)
+  check_int "best n for mu=16" 3 (R.cbd_best_n ~mu:16.);
+  check_float_eps 1e-3 "best value" 8.5198 (R.cbd_best ~mu:16.);
+  check_int "mu=1 best n" 1 (R.cbd_best_n ~mu:1.)
+
+let test_bucket_first_fit_improvement () =
+  (* Section 5.3 remark: our bound improves on Shalom et al. *)
+  let mu = 64. and alpha = 2. in
+  check_bool "cbd < bucket" true
+    (R.cbd ~alpha ~mu < R.bucket_first_fit ~alpha ~mu)
+
+(* ---- Figure 8 ---- *)
+
+let test_figure8_row_mu4 () =
+  (* mu = 4 is the crossover: both strategies give 7 *)
+  let r = F8.row 4. in
+  check_float "cbdt at 4" 7. r.F8.cbdt;
+  check_float "cbd at 4" 7. r.F8.cbd;
+  check_float "ff at 4" 8. r.F8.first_fit
+
+let test_figure8_observations () =
+  (* paper: cbdt wins below mu=4, cbd wins above *)
+  let below = F8.row 2. and above = F8.row 16. in
+  check_bool "cbdt wins at mu=2" true (below.F8.cbdt < below.F8.cbd);
+  check_bool "cbd wins at mu=16" true (above.F8.cbd < above.F8.cbdt)
+
+let test_figure8_much_below_ff () =
+  (* mu = 100: cbdt = 23, cbd ~= 10.2, ff = 104 *)
+  let r = F8.row 100. in
+  check_bool "both classification lines far below mu+4" true
+    (r.F8.cbdt < r.F8.first_fit /. 4. && r.F8.cbd < r.F8.first_fit /. 10.)
+
+let test_crossover_near_four () =
+  let c = F8.crossover () in
+  check_bool "crossover just above 4" true (c >= 4. && c < 4.5)
+
+let test_series_default_grid () =
+  check_int "100 rows" 100 (List.length (F8.series ()))
+
+let prop_cbd_best_le_all_n =
+  qtest "cbd_best is min over sampled n"
+    QCheck2.Gen.(pair (float_range 1. 200.) (int_range 1 12))
+    (fun (mu, n) -> R.cbd_best ~mu <= R.cbd_known ~n ~mu +. 1e-9)
+
+let prop_ratios_monotone_in_mu =
+  qtest "figure-8 lines nondecreasing in mu"
+    QCheck2.Gen.(float_range 1. 199.)
+    (fun mu ->
+      let a = F8.row mu and b = F8.row (mu +. 1.) in
+      b.F8.cbdt >= a.F8.cbdt -. 1e-9
+      && b.F8.cbd >= a.F8.cbd -. 1e-9
+      && b.F8.first_fit >= a.F8.first_fit)
+
+let prop_lower_bound_below_all_upper_bounds =
+  qtest "golden-ratio LB below every upper bound"
+    QCheck2.Gen.(float_range 1. 100.)
+    (fun mu ->
+      R.online_lower_bound <= R.cbdt_best ~mu
+      && R.online_lower_bound <= R.cbd_best ~mu)
+
+let suite =
+  [
+    Alcotest.test_case "constants" `Quick test_constants;
+    Alcotest.test_case "first fit lines" `Quick test_first_fit_lines;
+    Alcotest.test_case "hybrid lines" `Quick test_hybrid_lines;
+    Alcotest.test_case "mu < 1 rejected" `Quick test_mu_below_one_rejected;
+    Alcotest.test_case "cbdt formula" `Quick test_cbdt_formula;
+    Alcotest.test_case "cbdt best is minimum" `Quick test_cbdt_best_is_minimum;
+    Alcotest.test_case "cbd formula" `Quick test_cbd_formula;
+    Alcotest.test_case "cbd known" `Quick test_cbd_known;
+    Alcotest.test_case "cbd best n" `Quick test_cbd_best_n;
+    Alcotest.test_case "improves on BucketFirstFit" `Quick
+      test_bucket_first_fit_improvement;
+    Alcotest.test_case "figure 8 at mu=4" `Quick test_figure8_row_mu4;
+    Alcotest.test_case "figure 8 observations" `Quick test_figure8_observations;
+    Alcotest.test_case "figure 8 asymptotics" `Quick test_figure8_much_below_ff;
+    Alcotest.test_case "crossover near 4" `Quick test_crossover_near_four;
+    Alcotest.test_case "series grid" `Quick test_series_default_grid;
+    prop_cbd_best_le_all_n;
+    prop_ratios_monotone_in_mu;
+    prop_lower_bound_below_all_upper_bounds;
+  ]

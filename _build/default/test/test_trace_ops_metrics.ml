@@ -1,0 +1,125 @@
+open Dbp_core
+open Helpers
+module TO = Dbp_workload.Trace_ops
+
+(* ---- trace ops ---- *)
+
+let sample () = instance [ (0.5, 0., 4.); (0.25, 2., 6.); (0.75, 10., 12.) ]
+
+let test_scale_time () =
+  let s = TO.scale_time 2. (sample ()) in
+  check_float "span doubles" 16. (Instance.span s);
+  check_float "demand doubles" 9. (Instance.demand s);
+  check_float "mu preserved" (Instance.mu (sample ())) (Instance.mu s)
+
+let test_scale_sizes () =
+  let s = TO.scale_sizes 0.5 (sample ()) in
+  check_float "demand halves" 2.25 (Instance.demand s);
+  (* clamping: scaling up cannot exceed 1 *)
+  let up = TO.scale_sizes 10. (sample ()) in
+  List.iter
+    (fun r -> check_bool "clamped" true (Item.size r <= 1.))
+    (Instance.items up)
+
+let test_thin () =
+  let big =
+    Instance.of_items
+      (List.init 200 (fun id -> item ~id ~size:0.1 (float_of_int id) (float_of_int id +. 1.)))
+  in
+  let kept = Instance.length (TO.thin ~seed:1 ~keep:0.5 big) in
+  check_bool "roughly half" true (kept > 70 && kept < 130);
+  check_int "keep all" 200 (Instance.length (TO.thin ~keep:1. big));
+  check_int "keep none" 0 (Instance.length (TO.thin ~keep:0. big))
+
+let test_window () =
+  let w = TO.window ~from:0. ~until:7. (sample ()) in
+  check_int "two inside" 2 (Instance.length w);
+  check_bool "bad window" true
+    (match TO.window ~from:5. ~until:5. (sample ()) with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_merge_reassigns_ids () =
+  let m = TO.merge [ sample (); sample () ] in
+  check_int "six items" 6 (Instance.length m);
+  check_float "double demand" (2. *. Instance.demand (sample ()))
+    (Instance.demand m)
+
+let test_repeat () =
+  let r = TO.repeat ~times:3 ~gap:5. (sample ()) in
+  check_int "items tripled" 9 (Instance.length r);
+  check_float "span tripled" (3. *. Instance.span (sample ())) (Instance.span r);
+  (* copies do not overlap: max concurrent demand unchanged *)
+  check_float "profile peak unchanged"
+    (Step_function.max_value (Instance.size_profile (sample ())))
+    (Step_function.max_value (Instance.size_profile r))
+
+let prop_thin_subset_demand =
+  qtest ~count:40 "thinning never increases demand" (gen_instance ())
+    (fun inst ->
+      Instance.demand (TO.thin ~seed:2 ~keep:0.6 inst)
+      <= Instance.demand inst +. 1e-9)
+
+let prop_repeat_linear_demand =
+  qtest ~count:40 "repeat scales demand linearly" (gen_instance ())
+    (fun inst ->
+      Float.abs
+        (Instance.demand (TO.repeat ~times:2 ~gap:1. inst)
+        -. (2. *. Instance.demand inst))
+      < 1e-6)
+
+(* ---- metrics ---- *)
+
+let test_metrics_empty () =
+  let m = Metrics.of_packing (Packing.of_bins (Instance.of_items []) []) in
+  check_int "bins" 0 m.Metrics.bins;
+  check_float "usage" 0. m.Metrics.total_usage
+
+let test_metrics_basic () =
+  let inst = instance [ (0.6, 0., 4.); (0.6, 1., 3.) ] in
+  let p = Dbp_offline.Ddff.pack inst in
+  let m = Metrics.of_packing p in
+  check_int "bins" 2 m.Metrics.bins;
+  check_float "usage" 6. m.Metrics.total_usage;
+  check_float "mean lifetime" 3. m.Metrics.mean_bin_lifetime;
+  check_float "max lifetime" 4. m.Metrics.max_bin_lifetime;
+  check_float "items per bin" 1. m.Metrics.mean_items_per_bin
+
+let test_metrics_low_level_time () =
+  (* one tiny item holds the bin at level 0.1 for 10 units *)
+  let inst = instance [ (0.1, 0., 10.) ] in
+  let m = Metrics.of_packing (Dbp_offline.Ddff.pack inst) in
+  check_float "all time low" 10. m.Metrics.low_level_time;
+  check_float "fraction 1" 1. m.Metrics.low_level_fraction;
+  (* a big item is never low *)
+  let inst2 = instance [ (0.9, 0., 10.) ] in
+  let m2 = Metrics.of_packing (Dbp_offline.Ddff.pack inst2) in
+  check_float "no low time" 0. m2.Metrics.low_level_time
+
+let test_metrics_rows () =
+  let inst = instance [ (0.5, 0., 2.) ] in
+  let m = Metrics.of_packing (Dbp_offline.Ddff.pack inst) in
+  check_int "eight rows" 8 (List.length (Metrics.to_rows m))
+
+let prop_low_level_at_most_usage =
+  qtest ~count:40 "low-level time <= usage" (gen_instance ()) (fun inst ->
+      let m = Metrics.of_packing (Dbp_offline.Ddff.pack inst) in
+      m.Metrics.low_level_time <= m.Metrics.total_usage +. 1e-6
+      && m.Metrics.low_level_fraction <= 1. +. 1e-9)
+
+let suite =
+  [
+    Alcotest.test_case "scale time" `Quick test_scale_time;
+    Alcotest.test_case "scale sizes" `Quick test_scale_sizes;
+    Alcotest.test_case "thin" `Quick test_thin;
+    Alcotest.test_case "window" `Quick test_window;
+    Alcotest.test_case "merge" `Quick test_merge_reassigns_ids;
+    Alcotest.test_case "repeat" `Quick test_repeat;
+    prop_thin_subset_demand;
+    prop_repeat_linear_demand;
+    Alcotest.test_case "metrics empty" `Quick test_metrics_empty;
+    Alcotest.test_case "metrics basic" `Quick test_metrics_basic;
+    Alcotest.test_case "metrics low-level time" `Quick test_metrics_low_level_time;
+    Alcotest.test_case "metrics rows" `Quick test_metrics_rows;
+    prop_low_level_at_most_usage;
+  ]

@@ -1,0 +1,339 @@
+open Dbp_core
+open Helpers
+module P = Dbp_workload.Prng
+module D = Dbp_workload.Distribution
+module G = Dbp_workload.Generator
+module CG = Dbp_workload.Cloud_gaming
+module An = Dbp_workload.Analytics
+module Adv = Dbp_workload.Adversarial
+module T = Dbp_workload.Trace
+
+(* ---- prng ---- *)
+
+let test_prng_deterministic () =
+  let a = P.create 42 and b = P.create 42 in
+  for _ = 1 to 10 do
+    check_float "same stream" (P.float a) (P.float b)
+  done
+
+let test_prng_seeds_differ () =
+  let a = P.create 1 and b = P.create 2 in
+  check_bool "different" true (P.float a <> P.float b)
+
+let test_prng_float_range () =
+  let rng = P.create 7 in
+  for _ = 1 to 1000 do
+    let x = P.float rng in
+    check_bool "in [0,1)" true (x >= 0. && x < 1.)
+  done
+
+let test_prng_int_range () =
+  let rng = P.create 7 in
+  for _ = 1 to 1000 do
+    let x = P.int rng 10 in
+    check_bool "in [0,10)" true (x >= 0 && x < 10)
+  done
+
+let test_prng_split_independent () =
+  let parent = P.create 5 in
+  let child = P.split parent in
+  (* consuming the child must not equal consuming the parent stream *)
+  check_bool "streams differ" true (P.float child <> P.float parent)
+
+let test_prng_exponential_positive () =
+  let rng = P.create 3 in
+  for _ = 1 to 200 do
+    check_bool "positive" true (P.exponential rng ~mean:2. >= 0.)
+  done
+
+let test_prng_pareto_min () =
+  let rng = P.create 3 in
+  for _ = 1 to 200 do
+    check_bool ">= scale" true (P.pareto rng ~shape:1.5 ~scale:2. >= 2.)
+  done
+
+let test_prng_gaussian_mean () =
+  let rng = P.create 9 in
+  let n = 5000 in
+  let sum = ref 0. in
+  for _ = 1 to n do
+    sum := !sum +. P.gaussian rng ~mean:10. ~stddev:2.
+  done;
+  check_bool "mean near 10" true (Float.abs ((!sum /. float_of_int n) -. 10.) < 0.2)
+
+let test_choose_weighted () =
+  let rng = P.create 11 in
+  let counts = Hashtbl.create 3 in
+  for _ = 1 to 3000 do
+    let x = P.choose_weighted rng [| ("a", 1.); ("b", 9.) |] in
+    Hashtbl.replace counts x (1 + Option.value ~default:0 (Hashtbl.find_opt counts x))
+  done;
+  let b = Option.value ~default:0 (Hashtbl.find_opt counts "b") in
+  check_bool "b dominates" true (b > 2300 && b < 2950)
+
+(* ---- distributions ---- *)
+
+let test_distribution_constant () =
+  let rng = P.create 0 in
+  check_float "constant" 3. (D.sample (D.constant 3.) rng)
+
+let test_distribution_clamped () =
+  let rng = P.create 0 in
+  for _ = 1 to 100 do
+    let x = D.sample (D.clamped ~lo:1. ~hi:2. (D.exponential ~mean:5.)) rng in
+    check_bool "clamped" true (x >= 1. && x <= 2.)
+  done
+
+let test_distribution_mean_estimate () =
+  let m = D.mean_estimate ~seed:1 (D.uniform ~lo:0. ~hi:10.) in
+  check_bool "near 5" true (Float.abs (m -. 5.) < 0.3)
+
+let test_distribution_describe () =
+  check_string "describe" "const(2)" (D.describe (D.constant 2.))
+
+(* ---- generators ---- *)
+
+let test_generator_deterministic () =
+  let a = G.generate ~seed:4 G.default and b = G.generate ~seed:4 G.default in
+  check_int "same count" (Instance.length a) (Instance.length b);
+  check_float "same demand" (Instance.demand a) (Instance.demand b)
+
+let test_generator_respects_horizon () =
+  let inst = G.generate ~seed:0 G.default in
+  List.iter
+    (fun r ->
+      check_bool "arrival in horizon" true
+        (Item.arrival r >= 0. && Item.arrival r < G.default.G.horizon))
+    (Instance.items inst)
+
+let test_generator_sizes_valid () =
+  let inst = G.generate ~seed:0 G.default in
+  List.iter
+    (fun r -> check_bool "size ok" true (Item.size r > 0. && Item.size r <= 1.))
+    (Instance.items inst)
+
+let test_with_mu_calibrated () =
+  let inst = G.with_mu ~seed:1 ~items:100 ~mu:16. () in
+  check_float_eps 1e-6 "mu realised" 16. (Instance.mu inst)
+
+let test_cloud_gaming_properties () =
+  let inst = CG.generate ~seed:0 { CG.default with days = 0.25 } in
+  check_bool "nonempty" false (Instance.is_empty inst);
+  List.iter
+    (fun r ->
+      check_bool "share from catalogue" true
+        (Array.exists
+           (fun t -> Float.abs (t.CG.share -. Item.size r) < 1e-12)
+           CG.catalogue))
+    (Instance.items inst)
+
+let test_analytics_periodic_backbone () =
+  let inst =
+    An.generate ~seed:0 { An.default with adhoc_rate = 0.; horizon = 360. }
+  in
+  (* six hours: 15-min ingest fires 24 times, hourly twice x6... at least
+     the template count is deterministic per template *)
+  let shares =
+    Instance.items inst |> List.map Item.size |> List.sort_uniq Float.compare
+  in
+  check_bool "only template shares" true (List.length shares <= 5);
+  check_bool "plenty of jobs" true (Instance.length inst > 30)
+
+let test_vm_fleet_shapes () =
+  let inst = Dbp_workload.Vm_fleet.generate ~seed:1 Dbp_workload.Vm_fleet.default in
+  check_bool "nonempty" false (Instance.is_empty inst);
+  List.iter
+    (fun r ->
+      check_bool "size from catalogue" true
+        (Array.exists
+           (fun s -> Float.abs (s -. Item.size r) < 1e-12)
+           Dbp_workload.Vm_fleet.sizes))
+    (Instance.items inst)
+
+let test_vm_fleet_heavy_tail () =
+  let inst = Dbp_workload.Vm_fleet.generate ~seed:1 Dbp_workload.Vm_fleet.default in
+  (* heavy tail: the max lifetime dwarfs the median *)
+  let durations = List.map Item.duration (Instance.items inst) in
+  let sorted = List.sort Float.compare durations in
+  let median = List.nth sorted (List.length sorted / 2) in
+  let longest = List.fold_left Float.max 0. durations in
+  check_bool "fat tail" true (longest > 10. *. median)
+
+let test_vm_fleet_deterministic () =
+  let a = Dbp_workload.Vm_fleet.generate ~seed:3 Dbp_workload.Vm_fleet.default in
+  let b = Dbp_workload.Vm_fleet.generate ~seed:3 Dbp_workload.Vm_fleet.default in
+  check_float "same demand" (Instance.demand a) (Instance.demand b)
+
+let test_vm_fleet_validation () =
+  check_bool "bad group" true
+    (match
+       Dbp_workload.Vm_fleet.generate
+         { Dbp_workload.Vm_fleet.default with max_group = 0 }
+     with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+(* ---- adversarial ---- *)
+
+let test_theorem3_case_a () =
+  let inst = Adv.theorem3 Adv.A in
+  check_int "two items" 2 (Instance.length inst);
+  check_float_eps 1e-9 "opt usage" Adv.golden_ratio (Adv.theorem3_opt_usage Adv.A)
+
+let test_theorem3_case_b () =
+  let inst = Adv.theorem3 Adv.B in
+  check_int "four items" 4 (Instance.length inst);
+  (* large items cannot pair with small ones: sizes 0.49/0.51 *)
+  let sizes = List.map Item.size (Instance.items inst) in
+  check_bool "two small two large" true
+    (List.length (List.filter (fun s -> s < 0.5) sizes) = 2)
+
+let test_theorem3_validates_params () =
+  check_bool "x <= 1 rejected" true
+    (match Adv.theorem3 ~x:1. Adv.A with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_theorem3_ff_suffers () =
+  (* FF packs the two size-(1/2 - eps) items together, so in case B it
+     pays 2x+1 against x+1+2tau: the golden-ratio loss *)
+  (* tau must be tiny: the achieved ratio is (2x+1)/(x+1+2tau) -> phi *)
+  let tau = 1e-9 in
+  let ratio case =
+    let inst = Adv.theorem3 ~tau case in
+    Packing.total_usage_time (Dbp_online.Engine.run Dbp_online.Any_fit.first_fit inst)
+    /. Adv.theorem3_opt_usage ~tau case
+  in
+  let worst = Float.max (ratio Adv.A) (ratio Adv.B) in
+  check_bool "at least golden ratio" true
+    (worst >= Dbp_theory.Ratios.online_lower_bound -. 1e-3)
+
+let test_staggered_departures_shape () =
+  let inst = Adv.staggered_departures ~k:5 ~long:10. () in
+  check_int "k items" 5 (Instance.length inst);
+  check_float "span" 10. (Instance.span inst)
+
+let test_mixed_duration_trap_hurts_any_fit () =
+  let inst = Adv.mixed_duration_trap ~pairs:10 ~mu:20. () in
+  let usage algo =
+    Packing.total_usage_time (Dbp_online.Engine.run algo inst)
+  in
+  let ff = usage Dbp_online.Any_fit.first_fit
+  and bf = usage Dbp_online.Any_fit.best_fit in
+  (* every Any Fit pays ~pairs * mu = 200 *)
+  check_bool "ff trapped" true (ff > 150.);
+  check_bool "bf trapped" true (bf > 150.);
+  (* classify-by-departure-time recovers ~pairs + mu *)
+  let cbdt =
+    usage (Dbp_online.Classify_departure.make ~rho:5. ())
+  in
+  check_bool "cbdt escapes" true (cbdt < 60.);
+  check_bool "cbdt beats ff by a wide margin" true (cbdt *. 2. < ff)
+
+let test_mixed_duration_trap_validates () =
+  check_bool "too many pairs" true
+    (match Adv.mixed_duration_trap ~pairs:100 () with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_worst_of_random_finds_something () =
+  let _, ratio =
+    Adv.worst_of_random ~seed:1 ~rounds:20 ~items:5
+      ~pack:(Dbp_online.Engine.run Dbp_online.Any_fit.first_fit)
+      ~ratio_of:(fun inst usage -> Dbp_opt.Lower_bounds.ratio_to_best inst usage)
+      ()
+  in
+  check_bool "ratio at least 1" true (ratio >= 1. -. 1e-9)
+
+(* ---- trace ---- *)
+
+let test_trace_roundtrip () =
+  let inst = G.generate ~seed:5 { G.default with horizon = 20. } in
+  let inst' = T.of_string (T.to_string inst) in
+  check_int "count" (Instance.length inst) (Instance.length inst');
+  check_float "demand" (Instance.demand inst) (Instance.demand inst');
+  check_float "span" (Instance.span inst) (Instance.span inst')
+
+let test_trace_rejects_bad_header () =
+  check_bool "bad header" true
+    (match T.of_string "nope\n1,0.5,0,1\n" with
+    | exception T.Parse_error (1, _) -> true
+    | _ -> false)
+
+let test_trace_rejects_bad_row () =
+  check_bool "bad row" true
+    (match T.of_string "id,size,arrival,departure\n1,hello,0,1\n" with
+    | exception T.Parse_error (2, _) -> true
+    | _ -> false)
+
+let test_trace_rejects_invalid_item () =
+  check_bool "size out of range" true
+    (match T.of_string "id,size,arrival,departure\n1,2.5,0,1\n" with
+    | exception T.Parse_error (2, _) -> true
+    | _ -> false)
+
+let test_trace_file_roundtrip () =
+  let inst = Adv.theorem3 Adv.B in
+  let path = Filename.temp_file "dbp" ".csv" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      T.save path inst;
+      let inst' = T.load path in
+      check_int "count" (Instance.length inst) (Instance.length inst'))
+
+let prop_trace_roundtrip_exact =
+  qtest ~count:40 "trace round-trips items exactly" (gen_instance ())
+    (fun inst ->
+      let inst' = T.of_string (T.to_string inst) in
+      List.for_all2
+        (fun a b ->
+          Item.id a = Item.id b
+          && Item.size a = Item.size b
+          && Item.arrival a = Item.arrival b
+          && Item.departure a = Item.departure b)
+        (Instance.items inst) (Instance.items inst'))
+
+let suite =
+  [
+    Alcotest.test_case "prng deterministic" `Quick test_prng_deterministic;
+    Alcotest.test_case "prng seeds differ" `Quick test_prng_seeds_differ;
+    Alcotest.test_case "prng float range" `Quick test_prng_float_range;
+    Alcotest.test_case "prng int range" `Quick test_prng_int_range;
+    Alcotest.test_case "prng split" `Quick test_prng_split_independent;
+    Alcotest.test_case "exponential positive" `Quick test_prng_exponential_positive;
+    Alcotest.test_case "pareto min" `Quick test_prng_pareto_min;
+    Alcotest.test_case "gaussian mean" `Quick test_prng_gaussian_mean;
+    Alcotest.test_case "choose weighted" `Quick test_choose_weighted;
+    Alcotest.test_case "constant distribution" `Quick test_distribution_constant;
+    Alcotest.test_case "clamped distribution" `Quick test_distribution_clamped;
+    Alcotest.test_case "mean estimate" `Quick test_distribution_mean_estimate;
+    Alcotest.test_case "describe" `Quick test_distribution_describe;
+    Alcotest.test_case "generator deterministic" `Quick test_generator_deterministic;
+    Alcotest.test_case "generator horizon" `Quick test_generator_respects_horizon;
+    Alcotest.test_case "generator sizes" `Quick test_generator_sizes_valid;
+    Alcotest.test_case "with_mu calibrated" `Quick test_with_mu_calibrated;
+    Alcotest.test_case "cloud gaming catalogue" `Quick test_cloud_gaming_properties;
+    Alcotest.test_case "analytics backbone" `Quick test_analytics_periodic_backbone;
+    Alcotest.test_case "vm fleet shapes" `Quick test_vm_fleet_shapes;
+    Alcotest.test_case "vm fleet heavy tail" `Quick test_vm_fleet_heavy_tail;
+    Alcotest.test_case "vm fleet deterministic" `Quick test_vm_fleet_deterministic;
+    Alcotest.test_case "vm fleet validation" `Quick test_vm_fleet_validation;
+    Alcotest.test_case "theorem3 case A" `Quick test_theorem3_case_a;
+    Alcotest.test_case "theorem3 case B" `Quick test_theorem3_case_b;
+    Alcotest.test_case "theorem3 validates" `Quick test_theorem3_validates_params;
+    Alcotest.test_case "theorem3 FF suffers golden ratio" `Quick
+      test_theorem3_ff_suffers;
+    Alcotest.test_case "staggered departures" `Quick test_staggered_departures_shape;
+    Alcotest.test_case "mixed-duration trap hurts any fit" `Quick
+      test_mixed_duration_trap_hurts_any_fit;
+    Alcotest.test_case "mixed-duration trap validates" `Quick
+      test_mixed_duration_trap_validates;
+    Alcotest.test_case "worst of random" `Quick test_worst_of_random_finds_something;
+    Alcotest.test_case "trace roundtrip" `Quick test_trace_roundtrip;
+    Alcotest.test_case "trace bad header" `Quick test_trace_rejects_bad_header;
+    Alcotest.test_case "trace bad row" `Quick test_trace_rejects_bad_row;
+    Alcotest.test_case "trace invalid item" `Quick test_trace_rejects_invalid_item;
+    Alcotest.test_case "trace file roundtrip" `Quick test_trace_file_roundtrip;
+    prop_trace_roundtrip_exact;
+  ]
