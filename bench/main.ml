@@ -1,6 +1,6 @@
 (* The benchmark harness.
 
-   Two parts:
+   Three parts:
 
    1. Experiment tables — regenerates every table/figure of the paper's
       evaluation (see DESIGN.md section 4 for the experiment index).  This
@@ -10,9 +10,16 @@
    2. Bechamel micro-benchmarks — packing throughput of each algorithm and
       of the supporting machinery, one Test.make per subject.
 
+   3. Engine sweep — indexed vs. reference online engine over generated
+      workloads from 10^3 to 10^6 jobs.  Asserts bit-identical usage
+      between the engines wherever both run, prints a table and writes
+      the machine-readable results to BENCH_engine.json in the current
+      directory.
+
    Run everything: `dune exec bench/main.exe`
    Tables only:    `dune exec bench/main.exe -- tables`
-   Micro only:     `dune exec bench/main.exe -- micro` *)
+   Micro only:     `dune exec bench/main.exe -- micro`
+   Engine sweep:   `dune exec bench/main.exe -- engine [--quick]` *)
 
 open Bechamel
 open Toolkit
@@ -158,11 +165,150 @@ let run_micro () =
          [ ("benchmark", Dbp_sim.Report.Left); ("ms/run", Dbp_sim.Report.Right) ]
        ~rows)
 
+(* ------------------------------------------------------------------ *)
+(* Part 3: engine sweep (indexed vs. reference, BENCH_engine.json).     *)
+
+(* The reference engine rebuilds views of every bin ever opened at every
+   event, so it is quadratic in practice; past ~10^5 jobs it takes hours
+   and we report the indexed engine alone. *)
+let reference_job_cap = 150_000
+
+let engine_algorithms () =
+  [
+    ("first-fit", Dbp_online.Any_fit.first_fit);
+    ("best-fit", Dbp_online.Any_fit.best_fit);
+    ("worst-fit", Dbp_online.Any_fit.worst_fit);
+    ("next-fit", Dbp_online.Any_fit.next_fit);
+    ("hybrid-ff", Dbp_online.Hybrid_first_fit.make ());
+  ]
+
+(* Same shape as sized_instance: default config (rate 2, uniform sizes,
+   exponential durations) with the horizon scaled so ~n jobs arrive. *)
+let engine_instance n =
+  Dbp_workload.Generator.generate ~seed:42
+    { Dbp_workload.Generator.default with horizon = float_of_int n /. 2. }
+
+let time_best reps f =
+  let best = ref infinity in
+  let value = ref nan in
+  for _ = 1 to reps do
+    let t0 = Unix.gettimeofday () in
+    let v = f () in
+    let dt = Unix.gettimeofday () -. t0 in
+    if dt < !best then best := dt;
+    value := v
+  done;
+  (!best, !value)
+
+type engine_row = {
+  jobs : int;
+  algo : string;
+  indexed_s : float;
+  reference_s : float option; (* None above reference_job_cap *)
+  usage : float;
+}
+
+let engine_sweep sizes =
+  List.concat_map
+    (fun n ->
+      let inst = engine_instance n in
+      let jobs = Dbp_core.Instance.length inst in
+      let reps =
+        if jobs <= 2_000 then 15 else if jobs <= 20_000 then 5 else 1
+      in
+      List.map
+        (fun (name, algo) ->
+          let indexed_s, usage =
+            time_best reps (fun () ->
+                Dbp_core.Packing.total_usage_time
+                  (Dbp_online.Engine.run_indexed algo inst))
+          in
+          let reference_s =
+            if jobs > reference_job_cap then None
+            else
+              let s, ref_usage =
+                time_best reps (fun () ->
+                    Dbp_core.Packing.total_usage_time
+                      (Dbp_online.Engine.run_reference algo inst))
+              in
+              if not (Float.equal usage ref_usage) then
+                failwith
+                  (Printf.sprintf
+                     "engine mismatch: %s on %d jobs: indexed %.9f vs \
+                      reference %.9f"
+                     name jobs usage ref_usage);
+              Some s
+          in
+          let row = { jobs; algo = name; indexed_s; reference_s; usage } in
+          (match reference_s with
+          | Some r ->
+              Printf.printf
+                "  %7d jobs  %-10s indexed %8.4fs  reference %8.4fs  (%.1fx)\n\
+                 %!"
+                jobs name indexed_s r (r /. indexed_s)
+          | None ->
+              Printf.printf
+                "  %7d jobs  %-10s indexed %8.4fs  reference   (skipped)\n%!"
+                jobs name indexed_s);
+          row)
+        (engine_algorithms ()))
+    sizes
+
+let engine_json rows =
+  let row_json { jobs; algo; indexed_s; reference_s; usage } =
+    let reference_fields =
+      match reference_s with
+      | Some r ->
+          Printf.sprintf "\"reference_s\": %.6f, \"speedup\": %.3f" r
+            (r /. indexed_s)
+      | None -> "\"reference_s\": null, \"speedup\": null"
+    in
+    Printf.sprintf
+      "    {\"jobs\": %d, \"algorithm\": \"%s\", \"indexed_s\": %.6f, %s, \
+       \"usage\": %.9f}"
+      jobs algo indexed_s reference_fields usage
+  in
+  String.concat ""
+    [
+      "{\n";
+      "  \"benchmark\": \"online engine sweep (indexed vs. reference)\",\n";
+      "  \"command\": \"dune exec bench/main.exe -- engine\",\n";
+      "  \"workload\": \"Generator.default, seed 42, horizon = jobs/2\",\n";
+      Printf.sprintf
+        "  \"note\": \"reference engine omitted above %d jobs (quadratic); \
+         usage checked bit-identical between engines on every row where \
+         both ran\",\n"
+        reference_job_cap;
+      "  \"results\": [\n";
+      String.concat ",\n" (List.map row_json rows);
+      "\n  ]\n}\n";
+    ]
+
+let run_engine ~quick () =
+  let sizes =
+    if quick then [ 1_000; 10_000 ]
+    else [ 1_000; 10_000; 100_000; 1_000_000 ]
+  in
+  Printf.printf "=== Engine sweep (%s) ===\n%!"
+    (if quick then "quick" else "full");
+  let rows = engine_sweep sizes in
+  (* Quick runs (the check.sh smoke) must not clobber the committed
+     full-sweep results. *)
+  let out = if quick then "BENCH_engine_quick.json" else "BENCH_engine.json" in
+  let oc = open_out out in
+  output_string oc (engine_json rows);
+  close_out oc;
+  Printf.printf "wrote %s\n" out
+
 let () =
   let mode = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  let quick =
+    Array.exists (fun a -> a = "--quick") Sys.argv
+  in
   (match mode with
   | "tables" -> run_tables ()
   | "micro" -> run_micro ()
+  | "engine" -> run_engine ~quick ()
   | _ ->
       run_tables ();
       run_micro ());

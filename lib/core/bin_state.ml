@@ -23,11 +23,7 @@ let fits_at b ~at r =
   && Step_function.value_at b.profile at +. Item.size r
      <= capacity +. tolerance
 
-let place b r =
-  if not (fits b r) then
-    invalid_arg
-      (Format.asprintf "Bin_state.place: %a overflows bin %d" Item.pp r
-         b.index);
+let place_unchecked b r =
   {
     b with
     items = r :: b.items;
@@ -35,6 +31,13 @@ let place b r =
       Step_function.add b.profile
         (Step_function.indicator (Item.interval r) (Item.size r));
   }
+
+let place b r =
+  if not (fits b r) then
+    invalid_arg
+      (Format.asprintf "Bin_state.place: %a overflows bin %d" Item.pp r
+         b.index);
+  place_unchecked b r
 
 let usage_intervals b =
   List.map Item.interval b.items |> Interval.union

@@ -40,6 +40,15 @@ val fits_at : t -> at:float -> Item.t -> bool
 val place : t -> Item.t -> t
 (** @raise Invalid_argument if the item does not fit (checks [fits]). *)
 
+val place_unchecked : t -> Item.t -> t
+(** [place] without the [fits] admission re-check, for callers that have
+    already validated — the indexed engine checks [fits_at] at the
+    arrival instant, which is equivalent here: every already-placed item
+    active after the arrival is also active at it, so the level over the
+    new item's interval never exceeds its value at the arrival.  An
+    unvalidated overflow is caught at the end of a run by
+    {!Packing.of_bins}. *)
+
 val usage_time : t -> float
 (** Span of the items placed in the bin. *)
 

@@ -21,6 +21,19 @@ let of_instance instance =
          ])
   |> List.sort compare
 
+let queue_of_instance instance =
+  (* Build the heap directly from the unsorted event list: O(n) heapify
+     instead of the O(n log n) sort of [of_instance].  Popping yields the
+     exact [of_instance] order because [compare] is a total order (ties
+     end at the unique item id). *)
+  Instance.items instance
+  |> List.concat_map (fun r ->
+         [
+           { time = Item.arrival r; kind = Arrival; item = r };
+           { time = Item.departure r; kind = Departure; item = r };
+         ])
+  |> Heap.of_list ~cmp:compare
+
 let arrivals events =
   List.filter_map
     (fun e -> match e.kind with Arrival -> Some e.item | Departure -> None)

@@ -13,6 +13,13 @@ val of_instance : Instance.t -> t list
 (** All events in delivery order: increasing time; at equal times
     departures first; ties broken by item id. *)
 
+val queue_of_instance : Instance.t -> t Heap.t
+(** The same events as a binary-heap queue: popping the heap dry yields
+    exactly the {!of_instance} order (the comparator is total, so the
+    heap is deterministic).  This is the indexed engine's event source —
+    O(n) to build, O(log n) per pop, and it supports future interleaving
+    of events not known up front. *)
+
 val arrivals : t list -> Item.t list
 (** The items of the arrival events, in stream order. *)
 

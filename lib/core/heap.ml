@@ -1,0 +1,106 @@
+(* Array-backed binary min-heap.  The element order is given by the
+   [cmp] closure captured at creation; with a *total* order (no two
+   distinct elements comparing equal) the pop sequence is exactly the
+   sorted sequence, independent of push order — the property the online
+   engine's event queue relies on for reproducibility. *)
+
+type 'a t = {
+  cmp : 'a -> 'a -> int;
+  mutable data : 'a array; (* slots >= size are stale padding *)
+  mutable size : int;
+}
+
+let create ~cmp () = { cmp; data = [||]; size = 0 }
+
+let length h = h.size
+let is_empty h = h.size = 0
+
+let swap data i j =
+  let tmp = data.(i) in
+  data.(i) <- data.(j);
+  data.(j) <- tmp
+
+let rec sift_up h i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if h.cmp h.data.(i) h.data.(parent) < 0 then begin
+      swap h.data i parent;
+      sift_up h parent
+    end
+  end
+
+let rec sift_down h i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest =
+    if l < h.size && h.cmp h.data.(l) h.data.(i) < 0 then l else i
+  in
+  let smallest =
+    if r < h.size && h.cmp h.data.(r) h.data.(smallest) < 0 then r
+    else smallest
+  in
+  if smallest <> i then begin
+    swap h.data i smallest;
+    sift_down h smallest
+  end
+
+let push h x =
+  if h.size = Array.length h.data then begin
+    (* Grow by doubling; [x] is a safe filler for the fresh slots. *)
+    let cap = max 8 (2 * h.size) in
+    let data = Array.make cap x in
+    Array.blit h.data 0 data 0 h.size;
+    h.data <- data
+  end;
+  h.data.(h.size) <- x;
+  h.size <- h.size + 1;
+  sift_up h (h.size - 1)
+
+let peek h = if h.size = 0 then None else Some h.data.(0)
+
+let pop h =
+  if h.size = 0 then None
+  else begin
+    let top = h.data.(0) in
+    h.size <- h.size - 1;
+    if h.size > 0 then begin
+      (* Bottom-up deletion: pull the smaller child into the hole all the
+         way down (one compare per level instead of two), then sift the
+         displaced last element up from there — it came from the bottom
+         layer, so the sift-up almost always stops immediately. *)
+      let x = h.data.(h.size) in
+      let i = ref 0 in
+      let descending = ref true in
+      while !descending do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        if l >= h.size then descending := false
+        else begin
+          let c =
+            if r < h.size && h.cmp h.data.(r) h.data.(l) < 0 then r else l
+          in
+          h.data.(!i) <- h.data.(c);
+          i := c
+        end
+      done;
+      h.data.(!i) <- x;
+      sift_up h !i
+    end;
+    Some top
+  end
+
+let of_list ~cmp xs =
+  match xs with
+  | [] -> create ~cmp ()
+  | _ ->
+      let data = Array.of_list xs in
+      let h = { cmp; data; size = Array.length data } in
+      (* Floyd heapify: O(n). *)
+      for i = (h.size / 2) - 1 downto 0 do
+        sift_down h i
+      done;
+      h
+
+let drain h =
+  let rec go acc =
+    match pop h with None -> List.rev acc | Some x -> go (x :: acc)
+  in
+  go []

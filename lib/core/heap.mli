@@ -1,0 +1,30 @@
+(** Array-backed binary min-heap.
+
+    Used by the indexed online engine as its event queue.  When [cmp] is
+    a total order (no two distinct pushed elements compare equal — true
+    for {!Event.compare}, which falls back to the unique item id), the
+    pop sequence is exactly the [cmp]-sorted sequence regardless of push
+    order, so a heap-driven run is reproducible and agrees with a
+    pre-sorted list. *)
+
+type 'a t
+
+val create : cmp:('a -> 'a -> int) -> unit -> 'a t
+
+val of_list : cmp:('a -> 'a -> int) -> 'a list -> 'a t
+(** Floyd heapify, O(n). *)
+
+val push : 'a t -> 'a -> unit
+
+val pop : 'a t -> 'a option
+(** Remove and return the [cmp]-least element. *)
+
+val peek : 'a t -> 'a option
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val drain : 'a t -> 'a list
+(** Pop everything: the remaining elements in [cmp]-sorted order.
+    Empties the heap. *)

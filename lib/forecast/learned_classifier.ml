@@ -32,4 +32,5 @@ let make ?(key = default_key) ?(fallback = 1.) ~rho () =
         let notify ~item ~index = Hashtbl.replace bin_category index (category item) in
         let departed item = Predictor.observe predictor item in
         { E.decide; notify; departed });
+    make_indexed = None;
   }

@@ -13,21 +13,32 @@ let choose_fitting better views item =
       in
       Engine.Place best.Engine.index
 
+(* The level preferences are exact float comparisons: a strict [>] / [<]
+   keeps the earliest-opened bin on equal levels, giving a total order
+   that the {!Fit_index} trees reproduce bin-for-bin.  (An epsilon-
+   fuzzy preference is not transitive and cannot be indexed.) *)
+
 let first_fit =
-  Engine.stateless "first-fit" (fun ~now:_ ~open_bins item ->
+  Engine.indexed_stateless "first-fit"
+    (fun ~now:_ ~open_bins item ->
       choose_fitting (fun _ _ -> false) open_bins item)
+    (fun ~now:_ ~index item -> index.Engine.first_fit item)
 
 let best_fit =
-  Engine.stateless "best-fit" (fun ~now:_ ~open_bins item ->
+  Engine.indexed_stateless "best-fit"
+    (fun ~now:_ ~open_bins item ->
       choose_fitting
-        (fun a b -> a.Engine.level > b.Engine.level +. 1e-12)
+        (fun a b -> a.Engine.level > b.Engine.level)
         open_bins item)
+    (fun ~now:_ ~index item -> index.Engine.best_fit item)
 
 let worst_fit =
-  Engine.stateless "worst-fit" (fun ~now:_ ~open_bins item ->
+  Engine.indexed_stateless "worst-fit"
+    (fun ~now:_ ~open_bins item ->
       choose_fitting
-        (fun a b -> a.Engine.level < b.Engine.level -. 1e-12)
+        (fun a b -> a.Engine.level < b.Engine.level)
         open_bins item)
+    (fun ~now:_ ~index item -> index.Engine.worst_fit item)
 
 (* Tiny self-contained splitmix64 so the online library stays independent
    of the workload package; good enough for algorithmic coin flips. *)
@@ -63,18 +74,19 @@ let random_fit ~seed =
       (fun () ->
         let coin = Coin.make seed in
         let decide ~now:_ ~open_bins item =
-          let fitting = List.filter (fun v -> fits v item) open_bins in
-          match fitting with
-          | [] -> Engine.Open_new
-          | _ ->
-              let pick = Coin.int coin (List.length fitting) in
-              Engine.Place (List.nth fitting pick).Engine.index
+          let fitting =
+            Array.of_list (List.filter (fun v -> fits v item) open_bins)
+          in
+          match Array.length fitting with
+          | 0 -> Engine.Open_new
+          | n -> Engine.Place fitting.(Coin.int coin n).Engine.index
         in
         {
           Engine.decide;
           notify = (fun ~item:_ ~index:_ -> ());
           departed = Engine.default_departed;
         });
+    make_indexed = None;
   }
 
 let biased_open ~p ~seed =
@@ -93,6 +105,19 @@ let biased_open ~p ~seed =
           notify = (fun ~item:_ ~index:_ -> ());
           departed = Engine.default_departed;
         });
+    make_indexed =
+      Some
+        (fun () ->
+          let coin = Coin.make seed in
+          let i_decide ~now:_ ~index item =
+            if Coin.float coin < p then Engine.Open_new
+            else index.Engine.first_fit item
+          in
+          {
+            Engine.i_decide;
+            i_notify = (fun ~item:_ ~index:_ -> ());
+            i_departed = Engine.default_departed;
+          });
   }
 
 (* Next Fit: remember the index of the bin opened most recently by us; if
@@ -118,4 +143,20 @@ let next_fit =
         in
         let notify ~item:_ ~index = current := Some index in
         { Engine.decide; notify; departed = Engine.default_departed });
+    make_indexed =
+      Some
+        (fun () ->
+          let current = ref None in
+          let i_decide ~now:_ ~index item =
+            let current_view =
+              match !current with
+              | None -> None
+              | Some idx -> index.Engine.view idx
+            in
+            match current_view with
+            | Some v when fits v item -> Engine.Place v.Engine.index
+            | Some _ | None -> Engine.Open_new
+          in
+          let i_notify ~item:_ ~index = current := Some index in
+          { Engine.i_decide; i_notify; i_departed = Engine.default_departed });
   }

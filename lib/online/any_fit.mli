@@ -26,7 +26,14 @@ val choose_fitting :
   Engine.decision
 (** [choose_fitting better views item] places into the fitting bin that is
     maximal for [better] (a strict preference; the earliest-opened wins
-    ties because views come in opening order), or opens a new bin. *)
+    ties because views come in opening order), or opens a new bin.
+
+    The Best/Worst Fit preferences are exact level comparisons (no
+    epsilon): an epsilon-fuzzy preference is not a total order, so it
+    could not be answered by the level-keyed trees of {!Fit_index}, and the
+    fuzz only mattered on levels closer than 1e-12 — indistinguishable
+    in any reported metric.  All three classic fits also carry an
+    indexed fast path making the same decisions in O(log n). *)
 
 val first_fit : Engine.t
 val best_fit : Engine.t

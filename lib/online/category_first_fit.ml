@@ -18,4 +18,51 @@ let make ~name ~category =
     let notify ~item ~index = Hashtbl.replace bin_category index (category item) in
     { Engine.decide; notify; departed = Engine.default_departed }
   in
-  { Engine.name; make = make_stepper }
+  (* Indexed fast path: per category, the indices of the bins it owns in
+     opening order, scanned first-fit with O(1) [view] probes — the scan
+     touches only the category's bins instead of every open bin.  Closed
+     bins are pruned lazily when a scan walks over them (each is dropped
+     exactly once), so no departure-side bookkeeping is needed. *)
+  let make_indexed () =
+    let by_category : (string, int list ref) Hashtbl.t = Hashtbl.create 32 in
+    let members cat =
+      match Hashtbl.find_opt by_category cat with
+      | Some l -> l
+      | None ->
+          let l = ref [] in
+          Hashtbl.add by_category cat l;
+          l
+    in
+    let i_decide ~now:_ ~index item =
+      let cat = category item in
+      let idxs = members cat in
+      (* [kept] accumulates surviving indices in reverse. *)
+      let rec scan kept = function
+        | [] ->
+            idxs := List.rev kept;
+            Engine.Open_new
+        | idx :: rest -> (
+            match index.Engine.view idx with
+            | None -> scan kept rest (* closed: prune *)
+            | Some v ->
+                if Any_fit.fits v item then begin
+                  idxs := List.rev_append kept (idx :: rest);
+                  Engine.Place idx
+                end
+                else scan (idx :: kept) rest)
+      in
+      scan [] !idxs
+    in
+    let recorded : (int, unit) Hashtbl.t = Hashtbl.create 64 in
+    let i_notify ~item ~index =
+      if not (Hashtbl.mem recorded index) then begin
+        Hashtbl.add recorded index ();
+        let idxs = members (category item) in
+        (* A fresh bin carries the highest index so far, so appending
+           keeps the list in opening order. *)
+        idxs := !idxs @ [ index ]
+      end
+    in
+    { Engine.i_decide; i_notify; i_departed = Engine.default_departed }
+  in
+  { Engine.name; make = make_stepper; make_indexed = Some make_indexed }

@@ -15,7 +15,26 @@ type stepper = {
   departed : Item.t -> unit;
 }
 
-type t = { name : string; make : unit -> stepper }
+type index = {
+  open_views : unit -> bin_view list;
+  view : int -> bin_view option;
+  first_fit : Item.t -> decision;
+  best_fit : Item.t -> decision;
+  worst_fit : Item.t -> decision;
+  open_count : unit -> int;
+}
+
+type indexed_stepper = {
+  i_decide : now:float -> index:index -> Item.t -> decision;
+  i_notify : item:Item.t -> index:int -> unit;
+  i_departed : Item.t -> unit;
+}
+
+type t = {
+  name : string;
+  make : unit -> stepper;
+  make_indexed : (unit -> indexed_stepper) option;
+}
 
 exception Invalid_decision of string
 
@@ -31,14 +50,44 @@ let stateless name decide =
           notify = (fun ~item:_ ~index:_ -> ());
           departed = default_departed;
         });
+    make_indexed = None;
   }
+
+let indexed_stateless name decide i_decide =
+  {
+    name;
+    make =
+      (fun () ->
+        {
+          decide;
+          notify = (fun ~item:_ ~index:_ -> ());
+          departed = default_departed;
+        });
+    make_indexed =
+      Some
+        (fun () ->
+          {
+            i_decide;
+            i_notify = (fun ~item:_ ~index:_ -> ());
+            i_departed = default_departed;
+          });
+  }
+
+let invalid fmt = Format.kasprintf (fun s -> raise (Invalid_decision s)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Reference engine: the original linked-list implementation, frozen as
+   the differential-testing oracle.  Every event walks the full list of
+   bins ever opened, so a run is Theta(n * bins) — do not optimise this;
+   its value is being obviously faithful to the engine the test suite
+   grew up on.  [run_indexed] must stay bit-identical to it. *)
 
 (* Engine-side bin record.  [active] counts items currently active and
    [level] tracks their total size, so openness checks and level reads
    are O(1) instead of probing the level profile.  [level] is reset to 0
    whenever the bin empties, so float drift cannot accumulate across
    open/close cycles. *)
-type live_bin = {
+type ref_bin = {
   idx : int;
   opened : float;
   mutable bin : Bin_state.t;
@@ -46,12 +95,10 @@ type live_bin = {
   mutable level : float;
 }
 
-let invalid fmt = Format.kasprintf (fun s -> raise (Invalid_decision s)) fmt
-
-let run algo instance =
+let run_reference algo instance =
   let stepper = algo.make () in
-  let bins : live_bin list ref = ref [] (* reverse opening order *) in
-  let home = Hashtbl.create 64 (* item id -> live_bin *) in
+  let bins : ref_bin list ref = ref [] (* reverse opening order *) in
+  let home = Hashtbl.create 64 (* item id -> ref_bin *) in
   let views _now =
     List.rev !bins
     |> List.filter_map (fun lb ->
@@ -116,5 +163,206 @@ let run algo instance =
   in
   List.iter handle (Event.of_instance instance);
   Packing.of_bins instance (List.rev_map (fun lb -> lb.bin) !bins)
+
+(* ------------------------------------------------------------------ *)
+(* Indexed engine.  Bins live in a growable array keyed by bin index
+   (O(1) [Place] validation); the open bins form an intrusive doubly-
+   linked list in index order (O(1) close, O(open) view materialisation
+   instead of O(ever-opened)); fit queries go through {!Fit_index}
+   (O(log n)); events come from a binary-heap queue.  Level bookkeeping
+   uses the exact float expressions of the reference engine so the two
+   are bit-identical on every deterministic algorithm. *)
+
+type live_bin = {
+  l_idx : int;
+  l_opened : float;
+  mutable l_bin : Bin_state.t;
+  mutable l_active : int;
+  mutable l_level : float;
+  (* open-list links: bin indices, -1 for none.  A bin is on the list
+     exactly while it has active items; it never re-enters. *)
+  mutable l_prev : int;
+  mutable l_next : int;
+}
+
+let dummy_bin =
+  {
+    l_idx = -1;
+    l_opened = nan;
+    l_bin = Bin_state.empty ~index:(-1);
+    l_active = 0;
+    l_level = 0.;
+    l_prev = -1;
+    l_next = -1;
+  }
+
+type state = {
+  mutable arr : live_bin array; (* slots >= count hold dummy_bin *)
+  mutable count : int;
+  mutable head : int; (* first open bin index, -1 if none *)
+  mutable tail : int;
+  fit : Fit_index.t;
+  homes : (int, live_bin) Hashtbl.t; (* item id -> bin *)
+}
+
+let bin_of st idx = st.arr.(idx)
+
+let append_bin st now =
+  if st.count = Array.length st.arr then begin
+    let cap = max 16 (2 * st.count) in
+    let arr = Array.make cap dummy_bin in
+    Array.blit st.arr 0 arr 0 st.count;
+    st.arr <- arr
+  end;
+  let idx = st.count in
+  let lb =
+    {
+      l_idx = idx;
+      l_opened = now;
+      l_bin = Bin_state.empty ~index:idx;
+      l_active = 0;
+      l_level = 0.;
+      l_prev = st.tail;
+      l_next = -1;
+    }
+  in
+  st.arr.(idx) <- lb;
+  st.count <- st.count + 1;
+  (* Fresh bins carry the highest index, so appending at the tail keeps
+     the open list in index (opening) order. *)
+  if st.tail >= 0 then (bin_of st st.tail).l_next <- idx else st.head <- idx;
+  st.tail <- idx;
+  Fit_index.open_bin st.fit idx;
+  lb
+
+let unlink st lb =
+  if lb.l_prev >= 0 then (bin_of st lb.l_prev).l_next <- lb.l_next
+  else st.head <- lb.l_next;
+  if lb.l_next >= 0 then (bin_of st lb.l_next).l_prev <- lb.l_prev
+  else st.tail <- lb.l_prev;
+  lb.l_prev <- -1;
+  lb.l_next <- -1
+
+let view_of lb =
+  { index = lb.l_idx; opened_at = lb.l_opened; level = lb.l_level; state = lb.l_bin }
+
+let make_index st =
+  let open_views () =
+    let rec go idx acc =
+      if idx < 0 then List.rev acc
+      else
+        let lb = bin_of st idx in
+        go lb.l_next (view_of lb :: acc)
+    in
+    go st.head []
+  in
+  let view idx =
+    if idx < 0 || idx >= st.count then None
+    else
+      let lb = bin_of st idx in
+      if lb.l_active > 0 then Some (view_of lb) else None
+  in
+  let query q item =
+    match q st.fit ~size:(Item.size item) with
+    | Some idx -> Place idx
+    | None -> Open_new
+  in
+  let open_count () =
+    let rec go idx n = if idx < 0 then n else go (bin_of st idx).l_next (n + 1) in
+    go st.head 0
+  in
+  {
+    open_views;
+    view;
+    first_fit = query Fit_index.first_fit;
+    best_fit = query Fit_index.best_fit;
+    worst_fit = query Fit_index.worst_fit;
+    open_count;
+  }
+
+let run_indexed algo instance =
+  let stepper =
+    match algo.make_indexed with
+    | Some make -> make ()
+    | None ->
+        let s = algo.make () in
+        {
+          i_decide =
+            (fun ~now ~index item ->
+              s.decide ~now ~open_bins:(index.open_views ()) item);
+          i_notify = s.notify;
+          i_departed = s.departed;
+        }
+  in
+  let st =
+    {
+      arr = Array.make 16 dummy_bin;
+      count = 0;
+      head = -1;
+      tail = -1;
+      fit = Fit_index.create ();
+      homes = Hashtbl.create 64;
+    }
+  in
+  let index = make_index st in
+  let place lb item =
+    let now = Item.arrival item in
+    if not (Bin_state.fits_at lb.l_bin ~at:now item) then
+      invalid "%s: %s overflows bin %d at %g" algo.name (Item.to_string item)
+        lb.l_idx now;
+    lb.l_bin <- Bin_state.place_unchecked lb.l_bin item;
+    lb.l_active <- lb.l_active + 1;
+    lb.l_level <- lb.l_level +. Item.size item;
+    Fit_index.set_level st.fit lb.l_idx lb.l_level;
+    Hashtbl.replace st.homes (Item.id item) lb;
+    stepper.i_notify ~item ~index:lb.l_idx
+  in
+  let handle event =
+    match event.Event.kind with
+    | Event.Departure ->
+        let item = event.Event.item in
+        let lb =
+          try Hashtbl.find st.homes (Item.id item)
+          with Not_found ->
+            invalid "%s: departure of unplaced item %d" algo.name
+              (Item.id item)
+        in
+        lb.l_active <- lb.l_active - 1;
+        lb.l_level <-
+          (if lb.l_active = 0 then 0. else lb.l_level -. Item.size item);
+        if lb.l_active = 0 then begin
+          Fit_index.close_bin st.fit lb.l_idx;
+          unlink st lb
+        end
+        else Fit_index.set_level st.fit lb.l_idx lb.l_level;
+        stepper.i_departed item
+    | Event.Arrival -> (
+        let now = event.Event.time in
+        let item = event.Event.item in
+        match stepper.i_decide ~now ~index item with
+        | Open_new -> place (append_bin st now) item
+        | Place idx ->
+            if idx < 0 || idx >= st.count then
+              invalid "%s: unknown bin %d" algo.name idx
+            else begin
+              let lb = bin_of st idx in
+              if lb.l_active = 0 then
+                invalid "%s: bin %d is closed at %g" algo.name idx now;
+              place lb item
+            end)
+  in
+  let queue = Event.queue_of_instance instance in
+  let rec drain () =
+    match Heap.pop queue with
+    | None -> ()
+    | Some event ->
+        handle event;
+        drain ()
+  in
+  drain ();
+  Packing.of_bins instance
+    (List.init st.count (fun i -> (bin_of st i).l_bin))
+
+let run = run_indexed
 
 let usage_time algo instance = Packing.total_usage_time (run algo instance)

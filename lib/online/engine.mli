@@ -11,7 +11,20 @@
     The engine owns the bins, exposes read-only views to the algorithm,
     and validates every decision: placing into a closed bin, an unknown
     bin, or over capacity raises {!Invalid_decision} — an algorithm bug,
-    never a property of the input. *)
+    never a property of the input.
+
+    Two interchangeable engines implement this contract:
+
+    - {!run_indexed} (the default {!run}): bins in a growable array, the
+      open bins on an intrusive linked list, fit queries through
+      {!Fit_index} (O(log n)), events from a binary-heap queue.  An
+      n-event run costs O(n (log n + b_open + k)) where b_open is the
+      concurrent open-bin count and k the per-bin profile size.
+    - {!run_reference}: the original list-walking engine, frozen as the
+      differential-testing oracle; Theta(n * bins-ever-opened).
+
+    Both must produce bit-identical packings for every deterministic
+    algorithm — enforced by the qcheck differential suite. *)
 
 open Dbp_core
 
@@ -37,10 +50,43 @@ type stepper = {
           online-trained duration predictor.  Default: ignore. *)
 }
 
+type index = {
+  open_views : unit -> bin_view list;
+      (** Views of the open bins in opening order — same list the plain
+          [decide] receives, materialised in O(open bins). *)
+  view : int -> bin_view option;
+      (** O(1) view of one bin; [None] if closed or never opened. *)
+  first_fit : Item.t -> decision;
+      (** Lowest-index open bin the item fits in, O(log n). *)
+  best_fit : Item.t -> decision;
+      (** Highest-level fitting bin, ties to the lowest index, O(log n). *)
+  worst_fit : Item.t -> decision;
+      (** Lowest-level open bin if the item fits there, O(log n). *)
+  open_count : unit -> int;
+}
+(** Query interface the indexed engine hands to indexed steppers in
+    place of a materialised view list.  All queries use the shared
+    admission predicate of {!Any_fit.fits}. *)
+
+type indexed_stepper = {
+  i_decide : now:float -> index:index -> Item.t -> decision;
+  i_notify : item:Item.t -> index:int -> unit;
+  i_departed : Item.t -> unit;
+}
+
 val default_departed : Item.t -> unit
 (** The no-op departure hook, for steppers built by hand. *)
 
-type t = { name : string; make : unit -> stepper }
+type t = {
+  name : string;
+  make : unit -> stepper;
+  make_indexed : (unit -> indexed_stepper) option;
+      (** Optional O(log n) fast path used by {!run_indexed}.  When
+          [None] the plain stepper is driven with views materialised
+          from the open list.  A fast path must make exactly the
+          decisions of the plain stepper: the differential suite runs
+          one against the other. *)
+}
 (** An online algorithm: a name for reports and a factory producing a
     fresh, independent stepper per run. *)
 
@@ -50,9 +96,26 @@ val stateless :
   string -> (now:float -> open_bins:bin_view list -> Item.t -> decision) -> t
 (** An algorithm with no cross-arrival state beyond what the views carry. *)
 
+val indexed_stateless :
+  string ->
+  (now:float -> open_bins:bin_view list -> Item.t -> decision) ->
+  (now:float -> index:index -> Item.t -> decision) ->
+  t
+(** A stateless algorithm with both a view-list decide (used by
+    {!run_reference}) and an index-query decide (used by
+    {!run_indexed}).  The two must agree decision-for-decision. *)
+
 val run : t -> Instance.t -> Packing.t
-(** Feed the instance's event stream through a fresh stepper.
+(** Feed the instance's event stream through a fresh stepper.  This is
+    {!run_indexed}.
     @raise Invalid_decision on an illegal placement. *)
+
+val run_indexed : t -> Instance.t -> Packing.t
+(** The indexed engine (see the module preamble). *)
+
+val run_reference : t -> Instance.t -> Packing.t
+(** The frozen list engine: the differential-testing oracle.  Always
+    drives the plain stepper, never the indexed fast path. *)
 
 val usage_time : t -> Instance.t -> float
 (** [total_usage_time (run t inst)]. *)

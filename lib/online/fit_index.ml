@@ -1,0 +1,133 @@
+(* The engine's per-run fit indices over the *open* bins.
+
+   Two flat segment trees over bin indices, updated together on every
+   level change and never allocating on the query or update path:
+
+   - a min-level tree (closed and unopened bins carry +inf), answering
+     First Fit (lowest-index fitting bin) by a leftmost descent and
+     Worst Fit (lowest-level bin, ties to the lowest index) by a
+     min-attaining descent, both O(log n);
+
+   - a max-level tree (closed and unopened bins carry -inf), answering
+     Best Fit (highest fitting level, ties to the lowest index) by a
+     best-first search that prunes every subtree whose max cannot beat
+     the candidate found so far — O(log n) on typical workloads,
+     O(open bins) only when non-fitting bins interleave with an
+     increasing run of fitting levels.
+
+   The fit predicate is shared with {!Any_fit.fits} verbatim:
+   [level +. size <= Bin_state.capacity +. Bin_state.tolerance].  It is
+   monotone in [level] (float addition is monotone), which is what makes
+   the descents sound.  An earlier revision kept a balanced
+   (level, index) set for Best/Worst Fit; the trees replaced it because
+   the set allocated O(log n) nodes on every place and departure, which
+   at small instance sizes cost more than the reference engine's plain
+   list scan. *)
+
+open Dbp_core
+
+type t = {
+  (* [min_tree]/[max_tree] have 2*cap slots, leaves at [cap + i]; the
+     leaf value is the bin's current level, or +inf / -inf respectively
+     for closed and unopened indices. *)
+  mutable min_tree : float array;
+  mutable max_tree : float array;
+  mutable cap : int;
+}
+
+let create () =
+  {
+    min_tree = Array.make 2 infinity;
+    max_tree = Array.make 2 neg_infinity;
+    cap = 1;
+  }
+
+let fits_level level size =
+  level +. size <= Bin_state.capacity +. Bin_state.tolerance
+
+let rec grow_to t idx =
+  if idx >= t.cap then begin
+    let cap = 2 * t.cap in
+    let min_tree = Array.make (2 * cap) infinity in
+    let max_tree = Array.make (2 * cap) neg_infinity in
+    Array.blit t.min_tree t.cap min_tree cap t.cap;
+    Array.blit t.max_tree t.cap max_tree cap t.cap;
+    for i = cap - 1 downto 1 do
+      min_tree.(i) <- Float.min min_tree.(2 * i) min_tree.((2 * i) + 1);
+      max_tree.(i) <- Float.max max_tree.(2 * i) max_tree.((2 * i) + 1)
+    done;
+    t.min_tree <- min_tree;
+    t.max_tree <- max_tree;
+    t.cap <- cap;
+    grow_to t idx
+  end
+
+let set_leaf t idx ~lo ~hi =
+  let i = ref (t.cap + idx) in
+  t.min_tree.(!i) <- lo;
+  t.max_tree.(!i) <- hi;
+  while !i > 1 do
+    i := !i / 2;
+    t.min_tree.(!i) <- Float.min t.min_tree.(2 * !i) t.min_tree.((2 * !i) + 1);
+    t.max_tree.(!i) <- Float.max t.max_tree.(2 * !i) t.max_tree.((2 * !i) + 1)
+  done
+
+let open_bin t idx =
+  grow_to t idx;
+  set_leaf t idx ~lo:0. ~hi:0.
+
+let set_level t idx level = set_leaf t idx ~lo:level ~hi:level
+let close_bin t idx = set_leaf t idx ~lo:infinity ~hi:neg_infinity
+
+let first_fit t ~size =
+  if not (fits_level t.min_tree.(1) size) then None
+  else begin
+    let i = ref 1 in
+    while !i < t.cap do
+      i := if fits_level t.min_tree.(2 * !i) size then 2 * !i else (2 * !i) + 1
+    done;
+    Some (!i - t.cap)
+  end
+
+(* Leftmost leaf attaining the subtree minimum: an internal node's value
+   is an exact copy of one child's, so float equality identifies which
+   side attains it, and preferring the left child on ties yields the
+   lowest index. *)
+let worst_fit t ~size =
+  let m = t.min_tree.(1) in
+  if not (fits_level m size) then None (* also covers the no-open-bins +inf *)
+  else begin
+    let i = ref 1 in
+    while !i < t.cap do
+      i := if t.min_tree.(2 * !i) <= t.min_tree.((2 * !i) + 1) then 2 * !i
+           else (2 * !i) + 1
+    done;
+    Some (!i - t.cap)
+  end
+
+let best_fit t ~size =
+  (* Best candidate so far as (level, leaf slot); a subtree can only beat
+     it with a strictly higher fitting level (equal levels lose to the
+     leftmost, which the left-to-right visit order has already found). *)
+  let best_level = ref neg_infinity in
+  let best_slot = ref (-1) in
+  let rec leftmost_max i =
+    if i >= t.cap then i
+    else if t.max_tree.(2 * i) = t.max_tree.(i) then leftmost_max (2 * i)
+    else leftmost_max ((2 * i) + 1)
+  in
+  let rec search i =
+    let m = t.max_tree.(i) in
+    if m > !best_level then
+      if fits_level m size then begin
+        (* Whole subtree's top level fits and beats the candidate. *)
+        best_level := m;
+        best_slot := leftmost_max i
+      end
+      else if i < t.cap then begin
+        search (2 * i);
+        search ((2 * i) + 1)
+      end
+  in
+  search 1;
+  if !best_slot < 0 then None else Some (!best_slot - t.cap)

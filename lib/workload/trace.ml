@@ -2,7 +2,12 @@ open Dbp_core
 
 let header = "id,size,arrival,departure"
 
-let to_channel oc instance =
+let write_comment oc comment =
+  String.split_on_char '\n' comment
+  |> List.iter (fun line -> Printf.fprintf oc "# %s\n" line)
+
+let to_channel ?comment oc instance =
+  Option.iter (write_comment oc) comment;
   output_string oc header;
   output_char oc '\n';
   List.iter
@@ -23,9 +28,11 @@ let to_string instance =
     (Instance.items instance);
   Buffer.contents buf
 
-let save path instance =
+let save ?comment path instance =
   let oc = open_out path in
-  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> to_channel oc instance)
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> to_channel ?comment oc instance)
 
 exception Parse_error of int * string
 
@@ -53,7 +60,7 @@ let of_string s =
   let lines =
     String.split_on_char '\n' s
     |> List.mapi (fun i l -> (i + 1, String.trim l))
-    |> List.filter (fun (_, l) -> l <> "")
+    |> List.filter (fun (_, l) -> l <> "" && l.[0] <> '#')
   in
   match lines with
   | [] -> fail 1 "empty trace"

@@ -1,14 +1,20 @@
 (** CSV trace import/export.
 
-    Format: a header line "id,size,arrival,departure" followed by one row
-    per item, full float precision.  Round-trips exactly; lets instances
-    move between the CLI, external tooling and regression fixtures. *)
+    Format: optional leading comment lines starting with [#] (used by
+    fixture generators to record provenance — e.g. the PRNG seed and
+    generator config), then a header line "id,size,arrival,departure"
+    followed by one row per item, full float precision.  Round-trips
+    exactly; lets instances move between the CLI, external tooling and
+    regression fixtures. *)
 
 open Dbp_core
 
-val to_channel : out_channel -> Instance.t -> unit
+val to_channel : ?comment:string -> out_channel -> Instance.t -> unit
+(** [comment] (possibly multi-line) is written as leading [# ] lines. *)
+
 val to_string : Instance.t -> string
-val save : string -> Instance.t -> unit
+
+val save : ?comment:string -> string -> Instance.t -> unit
 
 exception Parse_error of int * string
 (** Line number (1-based, header is line 1) and complaint. *)

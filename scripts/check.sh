@@ -1,0 +1,23 @@
+#!/bin/sh
+# Repo-wide check: build, full test suite, formatting, and an engine
+# smoke benchmark (indexed vs. reference parity on small workloads).
+# Run from the repo root:  scripts/check.sh
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== dune build =="
+dune build
+
+echo "== dune runtest =="
+dune runtest
+
+echo "== dune build @fmt =="
+# Formatting is scoped to dune files (see dune-project); ocamlformat is
+# not a dependency of this repo.
+dune build @fmt
+
+echo "== engine smoke bench =="
+dune exec bench/main.exe -- engine --quick
+
+echo "All checks passed."

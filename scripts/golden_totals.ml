@@ -1,0 +1,36 @@
+(* Prints the golden usage-time totals for test/test_golden.ml.
+
+   Run from the repo root after an *intended* behavioural change:
+     dune exec scripts/golden_totals.exe
+   and paste the printed values into the golden test tables. *)
+
+let algorithms inst =
+  [
+    ("ddff", fun i -> Dbp_offline.Ddff.pack i);
+    ("first-fit", Dbp_online.Engine.run Dbp_online.Any_fit.first_fit);
+    ("best-fit", Dbp_online.Engine.run Dbp_online.Any_fit.best_fit);
+    ("worst-fit", Dbp_online.Engine.run Dbp_online.Any_fit.worst_fit);
+    ("next-fit", Dbp_online.Engine.run Dbp_online.Any_fit.next_fit);
+    ("hybrid-ff", Dbp_online.Engine.run (Dbp_online.Hybrid_first_fit.make ()));
+    ("cbdt-ff", Dbp_online.Engine.run (Dbp_online.Classify_departure.tuned inst));
+    ("cbd-ff", Dbp_online.Engine.run (Dbp_online.Classify_duration.tuned inst));
+    ( "combined-ff",
+      Dbp_online.Engine.run (Dbp_online.Classify_combined.tuned inst) );
+  ]
+
+let () =
+  List.iter
+    (fun path ->
+      let inst = Dbp_workload.Trace.load path in
+      Printf.printf "%s (%d jobs):\n" path (Dbp_core.Instance.length inst);
+      List.iter
+        (fun (name, pack) ->
+          let t0 = Sys.time () in
+          let usage = Dbp_core.Packing.total_usage_time (pack inst) in
+          Printf.printf "  %-12s %.9f   (%.2fs)\n" name usage (Sys.time () -. t0))
+        (algorithms inst))
+    [
+      "test/fixtures/uniform_seed77.csv";
+      "test/fixtures/uniform_seed2101_10k.csv";
+      "test/fixtures/dense_seed2102_10k.csv";
+    ]

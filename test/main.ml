@@ -12,6 +12,8 @@ let () =
       ("demand-chart", Test_demand_chart.suite);
       ("dual-coloring", Test_dual_coloring.suite);
       ("online-engine", Test_engine.suite);
+      ("engine-differential", Test_engine_differential.suite);
+      ("packing-invariants", Test_invariants.suite);
       ("any-fit", Test_any_fit.suite);
       ("classification", Test_classify.suite);
       ("opt", Test_opt.suite);

@@ -5,12 +5,12 @@ module E = Dbp_online.Engine
 (* An algorithm that always opens a new bin. *)
 let always_open = E.stateless "always-open" (fun ~now:_ ~open_bins:_ _ -> E.Open_new)
 
-let test_always_open () =
+let test_always_open run () =
   let inst = instance [ (0.1, 0., 2.); (0.1, 0.5, 3.) ] in
-  let p = E.run always_open inst in
+  let p = run always_open inst in
   check_int "one bin per item" 2 (Packing.bin_count p)
 
-let test_open_bins_view_excludes_closed () =
+let test_open_bins_view_excludes_closed run () =
   (* second item arrives after the first departed; a "place into bin 0"
      algorithm must fail because bin 0 is closed *)
   let place_zero =
@@ -20,26 +20,38 @@ let test_open_bins_view_excludes_closed () =
         | v :: _ -> E.Place v.E.index)
   in
   let inst = instance [ (0.5, 0., 1.); (0.5, 2., 3.) ] in
-  let p = E.run place_zero inst in
+  let p = run place_zero inst in
   (* bin 0 closed at t=2, so view is empty and a new bin opens *)
   check_int "two bins" 2 (Packing.bin_count p)
 
-let test_invalid_place_unknown_bin () =
+let test_invalid_place_unknown_bin run () =
   let bad = E.stateless "bad" (fun ~now:_ ~open_bins:_ _ -> E.Place 99) in
   let inst = instance [ (0.5, 0., 1.) ] in
   check_bool "raises" true
-    (match E.run bad inst with
+    (match run bad inst with
     | exception E.Invalid_decision _ -> true
     | _ -> false)
 
-let test_invalid_overflow_decision () =
+let test_invalid_place_closed_bin run () =
+  (* remember bin 0 and try to reuse it after it closed *)
+  let stubborn =
+    E.stateless "stubborn" (fun ~now ~open_bins:_ _ ->
+        if now < 1.5 then E.Open_new else E.Place 0)
+  in
+  let inst = instance [ (0.5, 0., 1.); (0.5, 2., 3.) ] in
+  check_bool "raises" true
+    (match run stubborn inst with
+    | exception E.Invalid_decision _ -> true
+    | _ -> false)
+
+let test_invalid_overflow_decision run () =
   let cram =
     E.stateless "cram" (fun ~now:_ ~open_bins _ ->
         match open_bins with [] -> E.Open_new | v :: _ -> E.Place v.E.index)
   in
   let inst = instance [ (0.7, 0., 2.); (0.7, 0.5, 2.5) ] in
   check_bool "raises" true
-    (match E.run cram inst with
+    (match run cram inst with
     | exception E.Invalid_decision _ -> true
     | _ -> false)
 
@@ -89,6 +101,7 @@ let test_notify_reports_final_index () =
               (fun ~item ~index -> notified := (Item.id item, index) :: !notified);
             departed = E.default_departed;
           });
+      make_indexed = None;
     }
   in
   let inst = instance [ (0.5, 0., 1.); (0.5, 0.5, 2.) ] in
@@ -110,20 +123,32 @@ let prop_usage_time_matches_packing =
         -. Packing.total_usage_time (E.run Dbp_online.Any_fit.first_fit inst))
       < 1e-9)
 
+(* The engine contract must hold for both implementations: the default
+   indexed engine and the frozen reference oracle. *)
+let per_engine =
+  List.concat_map
+    (fun (engine, run) ->
+      let case name f =
+        Alcotest.test_case (Printf.sprintf "%s (%s)" name engine) `Quick (f run)
+      in
+      [
+        case "always-open baseline" test_always_open;
+        case "closed bins leave the view" test_open_bins_view_excludes_closed;
+        case "unknown bin rejected" test_invalid_place_unknown_bin;
+        case "closed bin rejected" test_invalid_place_closed_bin;
+        case "overflow decision rejected" test_invalid_overflow_decision;
+      ])
+    [ ("indexed", E.run_indexed); ("reference", E.run_reference) ]
+
 let suite =
-  [
-    Alcotest.test_case "always-open baseline" `Quick test_always_open;
-    Alcotest.test_case "closed bins leave the view" `Quick
-      test_open_bins_view_excludes_closed;
-    Alcotest.test_case "unknown bin rejected" `Quick test_invalid_place_unknown_bin;
-    Alcotest.test_case "overflow decision rejected" `Quick
-      test_invalid_overflow_decision;
-    Alcotest.test_case "departure frees capacity at same instant" `Quick
-      test_departure_frees_capacity_at_same_instant;
-    Alcotest.test_case "levels reported at arrival instant" `Quick
-      test_levels_reported_at_now;
-    Alcotest.test_case "notify gets final bin index" `Quick
-      test_notify_reports_final_index;
-    Alcotest.test_case "fresh stepper per run" `Quick test_fresh_stepper_per_run;
-    prop_usage_time_matches_packing;
-  ]
+  per_engine
+  @ [
+      Alcotest.test_case "departure frees capacity at same instant" `Quick
+        test_departure_frees_capacity_at_same_instant;
+      Alcotest.test_case "levels reported at arrival instant" `Quick
+        test_levels_reported_at_now;
+      Alcotest.test_case "notify gets final bin index" `Quick
+        test_notify_reports_final_index;
+      Alcotest.test_case "fresh stepper per run" `Quick test_fresh_stepper_per_run;
+      prop_usage_time_matches_packing;
+    ]

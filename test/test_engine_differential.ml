@@ -1,0 +1,97 @@
+(* Differential testing of the indexed engine against the frozen
+   reference engine: on random instances, every deterministic algorithm
+   must produce the *same packing* (same bin index for every item) under
+   both engines, and the usage times must match exactly.
+
+   Two instance generators: general float-valued instances, and a
+   tie-heavy grid generator (integer times, discrete sizes) that forces
+   equal-time arrival/departure collisions and exactly-equal bin levels —
+   the cases where heap ordering and index tie-breaking could silently
+   diverge from the list engine. *)
+
+open Dbp_core
+open Helpers
+module E = Dbp_online.Engine
+
+(* Deterministic algorithms only.  random-fit and biased-open are
+   deterministic given their seed: the engines call [decide] on the same
+   arrival sequence, so the coin streams align. *)
+let algorithms =
+  [
+    Dbp_online.Any_fit.first_fit;
+    Dbp_online.Any_fit.best_fit;
+    Dbp_online.Any_fit.worst_fit;
+    Dbp_online.Any_fit.next_fit;
+    Dbp_online.Any_fit.random_fit ~seed:7;
+    Dbp_online.Any_fit.biased_open ~p:0.25 ~seed:3;
+    Dbp_online.Hybrid_first_fit.make ();
+    Dbp_online.Departure_aligned.make ~window:2. ();
+    Dbp_online.Classify_departure.make ~rho:2. ();
+    Dbp_online.Classify_duration.make ~alpha:2. ();
+    Dbp_online.Classify_combined.make ~alpha:2. ();
+  ]
+
+(* Integer arrival/departure grid with sizes from a small discrete set:
+   maximal tie pressure. *)
+let gen_tie_instance =
+  QCheck2.Gen.(
+    let* n = int_range 2 30 in
+    let sizes = [| 0.1; 0.2; 0.25; 0.3; 0.5; 0.5; 1.0 |] in
+    let* items =
+      flatten_l
+        (List.init n (fun id ->
+             let* si = int_range 0 (Array.length sizes - 1) in
+             let* arrival = int_range 0 8 in
+             let* duration = int_range 1 5 in
+             return
+               (Item.make ~id ~size:sizes.(si)
+                  ~arrival:(float_of_int arrival)
+                  ~departure:(float_of_int (arrival + duration)))))
+    in
+    return (Instance.of_items items))
+
+let same_packing inst algo =
+  let reference = E.run_reference algo inst in
+  let indexed = E.run_indexed algo inst in
+  let same_bins =
+    List.for_all
+      (fun r ->
+        Packing.bin_of_item reference (Item.id r)
+        = Packing.bin_of_item indexed (Item.id r))
+      (Instance.items inst)
+  in
+  same_bins
+  && Packing.bin_count reference = Packing.bin_count indexed
+  && Float.equal
+       (Packing.total_usage_time reference)
+       (Packing.total_usage_time indexed)
+
+let differential_tests =
+  List.concat_map
+    (fun algo ->
+      let name = algo.E.name in
+      [
+        qtest ~count:400
+          (Printf.sprintf "indexed = reference: %s" name)
+          (gen_instance ~max_items:25 ())
+          (fun inst -> same_packing inst algo);
+        qtest ~count:200
+          (Printf.sprintf "indexed = reference (ties): %s" name)
+          gen_tie_instance
+          (fun inst -> same_packing inst algo);
+      ])
+    algorithms
+
+(* The tuned classifiers pick their parameters from the instance; cover
+   them too so the parameter plumbing goes through both engines. *)
+let tuned_tests =
+  [
+    qtest ~count:500 "indexed = reference: cbdt-tuned"
+      (gen_instance ~max_items:20 ())
+      (fun inst -> same_packing inst (Dbp_online.Classify_departure.tuned inst));
+    qtest ~count:500 "indexed = reference: cbd-tuned"
+      (gen_instance ~max_items:20 ())
+      (fun inst -> same_packing inst (Dbp_online.Classify_duration.tuned inst));
+  ]
+
+let suite = differential_tests @ tuned_tests

@@ -41,12 +41,85 @@ let prop_events_sorted =
       in
       sorted times)
 
+(* --- heap queue: must preserve the of_instance delivery order ------- *)
+
+let event_key e =
+  (e.Event.time, Event.kind_to_string e.Event.kind, Item.id e.Event.item)
+
+let test_queue_ties_pinned () =
+  (* All four tie dimensions at once: items 0 and 1 share arrival 0;
+     item 0 departs exactly when items 2 and 3 arrive; items 2 and 3
+     share both times so their events tie down to the id. *)
+  let inst =
+    instance [ (0.2, 0., 5.); (0.2, 0., 3.); (0.2, 5., 7.); (0.2, 5., 7.) ]
+  in
+  let popped =
+    Event.queue_of_instance inst |> Heap.drain |> List.map event_key
+  in
+  Alcotest.(check (list (triple (float 1e-12) string int)))
+    "departures before arrivals, ties by id"
+    [
+      (0., "arrival", 0);
+      (0., "arrival", 1);
+      (3., "departure", 1);
+      (5., "departure", 0);
+      (5., "arrival", 2);
+      (5., "arrival", 3);
+      (7., "departure", 2);
+      (7., "departure", 3);
+    ]
+    popped
+
+let prop_queue_matches_of_instance =
+  qtest ~count:300 "heap queue = sorted event list" (gen_instance ())
+    (fun inst ->
+      let sorted = Event.of_instance inst |> List.map event_key in
+      let popped =
+        Event.queue_of_instance inst |> Heap.drain |> List.map event_key
+      in
+      sorted = popped)
+
+let prop_queue_departures_first =
+  (* Integer-grid instances to force many equal-time events. *)
+  let gen =
+    QCheck2.Gen.(
+      let* n = int_range 2 20 in
+      let* items =
+        flatten_l
+          (List.init n (fun id ->
+               let* a = int_range 0 5 in
+               let* d = int_range 1 4 in
+               return
+                 (Dbp_core.Item.make ~id ~size:0.25
+                    ~arrival:(float_of_int a)
+                    ~departure:(float_of_int (a + d)))))
+      in
+      return (Instance.of_items items))
+  in
+  qtest ~count:300 "queue: departures precede arrivals at equal times" gen
+    (fun inst ->
+      let popped = Event.queue_of_instance inst |> Heap.drain in
+      let rec ok = function
+        | a :: (b :: _ as rest) ->
+            (a.Event.time < b.Event.time
+            || (a.Event.time = b.Event.time
+               && not
+                    (a.Event.kind = Event.Arrival
+                    && b.Event.kind = Event.Departure)))
+            && ok rest
+        | _ -> true
+      in
+      ok popped)
+
 let suite =
   [
     Alcotest.test_case "global order" `Quick test_order;
     Alcotest.test_case "departures precede arrivals at ties" `Quick
       test_departure_before_arrival_at_same_time;
     Alcotest.test_case "arrivals extraction" `Quick test_arrivals;
+    Alcotest.test_case "queue tie-breaking pinned" `Quick test_queue_ties_pinned;
     prop_event_count;
     prop_events_sorted;
+    prop_queue_matches_of_instance;
+    prop_queue_departures_first;
   ]

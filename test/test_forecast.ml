@@ -133,6 +133,7 @@ let test_engine_departure_hook_fires () =
             notify = (fun ~item:_ ~index:_ -> ());
             departed = (fun item -> seen := Item.id item :: !seen);
           });
+      make_indexed = None;
     }
   in
   let inst = instance [ (0.5, 0., 1.); (0.5, 0.5, 2.) ] in

@@ -1,35 +1,44 @@
-(* Golden regression tests: exact usage values of every algorithm on a
-   checked-in fixture trace (224 items, uniform workload, seed 77).  Any
-   behavioural change to an algorithm, the engine, the event ordering or
-   the float conventions shows up here as an exact-value diff.
+(* Golden regression tests: exact usage values of every algorithm on
+   checked-in fixture traces.  Any behavioural change to an algorithm,
+   the engine, the event ordering or the float conventions shows up here
+   as an exact-value diff.
 
-   Regenerate the numbers deliberately (after an intended change) by
-   running the algorithms on test/fixtures/uniform_seed77.csv and pasting
-   the new values. *)
+   Three fixtures: the original 224-item uniform trace (seed 77) and two
+   >= 10k-job traces whose generator seed and config are recorded in
+   their comment headers (regenerate with scripts/gen_fixtures.exe).
+   The large traces make engine refactors diffable at the scale where
+   index bugs actually bite — a wrong tie-break that happens to survive
+   224 items will not survive 10k.
+
+   Regenerate the numbers deliberately (after an intended change) with
+   `dune exec scripts/golden_totals.exe` and paste the new values. *)
 
 open Dbp_core
 open Helpers
 
-(* dune runs the test binary from the build's test directory (the fixture
-   is a declared dep there); the other candidates cover manual runs. *)
-let fixture =
+(* dune runs the test binary from the build's test directory (fixtures
+   are declared deps there); the other candidates cover manual runs. *)
+let fixture_instance name =
   lazy
     (let candidates =
        [
-         "fixtures/uniform_seed77.csv";
-         "test/fixtures/uniform_seed77.csv";
-         Filename.concat
-           (Filename.dirname Sys.executable_name)
-           "fixtures/uniform_seed77.csv";
+         Filename.concat "fixtures" name;
+         Filename.concat "test/fixtures" name;
+         Filename.concat (Filename.dirname Sys.executable_name)
+           (Filename.concat "fixtures" name);
        ]
      in
      match List.find_opt Sys.file_exists candidates with
      | Some path -> Dbp_workload.Trace.load path
-     | None -> failwith "golden fixture not found")
+     | None -> failwith ("golden fixture not found: " ^ name))
+
+let fixture = fixture_instance "uniform_seed77.csv"
+let fixture_10k_uniform = fixture_instance "uniform_seed2101_10k.csv"
+let fixture_10k_dense = fixture_instance "dense_seed2102_10k.csv"
 
 let golden_usage = 1e-6
 
-let check_usage name expected pack () =
+let check_usage fixture name expected pack () =
   let inst = Lazy.force fixture in
   check_float_eps golden_usage name expected
     (Packing.total_usage_time (pack inst))
@@ -40,26 +49,106 @@ let test_fixture_shape () =
   check_float_eps golden_usage "lower bound" 409.779318605
     (Dbp_opt.Lower_bounds.best inst)
 
+let test_large_fixture_shapes () =
+  check_int "uniform 10k items" 10631
+    (Instance.length (Lazy.force fixture_10k_uniform));
+  check_int "dense 10k items" 10517
+    (Instance.length (Lazy.force fixture_10k_dense))
+
+(* The reference engine is itself pinned on the small fixture, so the
+   oracle the differential suite compares against cannot drift either. *)
+let test_reference_engine_pinned () =
+  let inst = Lazy.force fixture in
+  check_float_eps golden_usage "reference first-fit" 535.948051486
+    (Packing.total_usage_time
+       (Dbp_online.Engine.run_reference Dbp_online.Any_fit.first_fit inst));
+  check_float_eps golden_usage "reference best-fit" 529.190261336
+    (Packing.total_usage_time
+       (Dbp_online.Engine.run_reference Dbp_online.Any_fit.best_fit inst))
+
+(* Engine parity at fixture scale: bit-identical usage on a 10k trace. *)
+let test_engine_parity_10k () =
+  let inst = Lazy.force fixture_10k_uniform in
+  List.iter
+    (fun algo ->
+      check_float_eps 0. ("parity " ^ algo.Dbp_online.Engine.name)
+        (Packing.total_usage_time (Dbp_online.Engine.run_reference algo inst))
+        (Packing.total_usage_time (Dbp_online.Engine.run_indexed algo inst)))
+    [ Dbp_online.Any_fit.first_fit; Dbp_online.Any_fit.best_fit ]
+
+let run = Dbp_online.Engine.run
+
+let online_cases fixture tag values =
+  List.map
+    (fun (name, expected, algo) ->
+      Alcotest.test_case
+        (Printf.sprintf "%s usage (%s)" name tag)
+        `Quick
+        (check_usage fixture name expected (fun inst -> run (algo inst) inst)))
+    values
+
+(* Algorithm table per fixture.  Dual Coloring is pinned only on the
+   small fixture: it is O(n^2)+ and takes minutes on 10k jobs. *)
+let small_values =
+  [
+    ("first-fit", 535.948051486, fun _ -> Dbp_online.Any_fit.first_fit);
+    ("best-fit", 529.190261336, fun _ -> Dbp_online.Any_fit.best_fit);
+    ("worst-fit", 574.475574916, fun _ -> Dbp_online.Any_fit.worst_fit);
+    ("next-fit", 736.323036644, fun _ -> Dbp_online.Any_fit.next_fit);
+    ("hybrid-ff", 600.020981301, fun _ -> Dbp_online.Hybrid_first_fit.make ());
+    ("cbdt-ff", 648.848434420, fun i -> Dbp_online.Classify_departure.tuned i);
+    ("cbd-ff", 661.350927663, (fun i -> Dbp_online.Classify_duration.tuned i));
+    ("combined-ff", 716.934587037, fun i -> Dbp_online.Classify_combined.tuned i);
+  ]
+
+let uniform_10k_values =
+  [
+    ("first-fit", 21570.946860764, fun _ -> Dbp_online.Any_fit.first_fit);
+    ("best-fit", 21594.240047686, fun _ -> Dbp_online.Any_fit.best_fit);
+    ("worst-fit", 23677.492090019, fun _ -> Dbp_online.Any_fit.worst_fit);
+    ("next-fit", 30919.055029539, fun _ -> Dbp_online.Any_fit.next_fit);
+    ("hybrid-ff", 25393.473727456, fun _ -> Dbp_online.Hybrid_first_fit.make ());
+    ("cbdt-ff", 26130.211579783, fun i -> Dbp_online.Classify_departure.tuned i);
+    ("cbd-ff", 26810.657923001, (fun i -> Dbp_online.Classify_duration.tuned i));
+    ( "combined-ff",
+      30253.140147243,
+      fun i -> Dbp_online.Classify_combined.tuned i );
+  ]
+
+let dense_10k_values =
+  [
+    ("first-fit", 21724.346154517, fun _ -> Dbp_online.Any_fit.first_fit);
+    ("best-fit", 21358.697747795, fun _ -> Dbp_online.Any_fit.best_fit);
+    ("worst-fit", 22378.298786765, fun _ -> Dbp_online.Any_fit.worst_fit);
+    ("next-fit", 26480.879105506, fun _ -> Dbp_online.Any_fit.next_fit);
+    ("hybrid-ff", 25083.413279340, fun _ -> Dbp_online.Hybrid_first_fit.make ());
+    ("cbdt-ff", 23126.138259396, fun i -> Dbp_online.Classify_departure.tuned i);
+    ("cbd-ff", 23485.848664360, (fun i -> Dbp_online.Classify_duration.tuned i));
+    ( "combined-ff",
+      24469.425504645,
+      fun i -> Dbp_online.Classify_combined.tuned i );
+  ]
+
 let suite =
   [
     Alcotest.test_case "fixture shape" `Quick test_fixture_shape;
+    Alcotest.test_case "large fixture shapes" `Quick test_large_fixture_shapes;
+    Alcotest.test_case "reference engine pinned" `Quick
+      test_reference_engine_pinned;
+    Alcotest.test_case "engine parity on 10k trace" `Quick
+      test_engine_parity_10k;
     Alcotest.test_case "ddff usage" `Quick
-      (check_usage "ddff" 504.630515721 Dbp_offline.Ddff.pack);
+      (check_usage fixture "ddff" 504.630515721 Dbp_offline.Ddff.pack);
     Alcotest.test_case "dual coloring usage" `Quick
-      (check_usage "dual-coloring" 897.357705308 Dbp_offline.Dual_coloring.pack);
-    Alcotest.test_case "first fit usage" `Quick
-      (check_usage "first-fit" 535.948051486
-         (Dbp_online.Engine.run Dbp_online.Any_fit.first_fit));
-    Alcotest.test_case "best fit usage" `Quick
-      (check_usage "best-fit" 529.190261336
-         (Dbp_online.Engine.run Dbp_online.Any_fit.best_fit));
-    Alcotest.test_case "next fit usage" `Quick
-      (check_usage "next-fit" 736.323036644
-         (Dbp_online.Engine.run Dbp_online.Any_fit.next_fit));
-    Alcotest.test_case "cbdt tuned usage" `Quick
-      (check_usage "cbdt" 648.84843442 (fun i ->
-           Dbp_online.Engine.run (Dbp_online.Classify_departure.tuned i) i));
-    Alcotest.test_case "cbd tuned usage" `Quick
-      (check_usage "cbd" 661.350927663 (fun i ->
-           Dbp_online.Engine.run (Dbp_online.Classify_duration.tuned i) i));
+      (check_usage fixture "dual-coloring" 897.357705308 (fun i ->
+           Dbp_offline.Dual_coloring.pack i));
+    Alcotest.test_case "ddff usage (uniform-10k)" `Quick
+      (check_usage fixture_10k_uniform "ddff" 20953.481612078
+         Dbp_offline.Ddff.pack);
+    Alcotest.test_case "ddff usage (dense-10k)" `Quick
+      (check_usage fixture_10k_dense "ddff" 21630.916195636
+         Dbp_offline.Ddff.pack);
   ]
+  @ online_cases fixture "seed77" small_values
+  @ online_cases fixture_10k_uniform "uniform-10k" uniform_10k_values
+  @ online_cases fixture_10k_dense "dense-10k" dense_10k_values

@@ -1,0 +1,134 @@
+(* qcheck invariants on [Packing.t], recomputed from scratch — never
+   through the cached level profiles the engines maintain:
+
+   - capacity: at every arrival instant of every bin, the total size of
+     the bin's items active at that instant stays within
+     capacity + tolerance (between events the level only falls, so the
+     arrival instants dominate);
+   - online liveness: an online bin never receives an item after closing
+     (every item but the bin's first arrives strictly before the latest
+     departure seen so far) — offline packings are exempt, a rented bin
+     may legitimately be reused after a gap;
+   - usage accounting: [Packing.total_usage_time] (and the figure
+     surfaced by [Metrics]) equals the sum over bins of the measure of
+     the union of the items' intervals.
+
+   Run against every online algorithm (through the default, indexed
+   engine) and both offline approximation algorithms. *)
+
+open Dbp_core
+open Helpers
+
+let online_packers =
+  [
+    ("first-fit", Dbp_online.Engine.run Dbp_online.Any_fit.first_fit);
+    ("best-fit", Dbp_online.Engine.run Dbp_online.Any_fit.best_fit);
+    ("worst-fit", Dbp_online.Engine.run Dbp_online.Any_fit.worst_fit);
+    ("next-fit", Dbp_online.Engine.run Dbp_online.Any_fit.next_fit);
+    ("random-fit", Dbp_online.Engine.run (Dbp_online.Any_fit.random_fit ~seed:11));
+    ( "biased-open",
+      Dbp_online.Engine.run (Dbp_online.Any_fit.biased_open ~p:0.3 ~seed:5) );
+    ("hybrid-ff", Dbp_online.Engine.run (Dbp_online.Hybrid_first_fit.make ()));
+    ( "aligned-ff",
+      Dbp_online.Engine.run (Dbp_online.Departure_aligned.make ~window:3. ()) );
+    ( "cbdt-ff",
+      fun inst ->
+        Dbp_online.Engine.run (Dbp_online.Classify_departure.tuned inst) inst );
+    ( "cbd-ff",
+      fun inst ->
+        Dbp_online.Engine.run (Dbp_online.Classify_duration.tuned inst) inst );
+    ( "combined-ff",
+      fun inst ->
+        Dbp_online.Engine.run (Dbp_online.Classify_combined.tuned inst) inst );
+  ]
+
+let offline_packers =
+  [
+    ("ddff", Dbp_offline.Ddff.pack);
+    ("dual-coloring", fun inst -> Dbp_offline.Dual_coloring.pack inst);
+  ]
+
+(* Level at time t recomputed directly from the item list. *)
+let level_from_items items t =
+  List.fold_left
+    (fun acc r -> if Item.active_at r t then acc +. Item.size r else acc)
+    0. items
+
+let capacity_ok packing =
+  List.for_all
+    (fun b ->
+      let items = Bin_state.items b in
+      List.for_all
+        (fun r ->
+          level_from_items items (Item.arrival r)
+          <= Bin_state.capacity +. Bin_state.tolerance)
+        items)
+    (Packing.bins packing)
+
+let no_closed_bin_placement packing =
+  List.for_all
+    (fun b ->
+      let by_arrival =
+        List.sort
+          (fun a b ->
+            match Float.compare (Item.arrival a) (Item.arrival b) with
+            | 0 -> Item.compare_by_id a b
+            | c -> c)
+          (Bin_state.items b)
+      in
+      match by_arrival with
+      | [] -> true
+      | first :: rest ->
+          let _, ok =
+            List.fold_left
+              (fun (latest, ok) r ->
+                ( Float.max latest (Item.departure r),
+                  ok && Item.arrival r < latest ))
+              (Item.departure first, true)
+              rest
+          in
+          ok)
+    (Packing.bins packing)
+
+let usage_from_scratch packing =
+  List.fold_left
+    (fun acc b ->
+      let span =
+        Bin_state.items b
+        |> List.map Item.interval
+        |> Interval.union
+        |> List.fold_left (fun acc i -> acc +. Interval.length i) 0.
+      in
+      acc +. span)
+    0. (Packing.bins packing)
+
+let usage_ok packing =
+  let scratch = usage_from_scratch packing in
+  Float.abs (Packing.total_usage_time packing -. scratch) <= 1e-9
+  && Float.abs ((Dbp_core.Metrics.of_packing packing).Metrics.total_usage -. scratch)
+     <= 1e-9
+
+let invariant_tests ~online (name, pack) =
+  [
+    qtest ~count:120
+      (Printf.sprintf "capacity within tolerance: %s" name)
+      (gen_instance ~max_items:14 ())
+      (fun inst -> capacity_ok (pack inst));
+    qtest ~count:120
+      (Printf.sprintf "usage = recomputed spans: %s" name)
+      (gen_instance ~max_items:14 ())
+      (fun inst -> usage_ok (pack inst));
+  ]
+  @
+  if online then
+    [
+      qtest ~count:120
+        (Printf.sprintf "no placement into closed bin: %s" name)
+        (gen_instance ~max_items:14 ())
+        (fun inst -> no_closed_bin_placement (pack inst));
+    ]
+  else []
+
+let suite =
+  List.concat_map (invariant_tests ~online:true) online_packers
+  @ List.concat_map (invariant_tests ~online:false) offline_packers
