@@ -16,10 +16,15 @@
       the machine-readable results to BENCH_engine.json in the current
       directory.
 
+   4. Fault degradation sweep — usage-time inflation of the resilient
+      engine vs. crash rate and slippage probability, averaged over fault
+      seeds.  Writes BENCH_faults.json.
+
    Run everything: `dune exec bench/main.exe`
    Tables only:    `dune exec bench/main.exe -- tables`
    Micro only:     `dune exec bench/main.exe -- micro`
-   Engine sweep:   `dune exec bench/main.exe -- engine [--quick]` *)
+   Engine sweep:   `dune exec bench/main.exe -- engine [--quick]`
+   Fault sweep:    `dune exec bench/main.exe -- faults [--quick]` *)
 
 open Bechamel
 open Toolkit
@@ -300,6 +305,139 @@ let run_engine ~quick () =
   close_out oc;
   Printf.printf "wrote %s\n" out
 
+(* ------------------------------------------------------------------ *)
+(* Part 4: fault degradation sweep (BENCH_faults.json).                 *)
+
+module FP = Dbp_faults.Fault_plan
+
+let fault_algorithms =
+  [
+    ("first-fit", Dbp_online.Any_fit.first_fit);
+    ("best-fit", Dbp_online.Any_fit.best_fit);
+  ]
+
+type fault_row = {
+  family : string;  (* "crash" | "slip" *)
+  param : float;  (* crash rate resp. slip probability *)
+  f_algo : string;
+  inflation : float;  (* mean over fault seeds *)
+  f_usage : float;  (* mean faulted usage *)
+  fault_free : float;
+  f_evicted : float;  (* means over fault seeds *)
+  f_recovered : float;
+  f_rejected : float;
+  f_slipped : float;
+}
+
+let fault_sweep ~seeds ~family ~params ~spec_of inst =
+  List.concat_map
+    (fun param ->
+      List.map
+        (fun (name, algo) ->
+          let fault_free = Dbp_online.Engine.usage_time algo inst in
+          let outcomes =
+            List.map
+              (fun seed ->
+                Dbp_faults.Resilient.run algo inst
+                  (FP.generate ~seed (spec_of param) inst))
+              seeds
+          in
+          let mean f =
+            List.fold_left (fun acc o -> acc +. f o) 0. outcomes
+            /. float_of_int (List.length outcomes)
+          in
+          let usage = mean (fun o -> o.Dbp_faults.Resilient.usage_time) in
+          let row =
+            {
+              family;
+              param;
+              f_algo = name;
+              inflation = usage /. fault_free;
+              f_usage = usage;
+              fault_free;
+              f_evicted =
+                mean (fun o -> float_of_int o.Dbp_faults.Resilient.evicted);
+              f_recovered =
+                mean (fun o -> float_of_int o.Dbp_faults.Resilient.recovered);
+              f_rejected =
+                mean (fun o -> float_of_int o.Dbp_faults.Resilient.rejected);
+              f_slipped =
+                mean (fun o -> float_of_int o.Dbp_faults.Resilient.slipped);
+            }
+          in
+          Printf.printf
+            "  %s %-5.2f  %-10s inflation %.4f  (usage %.1f / %.1f)\n%!" family
+            param name row.inflation usage fault_free;
+          row)
+        fault_algorithms)
+    params
+
+let faults_json ~jobs ~seeds rows =
+  let row_json r =
+    Printf.sprintf
+      "    {\"family\": \"%s\", \"param\": %g, \"algorithm\": \"%s\", \
+       \"inflation\": %.6f, \"usage\": %.4f, \"fault_free_usage\": %.4f, \
+       \"evicted\": %.1f, \"recovered\": %.1f, \"rejected\": %.1f, \
+       \"slipped\": %.1f}"
+      r.family r.param r.f_algo r.inflation r.f_usage r.fault_free r.f_evicted
+      r.f_recovered r.f_rejected r.f_slipped
+  in
+  String.concat ""
+    [
+      "{\n";
+      "  \"benchmark\": \"fault degradation sweep (resilient engine)\",\n";
+      "  \"command\": \"dune exec bench/main.exe -- faults\",\n";
+      Printf.sprintf
+        "  \"workload\": \"Generator.default, seed 42, %d jobs\",\n" jobs;
+      Printf.sprintf
+        "  \"note\": \"inflation = faulted usage / fault-free usage, mean \
+         over fault seeds %s; crash family sweeps crashes per unit time \
+         (slips off), slip family sweeps overstay probability (crashes \
+         off, stretch 0.5); elastic recovery policy\",\n"
+        (String.concat "," (List.map string_of_int seeds));
+      "  \"results\": [\n";
+      String.concat ",\n" (List.map row_json rows);
+      "\n  ]\n}\n";
+    ]
+
+let run_faults ~quick () =
+  let n = if quick then 1_000 else 5_000 in
+  let seeds = if quick then [ 1 ] else [ 1; 2; 3 ] in
+  let inst = engine_instance n in
+  let jobs = Dbp_core.Instance.length inst in
+  Printf.printf "=== Fault degradation sweep (%s, %d jobs) ===\n%!"
+    (if quick then "quick" else "full")
+    jobs;
+  let crash_rates =
+    if quick then [ 0.; 0.1; 0.4 ] else [ 0.; 0.05; 0.1; 0.2; 0.4 ]
+  in
+  let slip_probs = if quick then [ 0.; 0.2 ] else [ 0.; 0.1; 0.2; 0.4 ] in
+  let crash_rows =
+    fault_sweep ~seeds ~family:"crash" ~params:crash_rates
+      ~spec_of:(fun crash_rate -> { FP.no_faults with crash_rate })
+      inst
+  in
+  let slip_rows =
+    fault_sweep ~seeds ~family:"slip" ~params:slip_probs
+      ~spec_of:(fun slip_prob ->
+        { FP.no_faults with slip_prob; slip_stretch = 0.5 })
+      inst
+  in
+  (* The zero-fault row must agree with the plain engine: inflation 1. *)
+  List.iter
+    (fun r ->
+      if r.param = 0. && Float.abs (r.inflation -. 1.) > 1e-9 then
+        failwith
+          (Printf.sprintf
+             "fault sweep: zero-fault inflation %.12f <> 1 for %s (%s)"
+             r.inflation r.f_algo r.family))
+    (crash_rows @ slip_rows);
+  let out = if quick then "BENCH_faults_quick.json" else "BENCH_faults.json" in
+  let oc = open_out out in
+  output_string oc (faults_json ~jobs ~seeds (crash_rows @ slip_rows));
+  close_out oc;
+  Printf.printf "wrote %s\n" out
+
 let () =
   let mode = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
   let quick =
@@ -309,6 +447,7 @@ let () =
   | "tables" -> run_tables ()
   | "micro" -> run_micro ()
   | "engine" -> run_engine ~quick ()
+  | "faults" -> run_faults ~quick ()
   | _ ->
       run_tables ();
       run_micro ());

@@ -6,7 +6,8 @@
      experiments  regenerate the full experiment suite (see DESIGN.md)
      gadget       run the Theorem 3 golden-ratio gadget
      gen          generate a workload trace to CSV
-     pack         pack a CSV trace with one algorithm and dump assignments *)
+     pack         pack a CSV trace with one algorithm and dump assignments
+     faults       run a workload under injected faults and score degradation *)
 
 open Cmdliner
 
@@ -318,6 +319,141 @@ let flex_cmd =
        ~doc:"Schedule a workload as flexible jobs (release + deadline).")
     Term.(const run $ seed_arg $ workload_arg $ slack_arg)
 
+(* ---- faults ---- *)
+
+let fault_algos instance =
+  [
+    ("first-fit", Dbp_online.Any_fit.first_fit);
+    ("best-fit", Dbp_online.Any_fit.best_fit);
+    ("worst-fit", Dbp_online.Any_fit.worst_fit);
+    ("next-fit", Dbp_online.Any_fit.next_fit);
+    ("hybrid-ff", Dbp_online.Hybrid_first_fit.make ());
+    ("cbdt-ff*", Dbp_online.Classify_departure.tuned instance);
+    ("cbd-ff*", Dbp_online.Classify_duration.tuned instance);
+  ]
+
+let faults_cmd =
+  let fault_seed =
+    Arg.(
+      value & opt int 1
+      & info [ "fault-seed" ] ~docv:"N" ~doc:"Seed of the fault plan PRNG.")
+  in
+  let crash_rate =
+    Arg.(
+      value
+      & opt float Dbp_faults.Fault_plan.default_spec.crash_rate
+      & info [ "crash-rate" ] ~docv:"R" ~doc:"Expected bin crashes per unit time.")
+  in
+  let slip_prob =
+    Arg.(
+      value
+      & opt float Dbp_faults.Fault_plan.default_spec.slip_prob
+      & info [ "slip-prob" ] ~docv:"P"
+          ~doc:"Per-job probability of overstaying its declared departure.")
+  in
+  let slip_stretch =
+    Arg.(
+      value
+      & opt float Dbp_faults.Fault_plan.default_spec.slip_stretch
+      & info [ "slip-stretch" ] ~docv:"F"
+          ~doc:"Mean overstay as a multiple of the job's duration.")
+  in
+  let burst_rate =
+    Arg.(
+      value
+      & opt float Dbp_faults.Fault_plan.default_spec.burst_rate
+      & info [ "burst-rate" ] ~docv:"R" ~doc:"Expected arrival bursts per unit time.")
+  in
+  let burst_size =
+    Arg.(
+      value
+      & opt int Dbp_faults.Fault_plan.default_spec.burst_size
+      & info [ "burst-size" ] ~docv:"N" ~doc:"Jobs injected per burst.")
+  in
+  let admission =
+    Arg.(
+      value & flag
+      & info [ "admission-controlled" ]
+          ~doc:
+            "Recovered jobs may not open new bins (capacity-capped fleet); \
+             default policy is elastic.")
+  in
+  let max_retries =
+    Arg.(
+      value
+      & opt int Dbp_faults.Recovery.default.max_retries
+      & info [ "max-retries" ] ~docv:"N"
+          ~doc:"Re-placement retries before a displaced job is rejected.")
+  in
+  let backoff =
+    Arg.(
+      value
+      & opt float Dbp_faults.Recovery.default.backoff
+      & info [ "backoff" ] ~docv:"T"
+          ~doc:"Delay before the first re-placement retry (doubles per retry).")
+  in
+  let algos_arg =
+    Arg.(
+      value
+      & opt_all string []
+      & info [ "algo"; "a" ] ~docv:"NAME"
+          ~doc:"Restrict to an online algorithm (repeatable).")
+  in
+  let run seed workload trace fault_seed crash_rate slip_prob slip_stretch
+      burst_rate burst_size admission max_retries backoff algos =
+    let instance = make_instance ~seed workload trace in
+    let spec =
+      {
+        Dbp_faults.Fault_plan.crash_rate;
+        slip_prob;
+        slip_stretch;
+        burst_rate;
+        burst_size;
+      }
+    in
+    let plan = Dbp_faults.Fault_plan.generate ~seed:fault_seed spec instance in
+    let policy =
+      let base =
+        if admission then Dbp_faults.Recovery.admission_controlled ()
+        else Dbp_faults.Recovery.default
+      in
+      { base with Dbp_faults.Recovery.max_retries; backoff }
+    in
+    let available = fault_algos instance in
+    let selected =
+      match algos with
+      | [] -> available
+      | names ->
+          List.map
+            (fun n ->
+              match List.assoc_opt n available with
+              | Some a -> (n, a)
+              | None ->
+                  Printf.eprintf "unknown algorithm %S; known: %s\n" n
+                    (String.concat ", " (List.map fst available));
+                  exit 2)
+            names
+    in
+    Printf.printf "instance: %d items, span %.2f; %s; policy %s\n"
+      (Dbp_core.Instance.length instance)
+      (Dbp_core.Instance.span instance)
+      (Format.asprintf "%a" Dbp_faults.Fault_plan.pp plan)
+      policy.Dbp_faults.Recovery.policy_name;
+    let rows = Dbp_sim.Fault_report.evaluate ~policy selected plan instance in
+    Dbp_sim.Report.print ~title:"degradation under injected faults"
+      (Dbp_sim.Fault_report.table rows)
+  in
+  Cmd.v
+    (Cmd.info "faults"
+       ~doc:
+         "Run a workload through the resilient engine under a seeded fault \
+          plan (bin crashes, departure slippage, arrival bursts) and score \
+          the degradation.")
+    Term.(
+      const run $ seed_arg $ workload_arg $ trace_arg $ fault_seed $ crash_rate
+      $ slip_prob $ slip_stretch $ burst_rate $ burst_size $ admission
+      $ max_retries $ backoff $ algos_arg)
+
 (* ---- vector ---- *)
 
 let vector_cmd =
@@ -407,5 +543,5 @@ let () =
        (Cmd.group (Cmd.info "dbp" ~version:"1.0.0" ~doc)
           [
             run_cmd; figure8_cmd; experiments_cmd; gadget_cmd; gen_cmd;
-            pack_cmd; flex_cmd; vector_cmd; audit_cmd;
+            pack_cmd; faults_cmd; flex_cmd; vector_cmd; audit_cmd;
           ]))

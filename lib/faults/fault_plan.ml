@@ -1,0 +1,144 @@
+open Dbp_core
+module Prng = Dbp_workload.Prng
+
+type crash = { time : float; victim : int }
+type burst = { burst_time : float; jobs : (float * float) list }
+type slip = { item_id : int; delta : float }
+
+type t = {
+  plan_seed : int;
+  crashes : crash list;
+  bursts : burst list;
+  slips : slip list;
+}
+
+let empty = { plan_seed = 0; crashes = []; bursts = []; slips = [] }
+
+let is_empty t = t.crashes = [] && t.bursts = [] && t.slips = []
+
+type spec = {
+  crash_rate : float;
+  slip_prob : float;
+  slip_stretch : float;
+  burst_rate : float;
+  burst_size : int;
+}
+
+let no_faults =
+  {
+    crash_rate = 0.;
+    slip_prob = 0.;
+    slip_stretch = 0.;
+    burst_rate = 0.;
+    burst_size = 0;
+  }
+
+let default_spec =
+  {
+    crash_rate = 0.05;
+    slip_prob = 0.05;
+    slip_stretch = 0.5;
+    burst_rate = 0.02;
+    burst_size = 5;
+  }
+
+let validate spec =
+  let nonneg name v =
+    if not (Float.is_finite v && v >= 0.) then
+      invalid_arg (Printf.sprintf "Fault_plan.generate: %s %g < 0" name v)
+  in
+  nonneg "crash_rate" spec.crash_rate;
+  nonneg "slip_prob" spec.slip_prob;
+  nonneg "burst_rate" spec.burst_rate;
+  if spec.slip_prob > 1. then
+    invalid_arg
+      (Printf.sprintf "Fault_plan.generate: slip_prob %g > 1" spec.slip_prob);
+  if spec.slip_prob > 0. && not (Float.is_finite spec.slip_stretch && spec.slip_stretch > 0.)
+  then
+    invalid_arg
+      (Printf.sprintf "Fault_plan.generate: slip_stretch %g not positive"
+         spec.slip_stretch);
+  if spec.burst_size < 0 then
+    invalid_arg
+      (Printf.sprintf "Fault_plan.generate: burst_size %d < 0" spec.burst_size)
+
+(* Poisson process over [lo, hi) via exponential inter-arrival times. *)
+let poisson_times rng ~rate ~lo ~hi =
+  if rate <= 0. then []
+  else begin
+    let times = ref [] in
+    let t = ref (lo +. Prng.exponential rng ~mean:(1. /. rate)) in
+    while !t < hi do
+      times := !t :: !times;
+      t := !t +. Prng.exponential rng ~mean:(1. /. rate)
+    done;
+    List.rev !times
+  end
+
+let generate ~seed spec instance =
+  validate spec;
+  if Instance.is_empty instance then { empty with plan_seed = seed }
+  else begin
+    let root = Prng.create seed in
+    let crash_rng = Prng.split root in
+    let slip_rng = Prng.split root in
+    let burst_rng = Prng.split root in
+    let items = Instance.items instance in
+    let lo =
+      List.fold_left (fun acc r -> Float.min acc (Item.arrival r)) infinity items
+    in
+    let hi =
+      List.fold_left
+        (fun acc r -> Float.max acc (Item.departure r))
+        neg_infinity items
+    in
+    let mean_duration =
+      List.fold_left (fun acc r -> acc +. Item.duration r) 0. items
+      /. float_of_int (List.length items)
+    in
+    let crashes =
+      poisson_times crash_rng ~rate:spec.crash_rate ~lo ~hi
+      |> List.map (fun time -> { time; victim = Prng.int crash_rng 0x10000 })
+    in
+    let slips =
+      if spec.slip_prob <= 0. then []
+      else
+        List.filter_map
+          (fun r ->
+            if Prng.float slip_rng < spec.slip_prob then
+              let delta =
+                Prng.exponential slip_rng
+                  ~mean:(spec.slip_stretch *. Item.duration r)
+              in
+              if delta > 0. then Some { item_id = Item.id r; delta } else None
+            else None)
+          items
+    in
+    let bursts =
+      if spec.burst_size = 0 then []
+      else
+        poisson_times burst_rng ~rate:spec.burst_rate ~lo ~hi
+        |> List.map (fun burst_time ->
+               let jobs =
+                 List.init spec.burst_size (fun _ ->
+                     let size = Prng.uniform burst_rng ~lo:0.05 ~hi:0.5 in
+                     let duration =
+                       Float.max 1e-3
+                         (Prng.exponential burst_rng ~mean:mean_duration)
+                     in
+                     (size, duration))
+               in
+               { burst_time; jobs })
+    in
+    { plan_seed = seed; crashes; bursts; slips }
+  end
+
+let counts t =
+  ( List.length t.crashes,
+    List.length t.slips,
+    List.fold_left (fun acc b -> acc + List.length b.jobs) 0 t.bursts )
+
+let pp ppf t =
+  let c, s, b = counts t in
+  Format.fprintf ppf "fault plan (seed %d): %d crashes, %d slips, %d burst jobs"
+    t.plan_seed c s b

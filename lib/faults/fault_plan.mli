@@ -1,0 +1,84 @@
+(** Deterministic, replayable fault schedules.
+
+    A fault plan is concrete data — every crash time, slippage delta and
+    burst job is materialised at generation time from a seeded PRNG — so
+    executing the same plan against the same instance and algorithm is
+    bit-for-bit reproducible, checkpointable, and diffable across
+    algorithm or policy changes.  Three fault families:
+
+    - {e bin crashes}: at time [t] a currently open bin fails, evicting
+      every resident job (the paper's model assumes servers never fail);
+    - {e departure slippage}: a job overstays its declared departure by
+      [delta], stressing the clairvoyance assumption — the engine
+      releases the declared reservation and must re-place the overstay
+      remainder as new work;
+    - {e arrival bursts}: extra synthetic jobs injected at a time,
+      modelling unplanned traffic the clairvoyant schedule never saw.
+
+    How the engine reacts to an executed plan is the recovery policy's
+    business ({!Recovery}, {!Resilient}). *)
+
+open Dbp_core
+
+type crash = {
+  time : float;
+  victim : int;
+      (** Rank of the victim among the bins open at [time], resolved as
+          [victim mod open-bin-count] at execution; a crash with no open
+          bins is a no-op. *)
+}
+
+type burst = {
+  burst_time : float;
+  jobs : (float * float) list;  (** (size, duration) per injected job *)
+}
+
+type slip = {
+  item_id : int;  (** base-instance item that overstays *)
+  delta : float;  (** extra residence beyond the declared departure, > 0 *)
+}
+
+type t = {
+  plan_seed : int;  (** provenance; 0 for hand-built plans *)
+  crashes : crash list;  (** increasing time *)
+  bursts : burst list;  (** increasing time *)
+  slips : slip list;  (** increasing item id, at most one per item *)
+}
+
+val empty : t
+
+val is_empty : t -> bool
+(** No crashes, no bursts, no slips: executing the plan is exactly a
+    fault-free run. *)
+
+type spec = {
+  crash_rate : float;
+      (** Expected crashes per unit time (Poisson over the instance
+          span). *)
+  slip_prob : float;  (** Per-job probability of overstaying. *)
+  slip_stretch : float;
+      (** Mean overstay as a multiple of the job's own duration
+          (exponentially distributed). *)
+  burst_rate : float;  (** Expected bursts per unit time. *)
+  burst_size : int;  (** Jobs per burst. *)
+}
+
+val no_faults : spec
+(** All rates zero; [generate] returns a plan that {!is_empty}. *)
+
+val default_spec : spec
+(** A moderate mix of all three families, the CLI default. *)
+
+val generate : seed:int -> spec -> Instance.t -> t
+(** Materialise a plan for an instance.  Crash and burst times are
+    Poisson processes over the instance's [min arrival, max departure)
+    window; slips are sampled per item.  Independent PRNG substreams per
+    family, so e.g. raising [crash_rate] does not perturb the sampled
+    slips.
+    @raise Invalid_argument on negative rates/probabilities or a
+    non-positive [slip_stretch] with positive [slip_prob]. *)
+
+val counts : t -> int * int * int
+(** (crashes, slips, burst jobs). *)
+
+val pp : Format.formatter -> t -> unit

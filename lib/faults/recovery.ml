@@ -1,0 +1,39 @@
+type policy = {
+  policy_name : string;
+  allow_new_bin : bool;
+  max_retries : int;
+  backoff : float;
+  backoff_factor : float;
+}
+
+let default =
+  {
+    policy_name = "elastic";
+    allow_new_bin = true;
+    max_retries = 3;
+    backoff = 0.1;
+    backoff_factor = 2.;
+  }
+
+let admission_controlled ?(max_retries = 3) ?(backoff = 0.1)
+    ?(backoff_factor = 2.) () =
+  {
+    policy_name = "admission-controlled";
+    allow_new_bin = false;
+    max_retries;
+    backoff;
+    backoff_factor;
+  }
+
+let validate p =
+  if p.max_retries < 0 then
+    invalid_arg
+      (Printf.sprintf "Recovery.validate: max_retries %d < 0" p.max_retries);
+  if not (Float.is_finite p.backoff && p.backoff > 0.) then
+    invalid_arg (Printf.sprintf "Recovery.validate: backoff %g" p.backoff);
+  if not (Float.is_finite p.backoff_factor && p.backoff_factor >= 1.) then
+    invalid_arg
+      (Printf.sprintf "Recovery.validate: backoff_factor %g" p.backoff_factor)
+
+let delay p ~attempt =
+  p.backoff *. (p.backoff_factor ** float_of_int (attempt - 1))

@@ -1,0 +1,41 @@
+(** Recovery policies: what the resilient engine does with displaced work.
+
+    A job displaced by a fault — evicted by a bin crash, or overstaying
+    its declared departure — re-enters the system as a synthetic arrival
+    and is re-placed through the online algorithm under test.  The policy
+    bounds that recovery: whether recovered work may open fresh bins, how
+    many placement attempts it gets, and how the retry delay grows.  When
+    the attempts are exhausted the job is rejected outright (admission
+    control) and its remaining demand is counted as lost. *)
+
+type policy = {
+  policy_name : string;
+  allow_new_bin : bool;
+      (** When false, recovered jobs may only be re-placed into already
+          open bins; an [Open_new] decision counts as an infeasible
+          attempt.  Models a capacity-capped fleet. *)
+  max_retries : int;
+      (** Retries after the initial attempt; 0 means one shot. *)
+  backoff : float;  (** Delay before the first retry, > 0. *)
+  backoff_factor : float;
+      (** Multiplier applied per further retry, >= 1 (exponential
+          backoff). *)
+}
+
+val default : policy
+(** Elastic fleet: new bins allowed (so first attempts always succeed
+    for well-behaved algorithms), 3 retries, 0.1 initial backoff,
+    doubling. *)
+
+val admission_controlled :
+  ?max_retries:int -> ?backoff:float -> ?backoff_factor:float -> unit -> policy
+(** No new bins for recovered work; defaults: 3 retries, 0.1 backoff,
+    doubling. *)
+
+val validate : policy -> unit
+(** @raise Invalid_argument on non-positive backoff, factor < 1, or
+    negative retries. *)
+
+val delay : policy -> attempt:int -> float
+(** Backoff before retry number [attempt] (1-based):
+    [backoff *. backoff_factor ^ (attempt - 1)]. *)

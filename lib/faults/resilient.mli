@@ -1,0 +1,145 @@
+(** The fault-tolerant online engine.
+
+    Executes a base instance {e and} a {!Fault_plan.t} against any
+    online algorithm from {!Dbp_online.Engine}, applying a
+    {!Recovery.policy} to displaced work:
+
+    - a {e crash} closes the victim bin for good and evicts its resident
+      jobs; evicted jobs are not checkpointed, so each one loses its
+      progress and re-enters as a synthetic arrival that must redo its
+      placement's {e full} duration from wherever it restarts (crashes
+      therefore genuinely inflate usage — the pre-crash service was
+      wasted work);
+    - a {e slip} releases the declared reservation at the declared
+      departure (which is all the clairvoyant algorithm was ever
+      promised) and re-places the overstay remainder
+      [[departure, departure + delta)] as a synthetic arrival;
+    - a {e burst} job is an ordinary arrival the schedule never
+      anticipated;
+    - synthetic re-placements get bounded retries with exponential
+      backoff; exhausted jobs are rejected and their remaining demand is
+      counted lost.
+
+    With an {e empty} plan the engine reproduces [Engine.run]
+    bit-identically — same bin for every item, same usage time — for
+    every online algorithm (enforced by the qcheck differential
+    property in [test_faults.ml]).  Fatal conditions on the primary
+    stream (algorithm bugs) surface as structured {!Dbp_online.Engine.error}
+    values; infeasible {e recovery} placements are data for the policy,
+    never fatal.
+
+    Usage accounting is by residency segment: each placement contributes
+    [[place time, exit time)] to its bin, where the exit is the (possibly
+    early, crash-truncated) instant the job actually left.  A bin's busy
+    time is the measure of the union of its segments, so crash-truncated
+    bins are not billed for reservations they never served.
+
+    Checkpoints are event-sourced: {!checkpoint} captures the event
+    cursor plus a digest of the full engine state; {!resume} replays the
+    prefix deterministically through a fresh stepper and verifies the
+    digest, so a resumed run is bit-identical to an uninterrupted one and
+    corruption or mismatched inputs are detected rather than silently
+    diverging.  (A constant-time restore would need algorithm steppers to
+    expose serialisable state; they are opaque closures today.) *)
+
+open Dbp_core
+
+type origin =
+  | Base of int  (** a base-instance item (its id) *)
+  | Overstay of int  (** overstay remainder of a base item *)
+  | Burst_job  (** injected burst arrival *)
+
+type bin_report = {
+  index : int;
+  opened_at : float;
+  crashed_at : float option;
+  state : Bin_state.t;
+      (** Every engine-item ever placed in the bin, with the declared
+          interval of its placement (capacity reasoning happens on
+          these). *)
+  busy : Interval.t list;
+      (** Canonical union of the actual residency segments. *)
+}
+
+type outcome = {
+  packing : Packing.t option;
+      (** The ordinary packing of the base instance — [Some] iff the
+          plan was empty, in which case it equals [Engine.run]'s
+          bit-for-bit. *)
+  bins : bin_report list;  (** every bin ever opened, in index order *)
+  usage_time : float;
+      (** Sum over bins of busy time (union of residency segments). *)
+  bins_opened : int;
+  crashes_fired : int;
+      (** Planned crashes that hit an open bin (a crash arriving while no
+          bin is open is a no-op and is not counted). *)
+  evicted : int;  (** jobs displaced by crashes *)
+  recovered : int;  (** successful re-placements of displaced work *)
+  rejected : int;  (** displaced jobs dropped by admission control *)
+  retries : int;  (** re-placement attempts beyond each first try *)
+  slipped : int;  (** overstay remainders spawned *)
+  injected : int;  (** burst jobs placed *)
+  lost_demand : float;
+      (** Size x remaining-duration over rejected jobs. *)
+}
+
+type run
+(** An in-flight resilient execution (mutable). *)
+
+val start :
+  ?policy:Recovery.policy -> Dbp_online.Engine.t -> Instance.t -> Fault_plan.t -> run
+(** Fresh run; no events processed yet.  Policy defaults to
+    {!Recovery.default}. *)
+
+val step : run -> bool
+(** Process the next event; [false] when the stream is drained.
+    @raise Dbp_online.Engine.Invalid_decision on a fatal primary-stream
+    error (see {!run_result} for the structured form). *)
+
+val events_processed : run -> int
+
+val finish : run -> outcome
+(** Drain the remaining events and report. *)
+
+val run :
+  ?policy:Recovery.policy ->
+  Dbp_online.Engine.t ->
+  Instance.t ->
+  Fault_plan.t ->
+  outcome
+(** [finish (start ...)].
+    @raise Dbp_online.Engine.Invalid_decision on fatal errors (legacy
+    shim, same messages as [Engine.run]). *)
+
+val run_result :
+  ?policy:Recovery.policy ->
+  Dbp_online.Engine.t ->
+  Instance.t ->
+  Fault_plan.t ->
+  (outcome, Dbp_online.Engine.error) result
+(** [run] with fatal conditions as structured data. *)
+
+(** {2 Checkpoint / resume} *)
+
+type checkpoint = { events_done : int; state_digest : string }
+
+exception Checkpoint_mismatch of string
+(** Replayed state disagrees with the checkpoint digest: the inputs
+    (algorithm, instance, plan, policy) differ from the checkpointed
+    run's, or determinism was broken. *)
+
+val checkpoint : run -> checkpoint
+(** Snapshot the cursor and digest the engine state (bins, levels,
+    residents, counters). *)
+
+val resume :
+  ?policy:Recovery.policy ->
+  Dbp_online.Engine.t ->
+  Instance.t ->
+  Fault_plan.t ->
+  checkpoint ->
+  run
+(** Rebuild a run positioned exactly at the checkpoint by deterministic
+    replay, then verify the state digest.
+    @raise Checkpoint_mismatch on digest disagreement or a stream
+    shorter than [events_done]. *)

@@ -38,6 +38,31 @@ type t = {
 
 exception Invalid_decision of string
 
+type error =
+  | Overflow of { algo : string; item : Item.t; bin : int; time : float }
+  | Unknown_bin of { algo : string; bin : int; time : float }
+  | Closed_bin of { algo : string; bin : int; time : float }
+  | Unplaced_departure of { algo : string; item_id : int }
+
+(* The legacy [Invalid_decision] messages, reproduced byte-for-byte so
+   the exception shim is indistinguishable from the pre-refactor
+   engines. *)
+let error_to_string = function
+  | Overflow { algo; item; bin; time } ->
+      Printf.sprintf "%s: %s overflows bin %d at %g" algo
+        (Item.to_string item) bin time
+  | Unknown_bin { algo; bin; time = _ } ->
+      Printf.sprintf "%s: unknown bin %d" algo bin
+  | Closed_bin { algo; bin; time } ->
+      Printf.sprintf "%s: bin %d is closed at %g" algo bin time
+  | Unplaced_departure { algo; item_id } ->
+      Printf.sprintf "%s: departure of unplaced item %d" algo item_id
+
+(* Internal carrier: fatal paths raise this; the public entry points
+   either surface it as [Error] ([run_result]) or re-raise the legacy
+   [Invalid_decision] ([run]).  Never escapes this module. *)
+exception Err of error
+
 let default_departed (_ : Item.t) = ()
 
 let stateless name decide =
@@ -73,7 +98,7 @@ let indexed_stateless name decide i_decide =
           });
   }
 
-let invalid fmt = Format.kasprintf (fun s -> raise (Invalid_decision s)) fmt
+let fail e = raise (Err e)
 
 (* ------------------------------------------------------------------ *)
 (* Reference engine: the original linked-list implementation, frozen as
@@ -95,7 +120,7 @@ type ref_bin = {
   mutable level : float;
 }
 
-let run_reference algo instance =
+let reference_exn algo instance =
   let stepper = algo.make () in
   let bins : ref_bin list ref = ref [] (* reverse opening order *) in
   let home = Hashtbl.create 64 (* item id -> ref_bin *) in
@@ -115,8 +140,7 @@ let run_reference algo instance =
   let place lb item =
     let now = Item.arrival item in
     if not (Bin_state.fits_at lb.bin ~at:now item) then
-      invalid "%s: %s overflows bin %d at %g" algo.name (Item.to_string item)
-        lb.idx now;
+      fail (Overflow { algo = algo.name; item; bin = lb.idx; time = now });
     lb.bin <- Bin_state.place lb.bin item;
     lb.active <- lb.active + 1;
     lb.level <- lb.level +. Item.size item;
@@ -129,8 +153,9 @@ let run_reference algo instance =
         let lb =
           try Hashtbl.find home (Item.id event.Event.item)
           with Not_found ->
-            invalid "%s: departure of unplaced item %d" algo.name
-              (Item.id event.Event.item)
+            fail
+              (Unplaced_departure
+                 { algo = algo.name; item_id = Item.id event.Event.item })
         in
         lb.active <- lb.active - 1;
         lb.level <-
@@ -155,10 +180,10 @@ let run_reference algo instance =
             place lb item
         | Place idx -> (
             match List.find_opt (fun lb -> lb.idx = idx) !bins with
-            | None -> invalid "%s: unknown bin %d" algo.name idx
+            | None -> fail (Unknown_bin { algo = algo.name; bin = idx; time = now })
             | Some lb ->
                 if lb.active = 0 then
-                  invalid "%s: bin %d is closed at %g" algo.name idx now;
+                  fail (Closed_bin { algo = algo.name; bin = idx; time = now });
                 place lb item))
   in
   List.iter handle (Event.of_instance instance);
@@ -280,7 +305,7 @@ let make_index st =
     open_count;
   }
 
-let run_indexed algo instance =
+let indexed_exn algo instance =
   let stepper =
     match algo.make_indexed with
     | Some make -> make ()
@@ -308,8 +333,7 @@ let run_indexed algo instance =
   let place lb item =
     let now = Item.arrival item in
     if not (Bin_state.fits_at lb.l_bin ~at:now item) then
-      invalid "%s: %s overflows bin %d at %g" algo.name (Item.to_string item)
-        lb.l_idx now;
+      fail (Overflow { algo = algo.name; item; bin = lb.l_idx; time = now });
     lb.l_bin <- Bin_state.place_unchecked lb.l_bin item;
     lb.l_active <- lb.l_active + 1;
     lb.l_level <- lb.l_level +. Item.size item;
@@ -324,8 +348,8 @@ let run_indexed algo instance =
         let lb =
           try Hashtbl.find st.homes (Item.id item)
           with Not_found ->
-            invalid "%s: departure of unplaced item %d" algo.name
-              (Item.id item)
+            fail
+              (Unplaced_departure { algo = algo.name; item_id = Item.id item })
         in
         lb.l_active <- lb.l_active - 1;
         lb.l_level <-
@@ -343,11 +367,11 @@ let run_indexed algo instance =
         | Open_new -> place (append_bin st now) item
         | Place idx ->
             if idx < 0 || idx >= st.count then
-              invalid "%s: unknown bin %d" algo.name idx
+              fail (Unknown_bin { algo = algo.name; bin = idx; time = now })
             else begin
               let lb = bin_of st idx in
               if lb.l_active = 0 then
-                invalid "%s: bin %d is closed at %g" algo.name idx now;
+                fail (Closed_bin { algo = algo.name; bin = idx; time = now });
               place lb item
             end)
   in
@@ -363,6 +387,25 @@ let run_indexed algo instance =
   Packing.of_bins instance
     (List.init st.count (fun i -> (bin_of st i).l_bin))
 
+(* Public entry points: every engine comes in two flavours — the
+   structured [_result] form, and the legacy exception shim that turns
+   the same error into the historical [Invalid_decision] message. *)
+
+let wrap engine algo instance =
+  match engine algo instance with
+  | packing -> Ok packing
+  | exception Err e -> Error e
+
+let lift engine algo instance =
+  match engine algo instance with
+  | packing -> packing
+  | exception Err e -> raise (Invalid_decision (error_to_string e))
+
+let run_reference_result algo instance = wrap reference_exn algo instance
+let run_reference algo instance = lift reference_exn algo instance
+let run_indexed_result algo instance = wrap indexed_exn algo instance
+let run_indexed algo instance = lift indexed_exn algo instance
+let run_result = run_indexed_result
 let run = run_indexed
 
 let usage_time algo instance = Packing.total_usage_time (run algo instance)

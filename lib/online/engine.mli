@@ -91,6 +91,40 @@ type t = {
     fresh, independent stepper per run. *)
 
 exception Invalid_decision of string
+(** Legacy fatal-path exception.  The engines now classify every fatal
+    condition as a structured {!error}; [run]/[run_reference]/
+    [run_indexed] keep raising [Invalid_decision] with byte-identical
+    messages (the compatibility shim the differential suite and older
+    callers rely on), while the [_result] variants below return the
+    error as data. *)
+
+type error =
+  | Overflow of { algo : string; item : Item.t; bin : int; time : float }
+      (** The algorithm placed an item that does not fit at the arrival
+          instant. *)
+  | Unknown_bin of { algo : string; bin : int; time : float }
+      (** [Place idx] with an index that was never opened. *)
+  | Closed_bin of { algo : string; bin : int; time : float }
+      (** [Place idx] into a bin whose items have all departed. *)
+  | Unplaced_departure of { algo : string; item_id : int }
+      (** A departure event for an item no bin holds — corrupt event
+          stream, not an algorithm decision. *)
+        (** Structured classification of every way an engine run can go
+            fatal.  All four are algorithm (or stream) bugs, never a
+            property of a valid instance; the fault-tolerant wrapper in
+            [Dbp_faults.Resilient] reuses this type to report them
+            without unwinding the whole run. *)
+
+val error_to_string : error -> string
+(** Renders exactly the historical [Invalid_decision] message for the
+    error. *)
+
+val run_result : t -> Instance.t -> (Packing.t, error) result
+(** {!run} with the fatal path as data instead of an exception. *)
+
+val run_indexed_result : t -> Instance.t -> (Packing.t, error) result
+
+val run_reference_result : t -> Instance.t -> (Packing.t, error) result
 
 val stateless :
   string -> (now:float -> open_bins:bin_view list -> Item.t -> decision) -> t

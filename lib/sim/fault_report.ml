@@ -1,0 +1,91 @@
+module R = Dbp_faults.Resilient
+
+type row = {
+  label : string;
+  fault_free_usage : float;
+  usage : float;
+  inflation : float;
+  crashes : int;
+  evicted : int;
+  recovered : int;
+  rejected : int;
+  retries : int;
+  slipped : int;
+  injected : int;
+  rejection_rate : float;
+  lost_demand : float;
+}
+
+let row_of ~label ~fault_free_usage (o : R.outcome) =
+  let displaced = o.R.evicted + o.R.slipped in
+  {
+    label;
+    fault_free_usage;
+    usage = o.R.usage_time;
+    inflation =
+      (if fault_free_usage > 0. then o.R.usage_time /. fault_free_usage else 1.);
+    crashes = o.R.crashes_fired;
+    evicted = o.R.evicted;
+    recovered = o.R.recovered;
+    rejected = o.R.rejected;
+    retries = o.R.retries;
+    slipped = o.R.slipped;
+    injected = o.R.injected;
+    rejection_rate =
+      (if displaced > 0 then float_of_int o.R.rejected /. float_of_int displaced
+       else 0.);
+    lost_demand = o.R.lost_demand;
+  }
+
+let evaluate ?policy algos plan instance =
+  List.map
+    (fun (label, algo) ->
+      let fault_free_usage = Dbp_online.Engine.usage_time algo instance in
+      let outcome = R.run ?policy algo instance plan in
+      row_of ~label ~fault_free_usage outcome)
+    algos
+
+let table rows =
+  Report.make
+    ~columns:
+      [
+        ("algorithm", Report.Left);
+        ("usage", Report.Right);
+        ("fault-free", Report.Right);
+        ("inflation", Report.Right);
+        ("crashes", Report.Right);
+        ("evicted", Report.Right);
+        ("recovered", Report.Right);
+        ("rejected", Report.Right);
+        ("rej-rate", Report.Right);
+        ("retries", Report.Right);
+        ("slipped", Report.Right);
+        ("injected", Report.Right);
+        ("lost-demand", Report.Right);
+      ]
+    ~rows:
+      (List.map
+         (fun r ->
+           [
+             r.label;
+             Report.cell_f ~decimals:2 r.usage;
+             Report.cell_f ~decimals:2 r.fault_free_usage;
+             Report.cell_f ~decimals:4 r.inflation;
+             Report.cell_i r.crashes;
+             Report.cell_i r.evicted;
+             Report.cell_i r.recovered;
+             Report.cell_i r.rejected;
+             Report.cell_f ~decimals:3 r.rejection_rate;
+             Report.cell_i r.retries;
+             Report.cell_i r.slipped;
+             Report.cell_i r.injected;
+             Report.cell_f ~decimals:2 r.lost_demand;
+           ])
+         rows)
+
+let pp_row ppf r =
+  Format.fprintf ppf
+    "%s: usage %.2f (fault-free %.2f, x%.4f), %d evicted / %d recovered / %d \
+     rejected"
+    r.label r.usage r.fault_free_usage r.inflation r.evicted r.recovered
+    r.rejected

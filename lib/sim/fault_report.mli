@@ -1,0 +1,41 @@
+(** Scoring algorithms under injected faults.
+
+    Runs each online algorithm twice on the same base instance — once
+    fault-free through the plain engine, once through the resilient
+    engine with a fault plan — and reports how much MinUsageTime
+    degrades: usage inflation, evictions recovered, rejection rate,
+    retries, lost demand.  This is the simulation-study counterpart of
+    {!Runner}: same table plumbing, but the objective is graceful
+    degradation rather than competitive ratio. *)
+
+open Dbp_core
+
+type row = {
+  label : string;
+  fault_free_usage : float;  (** plain [Engine.run] usage on the base instance *)
+  usage : float;  (** resilient-engine usage under the plan *)
+  inflation : float;
+      (** [usage /. fault_free_usage]; 1.0 on an empty instance. *)
+  crashes : int;
+  evicted : int;
+  recovered : int;
+  rejected : int;
+  retries : int;
+  slipped : int;
+  injected : int;
+  rejection_rate : float;
+      (** rejected / displaced jobs (evictions + overstays); 0 when
+          nothing was displaced. *)
+  lost_demand : float;
+}
+
+val evaluate :
+  ?policy:Dbp_faults.Recovery.policy ->
+  (string * Dbp_online.Engine.t) list ->
+  Dbp_faults.Fault_plan.t ->
+  Instance.t ->
+  row list
+
+val table : row list -> Report.table
+
+val pp_row : Format.formatter -> row -> unit

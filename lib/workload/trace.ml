@@ -56,7 +56,7 @@ let parse_line lineno line =
            with Invalid_argument msg -> fail lineno "%s" msg))
   | parts -> fail lineno "expected 4 fields, got %d" (List.length parts)
 
-let of_string s =
+let rows_of_string s =
   let lines =
     String.split_on_char '\n' s
     |> List.mapi (fun i l -> (i + 1, String.trim l))
@@ -66,15 +66,60 @@ let of_string s =
   | [] -> fail 1 "empty trace"
   | (hline, h) :: rows ->
       if not (String.equal h header) then fail hline "bad header %S" h;
-      let items = List.map (fun (n, l) -> parse_line n l) rows in
-      (try Instance.of_items items
-       with Invalid_argument msg -> fail 1 "%s" msg)
+      rows
 
-let load path =
+(* Each accepted row remembers the line it came from so duplicate ids can
+   be reported at the offending row, not blamed on the whole trace. *)
+let check_duplicate seen lineno item =
+  let id = Item.id item in
+  match Hashtbl.find_opt seen id with
+  | Some first ->
+      fail lineno "duplicate id %d (first seen at line %d)" id first
+  | None -> Hashtbl.add seen id lineno
+
+let of_string s =
+  let rows = rows_of_string s in
+  let seen = Hashtbl.create 64 in
+  let items =
+    List.map
+      (fun (n, l) ->
+        let item = parse_line n l in
+        check_duplicate seen n item;
+        item)
+      rows
+  in
+  try Instance.of_items items with Invalid_argument msg -> fail 1 "%s" msg
+
+let of_string_lenient s =
+  let rows = rows_of_string s in
+  let seen = Hashtbl.create 64 in
+  let errors = ref [] in
+  let items =
+    List.filter_map
+      (fun (n, l) ->
+        match
+          let item = parse_line n l in
+          check_duplicate seen n item;
+          item
+        with
+        | item -> Some item
+        | exception Parse_error (lineno, msg) ->
+            errors := (lineno, msg) :: !errors;
+            None)
+      rows
+  in
+  let instance =
+    try Instance.of_items items with Invalid_argument msg -> fail 1 "%s" msg
+  in
+  (instance, List.rev !errors)
+
+let read_file path =
   let ic = open_in path in
   Fun.protect
     ~finally:(fun () -> close_in ic)
     (fun () ->
       let len = in_channel_length ic in
-      let s = really_input_string ic len in
-      of_string s)
+      really_input_string ic len)
+
+let load path = of_string (read_file path)
+let load_lenient path = of_string_lenient (read_file path)

@@ -20,7 +20,25 @@ exception Parse_error of int * string
 (** Line number (1-based, header is line 1) and complaint. *)
 
 val of_string : string -> Instance.t
-(** @raise Parse_error on malformed input. *)
+(** Strict parse.  Rejects — each with the precise offending line
+    number — malformed rows, non-finite or out-of-range sizes and
+    times, [departure <= arrival], and duplicate ids (reported at the
+    second occurrence, naming the line of the first).
+
+    @raise Parse_error on malformed input. *)
+
+val of_string_lenient : string -> Instance.t * (int * string) list
+(** Best-effort parse for dirty traces: every row [of_string] would
+    reject is skipped and reported as [(line, complaint)], in line
+    order; the instance is built from the surviving rows (a duplicate
+    id keeps the first occurrence).  An empty or headerless trace is
+    structural, not a row problem, and still raises.
+
+    @raise Parse_error on an empty trace or a bad header line. *)
 
 val load : string -> Instance.t
 (** @raise Parse_error / [Sys_error]. *)
+
+val load_lenient : string -> Instance.t * (int * string) list
+(** [of_string_lenient] over a file.
+    @raise Parse_error / [Sys_error]. *)

@@ -1,6 +1,8 @@
 #!/bin/sh
-# Repo-wide check: build, full test suite, formatting, and an engine
-# smoke benchmark (indexed vs. reference parity on small workloads).
+# Repo-wide check: build, full test suite, formatting, an engine smoke
+# benchmark (indexed vs. reference parity on small workloads) and a
+# fault-injection smoke sweep (empty-plan bit-identity + monotone
+# degradation are asserted inside the bench).
 # Run from the repo root:  scripts/check.sh
 set -eu
 
@@ -10,6 +12,8 @@ echo "== dune build =="
 dune build
 
 echo "== dune runtest =="
+# Includes the fault suite (test/test_faults.ml): empty-plan differential,
+# capacity-under-crashes, checkpoint round-trips, structured errors.
 dune runtest
 
 echo "== dune build @fmt =="
@@ -19,5 +23,8 @@ dune build @fmt
 
 echo "== engine smoke bench =="
 dune exec bench/main.exe -- engine --quick
+
+echo "== fault degradation smoke bench =="
+dune exec bench/main.exe -- faults --quick
 
 echo "All checks passed."

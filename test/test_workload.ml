@@ -272,6 +272,70 @@ let test_trace_rejects_invalid_item () =
     | exception T.Parse_error (2, _) -> true
     | _ -> false)
 
+let test_trace_rejects_nonfinite () =
+  let err line s =
+    match T.of_string s with
+    | exception T.Parse_error (n, _) -> n = line
+    | _ -> false
+  in
+  check_bool "nan size" true (err 2 "id,size,arrival,departure\n1,nan,0,1\n");
+  check_bool "inf departure" true
+    (err 2 "id,size,arrival,departure\n1,0.5,0,inf\n");
+  check_bool "nan arrival on its own line" true
+    (err 3 "id,size,arrival,departure\n1,0.5,0,1\n2,0.5,nan,1\n")
+
+let test_trace_rejects_departure_before_arrival () =
+  check_bool "departure <= arrival" true
+    (match T.of_string "id,size,arrival,departure\n1,0.5,2,2\n" with
+    | exception T.Parse_error (2, _) -> true
+    | _ -> false)
+
+let test_trace_rejects_duplicate_id_with_line () =
+  let s =
+    "id,size,arrival,departure\n1,0.5,0,1\n2,0.5,0,1\n1,0.5,2,3\n"
+  in
+  let contains msg needle =
+    let n = String.length needle and m = String.length msg in
+    let rec at i = i + n <= m && (String.sub msg i n = needle || at (i + 1)) in
+    at 0
+  in
+  match T.of_string s with
+  | exception T.Parse_error (4, msg) ->
+      check_bool "names the id" true (contains msg "duplicate id 1");
+      check_bool "names the first line" true (contains msg "line 2")
+  | exception T.Parse_error (n, _) ->
+      Alcotest.failf "blamed line %d, wanted 4" n
+  | _ -> Alcotest.fail "duplicate accepted"
+
+let test_trace_lenient_skips_bad_rows () =
+  let s =
+    "id,size,arrival,departure\n\
+     1,0.5,0,1\n\
+     2,hello,0,1\n\
+     3,0.5,4,2\n\
+     1,0.5,5,6\n\
+     4,0.25,1,3\n"
+  in
+  let inst, errors = T.of_string_lenient s in
+  check_int "survivors" 2 (Instance.length inst);
+  check_int "errors" 3 (List.length errors);
+  check_bool "error lines in order" true
+    (List.map fst errors = [ 3; 4; 5 ]);
+  (* the duplicate keeps the first occurrence *)
+  check_float "first id-1 row wins" 1. (Item.departure (Instance.find inst 1))
+
+let test_trace_lenient_clean_trace () =
+  let inst = G.generate ~seed:5 { G.default with horizon = 20. } in
+  let inst', errors = T.of_string_lenient (T.to_string inst) in
+  check_int "no errors" 0 (List.length errors);
+  check_int "all rows" (Instance.length inst) (Instance.length inst')
+
+let test_trace_lenient_still_rejects_bad_header () =
+  check_bool "structural problems still raise" true
+    (match T.of_string_lenient "nope\n1,0.5,0,1\n" with
+    | exception T.Parse_error (1, _) -> true
+    | _ -> false)
+
 let test_trace_file_roundtrip () =
   let inst = Adv.theorem3 Adv.B in
   let path = Filename.temp_file "dbp" ".csv" in
@@ -334,6 +398,16 @@ let suite =
     Alcotest.test_case "trace bad header" `Quick test_trace_rejects_bad_header;
     Alcotest.test_case "trace bad row" `Quick test_trace_rejects_bad_row;
     Alcotest.test_case "trace invalid item" `Quick test_trace_rejects_invalid_item;
+    Alcotest.test_case "trace non-finite fields" `Quick test_trace_rejects_nonfinite;
+    Alcotest.test_case "trace departure <= arrival" `Quick
+      test_trace_rejects_departure_before_arrival;
+    Alcotest.test_case "trace duplicate id line" `Quick
+      test_trace_rejects_duplicate_id_with_line;
+    Alcotest.test_case "trace lenient skips bad rows" `Quick
+      test_trace_lenient_skips_bad_rows;
+    Alcotest.test_case "trace lenient clean" `Quick test_trace_lenient_clean_trace;
+    Alcotest.test_case "trace lenient bad header" `Quick
+      test_trace_lenient_still_rejects_bad_header;
     Alcotest.test_case "trace file roundtrip" `Quick test_trace_file_roundtrip;
     prop_trace_roundtrip_exact;
   ]
