@@ -162,7 +162,7 @@ let run_micro () =
           analyzed [])
       (List.map (fun t -> Test.make_grouped ~name:"" [ t ]) (tests ()))
     |> List.concat
-    |> List.sort compare
+    |> List.sort (List.compare String.compare)
   in
   Dbp_sim.Report.print ~title:"packing throughput"
     (Dbp_sim.Report.make
@@ -426,7 +426,7 @@ let run_faults ~quick () =
   (* The zero-fault row must agree with the plain engine: inflation 1. *)
   List.iter
     (fun r ->
-      if r.param = 0. && Float.abs (r.inflation -. 1.) > 1e-9 then
+      if Float.equal r.param 0. && Float.abs (r.inflation -. 1.) > 1e-9 then
         failwith
           (Printf.sprintf
              "fault sweep: zero-fault inflation %.12f <> 1 for %s (%s)"

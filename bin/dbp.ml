@@ -7,7 +7,8 @@
      gadget       run the Theorem 3 golden-ratio gadget
      gen          generate a workload trace to CSV
      pack         pack a CSV trace with one algorithm and dump assignments
-     faults       run a workload under injected faults and score degradation *)
+     faults       run a workload under injected faults and score degradation
+     lint         run the dbp-lint static-analysis pass over the sources *)
 
 open Cmdliner
 
@@ -487,6 +488,50 @@ let vector_cmd =
     (Cmd.info "vector" ~doc:"Pack a multi-resource (CPU/mem/bw) workload.")
     Term.(const run $ seed_arg $ dims_arg)
 
+(* ---- lint ---- *)
+
+let lint_cmd =
+  let json_flag =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Emit machine-readable JSON findings (for CI diffing).")
+  in
+  let paths_arg =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"PATH"
+          ~doc:
+            "Files or directories to lint; defaults to lib/ bin/ bench/ \
+             test/ under the current directory.")
+  in
+  let run json paths =
+    let roots =
+      match paths with
+      | [] -> List.filter Sys.file_exists [ "lib"; "bin"; "bench"; "test" ]
+      | ps -> ps
+    in
+    if roots = [] then begin
+      prerr_endline "dbp lint: no lintable roots (run from the repo root)";
+      exit 2
+    end;
+    match Dbp_lint.Driver.lint_tree roots with
+    | findings ->
+        print_string
+          (if json then Dbp_lint.Driver.to_json findings
+           else Dbp_lint.Driver.to_text findings);
+        if findings <> [] then exit 1
+    | exception Invalid_argument msg ->
+        prerr_endline msg;
+        exit 2
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Run the dbp-lint static-analysis pass (packing-invariant rules \
+          R1-R6, see DESIGN.md section 9) over the source tree.")
+    Term.(const run $ json_flag $ paths_arg)
+
 (* ---- audit ---- *)
 
 let audit_cmd =
@@ -543,5 +588,5 @@ let () =
        (Cmd.group (Cmd.info "dbp" ~version:"1.0.0" ~doc)
           [
             run_cmd; figure8_cmd; experiments_cmd; gadget_cmd; gen_cmd;
-            pack_cmd; faults_cmd; flex_cmd; vector_cmd; audit_cmd;
+            pack_cmd; faults_cmd; flex_cmd; vector_cmd; audit_cmd; lint_cmd;
           ]))

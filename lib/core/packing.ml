@@ -91,7 +91,7 @@ let max_concurrent_bins p =
 
 let utilization p =
   let usage = total_usage_time p in
-  if usage = 0. then 1. else Instance.demand p.instance /. usage
+  if Float.equal usage 0. then 1. else Instance.demand p.instance /. usage
 
 let pp_summary ppf p =
   Format.fprintf ppf "%d bins, usage %.6g, util %.3f" (bin_count p)

@@ -1,0 +1,105 @@
+(* Walk source trees, parse every .ml/.mli with compiler-libs and run the
+   rule registry, folding inline suppressions in.  This module never
+   prints: rendering is returned as strings so the callers (tools/lint,
+   the dbp CLI, the test suite) decide where output goes. *)
+
+(* Directory names never descended into: build artefacts and VCS state
+   (any dot- or underscore-prefixed name) and the seeded-violation
+   corpora under test/fixtures.  Roots passed explicitly are always
+   walked, so the fixture tests can still point at the corpus. *)
+let skip_dir name =
+  name = "fixtures"
+  || String.length name > 0
+     && (name.[0] = '.' || name.[0] = '_')
+
+let is_source path =
+  Filename.check_suffix path ".ml" || Filename.check_suffix path ".mli"
+
+let collect_files roots =
+  let rec walk acc path =
+    if not (Sys.file_exists path) then
+      invalid_arg (Printf.sprintf "dbp-lint: no such file or directory: %s" path)
+    else if Sys.is_directory path then
+      Sys.readdir path |> Array.to_list
+      |> List.sort String.compare
+      |> List.fold_left
+           (fun acc name ->
+             if skip_dir name then acc
+             else walk acc (Filename.concat path name))
+           acc
+    else if is_source path then path :: acc
+    else acc
+  in
+  List.fold_left walk [] roots |> List.rev
+
+let read_file path = In_channel.with_open_bin path In_channel.input_all
+
+let parse_error_finding ~path exn =
+  match Location.error_of_exn exn with
+  | Some (`Ok err) ->
+      let loc = err.Location.main.Location.loc in
+      Finding.of_loc ~rule:"P0" ~loc
+        ~message:
+          (Printf.sprintf "parse error: %s"
+             (Format.asprintf "%t" err.Location.main.Location.txt))
+        ~hint:"dbp-lint only analyses files that parse"
+  | _ ->
+      Finding.v ~rule:"P0" ~file:path ~line:1 ~col:0
+        ~message:(Printf.sprintf "parse error: %s" (Printexc.to_string exn))
+        ~hint:"dbp-lint only analyses files that parse"
+
+let lint_source ?scope ~path source =
+  let scope =
+    match scope with Some s -> s | None -> Rules.scope_of_path path
+  in
+  let sups, marker_errors = Suppress.scan ~path source in
+  let ast_findings =
+    let lexbuf = Lexing.from_string source in
+    Location.init lexbuf path;
+    match
+      if Filename.check_suffix path ".mli" then
+        Rules.check_signature ~path scope (Parse.interface lexbuf)
+      else Rules.check_structure ~path scope (Parse.implementation lexbuf)
+    with
+    | findings -> findings
+    | exception exn -> [ parse_error_finding ~path exn ]
+  in
+  let kept, unused = Suppress.apply ~path sups ast_findings in
+  List.sort Finding.compare (kept @ marker_errors @ unused)
+
+let lint_file ?scope path = lint_source ?scope ~path (read_file path)
+
+let lint_tree ?scope roots =
+  let files = collect_files roots in
+  let scope_fn =
+    match scope with Some s -> Some (fun _ -> s) | None -> None
+  in
+  let missing = Rules.check_missing_mli ?scope:scope_fn files in
+  let per_file = List.concat_map (fun f -> lint_file ?scope f) files in
+  List.sort Finding.compare (missing @ per_file)
+
+let to_text findings =
+  let b = Buffer.create 256 in
+  List.iter
+    (fun f ->
+      Buffer.add_string b (Finding.to_string f);
+      Buffer.add_char b '\n')
+    findings;
+  (match findings with
+  | [] -> Buffer.add_string b "dbp-lint: clean\n"
+  | fs ->
+      Buffer.add_string b
+        (Printf.sprintf "dbp-lint: %d finding(s)\n" (List.length fs)));
+  Buffer.contents b
+
+let to_json findings =
+  let b = Buffer.create 256 in
+  Buffer.add_string b "{\"findings\":[";
+  List.iteri
+    (fun i f ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b (Finding.to_json f))
+    findings;
+  Buffer.add_string b
+    (Printf.sprintf "],\"count\":%d}\n" (List.length findings));
+  Buffer.contents b

@@ -1,0 +1,30 @@
+(** The dbp-lint driver: collect sources, parse, run the rule registry,
+    apply suppressions and render findings.
+
+    The driver never prints; [to_text]/[to_json] return strings so each
+    entry point (the [dbp-lint] tool, [dbp lint], tests) controls its own
+    output channel and exit code. *)
+
+(** Recursively collect [.ml]/[.mli] files under the given roots, in
+    sorted order.  Directories named [fixtures] or starting with a dot
+    or underscore are not descended into (explicit roots are always
+    walked).  Raises [Invalid_argument] on a missing root. *)
+val collect_files : string list -> string list
+
+(** Lint one file already in memory.  [scope] overrides the path-derived
+    scope (used by the fixture tests to exercise lib-only rules). *)
+val lint_source :
+  ?scope:Rules.scope -> path:string -> string -> Finding.t list
+
+(** Lint one file from disk. *)
+val lint_file : ?scope:Rules.scope -> string -> Finding.t list
+
+(** Lint whole trees: every file under the roots plus the filesystem
+    rule R5 (missing interfaces).  Findings are sorted by position. *)
+val lint_tree : ?scope:Rules.scope -> string list -> Finding.t list
+
+(** Human-readable report; ends with a ["dbp-lint: clean"] or a count. *)
+val to_text : Finding.t list -> string
+
+(** Machine-readable [{"findings":[...],"count":n}] report. *)
+val to_json : Finding.t list -> string

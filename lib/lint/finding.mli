@@ -1,0 +1,34 @@
+(** A single lint diagnostic: a rule id, a source position and a fix hint. *)
+
+type t
+
+val v :
+  rule:string ->
+  file:string ->
+  line:int ->
+  col:int ->
+  message:string ->
+  hint:string ->
+  t
+
+(** Build a finding from a compiler-libs [Location.t] (start position). *)
+val of_loc :
+  rule:string -> loc:Location.t -> message:string -> hint:string -> t
+
+val rule : t -> string
+val file : t -> string
+val line : t -> int
+val col : t -> int
+val message : t -> string
+val hint : t -> string
+
+(** Order by file, then line, column and rule id. *)
+val compare : t -> t -> int
+
+(** Compiler-style ["file:line:col: [RULE] message"] plus a hint line. *)
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string
+
+(** One JSON object; all strings escaped. *)
+val to_json : t -> string

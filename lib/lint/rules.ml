@@ -1,0 +1,263 @@
+(* The packing-invariant rule set.  Every rule here guards a convention
+   the type system cannot see; see DESIGN.md section 9 for the rationale
+   behind each one. *)
+
+type scope = Lib | Bin | Bench | Test | Other
+
+(* Strip leading "." and ".." segments so scope detection and the
+   defining-module exemption work for paths like "../lib/core/item.ml"
+   (tests run from a subdirectory of the repo). *)
+let norm_path path =
+  let segs =
+    String.split_on_char '/' path
+    |> List.filter (fun s -> s <> "" && s <> ".")
+  in
+  let rec drop = function ".." :: rest -> drop rest | segs -> segs in
+  String.concat "/" (drop segs)
+
+let scope_of_path path =
+  match String.split_on_char '/' (norm_path path) with
+  | "lib" :: _ -> Lib
+  | "bin" :: _ -> Bin
+  | "bench" :: _ -> Bench
+  | "test" :: _ -> Test
+  | _ -> Other
+
+type info = { id : string; name : string; hint : string }
+
+let r1_hint =
+  "use structural (=) on immutable values or an id-based equal \
+   (Item.equal) on mutable state"
+
+let r2_hint = "use Float.equal / Float.compare or an explicit comparator"
+
+let r3_hint =
+  "raise invalid_arg with a \"Module.fn: why\" message or return a \
+   structured error (Engine.error)"
+
+let r4_hint =
+  "return a string or take a ppf argument; only bin/, bench/ and test/ \
+   may print"
+
+let r5_hint = "add a sibling .mli restating the module's contract"
+
+let r6_hint = "use the Interval.make / Item.make smart constructors"
+
+let r0_hint = "remove the stale (* dbp-lint: allow ... *) comment"
+
+let all =
+  [
+    { id = "R0"; name = "unused-suppression"; hint = r0_hint };
+    { id = "R1"; name = "physical-equality"; hint = r1_hint };
+    { id = "R2"; name = "polymorphic-float-compare"; hint = r2_hint };
+    { id = "R3"; name = "unstructured-failure"; hint = r3_hint };
+    { id = "R4"; name = "print-in-lib"; hint = r4_hint };
+    { id = "R5"; name = "missing-interface"; hint = r5_hint };
+    { id = "R6"; name = "raw-record-construction"; hint = r6_hint };
+  ]
+
+(* ---- identifier classification ---------------------------------------- *)
+
+(* Bare or [Stdlib.]-qualified name. *)
+let stdlib_name lid =
+  match lid with
+  | Longident.Lident s -> Some s
+  | Longident.Ldot (Longident.Lident "Stdlib", s) -> Some s
+  | _ -> None
+
+let is_physical_eq lid =
+  match stdlib_name lid with Some ("==" | "!=") -> true | _ -> false
+
+let is_poly_eq lid =
+  match stdlib_name lid with Some ("=" | "<>") -> true | _ -> false
+
+(* Bare [compare] is only polymorphic when the module does not shadow it
+   with its own comparator ([Event.compare] is the in-tree example), so
+   the structure check passes [shadowed] down. *)
+let is_poly_compare ~shadowed lid =
+  match lid with
+  | Longident.Lident "compare" -> not shadowed
+  | Longident.Ldot (Longident.Lident "Stdlib", "compare") -> true
+  | _ -> false
+
+let is_failwith lid =
+  match stdlib_name lid with Some "failwith" -> true | _ -> false
+
+let print_names =
+  [
+    "print_char"; "print_string"; "print_bytes"; "print_int"; "print_float";
+    "print_endline"; "print_newline"; "prerr_char"; "prerr_string";
+    "prerr_bytes"; "prerr_int"; "prerr_float"; "prerr_endline";
+    "prerr_newline";
+  ]
+
+let is_print lid =
+  match lid with
+  | Longident.Ldot (Longident.Lident ("Printf" | "Format"), ("printf" | "eprintf"))
+    ->
+      true
+  | _ -> (
+      match stdlib_name lid with
+      | Some s -> List.mem s print_names
+      | None -> false)
+
+(* ---- R2 operand shapes ------------------------------------------------ *)
+
+let rec is_float_literal (e : Parsetree.expression) =
+  match e.pexp_desc with
+  | Pexp_constant (Pconst_float _) -> true
+  | Pexp_apply
+      ( { pexp_desc = Pexp_ident { txt = Longident.Lident neg; _ }; _ },
+        [ (Asttypes.Nolabel, inner) ] )
+    when neg = "~-." || neg = "~+." || neg = "~-" || neg = "~+" ->
+      is_float_literal inner
+  | _ -> false
+
+let is_record_literal (e : Parsetree.expression) =
+  match e.pexp_desc with Pexp_record _ -> true | _ -> false
+
+(* ---- R6 protected record shapes --------------------------------------- *)
+
+(* (module, defining file, field set) for the smart-constructor types. *)
+let protected_records =
+  [
+    ("Interval", "lib/core/interval.ml", [ "left"; "right" ]);
+    ("Item", "lib/core/item.ml", [ "id"; "size"; "arrival"; "departure" ]);
+  ]
+
+let label_name lid =
+  match lid with
+  | Longident.Lident s -> Some (None, s)
+  | Longident.Ldot (Longident.Lident m, s) -> Some (Some m, s)
+  | _ -> None
+
+(* A record expression constructs a protected type when a field label is
+   qualified with the defining module, or when its unqualified label set
+   matches the protected field set (exactly for closed records, as a
+   subset for [{ e with ... }] updates). *)
+let r6_match ~path fields closed =
+  let labels = List.filter_map label_name fields in
+  List.find_map
+    (fun (m, defining, field_set) ->
+      if norm_path path = defining || norm_path path = defining ^ "i" then None
+      else
+        let qualified =
+          List.exists
+            (fun (q, f) -> q = Some m && List.mem f field_set)
+            labels
+        and names =
+          List.map snd labels |> List.sort_uniq String.compare
+        in
+        let full_set = List.sort String.compare field_set in
+        let unqualified_hit =
+          if closed then names = full_set
+          else names <> [] && List.for_all (fun n -> List.mem n field_set) names
+        in
+        if qualified || unqualified_hit then Some m else None)
+    protected_records
+
+(* ---- the AST walk ----------------------------------------------------- *)
+
+let check_expr ~path ~scope ~shadowed_compare acc (e : Parsetree.expression) =
+  let add rule loc message hint = acc := Finding.of_loc ~rule ~loc ~message ~hint :: !acc in
+  match e.pexp_desc with
+  | Pexp_ident { txt; loc } ->
+      if is_physical_eq txt then
+        add "R1" loc
+          (Printf.sprintf "physical equality (%s) compares identity, not value"
+             (Longident.last txt))
+          r1_hint
+      else if is_poly_compare ~shadowed:shadowed_compare txt then
+        add "R2" loc "polymorphic compare" r2_hint
+      else if scope = Lib && is_failwith txt then
+        add "R3" loc "failwith in lib/" r3_hint
+      else if scope = Lib && is_print txt then
+        add "R4" loc
+          (Printf.sprintf "console output (%s) from lib/" (Longident.last txt))
+          r4_hint
+  | Pexp_apply
+      ({ pexp_desc = Pexp_ident { txt; loc }; _ }, [ (_, lhs); (_, rhs) ])
+    when is_poly_eq txt && (is_float_literal lhs || is_float_literal rhs) ->
+      add "R2" loc
+        (Printf.sprintf "polymorphic (%s) on a float literal"
+           (Longident.last txt))
+        r2_hint
+  | Pexp_apply
+      ({ pexp_desc = Pexp_ident { txt; loc }; _ }, [ (_, lhs); (_, rhs) ])
+    when is_poly_eq txt && (is_record_literal lhs || is_record_literal rhs) ->
+      add "R2" loc
+        (Printf.sprintf "polymorphic (%s) on a record literal"
+           (Longident.last txt))
+        r2_hint
+  | Pexp_assert
+      { pexp_desc = Pexp_construct ({ txt = Longident.Lident "false"; _ }, None); _ }
+    when scope = Lib ->
+      add "R3" e.pexp_loc "assert false in lib/" r3_hint
+  | Pexp_record (fields, base) -> (
+      match r6_match ~path (List.map (fun (l, _) -> l.Asttypes.txt) fields)
+              (base = None)
+      with
+      | Some m ->
+          add "R6" e.pexp_loc
+            (Printf.sprintf "direct record construction of %s.t" m)
+            r6_hint
+      | None -> ())
+  | _ -> ()
+
+let iterator ~path ~scope ~shadowed_compare acc =
+  let default = Ast_iterator.default_iterator in
+  {
+    default with
+    expr =
+      (fun self e ->
+        check_expr ~path ~scope ~shadowed_compare acc e;
+        default.expr self e);
+  }
+
+(* Does the module define its own toplevel [compare]? *)
+let defines_compare str =
+  List.exists
+    (fun (item : Parsetree.structure_item) ->
+      match item.pstr_desc with
+      | Pstr_value (_, bindings) ->
+          List.exists
+            (fun (vb : Parsetree.value_binding) ->
+              match vb.pvb_pat.ppat_desc with
+              | Ppat_var { txt = "compare"; _ } -> true
+              | _ -> false)
+            bindings
+      | _ -> false)
+    str
+
+let check_structure ~path scope str =
+  let acc = ref [] in
+  let it =
+    iterator ~path ~scope ~shadowed_compare:(defines_compare str) acc
+  in
+  it.structure it str;
+  List.rev !acc
+
+let check_signature ~path scope sg =
+  let acc = ref [] in
+  let it = iterator ~path ~scope ~shadowed_compare:false acc in
+  it.signature it sg;
+  List.rev !acc
+
+(* ---- R5: every lib/ implementation ships an interface ----------------- *)
+
+let check_missing_mli ?(scope = scope_of_path) files =
+  List.filter_map
+    (fun f ->
+      if
+        Filename.check_suffix f ".ml"
+        && scope f = Lib
+        && not (List.mem (f ^ "i") files)
+      then
+        Some
+          (Finding.v ~rule:"R5" ~file:f ~line:1 ~col:0
+             ~message:
+               (Printf.sprintf "%s has no interface"
+                  (Filename.basename f))
+             ~hint:r5_hint)
+      else None)
+    files

@@ -1,0 +1,34 @@
+(** The packing-invariant rule registry.
+
+    Six rules guard conventions the type system cannot express (see
+    DESIGN.md section 9): R1 no physical equality, R2 no polymorphic
+    comparison on float literals / record literals / bare [compare],
+    R3 no [failwith] or [assert false] in [lib/], R4 no console output
+    from [lib/], R5 every [lib/] module ships an interface, R6 no raw
+    record construction of the smart-constructor types [Interval.t] and
+    [Item.t] outside their defining modules.  [R0] marks suppression
+    hygiene errors and [P0] parse failures. *)
+
+type scope = Lib | Bin | Bench | Test | Other
+
+(** Scope from the leading path segment, after normalising away leading
+    [./] and [../] components. *)
+val scope_of_path : string -> scope
+
+type info = { id : string; name : string; hint : string }
+
+(** Registry metadata, R0 plus R1..R6. *)
+val all : info list
+
+(** Run the expression rules over an implementation. *)
+val check_structure :
+  path:string -> scope -> Parsetree.structure -> Finding.t list
+
+(** Run the expression rules over an interface. *)
+val check_signature :
+  path:string -> scope -> Parsetree.signature -> Finding.t list
+
+(** R5 over a file listing: every [lib/] [.ml] needs its [.mli] in the
+    same listing.  [scope] overrides path-derived scoping for tests. *)
+val check_missing_mli :
+  ?scope:(string -> scope) -> string list -> Finding.t list

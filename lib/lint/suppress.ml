@@ -1,0 +1,114 @@
+type t = {
+  rule : string;
+  line : int;
+  reason : string;
+  mutable used : bool;
+}
+
+let marker = "dbp-lint:"
+
+let is_space c = c = ' ' || c = '\t' || c = '\n'
+
+let skip_spaces s i =
+  let n = String.length s in
+  let rec go i = if i < n && is_space s.[i] then go (i + 1) else i in
+  go i
+
+let take_word s i =
+  let n = String.length s in
+  let rec go j = if j < n && not (is_space s.[j]) then go (j + 1) else j in
+  let j = go i in
+  (String.sub s i (j - i), j)
+
+let malformed ~path ~line detail =
+  Finding.v ~rule:"R0" ~file:path ~line ~col:0
+    ~message:(Printf.sprintf "malformed dbp-lint comment (%s)" detail)
+    ~hint:"write the marker as: allow RULE reason"
+
+(* Lex the source with the compiler's lexer and keep the comments whose
+   content starts with the marker.  Lexing (rather than scanning raw
+   lines) means string literals and prose that merely mention the marker
+   syntax can never be mistaken for a suppression. *)
+let marker_comments source =
+  let lexbuf = Lexing.from_string source in
+  Lexer.init ();
+  (try
+     while
+       match Lexer.token lexbuf with Parser.EOF -> false | _ -> true
+     do
+       ()
+     done
+   with _ -> ());
+  Lexer.comments ()
+  |> List.filter_map (fun (text, loc) ->
+         let text = String.trim text in
+         let n = String.length marker in
+         if String.length text >= n && String.sub text 0 n = marker then
+           Some
+             (String.sub text n (String.length text - n),
+              loc.Location.loc_start.Lexing.pos_lnum)
+         else None)
+
+(* Grammar after the marker: [allow RULE reason]. *)
+let parse_marker ~path ~line body =
+  let i = skip_spaces body 0 in
+  let verb, i = take_word body i in
+  if verb <> "allow" then Error (malformed ~path ~line "expected 'allow'")
+  else
+    let i = skip_spaces body i in
+    let rule, i = take_word body i in
+    if rule = "" then Error (malformed ~path ~line "missing rule id")
+    else
+      let reason = String.trim (String.sub body i (String.length body - i)) in
+      if reason = "" then Error (malformed ~path ~line "missing reason")
+      else Ok { rule; line; reason; used = false }
+
+let scan ~path source =
+  List.fold_left
+    (fun (sups, errs) (body, line) ->
+      match parse_marker ~path ~line body with
+      | Ok s -> (s :: sups, errs)
+      | Error f -> (sups, f :: errs))
+    ([], [])
+    (marker_comments source)
+  |> fun (sups, errs) -> (List.rev sups, List.rev errs)
+
+(* A suppression covers findings of its rule on its own line or on the
+   next line (for comments placed on the line above the flagged code).
+   Same-line matches win, so an end-of-line allow is never consumed by a
+   finding on the line below it. *)
+let find_covering sups f =
+  let at delta =
+    List.find_opt
+      (fun s ->
+        s.rule = Finding.rule f && s.line = Finding.line f - delta)
+      sups
+  in
+  match at 0 with Some s -> Some s | None -> at 1
+
+let apply ~path sups findings =
+  let kept =
+    List.filter
+      (fun f ->
+        match find_covering sups f with
+        | Some s ->
+            s.used <- true;
+            false
+        | None -> true)
+      findings
+  in
+  let unused =
+    List.filter_map
+      (fun s ->
+        if s.used then None
+        else
+          Some
+            (Finding.v ~rule:"R0" ~file:path ~line:s.line ~col:0
+               ~message:
+                 (Printf.sprintf "unused suppression for %s (%s)" s.rule
+                    s.reason)
+               ~hint:"remove the stale allow comment")
+      )
+      sups
+  in
+  (kept, unused)

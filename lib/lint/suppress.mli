@@ -1,0 +1,19 @@
+(** Inline suppression comments: a comment whose content starts with
+    [dbp-lint:] followed by [allow RULE reason].
+
+    Comments are found with the compiler's lexer, so string literals and
+    prose that merely mention the marker are never mistaken for one.  A
+    suppression covers findings of the named rule on the comment's own
+    line or on the line immediately below it.  Suppressions that cover no
+    finding are reported as [R0] findings themselves, as are malformed
+    marker comments, so stale or broken annotations cannot accumulate. *)
+
+type t = { rule : string; line : int; reason : string; mutable used : bool }
+
+(** Scan source text for suppression markers.  Returns the suppressions
+    plus findings for malformed markers. *)
+val scan : path:string -> string -> t list * Finding.t list
+
+(** Drop suppressed findings, marking the suppressions used; unused
+    suppressions come back as [R0] findings located at their comment. *)
+val apply : path:string -> t list -> Finding.t list -> Finding.t list * Finding.t list

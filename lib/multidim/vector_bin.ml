@@ -61,7 +61,7 @@ let place b item =
       Array.mapi
         (fun i p ->
           let d = Resource.get demand i in
-          if d = 0. then p
+          if Float.equal d 0. then p
           else Step_function.add p (Step_function.indicator frame d))
         b.profiles;
   }

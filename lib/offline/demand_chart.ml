@@ -147,7 +147,10 @@ let examine_altitude ~pick (chart, altitudes) h =
             let covered =
               match Interval.intersect ir i_u with
               | Some c -> c
-              | None -> assert false
+              | None ->
+                  invalid_arg
+                    "Demand_chart.examine_altitude: eligible item does not \
+                     meet the uncoloured interval"
             in
             let rect = { time = covered; alt_lo = h -. Item.size r; alt_hi = h } in
             let chart =
@@ -268,7 +271,9 @@ let triple_at t (l, r) =
         | a :: b :: c :: _ -> Some (Triple_overlap (a, b, c))
         | _ -> sweep open_ps rest)
     | (_, _, p) :: rest ->
-        sweep (List.filter (fun q -> not (q == p)) open_ps) rest
+        sweep
+          (List.filter (fun q -> not (Item.equal q.item p.item)) open_ps)
+          rest
   in
   sweep [] events
 

@@ -42,7 +42,7 @@ let analyze ?(origin = 0.) ~rho instance =
   let mu = Instance.mu instance in
   let category_of_bin bin =
     match Bin_state.items bin with
-    | [] -> assert false
+    | [] -> invalid_arg "Cbdt_analysis.analyze: empty bin in packing"
     | r :: _ -> Classify_departure.category ~origin ~rho r
   in
   let categories =

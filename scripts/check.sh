@@ -11,6 +11,11 @@ cd "$(dirname "$0")/.."
 echo "== dune build =="
 dune build
 
+echo "== dune build @lint =="
+# dbp-lint (lib/lint, DESIGN.md section 9): the packing-invariant rule
+# set R1-R6 over lib/ bin/ bench/ test/; exits non-zero on any finding.
+dune build @lint
+
 echo "== dune runtest =="
 # Includes the fault suite (test/test_faults.ml): empty-plan differential,
 # capacity-under-crashes, checkpoint round-trips, structured errors.

@@ -1,0 +1,4 @@
+(* dbp-lint: allower R1 typo in the verb *)
+let fine x = x + 1
+
+let ok y = y - 1 (* dbp-lint: allow R1 *)

@@ -1,0 +1,3 @@
+(* seeded violation: physical equality on both operators *)
+let same x y = x == y
+let differ x y = x != y

@@ -1,0 +1,5 @@
+(* seeded violations: polymorphic comparison where intent must be explicit *)
+let is_zero x = x = 0.
+let nonneg x = x <> -1.
+let sorted xs = List.sort compare xs
+let is_unit r = r = { left = 0.; right = 1. }

@@ -1,0 +1,5 @@
+(* a module-local comparator shadows Stdlib.compare: bare uses are fine,
+   but the qualified polymorphic one is still flagged *)
+let compare a b = Int.compare a b
+let sorted xs = List.sort compare xs
+let worst xs = List.sort Stdlib.compare xs

@@ -1,0 +1,3 @@
+(* seeded violations: unstructured failure (lib/-scoped rule) *)
+let explode () = failwith "boom"
+let impossible () = assert false

@@ -1,0 +1,4 @@
+(* seeded violations: console output (lib/-scoped rule) *)
+let shout () = Printf.printf "loud\n"
+let report s = print_endline s
+let trace s = Format.eprintf "%s" s

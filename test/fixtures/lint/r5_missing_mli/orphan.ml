@@ -1,0 +1,2 @@
+(* seeded violation: no sibling orphan.mli *)
+let lonely = true

@@ -1,0 +1,1 @@
+val fine : bool

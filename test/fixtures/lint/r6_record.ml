@@ -1,0 +1,4 @@
+(* seeded violations: raw record construction of smart-constructor types *)
+let iv = { left = 0.; right = 1. }
+let it = { id = 1; size = 0.5; arrival = 0.; departure = 1. }
+let shifted i = { i with Interval.right = 2. }

@@ -1,0 +1,5 @@
+(* both suppression positions: end of the flagged line, and line above *)
+let same x y = x == y (* dbp-lint: allow R1 fixture keeps identity check *)
+
+(* dbp-lint: allow R3 fixture demonstrates line-above suppression *)
+let explode () = failwith "boom"

@@ -1,0 +1,4 @@
+(* dbp-lint: allow R1 nothing on the next line violates R1 *)
+let fine x = x + 1
+
+let also_fine y = y * 2 (* dbp-lint: allow R9 no such finding either *)

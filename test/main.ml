@@ -30,6 +30,7 @@ let () =
       ("forecast", Test_forecast.suite);
       ("trace-ops-metrics", Test_trace_ops_metrics.suite);
       ("golden", Test_golden.suite);
+      ("lint", Test_lint.suite);
       ("faults", Test_faults.suite);
       ("sim", Test_sim.suite);
       ("integration", Test_integration.suite);

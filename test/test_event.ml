@@ -17,7 +17,7 @@ let test_departure_before_arrival_at_same_time () =
   let inst = instance [ (0.5, 0., 5.); (0.5, 5., 6.) ] in
   let kinds =
     Event.of_instance inst
-    |> List.filter (fun e -> e.Event.time = 5.)
+    |> List.filter (fun e -> Float.equal e.Event.time 5.)
     |> List.map (fun e -> Event.kind_to_string e.Event.kind)
   in
   Alcotest.(check (list string)) "departure first" [ "departure"; "arrival" ]

@@ -1,0 +1,177 @@
+(* The dbp-lint linter: each rule on its seeded fixture (exact ids and
+   positions), scope gating, suppression lifecycle, rendering and a meta
+   test that the actual repo tree is lint-clean. *)
+
+open Dbp_lint
+
+let fixture name = Filename.concat "fixtures/lint" name
+
+(* (rule, line, col) triples, in reported order. *)
+let hits = Alcotest.(list (triple string int int))
+
+let hits_of findings =
+  List.map (fun f -> (Finding.rule f, Finding.line f, Finding.col f)) findings
+
+let check_file ?scope name expected =
+  Alcotest.check hits name expected
+    (hits_of (Driver.lint_file ?scope (fixture name)))
+
+let test_r1 () =
+  check_file "r1_physical_eq.ml" [ ("R1", 2, 17); ("R1", 3, 19) ]
+
+let test_r2 () =
+  check_file "r2_float_eq.ml"
+    [
+      ("R2", 2, 18); ("R2", 3, 17); ("R2", 4, 26); ("R2", 5, 18);
+      ("R6", 5, 20);
+    ]
+
+let test_r2_shadowed_compare () =
+  (* the module defines its own [compare]: bare uses pass, the
+     Stdlib-qualified polymorphic one is still flagged *)
+  check_file "r2_shadowed_compare.ml" [ ("R2", 5, 25) ]
+
+let test_r3 () =
+  check_file ~scope:Rules.Lib "r3_failwith.ml"
+    [ ("R3", 2, 17); ("R3", 3, 20) ]
+
+let test_r4 () =
+  check_file ~scope:Rules.Lib "r4_print.ml"
+    [ ("R4", 2, 15); ("R4", 3, 15); ("R4", 4, 14) ]
+
+let test_scope_gating () =
+  (* R3/R4 only apply under lib/: the same fixtures are clean at the
+     fixture path's own scope and at Bench scope *)
+  check_file "r3_failwith.ml" [];
+  check_file ~scope:Rules.Bench "r4_print.ml" []
+
+let test_r5 () =
+  let findings =
+    Driver.lint_tree ~scope:Rules.Lib [ fixture "r5_missing_mli" ]
+  in
+  Alcotest.check hits "orphan.ml flagged, paired.ml not"
+    [ ("R5", 1, 0) ] (hits_of findings);
+  Alcotest.(check (list string))
+    "finding names the orphan"
+    [ fixture "r5_missing_mli/orphan.ml" ]
+    (List.map Finding.file findings)
+
+let test_r6 () =
+  check_file "r6_record.ml" [ ("R6", 2, 9); ("R6", 3, 9); ("R6", 4, 16) ]
+
+let test_r6_defining_module_exempt () =
+  (* the same construction inside the defining module is fine, wherever
+     the repo is checked out relative to the linter's cwd *)
+  let source = "let mk l r = { left = l; right = r }\n" in
+  Alcotest.check hits "interval.ml may build its own record" []
+    (hits_of
+       (Driver.lint_source ~path:"../lib/core/interval.ml" source));
+  Alcotest.check hits "other modules may not" [ ("R6", 1, 13) ]
+    (hits_of (Driver.lint_source ~path:"lib/core/step_function.ml" source))
+
+let test_suppressed () =
+  check_file ~scope:Rules.Lib "suppressed.ml" []
+
+let test_unused_suppression () =
+  check_file "unused_suppression.ml" [ ("R0", 1, 0); ("R0", 4, 0) ]
+
+let test_malformed_marker () =
+  check_file "malformed_marker.ml" [ ("R0", 1, 0); ("R0", 4, 0) ]
+
+let test_same_line_suppression_priority () =
+  (* two findings on adjacent lines, each with its own end-of-line allow:
+     the first allow must not swallow the second line's finding *)
+  let source =
+    "let a x y = x == y (* dbp-lint: allow R1 one *)\n"
+    ^ "let b x y = x == y (* dbp-lint: allow R1 two *)\n"
+  in
+  Alcotest.check hits "both consumed, none unused" []
+    (hits_of (Driver.lint_source ~path:"x.ml" source))
+
+let test_marker_in_string_not_a_suppression () =
+  (* the marker inside a string literal is neither a suppression nor a
+     malformed-marker finding *)
+  let source = "let s = \"(* dbp-lint: allow R1 nope *)\"\nlet t x y = x == y\n" in
+  Alcotest.check hits "string literal ignored, violation kept"
+    [ ("R1", 2, 14) ]
+    (hits_of (Driver.lint_source ~path:"x.ml" source))
+
+let test_parse_error () =
+  match Driver.lint_source ~path:"broken.ml" "let = (" with
+  | [ f ] -> Alcotest.(check string) "parse failures are findings" "P0" (Finding.rule f)
+  | fs -> Alcotest.failf "expected one P0 finding, got %d" (List.length fs)
+
+let test_registry () =
+  let ids = List.map (fun r -> r.Rules.id) Rules.all in
+  Alcotest.(check (list string))
+    "registry covers R0 plus the six rules"
+    [ "R0"; "R1"; "R2"; "R3"; "R4"; "R5"; "R6" ]
+    ids
+
+let test_json () =
+  let findings = Driver.lint_file (fixture "r1_physical_eq.ml") in
+  let json = Driver.to_json findings in
+  Alcotest.(check bool) "has count 2" true
+    (Str_exists.contains_substring json "\"count\":2");
+  Alcotest.(check bool) "findings carry rule ids" true
+    (Str_exists.contains_substring json "\"rule\":\"R1\"");
+  Alcotest.(check string) "empty report is stable" "{\"findings\":[],\"count\":0}\n"
+    (Driver.to_json [])
+
+let test_text_rendering () =
+  let out = Driver.to_text (Driver.lint_file (fixture "r1_physical_eq.ml")) in
+  Alcotest.(check bool) "compiler-style position" true
+    (Str_exists.contains_substring out "r1_physical_eq.ml:2:17: [R1]");
+  Alcotest.(check bool) "hint line present" true
+    (Str_exists.contains_substring out "hint: use structural (=)");
+  Alcotest.(check string) "clean report" "dbp-lint: clean\n" (Driver.to_text [])
+
+(* The meta test: the shipped tree has zero findings.  Tests run from
+   test/ inside the build tree, so walk up to the project root first. *)
+let test_repo_tree_clean () =
+  let rec find_root dir =
+    if Sys.file_exists (Filename.concat dir "dune-project") then dir
+    else
+      let parent = Filename.dirname dir in
+      if parent = dir then Alcotest.fail "no dune-project above cwd"
+      else find_root parent
+  in
+  let cwd = Sys.getcwd () in
+  let root = find_root cwd in
+  Fun.protect
+    ~finally:(fun () -> Sys.chdir cwd)
+    (fun () ->
+      Sys.chdir root;
+      let roots =
+        List.filter Sys.file_exists [ "lib"; "bin"; "bench"; "test" ]
+      in
+      Alcotest.(check (list string))
+        "repo tree is lint-clean" []
+        (List.map Finding.to_string (Driver.lint_tree roots)))
+
+let suite =
+  [
+    Alcotest.test_case "R1 physical equality" `Quick test_r1;
+    Alcotest.test_case "R2 float/record/compare" `Quick test_r2;
+    Alcotest.test_case "R2 shadowed compare" `Quick test_r2_shadowed_compare;
+    Alcotest.test_case "R3 unstructured failure" `Quick test_r3;
+    Alcotest.test_case "R4 print in lib" `Quick test_r4;
+    Alcotest.test_case "R3/R4 scope gating" `Quick test_scope_gating;
+    Alcotest.test_case "R5 missing interface" `Quick test_r5;
+    Alcotest.test_case "R6 raw record construction" `Quick test_r6;
+    Alcotest.test_case "R6 defining-module exemption" `Quick
+      test_r6_defining_module_exempt;
+    Alcotest.test_case "suppression both positions" `Quick test_suppressed;
+    Alcotest.test_case "unused suppressions error" `Quick
+      test_unused_suppression;
+    Alcotest.test_case "malformed markers error" `Quick test_malformed_marker;
+    Alcotest.test_case "same-line suppression priority" `Quick
+      test_same_line_suppression_priority;
+    Alcotest.test_case "marker in string ignored" `Quick
+      test_marker_in_string_not_a_suppression;
+    Alcotest.test_case "parse errors are findings" `Quick test_parse_error;
+    Alcotest.test_case "rule registry" `Quick test_registry;
+    Alcotest.test_case "JSON findings" `Quick test_json;
+    Alcotest.test_case "text rendering" `Quick test_text_rendering;
+    Alcotest.test_case "meta: repo tree is clean" `Quick test_repo_tree_clean;
+  ]

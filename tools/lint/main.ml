@@ -1,0 +1,44 @@
+(* dbp-lint: standalone entry point, also exposed as `dbp lint`.
+
+   Usage: dbp-lint [--json] [PATH ...]
+   Paths default to lib bin bench test (those that exist under the
+   current directory).  Exit status: 0 clean, 1 findings, 2 usage or
+   I/O error. *)
+
+let default_roots () =
+  List.filter Sys.file_exists [ "lib"; "bin"; "bench"; "test" ]
+
+let () =
+  let json = ref false in
+  let paths = ref [] in
+  let spec =
+    [
+      ("--json", Arg.Set json, " emit machine-readable JSON findings");
+      ("--rules", Arg.Unit (fun () ->
+           List.iter
+             (fun r ->
+               Printf.printf "%-4s %-26s %s\n" r.Dbp_lint.Rules.id
+                 r.Dbp_lint.Rules.name r.Dbp_lint.Rules.hint)
+             Dbp_lint.Rules.all;
+           exit 0),
+       " list the rule registry and exit");
+    ]
+  in
+  let usage = "dbp-lint [--json] [PATH ...]" in
+  Arg.parse spec (fun p -> paths := p :: !paths) usage;
+  let roots =
+    match List.rev !paths with [] -> default_roots () | ps -> ps
+  in
+  if roots = [] then begin
+    prerr_endline "dbp-lint: no lintable roots (run from the repo root)";
+    exit 2
+  end;
+  match Dbp_lint.Driver.lint_tree roots with
+  | findings ->
+      print_string
+        (if !json then Dbp_lint.Driver.to_json findings
+         else Dbp_lint.Driver.to_text findings);
+      exit (if findings = [] then 0 else 1)
+  | exception Invalid_argument msg ->
+      prerr_endline msg;
+      exit 2
