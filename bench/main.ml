@@ -20,11 +20,20 @@
       engine vs. crash rate and slippage probability, averaged over fault
       seeds.  Writes BENCH_faults.json.
 
+   5. Parallel scaling sweep — one Sweep.run workload timed at 1/2/4/8
+      domains through the dbp.par pool.  The point lists are asserted
+      bit-identical to the sequential 1-domain baseline (the pool's
+      determinism contract, enforced here and not just in the tests) and
+      the wall-clock speedup is reported per row.  Writes BENCH_par.json.
+
    Run everything: `dune exec bench/main.exe`
-   Tables only:    `dune exec bench/main.exe -- tables`
+   Tables only:    `dune exec bench/main.exe -- tables [--domains N]`
    Micro only:     `dune exec bench/main.exe -- micro`
    Engine sweep:   `dune exec bench/main.exe -- engine [--quick]`
-   Fault sweep:    `dune exec bench/main.exe -- faults [--quick]` *)
+   Fault sweep:    `dune exec bench/main.exe -- faults [--quick]`
+   Parallel sweep: `dune exec bench/main.exe -- par [--quick] [--domains N]`
+
+   `--domains 0` means auto (Pool.default_domains). *)
 
 open Bechamel
 open Toolkit
@@ -32,11 +41,18 @@ open Toolkit
 (* ------------------------------------------------------------------ *)
 (* Part 1: experiment tables.                                           *)
 
-let run_tables () =
+let run_tables ~domains () =
   print_endline "=== Experiment tables (paper reproduction) ===";
+  let tables =
+    match domains with
+    | None | Some 1 -> Dbp_sim.Experiments.all ()
+    | Some n ->
+        Dbp_par.Pool.with_pool ~domains:n (fun pool ->
+            Dbp_sim.Experiments.all ~pool ())
+  in
   List.iter
     (fun (name, table) -> Dbp_sim.Report.print ~title:name table)
-    (Dbp_sim.Experiments.all ());
+    tables;
   Printf.printf "\nFigure-8 crossover mu (paper: 4): %.2f\n"
     (Dbp_sim.Experiments.figure8_crossover ())
 
@@ -195,15 +211,17 @@ let engine_instance n =
 
 let time_best reps f =
   let best = ref infinity in
-  let value = ref nan in
+  let value = ref None in
   for _ = 1 to reps do
     let t0 = Unix.gettimeofday () in
     let v = f () in
     let dt = Unix.gettimeofday () -. t0 in
     if dt < !best then best := dt;
-    value := v
+    value := Some v
   done;
-  (!best, !value)
+  match !value with
+  | Some v -> (!best, v)
+  | None -> invalid_arg "time_best: reps < 1"
 
 type engine_row = {
   jobs : int;
@@ -438,17 +456,184 @@ let run_faults ~quick () =
   close_out oc;
   Printf.printf "wrote %s\n" out
 
+(* ------------------------------------------------------------------ *)
+(* Part 5: parallel scaling sweep (BENCH_par.json).                     *)
+
+let par_packers () =
+  [
+    Dbp_sim.Runner.online Dbp_online.Any_fit.first_fit;
+    Dbp_sim.Runner.online Dbp_online.Any_fit.best_fit;
+    Dbp_sim.Runner.online Dbp_online.Any_fit.worst_fit;
+    Dbp_sim.Runner.online (Dbp_online.Hybrid_first_fit.make ());
+    Dbp_sim.Runner.offline "ddff" Dbp_offline.Ddff.pack;
+  ]
+
+let par_sweep ~items ~seeds ~mus pool =
+  let generate ~seed mu =
+    (* Replicate seeds go through the same splitmix64 stream derivation
+       the pool's determinism contract prescribes for per-task
+       randomness (Prng.derive), so each workload is a pure function of
+       (root, replicate) no matter which domain generates it. *)
+    let seed =
+      Dbp_workload.Prng.int
+        (Dbp_workload.Prng.derive ~root:42 ~index:seed)
+        1_000_000
+    in
+    Dbp_workload.Generator.with_mu ~seed ~items ~mu ()
+  in
+  Dbp_sim.Sweep.run ?pool ~seeds ~parameters:mus ~generate
+    ~packers:(par_packers ())
+    ~metric:(fun _ packing -> Dbp_core.Packing.total_usage_time packing)
+    ()
+
+let points_equal ps qs =
+  List.length ps = List.length qs
+  && List.for_all2
+       (fun (p : Dbp_sim.Sweep.point) (q : Dbp_sim.Sweep.point) ->
+         Float.equal p.parameter q.parameter
+         && String.equal p.label q.label
+         && p.ratios.Dbp_sim.Stats.n = q.ratios.Dbp_sim.Stats.n
+         && Float.equal p.ratios.mean q.ratios.mean
+         && Float.equal p.ratios.stddev q.ratios.stddev
+         && Float.equal p.ratios.min q.ratios.min
+         && Float.equal p.ratios.max q.ratios.max)
+       ps qs
+
+let usage_total points =
+  List.fold_left
+    (fun acc (p : Dbp_sim.Sweep.point) ->
+      acc +. (p.ratios.Dbp_sim.Stats.mean *. float_of_int p.ratios.n))
+    0. points
+
+type par_row = {
+  p_domains : int;
+  seconds : float;
+  speedup : float;
+  p_usage : float;
+  identical : bool;
+}
+
+let par_json ~items ~seeds ~mus ~cores rows =
+  let row_json { p_domains; seconds; speedup; p_usage; identical } =
+    Printf.sprintf
+      "    {\"domains\": %d, \"seconds\": %.6f, \"speedup\": %.3f, \
+       \"usage_total\": %.9f, \"identical_to_baseline\": %b}"
+      p_domains seconds speedup p_usage identical
+  in
+  String.concat ""
+    [
+      "{\n";
+      "  \"benchmark\": \"parallel scaling sweep (dbp.par domain pool)\",\n";
+      "  \"command\": \"dune exec bench/main.exe -- par\",\n";
+      Printf.sprintf
+        "  \"workload\": \"Sweep.run, Generator.with_mu %d items, mus [%s], \
+         %d Prng.derive-keyed seed replicates, 5 packers\",\n"
+        items
+        (String.concat "; " (List.map (Printf.sprintf "%g") mus))
+        seeds;
+      "  \"note\": \"every row's full point list is asserted bit-identical \
+       to the sequential 1-domain baseline (pool determinism contract); \
+       speedup is baseline seconds / row seconds, best of the timing \
+       repetitions\",\n";
+      Printf.sprintf "  \"cores_available\": %d,\n" cores;
+      "  \"results\": [\n";
+      String.concat ",\n" (List.map row_json rows);
+      "\n  ]\n}\n";
+    ]
+
+let run_par ~quick ~domains_limit () =
+  let items = if quick then 300 else 2_000 in
+  let seeds = if quick then 2 else 6 in
+  let mus = if quick then [ 2.; 8. ] else [ 2.; 8.; 32.; 64. ] in
+  let reps = if quick then 1 else 3 in
+  let cores = Dbp_par.Pool.available_cores () in
+  let grid =
+    let base = if quick then [ 1; 2 ] else [ 1; 2; 4; 8 ] in
+    match domains_limit with
+    | None -> base
+    | Some limit ->
+        let limit = max 1 limit in
+        List.sort_uniq Int.compare
+          (1 :: limit :: List.filter (fun d -> d < limit) base)
+  in
+  Printf.printf "=== Parallel scaling sweep (%s; %d core%s available) ===\n%!"
+    (if quick then "quick" else "full")
+    cores
+    (if cores = 1 then "" else "s");
+  let baseline = ref None in
+  let rows =
+    List.map
+      (fun domains ->
+        let seconds, points =
+          if domains = 1 then
+            time_best reps (fun () -> par_sweep ~items ~seeds ~mus None)
+          else
+            Dbp_par.Pool.with_pool ~domains (fun pool ->
+                time_best reps (fun () ->
+                    par_sweep ~items ~seeds ~mus (Some pool)))
+        in
+        let base_seconds, base_points =
+          match !baseline with
+          | Some b -> b
+          | None ->
+              baseline := Some (seconds, points);
+              (seconds, points)
+        in
+        let identical = points_equal points base_points in
+        if not identical then
+          failwith
+            (Printf.sprintf
+               "par sweep: point list at %d domains differs from the \
+                1-domain baseline (determinism contract violated)"
+               domains);
+        let speedup = base_seconds /. seconds in
+        Printf.printf
+          "  %2d domains  %8.4fs  speedup %5.2fx  usage total %.3f  \
+           identical yes\n\
+           %!"
+          domains seconds speedup (usage_total points);
+        { p_domains = domains; seconds; speedup; p_usage = usage_total points;
+          identical })
+      grid
+  in
+  (if cores >= 4 then
+     match List.find_opt (fun r -> r.p_domains = 4) rows with
+     | Some r when r.speedup < 2.5 ->
+         Printf.printf
+           "  WARNING: 4-domain speedup %.2fx is below the 2.5x target on \
+            a %d-core machine\n\
+            %!"
+           r.speedup cores
+     | _ -> ());
+  let out = if quick then "BENCH_par_quick.json" else "BENCH_par.json" in
+  let oc = open_out out in
+  output_string oc (par_json ~items ~seeds ~mus ~cores rows);
+  close_out oc;
+  Printf.printf "wrote %s\n" out
+
 let () =
   let mode = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
   let quick =
     Array.exists (fun a -> a = "--quick") Sys.argv
   in
+  let domains_limit =
+    let r = ref None in
+    Array.iteri
+      (fun i a ->
+        if a = "--domains" && i + 1 < Array.length Sys.argv then
+          r := int_of_string_opt Sys.argv.(i + 1))
+      Sys.argv;
+    match !r with
+    | Some 0 -> Some (Dbp_par.Pool.default_domains ())
+    | limit -> limit
+  in
   (match mode with
-  | "tables" -> run_tables ()
+  | "tables" -> run_tables ~domains:domains_limit ()
   | "micro" -> run_micro ()
   | "engine" -> run_engine ~quick ()
   | "faults" -> run_faults ~quick ()
+  | "par" -> run_par ~quick ~domains_limit ()
   | _ ->
-      run_tables ();
+      run_tables ~domains:domains_limit ();
       run_micro ());
   print_newline ()

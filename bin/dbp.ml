@@ -17,6 +17,26 @@ open Cmdliner
 let seed_arg =
   Arg.(value & opt int 0 & info [ "seed" ] ~docv:"N" ~doc:"PRNG seed.")
 
+let domains_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "domains" ] ~docv:"N"
+        ~doc:
+          "Run across N domains through the dbp.par pool (results are \
+           bit-identical to the sequential run).  0 means auto: \
+           recommended cores minus one, clamped to 8.  Default: \
+           sequential.")
+
+(* [--domains] wraps the command body in a pool: absent means the
+   sequential code path, 0 means Pool.default_domains. *)
+let with_opt_pool domains f =
+  match domains with
+  | None -> f None
+  | Some n ->
+      let domains = if n = 0 then Dbp_par.Pool.default_domains () else n in
+      Dbp_par.Pool.with_pool ~domains (fun pool -> f (Some pool))
+
 let workload_conv =
   Arg.enum
     [
@@ -79,7 +99,7 @@ let run_cmd =
       & info [ "metrics" ]
           ~doc:"Also print detailed per-algorithm packing metrics.")
   in
-  let run seed workload trace opt algos metrics =
+  let run seed workload trace opt algos metrics domains =
     let instance = make_instance ~seed workload trace in
     let packers =
       match algos with
@@ -100,7 +120,10 @@ let run_cmd =
       (Dbp_core.Instance.span instance)
       (Dbp_core.Instance.demand instance)
       (Dbp_core.Instance.mu instance);
-    let scores = Dbp_sim.Runner.evaluate ~opt packers instance in
+    let scores =
+      with_opt_pool domains (fun pool ->
+          Dbp_sim.Runner.evaluate ?pool ~opt packers instance)
+    in
     Dbp_sim.Report.print (Dbp_sim.Runner.score_table scores);
     if metrics then
       List.iter
@@ -115,7 +138,7 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Pack a workload with the portfolio and score it.")
     Term.(
       const run $ seed_arg $ workload_arg $ trace_arg $ opt_flag $ algos_arg
-      $ metrics_flag)
+      $ metrics_flag $ domains_arg)
 
 (* ---- figure8 ---- *)
 
@@ -126,9 +149,12 @@ let figure8_cmd =
   let csv =
     Arg.(value & flag & info [ "csv" ] ~doc:"Emit CSV instead of a table.")
   in
-  let run max_mu csv =
+  let run max_mu csv domains =
     let mus = List.init max_mu (fun i -> float_of_int (i + 1)) in
-    let table = Dbp_sim.Experiments.figure8 ~mus () in
+    let table =
+      with_opt_pool domains (fun pool ->
+          Dbp_sim.Experiments.figure8 ?pool ~mus ())
+    in
     if csv then print_string (Dbp_sim.Report.to_csv table)
     else begin
       Dbp_sim.Report.print ~title:"Figure 8: best competitive ratios" table;
@@ -138,7 +164,7 @@ let figure8_cmd =
   in
   Cmd.v
     (Cmd.info "figure8" ~doc:"Print the paper's Figure 8 series.")
-    Term.(const run $ max_mu $ csv)
+    Term.(const run $ max_mu $ csv $ domains_arg)
 
 (* ---- experiments ---- *)
 
@@ -150,9 +176,9 @@ let experiments_cmd =
       & info [ "only" ] ~docv:"PREFIX"
           ~doc:"Run only experiments whose id starts with PREFIX (e.g. T3).")
   in
-  let run only =
+  let run only domains =
     let selected =
-      Dbp_sim.Experiments.all ()
+      with_opt_pool domains (fun pool -> Dbp_sim.Experiments.all ?pool ())
       |> List.filter (fun (name, _) ->
              match only with
              | None -> true
@@ -172,7 +198,7 @@ let experiments_cmd =
   Cmd.v
     (Cmd.info "experiments"
        ~doc:"Regenerate the experiment suite (tables T1-T5, E1-E4, F8).")
-    Term.(const run $ only)
+    Term.(const run $ only $ domains_arg)
 
 (* ---- gadget ---- *)
 

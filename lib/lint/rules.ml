@@ -45,6 +45,10 @@ let r6_hint = "use the Interval.make / Item.make smart constructors"
 
 let r0_hint = "remove the stale (* dbp-lint: allow ... *) comment"
 
+let r7_hint =
+  "go through Dbp_par.Pool (parallel_map / parallel_for); only lib/par \
+   may touch Domain, Mutex, Condition or Atomic"
+
 let all =
   [
     { id = "R0"; name = "unused-suppression"; hint = r0_hint };
@@ -54,6 +58,7 @@ let all =
     { id = "R4"; name = "print-in-lib"; hint = r4_hint };
     { id = "R5"; name = "missing-interface"; hint = r5_hint };
     { id = "R6"; name = "raw-record-construction"; hint = r6_hint };
+    { id = "R7"; name = "concurrency-confinement"; hint = r7_hint };
   ]
 
 (* ---- identifier classification ---------------------------------------- *)
@@ -100,6 +105,29 @@ let is_print lid =
       match stdlib_name lid with
       | Some s -> List.mem s print_names
       | None -> false)
+
+(* ---- R7 concurrency confinement --------------------------------------- *)
+
+let concurrency_modules = [ "Domain"; "Mutex"; "Condition"; "Atomic" ]
+
+(* A qualified use rooted in one of the shared-memory primitive modules:
+   [Domain.spawn], [Mutex.t], [Stdlib.Atomic.make], ...  A bare module
+   name alone never matches (there is nothing to use without a member). *)
+let concurrency_use lid =
+  let components =
+    match Longident.flatten lid with
+    | "Stdlib" :: rest -> rest
+    | components -> components
+  in
+  match components with
+  | m :: _ :: _ when List.mem m concurrency_modules -> Some m
+  | _ -> None
+
+(* The whole point of the rule: the pool is the one place allowed to
+   spawn and synchronise, so everything under lib/par/ is exempt. *)
+let r7_exempt path =
+  let n = norm_path path in
+  String.length n >= 8 && String.sub n 0 8 = "lib/par/"
 
 (* ---- R2 operand shapes ------------------------------------------------ *)
 
@@ -175,6 +203,15 @@ let check_expr ~path ~scope ~shadowed_compare acc (e : Parsetree.expression) =
         add "R4" loc
           (Printf.sprintf "console output (%s) from lib/" (Longident.last txt))
           r4_hint
+      else begin
+        match concurrency_use txt with
+        | Some _ when not (r7_exempt path) ->
+            add "R7" loc
+              (Printf.sprintf "%s used outside lib/par"
+                 (String.concat "." (Longident.flatten txt)))
+              r7_hint
+        | _ -> ()
+      end
   | Pexp_apply
       ({ pexp_desc = Pexp_ident { txt; loc }; _ }, [ (_, lhs); (_, rhs) ])
     when is_poly_eq txt && (is_float_literal lhs || is_float_literal rhs) ->
@@ -204,6 +241,23 @@ let check_expr ~path ~scope ~shadowed_compare acc (e : Parsetree.expression) =
       | None -> ())
   | _ -> ()
 
+(* R7 also fires on types ([Mutex.t] in a signature is as much a leak as
+   [Mutex.create] in an implementation). *)
+let check_typ ~path acc (t : Parsetree.core_type) =
+  match t.ptyp_desc with
+  | Ptyp_constr ({ txt; loc }, _) -> (
+      match concurrency_use txt with
+      | Some _ when not (r7_exempt path) ->
+          acc :=
+            Finding.of_loc ~rule:"R7" ~loc
+              ~message:
+                (Printf.sprintf "%s used outside lib/par"
+                   (String.concat "." (Longident.flatten txt)))
+              ~hint:r7_hint
+            :: !acc
+      | _ -> ())
+  | _ -> ()
+
 let iterator ~path ~scope ~shadowed_compare acc =
   let default = Ast_iterator.default_iterator in
   {
@@ -212,6 +266,10 @@ let iterator ~path ~scope ~shadowed_compare acc =
       (fun self e ->
         check_expr ~path ~scope ~shadowed_compare acc e;
         default.expr self e);
+    typ =
+      (fun self t ->
+        check_typ ~path acc t;
+        default.typ self t);
   }
 
 (* Does the module define its own toplevel [compare]? *)

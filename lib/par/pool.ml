@@ -1,0 +1,234 @@
+(* A fixed-size domain pool, from scratch on Domain/Mutex/Condition.
+
+   Design (DESIGN.md section 11):
+
+   - [create ~domains:n] spawns n-1 worker domains; the submitting
+     thread is worker 0 and executes chunks too, so [~domains:1] spawns
+     nothing and every parallel_* call degenerates to the plain
+     sequential loop.  Determinism is the contract: task [i] always
+     computes the same value and lands in slot [i] of the result, so a
+     run under any pool size is bit-identical to the sequential run.
+
+   - One job at a time.  Submission chunks the index space, deals the
+     chunks round-robin into per-worker queues (Task_queue), wakes the
+     workers, and drains chunks itself until none are left to start,
+     then blocks until the in-flight ones finish.
+
+   - All scheduling state is under one mutex; only chunk execution runs
+     outside it.  Chunks are coarse (batches of simulation runs), so the
+     serialised scheduler is never the bottleneck; what matters is that
+     workers sleep on a condition variable between jobs instead of
+     spinning.
+
+   - First failure wins: a task that raises records (index, exn), flips
+     the job's cancellation flag (an Atomic, the only lock-free state,
+     so running chunks can observe it between tasks without taking the
+     lock) and the submitter re-raises [Task_error] once the job
+     settles.  Chunks not yet started are skipped, finished results are
+     discarded, and the pool stays usable. *)
+
+exception Task_error of int * exn
+
+let () =
+  Printexc.register_printer (function
+    | Task_error (index, e) ->
+        Some
+          (Printf.sprintf "Dbp_par.Pool.Task_error (task %d, %s)" index
+             (Printexc.to_string e))
+    | _ -> None)
+
+let max_default_domains = 8
+
+let default_domains () =
+  let d = Domain.recommended_domain_count () - 1 in
+  if d < 1 then 1 else if d > max_default_domains then max_default_domains else d
+
+let available_cores () = Domain.recommended_domain_count ()
+
+type job = {
+  queue : Task_queue.t;
+  ranges : (int * int) array;  (* chunk c runs tasks [lo, hi) *)
+  run_task : int -> unit;
+  mutable unfinished : int;  (* chunks not yet completed *)
+  mutable failure : (int * exn) option;  (* smallest observed task index *)
+  cancelled : bool Atomic.t;
+}
+
+type t = {
+  lock : Mutex.t;
+  have_work : Condition.t;  (* workers: a new job (or shutdown) *)
+  all_done : Condition.t;  (* submitter: unfinished reached 0 *)
+  mutable current : job option;
+  mutable epoch : int;  (* bumped per job; workers drain each epoch once *)
+  mutable shutting_down : bool;
+  mutable workers : unit Domain.t list;
+  size : int;
+}
+
+let domains t = t.size
+
+let record_failure job index e =
+  (match job.failure with
+  | Some (i, _) when i <= index -> ()
+  | Some _ | None -> job.failure <- Some (index, e));
+  Atomic.set job.cancelled true
+
+(* Run one chunk's tasks outside the lock; [None] = clean (including
+   skipped-by-cancellation), [Some (i, e)] = task i raised e. *)
+let run_chunk job ~lo ~hi =
+  let rec go i =
+    if i >= hi || Atomic.get job.cancelled then None
+    else
+      match job.run_task i with
+      | () -> go (i + 1)
+      | exception e -> Some (i, e)
+  in
+  go lo
+
+(* Take and run chunks until none are left to start.  Lock held on entry
+   and on exit. *)
+let drain t job ~worker =
+  let rec loop () =
+    match Task_queue.take job.queue ~worker with
+    | None -> ()
+    | Some c ->
+        let lo, hi = job.ranges.(c) in
+        Mutex.unlock t.lock;
+        let outcome = run_chunk job ~lo ~hi in
+        Mutex.lock t.lock;
+        (match outcome with
+        | Some (i, e) -> record_failure job i e
+        | None -> ());
+        job.unfinished <- job.unfinished - 1;
+        if job.unfinished = 0 then Condition.broadcast t.all_done;
+        loop ()
+  in
+  loop ()
+
+let worker_loop t ~worker () =
+  Mutex.lock t.lock;
+  let drained = ref 0 in
+  let rec loop () =
+    if t.shutting_down then Mutex.unlock t.lock
+    else
+      match t.current with
+      | Some job when t.epoch <> !drained ->
+          drained := t.epoch;
+          drain t job ~worker;
+          loop ()
+      | Some _ | None ->
+          Condition.wait t.have_work t.lock;
+          loop ()
+  in
+  loop ()
+
+let create ?domains () =
+  let size = match domains with Some d -> d | None -> default_domains () in
+  if size < 1 then invalid_arg "Pool.create: domains < 1";
+  let t =
+    {
+      lock = Mutex.create ();
+      have_work = Condition.create ();
+      all_done = Condition.create ();
+      current = None;
+      epoch = 0;
+      shutting_down = false;
+      workers = [];
+      size;
+    }
+  in
+  t.workers <-
+    List.init (size - 1) (fun i -> Domain.spawn (worker_loop t ~worker:(i + 1)));
+  t
+
+let shutdown t =
+  Mutex.lock t.lock;
+  t.shutting_down <- true;
+  Condition.broadcast t.have_work;
+  Mutex.unlock t.lock;
+  List.iter Domain.join t.workers;
+  t.workers <- []
+
+let with_pool ?domains f =
+  let t = create ?domains () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+(* The sequential backstop: same task order, same failure contract. *)
+let sequential_for n run_task =
+  let rec go i =
+    if i < n then
+      match run_task i with
+      | () -> go (i + 1)
+      | exception e -> raise (Task_error (i, e))
+  in
+  go 0
+
+let chunk_size t ~chunk n =
+  match chunk with
+  | Some c ->
+      if c < 1 then invalid_arg "Pool.parallel: chunk < 1";
+      c
+  | None ->
+      (* Four chunks per worker balances stealing opportunity against
+         scheduling overhead for the fleet sizes the sweeps produce. *)
+      let c = n / (t.size * 4) in
+      if c < 1 then 1 else c
+
+let parallel_for t ?chunk n run_task =
+  if n < 0 then invalid_arg "Pool.parallel_for: negative task count";
+  let chunk = chunk_size t ~chunk (max n 1) in
+  if n = 0 then ()
+  else if t.size = 1 then sequential_for n run_task
+  else begin
+    let chunks = (n + chunk - 1) / chunk in
+    let ranges =
+      Array.init chunks (fun c -> (c * chunk, min n ((c + 1) * chunk)))
+    in
+    let job =
+      {
+        queue = Task_queue.create ~workers:t.size ~chunks;
+        ranges;
+        run_task;
+        unfinished = chunks;
+        failure = None;
+        cancelled = Atomic.make false;
+      }
+    in
+    Mutex.lock t.lock;
+    if t.shutting_down then begin
+      Mutex.unlock t.lock;
+      invalid_arg "Pool.parallel_for: pool is shut down"
+    end;
+    (match t.current with
+    | Some _ ->
+        Mutex.unlock t.lock;
+        invalid_arg "Pool.parallel_for: a job is already in flight"
+    | None -> ());
+    t.current <- Some job;
+    t.epoch <- t.epoch + 1;
+    Condition.broadcast t.have_work;
+    (* The submitter is worker 0: it drains chunks like everyone else,
+       then waits for the stragglers. *)
+    drain t job ~worker:0;
+    while job.unfinished > 0 do
+      Condition.wait t.all_done t.lock
+    done;
+    t.current <- None;
+    Mutex.unlock t.lock;
+    match job.failure with
+    | Some (i, e) -> raise (Task_error (i, e))
+    | None -> ()
+  end
+
+let map_array t ?chunk f xs =
+  let n = Array.length xs in
+  let out = Array.make n None in
+  parallel_for t ?chunk n (fun i -> out.(i) <- Some (f xs.(i)));
+  Array.map
+    (function
+      | Some v -> v
+      | None -> invalid_arg "Pool.map_array: task produced no result")
+    out
+
+let parallel_map t ?chunk f xs =
+  Array.to_list (map_array t ?chunk f (Array.of_list xs))

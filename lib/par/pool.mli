@@ -1,0 +1,64 @@
+(** A fixed-size domain pool (from scratch: [Domain], [Mutex],
+    [Condition]; no domainslib).
+
+    Parallelises the fleets of independent runs behind the sweeps, the
+    experiment suite and the bench harness.  The contract is
+    {e determinism}: task [i] computes the same value whatever the pool
+    size or schedule, results come back in submission order, and a run
+    with any [~domains] is bit-identical to the sequential run.  Tasks
+    needing randomness derive their stream from the root seed and their
+    own index ({!Dbp_workload.Prng.derive}), never from a shared
+    generator.
+
+    One job runs at a time; submitting from inside a task (nesting) is
+    rejected.  The submitting thread participates as a worker, so a pool
+    of size 1 spawns no domains and runs the plain sequential loop.  See
+    DESIGN.md section 11. *)
+
+type t
+
+exception Task_error of int * exn
+(** Raised by the [parallel_*] functions when a task raises: the failing
+    task's index paired with its exception (the smallest observed index,
+    when cancellation lets several fail).  The first failure cancels the
+    chunks not yet started; in-flight chunks stop at their next task
+    boundary; the pool remains usable. *)
+
+val default_domains : unit -> int
+(** [Domain.recommended_domain_count () - 1] (one core left for the
+    submitting thread's own work), clamped to [\[1, 8\]]. *)
+
+val available_cores : unit -> int
+(** [Domain.recommended_domain_count ()], unclamped.  Exposed here so
+    callers outside [lib/par] never touch [Domain] directly (lint R7,
+    concurrency confinement). *)
+
+val create : ?domains:int -> unit -> t
+(** A pool of [domains] workers including the caller (default
+    {!default_domains}); spawns [domains - 1] domains.
+    @raise Invalid_argument if [domains < 1]. *)
+
+val domains : t -> int
+
+val parallel_for : t -> ?chunk:int -> int -> (int -> unit) -> unit
+(** [parallel_for t n f] runs [f 0 .. f (n-1)] across the pool in
+    batches of [chunk] consecutive indices (default: tasks split into
+    about four chunks per worker), dealt round-robin with stealing.
+    @raise Task_error on the first task failure.
+    @raise Invalid_argument if [n < 0] or [chunk < 1]. *)
+
+val parallel_map : t -> ?chunk:int -> ('a -> 'b) -> 'a list -> 'b list
+(** Like [List.map], with the elements evaluated across the pool and the
+    results routed back in submission order: for a pure [f] the result
+    is identical to [List.map f] under every pool size.
+    @raise Task_error on the first task failure. *)
+
+val map_array : t -> ?chunk:int -> ('a -> 'b) -> 'a array -> 'b array
+(** [parallel_map] over arrays. *)
+
+val shutdown : t -> unit
+(** Join the worker domains.  Idempotent; subsequent [parallel_*] calls
+    raise [Invalid_argument]. *)
+
+val with_pool : ?domains:int -> (t -> 'a) -> 'a
+(** [create], run, [shutdown] (also on exception). *)

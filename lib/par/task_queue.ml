@@ -1,0 +1,75 @@
+(* Per-worker chunk deques with simple stealing.  All operations are
+   performed under the pool's lock (the pool serialises queue access and
+   parallelises only the execution of chunks), so the representation is a
+   plain array-backed deque per worker with no internal synchronisation:
+   chunk granularity is coarse -- each chunk is a batch of simulation
+   runs -- and the scheduling cost is noise next to the work itself. *)
+
+type t = {
+  slots : int array array;  (* per worker, capacity = total chunk count *)
+  head : int array;  (* owner pops here (front) *)
+  tail : int array;  (* one past the last element; thieves pop at tail-1 *)
+}
+
+let create ~workers ~chunks =
+  if workers < 1 then invalid_arg "Task_queue.create: workers < 1";
+  if chunks < 0 then invalid_arg "Task_queue.create: chunks < 0";
+  let t =
+    {
+      slots = Array.init workers (fun _ -> Array.make (max chunks 1) 0);
+      head = Array.make workers 0;
+      tail = Array.make workers 0;
+    }
+  in
+  (* Deal chunks round-robin so that the low (leftmost) chunks -- which
+     correspond to the first submitted tasks -- start on distinct workers
+     immediately. *)
+  for c = 0 to chunks - 1 do
+    let w = c mod workers in
+    t.slots.(w).(t.tail.(w)) <- c;
+    t.tail.(w) <- t.tail.(w) + 1
+  done;
+  t
+
+let workers t = Array.length t.slots
+
+let length t worker = t.tail.(worker) - t.head.(worker)
+
+let remaining t =
+  let total = ref 0 in
+  for w = 0 to workers t - 1 do
+    total := !total + length t w
+  done;
+  !total
+
+let pop_front t worker =
+  let h = t.head.(worker) in
+  t.head.(worker) <- h + 1;
+  t.slots.(worker).(h)
+
+let pop_back t worker =
+  let i = t.tail.(worker) - 1 in
+  t.tail.(worker) <- i;
+  t.slots.(worker).(i)
+
+(* The victim with the most queued chunks (ties to the lowest worker id),
+   so a steal rebalances the largest backlog. *)
+let victim_of t ~thief =
+  let best = ref (-1) and best_len = ref 0 in
+  for w = 0 to workers t - 1 do
+    let len = length t w in
+    if w <> thief && len > !best_len then begin
+      best := w;
+      best_len := len
+    end
+  done;
+  if !best_len = 0 then None else Some !best
+
+let take t ~worker =
+  if worker < 0 || worker >= workers t then
+    invalid_arg "Task_queue.take: worker out of range";
+  if length t worker > 0 then Some (pop_front t worker)
+  else
+    match victim_of t ~thief:worker with
+    | Some v -> Some (pop_back t v)
+    | None -> None

@@ -1,0 +1,31 @@
+(** Per-worker chunk queues with simple stealing.
+
+    Holds the chunk indices of one parallel job, dealt round-robin across
+    a fixed set of workers at creation.  Each worker pops its own queue
+    from the front; a worker whose queue is empty steals from the back of
+    the most loaded other queue.
+
+    Not thread-safe on its own: the pool performs every operation under
+    its lock (chunks are coarse batches of simulation runs, so serialised
+    scheduling costs nothing measurable), and only chunk {e execution}
+    runs outside it. *)
+
+type t
+
+val create : workers:int -> chunks:int -> t
+(** Chunk ids [0 .. chunks-1] dealt round-robin over [workers] queues.
+    @raise Invalid_argument if [workers < 1] or [chunks < 0]. *)
+
+val workers : t -> int
+
+val length : t -> int -> int
+(** Chunks currently queued for one worker. *)
+
+val remaining : t -> int
+(** Chunks not yet taken, over all queues. *)
+
+val take : t -> worker:int -> int option
+(** The next chunk for [worker]: its own front, else a steal from the
+    back of the longest other queue, else [None] (the job has no chunks
+    left to start; some may still be running elsewhere).
+    @raise Invalid_argument if [worker] is out of range. *)

@@ -7,11 +7,10 @@ let fmt = Printf.sprintf
 
 let figure8_default_mus = [ 1.; 2.; 4.; 8.; 16.; 25.; 36.; 50.; 64.; 81.; 100. ]
 
-let figure8 ?(mus = figure8_default_mus) () =
+let figure8 ?pool ?(mus = figure8_default_mus) () =
   let rows =
     List.map
-      (fun mu ->
-        let r = Dbp_theory.Figure8.row mu in
+      (fun (r : Dbp_theory.Figure8.row) ->
         [
           Report.cell_f ~decimals:0 r.Dbp_theory.Figure8.mu;
           Report.cell_f ~decimals:3 r.Dbp_theory.Figure8.cbdt;
@@ -19,7 +18,7 @@ let figure8 ?(mus = figure8_default_mus) () =
           Report.cell_i r.Dbp_theory.Figure8.cbd_n;
           Report.cell_f ~decimals:0 r.Dbp_theory.Figure8.first_fit;
         ])
-      mus
+      (Dbp_theory.Figure8.series ?pool ~mus ())
   in
   Report.make
     ~columns:
@@ -231,7 +230,7 @@ let lower_bound_gadget () =
 (* ------------------------------------------------------------------ *)
 (* T4/T5: parameter sweeps of the two classification strategies.        *)
 
-let cbdt_sweep ?(seeds = 5) ?(mu = 16.) () =
+let cbdt_sweep ?pool ?(seeds = 5) ?(mu = 16.) () =
   let delta = 1. in
   let rhos = [ 0.5; 1.; 2.; sqrt mu; 8.; mu; 2. *. mu ] in
   let generate ~seed _rho =
@@ -243,7 +242,8 @@ let cbdt_sweep ?(seeds = 5) ?(mu = 16.) () =
         let packer =
           Runner.online (Dbp_online.Classify_departure.make ~rho ())
         in
-        Sweep.run ~seeds ~parameters:[ rho ] ~generate ~packers:[ packer ] ())
+        Sweep.run ?pool ~seeds ~parameters:[ rho ] ~generate
+          ~packers:[ packer ] ())
       rhos
   in
   let rows =
@@ -268,7 +268,7 @@ let cbdt_sweep ?(seeds = 5) ?(mu = 16.) () =
       ]
     ~rows
 
-let cbd_sweep ?(seeds = 5) ?(mu = 16.) () =
+let cbd_sweep ?pool ?(seeds = 5) ?(mu = 16.) () =
   let alphas = [ 1.5; 2.; sqrt mu; 8.; mu ] in
   let generate ~seed _alpha =
     Dbp_workload.Generator.with_mu ~seed ~items:300 ~mu ()
@@ -279,8 +279,8 @@ let cbd_sweep ?(seeds = 5) ?(mu = 16.) () =
         let packer =
           Runner.online (Dbp_online.Classify_duration.make ~alpha ())
         in
-        Sweep.run ~seeds ~parameters:[ alpha ] ~generate ~packers:[ packer ]
-          ())
+        Sweep.run ?pool ~seeds ~parameters:[ alpha ] ~generate
+          ~packers:[ packer ] ())
       alphas
   in
   let rows =
@@ -308,17 +308,18 @@ let cbd_sweep ?(seeds = 5) ?(mu = 16.) () =
 (* ------------------------------------------------------------------ *)
 (* Empirical Figure 8 and ablation.                                     *)
 
-let ratio_vs_mu ?(seeds = 3) ?(mus = [ 1.; 2.; 4.; 8.; 16.; 32.; 64. ]) () =
+let ratio_vs_mu ?pool ?(seeds = 3) ?(mus = [ 1.; 2.; 4.; 8.; 16.; 32.; 64. ])
+    () =
   let generate ~seed mu =
     Dbp_workload.Generator.with_mu ~seed ~items:300 ~mu ()
   in
   let points =
-    Sweep.run ~seeds ~parameters:mus ~generate
+    Sweep.run ?pool ~seeds ~parameters:mus ~generate
       ~packers:Runner.default_portfolio ()
   in
   Sweep.table ~param_name:"mu" points
 
-let combined_ablation ?(seeds = 5) ?(mus = [ 2.; 4.; 16.; 64. ]) () =
+let combined_ablation ?pool ?(seeds = 5) ?(mus = [ 2.; 4.; 16.; 64. ]) () =
   let generate ~seed mu =
     Dbp_workload.Generator.with_mu ~seed ~items:300 ~mu ()
   in
@@ -333,18 +334,24 @@ let combined_ablation ?(seeds = 5) ?(mus = [ 2.; 4.; 16.; 64. ]) () =
     ]
   in
   Sweep.table ~param_name:"mu"
-    (Sweep.run ~seeds ~parameters:mus ~generate ~packers ())
+    (Sweep.run ?pool ~seeds ~parameters:mus ~generate ~packers ())
 
 (* ------------------------------------------------------------------ *)
 (* E1/E2: the motivating workloads.                                     *)
 
-let portfolio_table ?(seeds = 3) make_instance =
+let portfolio_table ?pool ?(seeds = 3) make_instance =
   let seedlist = List.init seeds (fun i -> i) in
   let labels = List.map (fun (p : Runner.packer) -> p.Runner.label) Runner.default_portfolio in
+  (* Parallelise across the seed replicas (each evaluates the whole
+     portfolio on its own instance) rather than within one evaluation:
+     coarser tasks, same per-seed score lists in seed order. *)
   let per_seed =
-    List.map
-      (fun seed -> Runner.evaluate Runner.default_portfolio (make_instance seed))
-      seedlist
+    let eval seed =
+      Runner.evaluate Runner.default_portfolio (make_instance seed)
+    in
+    match pool with
+    | None -> List.map eval seedlist
+    | Some pool -> Dbp_par.Pool.parallel_map pool eval seedlist
   in
   let rows =
     List.map
@@ -378,12 +385,12 @@ let portfolio_table ?(seeds = 3) make_instance =
       ]
     ~rows
 
-let gaming_compare ?seeds () =
-  portfolio_table ?seeds (fun seed ->
+let gaming_compare ?pool ?seeds () =
+  portfolio_table ?pool ?seeds (fun seed ->
       Dbp_workload.Cloud_gaming.generate ~seed Dbp_workload.Cloud_gaming.default)
 
-let analytics_compare ?seeds () =
-  portfolio_table ?seeds (fun seed ->
+let analytics_compare ?pool ?seeds () =
+  portfolio_table ?pool ?seeds (fun seed ->
       Dbp_workload.Analytics.generate ~seed Dbp_workload.Analytics.default)
 
 (* ------------------------------------------------------------------ *)
@@ -1168,20 +1175,21 @@ let optimality_bracket ?(seeds = 3) () =
       ]
     ~rows
 
-let all () =
+let all ?pool () =
   [
-    ("F8  figure-8 theoretical curves", figure8 ());
+    ("F8  figure-8 theoretical curves", figure8 ?pool ());
     ("F8x bound landscape (all cited closed forms)", bound_landscape ());
     ("T1  ddff approximation ratio (Theorem 1, bound 5)", ddff_ratio ());
     ( "T2  dual-coloring approximation ratio (Theorem 2, bound 4)",
       dual_coloring_ratio () );
     ("T3  golden-ratio online lower bound (Theorem 3)", lower_bound_gadget ());
-    ("T4  classify-by-departure-time sweep (Theorem 4)", cbdt_sweep ());
-    ("T5  classify-by-duration sweep (Theorem 5)", cbd_sweep ());
-    ("F8e empirical ratio vs mu (Figure 8 counterpart)", ratio_vs_mu ());
-    ("E1  cloud-gaming workload comparison", gaming_compare ());
-    ("E2  recurring-analytics workload comparison", analytics_compare ());
-    ("E3  combined-strategy ablation (Section 5.4/6)", combined_ablation ());
+    ("T4  classify-by-departure-time sweep (Theorem 4)", cbdt_sweep ?pool ());
+    ("T5  classify-by-duration sweep (Theorem 5)", cbd_sweep ?pool ());
+    ("F8e empirical ratio vs mu (Figure 8 counterpart)", ratio_vs_mu ?pool ());
+    ("E1  cloud-gaming workload comparison", gaming_compare ?pool ());
+    ("E2  recurring-analytics workload comparison", analytics_compare ?pool ());
+    ( "E3  combined-strategy ablation (Section 5.4/6)",
+      combined_ablation ?pool () );
     ("E4  non-clairvoyant traps", nonclairvoyant_gadgets ());
     ( "E5  robustness to inaccurate duration estimates (Section 6)",
       estimate_robustness () );

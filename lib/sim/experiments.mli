@@ -8,7 +8,7 @@
     that instance; "ratio/OPT" columns use the exact repacking adversary
     and are only computed on small instances. *)
 
-val figure8 : ?mus:float list -> unit -> Report.table
+val figure8 : ?pool:Dbp_par.Pool.t -> ?mus:float list -> unit -> Report.table
 (** F8: the three theoretical curves of the paper's Figure 8. *)
 
 val figure8_crossover : unit -> float
@@ -34,24 +34,29 @@ val lower_bound_gadget : unit -> Report.table
     cannot be below (1+sqrt 5)/2 ~= 1.618 for any deterministic online
     algorithm at x = phi. *)
 
-val cbdt_sweep : ?seeds:int -> ?mu:float -> unit -> Report.table
+val cbdt_sweep :
+  ?pool:Dbp_par.Pool.t -> ?seeds:int -> ?mu:float -> unit -> Report.table
 (** T4: classify-by-departure-time First Fit across rho, measured ratio
     vs the Theorem 4 bound rho/Delta + mu Delta/rho + 3. *)
 
-val cbd_sweep : ?seeds:int -> ?mu:float -> unit -> Report.table
+val cbd_sweep :
+  ?pool:Dbp_par.Pool.t -> ?seeds:int -> ?mu:float -> unit -> Report.table
 (** T5: classify-by-duration First Fit across alpha, measured ratio vs
     the Theorem 5 bound alpha + ceil(log_alpha mu) + 4. *)
 
-val ratio_vs_mu : ?seeds:int -> ?mus:float list -> unit -> Report.table
+val ratio_vs_mu :
+  ?pool:Dbp_par.Pool.t -> ?seeds:int -> ?mus:float list -> unit -> Report.table
 (** Empirical Figure 8 counterpart: portfolio mean ratios as mu grows. *)
 
-val gaming_compare : ?seeds:int -> unit -> Report.table
+val gaming_compare : ?pool:Dbp_par.Pool.t -> ?seeds:int -> unit -> Report.table
 (** E1: the portfolio on the cloud-gaming workload. *)
 
-val analytics_compare : ?seeds:int -> unit -> Report.table
+val analytics_compare :
+  ?pool:Dbp_par.Pool.t -> ?seeds:int -> unit -> Report.table
 (** E2: the portfolio on the recurring-analytics workload. *)
 
-val combined_ablation : ?seeds:int -> ?mus:float list -> unit -> Report.table
+val combined_ablation :
+  ?pool:Dbp_par.Pool.t -> ?seeds:int -> ?mus:float list -> unit -> Report.table
 (** E3: the two single classification strategies vs their combination. *)
 
 val nonclairvoyant_gadgets : unit -> Report.table
@@ -171,6 +176,8 @@ val optimality_bracket : ?seeds:int -> unit -> Report.table
     DDFF from above.  The bracket width bounds how much of the measured
     "ratio/LB" is algorithm suboptimality vs lower-bound slack. *)
 
-val all : unit -> (string * Report.table) list
+val all : ?pool:Dbp_par.Pool.t -> unit -> (string * Report.table) list
 (** Every experiment above with its id, at default sizes — the content of
-    EXPERIMENTS.md and of the bench executable's report section. *)
+    EXPERIMENTS.md and of the bench executable's report section.  [pool]
+    is threaded to the sweep-shaped experiments (F8, T4, T5, F8e, E1,
+    E2, E3); tables are bit-identical with and without it. *)

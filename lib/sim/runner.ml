@@ -43,12 +43,19 @@ type score = {
   ratio_opt : float option;
 }
 
-let evaluate ?(opt = false) packers instance =
+let evaluate ?pool ?(opt = false) packers instance =
   let lb = Dbp_opt.Lower_bounds.best instance in
   let opt_total =
     if opt then Some (Dbp_opt.Opt_total.value instance) else None
   in
-  List.map
+  (* Packers are independent; scores come back in packer order either
+     way, so the parallel run is bit-identical to the sequential one. *)
+  let map f xs =
+    match pool with
+    | None -> List.map f xs
+    | Some pool -> Dbp_par.Pool.parallel_map pool f xs
+  in
+  map
     (fun p ->
       let packing = p.pack instance in
       let usage = Packing.total_usage_time packing in

@@ -42,8 +42,11 @@ type score = {
   ratio_opt : float option;  (** usage / OPT_total when computed *)
 }
 
-val evaluate : ?opt:bool -> packer list -> Instance.t -> score list
-(** @param opt also compute exact OPT_total ratios (default false; cost is
+val evaluate :
+  ?pool:Dbp_par.Pool.t -> ?opt:bool -> packer list -> Instance.t -> score list
+(** @param pool run the packers across the pool's domains; scores keep
+    packer order, bit-identical to the sequential run.
+    @param opt also compute exact OPT_total ratios (default false; cost is
     exponential in the per-instant active-item count). *)
 
 val score_table : score list -> Report.table

@@ -10,22 +10,47 @@ let default_metric instance packing =
   Dbp_opt.Lower_bounds.ratio_to_best instance
     (Packing.total_usage_time packing)
 
-let run ?(seeds = 5) ~parameters ~generate ~packers ?(metric = default_metric)
-    () =
+let run ?pool ?(seeds = 5) ~parameters ~generate ~packers
+    ?(metric = default_metric) () =
   if seeds < 1 then invalid_arg "Sweep.run: seeds < 1";
-  List.concat_map
-    (fun parameter ->
-      let instances =
-        List.init seeds (fun seed -> generate ~seed parameter)
-      in
-      List.map
-        (fun (p : Runner.packer) ->
-          let ratios =
-            List.map (fun inst -> metric inst (p.Runner.pack inst)) instances
-          in
-          { parameter; label = p.Runner.label; ratios = Stats.summarize ratios })
-        packers)
-    parameters
+  (* One cell per (parameter, seed): the cell generates its instance and
+     scores every packer on it.  Cells are independent, so the fleet
+     maps across the pool; results come back in submission order and the
+     per-packer ratio lists are rebuilt in seed order, making the
+     parallel run bit-identical to the sequential one (the test_par
+     suite holds this equality pointwise). *)
+  let cells =
+    List.concat_map
+      (fun parameter -> List.init seeds (fun seed -> (parameter, seed)))
+      parameters
+  in
+  let eval (parameter, seed) =
+    let inst = generate ~seed parameter in
+    List.map (fun (p : Runner.packer) -> metric inst (p.Runner.pack inst))
+      packers
+  in
+  let results =
+    match pool with
+    | None -> List.map eval cells
+    | Some pool -> Dbp_par.Pool.parallel_map pool eval cells
+  in
+  let results = Array.of_list results in
+  List.concat
+    (List.mapi
+       (fun pi parameter ->
+         List.mapi
+           (fun ki (p : Runner.packer) ->
+             let ratios =
+               List.init seeds (fun seed ->
+                   List.nth results.((pi * seeds) + seed) ki)
+             in
+             {
+               parameter;
+               label = p.Runner.label;
+               ratios = Stats.summarize ratios;
+             })
+           packers)
+       parameters)
 
 let table ?(param_name = "param") points =
   let parameters =

@@ -14,6 +14,7 @@ type point = {
 }
 
 val run :
+  ?pool:Dbp_par.Pool.t ->
   ?seeds:int ->
   parameters:float list ->
   generate:(seed:int -> float -> Instance.t) ->
@@ -23,7 +24,10 @@ val run :
   point list
 (** Default [seeds] 5; default [metric] is usage divided by the
     Proposition-3 lower bound.  Points come out grouped by parameter, in
-    packer order within a parameter. *)
+    packer order within a parameter.  With [pool], the (parameter, seed)
+    cells run across the pool's domains; instance generation is keyed on
+    the cell's own seed, so the result is bit-identical to the
+    sequential run (DESIGN.md section 11). *)
 
 val table : ?param_name:string -> point list -> Report.table
 (** Wide table: one row per parameter value, one column per packer label,

@@ -17,7 +17,13 @@ let row mu =
 
 let default_mus = List.init 100 (fun i -> float_of_int (i + 1))
 
-let series ?(mus = default_mus) () = List.map row mus
+(* Rows are independent closed-form evaluations (the cbd minimisation
+   scans n per mu), so the ratio grid maps across the pool; row order
+   follows [mus] either way. *)
+let series ?pool ?(mus = default_mus) () =
+  match pool with
+  | None -> List.map row mus
+  | Some pool -> Dbp_par.Pool.parallel_map pool row mus
 
 let crossover () =
   let step = 0.01 in

@@ -18,8 +18,10 @@ type row = {
 
 val row : float -> row
 
-val series : ?mus:float list -> unit -> row list
-(** Default mu grid: 1 to 100 in steps of 1 (the x-range of Figure 8). *)
+val series : ?pool:Dbp_par.Pool.t -> ?mus:float list -> unit -> row list
+(** Default mu grid: 1 to 100 in steps of 1 (the x-range of Figure 8).
+    With [pool], the per-mu rows are computed across the pool's domains
+    in submission order (bit-identical to the sequential series). *)
 
 val crossover : unit -> float
 (** The mu at which the two strategies' best ratios cross (cbd becomes

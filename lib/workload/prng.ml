@@ -18,6 +18,22 @@ let int64 t =
 let split t =
   { state = int64 t; spare_gaussian = None }
 
+(* Position-independent splitting for parallel fleets: the substream for
+   (root, index) is the one [split] would return after [index] draws
+   from [create root] -- computed directly, so a task's stream depends
+   only on its submission index, never on which domain ran it or in what
+   order.  State = finalizer(root + (index+1) * golden), i.e. the
+   (index+1)-th raw splitmix64 output of the root stream. *)
+let derive ~root ~index =
+  if index < 0 then invalid_arg "Prng.derive: index < 0";
+  let z =
+    Int64.add (Int64.of_int root) (Int64.mul (Int64.of_int (index + 1)) golden)
+  in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  let z = Int64.logxor z (Int64.shift_right_logical z 31) in
+  { state = z; spare_gaussian = None }
+
 let copy t = { state = t.state; spare_gaussian = t.spare_gaussian }
 
 (* 53 random bits into [0, 1). *)

@@ -15,6 +15,15 @@ val create : int -> t
 val split : t -> t
 (** A statistically independent substream; advances the parent. *)
 
+val derive : root:int -> index:int -> t
+(** The substream for task [index] of a parallel fleet rooted at seed
+    [root]: equal to what [split] returns after [index] draws from
+    [create root], computed without materialising the parent stream.
+    Each task of a {!Dbp_par.Pool} job seeds from its own submission
+    index, so streams are independent of scheduling order and pool size
+    (the determinism contract, DESIGN.md section 11).
+    @raise Invalid_argument if [index < 0]. *)
+
 val copy : t -> t
 
 val int64 : t -> int64

@@ -1,8 +1,10 @@
 #!/bin/sh
 # Repo-wide check: build, full test suite, formatting, an engine smoke
-# benchmark (indexed vs. reference parity on small workloads) and a
+# benchmark (indexed vs. reference parity on small workloads), a
 # fault-injection smoke sweep (empty-plan bit-identity + monotone
-# degradation are asserted inside the bench).
+# degradation are asserted inside the bench) and a parallel smoke sweep
+# (2-domain point list diffed against the sequential 1-domain baseline
+# inside the bench).
 # Run from the repo root:  scripts/check.sh
 set -eu
 
@@ -13,7 +15,7 @@ dune build
 
 echo "== dune build @lint =="
 # dbp-lint (lib/lint, DESIGN.md section 9): the packing-invariant rule
-# set R1-R6 over lib/ bin/ bench/ test/; exits non-zero on any finding.
+# set R1-R7 over lib/ bin/ bench/ test/; exits non-zero on any finding.
 dune build @lint
 
 echo "== dune runtest =="
@@ -31,5 +33,11 @@ dune exec bench/main.exe -- engine --quick
 
 echo "== fault degradation smoke bench =="
 dune exec bench/main.exe -- faults --quick
+
+echo "== parallel scaling smoke bench =="
+# Runs the mini-sweep at 1 and 2 domains; the bench itself asserts the
+# 2-domain point list bit-identical to the 1-domain baseline (the
+# dbp.par determinism contract, DESIGN.md section 11).
+dune exec bench/main.exe -- par --quick
 
 echo "All checks passed."

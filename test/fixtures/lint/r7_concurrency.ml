@@ -1,0 +1,6 @@
+let d () = Domain.spawn (fun () -> ())
+let m = Mutex.create ()
+let c = Condition.create ()
+let a = Atomic.make 0
+let s () = Stdlib.Domain.cpu_relax ()
+let t : Mutex.t list = []

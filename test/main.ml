@@ -33,5 +33,6 @@ let () =
       ("lint", Test_lint.suite);
       ("faults", Test_faults.suite);
       ("sim", Test_sim.suite);
+      ("par", Test_par.suite);
       ("integration", Test_integration.suite);
     ]

@@ -69,6 +69,24 @@ let test_r6_defining_module_exempt () =
   Alcotest.check hits "other modules may not" [ ("R6", 1, 13) ]
     (hits_of (Driver.lint_source ~path:"lib/core/step_function.ml" source))
 
+let test_r7 () =
+  check_file "r7_concurrency.ml"
+    [
+      ("R7", 1, 11); ("R7", 2, 8); ("R7", 3, 8); ("R7", 4, 8); ("R7", 5, 11);
+      ("R7", 6, 8);
+    ]
+
+let test_r7_par_exempt () =
+  (* the pool's own sources are the one place allowed to spawn and
+     synchronise; the exemption is by path, wherever the repo sits
+     relative to the linter's cwd *)
+  let source = "let lock = Mutex.create ()\nlet go f = Domain.spawn f\n" in
+  Alcotest.check hits "lib/par may use the primitives" []
+    (hits_of (Driver.lint_source ~path:"../lib/par/pool.ml" source));
+  Alcotest.check hits "other lib modules may not"
+    [ ("R7", 1, 11); ("R7", 2, 11) ]
+    (hits_of (Driver.lint_source ~path:"lib/sim/sweep.ml" source))
+
 let test_suppressed () =
   check_file ~scope:Rules.Lib "suppressed.ml" []
 
@@ -104,8 +122,8 @@ let test_parse_error () =
 let test_registry () =
   let ids = List.map (fun r -> r.Rules.id) Rules.all in
   Alcotest.(check (list string))
-    "registry covers R0 plus the six rules"
-    [ "R0"; "R1"; "R2"; "R3"; "R4"; "R5"; "R6" ]
+    "registry covers R0 plus the seven rules"
+    [ "R0"; "R1"; "R2"; "R3"; "R4"; "R5"; "R6"; "R7" ]
     ids
 
 let test_json () =
@@ -161,6 +179,8 @@ let suite =
     Alcotest.test_case "R6 raw record construction" `Quick test_r6;
     Alcotest.test_case "R6 defining-module exemption" `Quick
       test_r6_defining_module_exempt;
+    Alcotest.test_case "R7 concurrency confinement" `Quick test_r7;
+    Alcotest.test_case "R7 lib/par exemption" `Quick test_r7_par_exempt;
     Alcotest.test_case "suppression both positions" `Quick test_suppressed;
     Alcotest.test_case "unused suppressions error" `Quick
       test_unused_suppression;
