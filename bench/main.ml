@@ -26,14 +26,22 @@
       determinism contract, enforced here and not just in the tests) and
       the wall-clock speedup is reported per row.  Writes BENCH_par.json.
 
+   6. Observer overhead sweep — the indexed engine with no observer vs.
+      with a recording trace observer, over generated workloads.  Usage
+      is asserted identical (observation must not perturb packing) and
+      the run fails loudly if the observed run costs more than 2x the
+      bare run on the largest (10^5-job) row.  Writes BENCH_obs.json.
+
    Run everything: `dune exec bench/main.exe`
    Tables only:    `dune exec bench/main.exe -- tables [--domains N]`
    Micro only:     `dune exec bench/main.exe -- micro`
    Engine sweep:   `dune exec bench/main.exe -- engine [--quick]`
    Fault sweep:    `dune exec bench/main.exe -- faults [--quick]`
    Parallel sweep: `dune exec bench/main.exe -- par [--quick] [--domains N]`
+   Observer sweep: `dune exec bench/main.exe -- obs [--quick]`
 
-   `--domains 0` means auto (Pool.default_domains). *)
+   `--domains 0` means auto (Pool.default_domains).  All wall timing goes
+   through Dbp_obs.Clock (best-of-reps reducer). *)
 
 open Bechamel
 open Toolkit
@@ -209,19 +217,7 @@ let engine_instance n =
   Dbp_workload.Generator.generate ~seed:42
     { Dbp_workload.Generator.default with horizon = float_of_int n /. 2. }
 
-let time_best reps f =
-  let best = ref infinity in
-  let value = ref None in
-  for _ = 1 to reps do
-    let t0 = Unix.gettimeofday () in
-    let v = f () in
-    let dt = Unix.gettimeofday () -. t0 in
-    if dt < !best then best := dt;
-    value := Some v
-  done;
-  match !value with
-  | Some v -> (!best, v)
-  | None -> invalid_arg "time_best: reps < 1"
+let time_best reps f = Dbp_obs.Clock.time_best ~reps f
 
 type engine_row = {
   jobs : int;
@@ -611,6 +607,125 @@ let run_par ~quick ~domains_limit () =
   close_out oc;
   Printf.printf "wrote %s\n" out
 
+(* ------------------------------------------------------------------ *)
+(* Part 6: observer overhead sweep (BENCH_obs.json).                     *)
+
+let obs_algorithms () =
+  [
+    ("first-fit", Dbp_online.Any_fit.first_fit);
+    ("best-fit", Dbp_online.Any_fit.best_fit);
+  ]
+
+(* Loud-failure threshold for the largest row: tracing every decision
+   may not double the engine's cost. *)
+let obs_overhead_limit = 2.0
+let obs_assert_floor = 50_000
+
+type obs_row = {
+  o_jobs : int;
+  o_algo : string;
+  off_s : float;
+  on_s : float;
+  o_overhead : float; (* on_s / off_s *)
+  o_events : int;
+  o_usage : float;
+}
+
+let obs_sweep sizes =
+  List.concat_map
+    (fun n ->
+      let inst = engine_instance n in
+      let jobs = Dbp_core.Instance.length inst in
+      let reps =
+        if jobs <= 2_000 then 15 else if jobs <= 20_000 then 5 else 3
+      in
+      List.map
+        (fun (name, algo) ->
+          let off_s, usage =
+            time_best reps (fun () ->
+                Dbp_core.Packing.total_usage_time
+                  (Dbp_online.Engine.run algo inst))
+          in
+          let recorder = Dbp_obs.Trace.create () in
+          let observer = Dbp_obs.Trace.observer recorder in
+          let on_s, on_usage =
+            time_best reps (fun () ->
+                Dbp_obs.Trace.clear recorder;
+                Dbp_core.Packing.total_usage_time
+                  (Dbp_online.Engine.run ~observer algo inst))
+          in
+          if not (Float.equal usage on_usage) then
+            failwith
+              (Printf.sprintf
+                 "obs sweep: observer perturbed the packing: %s on %d \
+                  jobs: bare %.9f vs observed %.9f"
+                 name jobs usage on_usage);
+          let row =
+            {
+              o_jobs = jobs;
+              o_algo = name;
+              off_s;
+              on_s;
+              o_overhead = on_s /. off_s;
+              o_events = Dbp_obs.Trace.emitted recorder;
+              o_usage = usage;
+            }
+          in
+          Printf.printf
+            "  %7d jobs  %-10s bare %8.4fs  observed %8.4fs  (%.2fx, %d \
+             events)\n\
+             %!"
+            jobs name off_s on_s row.o_overhead row.o_events;
+          row)
+        (obs_algorithms ()))
+    sizes
+
+let obs_json rows =
+  let row_json r =
+    Printf.sprintf
+      "    {\"jobs\": %d, \"algorithm\": \"%s\", \"bare_s\": %.6f, \
+       \"observed_s\": %.6f, \"overhead\": %.3f, \"events\": %d, \
+       \"usage\": %.9f}"
+      r.o_jobs r.o_algo r.off_s r.on_s r.o_overhead r.o_events r.o_usage
+  in
+  String.concat ""
+    [
+      "{\n";
+      "  \"benchmark\": \"observer overhead sweep (indexed engine, trace \
+       recorder)\",\n";
+      "  \"command\": \"dune exec bench/main.exe -- obs\",\n";
+      "  \"workload\": \"Generator.default, seed 42, horizon = jobs/2\",\n";
+      Printf.sprintf
+        "  \"note\": \"overhead = observed seconds / bare seconds, best of \
+         the timing repetitions; usage asserted identical between bare and \
+         observed runs on every row; rows with >= %d jobs must stay under \
+         %.1fx overhead or the bench fails\",\n"
+        obs_assert_floor obs_overhead_limit;
+      "  \"results\": [\n";
+      String.concat ",\n" (List.map row_json rows);
+      "\n  ]\n}\n";
+    ]
+
+let run_obs ~quick () =
+  let sizes = if quick then [ 1_000; 100_000 ] else [ 1_000; 10_000; 100_000 ] in
+  Printf.printf "=== Observer overhead sweep (%s) ===\n%!"
+    (if quick then "quick" else "full");
+  let rows = obs_sweep sizes in
+  List.iter
+    (fun r ->
+      if r.o_jobs >= obs_assert_floor && r.o_overhead > obs_overhead_limit then
+        failwith
+          (Printf.sprintf
+             "obs sweep: observer overhead %.2fx exceeds the %.1fx budget \
+              for %s on %d jobs"
+             r.o_overhead obs_overhead_limit r.o_algo r.o_jobs))
+    rows;
+  let out = if quick then "BENCH_obs_quick.json" else "BENCH_obs.json" in
+  let oc = open_out out in
+  output_string oc (obs_json rows);
+  close_out oc;
+  Printf.printf "wrote %s\n" out
+
 let () =
   let mode = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
   let quick =
@@ -633,6 +748,7 @@ let () =
   | "engine" -> run_engine ~quick ()
   | "faults" -> run_faults ~quick ()
   | "par" -> run_par ~quick ~domains_limit ()
+  | "obs" -> run_obs ~quick ()
   | _ ->
       run_tables ~domains:domains_limit ();
       run_micro ());

@@ -73,6 +73,63 @@ let make_instance ~seed workload trace =
           Dbp_workload.Analytics.generate ~seed Dbp_workload.Analytics.default
       | `Vm -> Dbp_workload.Vm_fleet.generate ~seed Dbp_workload.Vm_fleet.default)
 
+(* ---- observability plumbing (shared by run/figure8/experiments) ---- *)
+
+let metrics_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-out" ] ~docv:"FILE"
+        ~doc:
+          "Write a metrics exposition to FILE after the run: Prometheus \
+           text format, or JSON when FILE ends in $(b,.json).  $(b,-) \
+           writes Prometheus text to stdout.")
+
+let write_out ~path content =
+  if path = "-" then print_string content
+  else begin
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () -> output_string oc content);
+    Printf.printf "wrote %s\n" path
+  end
+
+let write_metrics ~path metrics =
+  let content =
+    if path <> "-" && Filename.check_suffix path ".json" then
+      Dbp_obs.Metrics.to_json metrics
+    else Dbp_obs.Metrics.to_prometheus metrics
+  in
+  write_out ~path content
+
+let register_pool_stats metrics pool =
+  let s = Dbp_par.Pool.stats pool in
+  let tally name help v =
+    Dbp_obs.Metrics.inc ~by:(float_of_int v)
+      (Dbp_obs.Metrics.counter metrics ~help name)
+  in
+  tally "dbp_pool_jobs_total" "Parallel jobs submitted to the domain pool."
+    s.Dbp_par.Pool.jobs;
+  tally "dbp_pool_chunks_total" "Work chunks executed across pool domains."
+    s.Dbp_par.Pool.chunks;
+  tally "dbp_pool_steals_total" "Chunks taken from another domain's queue."
+    s.Dbp_par.Pool.steals
+
+(* [--metrics-out] wraps a command body in a (registry, profiler) pair
+   that only exists when the flag is given; the profiler's phases are
+   folded into the registry before it is written out. *)
+let with_metrics metrics_out f =
+  match metrics_out with
+  | None -> f None
+  | Some path ->
+      let metrics = Dbp_obs.Metrics.create () in
+      let profile = Dbp_obs.Profile.create () in
+      let result = f (Some (metrics, profile)) in
+      Dbp_obs.Profile.register profile metrics;
+      write_metrics ~path metrics;
+      result
+
 (* ---- run ---- *)
 
 let run_cmd =
@@ -99,7 +156,19 @@ let run_cmd =
       & info [ "metrics" ]
           ~doc:"Also print detailed per-algorithm packing metrics.")
   in
-  let run seed workload trace opt algos metrics domains =
+  let trace_out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-out" ] ~docv:"FILE"
+          ~doc:
+            "Write the online algorithms' decision traces to FILE as \
+             JSONL, one $(b,{\"algo\":...}) header line per algorithm \
+             followed by its event stream.  Traces carry simulation time \
+             only and are byte-identical across runs.  $(b,-) writes to \
+             stdout.")
+  in
+  let run seed workload trace opt algos metrics domains trace_out metrics_out =
     let instance = make_instance ~seed workload trace in
     let packers =
       match algos with
@@ -120,25 +189,71 @@ let run_cmd =
       (Dbp_core.Instance.span instance)
       (Dbp_core.Instance.demand instance)
       (Dbp_core.Instance.mu instance);
-    let scores =
-      with_opt_pool domains (fun pool ->
-          Dbp_sim.Runner.evaluate ?pool ~opt packers instance)
+    (* Online portfolio members as engines, restricted to the --algo
+       selection; trace and metric re-runs observe exactly these. *)
+    let selected_engines () =
+      let all = Dbp_sim.Runner.engines instance in
+      match algos with
+      | [] -> all
+      | names -> List.filter (fun (label, _) -> List.mem label names) all
     in
-    Dbp_sim.Report.print (Dbp_sim.Runner.score_table scores);
-    if metrics then
-      List.iter
-        (fun (p : Dbp_sim.Runner.packer) ->
-          Printf.printf "\n%s\n" p.Dbp_sim.Runner.label;
-          Format.printf "%a"
-            Dbp_core.Metrics.pp
-            (Dbp_core.Metrics.of_packing (p.Dbp_sim.Runner.pack instance)))
-        packers
+    with_metrics metrics_out (fun obs ->
+        let profile = Option.map snd obs in
+        let scores =
+          with_opt_pool domains (fun pool ->
+              let scores =
+                Dbp_sim.Runner.evaluate ?pool ?profile ~opt packers instance
+              in
+              (match (obs, pool) with
+              | Some (m, _), Some p -> register_pool_stats m p
+              | _ -> ());
+              scores)
+        in
+        Dbp_sim.Report.print (Dbp_sim.Runner.score_table scores);
+        if metrics then
+          List.iter
+            (fun (p : Dbp_sim.Runner.packer) ->
+              Printf.printf "\n%s\n" p.Dbp_sim.Runner.label;
+              Format.printf "%a"
+                Dbp_core.Metrics.pp
+                (Dbp_core.Metrics.of_packing (p.Dbp_sim.Runner.pack instance)))
+            packers;
+        (match trace_out with
+        | None -> ()
+        | Some path ->
+            let sections =
+              List.map
+                (fun (label, algo) ->
+                  let recorder = Dbp_obs.Trace.create () in
+                  ignore
+                    (Dbp_online.Engine.run
+                       ~observer:(Dbp_obs.Trace.observer recorder)
+                       algo instance);
+                  Dbp_obs.Trace.to_jsonl
+                    ~header:[ Printf.sprintf "{\"algo\":\"%s\"}" label ]
+                    recorder)
+                (selected_engines ())
+            in
+            write_out ~path (String.concat "" sections));
+        match obs with
+        | None -> ()
+        | Some (m, _) ->
+            List.iter
+              (fun (label, algo) ->
+                ignore
+                  (Dbp_online.Engine.run
+                     ~observer:
+                       (Dbp_obs.Metrics_observer.observer
+                          ~labels:[ ("algo", label) ]
+                          m)
+                     algo instance))
+              (selected_engines ()))
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Pack a workload with the portfolio and score it.")
     Term.(
       const run $ seed_arg $ workload_arg $ trace_arg $ opt_flag $ algos_arg
-      $ metrics_flag $ domains_arg)
+      $ metrics_flag $ domains_arg $ trace_out_arg $ metrics_out_arg)
 
 (* ---- figure8 ---- *)
 
@@ -149,11 +264,22 @@ let figure8_cmd =
   let csv =
     Arg.(value & flag & info [ "csv" ] ~doc:"Emit CSV instead of a table.")
   in
-  let run max_mu csv domains =
+  let run max_mu csv domains metrics_out =
     let mus = List.init max_mu (fun i -> float_of_int (i + 1)) in
     let table =
-      with_opt_pool domains (fun pool ->
-          Dbp_sim.Experiments.figure8 ?pool ~mus ())
+      with_metrics metrics_out (fun obs ->
+          with_opt_pool domains (fun pool ->
+              let compute () = Dbp_sim.Experiments.figure8 ?pool ~mus () in
+              let table =
+                match obs with
+                | None -> compute ()
+                | Some (_, profile) ->
+                    Dbp_obs.Profile.time profile "cli.figure8" compute
+              in
+              (match (obs, pool) with
+              | Some (m, _), Some p -> register_pool_stats m p
+              | _ -> ());
+              table))
     in
     if csv then print_string (Dbp_sim.Report.to_csv table)
     else begin
@@ -164,7 +290,7 @@ let figure8_cmd =
   in
   Cmd.v
     (Cmd.info "figure8" ~doc:"Print the paper's Figure 8 series.")
-    Term.(const run $ max_mu $ csv $ domains_arg)
+    Term.(const run $ max_mu $ csv $ domains_arg $ metrics_out_arg)
 
 (* ---- experiments ---- *)
 
@@ -176,9 +302,21 @@ let experiments_cmd =
       & info [ "only" ] ~docv:"PREFIX"
           ~doc:"Run only experiments whose id starts with PREFIX (e.g. T3).")
   in
-  let run only domains =
+  let run only domains metrics_out =
     let selected =
-      with_opt_pool domains (fun pool -> Dbp_sim.Experiments.all ?pool ())
+      with_metrics metrics_out (fun obs ->
+          with_opt_pool domains (fun pool ->
+              let compute () = Dbp_sim.Experiments.all ?pool () in
+              let tables =
+                match obs with
+                | None -> compute ()
+                | Some (_, profile) ->
+                    Dbp_obs.Profile.time profile "cli.experiments" compute
+              in
+              (match (obs, pool) with
+              | Some (m, _), Some p -> register_pool_stats m p
+              | _ -> ());
+              tables))
       |> List.filter (fun (name, _) ->
              match only with
              | None -> true
@@ -198,7 +336,7 @@ let experiments_cmd =
   Cmd.v
     (Cmd.info "experiments"
        ~doc:"Regenerate the experiment suite (tables T1-T5, E1-E4, F8).")
-    Term.(const run $ only $ domains_arg)
+    Term.(const run $ only $ domains_arg $ metrics_out_arg)
 
 (* ---- gadget ---- *)
 

@@ -1,0 +1,61 @@
+(* The engine observation contract lives in core so that every engine
+   (lib/online, lib/faults) can accept an observer without depending on
+   the dbp.obs sinks.  Callbacks receive *simulation* time only: traces
+   built on them are a pure function of (instance, algorithm, seed),
+   never of the wall clock (DESIGN.md section 12). *)
+
+type t = {
+  on_arrival : time:float -> item:Item.t -> unit;
+  on_decision : time:float -> item:Item.t -> bin:int option -> unit;
+  on_open_bin : time:float -> bin:int -> unit;
+  on_place : time:float -> item:Item.t -> bin:int -> unit;
+  on_close_bin : time:float -> bin:int -> unit;
+  on_departure : time:float -> item:Item.t -> unit;
+}
+
+let nop2 ~time:_ ~item:_ = ()
+let nop_bin ~time:_ ~bin:_ = ()
+
+let null =
+  {
+    on_arrival = nop2;
+    on_decision = (fun ~time:_ ~item:_ ~bin:_ -> ());
+    on_open_bin = nop_bin;
+    on_place = (fun ~time:_ ~item:_ ~bin:_ -> ());
+    on_close_bin = nop_bin;
+    on_departure = nop2;
+  }
+
+let v ?(on_arrival = null.on_arrival) ?(on_decision = null.on_decision)
+    ?(on_open_bin = null.on_open_bin) ?(on_place = null.on_place)
+    ?(on_close_bin = null.on_close_bin) ?(on_departure = null.on_departure) ()
+    =
+  { on_arrival; on_decision; on_open_bin; on_place; on_close_bin; on_departure }
+
+let pair a b =
+  {
+    on_arrival =
+      (fun ~time ~item ->
+        a.on_arrival ~time ~item;
+        b.on_arrival ~time ~item);
+    on_decision =
+      (fun ~time ~item ~bin ->
+        a.on_decision ~time ~item ~bin;
+        b.on_decision ~time ~item ~bin);
+    on_open_bin =
+      (fun ~time ~bin ->
+        a.on_open_bin ~time ~bin;
+        b.on_open_bin ~time ~bin);
+    on_place =
+      (fun ~time ~item ~bin ->
+        a.on_place ~time ~item ~bin;
+        b.on_place ~time ~item ~bin);
+    on_close_bin =
+      (fun ~time ~bin ->
+        a.on_close_bin ~time ~bin;
+        b.on_close_bin ~time ~bin);
+    on_departure =
+      (fun ~time ~item ->
+        a.on_departure ~time ~item;
+        b.on_departure ~time ~item);
+  }

@@ -1,0 +1,51 @@
+(** Engine observation callbacks (decision tracing).
+
+    An observer is a record of callbacks the packing engines invoke at
+    each step of a run.  It lives in [dbp.core] so both the plain
+    engines ([Dbp_online.Engine]) and the fault-tolerant wrapper
+    ([Dbp_faults.Resilient]) can accept one without depending on the
+    [dbp.obs] sinks that consume it.
+
+    {b Determinism contract} (DESIGN.md section 12): every [time] is
+    {e simulation} time — an event timestamp of the run, never the wall
+    clock — so anything recorded through an observer is a pure function
+    of (instance, algorithm, seed).  Observers must not influence the
+    run; the engines guarantee identical decisions with and without one.
+
+    Callback order on an arrival event:
+    [on_arrival] → [on_decision] → [on_open_bin] (only when the decision
+    opened a fresh bin) → [on_place] (after the placement validated).
+    On a departure event: [on_departure] → [on_close_bin] (only when the
+    departure emptied the bin).  Both engines ([run_reference] and
+    [run_indexed]) emit byte-identical sequences — enforced by the
+    qcheck identity property in [test_obs.ml]. *)
+
+type t = {
+  on_arrival : time:float -> item:Item.t -> unit;
+  on_decision : time:float -> item:Item.t -> bin:int option -> unit;
+      (** [bin] is [Some idx] for a placement into an existing open bin,
+          [None] when the algorithm opened a new one (whose index the
+          following [on_open_bin]/[on_place] carry). *)
+  on_open_bin : time:float -> bin:int -> unit;
+  on_place : time:float -> item:Item.t -> bin:int -> unit;
+  on_close_bin : time:float -> bin:int -> unit;
+  on_departure : time:float -> item:Item.t -> unit;
+}
+
+val null : t
+(** Ignores everything. *)
+
+val v :
+  ?on_arrival:(time:float -> item:Item.t -> unit) ->
+  ?on_decision:(time:float -> item:Item.t -> bin:int option -> unit) ->
+  ?on_open_bin:(time:float -> bin:int -> unit) ->
+  ?on_place:(time:float -> item:Item.t -> bin:int -> unit) ->
+  ?on_close_bin:(time:float -> bin:int -> unit) ->
+  ?on_departure:(time:float -> item:Item.t -> unit) ->
+  unit ->
+  t
+(** An observer from the callbacks you care about; the rest default to
+    no-ops. *)
+
+val pair : t -> t -> t
+(** Fan out every callback to both observers, first argument first. *)

@@ -103,6 +103,7 @@ type run = {
   policy : Recovery.policy;
   instance : Instance.t;
   plan : Fault_plan.t;
+  obs : Observer.t option;  (* not part of the checkpoint digest *)
   stepper : E.stepper;
   queue : entry Heap.t;
   homes : (int, rbin * Item.t * origin) Hashtbl.t;
@@ -199,6 +200,9 @@ let do_place r lb item origin =
   lb.level <- lb.level +. Item.size item;
   lb.residents <- Item.id item :: lb.residents;
   Hashtbl.replace r.homes (Item.id item) (lb, item, origin);
+  (match r.obs with
+  | Some o -> o.Observer.on_place ~time:(Item.arrival item) ~item ~bin:lb.idx
+  | None -> ());
   r.stepper.E.notify ~item ~index:lb.idx
 
 (* Primary-stream placement: invalid decisions are algorithm bugs and
@@ -211,8 +215,22 @@ let place_checked r lb item origin =
   do_place r lb item origin
 
 let arrival_target r ~now item =
-  match r.stepper.E.decide ~now ~open_bins:(views r) item with
-  | E.Open_new -> append_bin r now
+  (match r.obs with
+  | Some o -> o.Observer.on_arrival ~time:now ~item
+  | None -> ());
+  let decision = r.stepper.E.decide ~now ~open_bins:(views r) item in
+  (match r.obs with
+  | Some o ->
+      o.Observer.on_decision ~time:now ~item
+        ~bin:(match decision with E.Place i -> Some i | E.Open_new -> None)
+  | None -> ());
+  match decision with
+  | E.Open_new ->
+      let lb = append_bin r now in
+      (match r.obs with
+      | Some o -> o.Observer.on_open_bin ~time:now ~bin:lb.idx
+      | None -> ());
+      lb
   | E.Place idx ->
       if idx < 0 || idx >= r.count then
         raise (Fatal (E.Unknown_bin { algo = r.algo.E.name; bin = idx; time = now }));
@@ -246,6 +264,11 @@ let handle_departure r ~now item origin =
       close_segment ~until:now lb eitem;
       Hashtbl.remove r.homes (Item.id eitem);
       if lb.active = 0 then unlink r lb;
+      (match r.obs with
+      | Some o ->
+          o.Observer.on_departure ~time:now ~item:eitem;
+          if lb.active = 0 then o.Observer.on_close_bin ~time:now ~bin:lb.idx
+      | None -> ());
       r.stepper.E.departed eitem;
       (* Departure slippage: the declared reservation just ended, but the
          job overstays; its remainder re-enters as displaced work. *)
@@ -289,6 +312,9 @@ let handle_crash r ~now (crash : Fault_plan.crash) =
           close_segment ~until:now victim eitem;
           Hashtbl.remove r.homes (Item.id eitem);
           Hashtbl.replace r.evicted_ids (Item.id eitem) ();
+          (match r.obs with
+          | Some o -> o.Observer.on_departure ~time:now ~item:eitem
+          | None -> ());
           r.stepper.E.departed eitem;
           r.c_evicted <- r.c_evicted + 1;
           let p_remainder =
@@ -305,7 +331,10 @@ let handle_crash r ~now (crash : Fault_plan.crash) =
       victim.active <- 0;
       victim.level <- 0.;
       victim.crashed <- Some now;
-      unlink r victim
+      unlink r victim;
+      (match r.obs with
+      | Some o -> o.Observer.on_close_bin ~time:now ~bin:victim.idx
+      | None -> ())
 
 let reject r ~now p =
   r.c_rejected <- r.c_rejected + 1;
@@ -333,9 +362,26 @@ let handle_attempt r ~now p =
     let item =
       Item.make ~id:(fresh_id r) ~size:p.p_size ~arrival:now ~departure
     in
+    (match r.obs with
+    | Some o -> o.Observer.on_arrival ~time:now ~item
+    | None -> ());
+    let decision = r.stepper.E.decide ~now ~open_bins:(views r) item in
+    (match r.obs with
+    | Some o ->
+        o.Observer.on_decision ~time:now ~item
+          ~bin:(match decision with E.Place i -> Some i | E.Open_new -> None)
+    | None -> ());
     let target =
-      match r.stepper.E.decide ~now ~open_bins:(views r) item with
-      | E.Open_new -> if r.policy.Recovery.allow_new_bin then Some (append_bin r now) else None
+      match decision with
+      | E.Open_new ->
+          if r.policy.Recovery.allow_new_bin then begin
+            let lb = append_bin r now in
+            (match r.obs with
+            | Some o -> o.Observer.on_open_bin ~time:now ~bin:lb.idx
+            | None -> ());
+            Some lb
+          end
+          else None
       | E.Place idx ->
           if idx < 0 || idx >= r.count then None
           else
@@ -384,7 +430,8 @@ let handle r entry =
   | Burst_spec (size, duration) -> handle_burst r ~now (size, duration)
   | Attempt p -> handle_attempt r ~now p
 
-let start ?(policy = Recovery.default) algo instance (plan : Fault_plan.t) =
+let start ?(policy = Recovery.default) ?observer algo instance
+    (plan : Fault_plan.t) =
   Recovery.validate policy;
   let r =
     {
@@ -392,6 +439,7 @@ let start ?(policy = Recovery.default) algo instance (plan : Fault_plan.t) =
       policy;
       instance;
       plan;
+      obs = observer;
       stepper = algo.E.make ();
       queue = Heap.create ~cmp:compare_entry ();
       homes = Hashtbl.create 64;
@@ -501,11 +549,11 @@ let finish_exn r =
 
 let finish r = shim (fun () -> finish_exn r)
 
-let run ?policy algo instance plan =
-  finish (start ?policy algo instance plan)
+let run ?policy ?observer algo instance plan =
+  finish (start ?policy ?observer algo instance plan)
 
-let run_result ?policy algo instance plan =
-  match finish_exn (start ?policy algo instance plan) with
+let run_result ?policy ?observer algo instance plan =
+  match finish_exn (start ?policy ?observer algo instance plan) with
   | o -> Ok o
   | exception Fatal e -> Error e
 
@@ -541,8 +589,8 @@ let digest r =
 
 let checkpoint r = { events_done = r.processed; state_digest = digest r }
 
-let resume ?policy algo instance plan cp =
-  let r = start ?policy algo instance plan in
+let resume ?policy ?observer algo instance plan cp =
+  let r = start ?policy ?observer algo instance plan in
   while
     r.processed < cp.events_done
     && (step r

@@ -87,9 +87,23 @@ type run
 (** An in-flight resilient execution (mutable). *)
 
 val start :
-  ?policy:Recovery.policy -> Dbp_online.Engine.t -> Instance.t -> Fault_plan.t -> run
+  ?policy:Recovery.policy ->
+  ?observer:Observer.t ->
+  Dbp_online.Engine.t ->
+  Instance.t ->
+  Fault_plan.t ->
+  run
 (** Fresh run; no events processed yet.  Policy defaults to
-    {!Recovery.default}. *)
+    {!Recovery.default}.
+
+    [observer] receives the decision stream (see {!Dbp_core.Observer}):
+    synthetic recovery arrivals and burst jobs emit
+    [on_arrival]/[on_decision] like primary ones, crash evictions emit
+    one [on_departure] per evicted job (in placement order) followed by
+    [on_close_bin] for the victim.  With an empty plan the emitted
+    sequence is byte-identical to [Engine.run ~observer]'s.  The
+    observer is not part of the checkpoint digest; {!resume} re-observes
+    the replayed prefix. *)
 
 val step : run -> bool
 (** Process the next event; [false] when the stream is drained.
@@ -103,6 +117,7 @@ val finish : run -> outcome
 
 val run :
   ?policy:Recovery.policy ->
+  ?observer:Observer.t ->
   Dbp_online.Engine.t ->
   Instance.t ->
   Fault_plan.t ->
@@ -113,6 +128,7 @@ val run :
 
 val run_result :
   ?policy:Recovery.policy ->
+  ?observer:Observer.t ->
   Dbp_online.Engine.t ->
   Instance.t ->
   Fault_plan.t ->
@@ -134,6 +150,7 @@ val checkpoint : run -> checkpoint
 
 val resume :
   ?policy:Recovery.policy ->
+  ?observer:Observer.t ->
   Dbp_online.Engine.t ->
   Instance.t ->
   Fault_plan.t ->

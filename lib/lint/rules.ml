@@ -49,6 +49,10 @@ let r7_hint =
   "go through Dbp_par.Pool (parallel_map / parallel_for); only lib/par \
    may touch Domain, Mutex, Condition or Atomic"
 
+let r8_hint =
+  "inject a Dbp_obs.Clock.t (default Clock.monotonic); only \
+   lib/obs/clock.ml and bench/ may read the system clock"
+
 let all =
   [
     { id = "R0"; name = "unused-suppression"; hint = r0_hint };
@@ -59,6 +63,7 @@ let all =
     { id = "R5"; name = "missing-interface"; hint = r5_hint };
     { id = "R6"; name = "raw-record-construction"; hint = r6_hint };
     { id = "R7"; name = "concurrency-confinement"; hint = r7_hint };
+    { id = "R8"; name = "wall-clock-confinement"; hint = r8_hint };
   ]
 
 (* ---- identifier classification ---------------------------------------- *)
@@ -128,6 +133,30 @@ let concurrency_use lid =
 let r7_exempt path =
   let n = norm_path path in
   String.length n >= 8 && String.sub n 0 8 = "lib/par/"
+
+(* ---- R8 wall-clock confinement ----------------------------------------- *)
+
+(* A read of the system clock: Unix.gettimeofday, Unix.time, Sys.time
+   (bare or Stdlib-qualified). *)
+let wallclock_use lid =
+  let components =
+    match Longident.flatten lid with
+    | "Stdlib" :: rest -> rest
+    | components -> components
+  in
+  match components with
+  | [ "Unix"; ("gettimeofday" | "time") ] | [ "Sys"; "time" ] ->
+      Some (String.concat "." components)
+  | _ -> None
+
+(* Clock injection has to bottom out somewhere: Obs.Clock is that place,
+   and the bench harness (bechamel's domain) stays free to time however
+   it likes. *)
+let r8_exempt ~scope path =
+  scope = Bench
+  ||
+  let n = norm_path path in
+  n = "lib/obs/clock.ml" || n = "lib/obs/clock.mli"
 
 (* ---- R2 operand shapes ------------------------------------------------ *)
 
@@ -210,7 +239,15 @@ let check_expr ~path ~scope ~shadowed_compare acc (e : Parsetree.expression) =
               (Printf.sprintf "%s used outside lib/par"
                  (String.concat "." (Longident.flatten txt)))
               r7_hint
-        | _ -> ()
+        | Some _ -> ()
+        | None -> (
+            match wallclock_use txt with
+            | Some name when not (r8_exempt ~scope path) ->
+                add "R8" loc
+                  (Printf.sprintf "%s reads the wall clock outside Obs.Clock"
+                     name)
+                  r8_hint
+            | _ -> ())
       end
   | Pexp_apply
       ({ pexp_desc = Pexp_ident { txt; loc }; _ }, [ (_, lhs); (_, rhs) ])

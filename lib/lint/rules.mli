@@ -1,6 +1,6 @@
 (** The packing-invariant rule registry.
 
-    Seven rules guard conventions the type system cannot express (see
+    Eight rules guard conventions the type system cannot express (see
     DESIGN.md section 9): R1 no physical equality, R2 no polymorphic
     comparison on float literals / record literals / bare [compare],
     R3 no [failwith] or [assert false] in [lib/], R4 no console output
@@ -8,8 +8,10 @@
     record construction of the smart-constructor types [Interval.t] and
     [Item.t] outside their defining modules, R7 no shared-memory
     concurrency primitives ([Domain], [Mutex], [Condition], [Atomic] —
-    expressions or types) outside [lib/par/].  [R0] marks suppression
-    hygiene errors and [P0] parse failures. *)
+    expressions or types) outside [lib/par/], R8 no system-clock reads
+    ([Unix.gettimeofday], [Unix.time], [Sys.time]) outside
+    [lib/obs/clock.ml] and [bench/].  [R0] marks suppression hygiene
+    errors and [P0] parse failures. *)
 
 type scope = Lib | Bin | Bench | Test | Other
 
@@ -19,7 +21,7 @@ val scope_of_path : string -> scope
 
 type info = { id : string; name : string; hint : string }
 
-(** Registry metadata, R0 plus R1..R7. *)
+(** Registry metadata, R0 plus R1..R8. *)
 val all : info list
 
 (** Run the expression rules over an implementation. *)

@@ -1,0 +1,46 @@
+(* The repo's one wall-clock source.  Everything else in lib/ injects a
+   [t] (lint rule R8 forbids Unix.gettimeofday / Unix.time / Sys.time
+   outside this file and bench/), so tests swap in a fake and metric
+   timing stays deterministic where it must be. *)
+
+type t = { label : string; read : unit -> float }
+
+let make ~label read = { label; read }
+
+(* Wall clock via gettimeofday: the only portable sub-second source in
+   the stdlib.  Treated as monotonic for the coarse interval timing the
+   metrics need; a platform vendoring a true monotonic source would
+   swap it in here and nowhere else. *)
+let monotonic =
+  { label = "monotonic"; read = (fun () -> Unix.gettimeofday ()) }
+
+let now t = t.read ()
+let label t = t.label
+
+type fake = { mutable f_now : float }
+
+let fake ?(start = 0.) () = { f_now = start }
+
+let advance fk dt =
+  if dt < 0. then invalid_arg "Clock.advance: negative step";
+  fk.f_now <- fk.f_now +. dt
+
+let of_fake fk = { label = "fake"; read = (fun () -> fk.f_now) }
+
+let elapsed ?(clock = monotonic) f =
+  let t0 = now clock in
+  let v = f () in
+  (now clock -. t0, v)
+
+let time_best ?(clock = monotonic) ~reps f =
+  if reps < 1 then invalid_arg "Clock.time_best: reps < 1";
+  let best = ref infinity in
+  let value = ref None in
+  for _ = 1 to reps do
+    let dt, v = elapsed ~clock f in
+    if dt < !best then best := dt;
+    value := Some v
+  done;
+  match !value with
+  | Some v -> (!best, v)
+  | None -> invalid_arg "Clock.time_best: reps < 1"

@@ -1,0 +1,49 @@
+(** Injectable wall-clock abstraction.
+
+    This module is the {e only} place in [lib/] that reads the system
+    clock (lint rule R8); everything that needs wall time — metric
+    timing, phase profiling, the bench harness — takes a [t] and
+    defaults to {!monotonic}.  Tests inject a {!fake} clock they advance
+    by hand, so timing-dependent logic (histogram bucketing, phase
+    totals) is testable deterministically.
+
+    Wall time never enters decision traces: those carry simulation time
+    only (see [Dbp_core.Observer]). *)
+
+type t
+
+val make : label:string -> (unit -> float) -> t
+(** A clock from any seconds-valued reader. *)
+
+val monotonic : t
+(** The process wall clock ([Unix.gettimeofday]), read fresh on every
+    {!now}.  Used as a monotonic-enough source for coarse interval
+    timing. *)
+
+val now : t -> float
+(** Current reading, in seconds. *)
+
+val label : t -> string
+
+(** {2 Fake clocks for tests} *)
+
+type fake
+
+val fake : ?start:float -> unit -> fake
+(** A manually-driven time source (default start [0.]). *)
+
+val advance : fake -> float -> unit
+(** Move the fake clock forward.
+    @raise Invalid_argument on a negative step. *)
+
+val of_fake : fake -> t
+
+(** {2 Timing helpers} *)
+
+val elapsed : ?clock:t -> (unit -> 'a) -> float * 'a
+(** [(seconds, result)] of one call. *)
+
+val time_best : ?clock:t -> reps:int -> (unit -> 'a) -> float * 'a
+(** Run [f] [reps] times; the best (minimum) wall time paired with the
+    last result.  The bench harness's standard reducer.
+    @raise Invalid_argument if [reps < 1]. *)

@@ -1,0 +1,349 @@
+(* A small in-process metrics registry with Prometheus-compatible
+   semantics: counters, gauges and fixed-bucket histograms, identified
+   by (family name, label set).  Exposition is deterministic — metrics
+   sort by name then rendered labels, numbers render through one
+   formatter — so the golden-fixture test can assert exact text. *)
+
+type counter = { mutable c_total : float }
+type gauge = { mutable g_value : float }
+
+type histogram = {
+  h_upper : float array;  (* strictly increasing finite bucket bounds *)
+  h_counts : int array;  (* per-bucket (non-cumulative), last = +Inf *)
+  mutable h_sum : float;
+  mutable h_count : int;
+}
+
+type cell = Counter of counter | Gauge of gauge | Histogram of histogram
+
+type metric = {
+  family : string;
+  labels : (string * string) list;  (* sorted by label name *)
+  cell : cell;
+}
+
+type t = {
+  metrics : (string * (string * string) list, metric) Hashtbl.t;
+  helps : (string, string) Hashtbl.t;  (* family -> help, first wins *)
+  kinds : (string, string) Hashtbl.t;  (* family -> "counter" | ... *)
+}
+
+let create () =
+  { metrics = Hashtbl.create 32; helps = Hashtbl.create 32;
+    kinds = Hashtbl.create 32 }
+
+(* ---- validation -------------------------------------------------------- *)
+
+let name_ok s =
+  s <> ""
+  && (match s.[0] with 'a' .. 'z' | 'A' .. 'Z' | '_' | ':' -> true | _ -> false)
+  && String.for_all
+       (function
+         | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> true
+         | _ -> false)
+       s
+
+let label_key_ok s =
+  s <> ""
+  && (match s.[0] with 'a' .. 'z' | 'A' .. 'Z' | '_' -> true | _ -> false)
+  && String.for_all
+       (function
+         | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> true | _ -> false)
+       s
+
+let kind_name = function
+  | Counter _ -> "counter"
+  | Gauge _ -> "gauge"
+  | Histogram _ -> "histogram"
+
+let normalise_labels family labels =
+  List.iter
+    (fun (k, _) ->
+      if not (label_key_ok k) then
+        invalid_arg
+          (Printf.sprintf "Metrics: invalid label name %S on %s" k family))
+    labels;
+  let sorted =
+    List.sort_uniq (fun (a, _) (b, _) -> String.compare a b) labels
+  in
+  if List.length sorted <> List.length labels then
+    invalid_arg (Printf.sprintf "Metrics: duplicate label name on %s" family);
+  sorted
+
+(* Register-or-find: a second registration of the same (family, labels)
+   returns the existing cell; the same family under a different kind is
+   a programming error. *)
+let register t family labels ~help make same =
+  if not (name_ok family) then
+    invalid_arg (Printf.sprintf "Metrics: invalid metric name %S" family);
+  let labels = normalise_labels family labels in
+  let key = (family, labels) in
+  match Hashtbl.find_opt t.metrics key with
+  | Some m -> (
+      match same m.cell with
+      | Some v -> v
+      | None ->
+          invalid_arg
+            (Printf.sprintf "Metrics: %s re-registered as a %s (was %s)"
+               family
+               (kind_name (make ()).cell)
+               (kind_name m.cell)))
+  | None ->
+      let m = make () in
+      (match Hashtbl.find_opt t.kinds family with
+      | Some k when k <> kind_name m.cell ->
+          invalid_arg
+            (Printf.sprintf "Metrics: family %s is a %s, not a %s" family k
+               (kind_name m.cell))
+      | Some _ -> ()
+      | None ->
+          Hashtbl.replace t.kinds family (kind_name m.cell);
+          Hashtbl.replace t.helps family help);
+      Hashtbl.replace t.metrics key m;
+      (match same m.cell with
+      | Some v -> v
+      | None -> invalid_arg "Metrics.register: constructor/selector mismatch")
+
+let counter t ?(help = "") ?(labels = []) family =
+  register t family labels ~help
+    (fun () -> { family; labels; cell = Counter { c_total = 0. } })
+    (function Counter c -> Some c | Gauge _ | Histogram _ -> None)
+
+let gauge t ?(help = "") ?(labels = []) family =
+  register t family labels ~help
+    (fun () -> { family; labels; cell = Gauge { g_value = 0. } })
+    (function Gauge g -> Some g | Counter _ | Histogram _ -> None)
+
+let histogram t ?(help = "") ?(labels = []) ~buckets family =
+  let upper = Array.of_list buckets in
+  if Array.length upper = 0 then
+    invalid_arg (Printf.sprintf "Metrics.histogram %s: no buckets" family);
+  Array.iter
+    (fun b ->
+      if not (Float.is_finite b) then
+        invalid_arg
+          (Printf.sprintf "Metrics.histogram %s: non-finite bucket" family))
+    upper;
+  for i = 1 to Array.length upper - 1 do
+    if upper.(i) <= upper.(i - 1) then
+      invalid_arg
+        (Printf.sprintf "Metrics.histogram %s: buckets not increasing" family)
+  done;
+  register t family labels ~help
+    (fun () ->
+      {
+        family;
+        labels;
+        cell =
+          Histogram
+            {
+              h_upper = upper;
+              h_counts = Array.make (Array.length upper + 1) 0;
+              h_sum = 0.;
+              h_count = 0;
+            };
+      })
+    (function
+      | Histogram h ->
+          if
+            Array.length h.h_upper = Array.length upper
+            && Array.for_all2 Float.equal h.h_upper upper
+          then Some h
+          else
+            invalid_arg
+              (Printf.sprintf
+                 "Metrics.histogram %s: re-registered with different buckets"
+                 family)
+      | Counter _ | Gauge _ -> None)
+
+let inc ?(by = 1.) c =
+  if by < 0. then invalid_arg "Metrics.inc: counters only go up";
+  c.c_total <- c.c_total +. by
+
+let counter_value c = c.c_total
+let set g v = g.g_value <- v
+let gauge_value g = g.g_value
+
+let observe h v =
+  (* First bucket whose upper bound admits v; the trailing slot is +Inf. *)
+  let n = Array.length h.h_upper in
+  let rec slot i = if i >= n || v <= h.h_upper.(i) then i else slot (i + 1) in
+  let i = slot 0 in
+  h.h_counts.(i) <- h.h_counts.(i) + 1;
+  h.h_sum <- h.h_sum +. v;
+  h.h_count <- h.h_count + 1
+
+let histogram_count h = h.h_count
+let histogram_sum h = h.h_sum
+
+let bucket_counts h =
+  Array.to_list (Array.mapi (fun i c -> (
+    (if i < Array.length h.h_upper then Some h.h_upper.(i) else None), c))
+    h.h_counts)
+
+(* ---- deterministic exposition ------------------------------------------ *)
+
+(* One number formatter for every exposition: integers bare, everything
+   else shortest-round-trip-ish %.12g (all in-tree sources are exact at
+   that precision, and the goldens pin the rendering). *)
+let fmt_num v =
+  if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.12g" v
+
+let escape_label_value s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let escape_help s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let render_labels = function
+  | [] -> ""
+  | labels ->
+      "{"
+      ^ String.concat ","
+          (List.map
+             (fun (k, v) ->
+               Printf.sprintf "%s=\"%s\"" k (escape_label_value v))
+             labels)
+      ^ "}"
+
+(* Extra labels merged into an existing set, keeping the sort order. *)
+let with_label labels k v =
+  List.sort (fun (a, _) (b, _) -> String.compare a b) ((k, v) :: labels)
+
+let sorted_metrics t =
+  Hashtbl.fold (fun _ m acc -> m :: acc) t.metrics []
+  |> List.sort (fun a b ->
+         match String.compare a.family b.family with
+         | 0 ->
+             String.compare (render_labels a.labels) (render_labels b.labels)
+         | c -> c)
+
+let to_prometheus t =
+  let buf = Buffer.create 1024 in
+  let last_family = ref "" in
+  List.iter
+    (fun m ->
+      if m.family <> !last_family then begin
+        last_family := m.family;
+        let help =
+          Option.value ~default:"" (Hashtbl.find_opt t.helps m.family)
+        in
+        if help <> "" then
+          Buffer.add_string buf
+            (Printf.sprintf "# HELP %s %s\n" m.family (escape_help help));
+        Buffer.add_string buf
+          (Printf.sprintf "# TYPE %s %s\n" m.family (kind_name m.cell))
+      end;
+      match m.cell with
+      | Counter c ->
+          Buffer.add_string buf
+            (Printf.sprintf "%s%s %s\n" m.family (render_labels m.labels)
+               (fmt_num c.c_total))
+      | Gauge g ->
+          Buffer.add_string buf
+            (Printf.sprintf "%s%s %s\n" m.family (render_labels m.labels)
+               (fmt_num g.g_value))
+      | Histogram h ->
+          let cum = ref 0 in
+          Array.iteri
+            (fun i n ->
+              cum := !cum + n;
+              let le =
+                if i < Array.length h.h_upper then fmt_num h.h_upper.(i)
+                else "+Inf"
+              in
+              Buffer.add_string buf
+                (Printf.sprintf "%s_bucket%s %d\n" m.family
+                   (render_labels (with_label m.labels "le" le))
+                   !cum))
+            h.h_counts;
+          Buffer.add_string buf
+            (Printf.sprintf "%s_sum%s %s\n" m.family (render_labels m.labels)
+               (fmt_num h.h_sum));
+          Buffer.add_string buf
+            (Printf.sprintf "%s_count%s %d\n" m.family
+               (render_labels m.labels) h.h_count))
+    (sorted_metrics t);
+  Buffer.contents buf
+
+let json_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_json t =
+  let labels_json labels =
+    "{"
+    ^ String.concat ","
+        (List.map
+           (fun (k, v) ->
+             Printf.sprintf "\"%s\":\"%s\"" (json_escape k) (json_escape v))
+           labels)
+    ^ "}"
+  in
+  let metric_json m =
+    let help =
+      Option.value ~default:"" (Hashtbl.find_opt t.helps m.family)
+    in
+    let common =
+      Printf.sprintf "\"name\":\"%s\",\"type\":\"%s\",\"help\":\"%s\",\"labels\":%s"
+        (json_escape m.family) (kind_name m.cell) (json_escape help)
+        (labels_json m.labels)
+    in
+    match m.cell with
+    | Counter c -> Printf.sprintf "{%s,\"value\":%s}" common (fmt_num c.c_total)
+    | Gauge g -> Printf.sprintf "{%s,\"value\":%s}" common (fmt_num g.g_value)
+    | Histogram h ->
+        let cum = ref 0 in
+        let buckets =
+          Array.mapi
+            (fun i n ->
+              cum := !cum + n;
+              let le =
+                if i < Array.length h.h_upper then fmt_num h.h_upper.(i)
+                else "\"+Inf\""
+              in
+              Printf.sprintf "{\"le\":%s,\"count\":%d}" le !cum)
+            h.h_counts
+          |> Array.to_list
+        in
+        Printf.sprintf "{%s,\"buckets\":[%s],\"sum\":%s,\"count\":%d}" common
+          (String.concat "," buckets)
+          (fmt_num h.h_sum) h.h_count
+  in
+  "{\"metrics\":["
+  ^ String.concat "," (List.map metric_json (sorted_metrics t))
+  ^ "]}\n"
+
+(* [print] is a designated console sink like [Report.print]: the CLI and
+   bench funnel Prometheus exposition through it, hence the R4 allow. *)
+let print t =
+  print_string (to_prometheus t) (* dbp-lint: allow R4 designated console sink *)

@@ -1,0 +1,81 @@
+(** Metrics registry with deterministic Prometheus/JSON exposition.
+
+    Counters, gauges and fixed-bucket histograms, identified by
+    (family name, label set).  Registration is idempotent: asking for an
+    already-registered (name, labels) pair returns the existing handle;
+    re-registering a name under a different kind (or a histogram with
+    different buckets) raises [Invalid_argument].
+
+    Exposition is deterministic: metrics sort by family name then by the
+    rendered label set, [# HELP]/[# TYPE] headers appear once per
+    family, histogram buckets render cumulatively with a trailing
+    [+Inf], and every number goes through a single formatter (integers
+    bare, otherwise [%.12g]).  Two registries built by the same program
+    path produce byte-identical text, which the golden-fixture test
+    pins.
+
+    Values carry {e wall-clock} or count data only; simulation time
+    belongs in decision traces (see [Dbp_core.Observer]). *)
+
+type t
+(** A registry. *)
+
+val create : unit -> t
+
+(** {2 Instruments} *)
+
+type counter
+type gauge
+type histogram
+
+val counter : t -> ?help:string -> ?labels:(string * string) list -> string -> counter
+(** Register (or find) a monotonically-increasing counter.
+    @raise Invalid_argument on an invalid metric/label name, or if the
+    name is already registered as a different kind. *)
+
+val gauge : t -> ?help:string -> ?labels:(string * string) list -> string -> gauge
+(** Register (or find) a settable gauge (initially [0.]). *)
+
+val histogram :
+  t ->
+  ?help:string ->
+  ?labels:(string * string) list ->
+  buckets:float list ->
+  string ->
+  histogram
+(** Register (or find) a histogram with the given strictly-increasing
+    finite upper bounds; an implicit [+Inf] bucket is appended.
+    @raise Invalid_argument on empty/non-increasing/non-finite buckets,
+    or re-registration with different buckets. *)
+
+val inc : ?by:float -> counter -> unit
+(** Add [by] (default [1.]) to a counter.
+    @raise Invalid_argument if [by < 0.]. *)
+
+val counter_value : counter -> float
+
+val set : gauge -> float -> unit
+val gauge_value : gauge -> float
+
+val observe : histogram -> float -> unit
+(** Record a sample: increments the first bucket whose upper bound is
+    [>= v] (or the [+Inf] bucket) and accumulates sum/count. *)
+
+val histogram_count : histogram -> int
+val histogram_sum : histogram -> float
+
+val bucket_counts : histogram -> (float option * int) list
+(** Per-bucket (non-cumulative) counts in bound order; [None] is the
+    trailing [+Inf] bucket.  For tests. *)
+
+(** {2 Exposition} *)
+
+val to_prometheus : t -> string
+(** Prometheus text exposition format, deterministically ordered. *)
+
+val to_json : t -> string
+(** The same data as a single-line JSON document (trailing newline). *)
+
+val print : t -> unit
+(** Write {!to_prometheus} to stdout.  A designated console sink in the
+    sense of lint rule R4, like [Report.print]. *)

@@ -1,0 +1,27 @@
+(** Engine metrics as an observer.
+
+    {!observer} builds a [Dbp_core.Observer.t] that accumulates engine
+    activity into a {!Metrics.t} registry:
+
+    - counters: [dbp_engine_arrivals_total], [dbp_engine_departures_total],
+      [dbp_engine_placements_total], [dbp_engine_decisions_existing_total],
+      [dbp_engine_bins_opened_total], [dbp_engine_bins_closed_total];
+    - gauges: [dbp_engine_open_bins], [dbp_engine_open_bins_peak];
+    - histograms: [dbp_engine_open_bins_at_decision] (open-bin count
+      sampled at each decision) and [dbp_engine_decision_seconds]
+      (wall-clock latency between the observer's own arrival and
+      decision callbacks, measured on the injected clock — the engines
+      themselves never read a clock).
+
+    Counts derive from simulation events and are deterministic; only
+    the latency histogram carries wall time.  Pair with a trace
+    recorder via [Observer.pair] to collect both in one run. *)
+
+val open_bin_buckets : float list
+val latency_buckets : float list
+
+val observer :
+  ?clock:Clock.t -> ?labels:(string * string) list -> Metrics.t ->
+  Dbp_core.Observer.t
+(** [labels] (e.g. [["algo", "first-fit"]]) are attached to every
+    metric this observer registers. *)

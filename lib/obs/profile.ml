@@ -1,0 +1,58 @@
+(* Phase profiler: named wall-clock timers around coarse pipeline
+   phases (sweep cells, portfolio evaluation, whole experiment runs).
+   Clock injection keeps the arithmetic testable with a fake clock;
+   [register] exports the accumulated phases into a Metrics registry so
+   one --metrics-out flag carries both. *)
+
+type phase = { mutable count : int; mutable total_s : float; mutable max_s : float }
+
+type t = { clock : Clock.t; phases : (string, phase) Hashtbl.t }
+
+let create ?(clock = Clock.monotonic) () =
+  { clock; phases = Hashtbl.create 8 }
+
+let find t name =
+  match Hashtbl.find_opt t.phases name with
+  | Some p -> p
+  | None ->
+      let p = { count = 0; total_s = 0.; max_s = 0. } in
+      Hashtbl.replace t.phases name p;
+      p
+
+let record t name dt =
+  if dt < 0. then invalid_arg "Profile.record: negative duration";
+  let p = find t name in
+  p.count <- p.count + 1;
+  p.total_s <- p.total_s +. dt;
+  if dt > p.max_s then p.max_s <- dt
+
+let time t name f =
+  let dt, v = Clock.elapsed ~clock:t.clock f in
+  record t name dt;
+  v
+
+let phases t =
+  Hashtbl.fold
+    (fun name p acc -> (name, (p.count, p.total_s, p.max_s)) :: acc)
+    t.phases []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+(* Export into a metrics registry as three phase-labelled families. *)
+let register t metrics =
+  List.iter
+    (fun (name, (count, total_s, max_s)) ->
+      let labels = [ ("phase", name) ] in
+      Metrics.inc
+        ~by:(float_of_int count)
+        (Metrics.counter metrics ~labels
+           ~help:"Completed timed phases" "dbp_profile_phase_runs_total");
+      Metrics.inc ~by:total_s
+        (Metrics.counter metrics ~labels
+           ~help:"Cumulative wall-clock seconds per phase"
+           "dbp_profile_phase_seconds_total");
+      Metrics.set
+        (Metrics.gauge metrics ~labels
+           ~help:"Longest single run per phase, seconds"
+           "dbp_profile_phase_seconds_max")
+        max_s)
+    (phases t)

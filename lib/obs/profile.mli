@@ -1,0 +1,27 @@
+(** Named phase timers (wall clock).
+
+    A profiler accumulates per-phase run counts, total and max
+    durations.  Phases time {e wall-clock} work — simulation time never
+    enters here (it belongs in decision traces).  The clock is
+    injectable so tests drive a [Clock.fake] and assert exact totals. *)
+
+type t
+
+val create : ?clock:Clock.t -> unit -> t
+(** Default clock: {!Clock.monotonic}. *)
+
+val time : t -> string -> (unit -> 'a) -> 'a
+(** [time t "phase" f] runs [f], charging its duration to ["phase"]. *)
+
+val record : t -> string -> float -> unit
+(** Charge an externally-measured duration (seconds) to a phase.
+    @raise Invalid_argument on a negative duration. *)
+
+val phases : t -> (string * (int * float * float)) list
+(** [(name, (count, total_seconds, max_seconds))], sorted by name. *)
+
+val register : t -> Metrics.t -> unit
+(** Export the accumulated phases into a registry as
+    [dbp_profile_phase_runs_total], [dbp_profile_phase_seconds_total]
+    and [dbp_profile_phase_seconds_max], each labelled
+    [{phase="name"}]. *)

@@ -1,0 +1,129 @@
+(* Decision-trace recorder: an [Observer.t] that appends sim-timestamped
+   events into a ring buffer, plus a JSONL renderer.  Because events
+   carry simulation time only, a trace is a pure function of
+   (instance, algorithm, seed): two runs — or the reference and indexed
+   engines — produce byte-identical files.  check.sh diffs two runs of
+   the CLI as a determinism canary. *)
+
+type event =
+  | Arrival of { time : float; item : int; size : float }
+  | Decision of { time : float; item : int; bin : int option }
+  | Open_bin of { time : float; bin : int }
+  | Place of { time : float; item : int; bin : int }
+  | Close_bin of { time : float; bin : int }
+  | Departure of { time : float; item : int }
+
+type t = {
+  capacity : int;  (* <= 0: unbounded *)
+  mutable buf : event array;
+  mutable start : int;  (* index of oldest retained event (bounded mode) *)
+  mutable len : int;  (* retained events *)
+  mutable emitted : int;  (* total events ever pushed *)
+}
+
+let dummy = Open_bin { time = 0.; bin = -1 }
+
+let create ?(capacity = 0) () =
+  let buf = Array.make (if capacity > 0 then capacity else 64) dummy in
+  { capacity; buf; start = 0; len = 0; emitted = 0 }
+
+let push t ev =
+  t.emitted <- t.emitted + 1;
+  if t.capacity > 0 then
+    if t.len = t.capacity then begin
+      (* full ring: the oldest slot becomes the newest *)
+      t.buf.(t.start) <- ev;
+      t.start <- (t.start + 1) mod t.capacity
+    end
+    else begin
+      t.buf.((t.start + t.len) mod t.capacity) <- ev;
+      t.len <- t.len + 1
+    end
+  else begin
+    (* unbounded: plain growable array, [start] stays 0 *)
+    if t.len = Array.length t.buf then begin
+      let fresh = Array.make (2 * t.len) dummy in
+      Array.blit t.buf 0 fresh 0 t.len;
+      t.buf <- fresh
+    end;
+    t.buf.(t.len) <- ev;
+    t.len <- t.len + 1
+  end
+
+let emitted t = t.emitted
+let length t = t.len
+
+let events t =
+  List.init t.len (fun i -> t.buf.((t.start + i) mod Array.length t.buf))
+
+let clear t =
+  t.start <- 0;
+  t.len <- 0;
+  t.emitted <- 0
+
+let observer t =
+  Dbp_core.Observer.v
+    ~on_arrival:(fun ~time ~item ->
+      push t
+        (Arrival
+           { time; item = Dbp_core.Item.id item; size = Dbp_core.Item.size item }))
+    ~on_decision:(fun ~time ~item ~bin ->
+      push t (Decision { time; item = Dbp_core.Item.id item; bin }))
+    ~on_open_bin:(fun ~time ~bin -> push t (Open_bin { time; bin }))
+    ~on_place:(fun ~time ~item ~bin ->
+      push t (Place { time; item = Dbp_core.Item.id item; bin }))
+    ~on_close_bin:(fun ~time ~bin -> push t (Close_bin { time; bin }))
+    ~on_departure:(fun ~time ~item ->
+      push t (Departure { time; item = Dbp_core.Item.id item }))
+    ()
+
+(* ---- JSONL rendering ---------------------------------------------------- *)
+
+(* Same number formatter as Metrics: integral floats render bare so the
+   common case ({"t":3,...}) stays compact and byte-stable. *)
+let fmt_num v =
+  if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.12g" v
+
+let jsonl_of_event = function
+  | Arrival { time; item; size } ->
+      Printf.sprintf "{\"t\":%s,\"ev\":\"arrival\",\"item\":%d,\"size\":%s}"
+        (fmt_num time) item (fmt_num size)
+  | Decision { time; item; bin } ->
+      Printf.sprintf "{\"t\":%s,\"ev\":\"decision\",\"item\":%d,\"bin\":%s}"
+        (fmt_num time) item
+        (match bin with Some b -> string_of_int b | None -> "null")
+  | Open_bin { time; bin } ->
+      Printf.sprintf "{\"t\":%s,\"ev\":\"open\",\"bin\":%d}" (fmt_num time) bin
+  | Place { time; item; bin } ->
+      Printf.sprintf "{\"t\":%s,\"ev\":\"place\",\"item\":%d,\"bin\":%d}"
+        (fmt_num time) item bin
+  | Close_bin { time; bin } ->
+      Printf.sprintf "{\"t\":%s,\"ev\":\"close\",\"bin\":%d}" (fmt_num time) bin
+  | Departure { time; item } ->
+      Printf.sprintf "{\"t\":%s,\"ev\":\"departure\",\"item\":%d}"
+        (fmt_num time) item
+
+let to_jsonl ?(header = []) t =
+  let buf = Buffer.create (64 * (t.len + 1)) in
+  List.iter
+    (fun line ->
+      Buffer.add_string buf line;
+      Buffer.add_char buf '\n')
+    header;
+  List.iter
+    (fun ev ->
+      Buffer.add_string buf (jsonl_of_event ev);
+      Buffer.add_char buf '\n')
+    (events t);
+  Buffer.contents buf
+
+let save ?header ~path t =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_jsonl ?header t))
+
+(* Designated console sink (lint rule R4), like [Report.print]. *)
+let print t =
+  print_string (to_jsonl t) (* dbp-lint: allow R4 designated console sink *)

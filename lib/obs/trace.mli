@@ -1,0 +1,69 @@
+(** Decision-trace recorder and JSONL sink.
+
+    {!observer} adapts a recorder into a [Dbp_core.Observer.t]; plugged
+    into [Engine.run ~observer] (or [Resilient.run ~observer]) it
+    collects the engine's event stream.  Events carry {e simulation}
+    time only, so a trace is a pure function of (instance, algorithm,
+    seed): two runs, or the reference and indexed engines, produce
+    byte-identical JSONL — asserted by the qcheck identity property and
+    by the [scripts/check.sh] determinism canary.
+
+    Line shapes (one JSON object per line, no spaces; integral times
+    render bare):
+    {v
+    {"t":3,"ev":"arrival","item":5,"size":0.25}
+    {"t":3,"ev":"decision","item":5,"bin":2}      bin:null = opened new
+    {"t":3,"ev":"open","bin":4}
+    {"t":3,"ev":"place","item":5,"bin":4}
+    {"t":7,"ev":"departure","item":5}
+    {"t":7,"ev":"close","bin":4}
+    v} *)
+
+type event =
+  | Arrival of { time : float; item : int; size : float }
+  | Decision of { time : float; item : int; bin : int option }
+  | Open_bin of { time : float; bin : int }
+  | Place of { time : float; item : int; bin : int }
+  | Close_bin of { time : float; bin : int }
+  | Departure of { time : float; item : int }
+
+type t
+(** A recorder: unbounded by default, or a fixed-size ring that keeps
+    the most recent events. *)
+
+val create : ?capacity:int -> unit -> t
+(** [capacity <= 0] (the default) grows without bound; a positive
+    capacity keeps only the last [capacity] events. *)
+
+val observer : t -> Dbp_core.Observer.t
+(** The recording observer; pass to [Engine.run ~observer]. *)
+
+val push : t -> event -> unit
+(** Append an event directly (the observer path uses this too). *)
+
+val events : t -> event list
+(** Retained events, oldest first. *)
+
+val length : t -> int
+(** Retained event count ([<= capacity] when bounded). *)
+
+val emitted : t -> int
+(** Total events ever pushed, including any the ring dropped. *)
+
+val clear : t -> unit
+
+(** {2 Rendering} *)
+
+val jsonl_of_event : event -> string
+(** One line, without the trailing newline. *)
+
+val to_jsonl : ?header:string list -> t -> string
+(** All retained events as newline-terminated JSONL; [header] lines
+    (already-rendered JSON) are emitted first. *)
+
+val save : ?header:string list -> path:string -> t -> unit
+(** Write {!to_jsonl} to [path], truncating. *)
+
+val print : t -> unit
+(** Write {!to_jsonl} to stdout.  A designated console sink in the
+    sense of lint rule R4, like [Report.print]. *)

@@ -120,7 +120,11 @@ type ref_bin = {
   mutable level : float;
 }
 
-let reference_exn algo instance =
+(* Observer emissions pattern-match the option at each site so the
+   no-observer path costs one branch, never a closure call — the bench
+   obs sweep pins that overhead. *)
+
+let reference_exn obs algo instance =
   let stepper = algo.make () in
   let bins : ref_bin list ref = ref [] (* reverse opening order *) in
   let home = Hashtbl.create 64 (* item id -> ref_bin *) in
@@ -145,6 +149,9 @@ let reference_exn algo instance =
     lb.active <- lb.active + 1;
     lb.level <- lb.level +. Item.size item;
     Hashtbl.replace home (Item.id item) lb;
+    (match obs with
+    | Some o -> o.Observer.on_place ~time:now ~item ~bin:lb.idx
+    | None -> ());
     stepper.notify ~item ~index:lb.idx
   in
   let handle event =
@@ -161,11 +168,27 @@ let reference_exn algo instance =
         lb.level <-
           (if lb.active = 0 then 0.
            else lb.level -. Item.size event.Event.item);
+        (match obs with
+        | Some o ->
+            o.Observer.on_departure ~time:event.Event.time
+              ~item:event.Event.item;
+            if lb.active = 0 then
+              o.Observer.on_close_bin ~time:event.Event.time ~bin:lb.idx
+        | None -> ());
         stepper.departed event.Event.item
     | Event.Arrival -> (
         let now = event.Event.time in
         let item = event.Event.item in
-        match stepper.decide ~now ~open_bins:(views now) item with
+        (match obs with
+        | Some o -> o.Observer.on_arrival ~time:now ~item
+        | None -> ());
+        let decision = stepper.decide ~now ~open_bins:(views now) item in
+        (match obs with
+        | Some o ->
+            o.Observer.on_decision ~time:now ~item
+              ~bin:(match decision with Place i -> Some i | Open_new -> None)
+        | None -> ());
+        match decision with
         | Open_new ->
             let lb =
               {
@@ -177,6 +200,9 @@ let reference_exn algo instance =
               }
             in
             bins := lb :: !bins;
+            (match obs with
+            | Some o -> o.Observer.on_open_bin ~time:now ~bin:lb.idx
+            | None -> ());
             place lb item
         | Place idx -> (
             match List.find_opt (fun lb -> lb.idx = idx) !bins with
@@ -305,7 +331,7 @@ let make_index st =
     open_count;
   }
 
-let indexed_exn algo instance =
+let indexed_exn obs algo instance =
   let stepper =
     match algo.make_indexed with
     | Some make -> make ()
@@ -339,6 +365,9 @@ let indexed_exn algo instance =
     lb.l_level <- lb.l_level +. Item.size item;
     Fit_index.set_level st.fit lb.l_idx lb.l_level;
     Hashtbl.replace st.homes (Item.id item) lb;
+    (match obs with
+    | Some o -> o.Observer.on_place ~time:now ~item ~bin:lb.l_idx
+    | None -> ());
     stepper.i_notify ~item ~index:lb.l_idx
   in
   let handle event =
@@ -359,12 +388,32 @@ let indexed_exn algo instance =
           unlink st lb
         end
         else Fit_index.set_level st.fit lb.l_idx lb.l_level;
+        (match obs with
+        | Some o ->
+            o.Observer.on_departure ~time:event.Event.time ~item;
+            if lb.l_active = 0 then
+              o.Observer.on_close_bin ~time:event.Event.time ~bin:lb.l_idx
+        | None -> ());
         stepper.i_departed item
     | Event.Arrival -> (
         let now = event.Event.time in
         let item = event.Event.item in
-        match stepper.i_decide ~now ~index item with
-        | Open_new -> place (append_bin st now) item
+        (match obs with
+        | Some o -> o.Observer.on_arrival ~time:now ~item
+        | None -> ());
+        let decision = stepper.i_decide ~now ~index item in
+        (match obs with
+        | Some o ->
+            o.Observer.on_decision ~time:now ~item
+              ~bin:(match decision with Place i -> Some i | Open_new -> None)
+        | None -> ());
+        match decision with
+        | Open_new ->
+            let lb = append_bin st now in
+            (match obs with
+            | Some o -> o.Observer.on_open_bin ~time:now ~bin:lb.l_idx
+            | None -> ());
+            place lb item
         | Place idx ->
             if idx < 0 || idx >= st.count then
               fail (Unknown_bin { algo = algo.name; bin = idx; time = now })
@@ -391,21 +440,29 @@ let indexed_exn algo instance =
    structured [_result] form, and the legacy exception shim that turns
    the same error into the historical [Invalid_decision] message. *)
 
-let wrap engine algo instance =
-  match engine algo instance with
+let wrap engine observer algo instance =
+  match engine observer algo instance with
   | packing -> Ok packing
   | exception Err e -> Error e
 
-let lift engine algo instance =
-  match engine algo instance with
+let lift engine observer algo instance =
+  match engine observer algo instance with
   | packing -> packing
   | exception Err e -> raise (Invalid_decision (error_to_string e))
 
-let run_reference_result algo instance = wrap reference_exn algo instance
-let run_reference algo instance = lift reference_exn algo instance
-let run_indexed_result algo instance = wrap indexed_exn algo instance
-let run_indexed algo instance = lift indexed_exn algo instance
-let run_result = run_indexed_result
-let run = run_indexed
+let run_reference_result ?observer algo instance =
+  wrap reference_exn observer algo instance
+
+let run_reference ?observer algo instance =
+  lift reference_exn observer algo instance
+
+let run_indexed_result ?observer algo instance =
+  wrap indexed_exn observer algo instance
+
+let run_indexed ?observer algo instance =
+  lift indexed_exn observer algo instance
+
+let run_result ?observer algo instance = run_indexed_result ?observer algo instance
+let run ?observer algo instance = run_indexed ?observer algo instance
 
 let usage_time algo instance = Packing.total_usage_time (run algo instance)

@@ -119,12 +119,15 @@ val error_to_string : error -> string
 (** Renders exactly the historical [Invalid_decision] message for the
     error. *)
 
-val run_result : t -> Instance.t -> (Packing.t, error) result
+val run_result :
+  ?observer:Observer.t -> t -> Instance.t -> (Packing.t, error) result
 (** {!run} with the fatal path as data instead of an exception. *)
 
-val run_indexed_result : t -> Instance.t -> (Packing.t, error) result
+val run_indexed_result :
+  ?observer:Observer.t -> t -> Instance.t -> (Packing.t, error) result
 
-val run_reference_result : t -> Instance.t -> (Packing.t, error) result
+val run_reference_result :
+  ?observer:Observer.t -> t -> Instance.t -> (Packing.t, error) result
 
 val stateless :
   string -> (now:float -> open_bins:bin_view list -> Item.t -> decision) -> t
@@ -139,15 +142,20 @@ val indexed_stateless :
     {!run_reference}) and an index-query decide (used by
     {!run_indexed}).  The two must agree decision-for-decision. *)
 
-val run : t -> Instance.t -> Packing.t
+val run : ?observer:Observer.t -> t -> Instance.t -> Packing.t
 (** Feed the instance's event stream through a fresh stepper.  This is
     {!run_indexed}.
+
+    [observer] receives the decision stream as it happens (see
+    {!Dbp_core.Observer} for the callback order).  Observation never
+    influences the run: with or without one, decisions are identical,
+    and both engines emit byte-identical event sequences.
     @raise Invalid_decision on an illegal placement. *)
 
-val run_indexed : t -> Instance.t -> Packing.t
+val run_indexed : ?observer:Observer.t -> t -> Instance.t -> Packing.t
 (** The indexed engine (see the module preamble). *)
 
-val run_reference : t -> Instance.t -> Packing.t
+val run_reference : ?observer:Observer.t -> t -> Instance.t -> Packing.t
 (** The frozen list engine: the differential-testing oracle.  Always
     drives the plain stepper, never the indexed fast path. *)
 

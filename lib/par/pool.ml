@@ -54,6 +54,8 @@ type job = {
   cancelled : bool Atomic.t;
 }
 
+type stats = { jobs : int; chunks : int; steals : int }
+
 type t = {
   lock : Mutex.t;
   have_work : Condition.t;  (* workers: a new job (or shutdown) *)
@@ -63,6 +65,11 @@ type t = {
   mutable shutting_down : bool;
   mutable workers : unit Domain.t list;
   size : int;
+  (* lifetime scheduling statistics, accumulated under [lock] as each
+     job settles *)
+  mutable s_jobs : int;
+  mutable s_chunks : int;
+  mutable s_steals : int;
 }
 
 let domains t = t.size
@@ -135,6 +142,9 @@ let create ?domains () =
       shutting_down = false;
       workers = [];
       size;
+      s_jobs = 0;
+      s_chunks = 0;
+      s_steals = 0;
     }
   in
   t.workers <-
@@ -148,6 +158,12 @@ let shutdown t =
   Mutex.unlock t.lock;
   List.iter Domain.join t.workers;
   t.workers <- []
+
+let stats t =
+  Mutex.lock t.lock;
+  let s = { jobs = t.s_jobs; chunks = t.s_chunks; steals = t.s_steals } in
+  Mutex.unlock t.lock;
+  s
 
 let with_pool ?domains f =
   let t = create ?domains () in
@@ -178,7 +194,13 @@ let parallel_for t ?chunk n run_task =
   if n < 0 then invalid_arg "Pool.parallel_for: negative task count";
   let chunk = chunk_size t ~chunk (max n 1) in
   if n = 0 then ()
-  else if t.size = 1 then sequential_for n run_task
+  else if t.size = 1 then begin
+    sequential_for n run_task;
+    Mutex.lock t.lock;
+    t.s_jobs <- t.s_jobs + 1;
+    t.s_chunks <- t.s_chunks + 1;
+    Mutex.unlock t.lock
+  end
   else begin
     let chunks = (n + chunk - 1) / chunk in
     let ranges =
@@ -213,6 +235,9 @@ let parallel_for t ?chunk n run_task =
     while job.unfinished > 0 do
       Condition.wait t.all_done t.lock
     done;
+    t.s_jobs <- t.s_jobs + 1;
+    t.s_chunks <- t.s_chunks + chunks;
+    t.s_steals <- t.s_steals + Task_queue.steals job.queue;
     t.current <- None;
     Mutex.unlock t.lock;
     match job.failure with

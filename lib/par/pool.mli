@@ -56,6 +56,16 @@ val parallel_map : t -> ?chunk:int -> ('a -> 'b) -> 'a list -> 'b list
 val map_array : t -> ?chunk:int -> ('a -> 'b) -> 'a array -> 'b array
 (** [parallel_map] over arrays. *)
 
+type stats = { jobs : int; chunks : int; steals : int }
+(** Lifetime scheduling counters: parallel jobs settled, chunks
+    dispatched, and takes served by stealing from another worker's
+    queue.  Degenerate (sequential) jobs count as one chunk. *)
+
+val stats : t -> stats
+(** Snapshot of the pool's counters, read under the pool lock.  Feeds
+    the observability exposition ([dbp ... --metrics-out]); scheduling
+    statistics never influence results — determinism is unaffected. *)
+
 val shutdown : t -> unit
 (** Join the worker domains.  Idempotent; subsequent [parallel_*] calls
     raise [Invalid_argument]. *)

@@ -9,6 +9,7 @@ type t = {
   slots : int array array;  (* per worker, capacity = total chunk count *)
   head : int array;  (* owner pops here (front) *)
   tail : int array;  (* one past the last element; thieves pop at tail-1 *)
+  mutable steals : int;  (* takes served from another worker's queue *)
 }
 
 let create ~workers ~chunks =
@@ -19,6 +20,7 @@ let create ~workers ~chunks =
       slots = Array.init workers (fun _ -> Array.make (max chunks 1) 0);
       head = Array.make workers 0;
       tail = Array.make workers 0;
+      steals = 0;
     }
   in
   (* Deal chunks round-robin so that the low (leftmost) chunks -- which
@@ -71,5 +73,9 @@ let take t ~worker =
   if length t worker > 0 then Some (pop_front t worker)
   else
     match victim_of t ~thief:worker with
-    | Some v -> Some (pop_back t v)
+    | Some v ->
+        t.steals <- t.steals + 1;
+        Some (pop_back t v)
     | None -> None
+
+let steals t = t.steals

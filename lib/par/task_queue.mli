@@ -29,3 +29,7 @@ val take : t -> worker:int -> int option
     back of the longest other queue, else [None] (the job has no chunks
     left to start; some may still be running elsewhere).
     @raise Invalid_argument if [worker] is out of range. *)
+
+val steals : t -> int
+(** How many {!take}s were served by stealing from another worker's
+    queue.  Feeds the pool's scheduling statistics. *)

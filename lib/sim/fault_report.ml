@@ -46,41 +46,40 @@ let evaluate ?policy algos plan instance =
     algos
 
 let table rows =
-  Report.make
+  Report.labeled ~label:"algorithm"
     ~columns:
       [
-        ("algorithm", Report.Left);
-        ("usage", Report.Right);
-        ("fault-free", Report.Right);
-        ("inflation", Report.Right);
-        ("crashes", Report.Right);
-        ("evicted", Report.Right);
-        ("recovered", Report.Right);
-        ("rejected", Report.Right);
-        ("rej-rate", Report.Right);
-        ("retries", Report.Right);
-        ("slipped", Report.Right);
-        ("injected", Report.Right);
-        ("lost-demand", Report.Right);
+        "usage";
+        "fault-free";
+        "inflation";
+        "crashes";
+        "evicted";
+        "recovered";
+        "rejected";
+        "rej-rate";
+        "retries";
+        "slipped";
+        "injected";
+        "lost-demand";
       ]
     ~rows:
       (List.map
          (fun r ->
-           [
-             r.label;
-             Report.cell_f ~decimals:2 r.usage;
-             Report.cell_f ~decimals:2 r.fault_free_usage;
-             Report.cell_f ~decimals:4 r.inflation;
-             Report.cell_i r.crashes;
-             Report.cell_i r.evicted;
-             Report.cell_i r.recovered;
-             Report.cell_i r.rejected;
-             Report.cell_f ~decimals:3 r.rejection_rate;
-             Report.cell_i r.retries;
-             Report.cell_i r.slipped;
-             Report.cell_i r.injected;
-             Report.cell_f ~decimals:2 r.lost_demand;
-           ])
+           ( r.label,
+             [
+               Report.cell_f ~decimals:2 r.usage;
+               Report.cell_f ~decimals:2 r.fault_free_usage;
+               Report.cell_f ~decimals:4 r.inflation;
+               Report.cell_i r.crashes;
+               Report.cell_i r.evicted;
+               Report.cell_i r.recovered;
+               Report.cell_i r.rejected;
+               Report.cell_f ~decimals:3 r.rejection_rate;
+               Report.cell_i r.retries;
+               Report.cell_i r.slipped;
+               Report.cell_i r.injected;
+               Report.cell_f ~decimals:2 r.lost_demand;
+             ] ))
          rows)
 
 let pp_row ppf r =

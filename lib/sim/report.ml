@@ -15,6 +15,14 @@ let make ~columns ~rows =
     rows;
   { columns = List.map (fun (title, align) -> { title; align }) columns; rows }
 
+(* The layout every scoreboard shares: one Left-aligned label column
+   followed by Right-aligned data columns.  Fault_report and Runner both
+   render through this instead of hand-building the same column list. *)
+let labeled ~label ~columns ~rows =
+  make
+    ~columns:((label, Left) :: List.map (fun title -> (title, Right)) columns)
+    ~rows:(List.map (fun (lbl, cells) -> lbl :: cells) rows)
+
 let cell_f ?(decimals = 4) v =
   if Float.is_integer v && Float.abs v < 1e15 then
     Printf.sprintf "%.0f" v

@@ -13,6 +13,16 @@ val make :
   columns:(string * align) list -> rows:string list list -> table
 (** @raise Invalid_argument if any row's width differs from the header's. *)
 
+val labeled :
+  label:string ->
+  columns:string list ->
+  rows:(string * string list) list ->
+  table
+(** [make] specialised to the scoreboard layout shared by every report:
+    a Left-aligned [label] column followed by Right-aligned data
+    columns.  Each row is (label cell, data cells).
+    @raise Invalid_argument on a width mismatch, as [make]. *)
+
 val cell_f : ?decimals:int -> float -> string
 (** Float cell with fixed decimals (default 4); integers print bare. *)
 

@@ -33,6 +33,25 @@ let names = List.map (fun p -> p.label) default_portfolio
 let by_name name =
   List.find_opt (fun p -> String.equal p.label name) default_portfolio
 
+(* The portfolio's online members as engines (labels matching the packer
+   labels), for callers that need engine-level access — e.g. decision
+   tracing, which re-runs [Engine.run ~observer] rather than going
+   through the opaque [pack] closures.  Tuned members are resolved
+   against the given instance, exactly as their packers would. *)
+let engines instance =
+  let named e = (e.Dbp_online.Engine.name, e) in
+  [
+    named Dbp_online.Any_fit.first_fit;
+    named Dbp_online.Any_fit.best_fit;
+    named Dbp_online.Any_fit.worst_fit;
+    named Dbp_online.Any_fit.next_fit;
+    named (Dbp_online.Hybrid_first_fit.make ());
+    ("cbdt-ff*", Dbp_online.Classify_departure.tuned instance);
+    ("aligned-ff*", Dbp_online.Departure_aligned.tuned instance);
+    ("cbd-ff*", Dbp_online.Classify_duration.tuned instance);
+    ("combined-ff*", Dbp_online.Classify_combined.tuned instance);
+  ]
+
 type score = {
   label : string;
   usage : float;
@@ -43,7 +62,7 @@ type score = {
   ratio_opt : float option;
 }
 
-let evaluate ?pool ?(opt = false) packers instance =
+let evaluate ?pool ?profile ?(opt = false) packers instance =
   let lb = Dbp_opt.Lower_bounds.best instance in
   let opt_total =
     if opt then Some (Dbp_opt.Opt_total.value instance) else None
@@ -55,54 +74,52 @@ let evaluate ?pool ?(opt = false) packers instance =
     | None -> List.map f xs
     | Some pool -> Dbp_par.Pool.parallel_map pool f xs
   in
-  map
-    (fun p ->
-      let packing = p.pack instance in
-      let usage = Packing.total_usage_time packing in
-      {
-        label = p.label;
-        usage;
-        bins = Packing.bin_count packing;
-        max_concurrent = Packing.max_concurrent_bins packing;
-        utilization = Packing.utilization packing;
-        ratio_lb = (if lb > 0. then usage /. lb else 1.);
-        ratio_opt =
-          Option.map (fun o -> if o > 0. then usage /. o else 1.) opt_total;
-      })
-    packers
+  let run_all () =
+    map
+      (fun p ->
+        let packing = p.pack instance in
+        let usage = Packing.total_usage_time packing in
+        {
+          label = p.label;
+          usage;
+          bins = Packing.bin_count packing;
+          max_concurrent = Packing.max_concurrent_bins packing;
+          utilization = Packing.utilization packing;
+          ratio_lb = (if lb > 0. then usage /. lb else 1.);
+          ratio_opt =
+            Option.map (fun o -> if o > 0. then usage /. o else 1.) opt_total;
+        })
+      packers
+  in
+  (* One phase sample around the whole evaluation: timing individual
+     packers inside pool workers would race on the profiler. *)
+  match profile with
+  | None -> run_all ()
+  | Some prof -> Dbp_obs.Profile.time prof "runner.evaluate" run_all
 
 let score_table scores =
   let has_opt = List.exists (fun s -> s.ratio_opt <> None) scores in
-  let columns =
-    [
-      ("algorithm", Report.Left);
-      ("usage", Report.Right);
-      ("bins", Report.Right);
-      ("max-conc", Report.Right);
-      ("util", Report.Right);
-      ("ratio/LB", Report.Right);
-    ]
-    @ (if has_opt then [ ("ratio/OPT", Report.Right) ] else [])
-  in
-  let rows =
-    List.map
-      (fun s ->
-        [
-          s.label;
-          Report.cell_f ~decimals:2 s.usage;
-          Report.cell_i s.bins;
-          Report.cell_i s.max_concurrent;
-          Report.cell_f ~decimals:3 s.utilization;
-          Report.cell_f ~decimals:3 s.ratio_lb;
-        ]
-        @
-        match (has_opt, s.ratio_opt) with
-        | false, _ -> []
-        | true, Some r -> [ Report.cell_f ~decimals:3 r ]
-        | true, None -> [ "-" ])
-      scores
-  in
-  Report.make ~columns ~rows
+  Report.labeled ~label:"algorithm"
+    ~columns:
+      ([ "usage"; "bins"; "max-conc"; "util"; "ratio/LB" ]
+      @ if has_opt then [ "ratio/OPT" ] else [])
+    ~rows:
+      (List.map
+         (fun s ->
+           ( s.label,
+             [
+               Report.cell_f ~decimals:2 s.usage;
+               Report.cell_i s.bins;
+               Report.cell_i s.max_concurrent;
+               Report.cell_f ~decimals:3 s.utilization;
+               Report.cell_f ~decimals:3 s.ratio_lb;
+             ]
+             @
+             match (has_opt, s.ratio_opt) with
+             | false, _ -> []
+             | true, Some r -> [ Report.cell_f ~decimals:3 r ]
+             | true, None -> [ "-" ] ))
+         scores)
 
 let pp_score ppf s =
   Format.fprintf ppf "%s: usage=%.4g bins=%d ratio/LB=%.3f" s.label s.usage

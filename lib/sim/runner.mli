@@ -31,6 +31,12 @@ val names : string list
 val by_name : string -> packer option
 (** Look a portfolio member up by its label (e.g. "ddff", "cbdt-ff*"). *)
 
+val engines : Instance.t -> (string * Dbp_online.Engine.t) list
+(** The portfolio's online members as engines, labelled exactly as their
+    packers.  Tuned members are parameterised against the given
+    instance.  Used by callers needing engine-level access — decision
+    tracing re-runs [Engine.run ~observer] on these. *)
+
 type score = {
   label : string;
   usage : float;
@@ -43,9 +49,17 @@ type score = {
 }
 
 val evaluate :
-  ?pool:Dbp_par.Pool.t -> ?opt:bool -> packer list -> Instance.t -> score list
+  ?pool:Dbp_par.Pool.t ->
+  ?profile:Dbp_obs.Profile.t ->
+  ?opt:bool ->
+  packer list ->
+  Instance.t ->
+  score list
 (** @param pool run the packers across the pool's domains; scores keep
     packer order, bit-identical to the sequential run.
+    @param profile charge the whole evaluation to phase
+    ["runner.evaluate"] (one sample per call — per-packer timing inside
+    pool workers would race on the profiler).
     @param opt also compute exact OPT_total ratios (default false; cost is
     exponential in the per-instant active-item count). *)
 

@@ -10,7 +10,7 @@ let default_metric instance packing =
   Dbp_opt.Lower_bounds.ratio_to_best instance
     (Packing.total_usage_time packing)
 
-let run ?pool ?(seeds = 5) ~parameters ~generate ~packers
+let run ?pool ?profile ?(seeds = 5) ~parameters ~generate ~packers
     ?(metric = default_metric) () =
   if seeds < 1 then invalid_arg "Sweep.run: seeds < 1";
   (* One cell per (parameter, seed): the cell generates its instance and
@@ -29,10 +29,17 @@ let run ?pool ?(seeds = 5) ~parameters ~generate ~packers
     List.map (fun (p : Runner.packer) -> metric inst (p.Runner.pack inst))
       packers
   in
-  let results =
+  let run_cells () =
     match pool with
     | None -> List.map eval cells
     | Some pool -> Dbp_par.Pool.parallel_map pool eval cells
+  in
+  (* One phase sample per sweep: cell-level timing inside pool workers
+     would race on the profiler. *)
+  let results =
+    match profile with
+    | None -> run_cells ()
+    | Some prof -> Dbp_obs.Profile.time prof "sweep.run" run_cells
   in
   let results = Array.of_list results in
   List.concat

@@ -15,6 +15,7 @@ type point = {
 
 val run :
   ?pool:Dbp_par.Pool.t ->
+  ?profile:Dbp_obs.Profile.t ->
   ?seeds:int ->
   parameters:float list ->
   generate:(seed:int -> float -> Instance.t) ->
@@ -27,7 +28,9 @@ val run :
     packer order within a parameter.  With [pool], the (parameter, seed)
     cells run across the pool's domains; instance generation is keyed on
     the cell's own seed, so the result is bit-identical to the
-    sequential run (DESIGN.md section 11). *)
+    sequential run (DESIGN.md section 11).  With [profile], the whole
+    cell fleet is charged to phase ["sweep.run"] (one sample per call;
+    per-cell timing inside pool workers would race). *)
 
 val table : ?param_name:string -> point list -> Report.table
 (** Wide table: one row per parameter value, one column per packer label,

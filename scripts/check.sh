@@ -2,9 +2,10 @@
 # Repo-wide check: build, full test suite, formatting, an engine smoke
 # benchmark (indexed vs. reference parity on small workloads), a
 # fault-injection smoke sweep (empty-plan bit-identity + monotone
-# degradation are asserted inside the bench) and a parallel smoke sweep
+# degradation are asserted inside the bench), a parallel smoke sweep
 # (2-domain point list diffed against the sequential 1-domain baseline
-# inside the bench).
+# inside the bench) and an observability smoke: two traced CLI runs
+# diffed byte-for-byte plus the observer-overhead mini-sweep.
 # Run from the repo root:  scripts/check.sh
 set -eu
 
@@ -15,7 +16,7 @@ dune build
 
 echo "== dune build @lint =="
 # dbp-lint (lib/lint, DESIGN.md section 9): the packing-invariant rule
-# set R1-R7 over lib/ bin/ bench/ test/; exits non-zero on any finding.
+# set R1-R8 over lib/ bin/ bench/ test/; exits non-zero on any finding.
 dune build @lint
 
 echo "== dune runtest =="
@@ -39,5 +40,20 @@ echo "== parallel scaling smoke bench =="
 # 2-domain point list bit-identical to the 1-domain baseline (the
 # dbp.par determinism contract, DESIGN.md section 11).
 dune exec bench/main.exe -- par --quick
+
+echo "== observability smoke =="
+# Trace determinism canary (DESIGN.md section 12): the same traced run
+# twice must produce byte-identical JSONL, and the observer-overhead
+# mini-sweep asserts tracing never perturbs the packing and stays under
+# the 2x budget on its largest row.
+obs_dir=$(mktemp -d)
+trap 'rm -rf "$obs_dir"' EXIT
+dune exec bin/dbp.exe -- run --seed 7 -a first-fit -a best-fit \
+  --trace-out "$obs_dir/a.jsonl" --metrics-out "$obs_dir/a.prom" > /dev/null
+dune exec bin/dbp.exe -- run --seed 7 -a first-fit -a best-fit \
+  --trace-out "$obs_dir/b.jsonl" > /dev/null
+cmp "$obs_dir/a.jsonl" "$obs_dir/b.jsonl"
+echo "traces byte-identical across runs"
+dune exec bench/main.exe -- obs --quick
 
 echo "All checks passed."

@@ -1,0 +1,4 @@
+let a () = Unix.gettimeofday ()
+let b () = Unix.time ()
+let c () = Sys.time ()
+let d () = Stdlib.Sys.time ()

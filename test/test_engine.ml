@@ -138,7 +138,10 @@ let per_engine =
         case "closed bin rejected" test_invalid_place_closed_bin;
         case "overflow decision rejected" test_invalid_overflow_decision;
       ])
-    [ ("indexed", E.run_indexed); ("reference", E.run_reference) ]
+    [
+      ("indexed", fun algo inst -> E.run_indexed algo inst);
+      ("reference", fun algo inst -> E.run_reference algo inst);
+    ]
 
 let suite =
   per_engine

@@ -87,6 +87,22 @@ let test_r7_par_exempt () =
     [ ("R7", 1, 11); ("R7", 2, 11) ]
     (hits_of (Driver.lint_source ~path:"lib/sim/sweep.ml" source))
 
+let test_r8 () =
+  check_file "r8_wallclock.ml"
+    [ ("R8", 1, 11); ("R8", 2, 11); ("R8", 3, 11); ("R8", 4, 11) ]
+
+let test_r8_clock_exempt () =
+  (* clock injection bottoms out in Obs.Clock; the bench harness is also
+     free to time directly.  Exemptions are by path/scope, wherever the
+     repo sits relative to the linter's cwd *)
+  let source = "let now () = Unix.gettimeofday ()\n" in
+  Alcotest.check hits "lib/obs/clock.ml may read the clock" []
+    (hits_of (Driver.lint_source ~path:"../lib/obs/clock.ml" source));
+  Alcotest.check hits "bench may time however it likes" []
+    (hits_of (Driver.lint_source ~path:"bench/main.ml" source));
+  Alcotest.check hits "other lib modules may not" [ ("R8", 1, 13) ]
+    (hits_of (Driver.lint_source ~path:"lib/sim/runner.ml" source))
+
 let test_suppressed () =
   check_file ~scope:Rules.Lib "suppressed.ml" []
 
@@ -122,8 +138,8 @@ let test_parse_error () =
 let test_registry () =
   let ids = List.map (fun r -> r.Rules.id) Rules.all in
   Alcotest.(check (list string))
-    "registry covers R0 plus the seven rules"
-    [ "R0"; "R1"; "R2"; "R3"; "R4"; "R5"; "R6"; "R7" ]
+    "registry covers R0 plus the eight rules"
+    [ "R0"; "R1"; "R2"; "R3"; "R4"; "R5"; "R6"; "R7"; "R8" ]
     ids
 
 let test_json () =
@@ -181,6 +197,8 @@ let suite =
       test_r6_defining_module_exempt;
     Alcotest.test_case "R7 concurrency confinement" `Quick test_r7;
     Alcotest.test_case "R7 lib/par exemption" `Quick test_r7_par_exempt;
+    Alcotest.test_case "R8 wall-clock confinement" `Quick test_r8;
+    Alcotest.test_case "R8 clock/bench exemption" `Quick test_r8_clock_exempt;
     Alcotest.test_case "suppression both positions" `Quick test_suppressed;
     Alcotest.test_case "unused suppressions error" `Quick
       test_unused_suppression;
