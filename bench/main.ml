@@ -227,6 +227,18 @@ type engine_row = {
   usage : float;
 }
 
+(* Gc knobs for the large engine rows: a 256 MB minor heap (words) so
+   the flat engine's short-lived view/decision garbage stays minor, and
+   a relaxed space_overhead so the big backing arrays are not compacted
+   mid-measurement.  Applied once, before the sweep. *)
+let tune_gc_for_engine () =
+  Gc.set
+    {
+      (Gc.get ()) with
+      Gc.minor_heap_size = 1 lsl 25;
+      space_overhead = 200;
+    }
+
 let engine_sweep sizes =
   List.concat_map
     (fun n ->
@@ -237,10 +249,11 @@ let engine_sweep sizes =
       in
       List.map
         (fun (name, algo) ->
+          (* [run_usage] is the serving-path metric: the full event loop
+             with identical decisions, without materialising the packing
+             (usage is bit-identical; the suite pins that). *)
           let indexed_s, usage =
-            time_best reps (fun () ->
-                Dbp_core.Packing.total_usage_time
-                  (Dbp_online.Engine.run_indexed algo inst))
+            time_best reps (fun () -> Dbp_online.Engine.run_usage algo inst)
           in
           let reference_s =
             if jobs > reference_job_cap then None
@@ -278,9 +291,15 @@ let engine_json rows =
     let reference_fields =
       match reference_s with
       | Some r ->
-          Printf.sprintf "\"reference_s\": %.6f, \"speedup\": %.3f" r
-            (r /. indexed_s)
-      | None -> "\"reference_s\": null, \"speedup\": null"
+          Printf.sprintf
+            "\"reference_s\": %.6f, \"speedup\": %.3f, \"reference_skipped\": \
+             false"
+            r (r /. indexed_s)
+      | None ->
+          (* Explicit omission marker: the reference engine is quadratic
+             and is skipped above reference_job_cap, not merely missing. *)
+          "\"reference_s\": null, \"speedup\": null, \"reference_skipped\": \
+           true"
     in
     Printf.sprintf
       "    {\"jobs\": %d, \"algorithm\": \"%s\", \"indexed_s\": %.6f, %s, \
@@ -303,14 +322,72 @@ let engine_json rows =
       "\n  ]\n}\n";
     ]
 
+(* The 1.3x perf-regression gate: compare the fresh sweep against the
+   committed BENCH_engine.json (the baseline this run may be about to
+   replace).  Full sweeps fail hard on a breach of a large row; quick
+   sweeps (the check.sh smoke stage) only warn — their 1e3/1e4 rows are
+   millisecond-scale and noisy, and the smoke stage must stay green on
+   slow machines. *)
+let gate_baseline_file = "BENCH_engine.json"
+
+(* Only rows at least this big are enforced: below it, timing noise
+   dwarfs real regressions.  The committed 1e6 row is the contract. *)
+let gate_min_jobs = 500_000
+
+let engine_gate ~warn_only rows =
+  if not (Sys.file_exists gate_baseline_file) then
+    Printf.printf "perf gate: no %s baseline, skipping\n%!" gate_baseline_file
+  else begin
+    let ic = open_in_bin gate_baseline_file in
+    let len = in_channel_length ic in
+    let text = really_input_string ic len in
+    close_in ic;
+    let baseline = Dbp_sim.Perf_gate.parse_rows text in
+    let current =
+      List.map
+        (fun r ->
+          {
+            Dbp_sim.Perf_gate.algorithm = r.algo;
+            jobs = r.jobs;
+            indexed_s = r.indexed_s;
+          })
+        rows
+    in
+    let min_jobs = if warn_only then 0 else gate_min_jobs in
+    let breaches =
+      Dbp_sim.Perf_gate.check ~min_jobs ~baseline ~current ()
+    in
+    match breaches with
+    | [] ->
+        Printf.printf "perf gate: ok (threshold %.2fx, %d baseline rows)\n%!"
+          Dbp_sim.Perf_gate.default_threshold (List.length baseline)
+    | _ ->
+        List.iter
+          (fun b ->
+            Printf.printf "perf gate %s: %s\n%!"
+              (if warn_only then "WARNING" else "FAILURE")
+              (Dbp_sim.Perf_gate.breach_to_string b))
+          breaches;
+        if not warn_only then
+          failwith
+            (Printf.sprintf
+               "perf gate: %d row(s) slower than %.2fx the committed %s"
+               (List.length breaches) Dbp_sim.Perf_gate.default_threshold
+               gate_baseline_file)
+  end
+
 let run_engine ~quick () =
   let sizes =
     if quick then [ 1_000; 10_000 ]
-    else [ 1_000; 10_000; 100_000; 1_000_000 ]
+    else [ 1_000; 10_000; 100_000; 1_000_000; 10_000_000 ]
   in
   Printf.printf "=== Engine sweep (%s) ===\n%!"
     (if quick then "quick" else "full");
+  tune_gc_for_engine ();
   let rows = engine_sweep sizes in
+  (* Gate before writing: a full sweep that regressed must not replace
+     the baseline it just failed against. *)
+  engine_gate ~warn_only:quick rows;
   (* Quick runs (the check.sh smoke) must not clobber the committed
      full-sweep results. *)
   let out = if quick then "BENCH_engine_quick.json" else "BENCH_engine.json" in

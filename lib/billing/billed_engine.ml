@@ -69,7 +69,7 @@ let run ?(reuse_idle = true) ~model algo instance =
              E.index = s.idx;
              opened_at = s.acquired;
              level = Bin_state.level_at s.bin now;
-             state = s.bin;
+             state = Lazy.from_val s.bin;
            })
   in
   let place s item =

@@ -32,6 +32,102 @@ let place_unchecked b r =
         (Step_function.indicator (Item.interval r) (Item.size r));
   }
 
+(* Rebuild the bin a placement sequence would have produced, without
+   paying [place_unchecked]'s incremental profile merge per item.  The
+   profile is reconstructed by one sweep over the items' endpoints: at
+   each distinct endpoint the level is re-summed as a left fold over the
+   items active there, *in placement order*.  That fold is bit-identical
+   to the value the incremental [Step_function.add] chain stores:
+
+   - [add] combines with [( +. )], and merging an inactive item
+     contributes [v +. 0.] = [v] (levels are sums of positive sizes, so
+     never -0.), so every stored break value is exactly the
+     placement-order fold over the items active at the break;
+   - [normalize] only drops breaks whose value equals the previous one,
+     which leaves the function's value (and its canonical break set)
+     unchanged — and the sweep's candidate set (all endpoints) is a
+     superset of any break the incremental profile can retain.
+
+   Both paths therefore normalize the same (candidate, value) samples to
+   the same canonical break list.  The sweep keeps the active items on a
+   linked list in placement order (placement order within a bin is
+   arrival order, so arrivals append at the tail) and costs
+   O(k log k + sum of concurrent actives) instead of O(k^2). *)
+let of_placement ~index placed =
+  match placed with
+  | [] -> empty ~index
+  | _ ->
+      let arr = Array.of_list placed in
+      let k = Array.length arr in
+      (* 2k endpoint events: (time, rank, slot), departures first at
+         equal times so [arrival <= t < departure] holds at each sample
+         instant after the group is applied. *)
+      let events = Array.make (2 * k) (0., 0, 0) in
+      Array.iteri
+        (fun s r ->
+          events.(2 * s) <- (Item.arrival r, 1, s);
+          events.((2 * s) + 1) <- (Item.departure r, 0, s))
+        arr;
+      let cmp (ta, ra, sa) (tb, rb, sb) =
+        match Float.compare ta tb with
+        | 0 -> (
+            match Int.compare ra rb with 0 -> Int.compare sa sb | c -> c)
+        | c -> c
+      in
+      Array.sort cmp events;
+      let next = Array.make k (-1) and prev = Array.make k (-1) in
+      let head = ref (-1) and tail = ref (-1) in
+      let link s =
+        (* Insert keeping the list in placement (slot) order.  Engine
+           bins place in arrival order, so the backwards walk stops
+           immediately there; arbitrary placement sequences pay
+           O(active). *)
+        let rec back p = if p >= 0 && p > s then back prev.(p) else p in
+        let after = back !tail in
+        prev.(s) <- after;
+        next.(s) <- (if after >= 0 then next.(after) else !head);
+        (match next.(s) with -1 -> tail := s | nx -> prev.(nx) <- s);
+        if after >= 0 then next.(after) <- s else head := s
+      in
+      let unlink s =
+        if prev.(s) >= 0 then next.(prev.(s)) <- next.(s)
+        else head := next.(s);
+        if next.(s) >= 0 then prev.(next.(s)) <- prev.(s)
+        else tail := prev.(s);
+        prev.(s) <- -1;
+        next.(s) <- -1
+      in
+      let level_now () =
+        let rec go s acc =
+          if s < 0 then acc else go next.(s) (acc +. Item.size arr.(s))
+        in
+        go !head 0.
+      in
+      let breaks = ref [] in
+      let m = 2 * k in
+      let i = ref 0 in
+      while !i < m do
+        let t, _, _ = events.(!i) in
+        (* Apply the whole equal-time group, then sample once. *)
+        let j = ref !i in
+        let same_time j =
+          let tj, _, _ = events.(j) in
+          Float.equal tj t
+        in
+        while !j < m && same_time !j do
+          let _, rank, s = events.(!j) in
+          if rank = 0 then unlink s else link s;
+          incr j
+        done;
+        breaks := (t, level_now ()) :: !breaks;
+        i := !j
+      done;
+      {
+        index;
+        items = List.rev placed;
+        profile = Step_function.of_breaks (List.rev !breaks);
+      }
+
 let place b r =
   if not (fits b r) then
     invalid_arg

@@ -40,6 +40,17 @@ val fits_at : t -> at:float -> Item.t -> bool
 val place : t -> Item.t -> t
 (** @raise Invalid_argument if the item does not fit (checks [fits]). *)
 
+val of_placement : index:int -> Item.t list -> t
+(** [of_placement ~index placed] is the bin
+    [List.fold_left place_unchecked (empty ~index) placed] — including a
+    bit-identical level profile — rebuilt in one
+    O(k log k + sum of concurrent actives) endpoint sweep instead of
+    the fold's O(k^2) incremental profile merges.  [placed] is in
+    placement order (oldest first).  This is how the flat engine
+    materialises [Bin_state] values on demand: it records only each
+    bin's placement chain during a run and reconstructs the boxed state
+    here when a view or the final packing needs it. *)
+
 val place_unchecked : t -> Item.t -> t
 (** [place] without the [fits] admission re-check, for callers that have
     already validated — the indexed engine checks [fits_at] at the

@@ -34,6 +34,36 @@ let queue_of_instance instance =
          ])
   |> Heap.of_list ~cmp:compare
 
+module Flat = struct
+  (* Payload layout: kind rank in the top bits, slot (position of the
+     item in the id-sorted item array) in the low bits.  Lexicographic
+     (time, payload) order on these payloads is exactly {!compare}:
+     equal times order by kind rank (departures first), then by slot —
+     and slots ascend with item ids. *)
+  let shift = 60
+
+  let payload ~kind ~slot =
+    if slot < 0 || slot >= 1 lsl shift then
+      invalid_arg "Event.Flat.payload: slot out of range";
+    (kind_rank kind lsl shift) lor slot
+
+  let payload_kind p = if p lsr shift = 0 then Departure else Arrival
+  let payload_slot p = p land ((1 lsl shift) - 1)
+
+  let queue_of_items items =
+    let n = Array.length items in
+    let keys = Float.Array.create (2 * n) in
+    let payloads = Array.make (2 * n) 0 in
+    Array.iteri
+      (fun slot r ->
+        Float.Array.set keys (2 * slot) (Item.arrival r);
+        payloads.(2 * slot) <- payload ~kind:Arrival ~slot;
+        Float.Array.set keys ((2 * slot) + 1) (Item.departure r);
+        payloads.((2 * slot) + 1) <- payload ~kind:Departure ~slot)
+      items;
+    Heap.Flat.of_raw ~keys ~payloads
+end
+
 let arrivals events =
   List.filter_map
     (fun e -> match e.kind with Arrival -> Some e.item | Departure -> None)

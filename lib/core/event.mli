@@ -20,6 +20,29 @@ val queue_of_instance : Instance.t -> t Heap.t
     O(n) to build, O(log n) per pop, and it supports future interleaving
     of events not known up front. *)
 
+(** Index-encoded events for the flat engine.
+
+    An event is a (time, payload) pair in a {!Heap.Flat} queue; the
+    payload packs the kind rank (departure = 0 in the top bits, so at
+    equal times departures pop first) and the *slot* of the item in the
+    engine's id-sorted item array.  Lexicographic (key, payload) order
+    therefore reproduces {!compare} exactly — the tie-break invariant
+    the invariant suite pins. *)
+module Flat : sig
+  val payload : kind:kind -> slot:int -> int
+  (** [invalid_arg] if [slot] is negative or does not fit the payload
+      width (2^60 slots — unreachable for real instances). *)
+
+  val payload_kind : int -> kind
+
+  val payload_slot : int -> int
+
+  val queue_of_items : Item.t array -> Heap.Flat.t
+  (** Both events of every item, heapified in O(n).  [items] must be the
+      id-ascending item array ([Instance.items] order) for the pop order
+      to equal {!of_instance}. *)
+end
+
 val arrivals : t list -> Item.t list
 (** The items of the arrival events, in stream order. *)
 

@@ -104,3 +104,132 @@ let drain h =
     match pop h with None -> List.rev acc | Some x -> go (x :: acc)
   in
   go []
+
+(* ------------------------------------------------------------------ *)
+(* Flat heap: a (floatarray, int array) pair ordered lexicographically
+   by (key, payload).  No element is ever boxed — the keys live in an
+   unboxed float array and the payloads are immediate ints — so pushes,
+   pops and the initial heapify allocate nothing beyond the two backing
+   arrays.  Payloads double as tie-breakers: with distinct payloads the
+   order is total and the pop sequence is the sorted sequence, exactly
+   like the generic heap above. *)
+
+module Flat = struct
+  type t = {
+    mutable keys : floatarray;
+    mutable payloads : int array;
+    mutable size : int;
+  }
+
+  let create () =
+    { keys = Float.Array.create 0; payloads = [||]; size = 0 }
+
+  let length t = t.size
+  let is_empty t = t.size = 0
+
+  (* Strict lexicographic less-than between slots [i] and [j].  Keys are
+     required finite, so the primitive float compares below are total. *)
+  let lt keys payloads i j =
+    let ki = Float.Array.get keys i and kj = Float.Array.get keys j in
+    if ki < kj then true
+    else if kj < ki then false
+    else Array.unsafe_get payloads i < Array.unsafe_get payloads j
+
+  let swap t i j =
+    let k = Float.Array.get t.keys i in
+    Float.Array.set t.keys i (Float.Array.get t.keys j);
+    Float.Array.set t.keys j k;
+    let p = t.payloads.(i) in
+    t.payloads.(i) <- t.payloads.(j);
+    t.payloads.(j) <- p
+
+  let rec sift_up t i =
+    if i > 0 then begin
+      let parent = (i - 1) / 2 in
+      if lt t.keys t.payloads i parent then begin
+        swap t i parent;
+        sift_up t parent
+      end
+    end
+
+  let rec sift_down t i =
+    let l = (2 * i) + 1 and r = (2 * i) + 2 in
+    let smallest =
+      if l < t.size && lt t.keys t.payloads l i then l else i
+    in
+    let smallest =
+      if r < t.size && lt t.keys t.payloads r smallest then r else smallest
+    in
+    if smallest <> i then begin
+      swap t i smallest;
+      sift_down t smallest
+    end
+
+  let push t ~key ~payload =
+    if not (Float.is_finite key) then invalid_arg "Heap.Flat.push: key not finite";
+    if t.size = Float.Array.length t.keys then begin
+      let cap = max 8 (2 * t.size) in
+      let keys = Float.Array.make cap 0. in
+      let payloads = Array.make cap 0 in
+      Float.Array.blit t.keys 0 keys 0 t.size;
+      Array.blit t.payloads 0 payloads 0 t.size;
+      t.keys <- keys;
+      t.payloads <- payloads
+    end;
+    Float.Array.set t.keys t.size key;
+    t.payloads.(t.size) <- payload;
+    t.size <- t.size + 1;
+    sift_up t (t.size - 1)
+
+  let min_key t =
+    if t.size = 0 then invalid_arg "Heap.Flat.min_key: empty";
+    Float.Array.get t.keys 0
+
+  let min_payload t =
+    if t.size = 0 then invalid_arg "Heap.Flat.min_payload: empty";
+    t.payloads.(0)
+
+  let remove_min t =
+    if t.size = 0 then invalid_arg "Heap.Flat.remove_min: empty";
+    t.size <- t.size - 1;
+    if t.size > 0 then begin
+      (* Bottom-up deletion, mirroring [pop] above: pull the smaller
+         child into the hole down to the bottom layer, then sift the
+         displaced last element up from there. *)
+      let key = Float.Array.get t.keys t.size in
+      let payload = t.payloads.(t.size) in
+      let i = ref 0 in
+      let descending = ref true in
+      while !descending do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        if l >= t.size then descending := false
+        else begin
+          let c =
+            if r < t.size && lt t.keys t.payloads r l then r else l
+          in
+          Float.Array.set t.keys !i (Float.Array.get t.keys c);
+          t.payloads.(!i) <- t.payloads.(c);
+          i := c
+        end
+      done;
+      Float.Array.set t.keys !i key;
+      t.payloads.(!i) <- payload;
+      sift_up t !i
+    end
+
+  let of_raw ~keys ~payloads =
+    let size = Float.Array.length keys in
+    if size <> Array.length payloads then
+      invalid_arg "Heap.Flat.of_raw: length mismatch";
+    Float.Array.iter
+      (fun k ->
+        if not (Float.is_finite k) then
+          invalid_arg "Heap.Flat.of_raw: key not finite")
+      keys;
+    let t = { keys; payloads; size } in
+    (* Floyd heapify: O(n). *)
+    for i = (size / 2) - 1 downto 0 do
+      sift_down t i
+    done;
+    t
+end

@@ -28,3 +28,39 @@ val is_empty : 'a t -> bool
 val drain : 'a t -> 'a list
 (** Pop everything: the remaining elements in [cmp]-sorted order.
     Empties the heap. *)
+
+(** Flat min-heap over (float key, int payload) pairs, ordered
+    lexicographically by (key, payload).
+
+    The keys live in an unboxed [floatarray] and the payloads are
+    immediate ints, so no element is ever boxed and the operational
+    path allocates nothing beyond the backing arrays.  This is the
+    flat engine's event queue: events are index-encoded into the
+    payload (see {!Event.Flat}), and because payloads are distinct the
+    order is total — popping dry yields the sorted sequence exactly
+    like the generic heap.  Keys must be finite ([invalid_arg]
+    otherwise): the primitive float compares used internally are not
+    NaN-safe. *)
+module Flat : sig
+  type t
+
+  val create : unit -> t
+
+  val of_raw : keys:floatarray -> payloads:int array -> t
+  (** Floyd-heapify the given parallel arrays in place, O(n); the heap
+      takes ownership of both.  The arrays must have equal lengths. *)
+
+  val push : t -> key:float -> payload:int -> unit
+
+  val min_key : t -> float
+  (** Key of the least element. @raise Invalid_argument if empty. *)
+
+  val min_payload : t -> int
+  (** Payload of the least element. @raise Invalid_argument if empty. *)
+
+  val remove_min : t -> unit
+  (** Drop the least element. @raise Invalid_argument if empty. *)
+
+  val length : t -> int
+  val is_empty : t -> bool
+end

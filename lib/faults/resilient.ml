@@ -183,7 +183,7 @@ let views r =
            E.index = lb.idx;
            opened_at = lb.opened;
            level = lb.level;
-           state = lb.bin;
+           state = Lazy.from_val lb.bin;
          }
         :: acc)
   in

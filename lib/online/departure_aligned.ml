@@ -2,9 +2,10 @@ open Dbp_core
 
 (* The bin's "departure" is the latest departure among its items placed
    so far (future items may extend it; that is inherent to online).  The
-   engine's views carry the full bin state, so this is read directly. *)
+   engine's views carry the full bin state lazily; this is the one
+   in-repo algorithm that forces it. *)
 let bin_departure view =
-  Bin_state.items view.Engine.state
+  Bin_state.items (Lazy.force view.Engine.state)
   |> List.fold_left (fun acc r -> Float.max acc (Item.departure r)) neg_infinity
 
 let make ?(window = 5.) () =

@@ -4,7 +4,7 @@ type bin_view = {
   index : int;
   opened_at : float;
   level : float;
-  state : Bin_state.t;
+  state : Bin_state.t Lazy.t;
 }
 
 type decision = Place of int | Open_new
@@ -137,7 +137,7 @@ let reference_exn obs algo instance =
                  index = lb.idx;
                  opened_at = lb.opened;
                  level = lb.level;
-                 state = lb.bin;
+                 state = Lazy.from_val lb.bin;
                }
            else None)
   in
@@ -216,111 +216,242 @@ let reference_exn obs algo instance =
   Packing.of_bins instance (List.rev_map (fun lb -> lb.bin) !bins)
 
 (* ------------------------------------------------------------------ *)
-(* Indexed engine.  Bins live in a growable array keyed by bin index
-   (O(1) [Place] validation); the open bins form an intrusive doubly-
-   linked list in index order (O(1) close, O(open) view materialisation
-   instead of O(ever-opened)); fit queries go through {!Fit_index}
-   (O(log n)); events come from a binary-heap queue.  Level bookkeeping
-   uses the exact float expressions of the reference engine so the two
-   are bit-identical on every deterministic algorithm. *)
+(* Indexed engine, flat-memory edition.  All hot per-event state lives
+   in parallel unboxed arrays — no boxed record or [Bin_state] is
+   allocated anywhere on the event path:
 
-type live_bin = {
-  l_idx : int;
-  l_opened : float;
-  mutable l_bin : Bin_state.t;
-  mutable l_active : int;
-  mutable l_level : float;
-  (* open-list links: bin indices, -1 for none.  A bin is on the list
-     exactly while it has active items; it never re-enters. *)
-  mutable l_prev : int;
-  mutable l_next : int;
+   - per *item* (slot = position in the id-sorted item array): the home
+     bin, the placement-chain link, and intrusive active-list links.
+     Item sizes are copied into a [floatarray] once, so the level
+     arithmetic never chases the boxed floats inside [Item.t];
+   - per *bin ever opened* (append-only columns keyed by bin index):
+     opening/closing times in [floatarray]s, the newest link of the
+     placement chain, and the bin's arena row while open;
+   - per *open bin* (arena rows, recycled through a free stack when a
+     bin closes): level, active count, active-list ends and open-list
+     links.  Rows are reused on close/open cycles, so the hot working
+     set is O(max concurrent open bins), not O(bins ever opened).  The
+     {!Fit_index} leaves are deliberately *not* recycled: First Fit's
+     leftmost descent needs leaves ordered by bin index, so a closed
+     bin's leaf stays retired and only the row is reused.
+
+   Events come index-encoded from a {!Heap.Flat} queue ({!Event.Flat}),
+   which preserves the (time, departures-first, item id) delivery order
+   bit-for-bit.  Departures at a timestamp are drained in a batch: each
+   departure updates its row (and emits observer events) immediately,
+   but the O(log n) fit-tree writes are deferred to a dirty stack that
+   is flushed before the next arrival's decision — fit queries happen
+   only at arrivals, which sort after all equal-time departures, so the
+   deferral is unobservable and a k-departure batch costs one tree
+   update per *touched bin* instead of one per departure.
+
+   Level bookkeeping uses the exact float expressions of the reference
+   engine ([level +. size] on place; [0.] or [level -. size] on
+   departure), the overflow check re-sums the active items in placement
+   order (bit-identical to the reference's [Step_function.value_at] —
+   see {!Bin_state.of_placement}), and boxed [Bin_state] values are
+   reconstructed on demand from the placement chains, so the two
+   engines stay bit-identical on every deterministic algorithm. *)
+
+type flat = {
+  items : Item.t array; (* slot -> item, ascending id *)
+  sizes : floatarray; (* slot -> Item.size, unboxed copy *)
+  item_bin : int array; (* slot -> home bin, -1 = unplaced *)
+  chain_prev : int array; (* previous slot placed in the same bin *)
+  act_prev : int array; (* active-list links within the home bin *)
+  act_next : int array;
+  (* per-bin columns, append-only, keyed by bin index *)
+  mutable b_opened : floatarray;
+  mutable b_closed : floatarray; (* meaningful once the bin closes *)
+  mutable b_last : int array; (* newest slot of the placement chain *)
+  mutable b_row : int array; (* arena row while open, -1 once closed *)
+  mutable b_dirty : Bytes.t; (* '\001' while on the dirty stack *)
+  mutable bins : int; (* bins ever opened *)
+  (* arena rows: hot state of the open bins, recycled on close *)
+  mutable r_bin : int array;
+  mutable r_level : floatarray;
+  mutable r_active : int array;
+  mutable r_head : int array; (* oldest active slot *)
+  mutable r_tail : int array; (* newest active slot *)
+  mutable r_prev : int array; (* open-list links, index order *)
+  mutable r_next : int array;
+  mutable rows : int; (* rows ever allocated *)
+  mutable free : int array; (* stack of recycled rows *)
+  mutable free_n : int;
+  mutable open_head : int; (* row of the lowest-index open bin *)
+  mutable open_tail : int;
+  mutable open_n : int;
+  fit : Fit_index.t;
+  (* bins touched by the departure batch since the last flush *)
+  mutable dirty : int array;
+  mutable dirty_n : int;
 }
 
-let dummy_bin =
+let flat_create items =
+  let n = Array.length items in
+  let sizes = Float.Array.create n in
+  Array.iteri (fun s r -> Float.Array.set sizes s (Item.size r)) items;
   {
-    l_idx = -1;
-    l_opened = nan;
-    l_bin = Bin_state.empty ~index:(-1);
-    l_active = 0;
-    l_level = 0.;
-    l_prev = -1;
-    l_next = -1;
+    items;
+    sizes;
+    item_bin = Array.make n (-1);
+    chain_prev = Array.make n (-1);
+    act_prev = Array.make n (-1);
+    act_next = Array.make n (-1);
+    b_opened = Float.Array.make 16 0.;
+    b_closed = Float.Array.make 16 0.;
+    b_last = Array.make 16 (-1);
+    b_row = Array.make 16 (-1);
+    b_dirty = Bytes.make 16 '\000';
+    bins = 0;
+    r_bin = Array.make 8 (-1);
+    r_level = Float.Array.make 8 0.;
+    r_active = Array.make 8 0;
+    r_head = Array.make 8 (-1);
+    r_tail = Array.make 8 (-1);
+    r_prev = Array.make 8 (-1);
+    r_next = Array.make 8 (-1);
+    rows = 0;
+    free = Array.make 8 0;
+    free_n = 0;
+    open_head = -1;
+    open_tail = -1;
+    open_n = 0;
+    fit = Fit_index.create ();
+    dirty = Array.make 16 0;
+    dirty_n = 0;
   }
 
-type state = {
-  mutable arr : live_bin array; (* slots >= count hold dummy_bin *)
-  mutable count : int;
-  mutable head : int; (* first open bin index, -1 if none *)
-  mutable tail : int;
-  fit : Fit_index.t;
-  homes : (int, live_bin) Hashtbl.t; (* item id -> bin *)
-}
+let grow_int arr fill =
+  let cap = 2 * Array.length arr in
+  let arr' = Array.make cap fill in
+  Array.blit arr 0 arr' 0 (Array.length arr);
+  arr'
 
-let bin_of st idx = st.arr.(idx)
+let grow_floats arr =
+  let cap = 2 * Float.Array.length arr in
+  let arr' = Float.Array.make cap 0. in
+  Float.Array.blit arr 0 arr' 0 (Float.Array.length arr);
+  arr'
 
-let append_bin st now =
-  if st.count = Array.length st.arr then begin
-    let cap = max 16 (2 * st.count) in
-    let arr = Array.make cap dummy_bin in
-    Array.blit st.arr 0 arr 0 st.count;
-    st.arr <- arr
-  end;
-  let idx = st.count in
-  let lb =
-    {
-      l_idx = idx;
-      l_opened = now;
-      l_bin = Bin_state.empty ~index:idx;
-      l_active = 0;
-      l_level = 0.;
-      l_prev = st.tail;
-      l_next = -1;
-    }
-  in
-  st.arr.(idx) <- lb;
-  st.count <- st.count + 1;
+let ensure_bin_capacity fs =
+  if fs.bins = Array.length fs.b_last then begin
+    fs.b_opened <- grow_floats fs.b_opened;
+    fs.b_closed <- grow_floats fs.b_closed;
+    fs.b_last <- grow_int fs.b_last (-1);
+    fs.b_row <- grow_int fs.b_row (-1);
+    let dirty' = Bytes.make (2 * Bytes.length fs.b_dirty) '\000' in
+    Bytes.blit fs.b_dirty 0 dirty' 0 (Bytes.length fs.b_dirty);
+    fs.b_dirty <- dirty'
+  end
+
+let alloc_row fs =
+  if fs.free_n > 0 then begin
+    fs.free_n <- fs.free_n - 1;
+    fs.free.(fs.free_n)
+  end
+  else begin
+    if fs.rows = Array.length fs.r_bin then begin
+      fs.r_bin <- grow_int fs.r_bin (-1);
+      fs.r_level <- grow_floats fs.r_level;
+      fs.r_active <- grow_int fs.r_active 0;
+      fs.r_head <- grow_int fs.r_head (-1);
+      fs.r_tail <- grow_int fs.r_tail (-1);
+      fs.r_prev <- grow_int fs.r_prev (-1);
+      fs.r_next <- grow_int fs.r_next (-1)
+    end;
+    let r = fs.rows in
+    fs.rows <- r + 1;
+    r
+  end
+
+let free_row fs r =
+  if fs.free_n = Array.length fs.free then fs.free <- grow_int fs.free 0;
+  fs.free.(fs.free_n) <- r;
+  fs.free_n <- fs.free_n + 1
+
+let open_new_bin fs now =
+  ensure_bin_capacity fs;
+  let b = fs.bins in
+  fs.bins <- b + 1;
+  Float.Array.set fs.b_opened b now;
+  fs.b_last.(b) <- -1;
+  let r = alloc_row fs in
+  fs.b_row.(b) <- r;
+  fs.r_bin.(r) <- b;
+  Float.Array.set fs.r_level r 0.;
+  fs.r_active.(r) <- 0;
+  fs.r_head.(r) <- -1;
+  fs.r_tail.(r) <- -1;
   (* Fresh bins carry the highest index, so appending at the tail keeps
      the open list in index (opening) order. *)
-  if st.tail >= 0 then (bin_of st st.tail).l_next <- idx else st.head <- idx;
-  st.tail <- idx;
-  Fit_index.open_bin st.fit idx;
-  lb
+  fs.r_prev.(r) <- fs.open_tail;
+  fs.r_next.(r) <- -1;
+  if fs.open_tail >= 0 then fs.r_next.(fs.open_tail) <- r
+  else fs.open_head <- r;
+  fs.open_tail <- r;
+  fs.open_n <- fs.open_n + 1;
+  Fit_index.open_bin fs.fit b;
+  b
 
-let unlink st lb =
-  if lb.l_prev >= 0 then (bin_of st lb.l_prev).l_next <- lb.l_next
-  else st.head <- lb.l_next;
-  if lb.l_next >= 0 then (bin_of st lb.l_next).l_prev <- lb.l_prev
-  else st.tail <- lb.l_prev;
-  lb.l_prev <- -1;
-  lb.l_next <- -1
+let unlink_row fs r =
+  if fs.r_prev.(r) >= 0 then fs.r_next.(fs.r_prev.(r)) <- fs.r_next.(r)
+  else fs.open_head <- fs.r_next.(r);
+  if fs.r_next.(r) >= 0 then fs.r_prev.(fs.r_next.(r)) <- fs.r_prev.(r)
+  else fs.open_tail <- fs.r_prev.(r);
+  fs.r_prev.(r) <- -1;
+  fs.r_next.(r) <- -1;
+  fs.open_n <- fs.open_n - 1
 
-let view_of lb =
-  { index = lb.l_idx; opened_at = lb.l_opened; level = lb.l_level; state = lb.l_bin }
-
-let make_index st =
-  let open_views () =
-    let rec go idx acc =
-      if idx < 0 then List.rev acc
-      else
-        let lb = bin_of st idx in
-        go lb.l_next (view_of lb :: acc)
-    in
-    go st.head []
+(* Level of row [r] re-summed over its active items in placement order:
+   the same left fold [Step_function.value_at] evaluates to on the
+   reference engine's profile (see {!Bin_state.of_placement}), used for
+   the overflow check so the admission decision is bit-identical. *)
+let active_level fs r =
+  let rec go s acc =
+    if s < 0 then acc else go fs.act_next.(s) (acc +. Float.Array.get fs.sizes s)
   in
-  let view idx =
-    if idx < 0 || idx >= st.count then None
+  go fs.r_head.(r) 0.
+
+(* Items placed in bin [b] up to chain link [last], oldest first. *)
+let placed_items fs last =
+  let rec go s acc =
+    if s < 0 then acc else go fs.chain_prev.(s) (fs.items.(s) :: acc)
+  in
+  go last []
+
+let rebuild_bin fs b last = Bin_state.of_placement ~index:b (placed_items fs last)
+
+(* The placement chain links are immutable once written, so capturing
+   [b_last] eagerly makes the lazy state an exact snapshot of the bin at
+   view-creation time no matter when (or whether) it is forced. *)
+let flat_view fs r =
+  let b = fs.r_bin.(r) in
+  let last = fs.b_last.(b) in
+  {
+    index = b;
+    opened_at = Float.Array.get fs.b_opened b;
+    level = Float.Array.get fs.r_level r;
+    state = lazy (rebuild_bin fs b last);
+  }
+
+let flat_index fs =
+  let open_views () =
+    let rec go r acc =
+      if r < 0 then List.rev acc else go fs.r_next.(r) (flat_view fs r :: acc)
+    in
+    go fs.open_head []
+  in
+  let view b =
+    if b < 0 || b >= fs.bins then None
     else
-      let lb = bin_of st idx in
-      if lb.l_active > 0 then Some (view_of lb) else None
+      let r = fs.b_row.(b) in
+      if r >= 0 then Some (flat_view fs r) else None
   in
   let query q item =
-    match q st.fit ~size:(Item.size item) with
+    match q fs.fit ~size:(Item.size item) with
     | Some idx -> Place idx
     | None -> Open_new
-  in
-  let open_count () =
-    let rec go idx n = if idx < 0 then n else go (bin_of st idx).l_next (n + 1) in
-    go st.head 0
   in
   {
     open_views;
@@ -328,10 +459,31 @@ let make_index st =
     first_fit = query Fit_index.first_fit;
     best_fit = query Fit_index.best_fit;
     worst_fit = query Fit_index.worst_fit;
-    open_count;
+    open_count = (fun () -> fs.open_n);
   }
 
-let indexed_exn obs algo instance =
+let mark_dirty fs b =
+  if Bytes.get fs.b_dirty b = '\000' then begin
+    Bytes.set fs.b_dirty b '\001';
+    if fs.dirty_n = Array.length fs.dirty then fs.dirty <- grow_int fs.dirty 0;
+    fs.dirty.(fs.dirty_n) <- b;
+    fs.dirty_n <- fs.dirty_n + 1
+  end
+
+let flush_dirty fs =
+  for k = 0 to fs.dirty_n - 1 do
+    let b = fs.dirty.(k) in
+    Bytes.set fs.b_dirty b '\000';
+    let r = fs.b_row.(b) in
+    if r < 0 then Fit_index.close_bin fs.fit b
+    else Fit_index.set_level fs.fit b (Float.Array.get fs.r_level r)
+  done;
+  fs.dirty_n <- 0
+
+(* Run the event loop to completion and return the final flat state;
+   [indexed_exn] and [usage_exn] differ only in what they fold it
+   into. *)
+let flat_run obs algo instance =
   let stepper =
     match algo.make_indexed with
     | Some make -> make ()
@@ -345,96 +497,129 @@ let indexed_exn obs algo instance =
           i_departed = s.departed;
         }
   in
-  let st =
-    {
-      arr = Array.make 16 dummy_bin;
-      count = 0;
-      head = -1;
-      tail = -1;
-      fit = Fit_index.create ();
-      homes = Hashtbl.create 64;
-    }
-  in
-  let index = make_index st in
-  let place lb item =
-    let now = Item.arrival item in
-    if not (Bin_state.fits_at lb.l_bin ~at:now item) then
-      fail (Overflow { algo = algo.name; item; bin = lb.l_idx; time = now });
-    lb.l_bin <- Bin_state.place_unchecked lb.l_bin item;
-    lb.l_active <- lb.l_active + 1;
-    lb.l_level <- lb.l_level +. Item.size item;
-    Fit_index.set_level st.fit lb.l_idx lb.l_level;
-    Hashtbl.replace st.homes (Item.id item) lb;
+  let items = Array.of_list (Instance.items instance) in
+  let fs = flat_create items in
+  let index = flat_index fs in
+  let place b slot now =
+    let r = fs.b_row.(b) in
+    let item = fs.items.(slot) in
+    let size = Float.Array.get fs.sizes slot in
+    if not (Fit_index.fits_level (active_level fs r) size) then
+      fail (Overflow { algo = algo.name; item; bin = b; time = now });
+    fs.chain_prev.(slot) <- fs.b_last.(b);
+    fs.b_last.(b) <- slot;
+    fs.item_bin.(slot) <- b;
+    (* Append at the active-list tail: placement order. *)
+    fs.act_prev.(slot) <- fs.r_tail.(r);
+    fs.act_next.(slot) <- -1;
+    if fs.r_tail.(r) >= 0 then fs.act_next.(fs.r_tail.(r)) <- slot
+    else fs.r_head.(r) <- slot;
+    fs.r_tail.(r) <- slot;
+    fs.r_active.(r) <- fs.r_active.(r) + 1;
+    Float.Array.set fs.r_level r (Float.Array.get fs.r_level r +. size);
+    Fit_index.set_level fs.fit b (Float.Array.get fs.r_level r);
     (match obs with
-    | Some o -> o.Observer.on_place ~time:now ~item ~bin:lb.l_idx
+    | Some o -> o.Observer.on_place ~time:now ~item ~bin:b
     | None -> ());
-    stepper.i_notify ~item ~index:lb.l_idx
+    stepper.i_notify ~item ~index:b
   in
-  let handle event =
-    match event.Event.kind with
-    | Event.Departure ->
-        let item = event.Event.item in
-        let lb =
-          try Hashtbl.find st.homes (Item.id item)
-          with Not_found ->
-            fail
-              (Unplaced_departure { algo = algo.name; item_id = Item.id item })
-        in
-        lb.l_active <- lb.l_active - 1;
-        lb.l_level <-
-          (if lb.l_active = 0 then 0. else lb.l_level -. Item.size item);
-        if lb.l_active = 0 then begin
-          Fit_index.close_bin st.fit lb.l_idx;
-          unlink st lb
-        end
-        else Fit_index.set_level st.fit lb.l_idx lb.l_level;
-        (match obs with
-        | Some o ->
-            o.Observer.on_departure ~time:event.Event.time ~item;
-            if lb.l_active = 0 then
-              o.Observer.on_close_bin ~time:event.Event.time ~bin:lb.l_idx
-        | None -> ());
-        stepper.i_departed item
-    | Event.Arrival -> (
-        let now = event.Event.time in
-        let item = event.Event.item in
-        (match obs with
-        | Some o -> o.Observer.on_arrival ~time:now ~item
-        | None -> ());
-        let decision = stepper.i_decide ~now ~index item in
-        (match obs with
-        | Some o ->
-            o.Observer.on_decision ~time:now ~item
-              ~bin:(match decision with Place i -> Some i | Open_new -> None)
-        | None -> ());
-        match decision with
-        | Open_new ->
-            let lb = append_bin st now in
-            (match obs with
-            | Some o -> o.Observer.on_open_bin ~time:now ~bin:lb.l_idx
-            | None -> ());
-            place lb item
-        | Place idx ->
-            if idx < 0 || idx >= st.count then
-              fail (Unknown_bin { algo = algo.name; bin = idx; time = now })
-            else begin
-              let lb = bin_of st idx in
-              if lb.l_active = 0 then
-                fail (Closed_bin { algo = algo.name; bin = idx; time = now });
-              place lb item
-            end)
+  let depart t slot =
+    let b = fs.item_bin.(slot) in
+    if b < 0 then
+      fail
+        (Unplaced_departure
+           { algo = algo.name; item_id = Item.id fs.items.(slot) });
+    let r = fs.b_row.(b) in
+    let a = fs.r_active.(r) - 1 in
+    fs.r_active.(r) <- a;
+    Float.Array.set fs.r_level r
+      (if a = 0 then 0.
+       else Float.Array.get fs.r_level r -. Float.Array.get fs.sizes slot);
+    (* Unlink from the active list. *)
+    if fs.act_prev.(slot) >= 0 then
+      fs.act_next.(fs.act_prev.(slot)) <- fs.act_next.(slot)
+    else fs.r_head.(r) <- fs.act_next.(slot);
+    if fs.act_next.(slot) >= 0 then
+      fs.act_prev.(fs.act_next.(slot)) <- fs.act_prev.(slot)
+    else fs.r_tail.(r) <- fs.act_prev.(slot);
+    fs.act_prev.(slot) <- -1;
+    fs.act_next.(slot) <- -1;
+    if a = 0 then begin
+      (* Close: the row is recycled, the fit leaf stays retired (the
+         dirty flush below sees [b_row] = -1 and closes it). *)
+      Float.Array.set fs.b_closed b t;
+      unlink_row fs r;
+      free_row fs r;
+      fs.b_row.(b) <- -1
+    end;
+    mark_dirty fs b;
+    (match obs with
+    | Some o ->
+        o.Observer.on_departure ~time:t ~item:fs.items.(slot);
+        if a = 0 then o.Observer.on_close_bin ~time:t ~bin:b
+    | None -> ());
+    stepper.i_departed fs.items.(slot)
   in
-  let queue = Event.queue_of_instance instance in
-  let rec drain () =
-    match Heap.pop queue with
-    | None -> ()
-    | Some event ->
-        handle event;
-        drain ()
+  let arrive now slot =
+    (* End of the departure batch: settle the fit index before any
+       query can see it. *)
+    if fs.dirty_n > 0 then flush_dirty fs;
+    let item = fs.items.(slot) in
+    (match obs with
+    | Some o -> o.Observer.on_arrival ~time:now ~item
+    | None -> ());
+    let decision = stepper.i_decide ~now ~index item in
+    (match obs with
+    | Some o ->
+        o.Observer.on_decision ~time:now ~item
+          ~bin:(match decision with Place i -> Some i | Open_new -> None)
+    | None -> ());
+    match decision with
+    | Open_new ->
+        let b = open_new_bin fs now in
+        (match obs with
+        | Some o -> o.Observer.on_open_bin ~time:now ~bin:b
+        | None -> ());
+        place b slot now
+    | Place idx ->
+        if idx < 0 || idx >= fs.bins then
+          fail (Unknown_bin { algo = algo.name; bin = idx; time = now })
+        else if fs.b_row.(idx) < 0 then
+          fail (Closed_bin { algo = algo.name; bin = idx; time = now })
+        else place idx slot now
   in
-  drain ();
+  let queue = Event.Flat.queue_of_items items in
+  while not (Heap.Flat.is_empty queue) do
+    let t = Heap.Flat.min_key queue in
+    let p = Heap.Flat.min_payload queue in
+    Heap.Flat.remove_min queue;
+    match Event.Flat.payload_kind p with
+    | Event.Departure -> depart t (Event.Flat.payload_slot p)
+    | Event.Arrival -> arrive t (Event.Flat.payload_slot p)
+  done;
+  fs
+
+let indexed_exn obs algo instance =
+  let fs = flat_run obs algo instance in
   Packing.of_bins instance
-    (List.init st.count (fun i -> (bin_of st i).l_bin))
+    (List.init fs.bins (fun b -> rebuild_bin fs b fs.b_last.(b)))
+
+(* Usage without materialising the packing: every engine bin is open
+   over a single interval (it closes the moment it empties and never
+   reopens, and its level is a positive sum of sizes in between), so its
+   profile support is exactly [opened, closed) and
+   [Bin_state.usage_time] reduces to [closed -. opened] — bitwise, the
+   support endpoints being untouched copies of item floats.  Folding in
+   bin-index order reproduces [Packing.total_usage_time]'s float
+   accumulation exactly. *)
+let usage_exn obs algo instance =
+  let fs = flat_run obs algo instance in
+  let acc = ref 0. in
+  for b = 0 to fs.bins - 1 do
+    acc :=
+      !acc +. (Float.Array.get fs.b_closed b -. Float.Array.get fs.b_opened b)
+  done;
+  !acc
 
 (* Public entry points: every engine comes in two flavours — the
    structured [_result] form, and the legacy exception shim that turns
@@ -465,4 +650,9 @@ let run_indexed ?observer algo instance =
 let run_result ?observer algo instance = run_indexed_result ?observer algo instance
 let run ?observer algo instance = run_indexed ?observer algo instance
 
-let usage_time algo instance = Packing.total_usage_time (run algo instance)
+let run_usage_result ?observer algo instance =
+  wrap usage_exn observer algo instance
+
+let run_usage ?observer algo instance = lift usage_exn observer algo instance
+
+let usage_time algo instance = run_usage algo instance

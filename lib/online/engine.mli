@@ -15,16 +15,21 @@
 
     Two interchangeable engines implement this contract:
 
-    - {!run_indexed} (the default {!run}): bins in a growable array, the
-      open bins on an intrusive linked list, fit queries through
-      {!Fit_index} (O(log n)), events from a binary-heap queue.  An
-      n-event run costs O(n (log n + b_open + k)) where b_open is the
-      concurrent open-bin count and k the per-bin profile size.
+    - {!run_indexed} (the default {!run}): the flat-memory engine — all
+      hot per-event state in parallel unboxed arrays (DESIGN.md
+      section 13): index-encoded events from a {!Heap.Flat} queue, fit
+      queries through {!Fit_index} (O(log n)), per-open-bin state in
+      recycled arena rows, equal-timestamp departures drained in a
+      batch before the fit index is touched again.  An n-event run
+      costs O(n (log n + a)) where a is the concurrent active count of
+      the touched bin; boxed {!Bin_state} values exist only on demand
+      (lazy views, the final packing).
     - {!run_reference}: the original list-walking engine, frozen as the
       differential-testing oracle; Theta(n * bins-ever-opened).
 
-    Both must produce bit-identical packings for every deterministic
-    algorithm — enforced by the qcheck differential suite. *)
+    Both must produce bit-identical packings — and byte-identical
+    observer streams — for every deterministic algorithm, enforced by
+    the qcheck differential and trace-identity suites. *)
 
 open Dbp_core
 
@@ -32,7 +37,13 @@ type bin_view = {
   index : int;  (** opening order, 0-based *)
   opened_at : float;
   level : float;  (** total size of active items at the current instant *)
-  state : Bin_state.t;
+  state : Bin_state.t Lazy.t;
+      (** The full bin state, materialised on first force.  The flat
+          engine stores only placement chains during a run; forcing
+          rebuilds the boxed {!Bin_state} (an exact snapshot of the bin
+          as of view creation, whenever the force happens) in
+          O(items log items).  Algorithms that only need [level] /
+          [opened_at] / [index] pay nothing. *)
 }
 
 type decision = Place of int  (** bin index *) | Open_new
@@ -159,5 +170,22 @@ val run_reference : ?observer:Observer.t -> t -> Instance.t -> Packing.t
 (** The frozen list engine: the differential-testing oracle.  Always
     drives the plain stepper, never the indexed fast path. *)
 
+val run_usage : ?observer:Observer.t -> t -> Instance.t -> float
+(** The flat engine's usage fast path: runs the same event loop as
+    {!run_indexed} (identical decisions, errors and observer stream)
+    but skips materialising the packing, folding each bin's
+    [close -. open] span directly — bit-identical to
+    [Packing.total_usage_time (run_indexed t inst)] (a bin is open over
+    a single interval, so its profile support is exactly that span; the
+    equality is pinned by a qcheck property).  This is what the 10^7
+    bench rows run: O(bins) floats of output state instead of a
+    packing.  Note it also skips {!Packing.of_bins}'s end-of-run
+    revalidation — the engine's per-placement checks still run.
+    @raise Invalid_decision on an illegal placement. *)
+
+val run_usage_result :
+  ?observer:Observer.t -> t -> Instance.t -> (float, error) result
+(** {!run_usage} with the fatal path as data. *)
+
 val usage_time : t -> Instance.t -> float
-(** [total_usage_time (run t inst)]. *)
+(** [total_usage_time (run t inst)], computed via {!run_usage}. *)

@@ -15,6 +15,14 @@
      O(open bins) only when non-fitting bins interleave with an
      increasing run of fitting levels.
 
+   Both trees are [floatarray]s: the levels live unboxed in the backing
+   array, so updates and descents read and write raw doubles with no
+   pointer chase per node.  (An ordinary [float array] is also unboxed
+   by the runtime's float-array optimisation; the [floatarray] type
+   makes the representation a guarantee of the interface rather than a
+   property of the optimiser, which is what the flat engine's memory
+   budget is sized against.)
+
    The fit predicate is shared with {!Any_fit.fits} verbatim:
    [level +. size <= Bin_state.capacity +. Bin_state.tolerance].  It is
    monotone in [level] (float addition is monotone), which is what makes
@@ -30,15 +38,15 @@ type t = {
   (* [min_tree]/[max_tree] have 2*cap slots, leaves at [cap + i]; the
      leaf value is the bin's current level, or +inf / -inf respectively
      for closed and unopened indices. *)
-  mutable min_tree : float array;
-  mutable max_tree : float array;
+  mutable min_tree : floatarray;
+  mutable max_tree : floatarray;
   mutable cap : int;
 }
 
 let create () =
   {
-    min_tree = Array.make 2 infinity;
-    max_tree = Array.make 2 neg_infinity;
+    min_tree = Float.Array.make 2 infinity;
+    max_tree = Float.Array.make 2 neg_infinity;
     cap = 1;
   }
 
@@ -48,13 +56,19 @@ let fits_level level size =
 let rec grow_to t idx =
   if idx >= t.cap then begin
     let cap = 2 * t.cap in
-    let min_tree = Array.make (2 * cap) infinity in
-    let max_tree = Array.make (2 * cap) neg_infinity in
-    Array.blit t.min_tree t.cap min_tree cap t.cap;
-    Array.blit t.max_tree t.cap max_tree cap t.cap;
+    let min_tree = Float.Array.make (2 * cap) infinity in
+    let max_tree = Float.Array.make (2 * cap) neg_infinity in
+    Float.Array.blit t.min_tree t.cap min_tree cap t.cap;
+    Float.Array.blit t.max_tree t.cap max_tree cap t.cap;
     for i = cap - 1 downto 1 do
-      min_tree.(i) <- Float.min min_tree.(2 * i) min_tree.((2 * i) + 1);
-      max_tree.(i) <- Float.max max_tree.(2 * i) max_tree.((2 * i) + 1)
+      Float.Array.set min_tree i
+        (Float.min
+           (Float.Array.get min_tree (2 * i))
+           (Float.Array.get min_tree ((2 * i) + 1)));
+      Float.Array.set max_tree i
+        (Float.max
+           (Float.Array.get max_tree (2 * i))
+           (Float.Array.get max_tree ((2 * i) + 1)))
     done;
     t.min_tree <- min_tree;
     t.max_tree <- max_tree;
@@ -63,13 +77,20 @@ let rec grow_to t idx =
   end
 
 let set_leaf t idx ~lo ~hi =
+  let min_tree = t.min_tree and max_tree = t.max_tree in
   let i = ref (t.cap + idx) in
-  t.min_tree.(!i) <- lo;
-  t.max_tree.(!i) <- hi;
+  Float.Array.set min_tree !i lo;
+  Float.Array.set max_tree !i hi;
   while !i > 1 do
     i := !i / 2;
-    t.min_tree.(!i) <- Float.min t.min_tree.(2 * !i) t.min_tree.((2 * !i) + 1);
-    t.max_tree.(!i) <- Float.max t.max_tree.(2 * !i) t.max_tree.((2 * !i) + 1)
+    Float.Array.set min_tree !i
+      (Float.min
+         (Float.Array.get min_tree (2 * !i))
+         (Float.Array.get min_tree ((2 * !i) + 1)));
+    Float.Array.set max_tree !i
+      (Float.max
+         (Float.Array.get max_tree (2 * !i))
+         (Float.Array.get max_tree ((2 * !i) + 1)))
   done
 
 let open_bin t idx =
@@ -80,27 +101,35 @@ let set_level t idx level = set_leaf t idx ~lo:level ~hi:level
 let close_bin t idx = set_leaf t idx ~lo:infinity ~hi:neg_infinity
 
 let first_fit t ~size =
-  if not (fits_level t.min_tree.(1) size) then None
+  let min_tree = t.min_tree in
+  if not (fits_level (Float.Array.get min_tree 1) size) then None
   else begin
     let i = ref 1 in
     while !i < t.cap do
-      i := if fits_level t.min_tree.(2 * !i) size then 2 * !i else (2 * !i) + 1
+      i :=
+        if fits_level (Float.Array.get min_tree (2 * !i)) size then 2 * !i
+        else (2 * !i) + 1
     done;
     Some (!i - t.cap)
   end
 
 (* Leftmost leaf attaining the subtree minimum: an internal node's value
-   is an exact copy of one child's, so float equality identifies which
+   is an exact copy of one child's, so float comparison identifies which
    side attains it, and preferring the left child on ties yields the
    lowest index. *)
 let worst_fit t ~size =
-  let m = t.min_tree.(1) in
+  let min_tree = t.min_tree in
+  let m = Float.Array.get min_tree 1 in
   if not (fits_level m size) then None (* also covers the no-open-bins +inf *)
   else begin
     let i = ref 1 in
     while !i < t.cap do
-      i := if t.min_tree.(2 * !i) <= t.min_tree.((2 * !i) + 1) then 2 * !i
-           else (2 * !i) + 1
+      i :=
+        if
+          Float.Array.get min_tree (2 * !i)
+          <= Float.Array.get min_tree ((2 * !i) + 1)
+        then 2 * !i
+        else (2 * !i) + 1
     done;
     Some (!i - t.cap)
   end
@@ -109,15 +138,17 @@ let best_fit t ~size =
   (* Best candidate so far as (level, leaf slot); a subtree can only beat
      it with a strictly higher fitting level (equal levels lose to the
      leftmost, which the left-to-right visit order has already found). *)
+  let max_tree = t.max_tree in
   let best_level = ref neg_infinity in
   let best_slot = ref (-1) in
   let rec leftmost_max i =
     if i >= t.cap then i
-    else if t.max_tree.(2 * i) = t.max_tree.(i) then leftmost_max (2 * i)
+    else if Float.Array.get max_tree (2 * i) >= Float.Array.get max_tree i
+    then leftmost_max (2 * i)
     else leftmost_max ((2 * i) + 1)
   in
   let rec search i =
-    let m = t.max_tree.(i) in
+    let m = Float.Array.get max_tree i in
     if m > !best_level then
       if fits_level m size then begin
         (* Whole subtree's top level fits and beats the candidate. *)

@@ -16,9 +16,17 @@
       workloads, degrading towards O(open bins) only when non-fitting
       bins interleave with an increasing run of fitting levels.
 
+    Both trees are stored as unboxed [floatarray]s (guaranteed flat
+    doubles, no per-node boxing), so queries and updates touch raw
+    memory only — part of the flat-engine memory layout described in
+    DESIGN.md section 13.
+
     This module only tracks (index, level) pairs; the engine owns the
     bins themselves and calls {!open_bin} / {!set_level} / {!close_bin}
-    as levels change. *)
+    as levels change.  Indices are append-only: recycling leaf slots
+    would break First Fit's lowest-index descent, so a closed bin's leaf
+    stays retired for the rest of the run (the engine recycles its *row*
+    state instead). *)
 
 type t
 

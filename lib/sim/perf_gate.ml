@@ -1,0 +1,124 @@
+(* Perf-regression gate over BENCH_engine.json.
+
+   The bench emits one row per (algorithm, jobs) cell; the committed
+   file is the baseline.  [check] compares a fresh sweep against it and
+   reports every cell that slowed past the threshold.  The parser reads
+   only the bench's own emission format (hand-rolled flat JSON, one row
+   object per line) — it is a scanner for that format, not a general
+   JSON parser, and unparseable rows are skipped rather than fatal so a
+   hand-edited baseline degrades to a smaller gate, never a crash. *)
+
+type row = { algorithm : string; jobs : int; indexed_s : float }
+
+type breach = {
+  b_algorithm : string;
+  b_jobs : int;
+  baseline_s : float;
+  current_s : float;
+  ratio : float;
+}
+
+let default_threshold = 1.3
+
+(* ---- scanning helpers ------------------------------------------------ *)
+
+let find_sub text pos pat =
+  let n = String.length text and m = String.length pat in
+  let rec go i =
+    if i + m > n then None
+    else if String.equal (String.sub text i m) pat then Some i
+    else go (i + 1)
+  in
+  if m = 0 then None else go pos
+
+(* The raw token following ["key":] in [chunk]: everything up to the
+   next ',' or '}' — trimmed, without surrounding quotes. *)
+let field chunk key =
+  match find_sub chunk 0 (Printf.sprintf "\"%s\":" key) with
+  | None -> None
+  | Some i ->
+      let start = i + String.length key + 3 in
+      let stop = ref start in
+      let n = String.length chunk in
+      while
+        !stop < n
+        && (match chunk.[!stop] with ',' | '}' -> false | _ -> true)
+      do
+        incr stop
+      done;
+      let raw = String.trim (String.sub chunk start (!stop - start)) in
+      let raw =
+        let l = String.length raw in
+        if l >= 2 && raw.[0] = '"' && raw.[l - 1] = '"' then
+          String.sub raw 1 (l - 2)
+        else raw
+      in
+      if String.equal raw "" then None else Some raw
+
+let parse_row chunk =
+  match
+    (field chunk "algorithm", field chunk "jobs", field chunk "indexed_s")
+  with
+  | Some algorithm, Some jobs, Some indexed_s -> (
+      match (int_of_string_opt jobs, float_of_string_opt indexed_s) with
+      | Some jobs, Some indexed_s when jobs > 0 && indexed_s >= 0. ->
+          Some { algorithm; jobs; indexed_s }
+      | _ -> None)
+  | _ -> None
+
+let parse_rows text =
+  (* Row objects all start with {"jobs": — split on that marker and
+     parse each chunk up to its closing brace. *)
+  let marker = "{\"jobs\"" in
+  let rec go pos acc =
+    match find_sub text pos marker with
+    | None -> List.rev acc
+    | Some i ->
+        let stop =
+          match String.index_from_opt text i '}' with
+          | Some j -> j + 1
+          | None -> String.length text
+        in
+        let acc =
+          match parse_row (String.sub text i (stop - i)) with
+          | Some row -> row :: acc
+          | None -> acc
+        in
+        go stop acc
+  in
+  go 0 []
+
+(* ---- the gate -------------------------------------------------------- *)
+
+let check ?(threshold = default_threshold) ?(min_jobs = 0) ~baseline ~current
+    () =
+  if threshold <= 1. then invalid_arg "Perf_gate.check: threshold <= 1";
+  List.filter_map
+    (fun c ->
+      if c.jobs < min_jobs then None
+      else
+        match
+          List.find_opt
+            (fun b -> String.equal b.algorithm c.algorithm && b.jobs = c.jobs)
+            baseline
+        with
+        | None -> None (* new cell: nothing to regress against *)
+        | Some b ->
+            if b.indexed_s <= 0. then None
+            else
+              let ratio = c.indexed_s /. b.indexed_s in
+              if ratio > threshold then
+                Some
+                  {
+                    b_algorithm = c.algorithm;
+                    b_jobs = c.jobs;
+                    baseline_s = b.indexed_s;
+                    current_s = c.indexed_s;
+                    ratio;
+                  }
+              else None)
+    current
+
+let breach_to_string b =
+  Printf.sprintf "%s @ %d jobs: %.4fs vs baseline %.4fs (%.2fx)" b.b_algorithm
+    b.b_jobs b.current_s b.baseline_s b.ratio

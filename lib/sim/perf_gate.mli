@@ -1,0 +1,44 @@
+(** Perf-regression gate over the committed engine-bench results.
+
+    `bench engine` records one (algorithm, jobs, indexed_s) cell per
+    sweep row in BENCH_engine.json; the committed copy of that file is
+    the performance baseline the ROADMAP's "as fast as the hardware
+    allows" goal is measured against.  {!check} compares a fresh sweep
+    to the baseline and returns every cell that slowed past the
+    threshold (default 1.3x): the bench fails on a non-empty result in
+    full mode and warns in quick/smoke mode (check.sh).  The gate is
+    library code, not bench code, so the test suite can pin its
+    semantics without timing anything. *)
+
+type row = { algorithm : string; jobs : int; indexed_s : float }
+
+type breach = {
+  b_algorithm : string;
+  b_jobs : int;
+  baseline_s : float;
+  current_s : float;
+  ratio : float;  (** current / baseline *)
+}
+
+val default_threshold : float
+(** 1.3 — a cell may not slow by more than 30% against the baseline. *)
+
+val parse_rows : string -> row list
+(** Scan the text of a BENCH_engine.json for its result rows.  This
+    reads the bench's own flat emission format only; malformed rows are
+    skipped, an unrelated string yields []. *)
+
+val check :
+  ?threshold:float ->
+  ?min_jobs:int ->
+  baseline:row list ->
+  current:row list ->
+  unit ->
+  breach list
+(** Every current cell at least [min_jobs] big whose matching baseline
+    cell (same algorithm, same job count) it exceeds by more than
+    [threshold]x.  Cells with no baseline counterpart pass (a new row
+    size cannot regress).  @raise Invalid_argument if
+    [threshold <= 1]. *)
+
+val breach_to_string : breach -> string

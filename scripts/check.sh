@@ -29,7 +29,12 @@ echo "== dune build @fmt =="
 # not a dependency of this repo.
 dune build @fmt
 
-echo "== engine smoke bench =="
+echo "== engine smoke bench + perf-gate (warn-only) =="
+# Quick sweep through the flat engine's serving path; asserts indexed =
+# reference usage bit-identity on every row, then runs the 1.3x
+# perf-regression gate against the committed BENCH_engine.json in
+# warn-only mode (quick rows are too small to fail hard on; the full
+# sweep enforces the gate at >= 500k jobs — DESIGN.md section 13).
 dune exec bench/main.exe -- engine --quick
 
 echo "== fault degradation smoke bench =="

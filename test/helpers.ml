@@ -54,6 +54,84 @@ let gen_small_instance ?(max_items = 10) () =
     in
     return (Instance.of_items items))
 
+(* ---- adversarial generators for the flat-engine differential suite ----
+
+   These target the batched-departure drain and the flat heap's
+   tie-breaking: every timestamp is shared by many events, so any
+   ordering or flush mistake in the arena/dirty-stack machinery shows up
+   as a divergence from the reference engine. *)
+
+(* Integer-grid bursts: arrivals land on instants 0..4 and durations are
+   whole numbers 1..3, so departures collide with arrivals (and with
+   each other) at almost every instant.  Sizes come from a discrete set
+   so several bins fill to exactly 1.0. *)
+let gen_burst_instance ?(max_items = 60) () =
+  QCheck2.Gen.(
+    let sizes = [| 0.1; 0.2; 0.25; 0.3; 0.5; 0.5; 1.0 |] in
+    let* n = int_range 2 max_items in
+    let* items =
+      flatten_l
+        (List.init n (fun id ->
+             let* size = oneofa sizes in
+             let* arrival = int_range 0 4 in
+             let* duration = int_range 1 3 in
+             let arrival = float_of_int arrival in
+             return
+               (Item.make ~id ~size ~arrival
+                  ~departure:(arrival +. float_of_int duration))))
+    in
+    return (Instance.of_items items))
+
+(* One-ulp jobs: departure = Float.succ arrival is the shortest lifetime
+   Item.make accepts ("zero-duration" up to representability).  Mixed
+   with normal integer-duration jobs at the same instants, they force a
+   bin to open and close inside a single drain cycle while longer jobs
+   arrive at the very same timestamp. *)
+let gen_tiny_duration_instance ?(max_items = 40) () =
+  QCheck2.Gen.(
+    let* n = int_range 2 max_items in
+    let* items =
+      flatten_l
+        (List.init n (fun id ->
+             let* size = float_range 0.05 1.0 in
+             let* arrival = int_range 0 5 in
+             let arrival = float_of_int arrival in
+             let* tiny = bool in
+             let* duration = int_range 1 4 in
+             let departure =
+               if tiny then Float.succ arrival
+               else arrival +. float_of_int duration
+             in
+             return (Item.make ~id ~size ~arrival ~departure)))
+    in
+    return (Instance.of_items items))
+
+(* Monotone-duration ramps: cohorts arrive together and their durations
+   ramp up or down with rank, so departures within a cohort fire in
+   strictly increasing (or decreasing-id) order — a worst case for the
+   heap's (time, kind, id) tie-break and for arena slot reuse, since
+   bins drain one item per instant. *)
+let gen_ramp_instance ?(max_cohorts = 5) ?(max_cohort_size = 8) () =
+  QCheck2.Gen.(
+    let* cohorts = int_range 1 max_cohorts in
+    let* per = int_range 2 max_cohort_size in
+    let* increasing = bool in
+    let items =
+      List.concat
+        (List.init cohorts (fun c ->
+             List.init per (fun rank ->
+                 let id = (c * per) + rank in
+                 let arrival = float_of_int c in
+                 let step =
+                   if increasing then float_of_int rank
+                   else float_of_int (per - 1 - rank)
+                 in
+                 let duration = 0.5 +. (0.25 *. step) in
+                 let size = 0.15 +. (0.05 *. float_of_int (rank mod 5)) in
+                 Item.make ~id ~size ~arrival ~departure:(arrival +. duration))))
+    in
+    return (Instance.of_items items))
+
 (* Fixed seed so test runs are reproducible (override with QCHECK_SEED). *)
 let qtest ?(count = 100) name gen prop =
   QCheck_alcotest.to_alcotest

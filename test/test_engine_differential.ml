@@ -94,4 +94,69 @@ let tuned_tests =
       (fun inst -> same_packing inst (Dbp_online.Classify_duration.tuned inst));
   ]
 
-let suite = differential_tests @ tuned_tests
+(* ---- adversarial instances against the flat engine ---------------------
+
+   The flat engine drains all equal-time departures before touching the
+   fit index (deferred via a per-bin dirty stack) and recycles arena
+   rows when bins close.  These generators are built to break exactly
+   that machinery: dense equal-timestamp bursts, one-ulp lifetimes that
+   open and close a bin inside a single drain, and monotone-duration
+   ramps that retire one item per instant from shared bins. *)
+let adversarial_tests =
+  List.concat_map
+    (fun algo ->
+      let name = algo.E.name in
+      [
+        qtest ~count:200
+          (Printf.sprintf "indexed = reference (bursts): %s" name)
+          (gen_burst_instance ())
+          (fun inst -> same_packing inst algo);
+        qtest ~count:200
+          (Printf.sprintf "indexed = reference (one-ulp jobs): %s" name)
+          (gen_tiny_duration_instance ())
+          (fun inst -> same_packing inst algo);
+        qtest ~count:200
+          (Printf.sprintf "indexed = reference (duration ramps): %s" name)
+          (gen_ramp_instance ())
+          (fun inst -> same_packing inst algo);
+      ])
+    algorithms
+
+(* Instances large enough to cross the fit index's and the arena's
+   doubling boundaries (both start well below 200 leaves/rows), so
+   growth-time blits are covered, not just the small steady state. *)
+let large_instance_tests =
+  List.map
+    (fun algo ->
+      qtest ~count:30
+        (Printf.sprintf "indexed = reference (200 items): %s" algo.E.name)
+        (gen_instance ~max_items:200 ())
+        (fun inst -> same_packing inst algo))
+    [
+      Dbp_online.Any_fit.first_fit;
+      Dbp_online.Any_fit.best_fit;
+      Dbp_online.Any_fit.worst_fit;
+      Dbp_online.Any_fit.next_fit;
+      Dbp_online.Hybrid_first_fit.make ();
+    ]
+
+(* run_usage is the bench's serving-path metric: it must agree bitwise
+   with folding the full packing, on every generator in this file. *)
+let usage_fast_path_tests =
+  let agrees inst algo =
+    Float.equal
+      (E.run_usage algo inst)
+      (Packing.total_usage_time (E.run_indexed algo inst))
+  in
+  [
+    qtest ~count:300 "run_usage = total_usage_time (general)"
+      (gen_instance ~max_items:30 ())
+      (fun inst -> List.for_all (agrees inst) algorithms);
+    qtest ~count:200 "run_usage = total_usage_time (bursts)"
+      (gen_burst_instance ())
+      (fun inst -> List.for_all (agrees inst) algorithms);
+  ]
+
+let suite =
+  differential_tests @ tuned_tests @ adversarial_tests @ large_instance_tests
+  @ usage_fast_path_tests

@@ -3,12 +3,14 @@
    the engine, the event ordering or the float conventions shows up here
    as an exact-value diff.
 
-   Three fixtures: the original 224-item uniform trace (seed 77) and two
-   >= 10k-job traces whose generator seed and config are recorded in
-   their comment headers (regenerate with scripts/gen_fixtures.exe).
-   The large traces make engine refactors diffable at the scale where
-   index bugs actually bite — a wrong tie-break that happens to survive
-   224 items will not survive 10k.
+   Four fixtures: the original 224-item uniform trace (seed 77), two
+   >= 10k-job traces, and a ~100k-job trace, all with generator seed and
+   config recorded in their comment headers (regenerate with
+   scripts/gen_fixtures.exe).  The large traces make engine refactors
+   diffable at the scale where index bugs actually bite — a wrong
+   tie-break that happens to survive 224 items will not survive 10k, and
+   the 100k trace runs the flat engine's arena and batching machinery
+   through thousands of bin open/close cycles.
 
    Regenerate the numbers deliberately (after an intended change) with
    `dune exec scripts/golden_totals.exe` and paste the new values. *)
@@ -35,6 +37,7 @@ let fixture_instance name =
 let fixture = fixture_instance "uniform_seed77.csv"
 let fixture_10k_uniform = fixture_instance "uniform_seed2101_10k.csv"
 let fixture_10k_dense = fixture_instance "dense_seed2102_10k.csv"
+let fixture_100k = fixture_instance "uniform_seed2103_100k.csv"
 
 let golden_usage = 1e-6
 
@@ -53,7 +56,9 @@ let test_large_fixture_shapes () =
   check_int "uniform 10k items" 10631
     (Instance.length (Lazy.force fixture_10k_uniform));
   check_int "dense 10k items" 10517
-    (Instance.length (Lazy.force fixture_10k_dense))
+    (Instance.length (Lazy.force fixture_10k_dense));
+  check_int "uniform 100k items" 99562
+    (Instance.length (Lazy.force fixture_100k))
 
 (* The reference engine is itself pinned on the small fixture, so the
    oracle the differential suite compares against cannot drift either. *)
@@ -129,6 +134,32 @@ let dense_10k_values =
       fun i -> Dbp_online.Classify_combined.tuned i );
   ]
 
+(* The 100k fixture pins the five engine-benched algorithms — the scale
+   where the flat engine's arena reuse and batched drains run thousands
+   of cycles.  usage_time takes the [run_usage] fast path (no boxed
+   packing at all), so pinning it against the same table also pins the
+   fast path's bit-identity at fixture scale. *)
+let uniform_100k_values =
+  [
+    ("first-fit", 203474.750446572, fun _ -> Dbp_online.Any_fit.first_fit);
+    ("best-fit", 204466.857429296, fun _ -> Dbp_online.Any_fit.best_fit);
+    ("worst-fit", 222946.616341789, fun _ -> Dbp_online.Any_fit.worst_fit);
+    ("next-fit", 291565.942024068, fun _ -> Dbp_online.Any_fit.next_fit);
+    ( "hybrid-ff",
+      239557.976824257,
+      fun _ -> Dbp_online.Hybrid_first_fit.make () );
+  ]
+
+let test_usage_fast_path_100k () =
+  let inst = Lazy.force fixture_100k in
+  List.iter
+    (fun (name, expected, algo) ->
+      check_float_eps golden_usage
+        (Printf.sprintf "run_usage %s" name)
+        expected
+        (Dbp_online.Engine.run_usage (algo inst) inst))
+    uniform_100k_values
+
 let suite =
   [
     Alcotest.test_case "fixture shape" `Quick test_fixture_shape;
@@ -152,3 +183,8 @@ let suite =
   @ online_cases fixture "seed77" small_values
   @ online_cases fixture_10k_uniform "uniform-10k" uniform_10k_values
   @ online_cases fixture_10k_dense "dense-10k" dense_10k_values
+  @ online_cases fixture_100k "uniform-100k" uniform_100k_values
+  @ [
+      Alcotest.test_case "run_usage fast path (uniform-100k)" `Quick
+        test_usage_fast_path_100k;
+    ]

@@ -129,6 +129,128 @@ let invariant_tests ~online (name, pack) =
     ]
   else []
 
+(* ---- flat event heap: tie-break preservation --------------------------
+
+   The flat engine replaces the boxed event heap with a (float key, int
+   payload) pair of arrays; the payload packs (kind rank, slot) so that
+   lexicographic (key, payload) order reproduces the boxed comparator:
+   increasing time, departures before arrivals at equal times, then item
+   id.  Pin that the encoding really preserves the order by draining the
+   flat queue dry and comparing the full (time, kind, id) sequence
+   against [Event.of_instance]. *)
+
+module Ev = Dbp_core.Event
+module FH = Dbp_core.Heap.Flat
+
+let flat_pop_order inst =
+  let items = Array.of_list (Instance.items inst) in
+  let q = Ev.Flat.queue_of_items items in
+  let rec drain acc =
+    if FH.is_empty q then List.rev acc
+    else
+      let t = FH.min_key q in
+      let p = FH.min_payload q in
+      FH.remove_min q;
+      drain
+        ((t, Ev.Flat.payload_kind p, Item.id items.(Ev.Flat.payload_slot p))
+        :: acc)
+  in
+  drain []
+
+let boxed_order inst =
+  List.map
+    (fun e -> (e.Ev.time, e.Ev.kind, Item.id e.Ev.item))
+    (Ev.of_instance inst)
+
+(* Explicit equality — no polymorphic compare on float tuples. *)
+let same_event (t1, k1, i1) (t2, k2, i2) =
+  Float.equal t1 t2 && i1 = i2
+  &&
+  match (k1, k2) with
+  | Ev.Arrival, Ev.Arrival | Ev.Departure, Ev.Departure -> true
+  | _ -> false
+
+let same_order inst = List.equal same_event (flat_pop_order inst) (boxed_order inst)
+
+let test_flat_heap_tie_break_unit () =
+  (* Three items colliding at t = 2: item 0 departs, items 1 and 2
+     arrive.  The departure must pop first, then the arrivals in id
+     order — the half-open-interval handoff the engines rely on. *)
+  let inst =
+    instance [ (0.6, 0., 2.); (0.6, 2., 3.); (0.3, 2., 4.) ]
+  in
+  let order = flat_pop_order inst in
+  let expected =
+    [
+      (0., Ev.Arrival, 0);
+      (2., Ev.Departure, 0);
+      (2., Ev.Arrival, 1);
+      (2., Ev.Arrival, 2);
+      (3., Ev.Departure, 1);
+      (4., Ev.Departure, 2);
+    ]
+  in
+  check_bool "departure before equal-time arrivals, ids ascending" true
+    (List.equal same_event expected order)
+
+let flat_heap_tests =
+  [
+    Alcotest.test_case "flat heap: departure-before-arrival tie-break" `Quick
+      test_flat_heap_tie_break_unit;
+    qtest ~count:300 "flat heap pop order = Event.of_instance (general)"
+      (gen_instance ~max_items:30 ())
+      same_order;
+    qtest ~count:300 "flat heap pop order = Event.of_instance (bursts)"
+      (gen_burst_instance ())
+      same_order;
+    qtest ~count:300 "flat heap pop order = Event.of_instance (one-ulp)"
+      (gen_tiny_duration_instance ())
+      same_order;
+  ]
+
+(* ---- Bin_state.of_placement = the place_unchecked fold -----------------
+
+   The flat engine records only each bin's placement chain and rebuilds
+   the boxed [Bin_state] through [of_placement]; its contract is
+   bit-identity with the incremental fold, including the canonical level
+   profile.  Feed it placement chains the engine could actually produce
+   (prefixes of first-fit bins) and arbitrary item lists alike — the
+   contract covers both. *)
+
+let breaks_equal p q =
+  List.equal
+    (fun (x1, v1) (x2, v2) -> Float.equal x1 x2 && Float.equal v1 v2)
+    (Step_function.breaks p) (Step_function.breaks q)
+
+let of_placement_matches placed =
+  let folded =
+    List.fold_left Bin_state.place_unchecked (Bin_state.empty ~index:3) placed
+  in
+  let rebuilt = Bin_state.of_placement ~index:3 placed in
+  breaks_equal (Bin_state.level_profile folded) (Bin_state.level_profile rebuilt)
+  && List.equal
+       (fun a b -> Item.id a = Item.id b)
+       (Bin_state.items folded) (Bin_state.items rebuilt)
+  && Float.equal (Bin_state.usage_time folded) (Bin_state.usage_time rebuilt)
+  && Bin_state.index rebuilt = 3
+
+let of_placement_tests =
+  [
+    qtest ~count:400 "of_placement = place_unchecked fold (general)"
+      (QCheck2.Gen.map Instance.items (gen_instance ~max_items:20 ()))
+      of_placement_matches;
+    qtest ~count:300 "of_placement = place_unchecked fold (bursts)"
+      (QCheck2.Gen.map Instance.items (gen_burst_instance ~max_items:25 ()))
+      of_placement_matches;
+    qtest ~count:300 "of_placement = place_unchecked fold (engine bins)"
+      (gen_instance ~max_items:25 ())
+      (fun inst ->
+        Dbp_online.Engine.run Dbp_online.Any_fit.first_fit inst
+        |> Packing.bins
+        |> List.for_all (fun b -> of_placement_matches (Bin_state.items b)));
+  ]
+
 let suite =
   List.concat_map (invariant_tests ~online:true) online_packers
   @ List.concat_map (invariant_tests ~online:false) offline_packers
+  @ flat_heap_tests @ of_placement_tests

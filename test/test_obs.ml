@@ -87,6 +87,35 @@ let observer_does_not_perturb =
              = Packing.bin_of_item observed (Item.id item))
            (Instance.items inst))
 
+(* The flat engine batches equal-time departures and defers fit-index
+   updates; neither may reorder or drop observer emissions.  Burst
+   instances maximise the pressure on that drain, and 150-item instances
+   cross the fit index's and arena's growth boundaries mid-trace. *)
+let trace_identity_adversarial_tests =
+  List.map
+    (fun algo ->
+      qtest ~count:120
+        (Printf.sprintf "trace identity under bursts: %s" algo.E.name)
+        (gen_burst_instance ())
+        (fun inst ->
+          String.equal (trace_reference algo inst) (trace_indexed algo inst)))
+    algorithms
+
+let trace_identity_large_tests =
+  List.map
+    (fun algo ->
+      qtest ~count:30
+        (Printf.sprintf "trace identity at 150 items: %s" algo.E.name)
+        (gen_instance ~max_items:150 ())
+        (fun inst ->
+          String.equal (trace_reference algo inst) (trace_indexed algo inst)))
+    [
+      Dbp_online.Any_fit.first_fit;
+      Dbp_online.Any_fit.best_fit;
+      Dbp_online.Any_fit.worst_fit;
+      Dbp_online.Hybrid_first_fit.make ();
+    ]
+
 let resilient_empty_plan_trace =
   qtest ~count:150 "resilient engine, empty plan: trace = Engine.run's"
     (gen_instance ~max_items:20 ())
@@ -104,6 +133,28 @@ let resilient_empty_plan_trace =
               : Dbp_faults.Resilient.outcome);
           String.equal (Obs.Trace.to_jsonl plain) (Obs.Trace.to_jsonl resilient))
         [ Dbp_online.Any_fit.first_fit; Dbp_online.Any_fit.best_fit ])
+
+(* Under a materialised (generally non-empty) fault plan the resilient
+   engine still runs on the flat substrate; its trace must be a pure
+   function of (algorithm, instance, plan) — byte-identical on replay. *)
+let resilient_faulty_plan_trace =
+  qtest ~count:100 "resilient engine, faulty plan: byte-identical replay"
+    (gen_instance ~max_items:20 ())
+    (fun inst ->
+      let plan =
+        Dbp_faults.Fault_plan.generate ~seed:42
+          Dbp_faults.Fault_plan.default_spec inst
+      in
+      let run () =
+        let r = Obs.Trace.create () in
+        ignore
+          (Dbp_faults.Resilient.run
+             ~observer:(Obs.Trace.observer r)
+             Dbp_online.Any_fit.first_fit inst plan
+            : Dbp_faults.Resilient.outcome);
+        Obs.Trace.to_jsonl r
+      in
+      String.equal (run ()) (run ()))
 
 let test_trace_event_order () =
   (* One item, one bin: the exact six-line lifecycle in order. *)
@@ -371,11 +422,13 @@ let test_runner_profile_integration () =
         (List.length phases)
 
 let suite =
-  trace_identity_tests
+  trace_identity_tests @ trace_identity_adversarial_tests
+  @ trace_identity_large_tests
   @ [
       trace_two_runs_identical;
       observer_does_not_perturb;
       resilient_empty_plan_trace;
+      resilient_faulty_plan_trace;
       Alcotest.test_case "trace event order and headers" `Quick
         test_trace_event_order;
       Alcotest.test_case "trace ring capacity" `Quick test_ring_capacity;

@@ -1,0 +1,128 @@
+(* The perf-regression gate over BENCH_engine.json: parser semantics on
+   the bench's own emission format (including the committed baseline
+   file's real shape) and the check's threshold/min_jobs/matching rules.
+   No timing happens here — the gate is library code precisely so its
+   contract can be pinned without running a sweep. *)
+
+open Helpers
+module G = Dbp_sim.Perf_gate
+
+(* A snippet in the bench's exact emission shape: two sizes, two
+   algorithms, one reference-skipped row. *)
+let bench_snippet =
+  "{\n\
+  \  \"benchmark\": \"engine\",\n\
+  \  \"results\": [\n\
+  \    {\"jobs\": 10000, \"algorithm\": \"first-fit\", \"indexed_s\": \
+   0.007000, \"reference_s\": 0.102081, \"speedup\": 14.58, \"usage\": \
+   123.456789, \"reference_skipped\": false},\n\
+  \    {\"jobs\": 10000, \"algorithm\": \"best-fit\", \"indexed_s\": \
+   0.009000, \"reference_s\": 0.110000, \"speedup\": 12.22, \"usage\": \
+   120.000000, \"reference_skipped\": false},\n\
+  \    {\"jobs\": 1000000, \"algorithm\": \"first-fit\", \"indexed_s\": \
+   8.123456, \"reference_s\": null, \"speedup\": null, \"usage\": \
+   9999.000000, \"reference_skipped\": true}\n\
+  \  ]\n\
+   }\n"
+
+let test_parse_rows () =
+  match G.parse_rows bench_snippet with
+  | [ a; b; c ] ->
+      check_string "row 1 algorithm" "first-fit" a.G.algorithm;
+      check_int "row 1 jobs" 10_000 a.G.jobs;
+      check_float "row 1 indexed_s" 0.007 a.G.indexed_s;
+      check_string "row 2 algorithm" "best-fit" b.G.algorithm;
+      check_string "row 3 algorithm" "first-fit" c.G.algorithm;
+      check_int "row 3 jobs" 1_000_000 c.G.jobs;
+      check_float "reference-skipped row still parses" 8.123456 c.G.indexed_s
+  | rows -> Alcotest.failf "expected 3 rows, got %d" (List.length rows)
+
+let test_parse_rows_garbage () =
+  check_int "unrelated text yields no rows" 0
+    (List.length (G.parse_rows "not json at all {\"nope\": 1}"));
+  check_int "malformed row is skipped" 1
+    (List.length
+       (G.parse_rows
+          "{\"jobs\": -5, \"algorithm\": \"x\", \"indexed_s\": 1.0}\n\
+           {\"jobs\": 10, \"algorithm\": \"y\", \"indexed_s\": 1.0}"));
+  check_int "empty string" 0 (List.length (G.parse_rows ""))
+
+let test_parse_committed_baseline () =
+  (* The real committed baseline must be parseable — otherwise the gate
+     silently degrades to a no-op. *)
+  let path = "../BENCH_engine.json" in
+  let path = if Sys.file_exists path then path else "BENCH_engine.json" in
+  if Sys.file_exists path then begin
+    let ic = open_in path in
+    let n = in_channel_length ic in
+    let text = really_input_string ic n in
+    close_in ic;
+    check_bool "committed baseline has gate rows" true
+      (List.length (G.parse_rows text) >= 5)
+  end
+
+let row algorithm jobs indexed_s = { G.algorithm; jobs; indexed_s }
+
+let test_check_passes_within_threshold () =
+  let baseline = [ row "first-fit" 1000 1.0; row "best-fit" 1000 2.0 ] in
+  let current = [ row "first-fit" 1000 1.29; row "best-fit" 1000 2.5 ] in
+  check_int "1.29x and 1.25x both pass at 1.3x" 0
+    (List.length (G.check ~baseline ~current ()))
+
+let test_check_flags_breach () =
+  let baseline = [ row "first-fit" 1000 1.0 ] in
+  let current = [ row "first-fit" 1000 1.5 ] in
+  match G.check ~baseline ~current () with
+  | [ b ] ->
+      check_string "algorithm" "first-fit" b.G.b_algorithm;
+      check_int "jobs" 1000 b.G.b_jobs;
+      check_float "baseline" 1.0 b.G.baseline_s;
+      check_float "current" 1.5 b.G.current_s;
+      check_float "ratio" 1.5 b.G.ratio;
+      check_bool "to_string mentions the cell" true
+        (String.length (G.breach_to_string b) > 0)
+  | bs -> Alcotest.failf "expected 1 breach, got %d" (List.length bs)
+
+let test_check_min_jobs_filters () =
+  let baseline = [ row "first-fit" 1000 1.0; row "first-fit" 500_000 1.0 ] in
+  let current = [ row "first-fit" 1000 9.0; row "first-fit" 500_000 1.1 ] in
+  check_int "small cell breach ignored below min_jobs" 0
+    (List.length (G.check ~min_jobs:500_000 ~baseline ~current ()));
+  check_int "same cells gate everywhere at min_jobs 0" 1
+    (List.length (G.check ~min_jobs:0 ~baseline ~current ()))
+
+let test_check_unmatched_cells_pass () =
+  let current = [ row "first-fit" 10_000_000 50.0 ] in
+  check_int "new row size has nothing to regress against" 0
+    (List.length (G.check ~baseline:[ row "first-fit" 1000 1.0 ] ~current ()));
+  check_int "empty baseline gates nothing" 0
+    (List.length (G.check ~baseline:[] ~current ()))
+
+let test_check_threshold_validation () =
+  Alcotest.check_raises "threshold must exceed 1"
+    (Invalid_argument "Perf_gate.check: threshold <= 1") (fun () ->
+      ignore
+        (G.check ~threshold:1.0 ~baseline:[] ~current:[] () : G.breach list));
+  let baseline = [ row "first-fit" 1000 1.0 ] in
+  let current = [ row "first-fit" 1000 1.4 ] in
+  check_int "custom threshold 1.5 tolerates 1.4x" 0
+    (List.length (G.check ~threshold:1.5 ~baseline ~current ()))
+
+let suite =
+  [
+    Alcotest.test_case "parse_rows on the bench emission format" `Quick
+      test_parse_rows;
+    Alcotest.test_case "parse_rows skips garbage" `Quick test_parse_rows_garbage;
+    Alcotest.test_case "committed baseline parses" `Quick
+      test_parse_committed_baseline;
+    Alcotest.test_case "within threshold passes" `Quick
+      test_check_passes_within_threshold;
+    Alcotest.test_case "breach is reported with its cell" `Quick
+      test_check_flags_breach;
+    Alcotest.test_case "min_jobs filters small cells" `Quick
+      test_check_min_jobs_filters;
+    Alcotest.test_case "unmatched cells pass" `Quick
+      test_check_unmatched_cells_pass;
+    Alcotest.test_case "threshold validation" `Quick
+      test_check_threshold_validation;
+  ]
