@@ -32,6 +32,13 @@
       the run fails loudly if the observed run costs more than 2x the
       bare run on the largest (10^5-job) row.  Writes BENCH_obs.json.
 
+   7. Serve sweep — the streaming session's four robustness contracts
+      measured end to end: line-parse-to-decision throughput per
+      portfolio algorithm, a 10^6-arrival bounded-memory soak under a
+      major-heap ceiling, crash-restart (journal replay) latency with a
+      digest-equality assert, and admission-ladder transitions under a
+      synthetic queue-depth wave.  Writes BENCH_serve.json.
+
    Run everything: `dune exec bench/main.exe`
    Tables only:    `dune exec bench/main.exe -- tables [--domains N]`
    Micro only:     `dune exec bench/main.exe -- micro`
@@ -39,6 +46,7 @@
    Fault sweep:    `dune exec bench/main.exe -- faults [--quick]`
    Parallel sweep: `dune exec bench/main.exe -- par [--quick] [--domains N]`
    Observer sweep: `dune exec bench/main.exe -- obs [--quick]`
+   Serve sweep:    `dune exec bench/main.exe -- serve [--quick]`
 
    `--domains 0` means auto (Pool.default_domains).  All wall timing goes
    through Dbp_obs.Clock (best-of-reps reducer). *)
@@ -803,6 +811,331 @@ let run_obs ~quick () =
   close_out oc;
   Printf.printf "wrote %s\n" out
 
+(* ------------------------------------------------------------------ *)
+(* Part 7: serve sweep (BENCH_serve.json).                              *)
+
+module Sv = Dbp_serve
+
+let serve_lines inst =
+  List.map Sv.Arrival.render (Dbp_core.Instance.arrivals_in_order inst)
+
+let serve_session ?journal ?checkpoint ?watermarks ~snapshot_every name =
+  let algo =
+    match Sv.Portfolio.by_name name with
+    | Some a -> a
+    | None -> failwith ("serve bench: unknown algorithm " ^ name)
+  in
+  Sv.Session.create ?journal ?checkpoint
+    (Sv.Session.config ?watermarks ~snapshot_every ~name algo)
+
+(* Feed every line through one session; any Fatal is a bench bug.
+   [depth] synthesises the queue-depth signal (the ladder driver). *)
+let serve_feed ?(depth = fun _ -> 0) s lines =
+  let snaps = ref 0 in
+  List.iteri
+    (fun i line ->
+      (match Sv.Session.feed s ~depth:(depth i) line with
+      | Sv.Session.Emit _ | Sv.Session.Replayed | Sv.Session.Skipped _ -> ()
+      | Sv.Session.Fatal f ->
+          failwith ("serve bench: " ^ Sv.Session.fatal_to_string f));
+      if Sv.Session.snapshot_due s then begin
+        ignore (Sv.Session.take_snapshot s);
+        incr snaps
+      end)
+    lines;
+  (match Sv.Session.finish s with
+  | Ok () -> ()
+  | Error f -> failwith ("serve bench: " ^ Sv.Session.fatal_to_string f));
+  !snaps
+
+type serve_tp_row = {
+  sv_algo : string;
+  sv_arrivals : int;
+  sv_s : float;
+  sv_lps : float;
+}
+
+let serve_throughput ~sizes ~algos =
+  List.concat_map
+    (fun n ->
+      let inst = engine_instance n in
+      let lines = serve_lines inst in
+      let arrivals = List.length lines in
+      let reps = if arrivals <= 20_000 then 5 else 1 in
+      List.map
+        (fun name ->
+          let sv_s, _ =
+            time_best reps (fun () ->
+                serve_feed (serve_session ~snapshot_every:0 name) lines)
+          in
+          let row =
+            {
+              sv_algo = name;
+              sv_arrivals = arrivals;
+              sv_s;
+              sv_lps = float_of_int arrivals /. sv_s;
+            }
+          in
+          Printf.printf "  %7d arrivals  %-10s %8.4fs  (%.0f lines/s)\n%!"
+            arrivals name sv_s row.sv_lps;
+          row)
+        algos)
+    sizes
+
+(* Bounded-memory contract: heap growth while streaming must be
+   O(open jobs), not O(arrivals processed).  We compact once after the
+   workload is materialised (the driver's own O(n) cost), then watch the
+   major heap every [soak_sample_every] lines; a session that retained
+   its decision stream (10^6 lines ~ 30M words) would blow the delta
+   ceiling several times over, while the real O(open) state stays well
+   under a megaword. *)
+let soak_heap_ceiling_words = 8_000_000
+let soak_sample_every = 16_384
+
+type soak_result = {
+  sk_arrivals : int;
+  sk_snapshots : int;
+  sk_baseline_words : int;
+  sk_max_delta_words : int;
+  sk_max_open_jobs : int;
+  sk_s : float;
+}
+
+let serve_soak ~arrivals =
+  let inst = engine_instance arrivals in
+  let items = Dbp_core.Instance.arrivals_in_order inst in
+  let n = List.length items in
+  let s = serve_session ~snapshot_every:8192 "first-fit" in
+  Gc.compact ();
+  let baseline = (Gc.quick_stat ()).Gc.heap_words in
+  let max_delta = ref 0 in
+  let max_open = ref 0 in
+  let snaps = ref 0 in
+  let t0 = Dbp_obs.Clock.now Dbp_obs.Clock.monotonic in
+  List.iteri
+    (fun i item ->
+      (* Render on the fly: retaining the rendered stream would make the
+         driver itself O(n) and mask a session leak. *)
+      (match Sv.Session.feed s ~depth:0 (Sv.Arrival.render item) with
+      | Sv.Session.Emit _ -> ()
+      | Sv.Session.Replayed | Sv.Session.Skipped _ -> ()
+      | Sv.Session.Fatal f ->
+          failwith ("serve soak: " ^ Sv.Session.fatal_to_string f));
+      if Sv.Session.snapshot_due s then begin
+        ignore (Sv.Session.take_snapshot s);
+        incr snaps
+      end;
+      if i land (soak_sample_every - 1) = 0 then begin
+        let heap = (Gc.quick_stat ()).Gc.heap_words in
+        if heap - baseline > !max_delta then max_delta := heap - baseline;
+        let open_jobs = Sv.Stream_engine.open_jobs (Sv.Session.engine s) in
+        if open_jobs > !max_open then max_open := open_jobs
+      end)
+    items;
+  (match Sv.Session.finish s with
+  | Ok () -> ()
+  | Error f -> failwith ("serve soak: " ^ Sv.Session.fatal_to_string f));
+  let sk_s = Dbp_obs.Clock.now Dbp_obs.Clock.monotonic -. t0 in
+  if !max_delta > soak_heap_ceiling_words then
+    failwith
+      (Printf.sprintf
+         "serve soak: major heap grew %d words over the post-build baseline \
+          (ceiling %d) — session memory is not O(open jobs)"
+         !max_delta soak_heap_ceiling_words);
+  Printf.printf
+    "  soak %7d arrivals  %8.4fs  heap delta %d words (ceiling %d)  max \
+     open jobs %d  %d snapshots\n\
+     %!"
+    n sk_s !max_delta soak_heap_ceiling_words !max_open !snaps;
+  {
+    sk_arrivals = n;
+    sk_snapshots = !snaps;
+    sk_baseline_words = baseline;
+    sk_max_delta_words = !max_delta;
+    sk_max_open_jobs = !max_open;
+    sk_s;
+  }
+
+type restart_result = {
+  rs_arrivals : int;
+  rs_live_s : float;
+  rs_replay_s : float;
+}
+
+(* Crash-restart latency: run a stream once (phase 1), keep its decision
+   lines as the journal and its last snapshot as the checkpoint, then
+   time the full resume path — replay the same input against journal +
+   checkpoint through to live — and assert the rebuilt engine digest
+   matches phase 1's.  This is the `--resume` cost a supervisor pays. *)
+let serve_restart ~arrivals =
+  let inst = engine_instance arrivals in
+  let lines = serve_lines inst in
+  let n = List.length lines in
+  let emitted = ref [] in
+  let last_snap = ref None in
+  let s1 = serve_session ~snapshot_every:(max 1 (n / 2)) "first-fit" in
+  let live_s, () =
+    time_best 1 (fun () ->
+        List.iter
+          (fun line ->
+            (match Sv.Session.feed s1 ~depth:0 line with
+            | Sv.Session.Emit out -> emitted := out :: !emitted
+            | Sv.Session.Replayed | Sv.Session.Skipped _ -> ()
+            | Sv.Session.Fatal f ->
+                failwith ("serve restart: " ^ Sv.Session.fatal_to_string f));
+            if Sv.Session.snapshot_due s1 then
+              last_snap := Some (Sv.Session.take_snapshot s1))
+          lines)
+  in
+  (match Sv.Session.finish s1 with
+  | Ok () -> ()
+  | Error f -> failwith ("serve restart: " ^ Sv.Session.fatal_to_string f));
+  let journal_lines = List.rev !emitted in
+  let digest1 = Sv.Stream_engine.digest (Sv.Session.engine s1) in
+  let checkpoint =
+    Option.map Sv.Session.checkpoint_of_snapshot !last_snap
+  in
+  let reps = if n <= 20_000 then 5 else 1 in
+  let rs_replay_s, () =
+    time_best reps (fun () ->
+        let remaining = ref journal_lines in
+        let journal () =
+          match !remaining with
+          | [] -> None
+          | l :: tl ->
+              remaining := tl;
+              Some (Sv.Decision.parse l)
+        in
+        let s2 = serve_session ~journal ?checkpoint ~snapshot_every:0
+            "first-fit"
+        in
+        ignore (serve_feed s2 lines);
+        let digest2 = Sv.Stream_engine.digest (Sv.Session.engine s2) in
+        if not (String.equal digest1 digest2) then
+          failwith
+            (Printf.sprintf
+               "serve restart: replayed digest %s <> live digest %s"
+               digest2 digest1))
+  in
+  Printf.printf
+    "  restart %5d arrivals  live %8.4fs  replay-to-live %8.4fs  (%.2fx)  \
+     digest ok\n\
+     %!"
+    n live_s rs_replay_s
+    (rs_replay_s /. live_s);
+  { rs_arrivals = n; rs_live_s = live_s; rs_replay_s }
+
+type ladder_result = {
+  ld_arrivals : int;
+  ld_shed : int;
+  ld_coarsen : int;
+  ld_reject : int;
+  ld_rejected : int;
+}
+
+(* Graceful-degradation contract: a triangle-wave depth signal sweeping
+   0..2*reject must engage (and later release) every rung, and rejects
+   must appear only while the wave is above the reject watermark. *)
+let serve_ladder ~arrivals =
+  let wm = { Sv.Admission.shed = 100; coarsen = 200; reject = 300 } in
+  let inst = engine_instance arrivals in
+  let lines = serve_lines inst in
+  let n = List.length lines in
+  let depth i =
+    let p = i mod 1200 in
+    if p < 600 then p else 1200 - p
+  in
+  let s = serve_session ~watermarks:wm ~snapshot_every:0 "first-fit" in
+  ignore (serve_feed ~depth s lines);
+  let shed, coarsen, reject = Sv.Session.transitions s in
+  let rejected = Sv.Session.rejected s in
+  if shed = 0 || coarsen = 0 || reject = 0 then
+    failwith
+      (Printf.sprintf
+         "serve ladder: some rung never engaged (shed %d, coarsen %d, \
+          reject %d transitions)"
+         shed coarsen reject);
+  if rejected = 0 then
+    failwith "serve ladder: top rung engaged but nothing was rejected";
+  Printf.printf
+    "  ladder %6d arrivals  transitions shed %d / coarsen %d / reject %d  \
+     rejected %d\n\
+     %!"
+    n shed coarsen reject rejected;
+  {
+    ld_arrivals = n;
+    ld_shed = shed;
+    ld_coarsen = coarsen;
+    ld_reject = reject;
+    ld_rejected = rejected;
+  }
+
+let serve_json ~tp_rows ~soak ~restart ~ladder =
+  let tp_json r =
+    Printf.sprintf
+      "    {\"algorithm\": \"%s\", \"arrivals\": %d, \"seconds\": %.6f, \
+       \"lines_per_s\": %.0f}"
+      r.sv_algo r.sv_arrivals r.sv_s r.sv_lps
+  in
+  String.concat ""
+    [
+      "{\n";
+      "  \"benchmark\": \"serve streaming sweep (session feed path)\",\n";
+      "  \"command\": \"dune exec bench/main.exe -- serve\",\n";
+      "  \"workload\": \"Generator.default, seed 42, horizon = arrivals/2, \
+       rendered through Arrival.render\",\n";
+      Printf.sprintf
+        "  \"note\": \"throughput is parse-to-decision through \
+         Session.feed; soak asserts major-heap growth over the post-build \
+         baseline stays under %d words across the stream (bounded-memory \
+         contract); restart times the full journal-replay resume path and \
+         asserts digest equality with the live run; ladder drives a \
+         triangle queue-depth wave through watermarks 100/200/300 and \
+         asserts every rung engages\",\n"
+        soak_heap_ceiling_words;
+      "  \"throughput\": [\n";
+      String.concat ",\n" (List.map tp_json tp_rows);
+      "\n  ],\n";
+      Printf.sprintf
+        "  \"soak\": {\"arrivals\": %d, \"seconds\": %.4f, \
+         \"heap_ceiling_words\": %d, \"max_heap_delta_words\": %d, \
+         \"baseline_heap_words\": %d, \"max_open_jobs\": %d, \
+         \"snapshots\": %d},\n"
+        soak.sk_arrivals soak.sk_s soak_heap_ceiling_words
+        soak.sk_max_delta_words soak.sk_baseline_words soak.sk_max_open_jobs
+        soak.sk_snapshots;
+      Printf.sprintf
+        "  \"restart\": {\"arrivals\": %d, \"live_s\": %.6f, \"replay_s\": \
+         %.6f, \"replay_ratio\": %.3f, \"digest_match\": true},\n"
+        restart.rs_arrivals restart.rs_live_s restart.rs_replay_s
+        (restart.rs_replay_s /. restart.rs_live_s);
+      Printf.sprintf
+        "  \"ladder\": {\"arrivals\": %d, \"watermarks\": {\"shed\": 100, \
+         \"coarsen\": 200, \"reject\": 300}, \"shed_transitions\": %d, \
+         \"coarsen_transitions\": %d, \"reject_transitions\": %d, \
+         \"rejected\": %d}\n"
+        ladder.ld_arrivals ladder.ld_shed ladder.ld_coarsen ladder.ld_reject
+        ladder.ld_rejected;
+      "}\n";
+    ]
+
+let run_serve ~quick () =
+  Printf.printf "=== Serve sweep (%s) ===\n%!"
+    (if quick then "quick" else "full");
+  tune_gc_for_engine ();
+  let tp_sizes = if quick then [ 10_000 ] else [ 100_000; 1_000_000 ] in
+  let tp_rows =
+    serve_throughput ~sizes:tp_sizes ~algos:[ "first-fit"; "best-fit" ]
+  in
+  let soak = serve_soak ~arrivals:(if quick then 100_000 else 1_000_000) in
+  let restart = serve_restart ~arrivals:(if quick then 10_000 else 100_000) in
+  let ladder = serve_ladder ~arrivals:(if quick then 5_000 else 20_000) in
+  let out = if quick then "BENCH_serve_quick.json" else "BENCH_serve.json" in
+  let oc = open_out out in
+  output_string oc (serve_json ~tp_rows ~soak ~restart ~ladder);
+  close_out oc;
+  Printf.printf "wrote %s\n" out
+
 let () =
   let mode = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
   let quick =
@@ -826,6 +1159,7 @@ let () =
   | "faults" -> run_faults ~quick ()
   | "par" -> run_par ~quick ~domains_limit ()
   | "obs" -> run_obs ~quick ()
+  | "serve" -> run_serve ~quick ()
   | _ ->
       run_tables ~domains:domains_limit ();
       run_micro ());

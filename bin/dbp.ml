@@ -8,6 +8,7 @@
      gen          generate a workload trace to CSV
      pack         pack a CSV trace with one algorithm and dump assignments
      faults       run a workload under injected faults and score degradation
+     serve        run the streaming packing daemon (JSONL in, decisions out)
      lint         run the dbp-lint static-analysis pass over the sources *)
 
 open Cmdliner
@@ -392,14 +393,56 @@ let gen_cmd =
       & opt (some string) None
       & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output CSV path.")
   in
-  let run seed workload out =
-    let instance = make_instance ~seed workload None in
-    Dbp_workload.Trace.save out instance;
-    Printf.printf "wrote %d items to %s\n" (Dbp_core.Instance.length instance) out
+  let jsonl_flag =
+    Arg.(
+      value & flag
+      & info [ "jsonl" ]
+          ~doc:
+            "Emit JSONL arrival lines (the $(b,dbp serve) wire format, \
+             arrival order) instead of CSV.  $(b,-o -) writes to stdout.")
+  in
+  let horizon_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "horizon" ] ~docv:"T"
+          ~doc:
+            "Override the generated horizon (time units; $(b,uniform) \
+             family only).  Arrival count scales with it — the default \
+             rate yields about 2T arrivals.")
+  in
+  let run seed workload out jsonl horizon =
+    let instance =
+      match horizon with
+      | None -> make_instance ~seed workload None
+      | Some horizon -> (
+          match workload with
+          | `Uniform ->
+              Dbp_workload.Generator.generate ~seed
+                { Dbp_workload.Generator.default with horizon }
+          | _ ->
+              prerr_endline "dbp gen: --horizon only applies to -w uniform";
+              exit 2)
+    in
+    if jsonl then begin
+      let buf = Buffer.create 4096 in
+      List.iter
+        (fun item ->
+          Buffer.add_string buf (Dbp_serve.Arrival.render item);
+          Buffer.add_char buf '\n')
+        (Dbp_core.Instance.arrivals_in_order instance);
+      write_out ~path:out (Buffer.contents buf)
+    end
+    else begin
+      Dbp_workload.Trace.save out instance;
+      Printf.printf "wrote %d items to %s\n"
+        (Dbp_core.Instance.length instance)
+        out
+    end
   in
   Cmd.v
-    (Cmd.info "gen" ~doc:"Generate a workload trace to CSV.")
-    Term.(const run $ seed_arg $ workload_arg $ out)
+    (Cmd.info "gen" ~doc:"Generate a workload trace to CSV or JSONL.")
+    Term.(const run $ seed_arg $ workload_arg $ out $ jsonl_flag $ horizon_arg)
 
 (* ---- pack ---- *)
 
@@ -652,6 +695,196 @@ let vector_cmd =
     (Cmd.info "vector" ~doc:"Pack a multi-resource (CPU/mem/bw) workload.")
     Term.(const run $ seed_arg $ dims_arg)
 
+(* ---- serve ---- *)
+
+let serve_cmd =
+  let algo_arg =
+    Arg.(
+      value
+      & opt string "first-fit"
+      & info [ "algo"; "a" ] ~docv:"NAME"
+          ~doc:
+            (Printf.sprintf "Packing algorithm. One of: %s."
+               (String.concat ", " (Dbp_serve.Portfolio.names ()))))
+  in
+  let input_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "input" ] ~docv:"FILE"
+          ~doc:"Read JSONL arrivals from FILE instead of stdin.")
+  in
+  let socket_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:
+            "Serve a Unix-domain socket at PATH instead of reading stdin; \
+             decision lines echo back to the client as well as landing in \
+             the output.  SIGINT/SIGTERM stop the daemon cleanly.")
+  in
+  let output_arg =
+    Arg.(
+      value & opt string "-"
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:
+            "Append decision lines to FILE ($(b,-) = stdout).  The file \
+             doubles as the resume journal, so $(b,--resume) needs a real \
+             path.")
+  in
+  let snapshot_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "snapshot" ] ~docv:"FILE"
+          ~doc:
+            "Cut durable snapshots to FILE (atomic rename, one rotated \
+             $(b,.prev) generation kept).")
+  in
+  let snapshot_every_arg =
+    Arg.(
+      value & opt int 1000
+      & info [ "snapshot-every" ] ~docv:"N"
+          ~doc:"Decision lines between snapshots (0 = only at shutdown).")
+  in
+  let resume_flag =
+    Arg.(
+      value & flag
+      & info [ "resume" ]
+          ~doc:
+            "Recover after a crash: truncate a torn final output line, \
+             replay the journal against the same input, verify the \
+             snapshot digest, then continue the stream byte-exactly.")
+  in
+  let trace_out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-out" ] ~docv:"FILE"
+          ~doc:
+            "Stream a JSONL decision trace to FILE (detached while the \
+             overload ladder is at shedding or above).")
+  in
+  let shed_arg =
+    Arg.(
+      value
+      & opt int Dbp_serve.Admission.default.Dbp_serve.Admission.shed
+      & info [ "shed" ] ~docv:"N"
+          ~doc:"Queue depth that detaches tracing (ladder rung 1).")
+  in
+  let coarsen_arg =
+    Arg.(
+      value
+      & opt int Dbp_serve.Admission.default.Dbp_serve.Admission.coarsen
+      & info [ "coarsen" ] ~docv:"N"
+          ~doc:"Queue depth that coarsens the snapshot cadence (rung 2).")
+  in
+  let reject_arg =
+    Arg.(
+      value
+      & opt int Dbp_serve.Admission.default.Dbp_serve.Admission.reject
+      & info [ "reject" ] ~docv:"N"
+          ~doc:"Queue depth that turns arrivals away (rung 3).")
+  in
+  let coarsen_factor_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "coarsen-factor" ] ~docv:"F"
+          ~doc:"Snapshot-cadence multiplier at the coarsening rung.")
+  in
+  let throttle_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "throttle-us" ] ~docv:"US"
+          ~doc:
+            "Sleep US microseconds between arrivals (lets an external \
+             killer land mid-stream reproducibly; crash testing).")
+  in
+  let crash_after_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "crash-after" ] ~docv:"N"
+          ~doc:
+            "Crash injection: SIGKILL this process after N emitted \
+             decision lines (crash testing).")
+  in
+  let max_arrivals_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-arrivals" ] ~docv:"N"
+          ~doc:"Stop after N input lines (soak bounding).")
+  in
+  let run algo input socket output snapshot snapshot_every resume metrics_out
+      trace_out shed coarsen reject coarsen_factor throttle_us crash_after
+      max_arrivals =
+    let engine =
+      match Dbp_serve.Portfolio.by_name algo with
+      | Some e -> e
+      | None ->
+          Printf.eprintf "unknown algorithm %S; known: %s\n" algo
+            (String.concat ", " (Dbp_serve.Portfolio.names ()));
+          exit 2
+    in
+    let scfg =
+      match
+        Dbp_serve.Session.config
+          ~watermarks:{ Dbp_serve.Admission.shed; coarsen; reject }
+          ~snapshot_every ~coarsen_factor ~name:algo engine
+      with
+      | cfg -> cfg
+      | exception Invalid_argument msg ->
+          Printf.eprintf "dbp serve: %s\n" msg;
+          exit 2
+    in
+    let dcfg =
+      {
+        Dbp_serve.Daemon.input =
+          (match (socket, input) with
+          | Some path, _ -> Dbp_serve.Daemon.In_socket path
+          | None, Some path -> Dbp_serve.Daemon.In_file path
+          | None, None -> Dbp_serve.Daemon.Stdin);
+        output;
+        snapshot_path = snapshot;
+        resume;
+        metrics_out;
+        trace_out;
+        throttle_us;
+        crash_after;
+        max_arrivals;
+        log = prerr_endline;
+      }
+    in
+    match Dbp_serve.Daemon.run dcfg scfg with
+    | Ok stats ->
+        Printf.eprintf
+          "serve: %d lines in, %d placed, %d rejected, %d skipped, %d \
+           replayed, %d snapshots%s\n"
+          stats.Dbp_serve.Daemon.lines stats.Dbp_serve.Daemon.placed
+          stats.Dbp_serve.Daemon.rejected stats.Dbp_serve.Daemon.skipped
+          stats.Dbp_serve.Daemon.replayed stats.Dbp_serve.Daemon.snapshots
+          (match stats.Dbp_serve.Daemon.resumed_from with
+          | Some s -> "; resumed from " ^ s
+          | None -> "")
+    | Error msg ->
+        Printf.eprintf "dbp serve: %s\n" msg;
+        exit 3
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the streaming packing daemon: JSONL arrivals in (stdin, file \
+          or Unix socket), one placement decision line out per arrival, \
+          with bounded memory, durable snapshots, crash-exact $(b,--resume) \
+          and a three-rung overload ladder (DESIGN.md section 14).")
+    Term.(
+      const run $ algo_arg $ input_arg $ socket_arg $ output_arg $ snapshot_arg
+      $ snapshot_every_arg $ resume_flag $ metrics_out_arg $ trace_out_arg
+      $ shed_arg $ coarsen_arg $ reject_arg $ coarsen_factor_arg $ throttle_arg
+      $ crash_after_arg $ max_arrivals_arg)
+
 (* ---- lint ---- *)
 
 let lint_cmd =
@@ -752,5 +985,6 @@ let () =
        (Cmd.group (Cmd.info "dbp" ~version:"1.0.0" ~doc)
           [
             run_cmd; figure8_cmd; experiments_cmd; gadget_cmd; gen_cmd;
-            pack_cmd; faults_cmd; flex_cmd; vector_cmd; audit_cmd; lint_cmd;
+            pack_cmd; faults_cmd; flex_cmd; vector_cmd; audit_cmd; serve_cmd;
+            lint_cmd;
           ]))

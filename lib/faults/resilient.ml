@@ -562,7 +562,21 @@ let run_result ?policy ?observer algo instance plan =
 
 type checkpoint = { events_done : int; state_digest : string }
 
-exception Checkpoint_mismatch of string
+type mismatch = {
+  expected_digest : string;
+  actual_digest : string option;
+  events_done : int;
+  detail : string;
+}
+
+exception Checkpoint_mismatch of mismatch
+
+let mismatch_to_string m =
+  Printf.sprintf "checkpoint mismatch after %d events (expected digest %s, \
+                  replayed %s): %s"
+    m.events_done m.expected_digest
+    (match m.actual_digest with Some d -> d | None -> "nothing")
+    m.detail
 
 let digest r =
   let buf = Buffer.create 256 in
@@ -589,16 +603,22 @@ let digest r =
 
 let checkpoint r = { events_done = r.processed; state_digest = digest r }
 
-let resume ?policy ?observer algo instance plan cp =
+let resume ?policy ?observer algo instance plan (cp : checkpoint) =
   let r = start ?policy ?observer algo instance plan in
   while
     r.processed < cp.events_done
     && (step r
        || raise
             (Checkpoint_mismatch
-               (Printf.sprintf
-                  "event stream drained after %d events, checkpoint at %d"
-                  r.processed cp.events_done)))
+               {
+                 expected_digest = cp.state_digest;
+                 actual_digest = None;
+                 events_done = cp.events_done;
+                 detail =
+                   Printf.sprintf
+                     "event stream drained after %d events, checkpoint at %d"
+                     r.processed cp.events_done;
+               }))
   do
     ()
   done;
@@ -606,8 +626,12 @@ let resume ?policy ?observer algo instance plan cp =
   if not (String.equal d cp.state_digest) then
     raise
       (Checkpoint_mismatch
-         (Printf.sprintf
-            "state digest %s disagrees with checkpoint %s after %d events \
-             (different algorithm, instance, plan or policy?)"
-            d cp.state_digest cp.events_done));
+         {
+           expected_digest = cp.state_digest;
+           actual_digest = Some d;
+           events_done = cp.events_done;
+           detail =
+             "different algorithm, instance, plan or policy — or broken \
+              determinism";
+         });
   r

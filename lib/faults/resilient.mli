@@ -139,10 +139,24 @@ val run_result :
 
 type checkpoint = { events_done : int; state_digest : string }
 
-exception Checkpoint_mismatch of string
+type mismatch = {
+  expected_digest : string;  (** what the checkpoint recorded *)
+  actual_digest : string option;
+      (** what replay produced; [None] when the event stream drained
+          before reaching [events_done] (so there was nothing to
+          digest) *)
+  events_done : int;  (** the checkpoint's replay cursor *)
+  detail : string;  (** human-readable diagnosis *)
+}
+
+exception Checkpoint_mismatch of mismatch
 (** Replayed state disagrees with the checkpoint digest: the inputs
     (algorithm, instance, plan, policy) differ from the checkpointed
-    run's, or determinism was broken. *)
+    run's, or determinism was broken.  The payload carries both digests
+    and the cursor so supervisors can log {e what} diverged, not just
+    that something did. *)
+
+val mismatch_to_string : mismatch -> string
 
 val checkpoint : run -> checkpoint
 (** Snapshot the cursor and digest the engine state (bins, levels,

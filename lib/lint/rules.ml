@@ -53,6 +53,10 @@ let r8_hint =
   "inject a Dbp_obs.Clock.t (default Clock.monotonic); only \
    lib/obs/clock.ml and bench/ may read the system clock"
 
+let r9_hint =
+  "route process IO through Dbp_serve.Daemon; only lib/serve/ may touch \
+   sockets, file descriptors or signal handlers"
+
 let all =
   [
     { id = "R0"; name = "unused-suppression"; hint = r0_hint };
@@ -64,6 +68,7 @@ let all =
     { id = "R6"; name = "raw-record-construction"; hint = r6_hint };
     { id = "R7"; name = "concurrency-confinement"; hint = r7_hint };
     { id = "R8"; name = "wall-clock-confinement"; hint = r8_hint };
+    { id = "R9"; name = "unix-io-confinement"; hint = r9_hint };
   ]
 
 (* ---- identifier classification ---------------------------------------- *)
@@ -158,6 +163,30 @@ let r8_exempt ~scope path =
   let n = norm_path path in
   n = "lib/obs/clock.ml" || n = "lib/obs/clock.mli"
 
+(* ---- R9 unix-io confinement -------------------------------------------- *)
+
+(* Any qualified [Unix] member — sockets, file descriptors, processes,
+   signals — except the clock reads, which are R8's domain.  [Sys]'s
+   signal installers count too: a handler is process state wherever it
+   is registered. *)
+let unix_io_use lid =
+  let components =
+    match Longident.flatten lid with
+    | "Stdlib" :: rest -> rest
+    | components -> components
+  in
+  match components with
+  | [ "Unix"; ("gettimeofday" | "time") ] -> None (* R8, not R9 *)
+  | "Unix" :: _ :: _ | [ "Sys"; ("signal" | "set_signal") ] ->
+      Some (String.concat "." components)
+  | _ -> None
+
+(* The daemon shell is the designated process-facing module: everything
+   under lib/serve/ may do real IO, nothing else may. *)
+let r9_exempt path =
+  let n = norm_path path in
+  String.length n >= 10 && String.sub n 0 10 = "lib/serve/"
+
 (* ---- R2 operand shapes ------------------------------------------------ *)
 
 let rec is_float_literal (e : Parsetree.expression) =
@@ -247,7 +276,15 @@ let check_expr ~path ~scope ~shadowed_compare acc (e : Parsetree.expression) =
                   (Printf.sprintf "%s reads the wall clock outside Obs.Clock"
                      name)
                   r8_hint
-            | _ -> ())
+            | Some _ -> ()
+            | None -> (
+                match unix_io_use txt with
+                | Some name when not (r9_exempt path) ->
+                    add "R9" loc
+                      (Printf.sprintf "%s does process IO outside lib/serve"
+                         name)
+                      r9_hint
+                | _ -> ()))
       end
   | Pexp_apply
       ({ pexp_desc = Pexp_ident { txt; loc }; _ }, [ (_, lhs); (_, rhs) ])
@@ -278,8 +315,9 @@ let check_expr ~path ~scope ~shadowed_compare acc (e : Parsetree.expression) =
       | None -> ())
   | _ -> ()
 
-(* R7 also fires on types ([Mutex.t] in a signature is as much a leak as
-   [Mutex.create] in an implementation). *)
+(* R7 and R9 also fire on types ([Mutex.t] in a signature is as much a
+   leak as [Mutex.create] in an implementation; likewise a
+   [Unix.file_descr] or [Unix.sockaddr] in an interface). *)
 let check_typ ~path acc (t : Parsetree.core_type) =
   match t.ptyp_desc with
   | Ptyp_constr ({ txt; loc }, _) -> (
@@ -292,7 +330,18 @@ let check_typ ~path acc (t : Parsetree.core_type) =
                    (String.concat "." (Longident.flatten txt)))
               ~hint:r7_hint
             :: !acc
-      | _ -> ())
+      | Some _ -> ()
+      | None -> (
+          match unix_io_use txt with
+          | Some name when not (r9_exempt path) ->
+              acc :=
+                Finding.of_loc ~rule:"R9" ~loc
+                  ~message:
+                    (Printf.sprintf "%s does process IO outside lib/serve"
+                       name)
+                  ~hint:r9_hint
+                :: !acc
+          | _ -> ()))
   | _ -> ()
 
 let iterator ~path ~scope ~shadowed_compare acc =

@@ -1,6 +1,6 @@
 (** The packing-invariant rule registry.
 
-    Eight rules guard conventions the type system cannot express (see
+    Nine rules guard conventions the type system cannot express (see
     DESIGN.md section 9): R1 no physical equality, R2 no polymorphic
     comparison on float literals / record literals / bare [compare],
     R3 no [failwith] or [assert false] in [lib/], R4 no console output
@@ -10,8 +10,11 @@
     concurrency primitives ([Domain], [Mutex], [Condition], [Atomic] —
     expressions or types) outside [lib/par/], R8 no system-clock reads
     ([Unix.gettimeofday], [Unix.time], [Sys.time]) outside
-    [lib/obs/clock.ml] and [bench/].  [R0] marks suppression hygiene
-    errors and [P0] parse failures. *)
+    [lib/obs/clock.ml] and [bench/], R9 no Unix IO/process/signal APIs
+    ([Unix.*] except the R8 clock reads, [Sys.signal]/[Sys.set_signal],
+    and the [Unix.file_descr]/[Unix.sockaddr] types) outside
+    [lib/serve/] — the daemon shell is the one process-facing module.
+    [R0] marks suppression hygiene errors and [P0] parse failures. *)
 
 type scope = Lib | Bin | Bench | Test | Other
 
@@ -21,7 +24,7 @@ val scope_of_path : string -> scope
 
 type info = { id : string; name : string; hint : string }
 
-(** Registry metadata, R0 plus R1..R8. *)
+(** Registry metadata, R0 plus R1..R9. *)
 val all : info list
 
 (** Run the expression rules over an implementation. *)

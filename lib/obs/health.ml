@@ -1,0 +1,31 @@
+type t = {
+  clock : Clock.t;
+  started : float;
+  g_uptime : Metrics.gauge;
+  g_heap : Metrics.gauge;
+  g_live : Metrics.gauge;
+  g_major : Metrics.gauge;
+  g_minor : Metrics.gauge;
+}
+
+let create ?(clock = Clock.monotonic) registry =
+  let g name help = Metrics.gauge registry ~help name in
+  {
+    clock;
+    started = Clock.now clock;
+    g_uptime = g "dbp_process_uptime_seconds" "Seconds since the daemon started.";
+    g_heap = g "dbp_process_heap_words" "Major heap size in words.";
+    g_live = g "dbp_process_live_words" "Live words at the last heartbeat.";
+    g_major = g "dbp_process_major_collections" "Major GC cycles completed.";
+    g_minor = g "dbp_process_minor_collections" "Minor GC cycles completed.";
+  }
+
+let uptime t = Clock.now t.clock -. t.started
+
+let tick t =
+  Metrics.set t.g_uptime (uptime t);
+  let st = Gc.quick_stat () in
+  Metrics.set t.g_heap (float_of_int st.Gc.heap_words);
+  Metrics.set t.g_live (float_of_int st.Gc.live_words);
+  Metrics.set t.g_major (float_of_int st.Gc.major_collections);
+  Metrics.set t.g_minor (float_of_int st.Gc.minor_collections)

@@ -1,0 +1,29 @@
+(** Process-health gauges for long-lived runs ([dbp serve]).
+
+    A [t] bundles a handful of pre-registered gauges — uptime, GC heap
+    footprint, collection counts — and a {!tick} that refreshes them
+    from [Gc.quick_stat] and the injected {!Clock.t}.  The daemon calls
+    {!tick} once per input line; because [quick_stat] reads cached
+    counters (no heap walk), the cost is a few loads per call.
+
+    The heap gauge is what the bounded-memory soak watches: a streaming
+    process whose resident state is O(open jobs) shows a flat
+    [dbp_process_heap_words] over millions of arrivals.  Wall time is
+    read through {!Clock}, so tests drive a fake clock and assert exact
+    uptimes. *)
+
+type t
+
+val create : ?clock:Clock.t -> Metrics.t -> t
+(** Register the health gauges on the registry (idempotent, like all
+    registration) and record the start instant.  Default clock:
+    {!Clock.monotonic}. *)
+
+val tick : t -> unit
+(** Refresh every gauge: [dbp_process_uptime_seconds],
+    [dbp_process_heap_words] (major heap words from [Gc.quick_stat]),
+    [dbp_process_live_words], [dbp_process_major_collections],
+    [dbp_process_minor_collections]. *)
+
+val uptime : t -> float
+(** Seconds since {!create}, per the injected clock. *)

@@ -104,6 +104,26 @@ let jsonl_of_event = function
       Printf.sprintf "{\"t\":%s,\"ev\":\"departure\",\"item\":%d}"
         (fmt_num time) item
 
+(* Unbuffered streaming variant: each event renders straight into the
+   sink, nothing is retained.  The serve daemon's trace path — a
+   10^6-arrival stream must not accumulate an event list. *)
+let streaming_observer ~sink =
+  let emit ev = sink (jsonl_of_event ev) in
+  Dbp_core.Observer.v
+    ~on_arrival:(fun ~time ~item ->
+      emit
+        (Arrival
+           { time; item = Dbp_core.Item.id item; size = Dbp_core.Item.size item }))
+    ~on_decision:(fun ~time ~item ~bin ->
+      emit (Decision { time; item = Dbp_core.Item.id item; bin }))
+    ~on_open_bin:(fun ~time ~bin -> emit (Open_bin { time; bin }))
+    ~on_place:(fun ~time ~item ~bin ->
+      emit (Place { time; item = Dbp_core.Item.id item; bin }))
+    ~on_close_bin:(fun ~time ~bin -> emit (Close_bin { time; bin }))
+    ~on_departure:(fun ~time ~item ->
+      emit (Departure { time; item = Dbp_core.Item.id item }))
+    ()
+
 let to_jsonl ?(header = []) t =
   let buf = Buffer.create (64 * (t.len + 1)) in
   List.iter

@@ -57,6 +57,12 @@ val clear : t -> unit
 val jsonl_of_event : event -> string
 (** One line, without the trailing newline. *)
 
+val streaming_observer : sink:(string -> unit) -> Dbp_core.Observer.t
+(** An observer that renders each event with {!jsonl_of_event} and hands
+    the line (no trailing newline) straight to [sink], retaining
+    nothing.  The [dbp serve] trace path: bounded memory over unbounded
+    streams, at the cost of no in-process querying. *)
+
 val to_jsonl : ?header:string list -> t -> string
 (** All retained events as newline-terminated JSONL; [header] lines
     (already-rendered JSON) are emitted first. *)

@@ -1,0 +1,30 @@
+type rung = Normal | Shedding | Coarsening | Rejecting
+type watermarks = { shed : int; coarsen : int; reject : int }
+
+let default = { shed = 1_024; coarsen = 8_192; reject = 65_536 }
+
+let validate { shed; coarsen; reject } =
+  if not (0 < shed && shed <= coarsen && coarsen <= reject) then
+    invalid_arg
+      (Printf.sprintf
+         "Admission.validate: watermarks must satisfy 0 < shed (%d) <= \
+          coarsen (%d) <= reject (%d)"
+         shed coarsen reject)
+
+let rung_for w ~depth =
+  if depth >= w.reject then Rejecting
+  else if depth >= w.coarsen then Coarsening
+  else if depth >= w.shed then Shedding
+  else Normal
+
+let rung_name = function
+  | Normal -> "normal"
+  | Shedding -> "shedding"
+  | Coarsening -> "coarsening"
+  | Rejecting -> "rejecting"
+
+let rung_index = function
+  | Normal -> 0
+  | Shedding -> 1
+  | Coarsening -> 2
+  | Rejecting -> 3

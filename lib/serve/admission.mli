@@ -1,0 +1,41 @@
+(** The three-rung graceful-degradation ladder.
+
+    The daemon measures {e queue depth} — arrivals read but not yet
+    decided (socket mode: complete lines buffered behind the one being
+    processed) — and compares it against three watermarks.  Each rung
+    strictly widens the previous one's measures:
+
+    + {b Shedding} ([depth >= shed]): decision tracing is detached —
+      the observer is the one per-event cost that serves no placement.
+    + {b Coarsening} ([depth >= coarsen]): the snapshot cadence is
+      multiplied by the configured factor, trading restart latency for
+      throughput.
+    + {b Rejecting} ([depth >= reject]): admission control turns new
+      arrivals away with structured [{"rejected":"overload"}] lines
+      instead of queueing without bound.
+
+    Rungs are a pure function of the instantaneous depth (no
+    hysteresis — the watermarks are orders of magnitude apart, so
+    flapping costs an observer toggle, not correctness), and every
+    transition is counted in the metrics registry (DESIGN.md
+    section 14). *)
+
+type rung = Normal | Shedding | Coarsening | Rejecting
+
+type watermarks = { shed : int; coarsen : int; reject : int }
+(** Queue depths at which each rung engages; must satisfy
+    [0 < shed <= coarsen <= reject]. *)
+
+val default : watermarks
+(** [{ shed = 1_024; coarsen = 8_192; reject = 65_536 }]. *)
+
+val validate : watermarks -> unit
+(** @raise Invalid_argument when the ordering above is violated. *)
+
+val rung_for : watermarks -> depth:int -> rung
+
+val rung_name : rung -> string
+(** ["normal" | "shedding" | "coarsening" | "rejecting"]. *)
+
+val rung_index : rung -> int
+(** 0..3, monotone in severity. *)

@@ -1,0 +1,21 @@
+open Dbp_core
+
+let parse line =
+  match Json_lite.parse_object line with
+  | Error e -> Error e
+  | Ok fields -> (
+      let ( let* ) r f = match r with Error _ as e -> e | Ok v -> f v in
+      let* id = Json_lite.int_field fields "id" in
+      let* size = Json_lite.num_field fields "size" in
+      let* arrival = Json_lite.num_field fields "arrival" in
+      let* departure = Json_lite.num_field fields "departure" in
+      match Item.make ~id ~size ~arrival ~departure with
+      | item -> Ok item
+      | exception Invalid_argument msg -> Error msg)
+
+let render item =
+  Printf.sprintf "{\"id\":%d,\"size\":%s,\"arrival\":%s,\"departure\":%s}"
+    (Item.id item)
+    (Json_lite.fmt_num (Item.size item))
+    (Json_lite.fmt_num (Item.arrival item))
+    (Json_lite.fmt_num (Item.departure item))

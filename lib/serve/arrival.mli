@@ -1,0 +1,25 @@
+(** The [dbp serve] input line format: one job arrival per line,
+
+    {[ {"id":17,"size":0.25,"arrival":3,"departure":7.5} ]}
+
+    {!parse} is the lenient half of the malformed-input contract, in the
+    spirit of [Dbp_workload.Trace.of_string_lenient]: it is {e total} —
+    any byte string yields [Ok item] or [Error reason], never an
+    exception — so the daemon can skip and count bad lines instead of
+    dying mid-stream.  Validation bottoms out in [Item.make]: sizes
+    outside (0, 1], non-finite times and non-positive durations are
+    rejected with the smart constructor's own message.
+
+    {!render} is the exact inverse: floats print with enough digits to
+    re-parse bit-identically ({!Json_lite.fmt_num}), which [dbp gen
+    --jsonl] relies on to produce streams that replay exactly. *)
+
+open Dbp_core
+
+val parse : string -> (Item.t, string) result
+(** Never raises.  Unknown fields are ignored; [id]/[size]/[arrival]/
+    [departure] are required, [id] integral. *)
+
+val render : Item.t -> string
+(** One line (no trailing newline); [parse (render i)] returns an item
+    equal to [i] field-for-field. *)

@@ -1,0 +1,420 @@
+(* The serve process shell (see the interface).  This file is the one
+   R9-exempt module: sockets, file descriptors and signals stay here. *)
+
+type input = Stdin | In_file of string | In_socket of string
+
+type config = {
+  input : input;
+  output : string;
+  snapshot_path : string option;
+  resume : bool;
+  metrics_out : string option;
+  trace_out : string option;
+  throttle_us : int;
+  crash_after : int option;
+  max_arrivals : int option;
+  log : string -> unit;
+}
+
+let default_config =
+  {
+    input = Stdin;
+    output = "-";
+    snapshot_path = None;
+    resume = false;
+    metrics_out = None;
+    trace_out = None;
+    throttle_us = 0;
+    crash_after = None;
+    max_arrivals = None;
+    log = ignore;
+  }
+
+type stats = {
+  lines : int;
+  emitted : int;
+  placed : int;
+  rejected : int;
+  skipped : int;
+  replayed : int;
+  snapshots : int;
+  resumed_from : string option;
+}
+
+(* ---- journal recovery ------------------------------------------------ *)
+
+(* Truncate a torn final line (no trailing newline) off the journal:
+   scan backwards for the last '\n' and cut everything after it.  A
+   SIGKILL can land mid-[output_string]; everything up to the previous
+   newline is a complete, trustworthy prefix.  Returns the bytes cut. *)
+let truncate_torn_tail path =
+  let fd = Unix.openfile path [ Unix.O_RDWR ] 0o644 in
+  Fun.protect
+    ~finally:(fun () -> Unix.close fd)
+    (fun () ->
+      let size = Unix.lseek fd 0 Unix.SEEK_END in
+      let chunk = 4096 in
+      let buf = Bytes.create chunk in
+      (* Offset just past the last newline in [0, upper), or 0. *)
+      let rec find_cut upper =
+        if upper = 0 then 0
+        else
+          let lo = max 0 (upper - chunk) in
+          let len = upper - lo in
+          ignore (Unix.lseek fd lo Unix.SEEK_SET);
+          let got = Unix.read fd buf 0 len in
+          let rec last_nl i =
+            if i < 0 then None
+            else if Char.equal (Bytes.get buf i) '\n' then Some i
+            else last_nl (i - 1)
+          in
+          match last_nl (got - 1) with
+          | Some i -> lo + i + 1
+          | None -> find_cut lo
+      in
+      let cut = find_cut size in
+      if cut < size then Unix.ftruncate fd cut;
+      size - cut)
+
+(* Stream the (already truncated) journal back one parsed entry per
+   pull, so resume memory stays O(open jobs), never O(journal). *)
+let journal_reader path =
+  let ic = open_in_bin path in
+  let done_ = ref false in
+  fun () ->
+    if !done_ then None
+    else
+      match input_line ic with
+      | line -> Some (Decision.parse line)
+      | exception End_of_file ->
+          done_ := true;
+          close_in ic;
+          None
+
+(* ---- metrics sink ----------------------------------------------------- *)
+
+let dump_metrics cfg registry =
+  match (cfg.metrics_out, registry) with
+  | Some path, Some m ->
+      let content =
+        if path <> "-" && Filename.check_suffix path ".json" then
+          Dbp_obs.Metrics.to_json m
+        else Dbp_obs.Metrics.to_prometheus m
+      in
+      if String.equal path "-" then begin
+        output_string stdout content;
+        flush stdout
+      end
+      else begin
+        let oc = open_out path in
+        Fun.protect
+          ~finally:(fun () -> close_out oc)
+          (fun () -> output_string oc content)
+      end
+  | _ -> ()
+
+(* ---- the drive loop (shared by all input flavours) -------------------- *)
+
+exception Fatal_outcome of Session.fatal
+
+type drive = {
+  session : Session.t;
+  out : out_channel;
+  cfg : config;
+  registry : Dbp_obs.Metrics.t option;
+  health : Dbp_obs.Health.t option;
+  usr1 : bool ref;
+  mutable d_lines : int;
+  mutable d_emitted : int;
+  mutable d_replayed : int;
+  mutable d_snapshots : int;
+  mutable d_last_emit : string option;  (* socket mode echoes this back *)
+}
+
+let save_snapshot d =
+  match d.cfg.snapshot_path with
+  | None -> ()
+  | Some path ->
+      (* Flush first: the snapshot cursor must never exceed the durable
+         journal prefix. *)
+      flush d.out;
+      Snapshot.save ~path (Session.take_snapshot d.session);
+      d.d_snapshots <- d.d_snapshots + 1
+
+(* Feed one line; false when the [max_arrivals] budget is spent. *)
+let drive_line d ~depth line =
+  if !(d.usr1) then begin
+    d.usr1 := false;
+    dump_metrics d.cfg d.registry
+  end;
+  Option.iter Dbp_obs.Health.tick d.health;
+  d.d_lines <- d.d_lines + 1;
+  d.d_last_emit <- None;
+  (match Session.feed d.session ~depth line with
+  | Session.Fatal f -> raise (Fatal_outcome f)
+  | Session.Skipped _ -> ()
+  | Session.Replayed -> d.d_replayed <- d.d_replayed + 1
+  | Session.Emit decision ->
+      output_string d.out decision;
+      output_char d.out '\n';
+      d.d_emitted <- d.d_emitted + 1;
+      d.d_last_emit <- Some decision;
+      (match d.cfg.crash_after with
+      | Some n when d.d_emitted >= n ->
+          (* Crash injection: a genuine SIGKILL, not an exit path — the
+             journal is left exactly as the kernel saw it. *)
+          flush d.out;
+          Unix.kill (Unix.getpid ()) Sys.sigkill
+      | _ -> ());
+      if Session.snapshot_due d.session then save_snapshot d);
+  if d.cfg.throttle_us > 0 then
+    Unix.sleepf (float_of_int d.cfg.throttle_us /. 1e6);
+  match d.cfg.max_arrivals with Some n -> d.d_lines < n | None -> true
+
+let drive_channel d ic =
+  let rec loop () =
+    match input_line ic with
+    | line -> if drive_line d ~depth:0 line then loop ()
+    | exception End_of_file -> ()
+  in
+  loop ()
+
+(* Unix-domain socket server: single-threaded accept loop, one client
+   at a time; decision lines echo back to the client as well as landing
+   in the journal.  The ladder's queue depth = complete lines buffered
+   behind the one being processed. *)
+let drive_socket d path ~stop =
+  (match Unix.lstat path with
+  | { Unix.st_kind = Unix.S_SOCK; _ } -> Unix.unlink path
+  | _ -> ()
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ());
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close sock with Unix.Unix_error _ -> ());
+      try Unix.unlink path with Unix.Unix_error _ | Sys_error _ -> ())
+    (fun () ->
+      Unix.bind sock (Unix.ADDR_UNIX path);
+      Unix.listen sock 8;
+      d.cfg.log (Printf.sprintf "serve: listening on %s" path);
+      let buf = Bytes.create 65536 in
+      let budget = ref true in
+      let echo client =
+        match d.d_last_emit with
+        | None -> ()
+        | Some line ->
+            let payload = Bytes.of_string (line ^ "\n") in
+            let rec write_all off =
+              if off < Bytes.length payload then
+                match
+                  Unix.write client payload off (Bytes.length payload - off)
+                with
+                | n -> write_all (off + n)
+                | exception Unix.Unix_error (Unix.EPIPE, _, _) -> ()
+            in
+            write_all 0
+      in
+      while !budget && not !stop do
+        match Unix.accept sock with
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+        | client, _ ->
+            Fun.protect
+              ~finally:(fun () ->
+                try Unix.close client with Unix.Unix_error _ -> ())
+              (fun () ->
+                let pending = Buffer.create 4096 in
+                let connected = ref true in
+                while !connected && !budget && not !stop do
+                  match Unix.read client buf 0 (Bytes.length buf) with
+                  | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+                  | 0 -> connected := false
+                  | n ->
+                      Buffer.add_subbytes pending buf 0 n;
+                      let data = Buffer.contents pending in
+                      Buffer.clear pending;
+                      let rec complete_lines = function
+                        | [ tail ] ->
+                            (* Still-unterminated tail: keep buffering. *)
+                            Buffer.add_string pending tail;
+                            []
+                        | l :: rest -> l :: complete_lines rest
+                        | [] -> []
+                      in
+                      let lines =
+                        complete_lines (String.split_on_char '\n' data)
+                      in
+                      let depth = ref (List.length lines) in
+                      List.iter
+                        (fun line ->
+                          if !budget && not !stop then begin
+                            decr depth;
+                            if not (drive_line d ~depth:!depth line) then
+                              budget := false;
+                            echo client
+                          end)
+                        lines
+                done)
+      done)
+
+(* ---- run -------------------------------------------------------------- *)
+
+let run_inner cfg scfg =
+  let ( let* ) r f = match r with Error _ as e -> e | Ok v -> f v in
+  let* () =
+    if cfg.resume && String.equal cfg.output "-" then
+      Error "serve: --resume needs --output FILE (the output is the journal)"
+    else Ok ()
+  in
+  (* Snapshot checkpoint, if resuming and one survives on disk. *)
+  let* checkpoint, resumed_from =
+    if not cfg.resume then Ok (None, None)
+    else
+      match cfg.snapshot_path with
+      | None -> Ok (None, None)
+      | Some path -> (
+          match Snapshot.load ~path with
+          | Ok (snap, gen) ->
+              if not (String.equal snap.Snapshot.algo scfg.Session.algo_name)
+              then
+                Error
+                  (Printf.sprintf
+                     "serve: snapshot was cut by algorithm %s, not %s"
+                     snap.Snapshot.algo scfg.Session.algo_name)
+              else
+                let where =
+                  match gen with
+                  | Snapshot.Current -> path
+                  | Snapshot.Previous -> path ^ ".prev"
+                in
+                Ok
+                  ( Some (Session.checkpoint_of_snapshot snap),
+                    Some
+                      (Printf.sprintf "%s (cursor %d)" where
+                         snap.Snapshot.cursor) )
+          | Error (Snapshot.Missing _) ->
+              (* First run under --resume: nothing to verify against;
+                 the journal alone still replays exactly. *)
+              Ok (None, None)
+          | Error e -> Error (Snapshot.error_to_string e))
+  in
+  let journal =
+    if cfg.resume && Sys.file_exists cfg.output then begin
+      let torn = truncate_torn_tail cfg.output in
+      if torn > 0 then
+        cfg.log
+          (Printf.sprintf "serve: truncated %d torn bytes off %s" torn
+             cfg.output);
+      Some (journal_reader cfg.output)
+    end
+    else None
+  in
+  let* () =
+    match (checkpoint, journal) with
+    | Some { Session.cursor; _ }, None when cursor > 0 ->
+        Error
+          (Printf.sprintf
+             "serve: snapshot cursor is %d but the journal %s is missing"
+             cursor cfg.output)
+    | _ -> Ok ()
+  in
+  let registry =
+    match cfg.metrics_out with
+    | Some _ -> Some (Dbp_obs.Metrics.create ())
+    | None -> None
+  in
+  let health = Option.map Dbp_obs.Health.create registry in
+  let trace_oc = Option.map open_out cfg.trace_out in
+  let observer =
+    Option.map
+      (fun oc ->
+        Dbp_obs.Trace.streaming_observer ~sink:(fun line ->
+            output_string oc line;
+            output_char oc '\n'))
+      trace_oc
+  in
+  let session =
+    Session.create ?metrics:registry ?observer ?journal ?checkpoint scfg
+  in
+  let out =
+    if String.equal cfg.output "-" then stdout
+    else if cfg.resume then
+      open_out_gen [ Open_wronly; Open_append; Open_binary ] 0o644 cfg.output
+    else open_out_bin cfg.output
+  in
+  let usr1 = ref false in
+  let prev_usr1 =
+    Sys.signal Sys.sigusr1 (Sys.Signal_handle (fun _ -> usr1 := true))
+  in
+  let stop = ref false in
+  let d =
+    {
+      session;
+      out;
+      cfg;
+      registry;
+      health;
+      usr1;
+      d_lines = 0;
+      d_emitted = 0;
+      d_replayed = 0;
+      d_snapshots = 0;
+      d_last_emit = None;
+    }
+  in
+  let finish_up () =
+    match Session.finish session with
+    | Error f -> Error (Session.fatal_to_string f)
+    | Ok () ->
+        (* A final snapshot makes a clean shutdown resume with zero
+           unverified replay. *)
+        if Option.is_some cfg.snapshot_path && scfg.Session.snapshot_every > 0
+        then save_snapshot d;
+        dump_metrics cfg registry;
+        Ok
+          {
+            lines = d.d_lines;
+            emitted = d.d_emitted;
+            placed = Session.placed session;
+            rejected = Session.rejected session;
+            skipped = Session.skipped session;
+            replayed = d.d_replayed;
+            snapshots = d.d_snapshots;
+            resumed_from;
+          }
+  in
+  let result =
+    match
+      match cfg.input with
+      | Stdin -> drive_channel d stdin
+      | In_file path ->
+          let ic = open_in path in
+          Fun.protect ~finally:(fun () -> close_in ic) (fun () ->
+              drive_channel d ic)
+      | In_socket path ->
+          let prev_int =
+            Sys.signal Sys.sigint (Sys.Signal_handle (fun _ -> stop := true))
+          and prev_term =
+            Sys.signal Sys.sigterm (Sys.Signal_handle (fun _ -> stop := true))
+          in
+          Fun.protect
+            ~finally:(fun () ->
+              Sys.set_signal Sys.sigint prev_int;
+              Sys.set_signal Sys.sigterm prev_term)
+            (fun () -> drive_socket d path ~stop)
+    with
+    | () -> finish_up ()
+    | exception Fatal_outcome f -> Error (Session.fatal_to_string f)
+  in
+  Sys.set_signal Sys.sigusr1 prev_usr1;
+  flush d.out;
+  if not (String.equal cfg.output "-") then close_out d.out;
+  Option.iter close_out trace_oc;
+  result
+
+let run cfg scfg =
+  match run_inner cfg scfg with
+  | r -> r
+  | exception Sys_error msg -> Error ("serve: " ^ msg)
+  | exception Unix.Unix_error (e, fn, arg) ->
+      Error
+        (Printf.sprintf "serve: %s(%s): %s" fn arg (Unix.error_message e))

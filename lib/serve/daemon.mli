@@ -1,0 +1,62 @@
+(** The [dbp serve] process shell: every byte of real IO in one module.
+
+    Everything decision-shaped lives in {!Session}; the daemon moves
+    lines between the input (stdin, a file, or a Unix-domain socket
+    server), the durable output/journal file, the snapshot files and the
+    metrics sink.  This module is the {e only} place in the tree allowed
+    to use Unix socket/file-descriptor/signal APIs (lint rule R9) — the
+    confinement that keeps every other library pure and testable.
+
+    Operational behaviour:
+    - Decision lines are flushed before any snapshot is cut, preserving
+      the invariant snapshot cursor <= durable journal lines.
+    - On [resume]: a torn final output line (the [kill -9] landed
+      mid-write) is truncated away, the journal is streamed back through
+      the session's replay mode, and only then does live output append.
+    - [SIGUSR1] dumps the metrics registry to [metrics_out] between
+      lines; so does end-of-stream.  SIGINT/SIGTERM in socket mode stop
+      the accept loop cleanly (final snapshot included).
+    - [crash_after] hard-kills the process ([SIGKILL] to self) after
+      that many emitted lines — the crash-injection hook the check.sh
+      smoke and the property tests use to make "kill at a random point"
+      reproducible.
+    - [throttle_us] sleeps between arrivals so an external killer can
+      reliably land mid-stream. *)
+
+type input =
+  | Stdin
+  | In_file of string
+  | In_socket of string  (** Unix-domain socket path; daemon binds it *)
+
+type config = {
+  input : input;
+  output : string;  (** decision/journal path; ["-"] = stdout (no resume) *)
+  snapshot_path : string option;
+  resume : bool;
+  metrics_out : string option;
+      (** [Some "-"] = stdout; [.json] suffix switches format *)
+  trace_out : string option;  (** JSONL decision trace (shed under load) *)
+  throttle_us : int;
+  crash_after : int option;
+  max_arrivals : int option;  (** stop after this many input lines *)
+  log : string -> unit;  (** operator chatter; the CLI points it at stderr *)
+}
+
+val default_config : config
+(** stdin -> stdout, no snapshots, no resume, silent log. *)
+
+type stats = {
+  lines : int;
+  emitted : int;  (** decision lines written by {e this} process *)
+  placed : int;
+  rejected : int;
+  skipped : int;
+  replayed : int;  (** journal entries consumed during resume *)
+  snapshots : int;
+  resumed_from : string option;  (** description of the snapshot used *)
+}
+
+val run : config -> Session.config -> (stats, string) result
+(** Run to end-of-input (or a fatal).  [Error] is a rendered
+    {!Session.fatal}, snapshot-load failure, or configuration defect;
+    the CLI prints it and exits non-zero. *)

@@ -1,0 +1,62 @@
+type reason = Overload | Out_of_order | Duplicate
+
+type t =
+  | Placed of { seq : int; job : int; bin : int; opened : bool; time : float }
+  | Rejected of { seq : int; job : int; reason : reason; time : float }
+
+let seq = function Placed { seq; _ } | Rejected { seq; _ } -> seq
+
+let reason_name = function
+  | Overload -> "overload"
+  | Out_of_order -> "out_of_order"
+  | Duplicate -> "duplicate"
+
+let reason_of_name = function
+  | "overload" -> Some Overload
+  | "out_of_order" -> Some Out_of_order
+  | "duplicate" -> Some Duplicate
+  | _ -> None
+
+let render = function
+  | Placed { seq; job; bin; opened; time } ->
+      Printf.sprintf "{\"seq\":%d,\"job\":%d,\"bin\":%d,\"opened\":%b,\"t\":%s}"
+        seq job bin opened
+        (Json_lite.fmt_num time)
+  | Rejected { seq; job; reason; time } ->
+      Printf.sprintf "{\"seq\":%d,\"job\":%d,\"rejected\":\"%s\",\"t\":%s}" seq
+        job (reason_name reason)
+        (Json_lite.fmt_num time)
+
+let parse line =
+  match Json_lite.parse_object line with
+  | Error e -> Error e
+  | Ok fields -> (
+      let ( let* ) r f = match r with Error _ as e -> e | Ok v -> f v in
+      let* seq = Json_lite.int_field fields "seq" in
+      let* job = Json_lite.int_field fields "job" in
+      let* time = Json_lite.num_field fields "t" in
+      match Json_lite.field fields "rejected" with
+      | Some (Str name) -> (
+          match reason_of_name name with
+          | Some reason -> Ok (Rejected { seq; job; reason; time })
+          | None -> Error (Printf.sprintf "unknown rejection reason %S" name))
+      | Some _ -> Error "field \"rejected\" is not a string"
+      | None -> (
+          let* bin = Json_lite.int_field fields "bin" in
+          match Json_lite.field fields "opened" with
+          | Some (Bool opened) -> Ok (Placed { seq; job; bin; opened; time })
+          | Some _ -> Error "field \"opened\" is not a boolean"
+          | None -> Error "missing field \"opened\""))
+
+let equal a b =
+  match (a, b) with
+  | ( Placed { seq = s1; job = j1; bin = b1; opened = o1; time = t1 },
+      Placed { seq = s2; job = j2; bin = b2; opened = o2; time = t2 } ) ->
+      s1 = s2 && j1 = j2 && b1 = b2 && Bool.equal o1 o2
+      && Int64.equal (Int64.bits_of_float t1) (Int64.bits_of_float t2)
+  | ( Rejected { seq = s1; job = j1; reason = r1; time = t1 },
+      Rejected { seq = s2; job = j2; reason = r2; time = t2 } ) ->
+      s1 = s2 && j1 = j2
+      && String.equal (reason_name r1) (reason_name r2)
+      && Int64.equal (Int64.bits_of_float t1) (Int64.bits_of_float t2)
+  | _ -> false

@@ -1,0 +1,34 @@
+(** The [dbp serve] output line format: exactly one line per
+    well-formed arrival, in input order.
+
+    {[ {"seq":12,"job":345,"bin":3,"opened":true,"t":17.25}
+       {"seq":13,"job":346,"rejected":"overload","t":17.5}    ]}
+
+    [seq] numbers decision lines from 0 with no gaps, so the output
+    file doubles as the crash-recovery {e journal}: line [k] is the
+    outcome of the [k]-th well-formed arrival, and [--resume] replays
+    the input against the journal line-by-line (DESIGN.md section 14).
+    Rendering is byte-stable ({!Json_lite.fmt_num}), which is what makes
+    "resume ⇒ byte-identical stream" a checkable contract. *)
+
+type reason =
+  | Overload  (** admission control at the top ladder rung *)
+  | Out_of_order  (** arrival time before an already-admitted arrival *)
+  | Duplicate  (** job id already active *)
+
+type t =
+  | Placed of { seq : int; job : int; bin : int; opened : bool; time : float }
+  | Rejected of { seq : int; job : int; reason : reason; time : float }
+
+val seq : t -> int
+val reason_name : reason -> string
+
+val render : t -> string
+(** One line, no trailing newline. *)
+
+val parse : string -> (t, string) result
+(** Inverse of {!render} (used by resume to read the journal back).
+    Total: never raises. *)
+
+val equal : t -> t -> bool
+(** Structural, with times compared by bits (journal lines are exact). *)

@@ -1,0 +1,162 @@
+(* Total flat-JSON-object scanner (see the interface for why this is
+   hand-rolled).  Index-based with explicit bounds checks everywhere:
+   the only exception crossing any function here is the internal [Fail],
+   caught before returning. *)
+
+type value = Num of float | Str of string | Bool of bool | Null
+
+exception Fail of string
+
+let fail at reason = raise (Fail (Printf.sprintf "%s at byte %d" reason at))
+
+let is_ws = function ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+
+(* Characters that can start or continue a JSON number, plus the forms
+   [float_of_string] accepts that we re-reject below. *)
+let is_num_char = function
+  | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+  | _ -> false
+
+let parse_object s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let skip_ws () =
+    while !pos < n && is_ws s.[!pos] do
+      incr pos
+    done
+  in
+  let expect c what =
+    if !pos < n && Char.equal s.[!pos] c then incr pos
+    else fail !pos ("expected " ^ what)
+  in
+  let parse_string () =
+    expect '"' "'\"'";
+    let buf = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then fail !pos "unterminated string"
+      else
+        match s.[!pos] with
+        | '"' -> incr pos
+        | '\\' ->
+            if !pos + 1 >= n then fail !pos "unterminated escape"
+            else begin
+              (let c = s.[!pos + 1] in
+               match c with
+               | '"' | '\\' | '/' -> Buffer.add_char buf c
+               | 'n' -> Buffer.add_char buf '\n'
+               | 't' -> Buffer.add_char buf '\t'
+               | 'r' -> Buffer.add_char buf '\r'
+               | 'b' -> Buffer.add_char buf '\b'
+               | 'f' -> Buffer.add_char buf '\012'
+               | _ -> fail !pos "unsupported escape");
+              pos := !pos + 2;
+              go ()
+            end
+        | c ->
+            Buffer.add_char buf c;
+            incr pos;
+            go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let parse_number () =
+    let start = !pos in
+    while !pos < n && is_num_char s.[!pos] do
+      incr pos
+    done;
+    if !pos = start then fail start "expected a value";
+    let tok = String.sub s start (!pos - start) in
+    (* float_of_string also accepts 0x literals and '_' separators;
+       neither appears in JSON, and both are rejected by the character
+       class above.  What it rejects ("-", "1.2.3", ...) we report. *)
+    match float_of_string_opt tok with
+    | Some v -> Num v
+    | None -> fail start ("bad number " ^ String.escaped tok)
+  in
+  let parse_word w v =
+    let l = String.length w in
+    if !pos + l <= n && String.equal (String.sub s !pos l) w then begin
+      pos := !pos + l;
+      v
+    end
+    else fail !pos "expected a value"
+  in
+  let parse_value () =
+    if !pos >= n then fail !pos "expected a value"
+    else
+      match s.[!pos] with
+      | '"' -> Str (parse_string ())
+      | 't' -> parse_word "true" (Bool true)
+      | 'f' -> parse_word "false" (Bool false)
+      | 'n' -> parse_word "null" Null
+      | '{' | '[' -> fail !pos "nested values unsupported"
+      | _ -> parse_number ()
+  in
+  match
+    skip_ws ();
+    expect '{' "'{'";
+    let fields = ref [] in
+    skip_ws ();
+    if !pos < n && Char.equal s.[!pos] '}' then incr pos
+    else begin
+      let continue = ref true in
+      while !continue do
+        skip_ws ();
+        let key = parse_string () in
+        if List.mem_assoc key !fields then fail !pos ("duplicate key " ^ key);
+        skip_ws ();
+        expect ':' "':'";
+        skip_ws ();
+        let v = parse_value () in
+        fields := (key, v) :: !fields;
+        skip_ws ();
+        if !pos < n && Char.equal s.[!pos] ',' then incr pos
+        else begin
+          expect '}' "',' or '}'";
+          continue := false
+        end
+      done
+    end;
+    skip_ws ();
+    if !pos <> n then fail !pos "trailing bytes after object";
+    List.rev !fields
+  with
+  | fields -> Ok fields
+  | exception Fail msg -> Error msg
+
+let field fields name = List.assoc_opt name fields
+
+let num_field fields name =
+  match field fields name with
+  | Some (Num v) -> Ok v
+  | Some _ -> Error (Printf.sprintf "field %S is not a number" name)
+  | None -> Error (Printf.sprintf "missing field %S" name)
+
+let int_field fields name =
+  match num_field fields name with
+  | Error _ as e -> e
+  | Ok v ->
+      if Float.is_integer v && Float.abs v <= 4503599627370496. then
+        Ok (int_of_float v)
+      else Error (Printf.sprintf "field %S is not an integer" name)
+
+let fmt_num v =
+  if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.17g" v
+
+let escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 32 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf

@@ -1,0 +1,46 @@
+(** A total, flat, single-line JSON object codec for the serve wire
+    protocols.
+
+    The repo deliberately carries no JSON dependency; the streaming
+    daemon's line formats (arrivals in, decisions out) are flat objects
+    of numbers, strings and booleans, so this hand-rolled scanner covers
+    exactly that subset.  Two properties matter more than generality:
+
+    - {b Totality}: {!parse_object} never raises, whatever the input —
+      embedded NUL bytes, truncated UTF-8, multi-megabyte garbage.  The
+      malformed-input contract of [dbp serve] (skip and count bad lines)
+      rests on this, and the qcheck fuzz suite feeds it arbitrary byte
+      strings to prove it.
+    - {b Byte-stable rendering}: {!fmt_num} renders integral floats bare
+      and everything else with enough digits ([%.17g]) to round-trip
+      exactly, so a rendered line re-parses to the very same floats —
+      the crash-resume replay depends on decision lines being exact.
+
+    Nested arrays/objects are rejected as malformed (no arrival or
+    decision line ever contains one). *)
+
+type value =
+  | Num of float
+  | Str of string
+  | Bool of bool
+  | Null
+
+val parse_object : string -> ((string * value) list, string) result
+(** Parse one [{"key":value,...}] object covering the whole (whitespace
+    trimmed) input.  Fields come back in input order; duplicate keys are
+    an error.  Never raises. *)
+
+val field : (string * value) list -> string -> value option
+
+val num_field : (string * value) list -> string -> (float, string) result
+(** The named field as a number, or an error naming what went wrong. *)
+
+val int_field : (string * value) list -> string -> (int, string) result
+(** {!num_field} restricted to exactly-representable integers. *)
+
+val fmt_num : float -> string
+(** Integral floats bare ([%.0f]), others [%.17g]: shortest rendering
+    that still round-trips bit-exactly through {!parse_object}. *)
+
+val escape : string -> string
+(** JSON string-literal escaping (quotes, backslash, control bytes). *)

@@ -1,0 +1,15 @@
+open Dbp_online
+
+let algorithms () =
+  [
+    ("first-fit", Any_fit.first_fit);
+    ("best-fit", Any_fit.best_fit);
+    ("worst-fit", Any_fit.worst_fit);
+    ("next-fit", Any_fit.next_fit);
+    ("hybrid-ff", Hybrid_first_fit.make ());
+    ("cbdt-ff", Classify_departure.make ~rho:4. ());
+    ("cbd-ff", Classify_duration.make ~alpha:2. ());
+  ]
+
+let names () = List.map fst (algorithms ())
+let by_name name = List.assoc_opt name (algorithms ())

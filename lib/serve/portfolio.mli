@@ -1,0 +1,16 @@
+(** The serve algorithm portfolio: the deterministic engines the daemon
+    can drive, keyed by the stable names snapshots and the CLI use.
+
+    Tuned variants ([Classify_*.tuned]) need a materialised instance to
+    pick their parameters from; a daemon has none, so the classify
+    entries here use fixed defaults ([rho = 4], [alpha = 2]).  Randomised
+    algorithms are excluded: crash-resume replays decisions through a
+    fresh stepper, which only reproduces the stream when the algorithm
+    is a pure function of the arrival/departure sequence. *)
+
+val algorithms : unit -> (string * Dbp_online.Engine.t) list
+(** Fresh engine values each call (steppers are stateful factories). *)
+
+val names : unit -> string list
+
+val by_name : string -> Dbp_online.Engine.t option

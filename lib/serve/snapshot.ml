@@ -1,0 +1,159 @@
+type t = {
+  algo : string;
+  cursor : int;
+  placed : int;
+  rejected : int;
+  skipped : int;
+  bins_ever : int;
+  shed_transitions : int;
+  coarsen_transitions : int;
+  reject_transitions : int;
+  engine_digest : string;
+}
+
+type generation = Current | Previous
+
+type error =
+  | Missing of string
+  | Unreadable of { path : string; cause : string }
+
+let error_to_string = function
+  | Missing path -> Printf.sprintf "no snapshot at %s" path
+  | Unreadable { path; cause } -> Printf.sprintf "snapshot %s: %s" path cause
+
+let to_payload t =
+  String.concat "\n"
+    [
+      "format=dbp-serve-snapshot";
+      "algo=" ^ t.algo;
+      Printf.sprintf "cursor=%d" t.cursor;
+      Printf.sprintf "placed=%d" t.placed;
+      Printf.sprintf "rejected=%d" t.rejected;
+      Printf.sprintf "skipped=%d" t.skipped;
+      Printf.sprintf "bins_ever=%d" t.bins_ever;
+      Printf.sprintf "shed_transitions=%d" t.shed_transitions;
+      Printf.sprintf "coarsen_transitions=%d" t.coarsen_transitions;
+      Printf.sprintf "reject_transitions=%d" t.reject_transitions;
+      "engine_digest=" ^ t.engine_digest;
+      "";
+    ]
+
+let of_payload s =
+  let kvs =
+    String.split_on_char '\n' s
+    |> List.filter (fun l -> l <> "")
+    |> List.map (fun l ->
+           match String.index_opt l '=' with
+           | Some i ->
+               Ok
+                 ( String.sub l 0 i,
+                   String.sub l (i + 1) (String.length l - i - 1) )
+           | None -> Error (Printf.sprintf "payload line %S has no '='" l))
+  in
+  match List.find_opt (function Error _ -> true | Ok _ -> false) kvs with
+  | Some (Error e) -> Error e
+  | _ -> (
+      let kvs = List.filter_map Result.to_option kvs in
+      let str k =
+        match List.assoc_opt k kvs with
+        | Some v -> Ok v
+        | None -> Error (Printf.sprintf "payload missing %S" k)
+      in
+      let int k =
+        match str k with
+        | Error _ as e -> e
+        | Ok v -> (
+            match int_of_string_opt v with
+            | Some i when i >= 0 -> Ok i
+            | _ -> Error (Printf.sprintf "payload field %S: bad count %S" k v))
+      in
+      let ( let* ) r f = match r with Error _ as e -> e | Ok v -> f v in
+      let* fmt = str "format" in
+      if fmt <> "dbp-serve-snapshot" then
+        Error (Printf.sprintf "unknown payload format %S" fmt)
+      else
+        let* algo = str "algo" in
+        let* cursor = int "cursor" in
+        let* placed = int "placed" in
+        let* rejected = int "rejected" in
+        let* skipped = int "skipped" in
+        let* bins_ever = int "bins_ever" in
+        let* shed_transitions = int "shed_transitions" in
+        let* coarsen_transitions = int "coarsen_transitions" in
+        let* reject_transitions = int "reject_transitions" in
+        let* engine_digest = str "engine_digest" in
+        (* Strictness cuts both ways: a key this version does not know
+           is just as diagnostic of a mismatched writer as a missing
+           one. *)
+        let known =
+          [
+            "format"; "algo"; "cursor"; "placed"; "rejected"; "skipped";
+            "bins_ever"; "shed_transitions"; "coarsen_transitions";
+            "reject_transitions"; "engine_digest";
+          ]
+        in
+        let* () =
+          match
+            List.find_opt (fun (k, _) -> not (List.mem k known)) kvs
+          with
+          | Some (k, _) -> Error (Printf.sprintf "unknown payload field %S" k)
+          | None -> Ok ()
+        in
+        Ok
+          {
+            algo;
+            cursor;
+            placed;
+            rejected;
+            skipped;
+            bins_ever;
+            shed_transitions;
+            coarsen_transitions;
+            reject_transitions;
+            engine_digest;
+          })
+
+let write_file path content =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc content)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let save ~path t =
+  let tmp = path ^ ".tmp" in
+  write_file tmp (Wire.encode (to_payload t));
+  if Sys.file_exists path then Sys.rename path (path ^ ".prev");
+  Sys.rename tmp path
+
+let load_one path =
+  if not (Sys.file_exists path) then Error (Missing path)
+  else
+    match read_file path with
+    | exception Sys_error e -> Error (Unreadable { path; cause = e })
+    | bytes -> (
+        match Wire.decode bytes with
+        | Error c ->
+            Error (Unreadable { path; cause = Wire.corruption_to_string c })
+        | Ok payload -> (
+            match of_payload payload with
+            | Error e -> Error (Unreadable { path; cause = e })
+            | Ok t -> Ok t))
+
+let load ~path =
+  match load_one path with
+  | Ok t -> Ok (t, Current)
+  | Error current -> (
+      match load_one (path ^ ".prev") with
+      | Ok t -> Ok (t, Previous)
+      | Error prev -> (
+          (* Report the current generation's defect; "missing outright"
+             defers to whatever the fallback said. *)
+          match current with
+          | Missing _ -> Error prev
+          | _ -> Error current))

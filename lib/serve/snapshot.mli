@@ -1,0 +1,57 @@
+(** Durable serve snapshots: what survives a [kill -9].
+
+    A snapshot is a {e cheap equality token}, not the engine state: the
+    journal (the decision output file) already determines the state by
+    deterministic replay, in the spirit of [Resilient.checkpoint], so
+    the snapshot only records the cursor (how many decision lines were
+    durable when it was taken), the running counters, and the engine's
+    MD5 state digest to verify the replay against.  Resume never
+    {e needs} a snapshot — the journal alone suffices — but with one it
+    can prove the replayed state matches the crashed process bit-for-bit
+    before emitting a single new line.
+
+    Durability protocol ({!save}): write to [path ^ ".tmp"], rename over
+    [path] (atomic on POSIX), after first rotating any existing [path]
+    to [path ^ ".prev"].  {!load} tries [path] then falls back to the
+    previous generation, so a crash {e during} a snapshot write never
+    loses crash safety — at worst it costs one cadence of extra replay.
+    The container format (magic, version, length prefix, digest trailer)
+    is {!Wire}'s. *)
+
+type t = {
+  algo : string;  (** serve portfolio name *)
+  cursor : int;  (** decision lines durable when the snapshot was cut *)
+  placed : int;
+  rejected : int;
+  skipped : int;
+  bins_ever : int;
+  shed_transitions : int;
+  coarsen_transitions : int;
+  reject_transitions : int;
+  engine_digest : string;  (** {!Stream_engine.digest} at [cursor] *)
+}
+
+type generation = Current | Previous
+
+type error =
+  | Missing of string
+  | Unreadable of { path : string; cause : string }
+      (** [cause] renders the wire corruption or payload defect,
+          digests included. *)
+
+val error_to_string : error -> string
+
+val to_payload : t -> string
+(** The versioned [k=v] text payload (before {!Wire.encode}). *)
+
+val of_payload : string -> (t, string) result
+(** Total inverse of {!to_payload}. *)
+
+val save : path:string -> t -> unit
+(** Rotate-then-rename durable write (see the preamble).
+    @raise Sys_error if the filesystem says no. *)
+
+val load : path:string -> (t * generation, error) result
+(** Read and verify [path]; on any defect fall back to [path ^ ".prev"].
+    The error reported is the {e current} generation's (the fallback's
+    only when the current file is missing outright). *)

@@ -1,0 +1,221 @@
+(* Live-state-only engine (see the interface).  The bookkeeping mirrors
+   Dbp_faults.Resilient bin-for-bin — same level arithmetic, same
+   callback order — except that closed bins are physically evicted
+   instead of kept with active = 0. *)
+
+open Dbp_core
+module E = Dbp_online.Engine
+
+type bin = {
+  idx : int;
+  opened_at : float;
+  mutable level : float;
+  mutable active : int;
+  mutable residents : Item.t list;  (* reverse placement order *)
+  mutable prev : int;  (* open-list links by bin index; -1 = none *)
+  mutable next : int;
+}
+
+type t = {
+  algo : E.t;
+  stepper : E.stepper;
+  bins : (int, bin) Hashtbl.t;  (* open bins only *)
+  active_ids : (int, unit) Hashtbl.t;
+  departures : (float * Item.t * int) Heap.t;  (* (departure, item, bin) *)
+  mutable head : int;
+  mutable tail : int;
+  mutable bins_ever : int;
+  mutable placed : int;
+  mutable departed : int;
+  mutable clock : float;  (* last arrival instant processed *)
+  mutable obs : Observer.t option;
+}
+
+(* Departures pop in (time, id) order: the Event stream's tie-break, so
+   a drain processes exactly the batch Engine's departure sequence. *)
+let dep_cmp (t1, i1, _) (t2, i2, _) =
+  let c = Float.compare t1 t2 in
+  if c <> 0 then c else Int.compare (Item.id i1) (Item.id i2)
+
+let create ?observer algo =
+  {
+    algo;
+    stepper = algo.E.make ();
+    bins = Hashtbl.create 64;
+    active_ids = Hashtbl.create 64;
+    departures = Heap.create ~cmp:dep_cmp ();
+    head = -1;
+    tail = -1;
+    bins_ever = 0;
+    placed = 0;
+    departed = 0;
+    clock = Float.neg_infinity;
+    obs = observer;
+  }
+
+let set_observer t obs = t.obs <- obs
+
+let bin_of t idx =
+  match Hashtbl.find_opt t.bins idx with
+  | Some lb -> lb
+  | None -> invalid_arg "Stream_engine.bin_of: not an open bin"
+
+let append_bin t now =
+  let idx = t.bins_ever in
+  t.bins_ever <- idx + 1;
+  let lb =
+    { idx; opened_at = now; level = 0.; active = 0; residents = [];
+      prev = t.tail; next = -1 }
+  in
+  Hashtbl.replace t.bins idx lb;
+  if t.tail >= 0 then (bin_of t t.tail).next <- idx else t.head <- idx;
+  t.tail <- idx;
+  lb
+
+let unlink t lb =
+  if lb.prev >= 0 then (bin_of t lb.prev).next <- lb.next
+  else t.head <- lb.next;
+  if lb.next >= 0 then (bin_of t lb.next).prev <- lb.prev
+  else t.tail <- lb.prev;
+  lb.prev <- -1;
+  lb.next <- -1
+
+(* Open-bin views in index order — the list [decide] receives.  [state]
+   rebuilds the bin from the residents captured now, so forcing it later
+   still sees this instant. *)
+let views t =
+  let rec go idx acc =
+    if idx < 0 then List.rev acc
+    else
+      let lb = bin_of t idx in
+      let index = lb.idx and residents = lb.residents in
+      go lb.next
+        ({
+           E.index;
+           opened_at = lb.opened_at;
+           level = lb.level;
+           state =
+             lazy (Bin_state.of_placement ~index (List.rev residents));
+         }
+        :: acc)
+  in
+  go t.head []
+
+let depart t ~now item idx =
+  let lb = bin_of t idx in
+  lb.active <- lb.active - 1;
+  lb.level <- (if lb.active = 0 then 0. else lb.level -. Item.size item);
+  lb.residents <-
+    List.filter (fun r -> Item.id r <> Item.id item) lb.residents;
+  Hashtbl.remove t.active_ids (Item.id item);
+  t.departed <- t.departed + 1;
+  if lb.active = 0 then begin
+    unlink t lb;
+    Hashtbl.remove t.bins lb.idx
+  end;
+  (match t.obs with
+  | Some o ->
+      o.Observer.on_departure ~time:now ~item;
+      if lb.active = 0 then o.Observer.on_close_bin ~time:now ~bin:lb.idx
+  | None -> ());
+  t.stepper.E.departed item
+
+let drain_until t upto =
+  let rec go () =
+    match Heap.peek t.departures with
+    | Some (at, item, idx) when at <= upto ->
+        ignore (Heap.pop t.departures);
+        depart t ~now:at item idx;
+        go ()
+    | _ -> ()
+  in
+  go ()
+
+type placement = { bin : int; opened : bool }
+
+let do_place t lb item =
+  lb.active <- lb.active + 1;
+  lb.level <- lb.level +. Item.size item;
+  lb.residents <- item :: lb.residents;
+  Hashtbl.replace t.active_ids (Item.id item) ();
+  Heap.push t.departures (Item.departure item, item, lb.idx);
+  t.placed <- t.placed + 1;
+  (match t.obs with
+  | Some o -> o.Observer.on_place ~time:(Item.arrival item) ~item ~bin:lb.idx
+  | None -> ());
+  t.stepper.E.notify ~item ~index:lb.idx
+
+let arrive t item =
+  let now = Item.arrival item in
+  if now < t.clock then
+    invalid_arg "Stream_engine.arrive: arrivals must be time-ordered";
+  drain_until t now;
+  t.clock <- now;
+  (match t.obs with
+  | Some o -> o.Observer.on_arrival ~time:now ~item
+  | None -> ());
+  let decision = t.stepper.E.decide ~now ~open_bins:(views t) item in
+  (match t.obs with
+  | Some o ->
+      o.Observer.on_decision ~time:now ~item
+        ~bin:(match decision with E.Place i -> Some i | E.Open_new -> None)
+  | None -> ());
+  match decision with
+  | E.Open_new ->
+      let lb = append_bin t now in
+      (match t.obs with
+      | Some o -> o.Observer.on_open_bin ~time:now ~bin:lb.idx
+      | None -> ());
+      do_place t lb item;
+      Ok { bin = lb.idx; opened = true }
+  | E.Place idx -> (
+      match Hashtbl.find_opt t.bins idx with
+      | None ->
+          if idx >= 0 && idx < t.bins_ever then
+            Error (E.Closed_bin { algo = t.algo.E.name; bin = idx; time = now })
+          else
+            Error (E.Unknown_bin { algo = t.algo.E.name; bin = idx; time = now })
+      | Some lb ->
+          if
+            lb.level +. Item.size item
+            > Bin_state.capacity +. Bin_state.tolerance
+          then
+            Error
+              (E.Overflow { algo = t.algo.E.name; item; bin = idx; time = now })
+          else begin
+            do_place t lb item;
+            Ok { bin = idx; opened = false }
+          end)
+
+let is_active t id = Hashtbl.mem t.active_ids id
+
+let digest t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "ever=%d placed=%d departed=%d active=%d clock=%Lx;"
+       t.bins_ever t.placed t.departed
+       (Hashtbl.length t.active_ids)
+       (Int64.bits_of_float t.clock));
+  let rec go idx =
+    if idx >= 0 then begin
+      let lb = bin_of t idx in
+      Buffer.add_string buf
+        (Printf.sprintf "b%d:%d:%Lx:%Lx[" lb.idx lb.active
+           (Int64.bits_of_float lb.level)
+           (Int64.bits_of_float lb.opened_at));
+      List.iter
+        (fun r -> Buffer.add_string buf (Printf.sprintf "%d," (Item.id r)))
+        lb.residents;
+      Buffer.add_string buf "]";
+      go lb.next
+    end
+  in
+  go t.head;
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
+let bins_ever t = t.bins_ever
+let placed t = t.placed
+let departed t = t.departed
+let open_bins t = Hashtbl.length t.bins
+let open_jobs t = Hashtbl.length t.active_ids
+let algo_name t = t.algo.E.name

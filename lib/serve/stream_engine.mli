@@ -1,0 +1,75 @@
+(** The incremental, bounded-memory online packing engine behind
+    [dbp serve].
+
+    The batch engines ([Dbp_online.Engine]) hold a whole instance and
+    fold its event stream; a daemon cannot — it sees one arrival at a
+    time and must run forever.  This engine keeps {e only} live state:
+
+    - a hashtable of {b open} bins (closed bins are evicted the instant
+      their last resident departs — index, levels, residents, all of it);
+    - a min-heap of pending departures, one entry per {b active} job;
+    - a doubly-linked open list in opening (index) order, so decide
+      views materialise in O(open bins) without touching history.
+
+    Resident memory is therefore O(open jobs), independent of how many
+    arrivals the process has absorbed — the soak test in [bench serve]
+    streams 10^6 arrivals under a hard major-heap ceiling to pin this.
+
+    Decisions are {b bit-identical} to [Engine.run] on the same arrival
+    sequence: views carry the same index/opened_at/level the reference
+    engine computes (level arithmetic mirrored operation-for-operation),
+    departures drain before arrivals at equal times with the same
+    (time, id) tie-break, and observer callbacks fire in the engine's
+    documented order.  The serve differential suite runs every portfolio
+    algorithm against [Engine.run] to enforce this.  The one deliberate
+    divergence: a view's lazy [state] rebuilds the bin from its {e
+    active} residents only (history is evicted), so algorithms that read
+    departed items out of [state] — none in the serve portfolio — are
+    out of contract.
+
+    Arrivals must be fed in nondecreasing time order ({!arrive} raises
+    [Invalid_argument] otherwise — {!Session} rejects out-of-order input
+    before it gets here), and active ids must be unique (the session
+    rejects duplicates). *)
+
+open Dbp_core
+module E := Dbp_online.Engine
+
+type t
+
+type placement = { bin : int; opened : bool }
+
+val create : ?observer:Observer.t -> E.t -> t
+(** A fresh engine driving a fresh plain stepper of the algorithm. *)
+
+val set_observer : t -> Observer.t option -> unit
+(** Swap the observer mid-stream (the shedding rung detaches it).
+    Observation never influences decisions. *)
+
+val arrive : t -> Item.t -> (placement, E.error) result
+(** Drain every departure due at or before the item's arrival instant,
+    then put the arrival to the algorithm and apply its decision.
+    Structured errors are the algorithm's bugs, exactly as in
+    [Engine.run_result].
+    @raise Invalid_argument if time runs backwards. *)
+
+val drain_until : t -> float -> unit
+(** Process departures due [<= t] without an arrival (final flush). *)
+
+val is_active : t -> int -> bool
+(** Is a job with this id currently placed? *)
+
+val digest : t -> string
+(** MD5 hex over the live state (counters, open bins in index order,
+    levels by bits, resident ids) — the equality token snapshots carry,
+    in the spirit of [Resilient.checkpoint]. *)
+
+(** {2 Counters} (monotone except the instantaneous two) *)
+
+val bins_ever : t -> int
+val placed : t -> int
+val departed : t -> int
+val open_bins : t -> int
+val open_jobs : t -> int
+
+val algo_name : t -> string

@@ -1,0 +1,65 @@
+let magic = "DBPSNAP"
+let version = 1
+let header_len = String.length magic + 1 + 4 (* magic, version, length *)
+let digest_len = 16
+
+type corruption =
+  | Truncated of { expected : int; actual : int }
+  | Bad_magic
+  | Bad_version of int
+  | Digest_mismatch of { expected : string; actual : string }
+  | Trailing_garbage of { extra : int }
+
+let corruption_to_string = function
+  | Truncated { expected; actual } ->
+      Printf.sprintf "snapshot truncated: %d bytes expected, %d present"
+        expected actual
+  | Bad_magic -> "not a dbp serve snapshot (bad magic)"
+  | Bad_version v -> Printf.sprintf "unsupported snapshot version %d" v
+  | Digest_mismatch { expected; actual } ->
+      Printf.sprintf
+        "snapshot payload digest %s disagrees with trailer %s (torn write?)"
+        actual expected
+  | Trailing_garbage { extra } ->
+      Printf.sprintf "%d trailing bytes after the snapshot" extra
+
+let encode payload =
+  let n = String.length payload in
+  let buf = Buffer.create (header_len + n + digest_len) in
+  Buffer.add_string buf magic;
+  Buffer.add_char buf (Char.chr version);
+  Buffer.add_char buf (Char.chr ((n lsr 24) land 0xff));
+  Buffer.add_char buf (Char.chr ((n lsr 16) land 0xff));
+  Buffer.add_char buf (Char.chr ((n lsr 8) land 0xff));
+  Buffer.add_char buf (Char.chr (n land 0xff));
+  Buffer.add_string buf payload;
+  Buffer.add_string buf (Digest.string payload);
+  Buffer.contents buf
+
+let decode s =
+  let len = String.length s in
+  if len < header_len then Error (Truncated { expected = header_len; actual = len })
+  else if not (String.equal (String.sub s 0 (String.length magic)) magic) then
+    Error Bad_magic
+  else
+    let v = Char.code s.[String.length magic] in
+    if v <> version then Error (Bad_version v)
+    else
+      let off = String.length magic + 1 in
+      let b i = Char.code s.[off + i] in
+      let n = (b 0 lsl 24) lor (b 1 lsl 16) lor (b 2 lsl 8) lor b 3 in
+      let expected = header_len + n + digest_len in
+      if len < expected then Error (Truncated { expected; actual = len })
+      else if len > expected then Error (Trailing_garbage { extra = len - expected })
+      else
+        let payload = String.sub s header_len n in
+        let trailer = String.sub s (header_len + n) digest_len in
+        let actual = Digest.string payload in
+        if String.equal trailer actual then Ok payload
+        else
+          Error
+            (Digest_mismatch
+               {
+                 expected = Digest.to_hex trailer;
+                 actual = Digest.to_hex actual;
+               })

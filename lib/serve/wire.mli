@@ -1,0 +1,39 @@
+(** The snapshot container format: how a serve snapshot sits on disk.
+
+    {[  offset  size  field
+        0       7     magic   "DBPSNAP"
+        7       1     version (0x01)
+        8       4     payload length, big-endian u32
+        12      n     payload bytes
+        12+n    16    MD5 of the payload (raw bytes)              ]}
+
+    Every way a write can tear is a distinct, detected condition:
+    {!Truncated} (header or body cut short — carries expected vs actual
+    byte counts), {!Bad_magic}/{!Bad_version} (not a snapshot at all, or
+    a future format), {!Digest_mismatch} (body length right, bytes
+    wrong — carries both digests, satisfying the "operators can tell
+    torn write from wrong inputs from the error alone" contract).
+    {!decode} never raises on any byte string; the corruption tests
+    flip/cut bytes at every offset class. *)
+
+type corruption =
+  | Truncated of { expected : int; actual : int }
+      (** Fewer bytes than the header (or the header's length field)
+          promises. *)
+  | Bad_magic
+  | Bad_version of int
+  | Digest_mismatch of { expected : string; actual : string }
+      (** MD5 hex of what the trailer claims vs what the payload hashes
+          to. *)
+  | Trailing_garbage of { extra : int }
+      (** Well-formed snapshot followed by [extra] unexplained bytes. *)
+
+val corruption_to_string : corruption -> string
+
+val version : int
+
+val encode : string -> string
+(** Wrap a payload: header + payload + digest trailer. *)
+
+val decode : string -> (string, corruption) result
+(** Unwrap and verify.  Total: never raises. *)

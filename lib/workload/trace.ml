@@ -90,10 +90,22 @@ let of_string s =
   in
   try Instance.of_items items with Invalid_argument msg -> fail 1 "%s" msg
 
+(* Unlike {!of_string}, the lenient variant is total: a missing header
+   (or an empty trace) is itself just a recorded defect, and the rows
+   are parsed as if the header were present.  The serve fuzz suite feeds
+   this arbitrary byte strings to keep it that way. *)
 let of_string_lenient s =
-  let rows = rows_of_string s in
-  let seen = Hashtbl.create 64 in
   let errors = ref [] in
+  let rows =
+    match rows_of_string s with
+    | rows -> rows
+    | exception Parse_error (lineno, msg) ->
+        errors := [ (lineno, msg) ];
+        String.split_on_char '\n' s
+        |> List.mapi (fun i l -> (i + 1, String.trim l))
+        |> List.filter (fun (_, l) -> l <> "" && l.[0] <> '#')
+  in
+  let seen = Hashtbl.create 64 in
   let items =
     List.filter_map
       (fun (n, l) ->
@@ -109,7 +121,11 @@ let of_string_lenient s =
       rows
   in
   let instance =
-    try Instance.of_items items with Invalid_argument msg -> fail 1 "%s" msg
+    match Instance.of_items items with
+    | instance -> instance
+    | exception Invalid_argument msg ->
+        errors := (1, msg) :: !errors;
+        Instance.of_items []
   in
   (instance, List.rev !errors)
 

@@ -31,14 +31,14 @@ val of_string_lenient : string -> Instance.t * (int * string) list
 (** Best-effort parse for dirty traces: every row [of_string] would
     reject is skipped and reported as [(line, complaint)], in line
     order; the instance is built from the surviving rows (a duplicate
-    id keeps the first occurrence).  An empty or headerless trace is
-    structural, not a row problem, and still raises.
-
-    @raise Parse_error on an empty trace or a bad header line. *)
+    id keeps the first occurrence).  {e Total}: an empty or headerless
+    trace is reported as the first defect (and the rows parsed anyway)
+    rather than raised — the serve fuzz suite feeds arbitrary byte
+    strings to hold this. *)
 
 val load : string -> Instance.t
 (** @raise Parse_error / [Sys_error]. *)
 
 val load_lenient : string -> Instance.t * (int * string) list
 (** [of_string_lenient] over a file.
-    @raise Parse_error / [Sys_error]. *)
+    @raise Sys_error on an unreadable path. *)

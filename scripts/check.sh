@@ -4,8 +4,12 @@
 # fault-injection smoke sweep (empty-plan bit-identity + monotone
 # degradation are asserted inside the bench), a parallel smoke sweep
 # (2-domain point list diffed against the sequential 1-domain baseline
-# inside the bench) and an observability smoke: two traced CLI runs
-# diffed byte-for-byte plus the observer-overhead mini-sweep.
+# inside the bench), an observability smoke: two traced CLI runs
+# diffed byte-for-byte plus the observer-overhead mini-sweep, and a
+# serve smoke: a streaming daemon SIGKILLed mid-stream, resumed, and
+# its decision stream diffed byte-for-byte against an uninterrupted
+# run, plus the serve mini-sweep (throughput / soak / restart / ladder
+# gates all asserted inside the bench).
 # Run from the repo root:  scripts/check.sh
 set -eu
 
@@ -16,7 +20,7 @@ dune build
 
 echo "== dune build @lint =="
 # dbp-lint (lib/lint, DESIGN.md section 9): the packing-invariant rule
-# set R1-R8 over lib/ bin/ bench/ test/; exits non-zero on any finding.
+# set R1-R9 over lib/ bin/ bench/ test/; exits non-zero on any finding.
 dune build @lint
 
 echo "== dune runtest =="
@@ -60,5 +64,35 @@ dune exec bin/dbp.exe -- run --seed 7 -a first-fit -a best-fit \
 cmp "$obs_dir/a.jsonl" "$obs_dir/b.jsonl"
 echo "traces byte-identical across runs"
 dune exec bench/main.exe -- obs --quick
+
+echo "== serve smoke: SIGKILL mid-stream + --resume, byte-identical =="
+# The crash-safety contract (DESIGN.md section 14): the decision stream
+# is the journal, so killing the daemon at any point and re-running with
+# --resume must reproduce the uninterrupted output byte-for-byte.  The
+# binary is run directly (not through dune exec) so the SIGKILL hits the
+# daemon itself; the throttled run makes the kill land mid-stream, but
+# correctness does not depend on where it lands.
+serve_dir=$(mktemp -d)
+trap 'rm -rf "$obs_dir" "$serve_dir"' EXIT
+dbp_bin=_build/default/bin/dbp.exe
+"$dbp_bin" gen --jsonl --horizon 550 --seed 11 -o "$serve_dir/arrivals.jsonl"
+echo "$(wc -l < "$serve_dir/arrivals.jsonl") arrivals"
+"$dbp_bin" serve --input "$serve_dir/arrivals.jsonl" \
+  --output "$serve_dir/ref.out" --snapshot "$serve_dir/ref.snap" \
+  --snapshot-every 64 2> /dev/null
+"$dbp_bin" serve --input "$serve_dir/arrivals.jsonl" \
+  --output "$serve_dir/crash.out" --snapshot "$serve_dir/crash.snap" \
+  --snapshot-every 64 --throttle-us 2000 2> /dev/null &
+daemon_pid=$!
+sleep 1
+kill -9 "$daemon_pid" 2> /dev/null || true
+wait "$daemon_pid" 2> /dev/null || true
+echo "killed daemon after $(wc -l < "$serve_dir/crash.out") decision lines"
+"$dbp_bin" serve --input "$serve_dir/arrivals.jsonl" \
+  --output "$serve_dir/crash.out" --snapshot "$serve_dir/crash.snap" \
+  --snapshot-every 64 --resume 2> /dev/null
+cmp "$serve_dir/ref.out" "$serve_dir/crash.out"
+echo "resumed decision stream byte-identical to the uninterrupted run"
+dune exec bench/main.exe -- serve --quick
 
 echo "All checks passed."

@@ -1,0 +1,7 @@
+let fd = Unix.openfile "/dev/null" [ Unix.O_RDONLY ] 0
+let s () = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0
+let _ = Unix.kill (Unix.getpid ()) 9
+let h () = Sys.set_signal 10 Sys.Signal_ignore
+let pass (d : Unix.file_descr) = Unix.close d
+let addr : Unix.sockaddr = Unix.ADDR_UNIX "/tmp/x"
+let clock () = Unix.gettimeofday ()

@@ -244,10 +244,34 @@ let test_resume_detects_mismatched_inputs () =
   let rec drain_to k = if k > 0 && R.step r then drain_to (k - 1) in
   drain_to 4 (* past the crash *);
   let cp = R.checkpoint r in
-  check_bool "resume against a different plan refused" true
-    (match R.resume algo inst FP.empty cp with
-    | exception R.Checkpoint_mismatch _ -> true
-    | _ -> false)
+  (match R.resume algo inst FP.empty cp with
+  | exception R.Checkpoint_mismatch m ->
+      (* The payload names both sides of the disagreement. *)
+      check_string "expected digest is the checkpoint's"
+        cp.R.state_digest m.R.expected_digest;
+      check_int "cursor carried" cp.R.events_done m.R.events_done;
+      (match m.R.actual_digest with
+      | Some d ->
+          check_bool "replayed digest differs" true
+            (not (String.equal d cp.R.state_digest))
+      | None -> Alcotest.fail "replay reached the cursor; digest expected");
+      check_bool "rendering mentions both digests" true
+        (let s = R.mismatch_to_string m in
+         let has sub =
+           let n = String.length sub and len = String.length s in
+           let rec go i = i + n <= len && (String.sub s i n = sub || go (i + 1)) in
+           go 0
+         in
+         has cp.R.state_digest && has (Option.get m.R.actual_digest))
+  | _ -> Alcotest.fail "resume against a different plan must be refused");
+  (* Drained-early flavour: a cursor past the end of the event stream. *)
+  let far = { cp with R.events_done = 1_000_000 } in
+  match R.resume algo inst plan far with
+  | exception R.Checkpoint_mismatch m ->
+      check_bool "no digest when the stream drained early" true
+        (Option.is_none m.R.actual_digest);
+      check_int "cursor carried" 1_000_000 m.R.events_done
+  | _ -> Alcotest.fail "over-long cursor must be refused"
 
 (* ---- structured engine errors ---- *)
 

@@ -103,6 +103,33 @@ let test_r8_clock_exempt () =
   Alcotest.check hits "other lib modules may not" [ ("R8", 1, 13) ]
     (hits_of (Driver.lint_source ~path:"lib/sim/runner.ml" source))
 
+let test_r9 () =
+  (* expressions, the Unix.file_descr / Unix.sockaddr types, and the
+     Sys signal installers all fire; the final line is a clock read,
+     which is R8's finding, not R9's *)
+  check_file "r9_io.ml"
+    [
+      ("R9", 1, 9); ("R9", 2, 11); ("R9", 3, 8); ("R9", 3, 19); ("R9", 4, 11);
+      ("R9", 5, 14); ("R9", 5, 33); ("R9", 6, 11); ("R8", 7, 15);
+    ]
+
+let test_r9_serve_exempt () =
+  (* the daemon shell is the designated process-facing module; the
+     exemption is by path, wherever the repo sits relative to the
+     linter's cwd *)
+  let source =
+    "let s () = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0\n"
+    ^ "let h () = Sys.set_signal 10 Sys.Signal_ignore\n"
+  in
+  Alcotest.check hits "lib/serve may do process IO" []
+    (hits_of (Driver.lint_source ~path:"../lib/serve/daemon.ml" source));
+  Alcotest.check hits "other lib modules may not"
+    [ ("R9", 1, 11); ("R9", 2, 11) ]
+    (hits_of (Driver.lint_source ~path:"lib/obs/metrics.ml" source));
+  Alcotest.check hits "bin may not either"
+    [ ("R9", 1, 11); ("R9", 2, 11) ]
+    (hits_of (Driver.lint_source ~path:"bin/dbp.ml" source))
+
 let test_suppressed () =
   check_file ~scope:Rules.Lib "suppressed.ml" []
 
@@ -138,8 +165,8 @@ let test_parse_error () =
 let test_registry () =
   let ids = List.map (fun r -> r.Rules.id) Rules.all in
   Alcotest.(check (list string))
-    "registry covers R0 plus the eight rules"
-    [ "R0"; "R1"; "R2"; "R3"; "R4"; "R5"; "R6"; "R7"; "R8" ]
+    "registry covers R0 plus the nine rules"
+    [ "R0"; "R1"; "R2"; "R3"; "R4"; "R5"; "R6"; "R7"; "R8"; "R9" ]
     ids
 
 let test_json () =
@@ -199,6 +226,8 @@ let suite =
     Alcotest.test_case "R7 lib/par exemption" `Quick test_r7_par_exempt;
     Alcotest.test_case "R8 wall-clock confinement" `Quick test_r8;
     Alcotest.test_case "R8 clock/bench exemption" `Quick test_r8_clock_exempt;
+    Alcotest.test_case "R9 unix-io confinement" `Quick test_r9;
+    Alcotest.test_case "R9 lib/serve exemption" `Quick test_r9_serve_exempt;
     Alcotest.test_case "suppression both positions" `Quick test_suppressed;
     Alcotest.test_case "unused suppressions error" `Quick
       test_unused_suppression;

@@ -330,11 +330,15 @@ let test_trace_lenient_clean_trace () =
   check_int "no errors" 0 (List.length errors);
   check_int "all rows" (Instance.length inst) (Instance.length inst')
 
-let test_trace_lenient_still_rejects_bad_header () =
-  check_bool "structural problems still raise" true
-    (match T.of_string_lenient "nope\n1,0.5,0,1\n" with
-    | exception T.Parse_error (1, _) -> true
-    | _ -> false)
+let test_trace_lenient_total_on_bad_header () =
+  (* A structural defect (missing header) is itself just the first
+     recorded error; the rows still parse.  Totality here is what lets
+     [dbp serve] feed this arbitrary bytes (see the serve fuzz suite). *)
+  let inst, errors = T.of_string_lenient "nope\n1,0.5,0,1\n" in
+  check_int "surviving row" 1 (Instance.length inst);
+  check_bool "header defect reported first" true
+    (match errors with (1, _) :: _ -> true | _ -> false);
+  check_int "bad header also fails as a row" 2 (List.length errors)
 
 let test_trace_file_roundtrip () =
   let inst = Adv.theorem3 Adv.B in
@@ -407,7 +411,7 @@ let suite =
       test_trace_lenient_skips_bad_rows;
     Alcotest.test_case "trace lenient clean" `Quick test_trace_lenient_clean_trace;
     Alcotest.test_case "trace lenient bad header" `Quick
-      test_trace_lenient_still_rejects_bad_header;
+      test_trace_lenient_total_on_bad_header;
     Alcotest.test_case "trace file roundtrip" `Quick test_trace_file_roundtrip;
     prop_trace_roundtrip_exact;
   ]
