@@ -902,7 +902,55 @@ let lint_cmd =
             "Files or directories to lint; defaults to lib/ bin/ bench/ \
              test/ under the current directory.")
   in
-  let run json paths =
+  let semantic_flag =
+    Arg.(
+      value & flag
+      & info [ "semantic" ]
+          ~doc:
+            "Also run the typed rules R10-R12 over the .cmt artifacts dune \
+             produces (run $(b,dune build) first); artifact-load failures \
+             surface as C0 findings and exit 2.")
+  in
+  let rules_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "rules" ] ~docv:"IDS"
+          ~doc:
+            "Keep only findings for these comma-separated rule ids (e.g. \
+             $(b,R10,R11)); P0 parse errors and C0 artifact errors always \
+             pass the filter.")
+  in
+  let build_root_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "build-root" ] ~docv:"DIR"
+          ~doc:"Where to look for dune artifacts (default _build/default).")
+  in
+  let run json semantic rules build_root paths =
+    let rules =
+      Option.map
+        (fun csv ->
+          let ids =
+            String.split_on_char ',' csv
+            |> List.map String.trim
+            |> List.filter (fun s -> s <> "")
+          in
+          if ids = [] then begin
+            prerr_endline "dbp lint: --rules needs a comma-separated id list";
+            exit 2
+          end;
+          List.iter
+            (fun id ->
+              if not (Dbp_lint.Rules.is_known_id id) then begin
+                Printf.eprintf "dbp lint: unknown rule id %s\n" id;
+                exit 2
+              end)
+            ids;
+          ids)
+        rules
+    in
     let roots =
       match paths with
       | [] -> List.filter Sys.file_exists [ "lib"; "bin"; "bench"; "test" ]
@@ -912,12 +960,14 @@ let lint_cmd =
       prerr_endline "dbp lint: no lintable roots (run from the repo root)";
       exit 2
     end;
-    match Dbp_lint.Driver.lint_tree roots with
+    match Dbp_lint.Driver.lint_tree ~semantic ?build_root ?rules roots with
     | findings ->
         print_string
           (if json then Dbp_lint.Driver.to_json findings
            else Dbp_lint.Driver.to_text findings);
-        if findings <> [] then exit 1
+        if List.exists (fun f -> Dbp_lint.Finding.rule f = "C0") findings
+        then exit 2
+        else if findings <> [] then exit 1
     | exception Invalid_argument msg ->
         prerr_endline msg;
         exit 2
@@ -926,8 +976,12 @@ let lint_cmd =
     (Cmd.info "lint"
        ~doc:
          "Run the dbp-lint static-analysis pass (packing-invariant rules \
-          R1-R6, see DESIGN.md section 9) over the source tree.")
-    Term.(const run $ json_flag $ paths_arg)
+          R1-R9 plus, with $(b,--semantic), the typed rules R10-R12; see \
+          DESIGN.md sections 9 and 15) over the source tree.  Exit status: \
+          0 clean, 1 findings, 2 usage or artifact-load error.")
+    Term.(
+      const run $ json_flag $ semantic_flag $ rules_arg $ build_root_arg
+      $ paths_arg)
 
 (* ---- audit ---- *)
 

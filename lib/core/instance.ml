@@ -14,6 +14,8 @@ let of_items items =
   in
   { by_id }
 
+let empty = { by_id = Int_map.empty }
+
 let items t = Int_map.bindings t.by_id |> List.map snd
 let length t = Int_map.cardinal t.by_id
 let is_empty t = Int_map.is_empty t.by_id

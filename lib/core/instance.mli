@@ -8,6 +8,9 @@ type t
 val of_items : Item.t list -> t
 (** @raise Invalid_argument if two items share an id. *)
 
+val empty : t
+(** The zero-item instance; [of_items []] without the raising type. *)
+
 val items : t -> Item.t list
 (** In increasing id order. *)
 

@@ -1,0 +1,251 @@
+(* Cross-module def->use extraction over the Typedtree.
+
+   The semantic rules (R10-R12) work on {e resolved} [Path.t]s, so the
+   first job here is canonicalisation: dune's module mangling
+   ([Dbp_serve__Arrival]) and the stdlib's ([Stdlib__List]) are split
+   back into dotted components, [Stdlib.] prefixes are stripped, and --
+   the whole point of the exercise -- module {e aliases} are chased:
+   [module U = Unix] followed by [U.getpid] yields the canonical
+   components [["Unix"; "getpid"]], which no Parsetree walker can see.
+   Plain [open]s need no work: the typechecker already resolves
+   [gettimeofday] under [open Unix] to the path [Unix.gettimeofday]. *)
+
+type use = {
+  u_comps : string list;
+  u_written : Longident.t;
+  u_loc : Location.t;
+  u_include : bool;
+}
+
+type def = {
+  d_id : string;
+  d_loc : Location.t;
+  d_total : bool;
+  d_uses : use list;
+  d_body : Typedtree.expression;
+}
+
+type t = {
+  g_file : string;
+  g_prefix : string;
+  g_defs : def list;
+  g_floating : use list;
+  g_resolve : Path.t -> string list;
+  g_exn_name : Path.t -> string;
+}
+
+(* "Dbp_serve__Arrival" -> ["Dbp_serve"; "Arrival"]; applied to head
+   (module-level) identifiers only, so a value named [foo__bar] is never
+   split (values always sit in [Pdot] member position). *)
+let demangle name =
+  let n = String.length name in
+  let rec go start i acc =
+    if i + 1 >= n then List.rev (String.sub name start (n - start) :: acc)
+    else if name.[i] = '_' && name.[i + 1] = '_' then
+      go (i + 2) (i + 2) (String.sub name start (i - start) :: acc)
+    else go start (i + 1) acc
+  in
+  if n = 0 then [ name ]
+  else go 0 0 [] |> List.filter (fun s -> s <> "")
+
+let strip_stdlib = function
+  | "Stdlib" :: (_ :: _ as rest) -> rest
+  | comps -> comps
+
+let join = String.concat "."
+
+(* Wrapper around the two mutable tables [build] fills: module aliases
+   (by unique ident, so shadowing cannot confuse entries) and toplevel
+   value bindings (so [fail] inside its own module canonicalises to the
+   same node id [Dbp_serve.Json_lite.fail] other modules use). *)
+let resolver ~aliases ~toplevel =
+  let rec comps p =
+    match p with
+    | Path.Pident id -> (
+        let key = Ident.unique_name id in
+        match Hashtbl.find_opt aliases key with
+        | Some target -> target
+        | None -> (
+            match Hashtbl.find_opt toplevel key with
+            | Some node -> node
+            | None -> demangle (Ident.name id)))
+    | Path.Pdot (p, s) -> comps p @ [ s ]
+    | Path.Papply (f, _) -> comps f
+    | Path.Pextra_ty (p, _) -> comps p
+  in
+  fun p -> strip_stdlib (comps p)
+
+let build ~file ~modname str =
+  let prefix_comps = demangle modname in
+  let aliases : (string, string list) Hashtbl.t = Hashtbl.create 16 in
+  let toplevel : (string, string list) Hashtbl.t = Hashtbl.create 64 in
+  let resolve = resolver ~aliases ~toplevel in
+  let exn_name p =
+    match p with
+    | Path.Pident id when Ident.is_predef id -> Ident.name id
+    | Path.Pident id -> join (prefix_comps @ [ Ident.name id ])
+    | p -> join (resolve p)
+  in
+  (* Pass 1: record every module alias, at any depth.  Modules must be
+     defined before they are aliased, and the iterator visits in source
+     order, so resolving each right-hand side immediately chases chains
+     ([module V = U] where [module U = Unix]) in one pass. *)
+  let record_alias id mod_expr =
+    let rec target (m : Typedtree.module_expr) =
+      match m.mod_desc with
+      | Tmod_ident (p, _) -> Some (resolve p)
+      | Tmod_constraint (inner, _, _, _) -> target inner
+      | _ -> None
+    in
+    match (id, target mod_expr) with
+    | Some id, Some comps -> Hashtbl.replace aliases (Ident.unique_name id) comps
+    | _ -> ()
+  in
+  let alias_pass =
+    let open Tast_iterator in
+    {
+      default_iterator with
+      module_binding =
+        (fun self mb ->
+          record_alias mb.Typedtree.mb_id mb.Typedtree.mb_expr;
+          default_iterator.module_binding self mb);
+      expr =
+        (fun self e ->
+          (match e.Typedtree.exp_desc with
+          | Texp_letmodule (id, _, _, mexpr, _) -> record_alias id mexpr
+          | _ -> ());
+          default_iterator.expr self e);
+    }
+  in
+  alias_pass.structure alias_pass str;
+  (* Pass 2: register toplevel value idents so intra-unit references
+     resolve to their node ids. *)
+  let rec register prefix (items : Typedtree.structure_item list) =
+    List.iter
+      (fun (item : Typedtree.structure_item) ->
+        match item.str_desc with
+        | Tstr_value (_, vbs) ->
+            List.iter
+              (fun (vb : Typedtree.value_binding) ->
+                match vb.vb_pat.pat_desc with
+                | Tpat_var (id, _) ->
+                    Hashtbl.replace toplevel (Ident.unique_name id)
+                      (prefix @ [ Ident.name id ])
+                | _ -> ())
+              vbs
+        | Tstr_module mb -> register_module prefix mb
+        | Tstr_recmodule mbs -> List.iter (register_module prefix) mbs
+        | Tstr_include incl -> (
+            match incl.incl_mod.mod_desc with
+            | Tmod_structure inner -> register prefix inner.str_items
+            | _ -> ())
+        | _ -> ())
+      items
+  and register_module prefix (mb : Typedtree.module_binding) =
+    let rec body (m : Typedtree.module_expr) =
+      match m.mod_desc with
+      | Tmod_structure inner -> Some inner
+      | Tmod_constraint (inner, _, _, _) -> body inner
+      | _ -> None
+    in
+    match (mb.mb_name.txt, body mb.mb_expr) with
+    | Some name, Some inner -> register (prefix @ [ name ]) inner.str_items
+    | _ -> ()
+  in
+  register prefix_comps str.str_items;
+  (* Pass 3: collect defs with their value uses, plus floating uses
+     (toplevel [let () = ...], module initialisers, includes). *)
+  let uses_of_expr e =
+    let acc = ref [] in
+    let it =
+      let open Tast_iterator in
+      {
+        default_iterator with
+        expr =
+          (fun self e ->
+            (match e.Typedtree.exp_desc with
+            | Texp_ident (p, lid, _) ->
+                acc :=
+                  {
+                    u_comps = resolve p;
+                    u_written = lid.txt;
+                    u_loc = lid.loc;
+                    u_include = false;
+                  }
+                  :: !acc
+            | _ -> ());
+            default_iterator.expr self e);
+      }
+    in
+    it.expr it e;
+    List.rev !acc
+  in
+  let has_total_attr (vb : Typedtree.value_binding) =
+    List.exists
+      (fun (a : Parsetree.attribute) -> a.attr_name.txt = "dbp.total")
+      vb.vb_attributes
+  in
+  let defs = ref [] in
+  let floating = ref [] in
+  let rec collect prefix (items : Typedtree.structure_item list) =
+    List.iter
+      (fun (item : Typedtree.structure_item) ->
+        match item.str_desc with
+        | Tstr_value (_, vbs) ->
+            List.iter
+              (fun (vb : Typedtree.value_binding) ->
+                match vb.vb_pat.pat_desc with
+                | Tpat_var (id, _) ->
+                    defs :=
+                      {
+                        d_id = join (prefix @ [ Ident.name id ]);
+                        d_loc = vb.vb_loc;
+                        d_total = has_total_attr vb;
+                        d_uses = uses_of_expr vb.vb_expr;
+                        d_body = vb.vb_expr;
+                      }
+                      :: !defs
+                | _ -> floating := !floating @ uses_of_expr vb.vb_expr)
+              vbs
+        | Tstr_eval (e, _) -> floating := !floating @ uses_of_expr e
+        | Tstr_module mb -> collect_module prefix mb
+        | Tstr_recmodule mbs -> List.iter (collect_module prefix) mbs
+        | Tstr_include incl -> (
+            match incl.incl_mod.mod_desc with
+            | Tmod_ident (p, lid) ->
+                floating :=
+                  !floating
+                  @ [
+                      {
+                        u_comps = resolve p;
+                        u_written = lid.txt;
+                        u_loc = lid.loc;
+                        u_include = true;
+                      };
+                    ]
+            | Tmod_structure inner -> collect prefix inner.str_items
+            | _ -> ())
+        | _ -> ())
+      items
+  and collect_module prefix (mb : Typedtree.module_binding) =
+    let rec body (m : Typedtree.module_expr) =
+      match m.mod_desc with
+      | Tmod_structure inner -> Some inner
+      | Tmod_constraint (inner, _, _, _) -> body inner
+      | _ -> None
+    in
+    match (mb.mb_name.txt, body mb.mb_expr) with
+    | Some name, Some inner -> collect (prefix @ [ name ]) inner.str_items
+    | _ -> ()
+  in
+  collect prefix_comps str.str_items;
+  {
+    g_file = file;
+    g_prefix = join prefix_comps;
+    g_defs = List.rev !defs;
+    g_floating = !floating;
+    g_resolve = resolve;
+    g_exn_name = exn_name;
+  }
+
+let all_uses g = g.g_floating @ List.concat_map (fun d -> d.d_uses) g.g_defs

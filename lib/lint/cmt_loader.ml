@@ -1,0 +1,137 @@
+(* Locate and load the .cmt typed artifact for a source file.
+
+   dune keeps library cmts under <dir>/.<lib>.objs/byte/ with mangled
+   names (dbp_serve__Arrival.cmt); ocamlc -bin-annot drops foo.cmt next
+   to foo.ml (the layout the fixture tests use).  Both are probed, under
+   the build root and -- for runs whose cwd already is the build tree --
+   directly under the source directory.  Every failure mode (missing
+   artifact, unreadable file, digest mismatch against the current
+   source) degrades to a structured error the driver renders as a C0
+   finding; nothing here raises. *)
+
+type t = {
+  source : string;
+  modname : string;
+  structure : Typedtree.structure;
+}
+
+type error = { e_file : string; e_reason : string; e_hint : string }
+
+let default_build_root = "_build/default"
+
+let rebuild_hint =
+  "run 'dune build' so the .cmt artifacts match the sources, then re-run \
+   the semantic lint"
+
+let module_name_of path =
+  String.capitalize_ascii (Filename.remove_extension (Filename.basename path))
+
+(* Candidate artifact paths for [source], most specific first. *)
+let candidates ~build_root source =
+  let dir = Filename.dirname source in
+  let stem = Filename.remove_extension (Filename.basename source) in
+  let modname = module_name_of source in
+  let side_by_side = Filename.concat dir (stem ^ ".cmt") in
+  let objs_candidates parent =
+    if not (Sys.file_exists parent && Sys.is_directory parent) then []
+    else
+      Sys.readdir parent |> Array.to_list |> List.sort String.compare
+      |> List.filter_map (fun name ->
+             if
+               String.length name > 1
+               && name.[0] = '.'
+               && (Filename.check_suffix name ".objs"
+                  || Filename.check_suffix name ".eobjs")
+             then Some (Filename.concat (Filename.concat parent name) "byte")
+             else None)
+      |> List.concat_map (fun byte_dir ->
+             if not (Sys.file_exists byte_dir && Sys.is_directory byte_dir)
+             then []
+             else
+               Sys.readdir byte_dir |> Array.to_list
+               |> List.sort String.compare
+               |> List.filter_map (fun f ->
+                      if
+                        f = stem ^ ".cmt"
+                        || f = String.uncapitalize_ascii modname ^ ".cmt"
+                        || Filename.check_suffix f ("__" ^ modname ^ ".cmt")
+                      then Some (Filename.concat byte_dir f)
+                      else None))
+  in
+  let roots =
+    if Filename.is_relative source then
+      [ Filename.concat build_root dir; dir ]
+    else [ dir ]
+  in
+  (if Sys.file_exists side_by_side then [ side_by_side ] else [])
+  @ List.concat_map objs_candidates roots
+
+let source_digest source =
+  match Digest.file source with
+  | digest -> Some digest
+  | exception Sys_error _ -> None
+
+let read ~source ~digest path =
+  match Cmt_format.read_cmt path with
+  | exception exn ->
+      Error
+        {
+          e_file = source;
+          e_reason =
+            Printf.sprintf "unreadable artifact %s (%s)" path
+              (Printexc.to_string exn);
+          e_hint = rebuild_hint;
+        }
+  | cmt -> (
+      match cmt.Cmt_format.cmt_annots with
+      | Cmt_format.Implementation structure -> (
+          match (cmt.Cmt_format.cmt_source_digest, digest) with
+          | Some have, Some want when not (String.equal have want) ->
+              Error
+                {
+                  e_file = source;
+                  e_reason =
+                    Printf.sprintf "stale artifact %s (compiled from a \
+                                    different version of the source)"
+                      path;
+                  e_hint = rebuild_hint;
+                }
+          | _ ->
+              Ok
+                {
+                  source;
+                  modname = cmt.Cmt_format.cmt_modname;
+                  structure;
+                })
+      | _ ->
+          Error
+            {
+              e_file = source;
+              e_reason =
+                Printf.sprintf "artifact %s is not an implementation" path;
+              e_hint = rebuild_hint;
+            })
+
+let load ?(build_root = default_build_root) source =
+  let digest = source_digest source in
+  let rec try_all stale = function
+    | [] -> (
+        match stale with
+        | Some err -> Error err
+        | None ->
+            Error
+              {
+                e_file = source;
+                e_reason = "no .cmt artifact found for this source";
+                e_hint = rebuild_hint;
+              })
+    | path :: rest -> (
+        match read ~source ~digest path with
+        | Ok unit -> Ok unit
+        | Error err ->
+            (* Remember the first stale/unreadable artifact but keep
+               probing: a fresh one in another objs dir wins. *)
+            let stale = match stale with Some _ -> stale | None -> Some err in
+            try_all stale rest)
+  in
+  try_all None (candidates ~build_root source)

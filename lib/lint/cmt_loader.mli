@@ -1,0 +1,30 @@
+(** Locate and load the [.cmt] typed artifact for a source file.
+
+    Probes a side-by-side [foo.cmt] (the [ocamlc -bin-annot] layout the
+    fixture tests use) and dune's [.<lib>.objs/byte/] /
+    [.<exe>.eobjs/byte/] directories, both under [build_root] and
+    directly under the source directory (for processes whose cwd already
+    is the build tree, like the [@lint] alias).  All failure modes are
+    structured errors the driver renders as [C0] findings; nothing here
+    raises. *)
+
+type t = {
+  source : string;  (** the source path as handed to [load] *)
+  modname : string;  (** compilation-unit name, e.g. [Dbp_serve__Arrival] *)
+  structure : Typedtree.structure;
+}
+
+type error = {
+  e_file : string;  (** source path the error is attributed to *)
+  e_reason : string;  (** missing / stale / unreadable, with detail *)
+  e_hint : string;  (** rebuild instruction *)
+}
+
+(** ["_build/default"] *)
+val default_build_root : string
+
+(** [load ?build_root source] finds the freshest matching artifact.  A
+    stale artifact (its [cmt_source_digest] differs from the current
+    source digest) is reported only if no fresh one exists anywhere on
+    the probe path. *)
+val load : ?build_root:string -> string -> (t, error) result

@@ -1,7 +1,11 @@
 (* Walk source trees, parse every .ml/.mli with compiler-libs and run the
-   rule registry, folding inline suppressions in.  This module never
-   prints: rendering is returned as strings so the callers (tools/lint,
-   the dbp CLI, the test suite) decide where output goes. *)
+   rule registry, folding inline suppressions in.  With [~semantic] the
+   driver additionally loads each lib-scope implementation's .cmt
+   artifact and runs the typed rules (R10-R12) over the combined call
+   graph; artifact load failures degrade to C0 findings rather than
+   aborting.  This module never prints: rendering is returned as strings
+   so the callers (tools/lint, the dbp CLI, the test suite) decide where
+   output goes. *)
 
 (* Directory names never descended into: build artefacts and VCS state
    (any dot- or underscore-prefixed name) and the seeded-violation
@@ -14,6 +18,21 @@ let skip_dir name =
 
 let is_source path =
   Filename.check_suffix path ".ml" || Filename.check_suffix path ".mli"
+
+(* Overlapping roots ("dbp lint lib lib/serve") visit the same file
+   twice; deduplication is by exact path string, keeping the first
+   occurrence, so the same file spelled through different roots ("lib"
+   vs "./lib") still lints once per spelling. *)
+let dedupe files =
+  let seen = Hashtbl.create 64 in
+  List.filter
+    (fun f ->
+      if Hashtbl.mem seen f then false
+      else begin
+        Hashtbl.add seen f ();
+        true
+      end)
+    files
 
 let collect_files roots =
   let rec walk acc path =
@@ -30,7 +49,7 @@ let collect_files roots =
     else if is_source path then path :: acc
     else acc
   in
-  List.fold_left walk [] roots |> List.rev
+  List.fold_left walk [] roots |> List.rev |> dedupe
 
 let read_file path = In_channel.with_open_bin path In_channel.input_all
 
@@ -48,7 +67,10 @@ let parse_error_finding ~path exn =
         ~message:(Printf.sprintf "parse error: %s" (Printexc.to_string exn))
         ~hint:"dbp-lint only analyses files that parse"
 
-let lint_source ?scope ~path source =
+(* [extra] carries the file's semantic findings into the suppression
+   pass, so one (* dbp-lint: allow R10 ... *) covers them like any
+   syntactic finding and goes stale (R0) like any unused marker. *)
+let lint_source ?scope ?(extra = []) ~path source =
   let scope =
     match scope with Some s -> s | None -> Rules.scope_of_path path
   in
@@ -64,19 +86,73 @@ let lint_source ?scope ~path source =
     | findings -> findings
     | exception exn -> [ parse_error_finding ~path exn ]
   in
-  let kept, unused = Suppress.apply ~path sups ast_findings in
+  let kept, unused = Suppress.apply ~path sups (ast_findings @ extra) in
   List.sort Finding.compare (kept @ marker_errors @ unused)
 
 let lint_file ?scope path = lint_source ?scope ~path (read_file path)
 
-let lint_tree ?scope roots =
+let c0_finding (e : Cmt_loader.error) =
+  Finding.v ~rule:"C0" ~file:e.e_file ~line:1 ~col:0
+    ~message:(Printf.sprintf "typed artifact unavailable: %s" e.e_reason)
+    ~hint:e.e_hint
+
+(* The semantic phase only covers lib-scope implementations: dune emits
+   .cmt files for libraries but not for the native-only executables in
+   bin/, and every R10-R12 invariant is a lib-side contract anyway. *)
+let semantic_phase ?scope ?build_root files =
+  let lib_scope f =
+    match scope with Some s -> s = Rules.Lib | None -> Rules.scope_of_path f = Rules.Lib
+  in
+  let targets =
+    List.filter (fun f -> Filename.check_suffix f ".ml" && lib_scope f) files
+  in
+  let graphs, c0s =
+    List.fold_left
+      (fun (graphs, c0s) f ->
+        match Cmt_loader.load ?build_root f with
+        | Ok unit ->
+            ( Callgraph.build ~file:f ~modname:unit.Cmt_loader.modname
+                unit.Cmt_loader.structure
+              :: graphs,
+              c0s )
+        | Error e -> (graphs, c0_finding e :: c0s))
+      ([], []) targets
+  in
+  (Rules.check_semantic (List.rev graphs), List.rev c0s)
+
+(* Rule filtering happens after suppressions, so markers for filtered
+   rules still count as used.  P0 (unparseable source) and C0 (missing
+   typed artifact) always pass: a filtered run that silently skipped
+   what it could not analyse would report clean trees it never saw. *)
+let filter_rules rules findings =
+  match rules with
+  | None -> findings
+  | Some ids ->
+      List.filter
+        (fun f ->
+          let r = Finding.rule f in
+          r = "P0" || r = "C0" || List.mem r ids)
+        findings
+
+let lint_tree ?scope ?(semantic = false) ?build_root ?rules roots =
   let files = collect_files roots in
   let scope_fn =
     match scope with Some s -> Some (fun _ -> s) | None -> None
   in
   let missing = Rules.check_missing_mli ?scope:scope_fn files in
-  let per_file = List.concat_map (fun f -> lint_file ?scope f) files in
-  List.sort Finding.compare (missing @ per_file)
+  let sem_findings, c0s =
+    if semantic then semantic_phase ?scope ?build_root files else ([], [])
+  in
+  let per_file =
+    List.concat_map
+      (fun f ->
+        let extra =
+          List.filter (fun sf -> Finding.file sf = f) sem_findings
+        in
+        lint_source ?scope ~extra ~path:f (read_file f))
+      files
+  in
+  filter_rules rules (missing @ c0s @ per_file) |> List.sort Finding.compare
 
 let to_text findings =
   let b = Buffer.create 256 in

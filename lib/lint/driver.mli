@@ -6,22 +6,51 @@
     output channel and exit code. *)
 
 (** Recursively collect [.ml]/[.mli] files under the given roots, in
-    sorted order.  Directories named [fixtures] or starting with a dot
-    or underscore are not descended into (explicit roots are always
-    walked).  Raises [Invalid_argument] on a missing root. *)
+    sorted order per root.  Directories named [fixtures] or starting
+    with a dot or underscore are not descended into (explicit roots are
+    always walked).  Files reached through overlapping roots are
+    deduplicated by exact path string, first occurrence kept.  Raises
+    [Invalid_argument] on a missing root. *)
 val collect_files : string list -> string list
 
 (** Lint one file already in memory.  [scope] overrides the path-derived
-    scope (used by the fixture tests to exercise lib-only rules). *)
+    scope (used by the fixture tests to exercise lib-only rules);
+    [extra] merges precomputed findings (the semantic phase's) into the
+    suppression pass, so allow-markers cover them and go stale like any
+    other. *)
 val lint_source :
-  ?scope:Rules.scope -> path:string -> string -> Finding.t list
+  ?scope:Rules.scope ->
+  ?extra:Finding.t list ->
+  path:string ->
+  string ->
+  Finding.t list
 
 (** Lint one file from disk. *)
 val lint_file : ?scope:Rules.scope -> string -> Finding.t list
 
 (** Lint whole trees: every file under the roots plus the filesystem
-    rule R5 (missing interfaces).  Findings are sorted by position. *)
-val lint_tree : ?scope:Rules.scope -> string list -> Finding.t list
+    rule R5 (missing interfaces).  Findings are sorted by position.
+
+    With [~semantic:true], additionally load each lib-scope [.ml]'s
+    [.cmt] artifact (under [build_root], default
+    {!Cmt_loader.default_build_root}) and run the typed rules R10-R12
+    over the combined call graph; load failures surface as [C0]
+    findings instead of aborting.  Only lib scope is analysed: dune
+    does not emit [.cmt]s for native-only executables, and the R10-R12
+    invariants are lib-side contracts.
+
+    [rules] keeps only findings whose rule id is listed; [P0] and [C0]
+    always pass the filter (a run that silently skipped what it could
+    not analyse would report clean trees it never saw).  Filtering
+    happens after suppression, so markers for filtered rules still
+    count as used. *)
+val lint_tree :
+  ?scope:Rules.scope ->
+  ?semantic:bool ->
+  ?build_root:string ->
+  ?rules:string list ->
+  string list ->
+  Finding.t list
 
 (** Human-readable report; ends with a ["dbp-lint: clean"] or a count. *)
 val to_text : Finding.t list -> string

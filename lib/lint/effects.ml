@@ -1,0 +1,370 @@
+(* Per-function may-raise summaries over the call graph.
+
+   Each toplevel definition gets a map from exception name to the
+   {e origin} of that potential raise: either a [Direct] site (a [raise],
+   an [assert], a non-exhaustive match, or a call to a known-partial
+   stdlib function such as [List.hd]) or [Via callee], pointing one hop
+   down the call chain.  Summaries are closed transitively with a
+   fixpoint over all units; [try]/[match-with-exception] handlers
+   subtract the exceptions their patterns provably catch (a wildcard
+   handler catches everything; a named handler only its constructor).
+
+   The analysis is optimistic about what it cannot see: calls to
+   functions outside the analyzed units and outside the known-partial
+   table are assumed total, as are higher-order parameters.  It is
+   deliberately conservative the other way about function {e values}:
+   a lambda's body effects materialize where the lambda is created (or,
+   for let-bound functions, where the name is referenced), since we do
+   not track which call sites actually run it.  Bounds-checked indexing
+   ([String.get], [String.sub], [Array.get]) is treated as total: the
+   parsers this verifies guard indices explicitly, and flagging every
+   [s.[i]] would drown the signal.  ["*"] stands for an exception we
+   could not name (a computed [raise e]). *)
+
+module SM = Map.Make (String)
+module SS = Set.Make (String)
+
+type origin = Direct of Location.t * string | Via of string
+
+type summary = origin SM.t
+
+type t = { globals : summary SM.t }
+
+(* Known-partial stdlib functions, keyed by canonical dotted name. *)
+let partial_table =
+  [
+    ("List.hd", [ "Failure" ]);
+    ("List.tl", [ "Failure" ]);
+    ("List.nth", [ "Failure"; "Invalid_argument" ]);
+    ("List.find", [ "Not_found" ]);
+    ("List.assoc", [ "Not_found" ]);
+    ("Option.get", [ "Invalid_argument" ]);
+    ("Hashtbl.find", [ "Not_found" ]);
+    ("int_of_string", [ "Failure" ]);
+    ("float_of_string", [ "Failure" ]);
+    ("bool_of_string", [ "Invalid_argument" ]);
+    ("failwith", [ "Failure" ]);
+    ("invalid_arg", [ "Invalid_argument" ]);
+    ("Char.chr", [ "Invalid_argument" ]);
+    ("String.index", [ "Not_found" ]);
+    ("String.rindex", [ "Not_found" ]);
+    ("Queue.pop", [ "Queue.Empty" ]);
+    ("Queue.take", [ "Queue.Empty" ]);
+    ("Queue.peek", [ "Queue.Empty" ]);
+    ("Stack.pop", [ "Stack.Empty" ]);
+    ("Stack.top", [ "Stack.Empty" ]);
+    ("Sys.getenv", [ "Not_found" ]);
+  ]
+  |> List.to_seq |> SM.of_seq
+
+let union a b = SM.union (fun _ o _ -> Some o) a b
+
+let add_exn name origin s =
+  if SM.mem name s then s else SM.add name origin s
+
+(* What a handler pattern catches. *)
+type catches = All | Only of SS.t
+
+let no_catch = Only SS.empty
+
+let catch_union a b =
+  match (a, b) with
+  | All, _ | _, All -> All
+  | Only x, Only y -> Only (SS.union x y)
+
+let rec catch_of_pat exn_name (p : Typedtree.pattern) : catches =
+  match p.pat_desc with
+  | Tpat_any | Tpat_var _ -> All
+  | Tpat_alias (q, _, _) -> catch_of_pat exn_name q
+  | Tpat_or (a, b, _) ->
+      catch_union (catch_of_pat exn_name a) (catch_of_pat exn_name b)
+  | Tpat_construct (_, cd, _, _) -> (
+      match cd.Types.cstr_tag with
+      | Types.Cstr_extension (path, _) -> Only (SS.singleton (exn_name path))
+      | _ -> no_catch)
+  | _ -> no_catch
+
+(* ["*"] (a raise we could not name) survives anything short of a
+   wildcard handler. *)
+let subtract s = function
+  | All -> SM.empty
+  | Only names -> SM.filter (fun exn _ -> not (SS.mem exn names)) s
+
+type st = { g : Callgraph.t; globals : summary SM.t }
+
+let is_raise st p =
+  match Callgraph.strip_stdlib (st.g.Callgraph.g_resolve p) with
+  | [ ("raise" | "raise_notrace") ] -> true
+  | _ -> false
+
+(* Effects of referencing an identifier: a lexically-local function's
+   summary, a node's current global summary (as [Via] links), or a
+   known-partial stdlib entry.  Anything else is assumed total. *)
+let summary_of_path st env ~loc p =
+  match p with
+  | Path.Pident id when SM.mem (Ident.unique_name id) env ->
+      SM.find (Ident.unique_name id) env
+  | _ -> (
+      let key = Callgraph.join (st.g.Callgraph.g_resolve p) in
+      match SM.find_opt key st.globals with
+      | Some s -> SM.map (fun _ -> Via key) s
+      | None -> (
+          match SM.find_opt key partial_table with
+          | Some exns ->
+              List.fold_left
+                (fun acc exn ->
+                  add_exn exn (Direct (loc, "call to " ^ key)) acc)
+                SM.empty exns
+          | None ->
+              if key = "raise" || key = "raise_notrace" then
+                SM.singleton "*" (Direct (loc, "raise"))
+              else SM.empty))
+
+let exn_of_construct st (e : Typedtree.expression) =
+  match e.exp_desc with
+  | Texp_construct (_, cd, _) -> (
+      match cd.Types.cstr_tag with
+      | Types.Cstr_extension (path, _) -> st.g.Callgraph.g_exn_name path
+      | _ -> "*")
+  | _ -> "*"
+
+let rec eff st env (e : Typedtree.expression) : summary =
+  match e.exp_desc with
+  | Texp_ident (p, _, _) -> summary_of_path st env ~loc:e.exp_loc p
+  | Texp_constant _ | Texp_unreachable -> SM.empty
+  | Texp_apply (fn, args) -> (
+      let arg_effs =
+        List.fold_left
+          (fun acc (_, a) ->
+            match a with Some a -> union acc (eff st env a) | None -> acc)
+          SM.empty args
+      in
+      match fn.exp_desc with
+      | Texp_ident (p, _, _) when is_raise st p ->
+          let exn =
+            match args with
+            | (_, Some arg) :: _ -> exn_of_construct st arg
+            | _ -> "*"
+          in
+          add_exn exn (Direct (e.exp_loc, "raise")) arg_effs
+      | _ -> union (eff st env fn) arg_effs)
+  | Texp_function { cases; partial; _ } ->
+      let s = value_cases st env cases in
+      if partial = Partial then
+        add_exn "Match_failure"
+          (Direct (e.exp_loc, "non-exhaustive function"))
+          s
+      else s
+  | Texp_match (scrut, cases, partial) ->
+      let catches =
+        List.fold_left
+          (fun acc (c : Typedtree.computation Typedtree.case) ->
+            match snd (Typedtree.split_pattern c.c_lhs) with
+            | Some ep ->
+                catch_union acc (catch_of_pat st.g.Callgraph.g_exn_name ep)
+            | None -> acc)
+          no_catch cases
+      in
+      let s =
+        union
+          (subtract (eff st env scrut) catches)
+          (computation_cases st env cases)
+      in
+      if partial = Partial then
+        add_exn "Match_failure" (Direct (e.exp_loc, "non-exhaustive match")) s
+      else s
+  | Texp_try (body, cases) ->
+      let catches =
+        List.fold_left
+          (fun acc (c : Typedtree.value Typedtree.case) ->
+            catch_union acc (catch_of_pat st.g.Callgraph.g_exn_name c.c_lhs))
+          no_catch cases
+      in
+      union (subtract (eff st env body) catches) (value_cases st env cases)
+  | Texp_let (rf, vbs, body) ->
+      let contrib, env' = bindings st env rf vbs in
+      union contrib (eff st env' body)
+  | Texp_letop { let_; ands; body; partial; _ } ->
+      let ops =
+        List.fold_left
+          (fun acc (bop : Typedtree.binding_op) ->
+            union acc
+              (union
+                 (summary_of_path st env ~loc:bop.bop_loc bop.bop_op_path)
+                 (eff st env bop.bop_exp)))
+          SM.empty (let_ :: ands)
+      in
+      let s = union ops (value_cases st env [ body ]) in
+      if partial = Partial then
+        add_exn "Match_failure"
+          (Direct (e.exp_loc, "non-exhaustive binding operator body"))
+          s
+      else s
+  | Texp_assert (cond, _) ->
+      add_exn "Assert_failure"
+        (Direct (e.exp_loc, "assert"))
+        (eff st env cond)
+  | Texp_lazy le -> eff st env le
+  | _ ->
+      (* Generic fallback: union over every sub-expression reachable
+         without crossing another expression node. *)
+      List.fold_left
+        (fun acc c -> union acc (eff st env c))
+        SM.empty (immediate_children e)
+
+and value_cases st env cases =
+  List.fold_left
+    (fun acc (c : Typedtree.value Typedtree.case) ->
+      let acc =
+        match c.c_guard with
+        | Some g -> union acc (eff st env g)
+        | None -> acc
+      in
+      union acc (eff st env c.c_rhs))
+    SM.empty cases
+
+and computation_cases st env cases =
+  List.fold_left
+    (fun acc (c : Typedtree.computation Typedtree.case) ->
+      let acc =
+        match c.c_guard with
+        | Some g -> union acc (eff st env g)
+        | None -> acc
+      in
+      union acc (eff st env c.c_rhs))
+    SM.empty cases
+
+(* Let bindings: a [Tpat_var]-bound function (or eta-alias of one)
+   contributes nothing at the binding -- creating a closure is pure --
+   and its summary enters the lexical environment so references to the
+   name materialize it.  Anything else contributes its effects here.
+   Recursive groups reach their own local fixpoint (summaries only
+   grow, so a handful of rounds suffices). *)
+and bindings st env rf vbs =
+  let is_deferred (vb : Typedtree.value_binding) =
+    match vb.vb_expr.exp_desc with
+    | Texp_function _ | Texp_ident _ -> true
+    | _ -> false
+  in
+  let var_id (vb : Typedtree.value_binding) =
+    match vb.vb_pat.pat_desc with
+    | Tpat_var (id, _) -> Some (Ident.unique_name id)
+    | _ -> None
+  in
+  match rf with
+  | Asttypes.Nonrecursive ->
+      List.fold_left
+        (fun (contrib, env') vb ->
+          match (var_id vb, is_deferred vb) with
+          | Some key, true ->
+              (contrib, SM.add key (eff st env vb.Typedtree.vb_expr) env')
+          | _ -> (union contrib (eff st env vb.Typedtree.vb_expr), env'))
+        (SM.empty, env) vbs
+  | Asttypes.Recursive ->
+      let keys = List.filter_map var_id vbs in
+      let seed =
+        List.fold_left (fun acc k -> SM.add k SM.empty acc) env keys
+      in
+      let step env_rec =
+        List.fold_left
+          (fun acc vb ->
+            match var_id vb with
+            | Some key -> SM.add key (eff st env_rec vb.Typedtree.vb_expr) acc
+            | None -> acc)
+          env_rec vbs
+      in
+      let rec fix env_rec n =
+        let next = step env_rec in
+        let stable =
+          List.for_all
+            (fun k ->
+              SM.equal
+                (fun _ _ -> true)
+                (SM.find k env_rec) (SM.find k next))
+            keys
+        in
+        if stable || n >= 10 then next else fix next (n + 1)
+      in
+      let env' = fix seed 0 in
+      let contrib =
+        List.fold_left
+          (fun acc vb ->
+            if var_id vb = None || not (is_deferred vb) then
+              union acc (eff st env' vb.Typedtree.vb_expr)
+            else acc)
+          SM.empty vbs
+      in
+      (contrib, env')
+
+and immediate_children e =
+  let acc = ref [] in
+  let it =
+    let open Tast_iterator in
+    { default_iterator with expr = (fun _ c -> acc := c :: !acc) }
+  in
+  Tast_iterator.default_iterator.expr it e;
+  List.rev !acc
+
+(* Global fixpoint over every definition in every unit.  Summaries only
+   grow (catch subtraction has a fixed subtrahend), so this terminates;
+   the iteration cap is belt-and-braces. *)
+let analyze graphs =
+  let defs =
+    List.concat_map
+      (fun g -> List.map (fun d -> (g, d)) g.Callgraph.g_defs)
+      graphs
+  in
+  let globals =
+    ref
+      (List.fold_left
+         (fun acc (_, d) -> SM.add d.Callgraph.d_id SM.empty acc)
+         SM.empty defs)
+  in
+  let changed = ref true in
+  let iters = ref 0 in
+  while !changed && !iters < 100 do
+    changed := false;
+    incr iters;
+    List.iter
+      (fun ((g : Callgraph.t), (d : Callgraph.def)) ->
+        let st = { g; globals = !globals } in
+        let s = eff st SM.empty d.Callgraph.d_body in
+        let old = SM.find d.Callgraph.d_id !globals in
+        if not (SM.equal (fun _ _ -> true) old s) then begin
+          globals := SM.add d.Callgraph.d_id s !globals;
+          changed := true
+        end)
+      defs
+  done;
+  { globals = !globals }
+
+let residual (t : t) node =
+  match SM.find_opt node t.globals with
+  | Some s -> SM.bindings s
+  | None -> []
+
+let loc_string (loc : Location.t) =
+  Printf.sprintf "%s:%d" loc.loc_start.Lexing.pos_fname
+    loc.loc_start.Lexing.pos_lnum
+
+(* Follow [Via] links down to the concrete raise site. *)
+let chain (t : t) ~exn origin =
+  let rec go origin visited =
+    match origin with
+    | Direct (loc, desc) ->
+        [ Printf.sprintf "%s (%s) at %s" desc exn (loc_string loc) ]
+    | Via node ->
+        if List.mem node visited || List.length visited > 20 then
+          [ node ^ " -> ..." ]
+        else
+          let rest =
+            match SM.find_opt node t.globals with
+            | Some s -> (
+                match SM.find_opt exn s with
+                | Some next -> go next (node :: visited)
+                | None -> [])
+            | None -> []
+          in
+          node :: rest
+  in
+  String.concat " -> " (go origin [])

@@ -57,6 +57,20 @@ let r9_hint =
   "route process IO through Dbp_serve.Daemon; only lib/serve/ may touch \
    sockets, file descriptors or signal handlers"
 
+let r10_hint =
+  "the use resolves to a confined primitive even though it is written \
+   differently (module alias, open, include); route through the \
+   designated module instead of smuggling the name"
+
+let r11_hint =
+  "make the function total (handle the raising case, catch the \
+   exception) or drop the [@dbp.total] attribute"
+
+let r12_hint =
+  "decision paths must be deterministic and replayable: inject the \
+   clock (Dbp_obs.Clock.t) or an explicit seed instead of reaching the \
+   source"
+
 let all =
   [
     { id = "R0"; name = "unused-suppression"; hint = r0_hint };
@@ -69,7 +83,12 @@ let all =
     { id = "R7"; name = "concurrency-confinement"; hint = r7_hint };
     { id = "R8"; name = "wall-clock-confinement"; hint = r8_hint };
     { id = "R9"; name = "unix-io-confinement"; hint = r9_hint };
+    { id = "R10"; name = "resolved-confinement"; hint = r10_hint };
+    { id = "R11"; name = "total-annotation"; hint = r11_hint };
+    { id = "R12"; name = "decision-determinism"; hint = r12_hint };
   ]
+
+let is_known_id id = List.exists (fun i -> i.id = id) all
 
 (* ---- identifier classification ---------------------------------------- *)
 
@@ -122,16 +141,16 @@ let concurrency_modules = [ "Domain"; "Mutex"; "Condition"; "Atomic" ]
 
 (* A qualified use rooted in one of the shared-memory primitive modules:
    [Domain.spawn], [Mutex.t], [Stdlib.Atomic.make], ...  A bare module
-   name alone never matches (there is nothing to use without a member). *)
-let concurrency_use lid =
-  let components =
-    match Longident.flatten lid with
-    | "Stdlib" :: rest -> rest
-    | components -> components
-  in
+   name alone never matches (there is nothing to use without a member).
+   The [_comps] cores work on already-split components so the semantic
+   phase can feed them typechecker-resolved paths. *)
+let concurrency_comps components =
   match components with
   | m :: _ :: _ when List.mem m concurrency_modules -> Some m
   | _ -> None
+
+let concurrency_use lid =
+  concurrency_comps (Callgraph.strip_stdlib (Longident.flatten lid))
 
 (* The whole point of the rule: the pool is the one place allowed to
    spawn and synchronise, so everything under lib/par/ is exempt. *)
@@ -143,16 +162,14 @@ let r7_exempt path =
 
 (* A read of the system clock: Unix.gettimeofday, Unix.time, Sys.time
    (bare or Stdlib-qualified). *)
-let wallclock_use lid =
-  let components =
-    match Longident.flatten lid with
-    | "Stdlib" :: rest -> rest
-    | components -> components
-  in
+let wallclock_comps components =
   match components with
   | [ "Unix"; ("gettimeofday" | "time") ] | [ "Sys"; "time" ] ->
       Some (String.concat "." components)
   | _ -> None
+
+let wallclock_use lid =
+  wallclock_comps (Callgraph.strip_stdlib (Longident.flatten lid))
 
 (* Clock injection has to bottom out somewhere: Obs.Clock is that place,
    and the bench harness (bechamel's domain) stays free to time however
@@ -169,17 +186,15 @@ let r8_exempt ~scope path =
    signals — except the clock reads, which are R8's domain.  [Sys]'s
    signal installers count too: a handler is process state wherever it
    is registered. *)
-let unix_io_use lid =
-  let components =
-    match Longident.flatten lid with
-    | "Stdlib" :: rest -> rest
-    | components -> components
-  in
+let unix_io_comps components =
   match components with
   | [ "Unix"; ("gettimeofday" | "time") ] -> None (* R8, not R9 *)
   | "Unix" :: _ :: _ | [ "Sys"; ("signal" | "set_signal") ] ->
       Some (String.concat "." components)
   | _ -> None
+
+let unix_io_use lid =
+  unix_io_comps (Callgraph.strip_stdlib (Longident.flatten lid))
 
 (* The daemon shell is the designated process-facing module: everything
    under lib/serve/ may do real IO, nothing else may. *)
@@ -388,6 +403,167 @@ let check_signature ~path scope sg =
   List.rev !acc
 
 (* ---- R5: every lib/ implementation ships an interface ----------------- *)
+
+(* ---- semantic phase: R10-R12 over the typed call graph ---------------- *)
+
+(* Findings from the typed tree keep the driver-relative [file] (cmt
+   locations carry whatever path the compiler was invoked with, which
+   need not match), taking only line/column from the location. *)
+let finding_at ~rule ~file (loc : Location.t) ~message ~hint =
+  let p = loc.Location.loc_start in
+  Finding.v ~rule ~file ~line:p.Lexing.pos_lnum
+    ~col:(p.Lexing.pos_cnum - p.Lexing.pos_bol)
+    ~message ~hint
+
+(* Taint classification over canonical components, shared by R12's
+   reachability analysis.  Clock before IO so [Unix.time] classifies as
+   a clock read, mirroring the R8/R9 split. *)
+let classify_taint comps =
+  match wallclock_comps comps with
+  | Some name -> Some (Taint.Clock, name)
+  | None -> (
+      match comps with
+      | "Random" :: _ :: _ -> Some (Taint.Rand, String.concat "." comps)
+      | _ -> (
+          match concurrency_comps comps with
+          | Some _ -> Some (Taint.Conc, String.concat "." comps)
+          | None -> (
+              match unix_io_comps comps with
+              | Some name -> Some (Taint.Io, name)
+              | None -> None)))
+
+(* R10 covers the same three confinement families as R7/R8/R9 (never
+   randomness: that is R12's transitive concern), on resolved
+   components.  [include M] brings every member of a confined module
+   into scope, so a bare head match suffices there. *)
+let r10_classify ~include_ comps =
+  if include_ then
+    match comps with
+    | m :: _ when List.mem m concurrency_modules -> Some (Taint.Conc, m)
+    | "Unix" :: _ -> Some (Taint.Io, "Unix")
+    | _ -> None
+  else
+    match concurrency_comps comps with
+    | Some _ -> Some (Taint.Conc, String.concat "." comps)
+    | None -> (
+        match wallclock_comps comps with
+        | Some name -> Some (Taint.Clock, name)
+        | None -> (
+            match unix_io_comps comps with
+            | Some name -> Some (Taint.Io, name)
+            | None -> None))
+
+(* Per-class exemptions are the same designated modules the syntactic
+   rules use; randomness has no designated module in lib/. *)
+let confinement_exempt ~scope path = function
+  | Taint.Conc -> r7_exempt path
+  | Taint.Clock -> r8_exempt ~scope path
+  | Taint.Io -> r9_exempt path
+  | Taint.Rand -> false
+
+(* The written form already triggering a syntactic classifier means the
+   use is either reported by R7/R8/R9 or exempted by them -- either way
+   R10 repeating it would double-report. *)
+let syntactically_visible lid =
+  concurrency_use lid <> None
+  || wallclock_use lid <> None
+  || unix_io_use lid <> None
+
+let r10_message cls name written =
+  let verb =
+    match cls with
+    | Taint.Conc -> "used outside lib/par"
+    | Taint.Clock -> "reads the wall clock outside Obs.Clock"
+    | Taint.Io -> "does process IO outside lib/serve"
+    | Taint.Rand -> "is nondeterministic"
+  in
+  Printf.sprintf "%s %s (resolved from %s)" name verb written
+
+let r10_class_hint = function
+  | Taint.Conc -> r7_hint
+  | Taint.Clock -> r8_hint
+  | Taint.Io -> r9_hint
+  | Taint.Rand -> r12_hint
+
+(* Decision-path modules R12 holds to zero unexempted taint: the online
+   engine and the serve-side admission/placement chain.  lib/serve is
+   r9-exempt, so for those files R12 effectively guards clock,
+   randomness and concurrency reachability. *)
+let r12_targets =
+  [
+    "lib/online/engine.ml";
+    "lib/serve/stream_engine.ml";
+    "lib/serve/session.ml";
+    "lib/serve/portfolio.ml";
+    "lib/serve/admission.ml";
+  ]
+
+let check_semantic graphs =
+  let eff = Effects.analyze graphs in
+  let tnt = Taint.analyze ~classify:classify_taint graphs in
+  List.concat_map
+    (fun (g : Callgraph.t) ->
+      let path = g.g_file in
+      let scope = scope_of_path path in
+      let r10 =
+        List.filter_map
+          (fun (u : Callgraph.use) ->
+            match r10_classify ~include_:u.u_include u.u_comps with
+            | Some (cls, name)
+              when (not (confinement_exempt ~scope path cls))
+                   && not (syntactically_visible u.u_written) ->
+                let written =
+                  String.concat "." (Longident.flatten u.u_written)
+                in
+                Some
+                  (finding_at ~rule:"R10" ~file:path u.u_loc
+                     ~message:(r10_message cls name written)
+                     ~hint:(r10_class_hint cls))
+            | _ -> None)
+          (Callgraph.all_uses g)
+      in
+      let r11 =
+        List.filter_map
+          (fun (d : Callgraph.def) ->
+            if not d.d_total then None
+            else
+              match Effects.residual eff d.d_id with
+              | [] -> None
+              | (exn0, origin0) :: _ as residual ->
+                  let exns = List.map fst residual in
+                  Some
+                    (finding_at ~rule:"R11" ~file:path d.d_loc
+                       ~message:
+                         (Printf.sprintf "[@dbp.total] %s may raise: %s"
+                            d.d_id
+                            (String.concat ", " exns))
+                       ~hint:
+                         (d.d_id ^ " -> "
+                         ^ Effects.chain eff ~exn:exn0 origin0)))
+          g.g_defs
+      in
+      let r12 =
+        if not (List.mem (norm_path path) r12_targets) then []
+        else
+          List.concat_map
+            (fun (d : Callgraph.def) ->
+              Taint.taints tnt d.d_id
+              |> List.filter_map (fun (cls, origin) ->
+                     if confinement_exempt ~scope path cls then None
+                     else
+                       Some
+                         (finding_at ~rule:"R12" ~file:path d.d_loc
+                            ~message:
+                              (Printf.sprintf
+                                 "decision path %s transitively reaches a \
+                                  %s source"
+                                 d.d_id (Taint.cls_name cls))
+                            ~hint:
+                              (d.d_id ^ " -> " ^ Taint.chain tnt ~cls origin))))
+            g.g_defs
+      in
+      r10 @ r11 @ r12)
+    graphs
 
 let check_missing_mli ?(scope = scope_of_path) files =
   List.filter_map

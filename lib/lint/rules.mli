@@ -14,7 +14,20 @@
     ([Unix.*] except the R8 clock reads, [Sys.signal]/[Sys.set_signal],
     and the [Unix.file_descr]/[Unix.sockaddr] types) outside
     [lib/serve/] — the daemon shell is the one process-facing module.
-    [R0] marks suppression hygiene errors and [P0] parse failures. *)
+    [R0] marks suppression hygiene errors and [P0] parse failures.
+
+    Three semantic rules run over the typed call graph ({!Callgraph}
+    built from [.cmt] artifacts, see {!check_semantic}): R10 re-checks
+    the R7/R8/R9 confinement on typechecker-resolved paths, catching
+    [module U = Unix] aliases, [open]ed uses and [include]s the
+    syntactic walk cannot see; R11 requires every
+    [[@dbp.total]]-annotated function to have an empty residual
+    may-raise set ({!Effects}), rendering the offending call chain in
+    the hint; R12 requires the decision-path modules (online engine,
+    serve admission/placement chain) to stay free of transitively
+    reachable wall-clock, randomness and concurrency sources
+    ({!Taint}), with the same designated-module exemptions as
+    R7/R8/R9.  [C0] marks missing/stale artifacts. *)
 
 type scope = Lib | Bin | Bench | Test | Other
 
@@ -24,8 +37,12 @@ val scope_of_path : string -> scope
 
 type info = { id : string; name : string; hint : string }
 
-(** Registry metadata, R0 plus R1..R9. *)
+(** Registry metadata, R0 plus R1..R12. *)
 val all : info list
+
+(** Is [id] a registered rule id (["R0"]..["R12"])?  [P0]/[C0] are
+    pseudo-rules and not listed: they always pass rule filters. *)
+val is_known_id : string -> bool
 
 (** Run the expression rules over an implementation. *)
 val check_structure :
@@ -39,3 +56,9 @@ val check_signature :
     same listing.  [scope] overrides path-derived scoping for tests. *)
 val check_missing_mli :
   ?scope:(string -> scope) -> string list -> Finding.t list
+
+(** Run the semantic rules (R10 resolved confinement, R11 totality of
+    [[@dbp.total]] functions, R12 decision-path determinism) over the
+    call graphs of a set of units.  Findings carry each graph's
+    [g_file] as their file. *)
+val check_semantic : Callgraph.t list -> Finding.t list

@@ -1,0 +1,121 @@
+(* Transitive taint reachability over the call graph.
+
+   A taint source is any resolved use whose canonical components the
+   injected [classify] function recognises (wall-clock reads, [Random],
+   [Domain]/[Atomic]/[Thread]/[Mutex], [Unix]/[Sys] process IO -- the
+   classifier lives in {!Rules} so the source tables stay in one place
+   and this module stays cycle-free).  Each node's taint set is its
+   direct sources plus, via a fixpoint, everything reachable through
+   calls to other analyzed nodes.  Origins mirror {!Effects}: [Direct]
+   points at the use site, [Via] one hop down the chain. *)
+
+module SM = Map.Make (String)
+
+type cls = Clock | Rand | Conc | Io
+
+let cls_name = function
+  | Clock -> "wall-clock"
+  | Rand -> "randomness"
+  | Conc -> "concurrency"
+  | Io -> "process/IO"
+
+type origin = Direct of Location.t * string | Via of string
+
+type t = { taints : (cls * origin) list SM.t }
+
+let add_taint cls origin l =
+  if List.exists (fun (c, _) -> c = cls) l then l else (cls, origin) :: l
+
+let analyze ~classify graphs =
+  let defs =
+    List.concat_map
+      (fun g -> List.map (fun d -> (g, d)) g.Callgraph.g_defs)
+      graphs
+  in
+  let node_ids =
+    List.fold_left
+      (fun acc (_, (d : Callgraph.def)) -> SM.add d.d_id () acc)
+      SM.empty defs
+  in
+  (* Direct sources and intra-graph call edges, both straight off the
+     resolved uses. *)
+  let direct, edges =
+    List.fold_left
+      (fun (direct, edges) ((_ : Callgraph.t), (d : Callgraph.def)) ->
+        let srcs, callees =
+          List.fold_left
+            (fun (srcs, callees) (u : Callgraph.use) ->
+              let srcs =
+                match classify u.u_comps with
+                | Some (cls, name) ->
+                    add_taint cls (Direct (u.u_loc, name)) srcs
+                | None -> srcs
+              in
+              let key = Callgraph.join u.u_comps in
+              let callees =
+                if SM.mem key node_ids && key <> d.d_id then key :: callees
+                else callees
+              in
+              (srcs, callees))
+            ([], []) d.d_uses
+        in
+        (SM.add d.d_id srcs direct, SM.add d.d_id callees edges))
+      (SM.empty, SM.empty) defs
+  in
+  let taints = ref direct in
+  let changed = ref true in
+  let iters = ref 0 in
+  while !changed && !iters < 100 do
+    changed := false;
+    incr iters;
+    List.iter
+      (fun ((_ : Callgraph.t), (d : Callgraph.def)) ->
+        let current = SM.find d.d_id !taints in
+        let next =
+          List.fold_left
+            (fun acc callee ->
+              match SM.find_opt callee !taints with
+              | Some ts ->
+                  List.fold_left
+                    (fun acc (cls, _) -> add_taint cls (Via callee) acc)
+                    acc ts
+              | None -> acc)
+            current
+            (SM.find d.d_id edges)
+        in
+        if List.length next <> List.length current then begin
+          taints := SM.add d.d_id next !taints;
+          changed := true
+        end)
+      defs
+  done;
+  { taints = !taints }
+
+let taints t node =
+  match SM.find_opt node t.taints with Some l -> List.rev l | None -> []
+
+let loc_string (loc : Location.t) =
+  Printf.sprintf "%s:%d" loc.loc_start.Lexing.pos_fname
+    loc.loc_start.Lexing.pos_lnum
+
+let chain t ~cls origin =
+  let rec go origin visited =
+    match origin with
+    | Direct (loc, name) ->
+        [ Printf.sprintf "%s (%s source) at %s" name (cls_name cls)
+            (loc_string loc) ]
+    | Via node ->
+        if List.mem node visited || List.length visited > 20 then
+          [ node ^ " -> ..." ]
+        else
+          let rest =
+            match SM.find_opt node t.taints with
+            | Some ts -> (
+                match List.find_opt (fun (c, _) -> c = cls) ts with
+                | Some (_, next) -> go next (node :: visited)
+                | None -> [])
+            | None -> []
+          in
+          node :: rest
+  in
+  String.concat " -> " (go origin [])

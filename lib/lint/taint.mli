@@ -1,0 +1,32 @@
+(** Transitive reachability of nondeterminism and IO sources over the
+    {!Callgraph}.
+
+    The classifier is injected (it lives in [Rules], next to the
+    syntactic source tables) to keep this module dependency-free: it
+    maps canonical use components to a taint class plus the source's
+    display name. *)
+
+type cls =
+  | Clock  (** wall-clock reads *)
+  | Rand  (** [Random] *)
+  | Conc  (** [Domain]/[Atomic]/[Thread]/[Mutex]/... *)
+  | Io  (** [Unix]/process IO *)
+
+val cls_name : cls -> string
+
+type origin =
+  | Direct of Location.t * string  (** use site and source name *)
+  | Via of string  (** one hop down the call chain, by node id *)
+
+type t
+
+val analyze :
+  classify:(string list -> (cls * string) option) -> Callgraph.t list -> t
+
+(** Taint classes reachable from a node id, at most one entry per
+    class. *)
+val taints : t -> string -> (cls * origin) list
+
+(** Render the call chain from an origin down to the concrete source
+    use. *)
+val chain : t -> cls:cls -> origin -> string

@@ -1,6 +1,6 @@
 open Dbp_core
 
-let parse line =
+let[@dbp.total] parse line =
   match Json_lite.parse_object line with
   | Error e -> Error e
   | Ok fields -> (

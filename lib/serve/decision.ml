@@ -27,7 +27,7 @@ let render = function
         job (reason_name reason)
         (Json_lite.fmt_num time)
 
-let parse line =
+let[@dbp.total] parse line =
   match Json_lite.parse_object line with
   | Error e -> Error e
   | Ok fields -> (

@@ -17,7 +17,7 @@ let is_num_char = function
   | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
   | _ -> false
 
-let parse_object s =
+let[@dbp.total] parse_object s =
   let n = String.length s in
   let pos = ref 0 in
   let skip_ws () =
@@ -125,15 +125,15 @@ let parse_object s =
   | fields -> Ok fields
   | exception Fail msg -> Error msg
 
-let field fields name = List.assoc_opt name fields
+let[@dbp.total] field fields name = List.assoc_opt name fields
 
-let num_field fields name =
+let[@dbp.total] num_field fields name =
   match field fields name with
   | Some (Num v) -> Ok v
   | Some _ -> Error (Printf.sprintf "field %S is not a number" name)
   | None -> Error (Printf.sprintf "missing field %S" name)
 
-let int_field fields name =
+let[@dbp.total] int_field fields name =
   match num_field fields name with
   | Error _ as e -> e
   | Ok v ->

@@ -38,7 +38,7 @@ let to_payload t =
       "";
     ]
 
-let of_payload s =
+let[@dbp.total] of_payload s =
   let kvs =
     String.split_on_char '\n' s
     |> List.filter (fun l -> l <> "")

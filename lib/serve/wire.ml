@@ -36,7 +36,7 @@ let encode payload =
   Buffer.add_string buf (Digest.string payload);
   Buffer.contents buf
 
-let decode s =
+let[@dbp.total] decode s =
   let len = String.length s in
   if len < header_len then Error (Truncated { expected = header_len; actual = len })
   else if not (String.equal (String.sub s 0 (String.length magic)) magic) then

@@ -94,7 +94,7 @@ let of_string s =
    (or an empty trace) is itself just a recorded defect, and the rows
    are parsed as if the header were present.  The serve fuzz suite feeds
    this arbitrary byte strings to keep it that way. *)
-let of_string_lenient s =
+let[@dbp.total] of_string_lenient s =
   let errors = ref [] in
   let rows =
     match rows_of_string s with
@@ -125,7 +125,7 @@ let of_string_lenient s =
     | instance -> instance
     | exception Invalid_argument msg ->
         errors := (1, msg) :: !errors;
-        Instance.of_items []
+        Instance.empty
   in
   (instance, List.rev !errors)
 

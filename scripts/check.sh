@@ -23,6 +23,15 @@ echo "== dune build @lint =="
 # set R1-R9 over lib/ bin/ bench/ test/; exits non-zero on any finding.
 dune build @lint
 
+echo "== semantic lint (R10-R12) =="
+# Typed-artifact phase (DESIGN.md section 15): alias-proof confinement,
+# [@dbp.total] totality of the serve/workload parsers, decision-path
+# determinism -- all over the .cmt files the build above just produced.
+# A C0 finding (exit 2) means the artifacts are stale or missing: run
+# `dune build` again before re-running this stage.
+dbp_bin=_build/default/bin/dbp.exe
+"$dbp_bin" lint --semantic --rules R10,R11,R12 lib
+
 echo "== dune runtest =="
 # Includes the fault suite (test/test_faults.ml): empty-plan differential,
 # capacity-under-crashes, checkpoint round-trips, structured errors.
@@ -74,7 +83,6 @@ echo "== serve smoke: SIGKILL mid-stream + --resume, byte-identical =="
 # correctness does not depend on where it lands.
 serve_dir=$(mktemp -d)
 trap 'rm -rf "$obs_dir" "$serve_dir"' EXIT
-dbp_bin=_build/default/bin/dbp.exe
 "$dbp_bin" gen --jsonl --horizon 550 --seed 11 -o "$serve_dir/arrivals.jsonl"
 echo "$(wc -l < "$serve_dir/arrivals.jsonl") arrivals"
 "$dbp_bin" serve --input "$serve_dir/arrivals.jsonl" \

@@ -1,0 +1,4 @@
+(* Seeded evasion: the alias hides Unix from the syntactic R9 walk. *)
+module U = Unix
+
+let pid () = U.getpid ()

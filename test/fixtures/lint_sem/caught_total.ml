@@ -1,0 +1,4 @@
+(* True negative: the partial call's exception is caught locally, so
+   the residual may-raise set is empty. *)
+let[@dbp.total] head_or default xs =
+  match List.hd xs with v -> v | exception Failure _ -> default

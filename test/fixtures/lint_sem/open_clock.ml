@@ -1,0 +1,5 @@
+(* Seeded evasion: the open resolves the clock read only for the
+   typechecker; the written form is a bare identifier. *)
+open Unix
+
+let now () = gettimeofday ()

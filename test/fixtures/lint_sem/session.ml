@@ -1,0 +1,5 @@
+(* Seeded R12 violation: direct and transitive randomness in a decision
+   path (compiled at lib/serve/session.ml, an R12 target). *)
+let jitter () = Random.float 1.0
+
+let decide load = load +. jitter ()

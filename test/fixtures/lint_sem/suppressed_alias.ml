@@ -1,0 +1,4 @@
+module U = Unix
+
+(* dbp-lint: allow R10 sanctioned alias for the syscall shim *)
+let pid () = U.getpid ()

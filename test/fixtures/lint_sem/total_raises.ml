@@ -1,0 +1,3 @@
+(* Seeded evasion: a documented-total function calling a partial stdlib
+   function. *)
+let[@dbp.total] first xs = List.hd xs

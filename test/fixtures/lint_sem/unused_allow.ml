@@ -1,0 +1,2 @@
+(* dbp-lint: allow R11 nothing raises here *)
+let id x = x

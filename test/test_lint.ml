@@ -165,8 +165,12 @@ let test_parse_error () =
 let test_registry () =
   let ids = List.map (fun r -> r.Rules.id) Rules.all in
   Alcotest.(check (list string))
-    "registry covers R0 plus the nine rules"
-    [ "R0"; "R1"; "R2"; "R3"; "R4"; "R5"; "R6"; "R7"; "R8"; "R9" ]
+    "registry covers R0, the nine syntactic rules and the three \
+     semantic rules"
+    [
+      "R0"; "R1"; "R2"; "R3"; "R4"; "R5"; "R6"; "R7"; "R8"; "R9"; "R10";
+      "R11"; "R12";
+    ]
     ids
 
 let test_json () =

@@ -1,30 +1,71 @@
 (* dbp-lint: standalone entry point, also exposed as `dbp lint`.
 
-   Usage: dbp-lint [--json] [PATH ...]
+   Usage: dbp-lint [--json] [--semantic] [--rules R10,R11]
+                   [--build-root DIR] [PATH ...]
    Paths default to lib bin bench test (those that exist under the
-   current directory).  Exit status: 0 clean, 1 findings, 2 usage or
-   I/O error. *)
+   current directory).
+
+   Exit status contract (CI gates on it): 0 clean, 1 findings,
+   2 usage error or artifact-load error (any C0 finding). *)
 
 let default_roots () =
   List.filter Sys.file_exists [ "lib"; "bin"; "bench"; "test" ]
 
+let parse_rules csv =
+  let ids =
+    String.split_on_char ',' csv
+    |> List.map String.trim
+    |> List.filter (fun s -> s <> "")
+  in
+  if ids = [] then begin
+    prerr_endline "dbp-lint: --rules needs a comma-separated id list";
+    exit 2
+  end;
+  List.iter
+    (fun id ->
+      if not (Dbp_lint.Rules.is_known_id id) then begin
+        Printf.eprintf
+          "dbp-lint: unknown rule id %s (see --list-rules)\n" id;
+        exit 2
+      end)
+    ids;
+  ids
+
 let () =
   let json = ref false in
+  let semantic = ref false in
+  let rules = ref None in
+  let build_root = ref None in
   let paths = ref [] in
   let spec =
     [
       ("--json", Arg.Set json, " emit machine-readable JSON findings");
-      ("--rules", Arg.Unit (fun () ->
-           List.iter
-             (fun r ->
-               Printf.printf "%-4s %-26s %s\n" r.Dbp_lint.Rules.id
-                 r.Dbp_lint.Rules.name r.Dbp_lint.Rules.hint)
-             Dbp_lint.Rules.all;
-           exit 0),
-       " list the rule registry and exit");
+      ( "--semantic",
+        Arg.Set semantic,
+        " also run the typed rules R10-R12 over .cmt artifacts" );
+      ( "--rules",
+        Arg.String (fun csv -> rules := Some (parse_rules csv)),
+        "IDS keep only findings for these comma-separated rule ids \
+         (P0/C0 always pass)" );
+      ( "--build-root",
+        Arg.String (fun d -> build_root := Some d),
+        "DIR where to look for dune artifacts (default _build/default)" );
+      ( "--list-rules",
+        Arg.Unit
+          (fun () ->
+            List.iter
+              (fun r ->
+                Printf.printf "%-4s %-26s %s\n" r.Dbp_lint.Rules.id
+                  r.Dbp_lint.Rules.name r.Dbp_lint.Rules.hint)
+              Dbp_lint.Rules.all;
+            exit 0),
+        " list the rule registry and exit" );
     ]
   in
-  let usage = "dbp-lint [--json] [PATH ...]" in
+  let usage =
+    "dbp-lint [--json] [--semantic] [--rules IDS] [--build-root DIR] \
+     [PATH ...]"
+  in
   Arg.parse spec (fun p -> paths := p :: !paths) usage;
   let roots =
     match List.rev !paths with [] -> default_roots () | ps -> ps
@@ -33,12 +74,17 @@ let () =
     prerr_endline "dbp-lint: no lintable roots (run from the repo root)";
     exit 2
   end;
-  match Dbp_lint.Driver.lint_tree roots with
+  match
+    Dbp_lint.Driver.lint_tree ~semantic:!semantic ?build_root:!build_root
+      ?rules:!rules roots
+  with
   | findings ->
       print_string
         (if !json then Dbp_lint.Driver.to_json findings
          else Dbp_lint.Driver.to_text findings);
-      exit (if findings = [] then 0 else 1)
+      if List.exists (fun f -> Dbp_lint.Finding.rule f = "C0") findings then
+        exit 2
+      else exit (if findings = [] then 0 else 1)
   | exception Invalid_argument msg ->
       prerr_endline msg;
       exit 2
