@@ -1070,7 +1070,256 @@ let serve_ladder ~arrivals =
     ld_rejected = rejected;
   }
 
-let serve_json ~tp_rows ~soak ~restart ~ladder =
+(* ---- shard-scaling sweep (PR 9) ---------------------------------------
+
+   Time the sharded daemon end-to-end (file in, merged file + segments
+   out) at 1/2/4 shards over a tenant-striped workload, asserting the
+   determinism contract before trusting any number: every journal
+   segment must be byte-identical to an unsharded session driven over
+   the router-filtered input for that shard.  The >= 1.8x-at-4-shards
+   gate only holds where 4 cores exist; on smaller hosts the sweep
+   still runs (correctness is core-count independent) and the gate
+   records "cores_available" instead of failing. *)
+
+type shard_row = {
+  sh_shards : int;
+  sh_s : float;
+  sh_lps : float;
+  sh_speedup : float;  (* vs the 1-shard run *)
+}
+
+type shard_gate = {
+  sg_enforced : bool;
+  sg_reason : string;  (* "enforced" or why not *)
+  sg_speedup4 : float;
+}
+
+let shard_speedup_required = 1.8
+
+let serve_shard_sweep ~arrivals =
+  let inst = engine_instance arrivals in
+  let items = Dbp_core.Instance.arrivals_in_order inst in
+  let lines =
+    List.map
+      (fun item ->
+        Sv.Arrival.render
+          ~tenant:(Printf.sprintf "t%d" (Dbp_core.Item.id item mod 17))
+          item)
+      items
+  in
+  let n = List.length lines in
+  let scfg =
+    match Sv.Portfolio.by_name "first-fit" with
+    | Some algo -> Sv.Session.config ~snapshot_every:0 ~name:"first-fit" algo
+    | None -> failwith "serve shard bench: unknown algorithm first-fit"
+  in
+  let dir = Filename.temp_file "dbp_bench_shard" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter
+        (fun e -> Sys.remove (Filename.concat dir e))
+        (Sys.readdir dir);
+      Sys.rmdir dir)
+    (fun () ->
+      let input = Filename.concat dir "input.jsonl" in
+      let oc = open_out_bin input in
+      List.iter
+        (fun l ->
+          output_string oc l;
+          output_char oc '\n')
+        lines;
+      close_out oc;
+      let read_lines path =
+        In_channel.with_open_bin path (fun ic ->
+            let rec go acc =
+              match In_channel.input_line ic with
+              | Some l -> go (l :: acc)
+              | None -> List.rev acc
+            in
+            go [])
+      in
+      let unsharded_reference filtered =
+        let s = serve_session ~snapshot_every:0 "first-fit" in
+        let out = ref [] in
+        List.iter
+          (fun line ->
+            match Sv.Session.feed s ~depth:0 line with
+            | Sv.Session.Emit l -> out := l :: !out
+            | Sv.Session.Replayed | Sv.Session.Skipped _ -> ()
+            | Sv.Session.Fatal f ->
+                failwith ("serve shard bench: " ^ Sv.Session.fatal_to_string f))
+          filtered;
+        (match Sv.Session.finish s with
+        | Ok () -> ()
+        | Error f ->
+            failwith ("serve shard bench: " ^ Sv.Session.fatal_to_string f));
+        List.rev !out
+      in
+      let run_at k =
+        let output = Filename.concat dir (Printf.sprintf "s%d.out" k) in
+        let cfg =
+          {
+            Sv.Shard.base =
+              {
+                Sv.Daemon.default_config with
+                Sv.Daemon.input = Sv.Daemon.In_file input;
+                output;
+              };
+            shards = k;
+            routes = [];
+            metrics_port = None;
+          }
+        in
+        let t0 = Dbp_obs.Clock.now Dbp_obs.Clock.monotonic in
+        (match Sv.Shard.run cfg scfg with
+        | Ok _ -> ()
+        | Error e -> failwith ("serve shard bench: " ^ e));
+        let s = Dbp_obs.Clock.now Dbp_obs.Clock.monotonic -. t0 in
+        (* the determinism contract, checked before the number counts *)
+        let router = Sv.Router.create ~shards:k () in
+        let sc = Sv.Arrival.scratch () in
+        for i = 0 to k - 1 do
+          let filtered =
+            List.filter
+              (fun line ->
+                match Sv.Arrival.parse_into sc line with
+                | Ok () -> Sv.Arrival.shard_for router sc = i
+                | Error _ -> i = 0)
+              lines
+          in
+          let want = unsharded_reference filtered in
+          let got = read_lines (Sv.Shard.segment_path output i) in
+          if want <> got then
+            failwith
+              (Printf.sprintf
+                 "serve shard bench: segment %d of %d-shard run diverges \
+                  from the router-filtered unsharded run"
+                 i k)
+        done;
+        s
+      in
+      let t1 = run_at 1 in
+      let rows =
+        List.map
+          (fun k ->
+            let s = if k = 1 then t1 else run_at k in
+            let row =
+              {
+                sh_shards = k;
+                sh_s = s;
+                sh_lps = float_of_int n /. s;
+                sh_speedup = t1 /. s;
+              }
+            in
+            Printf.printf
+              "  shards %d  %7d arrivals  %8.4fs  (%.0f lines/s, %.2fx, \
+               segments verified)\n\
+               %!"
+              k n s row.sh_lps row.sh_speedup;
+            row)
+          [ 1; 2; 4 ]
+      in
+      let speedup4 =
+        match List.find_opt (fun r -> r.sh_shards = 4) rows with
+        | Some r -> r.sh_speedup
+        | None -> 0.
+      in
+      let cores = Dbp_par.Pool.available_cores () in
+      let gate =
+        if cores >= 4 then begin
+          if speedup4 < shard_speedup_required then
+            failwith
+              (Printf.sprintf
+                 "serve shard bench: %.2fx at 4 shards on %d cores (gate \
+                  %.1fx)"
+                 speedup4 cores shard_speedup_required);
+          { sg_enforced = true; sg_reason = "enforced"; sg_speedup4 = speedup4 }
+        end
+        else begin
+          Printf.printf
+            "  WARNING: speedup gate skipped — %d core(s) available, 4 \
+             needed\n\
+             %!"
+            cores;
+          {
+            sg_enforced = false;
+            sg_reason = "cores_available";
+            sg_speedup4 = speedup4;
+          }
+        end
+      in
+      (rows, gate))
+
+(* ---- allocation microbench (PR 9) --------------------------------------
+
+   Minor words per arrival through the generic parse (field list +
+   per-key buffers) vs the in-place parse_into scratch path the router
+   thread runs.  The committed ceiling holds the zero-alloc path to its
+   budget: a regression that re-boxes the hot path fails the bench, not
+   just a profile. *)
+
+type alloc_result = {
+  al_lines : int;
+  al_parse_wpl : float;
+  al_parse_into_wpl : float;
+}
+
+let parse_into_words_ceiling = 48.
+
+let serve_alloc ~lines:n =
+  let inst = engine_instance n in
+  let items = Dbp_core.Instance.arrivals_in_order inst in
+  let arr =
+    Array.of_list
+      (List.mapi
+         (fun i item ->
+           Sv.Arrival.render ~tenant:(Printf.sprintf "t%d" (i mod 17)) item)
+         items)
+  in
+  let m = Array.length arr in
+  let per_line f =
+    f ();
+    (* warm: caches, minor heap shape *)
+    let before = Gc.minor_words () in
+    f ();
+    (Gc.minor_words () -. before) /. float_of_int m
+  in
+  let al_parse_wpl =
+    per_line (fun () ->
+        Array.iter
+          (fun line ->
+            match Sv.Arrival.parse line with
+            | Ok _ -> ()
+            | Error e -> failwith ("serve alloc bench: " ^ e))
+          arr)
+  in
+  let sc = Sv.Arrival.scratch () in
+  let al_parse_into_wpl =
+    per_line (fun () ->
+        Array.iter
+          (fun line ->
+            match Sv.Arrival.parse_into sc line with
+            | Ok () -> ()
+            | Error e -> failwith ("serve alloc bench: " ^ e))
+          arr)
+  in
+  if al_parse_into_wpl > parse_into_words_ceiling then
+    failwith
+      (Printf.sprintf
+         "serve alloc bench: parse_into allocates %.1f minor words/line \
+          (ceiling %.0f)"
+         al_parse_into_wpl parse_into_words_ceiling);
+  Printf.printf
+    "  alloc %7d lines  parse %.1f w/line  parse_into %.1f w/line \
+     (ceiling %.0f, %.1fx less)\n\
+     %!"
+    m al_parse_wpl al_parse_into_wpl parse_into_words_ceiling
+    (al_parse_wpl /. al_parse_into_wpl);
+  { al_lines = m; al_parse_wpl; al_parse_into_wpl }
+
+let serve_json ~tp_rows ~soak ~restart ~ladder ~shard_rows ~shard_gate ~alloc =
   let tp_json r =
     Printf.sprintf
       "    {\"algorithm\": \"%s\", \"arrivals\": %d, \"seconds\": %.6f, \
@@ -1091,8 +1340,13 @@ let serve_json ~tp_rows ~soak ~restart ~ladder =
          contract); restart times the full journal-replay resume path and \
          asserts digest equality with the live run; ladder drives a \
          triangle queue-depth wave through watermarks 100/200/300 and \
-         asserts every rung engages\",\n"
-        soak_heap_ceiling_words;
+         asserts every rung engages; shards times the sharded daemon at \
+         1/2/4 shards with every journal segment byte-compared against a \
+         router-filtered unsharded run before the number counts (speedup \
+         gate %.1fx at 4 shards, enforced only with >= 4 cores); alloc \
+         holds the zero-alloc arrival path to %.0f minor words/line\",\n"
+        soak_heap_ceiling_words shard_speedup_required
+        parse_into_words_ceiling;
       "  \"throughput\": [\n";
       String.concat ",\n" (List.map tp_json tp_rows);
       "\n  ],\n";
@@ -1113,9 +1367,32 @@ let serve_json ~tp_rows ~soak ~restart ~ladder =
         "  \"ladder\": {\"arrivals\": %d, \"watermarks\": {\"shed\": 100, \
          \"coarsen\": 200, \"reject\": 300}, \"shed_transitions\": %d, \
          \"coarsen_transitions\": %d, \"reject_transitions\": %d, \
-         \"rejected\": %d}\n"
+         \"rejected\": %d},\n"
         ladder.ld_arrivals ladder.ld_shed ladder.ld_coarsen ladder.ld_reject
         ladder.ld_rejected;
+      "  \"shards\": [\n";
+      String.concat ",\n"
+        (List.map
+           (fun r ->
+             Printf.sprintf
+               "    {\"shards\": %d, \"seconds\": %.6f, \"lines_per_s\": \
+                %.0f, \"speedup\": %.3f, \"segments_verified\": true}"
+               r.sh_shards r.sh_s r.sh_lps r.sh_speedup)
+           shard_rows);
+      "\n  ],\n";
+      Printf.sprintf
+        "  \"shard_gate\": {\"required_speedup_at_4\": %.1f, \"enforced\": \
+         %b, \"reason\": \"%s\", \"speedup_at_4\": %.3f, \
+         \"cores_available\": %d},\n"
+        shard_speedup_required shard_gate.sg_enforced shard_gate.sg_reason
+        shard_gate.sg_speedup4
+        (Dbp_par.Pool.available_cores ());
+      Printf.sprintf
+        "  \"alloc\": {\"lines\": %d, \"parse_minor_words_per_line\": %.1f, \
+         \"parse_into_minor_words_per_line\": %.1f, \
+         \"parse_into_ceiling_words\": %.0f}\n"
+        alloc.al_lines alloc.al_parse_wpl alloc.al_parse_into_wpl
+        parse_into_words_ceiling;
       "}\n";
     ]
 
@@ -1130,9 +1407,14 @@ let run_serve ~quick () =
   let soak = serve_soak ~arrivals:(if quick then 100_000 else 1_000_000) in
   let restart = serve_restart ~arrivals:(if quick then 10_000 else 100_000) in
   let ladder = serve_ladder ~arrivals:(if quick then 5_000 else 20_000) in
+  let shard_rows, shard_gate =
+    serve_shard_sweep ~arrivals:(if quick then 20_000 else 100_000)
+  in
+  let alloc = serve_alloc ~lines:(if quick then 20_000 else 100_000) in
   let out = if quick then "BENCH_serve_quick.json" else "BENCH_serve.json" in
   let oc = open_out out in
-  output_string oc (serve_json ~tp_rows ~soak ~restart ~ladder);
+  output_string oc
+    (serve_json ~tp_rows ~soak ~restart ~ladder ~shard_rows ~shard_gate ~alloc);
   close_out oc;
   Printf.printf "wrote %s\n" out
 

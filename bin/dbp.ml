@@ -411,7 +411,18 @@ let gen_cmd =
              family only).  Arrival count scales with it — the default \
              rate yields about 2T arrivals.")
   in
-  let run seed workload out jsonl horizon =
+  let tenants_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "tenants" ] ~docv:"K"
+          ~doc:
+            "With $(b,--jsonl): stamp each arrival with a \
+             $(b,\"tenant\":\"tJ\") field, J = id mod K — the key \
+             $(b,dbp serve --shards) routes by.  Deterministic, so the \
+             same trace regenerates identically.")
+  in
+  let run seed workload out jsonl horizon tenants =
     let instance =
       match horizon with
       | None -> make_instance ~seed workload None
@@ -424,11 +435,25 @@ let gen_cmd =
               prerr_endline "dbp gen: --horizon only applies to -w uniform";
               exit 2)
     in
+    (match tenants with
+    | Some k when k < 1 ->
+        prerr_endline "dbp gen: --tenants must be >= 1";
+        exit 2
+    | Some _ when not jsonl ->
+        prerr_endline "dbp gen: --tenants needs --jsonl (CSV has no tenant)";
+        exit 2
+    | _ -> ());
     if jsonl then begin
       let buf = Buffer.create 4096 in
       List.iter
         (fun item ->
-          Buffer.add_string buf (Dbp_serve.Arrival.render item);
+          let tenant =
+            Option.map
+              (fun k ->
+                Printf.sprintf "t%d" (Dbp_core.Item.id item mod k))
+              tenants
+          in
+          Buffer.add_string buf (Dbp_serve.Arrival.render ?tenant item);
           Buffer.add_char buf '\n')
         (Dbp_core.Instance.arrivals_in_order instance);
       write_out ~path:out (Buffer.contents buf)
@@ -442,7 +467,9 @@ let gen_cmd =
   in
   Cmd.v
     (Cmd.info "gen" ~doc:"Generate a workload trace to CSV or JSONL.")
-    Term.(const run $ seed_arg $ workload_arg $ out $ jsonl_flag $ horizon_arg)
+    Term.(
+      const run $ seed_arg $ workload_arg $ out $ jsonl_flag $ horizon_arg
+      $ tenants_arg)
 
 (* ---- pack ---- *)
 
@@ -817,9 +844,41 @@ let serve_cmd =
       & info [ "max-arrivals" ] ~docv:"N"
           ~doc:"Stop after N input lines (soak bounding).")
   in
+  let shards_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "shards" ] ~docv:"N"
+          ~doc:
+            "Shard-by-tenant scale-out: route arrivals by their \
+             $(b,tenant) key to N independent per-domain sessions, each \
+             with its own journal segment ($(b,--output).shardK), \
+             snapshot and ladder, plus a sequenced merged stream at \
+             $(b,--output) (DESIGN.md section 16).  0 (default) = the \
+             unsharded daemon.")
+  in
+  let routes_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "routes" ] ~docv:"FILE"
+          ~doc:
+            "Tenant pinning overrides for $(b,--shards): one \
+             TENANT=SHARD per line ($(b,#) comments); pinned tenants \
+             skip the hash.")
+  in
+  let metrics_port_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "metrics-port" ] ~docv:"PORT"
+          ~doc:
+            "Serve $(b,/metrics) (Prometheus exposition, per-shard \
+             labels) and $(b,/healthz) over HTTP/1.0 on \
+             127.0.0.1:PORT (0 = pick a free port; sharded mode only).")
+  in
   let run algo input socket output snapshot snapshot_every resume metrics_out
       trace_out shed coarsen reject coarsen_factor throttle_us crash_after
-      max_arrivals =
+      max_arrivals shards routes metrics_port =
     let engine =
       match Dbp_serve.Portfolio.by_name algo with
       | Some e -> e
@@ -857,7 +916,36 @@ let serve_cmd =
         log = prerr_endline;
       }
     in
-    match Dbp_serve.Daemon.run dcfg scfg with
+    let result =
+      if shards <= 0 then Dbp_serve.Daemon.run dcfg scfg
+      else begin
+        let route_list =
+          match routes with
+          | None -> []
+          | Some path -> (
+              let text =
+                let ic = open_in_bin path in
+                Fun.protect
+                  ~finally:(fun () -> close_in ic)
+                  (fun () -> really_input_string ic (in_channel_length ic))
+              in
+              match Dbp_serve.Router.parse_overrides text with
+              | Ok l -> l
+              | Error msg ->
+                  Printf.eprintf "dbp serve: %s: %s\n" path msg;
+                  exit 2)
+        in
+        Dbp_serve.Shard.run
+          {
+            Dbp_serve.Shard.base = dcfg;
+            shards;
+            routes = route_list;
+            metrics_port;
+          }
+          scfg
+      end
+    in
+    match result with
     | Ok stats ->
         Printf.eprintf
           "serve: %d lines in, %d placed, %d rejected, %d skipped, %d \
@@ -883,7 +971,8 @@ let serve_cmd =
       const run $ algo_arg $ input_arg $ socket_arg $ output_arg $ snapshot_arg
       $ snapshot_every_arg $ resume_flag $ metrics_out_arg $ trace_out_arg
       $ shed_arg $ coarsen_arg $ reject_arg $ coarsen_factor_arg $ throttle_arg
-      $ crash_after_arg $ max_arrivals_arg)
+      $ crash_after_arg $ max_arrivals_arg $ shards_arg $ routes_arg
+      $ metrics_port_arg)
 
 (* ---- lint ---- *)
 

@@ -496,6 +496,14 @@ let r12_targets =
     "lib/serve/session.ml";
     "lib/serve/portfolio.ml";
     "lib/serve/admission.ml";
+    (* PR 9 sharding: the router decides placement-relevant shard
+       assignment, and Http is the byte parser exposed to hostile
+       network input — both must stay free of clock/randomness/
+       concurrency reach.  Shard.ml itself is deliberately NOT listed:
+       it is the orchestration shell (domains, sockets, signals), the
+       sharded counterpart of daemon.ml. *)
+    "lib/serve/router.ml";
+    "lib/serve/http.ml";
   ]
 
 let check_semantic graphs =

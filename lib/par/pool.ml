@@ -257,3 +257,181 @@ let map_array t ?chunk f xs =
 
 let parallel_map t ?chunk f xs =
   Array.to_list (map_array t ?chunk f (Array.of_list xs))
+
+(* ---- resident mode ----------------------------------------------------- *)
+
+(* The daemon-shaped pool variant (DESIGN.md section 16): the epoch-
+   signalled job handoff above is the wrong shape for a process that
+   keeps per-domain state alive between messages, so a resident owns one
+   dedicated domain for its whole lifetime and receives work through a
+   bounded mailbox.  The handler closure is the resident state: it is
+   created before the domain spawns and touched only by that domain
+   afterwards, so per-message mutation needs no further synchronisation.
+   Every mailbox operation goes through one mutex, which is also what
+   publishes the handler's writes to a caller returning from [sync]
+   (mutex release in the worker happens-before acquire in the syncer). *)
+
+exception Resident_error of exn
+
+let () =
+  Printexc.register_printer (function
+    | Resident_error e ->
+        Some
+          (Printf.sprintf "Dbp_par.Pool.Resident_error (%s)"
+             (Printexc.to_string e))
+    | _ -> None)
+
+module Resident = struct
+  type 'a t = {
+    r_lock : Mutex.t;
+    r_not_empty : Condition.t;  (* worker: a message (or close) arrived *)
+    r_not_full : Condition.t;  (* poster: mailbox dropped below capacity *)
+    r_idle : Condition.t;  (* syncer: processed caught up with posted *)
+    r_mailbox : 'a Queue.t;
+    r_capacity : int;
+    mutable r_posted : int;
+    mutable r_processed : int;
+    mutable r_closed : bool;
+    mutable r_failure : exn option;  (* first handler exception *)
+    mutable r_domain : unit Domain.t option;
+  }
+
+  let default_capacity = 1024
+
+  (* Messages posted after a handler failure are drained and discarded
+     (still counted as processed, so [sync] never deadlocks); the
+     failure itself resurfaces on every subsequent operation. *)
+  let worker_loop r handler () =
+    Mutex.lock r.r_lock;
+    let rec loop () =
+      if Queue.is_empty r.r_mailbox then
+        if r.r_closed then Mutex.unlock r.r_lock
+        else begin
+          Condition.wait r.r_not_empty r.r_lock;
+          loop ()
+        end
+      else begin
+        let msg = Queue.pop r.r_mailbox in
+        let failed = r.r_failure <> None in
+        Mutex.unlock r.r_lock;
+        let outcome =
+          if failed then None
+          else match handler msg with () -> None | exception e -> Some e
+        in
+        Mutex.lock r.r_lock;
+        (match (outcome, r.r_failure) with
+        | Some e, None -> r.r_failure <- Some e
+        | _ -> ());
+        r.r_processed <- r.r_processed + 1;
+        Condition.signal r.r_not_full;
+        if r.r_processed = r.r_posted then Condition.broadcast r.r_idle;
+        loop ()
+      end
+    in
+    loop ()
+
+  let spawn ?(capacity = default_capacity) handler =
+    if capacity < 1 then invalid_arg "Pool.Resident.spawn: capacity < 1";
+    let r =
+      {
+        r_lock = Mutex.create ();
+        r_not_empty = Condition.create ();
+        r_not_full = Condition.create ();
+        r_idle = Condition.create ();
+        r_mailbox = Queue.create ();
+        r_capacity = capacity;
+        r_posted = 0;
+        r_processed = 0;
+        r_closed = false;
+        r_failure = None;
+        r_domain = None;
+      }
+    in
+    r.r_domain <- Some (Domain.spawn (worker_loop r handler));
+    r
+
+  let fail_if_broken r =
+    match r.r_failure with
+    | Some e ->
+        Mutex.unlock r.r_lock;
+        raise (Resident_error e)
+    | None -> ()
+
+  let post r msg =
+    Mutex.lock r.r_lock;
+    fail_if_broken r;
+    if r.r_closed then begin
+      Mutex.unlock r.r_lock;
+      invalid_arg "Pool.Resident.post: mailbox is closed"
+    end;
+    while Queue.length r.r_mailbox >= r.r_capacity && r.r_failure = None do
+      Condition.wait r.r_not_full r.r_lock
+    done;
+    fail_if_broken r;
+    Queue.push msg r.r_mailbox;
+    r.r_posted <- r.r_posted + 1;
+    Condition.signal r.r_not_empty;
+    Mutex.unlock r.r_lock
+
+  let depth r =
+    Mutex.lock r.r_lock;
+    let d = Queue.length r.r_mailbox in
+    Mutex.unlock r.r_lock;
+    d
+
+  let posted r =
+    Mutex.lock r.r_lock;
+    let n = r.r_posted in
+    Mutex.unlock r.r_lock;
+    n
+
+  let processed r =
+    Mutex.lock r.r_lock;
+    let n = r.r_processed in
+    Mutex.unlock r.r_lock;
+    n
+
+  let sync r =
+    Mutex.lock r.r_lock;
+    while r.r_processed < r.r_posted && r.r_failure = None do
+      Condition.wait r.r_idle r.r_lock
+    done;
+    fail_if_broken r;
+    Mutex.unlock r.r_lock
+
+  let close r =
+    Mutex.lock r.r_lock;
+    r.r_closed <- true;
+    Condition.broadcast r.r_not_empty;
+    let d = r.r_domain in
+    r.r_domain <- None;
+    Mutex.unlock r.r_lock;
+    (match d with Some d -> Domain.join d | None -> ());
+    match r.r_failure with
+    | Some e -> raise (Resident_error e)
+    | None -> ()
+end
+
+module Collector = struct
+  type 'a t = { c_lock : Mutex.t; c_queue : 'a Queue.t }
+
+  let create () = { c_lock = Mutex.create (); c_queue = Queue.create () }
+
+  let push c v =
+    Mutex.lock c.c_lock;
+    Queue.push v c.c_queue;
+    Mutex.unlock c.c_lock
+
+  let drain c =
+    Mutex.lock c.c_lock;
+    let out = List.of_seq (Queue.to_seq c.c_queue) in
+    Queue.clear c.c_queue;
+    Mutex.unlock c.c_lock;
+    out
+
+  let length c =
+    Mutex.lock c.c_lock;
+    let n = Queue.length c.c_queue in
+    Mutex.unlock c.c_lock;
+    n
+end

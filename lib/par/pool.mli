@@ -72,3 +72,73 @@ val shutdown : t -> unit
 
 val with_pool : ?domains:int -> (t -> 'a) -> 'a
 (** [create], run, [shutdown] (also on exception). *)
+
+(** {2 Resident mode}
+
+    The daemon-shaped pool variant: where {!parallel_for} hands a
+    one-shot job to the whole pool, a {!Resident.t} owns one dedicated
+    domain for its entire lifetime and receives messages through a
+    bounded mailbox — the shape a sharded service needs for per-domain
+    state (a packing session, a journal channel) that must survive
+    between messages.  [dbp serve --shards] pins one resident per shard
+    (DESIGN.md section 16). *)
+
+exception Resident_error of exn
+(** A resident's handler raised.  The first exception is remembered and
+    re-raised by every subsequent {!Resident.post}, {!Resident.sync} and
+    {!Resident.close}; messages already mailed are drained and
+    discarded so no caller deadlocks. *)
+
+module Resident : sig
+  type 'a t
+
+  val spawn : ?capacity:int -> ('a -> unit) -> 'a t
+  (** Spawn one domain running [handler] over posted messages in post
+      order.  The handler closure is the resident's state: created
+      before the spawn, touched only by the resident domain afterwards,
+      its effects published to callers by {!sync}'s mutex pairing.
+      [capacity] (default 1024) bounds the mailbox — {!post} blocks at
+      the bound, which is the shard backpressure signal.
+      @raise Invalid_argument if [capacity < 1]. *)
+
+  val post : 'a t -> 'a -> unit
+  (** Mail one message; blocks while the mailbox is at capacity.
+      @raise Resident_error if the handler has failed.
+      @raise Invalid_argument after {!close}. *)
+
+  val depth : 'a t -> int
+  (** Messages mailed but not yet taken by the handler — the queue-depth
+      gauge feeding the admission ladder. *)
+
+  val posted : 'a t -> int
+
+  val processed : 'a t -> int
+
+  val sync : 'a t -> unit
+  (** Block until every posted message has been processed.  On return
+      the handler's state writes are visible to the caller (and stay
+      coherent until the next {!post}).
+      @raise Resident_error if the handler has failed. *)
+
+  val close : 'a t -> unit
+  (** Drain the mailbox, stop the handler and join the domain.
+      Idempotent.
+      @raise Resident_error if the handler failed at any point. *)
+end
+
+(** A many-producer single-consumer FIFO for routing resident results
+    back to the orchestrating thread.  {!Collector.drain} is
+    non-blocking: it returns whatever has been pushed so far, in push
+    order. *)
+module Collector : sig
+  type 'a t
+
+  val create : unit -> 'a t
+  val push : 'a t -> 'a -> unit
+
+  val drain : 'a t -> 'a list
+  (** All values pushed since the last drain, oldest first; [[]] when
+      there is nothing pending. *)
+
+  val length : 'a t -> int
+end

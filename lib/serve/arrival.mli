@@ -1,6 +1,6 @@
 (** The [dbp serve] input line format: one job arrival per line,
 
-    {[ {"id":17,"size":0.25,"arrival":3,"departure":7.5} ]}
+    {[ {"id":17,"size":0.25,"arrival":3,"departure":7.5,"tenant":"t1"} ]}
 
     {!parse} is the lenient half of the malformed-input contract, in the
     spirit of [Dbp_workload.Trace.of_string_lenient]: it is {e total} —
@@ -12,14 +12,51 @@
 
     {!render} is the exact inverse: floats print with enough digits to
     re-parse bit-identically ({!Json_lite.fmt_num}), which [dbp gen
-    --jsonl] relies on to produce streams that replay exactly. *)
+    --jsonl] relies on to produce streams that replay exactly.
+
+    {!parse_into} is the sharded daemon's hot path: the same grammar as
+    {!parse}, scanned in place into a reusable {!scratch} with no
+    intermediate field list — plus the [tenant] field captured as a
+    slice so routing ({!shard_for}) allocates nothing either.  The two
+    parsers are kept in lockstep by a differential qcheck suite (same
+    Ok/Error verdict on arbitrary bytes, bit-equal items). *)
 
 open Dbp_core
 
 val parse : string -> (Item.t, string) result
 (** Never raises.  Unknown fields are ignored; [id]/[size]/[arrival]/
-    [departure] are required, [id] integral. *)
+    [departure] are required, [id] integral.  A [tenant] field of any
+    type is ignored like other unknown fields. *)
 
-val render : Item.t -> string
+val render : ?tenant:string -> Item.t -> string
 (** One line (no trailing newline); [parse (render i)] returns an item
-    equal to [i] field-for-field. *)
+    equal to [i] field-for-field.  With [?tenant], appends a
+    [,"tenant":"..."] field (escaped). *)
+
+(** {2 Zero-allocation parse path} *)
+
+type scratch
+(** Reusable parse destination: the parsed item plus the tenant slice of
+    the last line fed to {!parse_into}.  One scratch per shard-router
+    thread; not thread-safe. *)
+
+val scratch : unit -> scratch
+
+val parse_into : scratch -> string -> (unit, string) result
+(** Parse one line into [scratch].  Total, like {!parse}, and agrees
+    with it exactly: [Ok] iff [parse] returns [Ok], and then {!item}
+    is bit-equal to [parse]'s item.  On [Error] the scratch contents
+    are unspecified. *)
+
+val item : scratch -> Item.t
+(** The item of the last successful {!parse_into}. *)
+
+val tenant : scratch -> string
+(** The tenant of the last successful {!parse_into}:
+    [Router.default_tenant] when the line had no [tenant] field (or a
+    non-string one), else the decoded string value.  Allocates only
+    when a tenant is present. *)
+
+val shard_for : Router.t -> scratch -> int
+(** Route the last parsed line.  Allocation-free on the hot path (no
+    escapes in the tenant, no override table). *)

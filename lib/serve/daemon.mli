@@ -60,3 +60,17 @@ val run : config -> Session.config -> (stats, string) result
 (** Run to end-of-input (or a fatal).  [Error] is a rendered
     {!Session.fatal}, snapshot-load failure, or configuration defect;
     the CLI prints it and exits non-zero. *)
+
+(** {2 Journal recovery plumbing} (shared with the sharded daemon,
+    {!Shard}, which applies them to each journal segment) *)
+
+val truncate_torn_tail : string -> int
+(** Truncate a torn final line (no trailing newline) off the journal
+    file; returns the number of bytes cut.  A [SIGKILL] can land
+    mid-write; everything up to the previous newline is a complete,
+    trustworthy prefix. *)
+
+val journal_reader : string -> unit -> (Decision.t, string) result option
+(** Stream the (already truncated) journal back one parsed entry per
+    pull — [None] at end of file — so resume memory stays O(open jobs),
+    never O(journal). *)

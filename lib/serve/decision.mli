@@ -26,6 +26,11 @@ val reason_name : reason -> string
 val render : t -> string
 (** One line, no trailing newline. *)
 
+val render_into : Buffer.t -> t -> unit
+(** Append exactly the bytes of {!render} to a reusable buffer — the
+    sharded daemon's batched-write path, which flushes one buffer per
+    shard at snapshot boundaries instead of one string per line. *)
+
 val parse : string -> (t, string) result
 (** Inverse of {!render} (used by resume to read the journal back).
     Total: never raises. *)

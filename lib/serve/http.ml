@@ -1,0 +1,71 @@
+(* The pure half of the /metrics listener: byte-level HTTP/1.0 request
+   parsing and response building, with no IO anywhere — the hostile-input
+   fuzz suite drives this module directly with arbitrary byte strings,
+   and the listener shell (Http_listener) only moves bytes. *)
+
+type request = { meth : string; path : string }
+
+(* Index just past the header-terminating blank line, if the buffered
+   bytes already contain one.  Accepts both CRLF and bare-LF framing
+   (curl sends CRLF; hand-rolled clients often do not). *)
+let[@dbp.total] request_complete s =
+  let n = String.length s in
+  let rec scan i =
+    if i >= n then None
+    else if Char.equal s.[i] '\n' then
+      if i + 1 < n && Char.equal s.[i + 1] '\n' then Some (i + 2)
+      else if
+        i + 2 < n && Char.equal s.[i + 1] '\r' && Char.equal s.[i + 2] '\n'
+      then Some (i + 3)
+      else scan (i + 1)
+    else scan (i + 1)
+  in
+  (* A request line alone terminated by a blank line: the first '\n'
+     could itself complete a header block of zero headers only if the
+     very next bytes are the terminator, which [scan] handles. *)
+  scan 0
+
+let is_token_char c =
+  (c >= 'A' && c <= 'Z') || (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9')
+
+(* Parse the request line out of a complete header block.  Total: any
+   byte string yields Ok or Error.  Headers are deliberately ignored —
+   the two endpoints this daemon serves depend on none of them. *)
+let[@dbp.total] parse_request s =
+  let n = String.length s in
+  let line_end =
+    let rec go i = if i >= n then n else if Char.equal s.[i] '\n' then i else go (i + 1) in
+    go 0
+  in
+  let line_end =
+    if line_end > 0 && Char.equal s.[line_end - 1] '\r' then line_end - 1
+    else line_end
+  in
+  let line = String.sub s 0 line_end in
+  match String.split_on_char ' ' line with
+  | [ meth; path; version ] ->
+      if meth = "" || not (String.for_all is_token_char meth) then
+        Error "bad method"
+      else if String.length path = 0 || not (Char.equal path.[0] '/') then
+        Error "bad path"
+      else if
+        not
+          (String.length version >= 5
+          && String.equal (String.sub version 0 5) "HTTP/")
+      then Error "bad version"
+      else Ok { meth; path }
+  | _ -> Error "malformed request line"
+
+let status_text = function
+  | 200 -> "OK"
+  | 400 -> "Bad Request"
+  | 404 -> "Not Found"
+  | 405 -> "Method Not Allowed"
+  | 431 -> "Request Header Fields Too Large"
+  | _ -> "Error"
+
+let response ~status ?(content_type = "text/plain; charset=utf-8") body =
+  Printf.sprintf
+    "HTTP/1.0 %d %s\r\nContent-Type: %s\r\nContent-Length: %d\r\nConnection: \
+     close\r\n\r\n%s"
+    status (status_text status) content_type (String.length body) body

@@ -1,0 +1,27 @@
+(** Byte-level HTTP/1.0 request parsing and response building for the
+    [/metrics] + [/healthz] listener — the {e pure} half, with no IO.
+
+    The listener shell ({!Http_listener}) buffers client bytes and asks
+    this module two questions: "is a full request here yet?"
+    ({!request_complete}) and "what does it say?" ({!parse_request}).
+    Both are total — any byte string yields a value, never an exception
+    — because the listener is exposed to hostile input by construction
+    and the fuzz suite feeds it torn request lines, binary garbage and
+    header floods. *)
+
+type request = { meth : string; path : string }
+
+val request_complete : string -> int option
+(** Index just past the blank line ending the header block, if the
+    buffered bytes contain one; [None] while the request is still
+    arriving.  CRLF and bare-LF framing both accepted. *)
+
+val parse_request : string -> (request, string) result
+(** Parse the request line of a complete header block.  Headers are
+    ignored (no endpoint here depends on one).  Total. *)
+
+val response : status:int -> ?content_type:string -> string -> string
+(** Full HTTP/1.0 response bytes: status line, [Content-Type],
+    [Content-Length], [Connection: close], body. *)
+
+val status_text : int -> string

@@ -1,0 +1,159 @@
+(* The IO shell around Http: a non-blocking, select-friendly HTTP/1.0
+   listener for /metrics + /healthz.  Lives in lib/serve (R9) and does
+   no parsing itself — every byte decision is Http's, which the fuzz
+   suite hammers directly.
+
+   Hostile-client posture, in order of appearance:
+   - request buffer capped at [max_request] bytes → 431 and close;
+   - at most [max_clients] concurrent clients → excess accepts are
+     closed immediately (cheaper than refusing, and it unblocks the
+     peer's connect);
+   - a per-client service-round budget → a slowloris trickling one byte
+     per round is dropped after [max_rounds] rounds without completing
+     a request;
+   - all fds non-blocking: a client that never reads its response can
+     only stall its own connection, never the daemon ([service] does a
+     0-timeout poll and moves on). *)
+
+type client = {
+  fd : Unix.file_descr;
+  req : Buffer.t;
+  mutable resp : string;  (* "" while the request is still being read *)
+  mutable sent : int;
+  mutable rounds : int;
+}
+
+type t = {
+  sock : Unix.file_descr;
+  port : int;
+  mutable clients : client list;
+  max_clients : int;
+  max_request : int;
+  max_rounds : int;
+  read_buf : Bytes.t;
+}
+
+let create ?(max_clients = 32) ?(max_request = 8192) ?(max_rounds = 10_000)
+    ~port () =
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try
+     Unix.setsockopt sock Unix.SO_REUSEADDR true;
+     Unix.bind sock (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+     Unix.listen sock 16;
+     Unix.set_nonblock sock
+   with e ->
+     (try Unix.close sock with Unix.Unix_error _ -> ());
+     raise e);
+  let port =
+    match Unix.getsockname sock with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> port
+  in
+  {
+    sock;
+    port;
+    clients = [];
+    max_clients;
+    max_request;
+    max_rounds;
+    read_buf = Bytes.create 4096;
+  }
+
+let port t = t.port
+
+(* fds worth waking the caller's select for. *)
+let fds t = t.sock :: List.map (fun c -> c.fd) t.clients
+
+let drop c =
+  try Unix.close c.fd with Unix.Unix_error _ -> ()
+
+let respond_error c status =
+  c.resp <- Http.response ~status (Http.status_text status ^ "\n")
+
+(* Returns false when the client is finished (close + forget). *)
+let step t ~respond c =
+  c.rounds <- c.rounds + 1;
+  if String.length c.resp = 0 then begin
+    (* Reading phase. *)
+    match Unix.read c.fd t.read_buf 0 (Bytes.length t.read_buf) with
+    | exception
+        Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+      ->
+        c.rounds <= t.max_rounds
+    | exception Unix.Unix_error _ -> false
+    | 0 ->
+        (* Peer closed before completing a request: nothing to say. *)
+        false
+    | n -> (
+        Buffer.add_subbytes c.req t.read_buf 0 n;
+        if Buffer.length c.req > t.max_request then begin
+          respond_error c 431;
+          true
+        end
+        else
+          match Http.request_complete (Buffer.contents c.req) with
+          | None -> c.rounds <= t.max_rounds
+          | Some _ ->
+              (match Http.parse_request (Buffer.contents c.req) with
+              | Error _ -> respond_error c 400
+              | Ok req -> c.resp <- respond req);
+              true)
+  end
+  else begin
+    (* Writing phase. *)
+    let remaining = String.length c.resp - c.sent in
+    match
+      Unix.write_substring c.fd c.resp c.sent remaining
+    with
+    | exception
+        Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+      ->
+        c.rounds <= t.max_rounds
+    | exception Unix.Unix_error _ -> false
+    | n ->
+        c.sent <- c.sent + n;
+        c.sent < String.length c.resp && c.rounds <= t.max_rounds
+  end
+
+let accept_new t =
+  let rec go () =
+    match Unix.accept t.sock with
+    | exception
+        Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+      ->
+        ()
+    | exception Unix.Unix_error _ -> ()
+    | fd, _ ->
+        if List.length t.clients >= t.max_clients then begin
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          go ()
+        end
+        else begin
+          (try Unix.set_nonblock fd with Unix.Unix_error _ -> ());
+          t.clients <-
+            { fd; req = Buffer.create 256; resp = ""; sent = 0; rounds = 0 }
+            :: t.clients;
+          go ()
+        end
+  in
+  go ()
+
+let service t ~respond =
+  accept_new t;
+  t.clients <-
+    List.filter
+      (fun c ->
+        match step t ~respond c with
+        | true -> true
+        | false ->
+            drop c;
+            false
+        | exception _ ->
+            drop c;
+            false)
+      t.clients
+
+let close t =
+  List.iter drop t.clients;
+  t.clients <- [];
+  try Unix.close t.sock with Unix.Unix_error _ -> ()

@@ -1,0 +1,41 @@
+(** The non-blocking [/metrics] + [/healthz] HTTP/1.0 listener shell.
+
+    Binds loopback only (this is an operational endpoint, not a public
+    one).  All request/response byte logic lives in {!Http}; this module
+    moves bytes under a fixed hostile-client posture: request size cap
+    (431), concurrent-client cap, a per-client service-round budget that
+    sheds slowloris connections, and non-blocking writes so a client
+    that never reads can only stall itself.
+
+    Drive it by calling {!service} from the daemon's main loop — it
+    does a 0-timeout poll over its own fds and returns immediately; add
+    {!fds} to the loop's [select] read set to get woken promptly. *)
+
+type t
+
+val create :
+  ?max_clients:int ->
+  ?max_request:int ->
+  ?max_rounds:int ->
+  port:int ->
+  unit ->
+  t
+(** Bind and listen on [127.0.0.1:port] ([port = 0] picks a free one —
+    read it back with {!port}).  Defaults: 32 clients, 8 KiB requests,
+    10000 rounds.
+    @raise Unix.Unix_error if the bind fails (port taken). *)
+
+val port : t -> int
+
+val fds : t -> Unix.file_descr list
+(** Listening socket + live client fds, for the caller's [select]. *)
+
+val service : t -> respond:(Http.request -> string) -> unit
+(** One non-blocking round: accept new clients, read request bytes,
+    write response bytes.  [respond] maps a parsed request to full
+    response bytes (build them with {!Http.response}); malformed
+    requests get a 400 without consulting [respond].  Never blocks,
+    never raises on client misbehaviour. *)
+
+val close : t -> unit
+(** Close every client and the listening socket. *)

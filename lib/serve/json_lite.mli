@@ -44,3 +44,12 @@ val fmt_num : float -> string
 
 val escape : string -> string
 (** JSON string-literal escaping (quotes, backslash, control bytes). *)
+
+val is_ws : char -> bool
+(** The whitespace class {!parse_object} skips.  Exposed so the
+    allocation-free scanner in [Arrival.parse_into] shares the exact
+    character classes of this parser instead of forking them. *)
+
+val is_num_char : char -> bool
+(** The number-token class {!parse_object} scans before handing the
+    token to [float_of_string]. *)

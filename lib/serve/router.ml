@@ -1,0 +1,87 @@
+(* Deterministic tenant-key router (see the interface).  The hash is a
+   hand-rolled FNV-1a so shard assignment is a stable function of the
+   tenant bytes alone — never of Hashtbl.hash internals, word size or
+   process state — and every run, resume and replica routes
+   identically. *)
+
+type t = {
+  shards : int;
+  overrides : (string, int) Hashtbl.t;  (* built at create, then read-only *)
+}
+
+let fnv_offset = 0xcbf29ce484222325L
+let fnv_prime = 0x100000001b3L
+
+let hash_sub s ~off ~len =
+  let h = ref fnv_offset in
+  for i = off to off + len - 1 do
+    h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code s.[i]))) fnv_prime
+  done;
+  (* Fold to a nonnegative OCaml int; 62 bits keep every platform
+     identical. *)
+  Int64.to_int (Int64.logand !h 0x3FFFFFFFFFFFFFFFL)
+
+let hash s = hash_sub s ~off:0 ~len:(String.length s)
+
+let create ?(overrides = []) ~shards () =
+  if shards < 1 then invalid_arg "Router.create: shards < 1";
+  let tbl = Hashtbl.create (max 8 (List.length overrides)) in
+  List.iter
+    (fun (tenant, shard) ->
+      if shard < 0 || shard >= shards then
+        invalid_arg
+          (Printf.sprintf
+             "Router.create: override %S -> %d is outside 0..%d" tenant shard
+             (shards - 1));
+      if Hashtbl.mem tbl tenant then
+        invalid_arg
+          (Printf.sprintf "Router.create: duplicate override for %S" tenant);
+      Hashtbl.replace tbl tenant shard)
+    overrides;
+  { shards; overrides = tbl }
+
+let shards t = t.shards
+let overrides t = Hashtbl.length t.overrides
+
+let shard_for t tenant =
+  match Hashtbl.find_opt t.overrides tenant with
+  | Some s -> s
+  | None -> hash tenant mod t.shards
+
+(* The hot-path variant: a tenant living at [off, off+len) of [line]
+   routes without allocating the substring unless an override table is
+   in play (overrides are an operator feature, not a hot-path one). *)
+let shard_for_sub t line ~off ~len =
+  if Hashtbl.length t.overrides = 0 then hash_sub line ~off ~len mod t.shards
+  else shard_for t (String.sub line off len)
+
+let[@dbp.total] parse_overrides text =
+  let lines = String.split_on_char '\n' text in
+  let trim = String.trim in
+  let rec go n acc = function
+    | [] -> Ok (List.rev acc)
+    | raw :: rest -> (
+        let line = trim raw in
+        if line = "" || line.[0] = '#' then go (n + 1) acc rest
+        else
+          match String.index_opt line '=' with
+          | None ->
+              Error
+                (Printf.sprintf
+                   "routes line %d: expected TENANT=SHARD, got %S" n line)
+          | Some i -> (
+              let tenant = trim (String.sub line 0 i) in
+              let shard_s =
+                trim (String.sub line (i + 1) (String.length line - i - 1))
+              in
+              match int_of_string_opt shard_s with
+              | Some shard when shard >= 0 ->
+                  go (n + 1) ((tenant, shard) :: acc) rest
+              | Some _ | None ->
+                  Error
+                    (Printf.sprintf "routes line %d: bad shard index %S" n
+                       shard_s)))
+  in
+  go 1 [] lines
+
+let default_tenant = ""

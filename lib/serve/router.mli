@@ -1,0 +1,54 @@
+(** The deterministic tenant-key router behind [dbp serve --shards].
+
+    Routing must be a {e pure function of the tenant key}: the same
+    tenant lands on the same shard in every run, on resume, and in every
+    replica — that is what makes per-shard journal segments replayable
+    and the sharded decision stream comparable to per-tenant-filtered
+    unsharded runs.  The hash is therefore a hand-rolled 64-bit FNV-1a
+    over the tenant bytes (never [Hashtbl.hash], which is allowed to
+    vary), folded to 62 bits so every platform agrees.
+
+    Two useful algebraic consequences, both pinned by the qcheck suite:
+    routing is stable across router instances, and when [m] divides [n],
+    [shard_for] under [n] shards taken mod [m] equals [shard_for] under
+    [m] shards — growing a fleet by an integer factor refines the
+    partition instead of reshuffling it.
+
+    An explicit override table ([TENANT=SHARD] lines, {!parse_overrides})
+    pins chosen tenants to chosen shards — the operator escape hatch for
+    isolating a noisy tenant.  Overrides win over the hash. *)
+
+type t
+
+val create : ?overrides:(string * int) list -> shards:int -> unit -> t
+(** @raise Invalid_argument if [shards < 1], an override targets a shard
+    outside [0..shards-1], or a tenant is overridden twice. *)
+
+val shards : t -> int
+
+val overrides : t -> int
+(** Number of override entries. *)
+
+val hash : string -> int
+(** 64-bit FNV-1a folded to a nonnegative int.  Deterministic across
+    runs, processes and architectures. *)
+
+val hash_sub : string -> off:int -> len:int -> int
+(** {!hash} of the substring at [off, off+len) without allocating it.
+    Indices must be in bounds. *)
+
+val shard_for : t -> string -> int
+(** Override if present, else [hash tenant mod shards]. *)
+
+val shard_for_sub : t -> string -> off:int -> len:int -> int
+(** {!shard_for} of a tenant slice; allocation-free when the override
+    table is empty (the hot path). *)
+
+val parse_overrides : string -> ((string * int) list, string) result
+(** Parse an override file: one [TENANT=SHARD] per line, [#] comments
+    and blank lines ignored, whitespace trimmed.  Total — any byte
+    string yields [Ok] or [Error reason].  Shard-range validation
+    happens in {!create}, where the shard count is known. *)
+
+val default_tenant : string
+(** [""] — the tenant of an arrival line with no [tenant] field. *)

@@ -80,18 +80,26 @@ type meters = {
   g_open_bins : M.gauge;
 }
 
-let meters_of registry =
-  let c name help = M.counter registry ~help name in
-  let g name help = M.gauge registry ~help name in
+let meters_of ?(labels = []) registry =
+  let c name help =
+    match labels with
+    | [] -> M.counter registry ~help name
+    | _ -> M.counter registry ~help ~labels name
+  in
+  let g name help =
+    match labels with
+    | [] -> M.gauge registry ~help name
+    | _ -> M.gauge registry ~help ~labels name
+  in
   let rej reason =
     M.counter registry ~help:"Arrivals turned away, by reason."
-      ~labels:[ ("reason", reason) ]
+      ~labels:(labels @ [ ("reason", reason) ])
       "dbp_serve_rejected_total"
   in
   let trans rung =
     M.counter registry
       ~help:"Degradation-ladder rung entries, by rung reached."
-      ~labels:[ ("rung", rung) ]
+      ~labels:(labels @ [ ("rung", rung) ])
       "dbp_serve_rung_transitions_total"
   in
   {
@@ -116,6 +124,7 @@ type t = {
   engine : Stream_engine.t;
   base_observer : Observer.t option;
   meters : meters option;
+  render_buf : Buffer.t;  (* reused for every emitted decision line *)
   mutable journal : (unit -> (Decision.t, string) result option) option;
   mutable checkpoint : checkpoint option;
   mutable seq : int;
@@ -130,12 +139,13 @@ type t = {
   mutable last_snapshot_seq : int;
 }
 
-let create ?metrics ?observer ?journal ?checkpoint cfg =
+let create ?metrics ?metric_labels ?observer ?journal ?checkpoint cfg =
   {
     cfg;
     engine = Stream_engine.create ?observer cfg.algo;
     base_observer = observer;
-    meters = Option.map meters_of metrics;
+    meters = Option.map (meters_of ?labels:metric_labels) metrics;
+    render_buf = Buffer.create 96;
     journal;
     checkpoint;
     seq = 0;
@@ -195,6 +205,14 @@ let emit_gauges t =
       M.set m.g_open_jobs (float_of_int (Stream_engine.open_jobs t.engine));
       M.set m.g_open_bins (float_of_int (Stream_engine.open_bins t.engine)))
 
+(* Render through the session's reusable buffer: same bytes as
+   [Decision.render] (pinned by a differential test on [render_into])
+   without the Printf intermediates on the per-decision hot path. *)
+let emit t decision =
+  Buffer.clear t.render_buf;
+  Decision.render_into t.render_buf decision;
+  Emit (Buffer.contents t.render_buf)
+
 let reject t item reason =
   let seq = t.seq in
   t.seq <- seq + 1;
@@ -205,10 +223,9 @@ let reject t item reason =
         | Decision.Overload -> m.m_rej_overload
         | Decision.Out_of_order -> m.m_rej_order
         | Decision.Duplicate -> m.m_rej_dup));
-  Emit
-    (Decision.render
-       (Decision.Rejected
-          { seq; job = Item.id item; reason; time = Item.arrival item }))
+  emit t
+    (Decision.Rejected
+       { seq; job = Item.id item; reason; time = Item.arrival item })
 
 let live t item =
   let now = Item.arrival item in
@@ -226,9 +243,8 @@ let live t item =
         t.expected_time <- now;
         metered t (fun m -> M.inc m.m_placed);
         emit_gauges t;
-        Emit
-          (Decision.render
-             (Decision.Placed { seq; job = Item.id item; bin; opened; time = now }))
+        emit t
+          (Decision.Placed { seq; job = Item.id item; bin; opened; time = now })
 
 (* Apply one journal entry to this arrival instead of re-deciding. *)
 let replay t pull item =
@@ -299,26 +315,40 @@ let replay t pull item =
                     Replayed
                   end))
 
-let feed t ~depth line =
+(* One input line was consumed: count it, drive the ladder, and settle
+   any checkpoint whose cursor we just reached. *)
+let pre t ~depth =
   metered t (fun m -> M.inc m.m_lines);
   update_rung t ~depth;
-  match check_now t with
+  check_now t
+
+let feed_skip t ~depth reason =
+  match pre t ~depth with
+  | Some fatal -> Fatal fatal
+  | None ->
+      t.skipped <- t.skipped + 1;
+      metered t (fun m -> M.inc m.m_skipped);
+      Skipped reason
+
+let feed_item t ~depth item =
+  match pre t ~depth with
   | Some fatal -> Fatal fatal
   | None -> (
-      match Arrival.parse line with
-      | Error reason ->
-          t.skipped <- t.skipped + 1;
-          metered t (fun m -> M.inc m.m_skipped);
-          Skipped reason
-      | Ok item -> (
-          match t.journal with
-          | Some pull ->
-              let outcome = replay t pull item in
-              (* Replay never snapshots; keep the cadence clock pinned
-                 to the replay frontier. *)
-              if Option.is_some t.journal then t.last_snapshot_seq <- t.seq;
-              outcome
-          | None -> live t item))
+      match t.journal with
+      | Some pull ->
+          let outcome = replay t pull item in
+          (* Replay never snapshots; keep the cadence clock pinned
+             to the replay frontier. *)
+          if Option.is_some t.journal then t.last_snapshot_seq <- t.seq;
+          outcome
+      | None -> live t item)
+
+let feed t ~depth line =
+  (* Parsing is pure, so hoisting it above [pre] (which [feed_item] and
+     [feed_skip] run) is unobservable: same outcomes, same counters. *)
+  match Arrival.parse line with
+  | Error reason -> feed_skip t ~depth reason
+  | Ok item -> feed_item t ~depth item
 
 let finish t =
   match check_now t with

@@ -90,17 +90,32 @@ type t
 
 val create :
   ?metrics:Dbp_obs.Metrics.t ->
+  ?metric_labels:(string * string) list ->
   ?observer:Dbp_core.Observer.t ->
   ?journal:(unit -> (Decision.t, string) result option) ->
   ?checkpoint:checkpoint ->
   config ->
   t
 (** [journal] pulls parsed decision lines lazily (so resume memory stays
-    O(open jobs), not O(journal)); [None] from it ends replay mode. *)
+    O(open jobs), not O(journal)); [None] from it ends replay mode.
+    [metric_labels] (e.g. [[("shard","2")]]) are prepended to every
+    metric this session registers, so sharded sessions sharing one
+    registry stay distinguishable on [/metrics]. *)
 
 val feed : t -> depth:int -> string -> outcome
 (** Process one input line under the given queue depth (drives the
     ladder; pass 0 when there is no queue). *)
+
+val feed_item : t -> depth:int -> Dbp_core.Item.t -> outcome
+(** {!feed} for a line already parsed elsewhere — the sharded daemon
+    parses once on the router thread ([Arrival.parse_into]) and posts
+    the item, not the line.  [feed line] is exactly
+    [feed_item (parse line)] when the line is well-formed. *)
+
+val feed_skip : t -> depth:int -> string -> outcome
+(** {!feed} for a line already known to be malformed: counts the line
+    and the skip against {e this} session so per-shard skip counters add
+    up to the unsharded run's. *)
 
 val finish : t -> (unit, fatal) result
 (** End of input: verifies any unconsumed checkpoint/journal suffix

@@ -1,0 +1,700 @@
+(* The sharded serve orchestrator (see the interface for the
+   architecture).  R9-exempt like Daemon: sockets, file descriptors and
+   signals are allowed here; everything decision-shaped stays in
+   Session, everything routing-shaped in Router, and the only
+   concurrency primitive is the resident mailbox from Dbp_par.Pool. *)
+
+open Dbp_core
+module M = Dbp_obs.Metrics
+module Pool = Dbp_par.Pool
+
+type config = {
+  base : Daemon.config;
+  shards : int;
+  routes : (string * int) list;
+  metrics_port : int option;
+}
+
+(* ---- messages --------------------------------------------------------- *)
+
+(* Every input line gets a global index [gidx] and exactly one result,
+   well-formed or not — the sequencer releases merged lines strictly in
+   gidx order, so a gap would stall the stream.  Items cross domains as
+   immutable records; the line string itself never does. *)
+
+type msg =
+  | M_item of { gidx : int; client : int; depth : int; item : Item.t }
+  | M_skip of { gidx : int; client : int; depth : int; reason : string }
+
+type res = {
+  r_gidx : int;
+  r_client : int;
+  r_merged : string option;  (* full merged line, shard label included *)
+  r_live : bool;  (* decided by this run (false for replay re-emits) *)
+  r_echo : string option;  (* decision line for the socket client *)
+  r_fatal : string option;
+}
+
+(* ---- per-shard worker state (owned by the resident domain) ------------ *)
+
+type worker = {
+  w_idx : int;
+  w_session : Session.t;
+  w_seg : out_channel;
+  w_snap_path : string option;
+  w_last_pull : (Decision.t, string) result option ref;
+      (* journal entry most recently consumed by replay *)
+  w_prefix : string;  (* "{\"shard\":K," *)
+  w_buf : Buffer.t;
+  mutable w_replayed : int;
+  mutable w_snapshots : int;
+  mutable w_failed : bool;
+}
+
+(* Merged line = shard label spliced into the decision object:
+   {"shard":K, + <decision line minus its leading brace>. *)
+let merged_line w line =
+  Buffer.clear w.w_buf;
+  Buffer.add_string w.w_buf w.w_prefix;
+  Buffer.add_substring w.w_buf line 1 (String.length line - 1);
+  Buffer.contents w.w_buf
+
+let maybe_snapshot w =
+  if Session.snapshot_due w.w_session then
+    match w.w_snap_path with
+    | None -> ()
+    | Some path ->
+        (* Flush first: the snapshot cursor must never exceed the
+           durable segment prefix. *)
+        flush w.w_seg;
+        Snapshot.save ~path (Session.take_snapshot w.w_session);
+        w.w_snapshots <- w.w_snapshots + 1
+
+let result ~gidx ~client ?merged ?(live = false) ?echo ?fatal () =
+  { r_gidx = gidx; r_client = client; r_merged = merged; r_live = live;
+    r_echo = echo; r_fatal = fatal }
+
+(* The resident handler: feed the shard's session, append to its
+   segment, hand the sequencer one result per message.  After a fatal
+   the worker keeps consuming (and acknowledging) messages so the poster
+   never blocks on a full mailbox while the main loop is aborting. *)
+let handle collector w msg =
+  match msg with
+  | _ when w.w_failed ->
+      let gidx, client =
+        match msg with
+        | M_item { gidx; client; _ } | M_skip { gidx; client; _ } ->
+            (gidx, client)
+      in
+      Pool.Collector.push collector (result ~gidx ~client ())
+  | M_skip { gidx; client; depth; reason } -> (
+      match Session.feed_skip w.w_session ~depth reason with
+      | Session.Skipped _ ->
+          Pool.Collector.push collector (result ~gidx ~client ())
+      | Session.Fatal f ->
+          w.w_failed <- true;
+          Pool.Collector.push collector
+            (result ~gidx ~client ~fatal:(Session.fatal_to_string f) ())
+      | Session.Emit _ | Session.Replayed ->
+          (* feed_skip never emits or replays; treat drift as fatal. *)
+          w.w_failed <- true;
+          Pool.Collector.push collector
+            (result ~gidx ~client
+               ~fatal:"shard: feed_skip returned a decision outcome" ()))
+  | M_item { gidx; client; depth; item } -> (
+      match Session.feed_item w.w_session ~depth item with
+      | Session.Emit line ->
+          output_string w.w_seg line;
+          output_char w.w_seg '\n';
+          maybe_snapshot w;
+          Pool.Collector.push collector
+            (result ~gidx ~client ~merged:(merged_line w line) ~live:true
+               ~echo:line ())
+      | Session.Replayed ->
+          w.w_replayed <- w.w_replayed + 1;
+          (* Reconstruct the merged line from the journal entry replay
+             just consumed, so a resumed run rebuilds the merged stream
+             byte-identically to an uninterrupted one. *)
+          let merged =
+            match !(w.w_last_pull) with
+            | Some (Ok entry) -> Some (merged_line w (Decision.render entry))
+            | Some (Error _) | None -> None
+          in
+          Pool.Collector.push collector
+            (result ~gidx ~client ?merged ())
+      | Session.Fatal f ->
+          w.w_failed <- true;
+          Pool.Collector.push collector
+            (result ~gidx ~client ~fatal:(Session.fatal_to_string f) ())
+      | Session.Skipped _ ->
+          (* feed_item takes a parsed item; it cannot skip. *)
+          w.w_failed <- true;
+          Pool.Collector.push collector
+            (result ~gidx ~client
+               ~fatal:"shard: feed_item skipped a parsed item" ()))
+
+(* ---- paths ------------------------------------------------------------ *)
+
+let segment_path output i = output ^ ".shard" ^ string_of_int i
+
+let shard_snapshot_path snapshot_path i =
+  Option.map (fun p -> p ^ ".shard" ^ string_of_int i) snapshot_path
+
+(* ---- the run ---------------------------------------------------------- *)
+
+let run cfg scfg =
+  let b = cfg.base in
+  let ( let* ) r f = match r with Error _ as e -> e | Ok v -> f v in
+  let* () =
+    if cfg.shards < 1 then Error "serve: --shards must be >= 1" else Ok ()
+  in
+  let* () =
+    if String.equal b.Daemon.output "-" then
+      Error "serve: sharded mode needs --output FILE (journal segments \
+             derive from it)"
+    else Ok ()
+  in
+  let* router =
+    match Router.create ~overrides:cfg.routes ~shards:cfg.shards () with
+    | r -> Ok r
+    | exception Invalid_argument msg -> Error ("serve: " ^ msg)
+  in
+  if Option.is_some b.Daemon.trace_out then
+    b.Daemon.log "serve: --trace-out is ignored in sharded mode";
+  let registry =
+    if Option.is_some b.Daemon.metrics_out || Option.is_some cfg.metrics_port
+    then Some (M.create ())
+    else None
+  in
+  let health = Option.map Dbp_obs.Health.create registry in
+  (* Per-shard resume state + sessions + segments, all built on the main
+     thread before any domain exists. *)
+  let build_shard i =
+    let seg = segment_path b.Daemon.output i in
+    let snap = shard_snapshot_path b.Daemon.snapshot_path i in
+    let* checkpoint, resumed_from =
+      if not b.Daemon.resume then Ok (None, None)
+      else
+        match snap with
+        | None -> Ok (None, None)
+        | Some path -> (
+            match Snapshot.load ~path with
+            | Ok (s, gen) ->
+                if not (String.equal s.Snapshot.algo scfg.Session.algo_name)
+                then
+                  Error
+                    (Printf.sprintf
+                       "serve: shard %d snapshot was cut by algorithm %s, \
+                        not %s"
+                       i s.Snapshot.algo scfg.Session.algo_name)
+                else
+                  let where =
+                    match gen with
+                    | Snapshot.Current -> path
+                    | Snapshot.Previous -> path ^ ".prev"
+                  in
+                  Ok
+                    ( Some (Session.checkpoint_of_snapshot s),
+                      Some
+                        (Printf.sprintf "%s (cursor %d)" where
+                           s.Snapshot.cursor) )
+            | Error (Snapshot.Missing _) -> Ok (None, None)
+            | Error e -> Error (Snapshot.error_to_string e))
+    in
+    let last_pull = ref None in
+    let journal =
+      if b.Daemon.resume && Sys.file_exists seg then begin
+        let torn = Daemon.truncate_torn_tail seg in
+        if torn > 0 then
+          b.Daemon.log
+            (Printf.sprintf "serve: truncated %d torn bytes off %s" torn seg);
+        let pull = Daemon.journal_reader seg in
+        Some
+          (fun () ->
+            let e = pull () in
+            last_pull := e;
+            e)
+      end
+      else None
+    in
+    let* () =
+      match (checkpoint, journal) with
+      | Some { Session.cursor; _ }, None when cursor > 0 ->
+          Error
+            (Printf.sprintf
+               "serve: shard %d snapshot cursor is %d but the segment %s is \
+                missing"
+               i cursor seg)
+      | _ -> Ok ()
+    in
+    let session =
+      Session.create ?metrics:registry
+        ~metric_labels:[ ("shard", string_of_int i) ]
+        ?journal ?checkpoint scfg
+    in
+    let seg_oc =
+      if b.Daemon.resume then
+        open_out_gen [ Open_wronly; Open_append; Open_creat; Open_binary ]
+          0o644 seg
+      else open_out_bin seg
+    in
+    Ok
+      ( {
+          w_idx = i;
+          w_session = session;
+          w_seg = seg_oc;
+          w_snap_path = snap;
+          w_last_pull = last_pull;
+          w_prefix = Printf.sprintf "{\"shard\":%d," i;
+          w_buf = Buffer.create 96;
+          w_replayed = 0;
+          w_snapshots = 0;
+          w_failed = false;
+        },
+        resumed_from )
+  in
+  let* workers_and_resumed =
+    let rec go i acc =
+      if i >= cfg.shards then Ok (List.rev acc)
+      else
+        let* w = build_shard i in
+        go (i + 1) (w :: acc)
+    in
+    go 0 []
+  in
+  let workers = Array.of_list (List.map fst workers_and_resumed) in
+  let resumed_from =
+    let parts =
+      List.concat
+        (List.mapi
+           (fun i (_, r) ->
+             match r with
+             | Some s -> [ Printf.sprintf "shard%d: %s" i s ]
+             | None -> [])
+           workers_and_resumed)
+    in
+    if parts = [] then None else Some (String.concat "; " parts)
+  in
+  (* The merged stream is derived, not authoritative: rebuild it from
+     scratch every run (a resume replays every segment, so the rebuilt
+     file is byte-identical to the uninterrupted run's). *)
+  let merged_oc = open_out_bin b.Daemon.output in
+  let collector = Pool.Collector.create () in
+  let residents =
+    Array.map (fun w -> Pool.Resident.spawn (handle collector w)) workers
+  in
+  (* Per-shard mailbox gauges (the "pool" of a sharded daemon), set at
+     scrape/dump time from the resident counters. *)
+  let pool_gauges =
+    Option.map
+      (fun m ->
+        Array.init cfg.shards (fun i ->
+            let labels = [ ("shard", string_of_int i) ] in
+            ( M.gauge m ~labels
+                ~help:"Messages mailed to the shard resident, not yet taken."
+                "dbp_pool_mailbox_depth",
+              M.gauge m ~labels
+                ~help:"Messages mailed to the shard resident, lifetime."
+                "dbp_pool_posted",
+              M.gauge m ~labels
+                ~help:"Messages the shard resident has processed, lifetime."
+                "dbp_pool_processed" )))
+      registry
+  in
+  let update_pool_gauges () =
+    Option.iter
+      (fun gs ->
+        Array.iteri
+          (fun i (g_depth, g_posted, g_processed) ->
+            M.set g_depth (float_of_int (Pool.Resident.depth residents.(i)));
+            M.set g_posted (float_of_int (Pool.Resident.posted residents.(i)));
+            M.set g_processed
+              (float_of_int (Pool.Resident.processed residents.(i))))
+          gs)
+      pool_gauges
+  in
+  let dump_metrics () =
+    match (b.Daemon.metrics_out, registry) with
+    | Some path, Some m ->
+        update_pool_gauges ();
+        let content =
+          if path <> "-" && Filename.check_suffix path ".json" then
+            M.to_json m
+          else M.to_prometheus m
+        in
+        if String.equal path "-" then begin
+          output_string stdout content;
+          flush stdout
+        end
+        else begin
+          let oc = open_out path in
+          Fun.protect
+            ~finally:(fun () -> close_out oc)
+            (fun () -> output_string oc content)
+        end
+    | _ -> ()
+  in
+  let http =
+    Option.map (fun port -> Http_listener.create ~port ()) cfg.metrics_port
+  in
+  Option.iter
+    (fun l ->
+      b.Daemon.log
+        (Printf.sprintf "serve: metrics on http://127.0.0.1:%d/metrics"
+           (Http_listener.port l)))
+    http;
+  let respond (req : Http.request) =
+    if not (String.equal req.Http.meth "GET") then
+      Http.response ~status:405 "Method Not Allowed\n"
+    else
+      match req.Http.path with
+      | "/healthz" ->
+          Option.iter Dbp_obs.Health.tick health;
+          Http.response ~status:200
+            (Printf.sprintf "ok shards=%d\n" cfg.shards)
+      | "/metrics" -> (
+          match registry with
+          | Some m ->
+              update_pool_gauges ();
+              Option.iter Dbp_obs.Health.tick health;
+              Http.response ~status:200
+                ~content_type:"text/plain; version=0.0.4; charset=utf-8"
+                (M.to_prometheus m)
+          | None -> Http.response ~status:404 "metrics registry disabled\n")
+      | _ -> Http.response ~status:404 "Not Found\n"
+  in
+  (* ---- sequencer state, owned by the main thread -------------------- *)
+  let pending : (int, res) Hashtbl.t = Hashtbl.create 256 in
+  let next_out = ref 0 in
+  let gidx = ref 0 in
+  let lines = ref 0 in
+  let emitted = ref 0 in
+  (* every merged line written this run, replay re-emits included — the
+     crash_after yardstick ([emitted] counts only live decisions) *)
+  let merged_written = ref 0 in
+  let fatal : string option ref = ref None in
+  let usr1 = ref false in
+  let echo_sink : (int -> string -> unit) ref = ref (fun _ _ -> ()) in
+  let crash_now () =
+    (* Crash injection at a merged-line boundary: drain the residents so
+       the segment channels are quiescent, flush everything, then a
+       genuine SIGKILL — the journals are left exactly as the kernel saw
+       them. *)
+    Array.iter Pool.Resident.sync residents;
+    Array.iter (fun w -> flush w.w_seg) workers;
+    flush merged_oc;
+    Unix.kill (Unix.getpid ()) Sys.sigkill
+  in
+  let release r =
+    (match r.r_fatal with
+    | Some m when Option.is_none !fatal -> fatal := Some m
+    | _ -> ());
+    (match r.r_merged with
+    | Some line ->
+        output_string merged_oc line;
+        output_char merged_oc '\n';
+        merged_written := !merged_written + 1;
+        if r.r_live then emitted := !emitted + 1;
+        (match b.Daemon.crash_after with
+        | Some n when !merged_written >= n -> crash_now ()
+        | _ -> ())
+    | None -> ());
+    match r.r_echo with Some line -> !echo_sink r.r_client line | None -> ()
+  in
+  let drain () =
+    List.iter
+      (fun r -> Hashtbl.replace pending r.r_gidx r)
+      (Pool.Collector.drain collector);
+    let rec go () =
+      match Hashtbl.find_opt pending !next_out with
+      | None -> ()
+      | Some r ->
+          Hashtbl.remove pending !next_out;
+          incr next_out;
+          release r;
+          go ()
+    in
+    go ()
+  in
+  let housekeeping () =
+    if !usr1 then begin
+      usr1 := false;
+      dump_metrics ()
+    end;
+    Option.iter Dbp_obs.Health.tick health;
+    Option.iter (fun l -> Http_listener.service l ~respond) http;
+    drain ()
+  in
+  (* Route one raw input line.  Malformed lines go to shard 0 — any
+     fixed choice works, it just has to be deterministic so resume sees
+     the same per-shard line streams. *)
+  let scratch = Arrival.scratch () in
+  let post_line ~client ~file_depth line =
+    incr lines;
+    let g = !gidx in
+    incr gidx;
+    match Arrival.parse_into scratch line with
+    | Ok () ->
+        let k = Arrival.shard_for router scratch in
+        let depth =
+          match file_depth with
+          | Some d -> d
+          | None -> Pool.Resident.depth residents.(k)
+        in
+        Pool.Resident.post residents.(k)
+          (M_item { gidx = g; client; depth; item = Arrival.item scratch })
+    | Error reason ->
+        let depth =
+          match file_depth with
+          | Some d -> d
+          | None -> Pool.Resident.depth residents.(0)
+        in
+        Pool.Resident.post residents.(0)
+          (M_skip { gidx = g; client; depth; reason })
+  in
+  let budget_left () =
+    match b.Daemon.max_arrivals with Some n -> !lines < n | None -> true
+  in
+  let throttle () =
+    if b.Daemon.throttle_us > 0 then
+      Unix.sleepf (float_of_int b.Daemon.throttle_us /. 1e6)
+  in
+  (* ---- input drivers ------------------------------------------------ *)
+  let drive_channel ic =
+    let tick = ref 0 in
+    let rec loop () =
+      if Option.is_none !fatal && budget_left () then
+        match input_line ic with
+        | line ->
+            post_line ~client:(-1) ~file_depth:(Some 0) line;
+            throttle ();
+            incr tick;
+            if !tick land 255 = 0 then housekeeping () else drain ();
+            loop ()
+        | exception End_of_file -> ()
+    in
+    loop ()
+  in
+  let drive_socket path ~stop =
+    (match Unix.lstat path with
+    | { Unix.st_kind = Unix.S_SOCK; _ } -> Unix.unlink path
+    | _ -> ()
+    | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ());
+    let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    let clients : (int, Unix.file_descr * Buffer.t) Hashtbl.t =
+      Hashtbl.create 8
+    in
+    let next_client = ref 0 in
+    (* Echo decision lines back to the owning client, best-effort and
+       non-blocking: a client that stops reading loses echoes rather
+       than wedging the daemon (its lines are still in the journal). *)
+    (echo_sink :=
+       fun id line ->
+         match Hashtbl.find_opt clients id with
+         | None -> ()
+         | Some (fd, _) -> (
+             let payload = line ^ "\n" in
+             match
+               Unix.write_substring fd payload 0 (String.length payload)
+             with
+             | _ -> ()
+             | exception
+                 Unix.Unix_error
+                   ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EPIPE), _, _) ->
+                 ()));
+    Fun.protect
+      ~finally:(fun () ->
+        echo_sink := (fun _ _ -> ());
+        Hashtbl.iter
+          (fun _ (fd, _) -> try Unix.close fd with Unix.Unix_error _ -> ())
+          clients;
+        (try Unix.close sock with Unix.Unix_error _ -> ());
+        try Unix.unlink path with Unix.Unix_error _ | Sys_error _ -> ())
+      (fun () ->
+        Unix.bind sock (Unix.ADDR_UNIX path);
+        Unix.listen sock 8;
+        Unix.set_nonblock sock;
+        b.Daemon.log (Printf.sprintf "serve: listening on %s" path);
+        let buf = Bytes.create 65536 in
+        let read_client id fd cbuf =
+          match Unix.read fd buf 0 (Bytes.length buf) with
+          | exception
+              Unix.Unix_error
+                ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) ->
+              ()
+          | exception Unix.Unix_error _ ->
+              (try Unix.close fd with Unix.Unix_error _ -> ());
+              Hashtbl.remove clients id
+          | 0 ->
+              (try Unix.close fd with Unix.Unix_error _ -> ());
+              Hashtbl.remove clients id
+          | n ->
+              Buffer.add_subbytes cbuf buf 0 n;
+              let data = Buffer.contents cbuf in
+              Buffer.clear cbuf;
+              let rec feed = function
+                | [ tail ] -> Buffer.add_string cbuf tail
+                | line :: rest ->
+                    if Option.is_none !fatal && budget_left () then begin
+                      post_line ~client:id ~file_depth:None line;
+                      throttle ()
+                    end;
+                    feed rest
+                | [] -> ()
+              in
+              feed (String.split_on_char '\n' data)
+        in
+        while Option.is_none !fatal && budget_left () && not !stop do
+          housekeeping ();
+          let http_fds = match http with Some l -> Http_listener.fds l | None -> [] in
+          let rds =
+            sock
+            :: Hashtbl.fold (fun _ (fd, _) acc -> fd :: acc) clients []
+            @ http_fds
+          in
+          match Unix.select rds [] [] 0.05 with
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+          | ready, _, _ ->
+              if List.memq sock ready then begin
+                match Unix.accept sock with
+                | exception
+                    Unix.Unix_error
+                      ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+                  ->
+                    ()
+                | fd, _ ->
+                    Unix.set_nonblock fd;
+                    let id = !next_client in
+                    incr next_client;
+                    Hashtbl.replace clients id (fd, Buffer.create 4096)
+              end;
+              (* Snapshot before reading: read_client removes closed
+                 clients, and mutating a Hashtbl mid-iteration is
+                 undefined. *)
+              let ready_clients =
+                Hashtbl.fold
+                  (fun id (fd, cbuf) acc ->
+                    if List.memq fd ready then (id, fd, cbuf) :: acc else acc)
+                  clients []
+              in
+              List.iter
+                (fun (id, fd, cbuf) -> read_client id fd cbuf)
+                ready_clients
+        done)
+  in
+  (* ---- wiring, teardown, stats -------------------------------------- *)
+  let prev_usr1 =
+    Sys.signal Sys.sigusr1 (Sys.Signal_handle (fun _ -> usr1 := true))
+  in
+  (* Echoes and HTTP responses are best-effort writes to peers that may
+     vanish mid-write; EPIPE must come back as an error code, not a
+     process-killing signal. *)
+  let prev_pipe = Sys.signal Sys.sigpipe Sys.Signal_ignore in
+  let stop = ref false in
+  let finish_up () =
+    (* Everything posted; wait for the shards, settle the sequencer,
+       then close the sessions in shard order. *)
+    Array.iter Pool.Resident.sync residents;
+    drain ();
+    match !fatal with
+    | Some msg -> Error msg
+    | None ->
+        let errs = ref [] in
+        Array.iter
+          (fun w ->
+            match Session.finish w.w_session with
+            | Error f ->
+                errs :=
+                  Printf.sprintf "shard %d: %s" w.w_idx
+                    (Session.fatal_to_string f)
+                  :: !errs
+            | Ok () ->
+                if
+                  Option.is_some w.w_snap_path
+                  && scfg.Session.snapshot_every > 0
+                then begin
+                  flush w.w_seg;
+                  match w.w_snap_path with
+                  | Some path ->
+                      Snapshot.save ~path (Session.take_snapshot w.w_session);
+                      w.w_snapshots <- w.w_snapshots + 1
+                  | None -> ()
+                end)
+          workers;
+        (match !errs with
+        | [] ->
+            dump_metrics ();
+            Ok
+              {
+                Daemon.lines = !lines;
+                emitted = !emitted;
+                placed =
+                  Array.fold_left
+                    (fun a w -> a + Session.placed w.w_session)
+                    0 workers;
+                rejected =
+                  Array.fold_left
+                    (fun a w -> a + Session.rejected w.w_session)
+                    0 workers;
+                skipped =
+                  Array.fold_left
+                    (fun a w -> a + Session.skipped w.w_session)
+                    0 workers;
+                replayed =
+                  Array.fold_left (fun a w -> a + w.w_replayed) 0 workers;
+                snapshots =
+                  Array.fold_left (fun a w -> a + w.w_snapshots) 0 workers;
+                resumed_from;
+              }
+        | es -> Error (String.concat "; " (List.rev es)))
+  in
+  let result =
+    match
+      (match b.Daemon.input with
+      | Daemon.Stdin -> drive_channel stdin
+      | Daemon.In_file path ->
+          let ic = open_in path in
+          Fun.protect
+            ~finally:(fun () -> close_in ic)
+            (fun () -> drive_channel ic)
+      | Daemon.In_socket path ->
+          let prev_int =
+            Sys.signal Sys.sigint (Sys.Signal_handle (fun _ -> stop := true))
+          and prev_term =
+            Sys.signal Sys.sigterm (Sys.Signal_handle (fun _ -> stop := true))
+          in
+          Fun.protect
+            ~finally:(fun () ->
+              Sys.set_signal Sys.sigint prev_int;
+              Sys.set_signal Sys.sigterm prev_term)
+            (fun () -> drive_socket path ~stop));
+      finish_up ()
+    with
+    | r -> r
+    | exception Pool.Resident_error e ->
+        Error ("serve: shard worker died: " ^ Printexc.to_string e)
+  in
+  Sys.set_signal Sys.sigusr1 prev_usr1;
+  Sys.set_signal Sys.sigpipe prev_pipe;
+  (* Teardown is unconditional: join the domains, then flush/close every
+     channel (the residents are idle after close, so the channels are
+     safe to touch from here). *)
+  Array.iter
+    (fun r -> try Pool.Resident.close r with Pool.Resident_error _ -> ())
+    residents;
+  Array.iter
+    (fun w -> try flush w.w_seg; close_out w.w_seg with Sys_error _ -> ())
+    workers;
+  (try
+     flush merged_oc;
+     close_out merged_oc
+   with Sys_error _ -> ());
+  Option.iter Http_listener.close http;
+  result
+
+let run cfg scfg =
+  match run cfg scfg with
+  | r -> r
+  | exception Sys_error msg -> Error ("serve: " ^ msg)
+  | exception Unix.Unix_error (e, fn, arg) ->
+      Error (Printf.sprintf "serve: %s(%s): %s" fn arg (Unix.error_message e))

@@ -1,0 +1,66 @@
+(** The sharded [dbp serve] daemon: shard-by-tenant scale-out over
+    resident domains (DESIGN.md section 16).
+
+    {2 Architecture}
+
+    One router thread (the caller) reads input lines, parses each once
+    with the zero-allocation path ([Arrival.parse_into]), routes it by
+    tenant key ({!Router}), and posts the parsed item to one of [N]
+    shard {e residents} — long-lived domains from the [Dbp_par.Pool]
+    resident-mailbox mode, each owning a full unsharded stack: its own
+    {!Session}, journal {e segment} ([output ^ ".shardK"]), snapshot
+    file ([snapshot ^ ".shardK"]) and admission ladder fed by its own
+    mailbox depth.  Shards share nothing; the only cross-domain traffic
+    is the mailbox in and a result collector out.
+
+    {2 Merge determinism}
+
+    Every input line gets a global index at ingest; shards return one
+    result per line; the main thread releases results strictly in that
+    order into the {e merged} stream ([output]): each decision line with
+    a [{"shard":K,] label spliced in.  The segments are the
+    authoritative journals; the merged file is derived and rebuilt every
+    run — on [--resume] the segments replay through each shard's session
+    (digest-verified against its snapshot, torn tails truncated), and
+    replayed entries re-emit their merged lines, so the rebuilt merged
+    file is byte-identical to an uninterrupted run's.
+
+    Determinism contract: with the same input, routes and shard count,
+    segment [K] is byte-identical to an unsharded run over the
+    router-filtered input for shard [K] (the bench asserts this).
+    Changing the shard count or routes between run and resume is caught
+    as journal/checkpoint divergence, not silently absorbed.
+
+    {2 Ingest and metrics}
+
+    Socket mode accepts {e multiple} concurrent clients ([select]-driven,
+    non-blocking); a full shard mailbox blocks the router thread, which
+    stops reading — per-client read backpressure, surfaced to the ladder
+    as mailbox depth.  Decision echoes to clients are best-effort
+    non-blocking: a client that stops reading loses echoes, never wedges
+    the daemon.  With [metrics_port] set, a loopback HTTP/1.0 listener
+    serves [/metrics] (Prometheus exposition: per-shard session series
+    plus [dbp_pool_*] mailbox gauges) and [/healthz]. *)
+
+type config = {
+  base : Daemon.config;
+      (** input/output/resume/snapshot/throttle/crash/budget/log — same
+          meanings as unsharded, except [output] must be a file (the
+          segment paths derive from it) and [crash_after] counts merged
+          lines.  [trace_out] is ignored (logged). *)
+  shards : int;
+  routes : (string * int) list;
+      (** tenant → shard pins (from [Router.parse_overrides]); win over
+          the hash *)
+  metrics_port : int option;  (** loopback HTTP listener; [0] = pick *)
+}
+
+val segment_path : string -> int -> string
+(** [segment_path output k] = [output ^ ".shard" ^ k] — shard [k]'s
+    journal segment. *)
+
+val run : config -> Session.config -> (Daemon.stats, string) result
+(** Run to end-of-input (or fatal/signal).  Counter semantics in the
+    returned stats: [emitted] counts {e live} merged lines, [replayed]
+    journal entries re-applied on resume, [skipped]/[placed]/[rejected]
+    sum over shards. *)

@@ -8,8 +8,11 @@
 # diffed byte-for-byte plus the observer-overhead mini-sweep, and a
 # serve smoke: a streaming daemon SIGKILLed mid-stream, resumed, and
 # its decision stream diffed byte-for-byte against an uninterrupted
-# run, plus the serve mini-sweep (throughput / soak / restart / ladder
-# gates all asserted inside the bench).
+# run, a sharded serve smoke (2-shard daemon fed by two concurrent
+# socket clients, scraped over HTTP, SIGKILLed mid-stream, resumed,
+# and its journal segments diffed against an uninterrupted reference),
+# plus the serve mini-sweep (throughput / soak / restart / ladder /
+# shard-scaling / allocation gates all asserted inside the bench).
 # Run from the repo root:  scripts/check.sh
 set -eu
 
@@ -101,6 +104,86 @@ echo "killed daemon after $(wc -l < "$serve_dir/crash.out") decision lines"
   --snapshot-every 64 --resume 2> /dev/null
 cmp "$serve_dir/ref.out" "$serve_dir/crash.out"
 echo "resumed decision stream byte-identical to the uninterrupted run"
+
+echo "== sharded serve smoke: 2 shards, socket ingest, SIGKILL + --resume =="
+# Scale-out contract (DESIGN.md section 16): --routes pins tenant t0 to
+# shard 0 and t1 to shard 1, and each of the two concurrent socket
+# clients feeds one tenant, so every shard sees a deterministic line
+# order even though the cross-client interleave is not.  The journal
+# segments are the authoritative streams: after a mid-stream SIGKILL
+# and a --resume that re-feeds the same lines, each segment must be
+# byte-identical to an uninterrupted file-input reference run.
+shard_dir=$(mktemp -d)
+trap 'rm -rf "$obs_dir" "$serve_dir" "$shard_dir"' EXIT
+"$dbp_bin" gen --jsonl --tenants 2 --horizon 400 --seed 13 \
+  -o "$shard_dir/arrivals.jsonl"
+n_total=$(wc -l < "$shard_dir/arrivals.jsonl")
+echo "$n_total arrivals across 2 tenants"
+grep '"tenant":"t0"' "$shard_dir/arrivals.jsonl" > "$shard_dir/a.jsonl"
+grep '"tenant":"t1"' "$shard_dir/arrivals.jsonl" > "$shard_dir/b.jsonl"
+printf 't0=0\nt1=1\n' > "$shard_dir/routes"
+"$dbp_bin" serve --input "$shard_dir/arrivals.jsonl" --shards 2 \
+  --routes "$shard_dir/routes" --output "$shard_dir/ref.out" \
+  --snapshot "$shard_dir/ref.snap" --snapshot-every 64 2> /dev/null
+grep -q '"shard":0' "$shard_dir/ref.out"
+grep -q '"shard":1' "$shard_dir/ref.out"
+feed=_build/default/scripts/socket_feed.exe
+"$dbp_bin" serve --socket "$shard_dir/ingest.sock" --shards 2 \
+  --routes "$shard_dir/routes" --output "$shard_dir/live.out" \
+  --snapshot "$shard_dir/live.snap" --snapshot-every 64 \
+  --metrics-port 9137 --throttle-us 4000 --max-arrivals "$n_total" \
+  2> /dev/null &
+shard_pid=$!
+i=0
+while [ ! -S "$shard_dir/ingest.sock" ] && [ "$i" -lt 50 ]; do
+  sleep 0.1
+  i=$((i + 1))
+done
+"$feed" "$shard_dir/ingest.sock" "$shard_dir/a.jsonl" &
+feed_a=$!
+"$feed" "$shard_dir/ingest.sock" "$shard_dir/b.jsonl" &
+feed_b=$!
+sleep 0.5
+curl -s --max-time 10 http://127.0.0.1:9137/metrics > "$shard_dir/metrics"
+grep -q 'shard="0"' "$shard_dir/metrics"
+grep -q 'shard="1"' "$shard_dir/metrics"
+grep -q 'dbp_pool_mailbox_depth' "$shard_dir/metrics"
+echo "metrics endpoint serves per-shard series"
+sleep 0.5
+kill -9 "$shard_pid" 2> /dev/null || true
+wait "$shard_pid" 2> /dev/null || true
+wait "$feed_a" 2> /dev/null || true
+wait "$feed_b" 2> /dev/null || true
+# The merged stream is derived (flushed only at teardown, which SIGKILL
+# skips); the segments are the authoritative journals, flushed on the
+# snapshot cadence, so they are the meaningful progress yardstick here.
+seg_lines=$(cat "$shard_dir/live.out.shard0" "$shard_dir/live.out.shard1" \
+  2> /dev/null | wc -l)
+echo "killed 2-shard daemon after $seg_lines journaled segment lines"
+# SIGKILL skips cleanup, so the stale socket file survives; remove it so
+# the wait-loop below sees the resumed daemon's fresh socket, not this one.
+rm -f "$shard_dir/ingest.sock"
+"$dbp_bin" serve --socket "$shard_dir/ingest.sock" --shards 2 \
+  --routes "$shard_dir/routes" --output "$shard_dir/live.out" \
+  --snapshot "$shard_dir/live.snap" --snapshot-every 64 \
+  --max-arrivals "$n_total" --resume 2> /dev/null &
+shard_pid=$!
+i=0
+while [ ! -S "$shard_dir/ingest.sock" ] && [ "$i" -lt 50 ]; do
+  sleep 0.1
+  i=$((i + 1))
+done
+"$feed" "$shard_dir/ingest.sock" "$shard_dir/a.jsonl" &
+feed_a=$!
+"$feed" "$shard_dir/ingest.sock" "$shard_dir/b.jsonl" &
+feed_b=$!
+wait "$feed_a"
+wait "$feed_b"
+wait "$shard_pid"
+cmp "$shard_dir/ref.out.shard0" "$shard_dir/live.out.shard0"
+cmp "$shard_dir/ref.out.shard1" "$shard_dir/live.out.shard1"
+echo "resumed segments byte-identical to the uninterrupted run"
+
 dune exec bench/main.exe -- serve --quick
 
 echo "All checks passed."

@@ -1,0 +1,56 @@
+(* Feed a JSONL file into a running `dbp serve --socket` daemon.
+
+   Usage:  socket_feed.exe SOCKET_PATH FILE
+
+   Used by scripts/check.sh to drive concurrent ingest clients against
+   the sharded daemon.  Connects (retrying while the daemon is still
+   binding), streams every line of FILE, then closes.  Decision echoes
+   are deliberately left unread: they are best-effort on the daemon
+   side, and the smoke asserts against the daemon's journal segments,
+   not the echo stream.  A write failing with EPIPE/ECONNRESET exits 0
+   — the crash smoke SIGKILLs the daemon mid-stream on purpose, and a
+   dying client would mask the assertion that matters. *)
+
+let connect_retries = 50
+
+let connect path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let rec go attempt =
+    match Unix.connect fd (Unix.ADDR_UNIX path) with
+    | () -> fd
+    | exception
+        Unix.Unix_error ((Unix.ECONNREFUSED | Unix.ENOENT), _, _)
+      when attempt < connect_retries ->
+        Unix.sleepf 0.1;
+        go (attempt + 1)
+  in
+  go 0
+
+let write_all fd s =
+  let n = String.length s in
+  let off = ref 0 in
+  while !off < n do
+    off := !off + Unix.write_substring fd s !off (n - !off)
+  done
+
+let () =
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  match Sys.argv with
+  | [| _; path; file |] ->
+      let fd = connect path in
+      (try
+         In_channel.with_open_bin file (fun ic ->
+             let rec go () =
+               match In_channel.input_line ic with
+               | Some line ->
+                   write_all fd line;
+                   write_all fd "\n";
+                   go ()
+               | None -> ()
+             in
+             go ())
+       with Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) -> ());
+      Unix.close fd
+  | _ ->
+      prerr_endline "usage: socket_feed.exe SOCKET_PATH FILE";
+      exit 2

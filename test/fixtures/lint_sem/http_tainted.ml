@@ -1,0 +1,8 @@
+(* Seeded R12 violation: concurrency reach in the HTTP byte parser
+   (compiled at lib/serve/http.ml, an R12 target since the sharded
+   daemon — the parser exposed to hostile network bytes must stay free
+   of clock/randomness/concurrency reach; IO stays in the listener
+   shell). *)
+let parse_request s =
+  let d = Domain.spawn (fun () -> String.length s) in
+  Domain.join d

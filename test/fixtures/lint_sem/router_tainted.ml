@@ -1,0 +1,5 @@
+(* Seeded R12 violation: a clock read in the tenant router (compiled at
+   lib/serve/router.ml, an R12 target since the sharded daemon — shard
+   assignment must be a pure function of the tenant bytes). *)
+let shard_for tenant shards =
+  (Hashtbl.hash tenant + int_of_float (Unix.gettimeofday ())) mod shards

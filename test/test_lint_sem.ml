@@ -133,6 +133,33 @@ let test_r12_randomness () =
           hint_has transitive "Random.float"
       | fs -> Alcotest.failf "expected two findings, got %d" (List.length fs))
 
+(* PR 9 designations: router.ml and http.ml joined r12_targets, so a
+   seeded taint compiled at those paths must surface — proving the
+   table entries actually cover the new modules. *)
+let test_r12_router_designated () =
+  with_corpus
+    [ ("router_tainted.ml", "lib/serve/router.ml", true) ]
+    (fun () ->
+      match sem ~rules:[ "R12" ] [ "lib" ] with
+      | [ f ] as findings ->
+          Alcotest.check hits "one R12 at the tainted router def"
+            [ ("R12", 4, 0) ] (hits_of findings);
+          message_has f "wall-clock";
+          hint_has f "Unix.gettimeofday"
+      | fs -> Alcotest.failf "expected one finding, got %d" (List.length fs))
+
+let test_r12_http_designated () =
+  with_corpus
+    [ ("http_tainted.ml", "lib/serve/http.ml", true) ]
+    (fun () ->
+      match sem ~rules:[ "R12" ] [ "lib" ] with
+      | [ f ] as findings ->
+          Alcotest.check hits "one R12 at the tainted parser def"
+            [ ("R12", 6, 0) ] (hits_of findings);
+          message_has f "concurrency";
+          hint_has f "Domain.spawn"
+      | fs -> Alcotest.failf "expected one finding, got %d" (List.length fs))
+
 let test_semantic_suppression () =
   with_corpus
     [ ("suppressed_alias.ml", "lib/sim/suppressed_alias.ml", true) ]
@@ -220,8 +247,12 @@ let expected_total =
         "Dbp_serve.Json_lite.num_field";
         "Dbp_serve.Json_lite.int_field";
       ] );
-    ("lib/serve/arrival.ml", [ "Dbp_serve.Arrival.parse" ]);
+    ( "lib/serve/arrival.ml",
+      [ "Dbp_serve.Arrival.parse"; "Dbp_serve.Arrival.parse_into" ] );
     ("lib/serve/decision.ml", [ "Dbp_serve.Decision.parse" ]);
+    ("lib/serve/router.ml", [ "Dbp_serve.Router.parse_overrides" ]);
+    ( "lib/serve/http.ml",
+      [ "Dbp_serve.Http.request_complete"; "Dbp_serve.Http.parse_request" ] );
     ("lib/serve/wire.ml", [ "Dbp_serve.Wire.decode" ]);
     ("lib/serve/snapshot.ml", [ "Dbp_serve.Snapshot.of_payload" ]);
     ("lib/workload/trace.ml", [ "Dbp_workload.Trace.of_string_lenient" ]);
@@ -273,6 +304,10 @@ let suite =
       test_r11_caught_is_clean;
     Alcotest.test_case "R12 randomness reachability" `Quick
       test_r12_randomness;
+    Alcotest.test_case "R12 covers the shard router" `Quick
+      test_r12_router_designated;
+    Alcotest.test_case "R12 covers the HTTP parser" `Quick
+      test_r12_http_designated;
     Alcotest.test_case "suppression covers semantic findings" `Quick
       test_semantic_suppression;
     Alcotest.test_case "unused semantic marker is R0" `Quick

@@ -218,6 +218,88 @@ let test_task_queue_deals_and_steals () =
   check_bool "chunk 0 not re-issued" false (List.mem 0 rest);
   check_int "queue empty" 0 (Q.remaining q)
 
+(* ---- resident mailboxes and the collector (the sharded daemon's
+   substrate: one long-lived domain per shard, results FIFO'd back) ---- *)
+
+let test_resident_processes_in_post_order () =
+  let seen = ref [] in
+  let r = Pool.Resident.spawn (fun x -> seen := x :: !seen) in
+  let n = 500 in
+  for i = 1 to n do
+    Pool.Resident.post r i
+  done;
+  Pool.Resident.sync r;
+  (* sync's mutex pairing publishes the handler's writes *)
+  Alcotest.(check (list int))
+    "messages handled in post order"
+    (List.init n (fun i -> i + 1))
+    (List.rev !seen);
+  check_int "posted" n (Pool.Resident.posted r);
+  check_int "processed" n (Pool.Resident.processed r);
+  check_int "depth drained" 0 (Pool.Resident.depth r);
+  Pool.Resident.close r
+
+let test_resident_close_drains () =
+  let count = ref 0 in
+  let r = Pool.Resident.spawn (fun () -> incr count) in
+  for _ = 1 to 100 do
+    Pool.Resident.post r ()
+  done;
+  Pool.Resident.close r;
+  check_int "close drains the mailbox first" 100 !count;
+  Pool.Resident.close r;
+  (* idempotent *)
+  match Pool.Resident.post r () with
+  | () -> Alcotest.fail "post after close accepted"
+  | exception Invalid_argument _ -> ()
+
+let test_resident_failure_is_sticky () =
+  let r =
+    Pool.Resident.spawn (fun x -> if x = 3 then failwith "boom")
+  in
+  for i = 0 to 9 do
+    Pool.Resident.post r i
+  done;
+  (match Pool.Resident.sync r with
+  | () -> Alcotest.fail "expected Resident_error"
+  | exception Pool.Resident_error (Failure msg) ->
+      check_string "original exception carried" "boom" msg);
+  (* the failure is remembered: every later interaction re-raises, and
+     none of them deadlocks *)
+  (match Pool.Resident.post r 99 with
+  | () -> Alcotest.fail "post after failure accepted"
+  | exception Pool.Resident_error _ -> ());
+  match Pool.Resident.close r with
+  | () -> Alcotest.fail "close after failure must re-raise"
+  | exception Pool.Resident_error _ -> ()
+
+let test_resident_rejects_bad_capacity () =
+  match Pool.Resident.spawn ~capacity:0 (fun () -> ()) with
+  | _ -> Alcotest.fail "capacity 0 accepted"
+  | exception Invalid_argument _ -> ()
+
+let test_collector_fifo () =
+  let c = Pool.Collector.create () in
+  Alcotest.(check (list int)) "empty drain" [] (Pool.Collector.drain c);
+  List.iter (Pool.Collector.push c) [ 1; 2; 3 ];
+  check_int "length" 3 (Pool.Collector.length c);
+  Alcotest.(check (list int)) "push order" [ 1; 2; 3 ] (Pool.Collector.drain c);
+  Alcotest.(check (list int)) "drain empties" [] (Pool.Collector.drain c)
+
+let test_collector_across_domains () =
+  let c = Pool.Collector.create () in
+  let r = Pool.Resident.spawn (fun x -> Pool.Collector.push c (x * x)) in
+  let n = 200 in
+  for i = 1 to n do
+    Pool.Resident.post r i
+  done;
+  Pool.Resident.sync r;
+  Alcotest.(check (list int))
+    "collector sees every result in post order"
+    (List.init n (fun i -> (i + 1) * (i + 1)))
+    (Pool.Collector.drain c);
+  Pool.Resident.close r
+
 let suite =
   [
     prop_map_matches_list_map;
@@ -251,4 +333,15 @@ let suite =
       test_default_domains_clamped;
     Alcotest.test_case "task queue deals and steals" `Quick
       test_task_queue_deals_and_steals;
+    Alcotest.test_case "resident handles messages in post order" `Quick
+      test_resident_processes_in_post_order;
+    Alcotest.test_case "resident close drains, then rejects" `Quick
+      test_resident_close_drains;
+    Alcotest.test_case "resident failure is sticky, never deadlocks" `Quick
+      test_resident_failure_is_sticky;
+    Alcotest.test_case "resident rejects capacity < 1" `Quick
+      test_resident_rejects_bad_capacity;
+    Alcotest.test_case "collector is a FIFO" `Quick test_collector_fifo;
+    Alcotest.test_case "collector routes resident results" `Quick
+      test_collector_across_domains;
   ]
