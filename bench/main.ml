@@ -765,7 +765,7 @@ let obs_sweep sizes =
         (obs_algorithms ()))
     sizes
 
-let obs_json rows =
+let obs_json ~span_section rows =
   let row_json r =
     Printf.sprintf
       "    {\"jobs\": %d, \"algorithm\": \"%s\", \"bare_s\": %.6f, \
@@ -788,28 +788,10 @@ let obs_json rows =
         obs_assert_floor obs_overhead_limit;
       "  \"results\": [\n";
       String.concat ",\n" (List.map row_json rows);
-      "\n  ]\n}\n";
+      "\n  ],\n";
+      span_section;
+      "}\n";
     ]
-
-let run_obs ~quick () =
-  let sizes = if quick then [ 1_000; 100_000 ] else [ 1_000; 10_000; 100_000 ] in
-  Printf.printf "=== Observer overhead sweep (%s) ===\n%!"
-    (if quick then "quick" else "full");
-  let rows = obs_sweep sizes in
-  List.iter
-    (fun r ->
-      if r.o_jobs >= obs_assert_floor && r.o_overhead > obs_overhead_limit then
-        failwith
-          (Printf.sprintf
-             "obs sweep: observer overhead %.2fx exceeds the %.1fx budget \
-              for %s on %d jobs"
-             r.o_overhead obs_overhead_limit r.o_algo r.o_jobs))
-    rows;
-  let out = if quick then "BENCH_obs_quick.json" else "BENCH_obs.json" in
-  let oc = open_out out in
-  output_string oc (obs_json rows);
-  close_out oc;
-  Printf.printf "wrote %s\n" out
 
 (* ------------------------------------------------------------------ *)
 (* Part 7: serve sweep (BENCH_serve.json).                              *)
@@ -847,6 +829,211 @@ let serve_feed ?(depth = fun _ -> 0) s lines =
   | Ok () -> ()
   | Error f -> failwith ("serve bench: " ^ Sv.Session.fatal_to_string f));
   !snaps
+
+(* ---- span-pipeline overhead (PR 10, the "spans" section of
+   BENCH_obs.json) ---------------------------------------------------------
+
+   Three variants of the same session drive loop: bare (no span calls
+   at all), disabled (issue/commit against a sample=0 recorder — the
+   shape every daemon line now runs), and sampled at the stride the
+   acceptance gate names.  Sessions are stateful, so every timed
+   repetition feeds a fresh one; all variants pay the same creation
+   cost.  The sampled sink swallows the rendered line, i.e. the full
+   daemon-side span cost minus only the final write(2). *)
+
+let span_sample_stride = 16
+let span_overhead_limit = 1.3
+let span_assert_floor = 50_000
+
+(* Ceilings on the *extra* minor words per line over the bare loop:
+   the disabled path may not allocate at all (measurement jitter
+   allowance only); the sampled path amortises one armed ticket (a
+   12-word floatarray plus the [Some] boxing at the [?span] call) and
+   one rendered JSONL line (~280 words of Buffer/Printf churn) over
+   [span_sample_stride] arrivals — measured ~19 words/line at 1/16. *)
+let span_disabled_words_ceiling = 2.
+let span_sampled_words_ceiling = 24.
+
+type span_row = {
+  sp_lines : int;
+  sp_bare_s : float;
+  sp_disabled_s : float;
+  sp_sampled_s : float;
+  sp_overhead : float; (* sampled / bare *)
+  sp_committed : int;
+  sp_disabled_dwpl : float; (* extra minor words/line, disabled recorder *)
+  sp_sampled_dwpl : float; (* extra minor words/line, sampled recorder *)
+}
+
+let span_session ?span_clock () =
+  match Sv.Portfolio.by_name "first-fit" with
+  | Some algo ->
+      Sv.Session.create ?span_clock
+        (Sv.Session.config ~snapshot_every:0 ~name:"first-fit" algo)
+  | None -> failwith "span bench: first-fit missing"
+
+let span_feed_bare lines =
+  let s = span_session () in
+  Array.iter
+    (fun line ->
+      match Sv.Session.feed s ~depth:0 line with
+      | Sv.Session.Emit _ | Sv.Session.Replayed | Sv.Session.Skipped _ -> ()
+      | Sv.Session.Fatal f ->
+          failwith ("span bench: " ^ Sv.Session.fatal_to_string f))
+    lines
+
+(* One full drive-loop pass with issue/stamp-in-session/commit, like
+   the daemon's.  Returns the recorder so callers can read counters. *)
+let span_feed_spans ~sample lines =
+  let spans =
+    if sample = 0 then Dbp_obs.Span.disabled
+    else Dbp_obs.Span.create ~sink:ignore ~sample ~shards:1 ()
+  in
+  let span_clock =
+    if Dbp_obs.Span.enabled spans then Some (Dbp_obs.Span.clock spans)
+    else None
+  in
+  let s = span_session ?span_clock () in
+  Array.iter
+    (fun line ->
+      let tk = Dbp_obs.Span.issue spans in
+      (* Branch like the daemon: [~span] on an optional parameter boxes
+         a [Some] per call, so unarmed tickets take the bare path. *)
+      let outcome =
+        if Dbp_obs.Span.active tk then Sv.Session.feed s ~span:tk ~depth:0 line
+        else Sv.Session.feed s ~depth:0 line
+      in
+      (match outcome with
+      | Sv.Session.Emit _ | Sv.Session.Replayed | Sv.Session.Skipped _ -> ()
+      | Sv.Session.Fatal f ->
+          failwith ("span bench: " ^ Sv.Session.fatal_to_string f));
+      Dbp_obs.Span.commit spans tk)
+    lines;
+  spans
+
+let span_sweep sizes =
+  List.map
+    (fun n ->
+      let inst = engine_instance n in
+      let lines = Array.of_list (serve_lines inst) in
+      let m = Array.length lines in
+      let reps = if m <= 20_000 then 7 else 3 in
+      let sp_bare_s, () = time_best reps (fun () -> span_feed_bare lines) in
+      let sp_disabled_s, _ =
+        time_best reps (fun () -> span_feed_spans ~sample:0 lines)
+      in
+      let sp_sampled_s, spans =
+        time_best reps (fun () ->
+            span_feed_spans ~sample:span_sample_stride lines)
+      in
+      let words f =
+        f ();
+        (* warm *)
+        let before = Gc.minor_words () in
+        f ();
+        (Gc.minor_words () -. before) /. float_of_int m
+      in
+      let bare_wpl = words (fun () -> span_feed_bare lines) in
+      let disabled_wpl =
+        words (fun () -> ignore (span_feed_spans ~sample:0 lines))
+      in
+      let sampled_wpl =
+        words (fun () ->
+            ignore (span_feed_spans ~sample:span_sample_stride lines))
+      in
+      let row =
+        {
+          sp_lines = m;
+          sp_bare_s;
+          sp_disabled_s;
+          sp_sampled_s;
+          sp_overhead = sp_sampled_s /. sp_bare_s;
+          sp_committed = Dbp_obs.Span.committed spans;
+          sp_disabled_dwpl = disabled_wpl -. bare_wpl;
+          sp_sampled_dwpl = sampled_wpl -. bare_wpl;
+        }
+      in
+      Printf.printf
+        "  %7d lines  bare %8.4fs  disabled %8.4fs  sampled(1/%d) %8.4fs \
+         (%.2fx)  +%.2f w/line disabled, +%.2f w/line sampled\n\
+         %!"
+        m sp_bare_s sp_disabled_s span_sample_stride sp_sampled_s
+        row.sp_overhead row.sp_disabled_dwpl row.sp_sampled_dwpl;
+      row)
+    sizes
+
+let span_gate rows =
+  List.iter
+    (fun r ->
+      if r.sp_lines >= span_assert_floor then begin
+        if r.sp_overhead > span_overhead_limit then
+          failwith
+            (Printf.sprintf
+               "span bench: sampled overhead %.2fx exceeds the %.1fx \
+                budget on %d lines"
+               r.sp_overhead span_overhead_limit r.sp_lines);
+        if r.sp_disabled_dwpl > span_disabled_words_ceiling then
+          failwith
+            (Printf.sprintf
+               "span bench: disabled spans allocate %.2f extra minor \
+                words/line (ceiling %.0f) on %d lines"
+               r.sp_disabled_dwpl span_disabled_words_ceiling r.sp_lines);
+        if r.sp_sampled_dwpl > span_sampled_words_ceiling then
+          failwith
+            (Printf.sprintf
+               "span bench: sampled spans allocate %.2f extra minor \
+                words/line (ceiling %.0f) on %d lines"
+               r.sp_sampled_dwpl span_sampled_words_ceiling r.sp_lines)
+      end)
+    rows
+
+let span_section rows =
+  let row_json r =
+    Printf.sprintf
+      "      {\"lines\": %d, \"bare_s\": %.6f, \"disabled_s\": %.6f, \
+       \"sampled_s\": %.6f, \"overhead\": %.3f, \"committed\": %d, \
+       \"disabled_delta_words_per_line\": %.2f, \
+       \"sampled_delta_words_per_line\": %.2f}"
+      r.sp_lines r.sp_bare_s r.sp_disabled_s r.sp_sampled_s r.sp_overhead
+      r.sp_committed r.sp_disabled_dwpl r.sp_sampled_dwpl
+  in
+  String.concat ""
+    [
+      "  \"spans\": {\n";
+      Printf.sprintf
+        "    \"note\": \"Session.feed drive loop, first-fit; sampled = \
+         --span-sample %d with a swallowing sink; overhead = sampled \
+         seconds / bare seconds, gated at %.1fx on rows with >= %d lines; \
+         delta words/line gated at %.0f (disabled) and %.0f (sampled)\",\n"
+        span_sample_stride span_overhead_limit span_assert_floor
+        span_disabled_words_ceiling span_sampled_words_ceiling;
+      "    \"results\": [\n";
+      String.concat ",\n" (List.map row_json rows);
+      "\n    ]\n  }\n";
+    ]
+
+let run_obs ~quick () =
+  let sizes = if quick then [ 1_000; 100_000 ] else [ 1_000; 10_000; 100_000 ] in
+  Printf.printf "=== Observer overhead sweep (%s) ===\n%!"
+    (if quick then "quick" else "full");
+  let rows = obs_sweep sizes in
+  List.iter
+    (fun r ->
+      if r.o_jobs >= obs_assert_floor && r.o_overhead > obs_overhead_limit then
+        failwith
+          (Printf.sprintf
+             "obs sweep: observer overhead %.2fx exceeds the %.1fx budget \
+              for %s on %d jobs"
+             r.o_overhead obs_overhead_limit r.o_algo r.o_jobs))
+    rows;
+  Printf.printf "=== Span pipeline overhead ===\n%!";
+  let spans = span_sweep sizes in
+  span_gate spans;
+  let out = if quick then "BENCH_obs_quick.json" else "BENCH_obs.json" in
+  let oc = open_out out in
+  output_string oc (obs_json ~span_section:(span_section spans) rows);
+  close_out oc;
+  Printf.printf "wrote %s\n" out
 
 type serve_tp_row = {
   sv_algo : string;

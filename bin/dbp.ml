@@ -876,9 +876,35 @@ let serve_cmd =
              labels) and $(b,/healthz) over HTTP/1.0 on \
              127.0.0.1:PORT (0 = pick a free port; sharded mode only).")
   in
+  let span_sample_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "span-sample" ] ~docv:"N"
+          ~doc:
+            "Record a per-arrival latency span for every N-th arrival \
+             (deterministic, sequence-keyed; 0 = off).  Phase quantiles \
+             land on $(b,/metrics) and in the SIGUSR1 dump; feed the \
+             $(b,--span-out) log to $(b,dbp analyze).")
+  in
+  let span_out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "span-out" ] ~docv:"FILE"
+          ~doc:
+            "Append sampled spans to FILE as JSONL (one object per span, \
+             per-phase durations in seconds; needs $(b,--span-sample)).")
+  in
+  let span_ring_arg =
+    Arg.(
+      value & opt int 1024
+      & info [ "span-ring" ] ~docv:"N"
+          ~doc:"In-memory span ring capacity (most recent N spans).")
+  in
   let run algo input socket output snapshot snapshot_every resume metrics_out
-      trace_out shed coarsen reject coarsen_factor throttle_us crash_after
-      max_arrivals shards routes metrics_port =
+      trace_out span_sample span_out span_ring shed coarsen reject
+      coarsen_factor throttle_us crash_after max_arrivals shards routes
+      metrics_port =
     let engine =
       match Dbp_serve.Portfolio.by_name algo with
       | Some e -> e
@@ -910,6 +936,9 @@ let serve_cmd =
         resume;
         metrics_out;
         trace_out;
+        span_sample;
+        span_out;
+        span_ring;
         throttle_us;
         crash_after;
         max_arrivals;
@@ -970,9 +999,112 @@ let serve_cmd =
     Term.(
       const run $ algo_arg $ input_arg $ socket_arg $ output_arg $ snapshot_arg
       $ snapshot_every_arg $ resume_flag $ metrics_out_arg $ trace_out_arg
-      $ shed_arg $ coarsen_arg $ reject_arg $ coarsen_factor_arg $ throttle_arg
-      $ crash_after_arg $ max_arrivals_arg $ shards_arg $ routes_arg
-      $ metrics_port_arg)
+      $ span_sample_arg $ span_out_arg $ span_ring_arg $ shed_arg $ coarsen_arg
+      $ reject_arg $ coarsen_factor_arg $ throttle_arg $ crash_after_arg
+      $ max_arrivals_arg $ shards_arg $ routes_arg $ metrics_port_arg)
+
+(* ---- analyze ---- *)
+
+let analyze_cmd =
+  let read_lines path =
+    let ic = if path = "-" then stdin else open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> if path <> "-" then close_in ic)
+      (fun () ->
+        let rec go acc =
+          match input_line ic with
+          | line -> go (line :: acc)
+          | exception End_of_file -> List.rev acc
+        in
+        go [])
+  in
+  let spans_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "spans" ] ~docv:"FILE"
+          ~doc:"Span log from $(b,dbp serve --span-out) ($(b,-) = stdin).")
+  in
+  let journal_arg =
+    Arg.(
+      value & opt_all string []
+      & info [ "journal"; "j" ] ~docv:"[NAME=]FILE"
+          ~doc:
+            "A decision journal to replay (repeatable; journal file, \
+             shard segment, or the sharded merged stream).  NAME labels \
+             the report row; defaults to the file name.")
+  in
+  let input_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "input" ] ~docv:"FILE"
+          ~doc:
+            "The JSONL arrival stream the journals were produced from; \
+             supplies job departures for the usage-time efficiency table.")
+  in
+  let buckets_arg =
+    Arg.(
+      value & opt int 10
+      & info [ "buckets" ] ~docv:"N"
+          ~doc:"Timeline resolution: rows per depth/utilization timeline.")
+  in
+  let out_arg =
+    Arg.(
+      value & opt string "-"
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Write the report to FILE ($(b,-) = stdout).")
+  in
+  let run spans journals input buckets out =
+    if buckets < 1 then begin
+      Printf.eprintf "dbp analyze: --buckets must be >= 1\n";
+      exit 2
+    end;
+    let split spec =
+      match String.index_opt spec '=' with
+      | Some i when i > 0 ->
+          (String.sub spec 0 i,
+           String.sub spec (i + 1) (String.length spec - i - 1))
+      | _ -> (Filename.basename spec, spec)
+    in
+    match
+      Dbp_serve.Analyze.report
+        {
+          Dbp_serve.Analyze.spans =
+            (match spans with None -> [] | Some p -> read_lines p);
+          journals =
+            List.map
+              (fun spec ->
+                let name, path = split spec in
+                (name, read_lines path))
+              journals;
+          arrivals = Option.map read_lines input;
+          time_buckets = buckets;
+        }
+    with
+    | report ->
+        if out = "-" then print_string report
+        else begin
+          let oc = open_out_bin out in
+          Fun.protect
+            ~finally:(fun () -> close_out oc)
+            (fun () -> output_string oc report)
+        end
+    | exception Sys_error msg ->
+        Printf.eprintf "dbp analyze: %s\n" msg;
+        exit 2
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "Offline latency and efficiency report: ingest a $(b,--span-out) \
+          log and/or decision journals from $(b,dbp serve) and print \
+          per-phase latency percentiles, per-shard mailbox timelines and \
+          the paper's usage-time efficiency table (achieved usage vs. the \
+          interval-union lower bound).  Deterministic: same inputs, same \
+          bytes.")
+    Term.(
+      const run $ spans_arg $ journal_arg $ input_arg $ buckets_arg $ out_arg)
 
 (* ---- lint ---- *)
 
@@ -1125,9 +1257,9 @@ let () =
   let doc = "Clairvoyant MinUsageTime dynamic bin packing (SPAA'16 reproduction)" in
   exit
     (Cmd.eval
-       (Cmd.group (Cmd.info "dbp" ~version:"1.0.0" ~doc)
+       (Cmd.group (Cmd.info "dbp" ~version:Dbp_serve.Daemon.version ~doc)
           [
             run_cmd; figure8_cmd; experiments_cmd; gadget_cmd; gen_cmd;
             pack_cmd; faults_cmd; flex_cmd; vector_cmd; audit_cmd; serve_cmd;
-            lint_cmd;
+            analyze_cmd; lint_cmd;
           ]))

@@ -1,0 +1,141 @@
+(* Log-bucketed HDR-style histogram (see the interface).
+
+   Bucketing rides on [Float.frexp]: v = m * 2^e with m in [0.5, 1), so
+   the exponent picks the octave and the mantissa picks one of [sub]
+   linear sub-buckets inside it.  Everything downstream — merge,
+   quantiles, exposition — works on the integer count array alone, which
+   is what makes merge exact: adding two count arrays is literally the
+   histogram of the concatenated samples. *)
+
+let sub = 16
+let min_exp = -30
+let octaves = 36
+let buckets = octaves * sub
+
+(* Relative half-width of one sub-bucket: a quantile estimate is within
+   this factor above the true sample quantile. *)
+let precision = 1. +. (1. /. float_of_int sub)
+
+let index_of v =
+  if not (Float.is_finite v) || v <= 0. then 0
+  else
+    let m, e = Float.frexp v in
+    if e <= min_exp then 0
+    else if e > min_exp + octaves then buckets - 1
+    else
+      let s = int_of_float ((m -. 0.5) *. float_of_int (2 * sub)) in
+      let s = if s >= sub then sub - 1 else if s < 0 then 0 else s in
+      ((e - min_exp - 1) * sub) + s
+
+let bucket_upper i =
+  let o = i / sub and s = i mod sub in
+  Float.ldexp (0.5 +. (float_of_int (s + 1) /. float_of_int (2 * sub)))
+    (min_exp + o + 1)
+
+let bucket_lower i =
+  let o = i / sub and s = i mod sub in
+  Float.ldexp (0.5 +. (float_of_int s /. float_of_int (2 * sub)))
+    (min_exp + o + 1)
+
+type t = {
+  counts : int array;
+  mutable count : int;
+  mutable sum : float;
+  mutable max : float;
+  mutable min : float;
+}
+
+let create () =
+  {
+    counts = Array.make buckets 0;
+    count = 0;
+    sum = 0.;
+    max = Float.neg_infinity;
+    min = Float.infinity;
+  }
+
+let record t v =
+  let i = index_of v in
+  t.counts.(i) <- t.counts.(i) + 1;
+  t.count <- t.count + 1;
+  t.sum <- t.sum +. v;
+  if v > t.max then t.max <- v;
+  if v < t.min then t.min <- v
+
+let reset t =
+  Array.fill t.counts 0 buckets 0;
+  t.count <- 0;
+  t.sum <- 0.;
+  t.max <- Float.neg_infinity;
+  t.min <- Float.infinity
+
+type snapshot = {
+  s_counts : int array;
+  s_count : int;
+  s_sum : float;
+  s_max : float;
+  s_min : float;
+}
+
+let snapshot t =
+  {
+    s_counts = Array.copy t.counts;
+    s_count = t.count;
+    s_sum = t.sum;
+    s_max = t.max;
+    s_min = t.min;
+  }
+
+let empty_snapshot =
+  {
+    s_counts = Array.make buckets 0;
+    s_count = 0;
+    s_sum = 0.;
+    s_max = Float.neg_infinity;
+    s_min = Float.infinity;
+  }
+
+let merge a b =
+  {
+    s_counts = Array.init buckets (fun i -> a.s_counts.(i) + b.s_counts.(i));
+    s_count = a.s_count + b.s_count;
+    s_sum = a.s_sum +. b.s_sum;
+    s_max = Float.max a.s_max b.s_max;
+    s_min = Float.min a.s_min b.s_min;
+  }
+
+let count s = s.s_count
+let sum s = s.s_sum
+let max_value s = if s.s_count = 0 then 0. else s.s_max
+let min_value s = if s.s_count = 0 then 0. else s.s_min
+
+(* The estimate for quantile q is the upper bound of the bucket holding
+   the sample of rank ceil(q * count) (1-based); the top-most occupied
+   bucket instead reports the exact recorded max, so [quantile s 1.]
+   never over-reports. *)
+let quantile s q =
+  if s.s_count = 0 then 0.
+  else begin
+    let q = if q < 0. then 0. else if q > 1. then 1. else q in
+    let rank =
+      let r = int_of_float (Float.ceil (q *. float_of_int s.s_count)) in
+      if r < 1 then 1 else if r > s.s_count then s.s_count else r
+    in
+    let rec go i seen =
+      let seen = seen + s.s_counts.(i) in
+      if seen >= rank then
+        if seen = s.s_count then
+          (* Highest occupied bucket: the max lives here. *)
+          s.s_max
+        else bucket_upper i
+      else go (i + 1) seen
+    in
+    go 0 0
+  end
+
+let nonzero s =
+  let acc = ref [] in
+  for i = buckets - 1 downto 0 do
+    if s.s_counts.(i) > 0 then acc := (bucket_upper i, s.s_counts.(i)) :: !acc
+  done;
+  !acc

@@ -1,0 +1,78 @@
+(** Log-bucketed HDR-style latency histogram with exact merge.
+
+    A fixed ladder of [octaves * sub] buckets covers roughly [1ns, 64s]
+    at a constant relative precision: each power-of-two octave splits
+    into [sub] linear sub-buckets, so a quantile estimate is at most
+    {!precision} (= 1 + 1/sub) times the true sample quantile.  Values
+    below the ladder (or non-positive / non-finite) land in bucket 0;
+    values above clamp into the top bucket.
+
+    The core contract is the {b merge law}: a {!snapshot} is just an
+    integer count array (plus count/sum/max/min), and
+    [merge (snapshot a) (snapshot b)] has {e exactly} the counts of a
+    histogram fed the concatenated samples — so {!quantile}, {!count},
+    {!max_value} and {!min_value} agree exactly between "merge of shard
+    snapshots" and "one histogram over everything".  ([sum] agrees only
+    up to float associativity.)  This is what lets the sharded daemon
+    keep one histogram per (shard, phase) with no cross-domain sharing
+    and still expose fleet-wide quantiles.
+
+    Recording is allocation-free (array stores into a preallocated
+    [t]); snapshots copy the count array and are immutable. *)
+
+type t
+(** A mutable recording histogram. *)
+
+val create : unit -> t
+val record : t -> float -> unit
+val reset : t -> unit
+
+val buckets : int
+(** Number of buckets in the ladder. *)
+
+val precision : float
+(** Worst-case ratio estimate/true for any quantile of in-range
+    samples: [1 + 1/sub]. *)
+
+val index_of : float -> int
+(** Bucket index a value records into (exposed for tests). *)
+
+val bucket_upper : int -> float
+(** Upper value bound of bucket [i] — what quantiles report. *)
+
+val bucket_lower : int -> float
+(** Lower value bound of bucket [i]. *)
+
+(** {2 Snapshots} *)
+
+type snapshot
+
+val snapshot : t -> snapshot
+(** Immutable copy of the current state. *)
+
+val empty_snapshot : snapshot
+(** The identity of {!merge}. *)
+
+val merge : snapshot -> snapshot -> snapshot
+(** Exact: counts add elementwise, so quantiles of the merge equal
+    quantiles of the concatenated sample streams. *)
+
+val count : snapshot -> int
+val sum : snapshot -> float
+
+val max_value : snapshot -> float
+(** Exact recorded maximum ([0.] when empty). *)
+
+val min_value : snapshot -> float
+(** Exact recorded minimum ([0.] when empty). *)
+
+val quantile : snapshot -> float -> float
+(** [quantile s q] estimates the [q]-quantile (rank
+    [ceil (q * count)], 1-based): the upper bound of that rank's
+    bucket, except the highest occupied bucket reports the exact max.
+    Clamps [q] to [0, 1]; [0.] when empty.  Deterministic: a pure
+    function of the snapshot. *)
+
+val nonzero : snapshot -> (float * int) list
+(** [(bucket_upper, count)] for each occupied bucket, ascending — the
+    exposition/report walk. *)

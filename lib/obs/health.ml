@@ -20,6 +20,15 @@ let create ?(clock = Clock.monotonic) registry =
     g_minor = g "dbp_process_minor_collections" "Minor GC cycles completed.";
   }
 
+let set_build_info ?(family = "dbp_build_info") ~version registry =
+  let g =
+    Metrics.gauge registry
+      ~help:"Constant 1, labelled with the build version."
+      ~labels:[ ("version", version) ]
+      family
+  in
+  Metrics.set g 1.
+
 let uptime t = Clock.now t.clock -. t.started
 
 let tick t =

@@ -27,3 +27,9 @@ val tick : t -> unit
 
 val uptime : t -> float
 (** Seconds since {!create}, per the injected clock. *)
+
+val set_build_info : ?family:string -> version:string -> Metrics.t -> unit
+(** Register (idempotently) a build-info gauge in the Prometheus idiom:
+    constant [1] with the version as a label, e.g.
+    [dbp_serve_build_info{version="1.0.0"} 1].  Default family:
+    [dbp_build_info]. *)

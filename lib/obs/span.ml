@@ -1,0 +1,257 @@
+(* Per-arrival latency spans (see the interface).
+
+   A ticket is a bare floatarray so the disabled/unsampled path costs
+   one length test and allocates nothing: [null] is a shared length-0
+   array, every stamping helper guards on [active], and [issue] hands
+   out [null] for every arrival the deterministic every-Nth sampler
+   skips.  All mutable recorder state (ring, histograms, sink buffer)
+   is owned by the thread that calls [issue]/[commit]; tickets cross
+   domains by strict hand-off (mailbox in, collector out), never
+   shared. *)
+
+type phase = Parse | Route | Mailbox | Admission | Engine | Journal | Merge
+
+let phase_index = function
+  | Parse -> 0
+  | Route -> 1
+  | Mailbox -> 2
+  | Admission -> 3
+  | Engine -> 4
+  | Journal -> 5
+  | Merge -> 6
+
+let phase_name = function
+  | Parse -> "parse"
+  | Route -> "route"
+  | Mailbox -> "mailbox"
+  | Admission -> "admission"
+  | Engine -> "engine"
+  | Journal -> "journal"
+  | Merge -> "merge"
+
+let phases = [| Parse; Route; Mailbox; Admission; Engine; Journal; Merge |]
+let n_phases = Array.length phases
+
+(* Ticket layout: one row of the ring. *)
+let idx_seq = 0
+let idx_depth = 1
+let idx_shard = 2
+let idx_t0 = 3
+let stamps_off = 4
+let width = stamps_off + n_phases
+
+type ticket = floatarray
+
+let null : ticket = Float.Array.create 0
+let active tk = Float.Array.length tk > 0
+
+let mark clock tk phase =
+  if active tk then
+    Float.Array.set tk (stamps_off + phase_index phase) (Clock.now clock)
+
+let set_depth tk depth =
+  if active tk then Float.Array.set tk idx_depth (float_of_int depth)
+
+let set_shard tk shard =
+  if active tk then Float.Array.set tk idx_shard (float_of_int shard)
+
+let ticket_seq tk = int_of_float (Float.Array.get tk idx_seq)
+
+(* ---- the recorder ----------------------------------------------------- *)
+
+type t = {
+  clock : Clock.t;
+  sample : int;
+  shards : int;
+  ring_cap : int;
+  ring : floatarray;  (* ring_cap rows x width, preallocated *)
+  durs : floatarray;  (* per-commit scratch: one duration per phase *)
+  mutable seq : int;
+  mutable committed : int;
+  started : float;  (* sink lines carry t relative to this *)
+  hdr : Hdr.t array array;  (* shards x phases *)
+  reg : Metrics.histogram array array option;  (* shards x phases *)
+  quant : (Metrics.gauge * Metrics.gauge * Metrics.gauge * Metrics.gauge) array option;
+      (* per phase: p50, p95, p99, max *)
+  sink : (string -> unit) option;
+  buf : Buffer.t;
+}
+
+(* Coarse fixed ladder for the Prometheus series; the fine-grained
+   quantiles come from the Hdr matrix via the quantile gauges. *)
+let phase_buckets =
+  [ 1e-6; 1e-5; 1e-4; 1e-3; 1e-2; 1e-1; 1.; 10. ]
+
+let create ?(clock = Clock.monotonic) ?metrics ?sink ?(ring = 1024) ~sample
+    ~shards () =
+  if sample < 0 then invalid_arg "Span.create: sample must be >= 0";
+  if shards < 1 then invalid_arg "Span.create: shards must be >= 1";
+  if ring < 1 then invalid_arg "Span.create: ring must be >= 1";
+  let reg =
+    Option.map
+      (fun m ->
+        Array.init shards (fun k ->
+            Array.map
+              (fun p ->
+                Metrics.histogram m
+                  ~help:"Per-arrival phase latency (sampled spans)."
+                  ~labels:
+                    [ ("phase", phase_name p); ("shard", string_of_int k) ]
+                  ~buckets:phase_buckets "dbp_serve_phase_seconds")
+              phases))
+      metrics
+  in
+  let quant =
+    Option.map
+      (fun m ->
+        Array.map
+          (fun p ->
+            let g q =
+              Metrics.gauge m
+                ~help:
+                  "Phase latency quantile estimate, merged across shards."
+                ~labels:[ ("phase", phase_name p); ("quantile", q) ]
+                "dbp_serve_phase_quantile_seconds"
+            in
+            (g "p50", g "p95", g "p99", g "max"))
+          phases)
+      metrics
+  in
+  {
+    clock;
+    sample;
+    shards;
+    ring_cap = ring;
+    ring = Float.Array.make (ring * width) Float.nan;
+    durs = Float.Array.make n_phases Float.nan;
+    seq = 0;
+    committed = 0;
+    started = Clock.now clock;
+    hdr = Array.init shards (fun _ -> Array.init n_phases (fun _ -> Hdr.create ()));
+    reg;
+    quant;
+    sink;
+    buf = Buffer.create 160;
+  }
+
+let disabled =
+  create ~clock:(Clock.of_fake (Clock.fake ())) ~ring:1 ~sample:0 ~shards:1 ()
+
+let issue t =
+  if t.sample <= 0 then null
+  else begin
+    let s = t.seq in
+    t.seq <- s + 1;
+    if s mod t.sample <> 0 then null
+    else begin
+      let tk = Float.Array.make width Float.nan in
+      Float.Array.set tk idx_seq (float_of_int s);
+      Float.Array.set tk idx_depth 0.;
+      Float.Array.set tk idx_shard 0.;
+      Float.Array.set tk idx_t0 (Clock.now t.clock);
+      tk
+    end
+  end
+
+let stamp t tk phase = mark t.clock tk phase
+
+let add_num buf v =
+  Buffer.add_string buf (Printf.sprintf "%.9g" v)
+
+let render_line t tk =
+  Buffer.clear t.buf;
+  Buffer.add_string t.buf "{\"seq\":";
+  Buffer.add_string t.buf (string_of_int (ticket_seq tk));
+  Buffer.add_string t.buf ",\"shard\":";
+  Buffer.add_string t.buf
+    (string_of_int (int_of_float (Float.Array.get tk idx_shard)));
+  Buffer.add_string t.buf ",\"depth\":";
+  Buffer.add_string t.buf
+    (string_of_int (int_of_float (Float.Array.get tk idx_depth)));
+  Buffer.add_string t.buf ",\"t\":";
+  add_num t.buf (Float.Array.get tk idx_t0 -. t.started);
+  Array.iteri
+    (fun i p ->
+      let d = Float.Array.get t.durs i in
+      if not (Float.is_nan d) then begin
+        Buffer.add_string t.buf ",\"";
+        Buffer.add_string t.buf (phase_name p);
+        Buffer.add_string t.buf "\":";
+        add_num t.buf d
+      end)
+    phases;
+  Buffer.add_char t.buf '}';
+  Buffer.contents t.buf
+
+let commit t tk =
+  if active tk then begin
+    let shard =
+      let k = int_of_float (Float.Array.get tk idx_shard) in
+      if k < 0 || k >= t.shards then 0 else k
+    in
+    let slot = t.committed mod t.ring_cap in
+    Float.Array.blit tk 0 t.ring (slot * width) width;
+    t.committed <- t.committed + 1;
+    (* Durations: each stamp minus the previous present stamp (base t0),
+       clamped at 0 so a non-monotonic wall clock cannot produce
+       negative latencies. *)
+    let base = ref (Float.Array.get tk idx_t0) in
+    for i = 0 to n_phases - 1 do
+      let v = Float.Array.get tk (stamps_off + i) in
+      if Float.is_nan v then Float.Array.set t.durs i Float.nan
+      else begin
+        let d = v -. !base in
+        let d = if d > 0. then d else 0. in
+        base := v;
+        Float.Array.set t.durs i d;
+        Hdr.record t.hdr.(shard).(i) d;
+        match t.reg with
+        | Some m -> Metrics.observe m.(shard).(i) d
+        | None -> ()
+      end
+    done;
+    match t.sink with
+    | Some sink -> sink (render_line t tk)
+    | None -> ()
+  end
+
+let merged t phase =
+  let i = phase_index phase in
+  let acc = ref Hdr.empty_snapshot in
+  for k = 0 to t.shards - 1 do
+    acc := Hdr.merge !acc (Hdr.snapshot t.hdr.(k).(i))
+  done;
+  !acc
+
+let export t =
+  match t.quant with
+  | None -> ()
+  | Some gs ->
+      Array.iteri
+        (fun i p ->
+          let s = merged t p in
+          let g50, g95, g99, gmax = gs.(i) in
+          Metrics.set g50 (Hdr.quantile s 0.50);
+          Metrics.set g95 (Hdr.quantile s 0.95);
+          Metrics.set g99 (Hdr.quantile s 0.99);
+          Metrics.set gmax (Hdr.max_value s))
+        phases
+
+let enabled t = t.sample > 0
+let seen t = t.seq
+let committed t = t.committed
+let clock t = t.clock
+
+let snapshot t ~shard phase =
+  if shard < 0 || shard >= t.shards then
+    invalid_arg "Span.snapshot: shard out of range";
+  Hdr.snapshot t.hdr.(shard).(phase_index phase)
+
+let rows t =
+  let n = if t.committed < t.ring_cap then t.committed else t.ring_cap in
+  let start = if t.committed <= t.ring_cap then 0 else t.committed mod t.ring_cap in
+  List.init n (fun j ->
+      let slot = (start + j) mod t.ring_cap in
+      let row = Float.Array.create width in
+      Float.Array.blit t.ring (slot * width) row 0 width;
+      row)

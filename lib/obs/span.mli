@@ -1,0 +1,128 @@
+(** Per-arrival latency spans for the serve pipeline.
+
+    One arrival's journey through the daemon is a fixed sequence of
+    {!phase}s: parse, route, mailbox wait, admission, engine decision,
+    journal append, merge release.  A sampled arrival carries a
+    {!ticket} — a bare [floatarray] of timestamp stamps — through the
+    pipeline; stages stamp the phases they own, and the ingest thread
+    {!commit}s the finished ticket into the recorder: a preallocated
+    floatarray ring (last N sampled spans), a per-(shard, phase)
+    {!Hdr} histogram matrix, optional [dbp_serve_phase_seconds]
+    {!Metrics} series, and an optional JSONL sink ([--span-out]).
+
+    {2 Cost model}
+
+    Disabled ([sample = 0]): {!issue} is one integer test returning
+    {!null}, and every stamping helper is one length test — no clock
+    read, no allocation.  Enabled: {!issue} arms every [N]-th ticket
+    ({b seq-keyed}, so the choice is deterministic for a given ingest
+    order — no [Random], which keeps the R12 decision-path rule clean)
+    and only armed tickets pay the clock reads and the one
+    [floatarray] allocation.
+
+    {2 Ownership}
+
+    The recorder is single-owner: only the thread that called
+    {!create} may call {!issue}/{!commit}/{!export}.  Tickets may
+    cross domains by strict hand-off (a shard mailbox in, a result
+    collector out); the stamping helpers {!mark}/{!set_depth}/
+    {!set_shard} write only into the ticket itself, so a worker domain
+    stamps with its own {!Clock.t} and never touches recorder state.
+    Sessions stay clock-free (R12): they stamp through an {e injected}
+    clock, never [Clock.monotonic] themselves. *)
+
+type phase = Parse | Route | Mailbox | Admission | Engine | Journal | Merge
+
+val phases : phase array
+(** All phases in pipeline (= stamping) order. *)
+
+val phase_name : phase -> string
+(** Lowercase label used in metrics, span lines and reports. *)
+
+val phase_index : phase -> int
+
+(** {2 Tickets} *)
+
+type ticket = floatarray
+
+val null : ticket
+(** The shared inactive ticket: every helper is a no-op on it. *)
+
+val active : ticket -> bool
+
+val mark : Clock.t -> ticket -> phase -> unit
+(** Stamp [phase] with the given clock's now (no-op on {!null}). *)
+
+val set_depth : ticket -> int -> unit
+val set_shard : ticket -> int -> unit
+
+val ticket_seq : ticket -> int
+(** The ingest sequence number {!issue} armed this ticket with. *)
+
+(** {2 The recorder} *)
+
+type t
+
+val create :
+  ?clock:Clock.t ->
+  ?metrics:Metrics.t ->
+  ?sink:(string -> unit) ->
+  ?ring:int ->
+  sample:int ->
+  shards:int ->
+  unit ->
+  t
+(** [sample = 0] disables; [sample = N] arms every N-th arrival.
+    [metrics] registers [dbp_serve_phase_seconds{phase,shard}]
+    histograms (observed at commit) and
+    [dbp_serve_phase_quantile_seconds{phase,quantile}] gauges
+    (refreshed by {!export}).  [sink] receives one compact JSONL line
+    per committed span.  [ring] is the span capacity of the in-memory
+    ring (default 1024).
+    @raise Invalid_argument on [sample < 0], [shards < 1] or
+    [ring < 1]. *)
+
+val disabled : t
+(** A recorder with [sample = 0]: {!issue} always returns {!null}.
+    Lets drive loops hold a [t] unconditionally. *)
+
+val issue : t -> ticket
+(** Count one arrival; return an armed ticket (ingest time stamped)
+    iff this is a sampled one, else {!null}. *)
+
+val stamp : t -> ticket -> phase -> unit
+(** {!mark} with the recorder's own clock — for pipeline stages running
+    on the recorder's thread. *)
+
+val commit : t -> ticket -> unit
+(** Finish a span: append the ticket to the ring, turn stamps into
+    per-phase durations (each stamp minus the previous present one,
+    from ingest time; clamped at 0), record them into the Hdr matrix
+    and the metrics series, and emit the JSONL line.  No-op on
+    {!null}. *)
+
+val export : t -> unit
+(** Refresh the quantile gauges (p50/p95/p99/max per phase) from the
+    Hdr matrix, merged across shards.  Call at scrape/dump time. *)
+
+(** {2 Introspection} (tests, bench, reports) *)
+
+val enabled : t -> bool
+val seen : t -> int
+(** Arrivals counted by {!issue}. *)
+
+val committed : t -> int
+(** Spans committed (sampled arrivals that completed the pipeline). *)
+
+val clock : t -> Clock.t
+
+val snapshot : t -> shard:int -> phase -> Hdr.snapshot
+(** One cell of the histogram matrix.
+    @raise Invalid_argument on an out-of-range shard. *)
+
+val merged : t -> phase -> Hdr.snapshot
+(** All shards' histograms for [phase], merged. *)
+
+val rows : t -> floatarray list
+(** The ring contents, oldest first: up to [ring] committed tickets
+    (copies). *)

@@ -1,0 +1,46 @@
+(** The [dbp analyze] offline reporter: span logs + journals in, one
+    deterministic text report out.
+
+    This module is pure — the CLI reads the files and hands the lines
+    over; nothing here touches the filesystem, the clock or any other
+    nondeterminism source, so the module sits on the semantic-lint R12
+    target list and the check.sh smoke byte-compares two runs of the
+    same report.
+
+    {2 Report sections}
+
+    - {b spans}: parsed/malformed line counts from the [--span-out]
+      JSONL log ({!Dbp_obs.Span}), then a per-phase latency table
+      (count, p50, p95, p99, max — quantiles via {!Dbp_obs.Hdr}, so
+      upper bucket bounds with relative error <= [Hdr.precision]).
+    - {b shards}: per-shard span counts, mailbox depth max/mean and
+      mailbox-wait quantiles, plus a max-depth-per-time-bucket timeline.
+    - {b journals}: per journal ([--journal NAME=FILE]), decision
+      counts, bin {e episodes} reconstructed by replaying [Placed]
+      lines (an [opened=true] line on a live bin id closes the previous
+      episode; an episode's close instant is the latest departure of
+      the jobs it absorbed), and an open-bin utilization timeline.
+    - {b usage-time efficiency}: the paper's objective, one row per
+      journal: achieved usage ([sum] over episodes of close - open)
+      against two lower bounds — [span_lb], the length of the union of
+      the placed jobs' [arrival, departure] intervals (no schedule can
+      use less server time while any job is live), and [demand_lb],
+      [sum size * duration] — plus [ratio = usage / span_lb], the
+      empirical competitive ratio.  Needs the arrivals input to learn
+      departures; without it the section says so instead of guessing. *)
+
+type input = {
+  spans : string list;  (** [--span-out] JSONL lines; may be [[]] *)
+  journals : (string * string list) list;
+      (** (label, decision lines) — journal files, segments, or the
+          sharded merged stream ({!Decision.parse} ignores the spliced
+          [shard] field) *)
+  arrivals : string list option;
+      (** the input stream the journals were produced from; supplies
+          job sizes and departures for the efficiency table *)
+  time_buckets : int;  (** timeline resolution (rows per timeline) *)
+}
+
+val report : input -> string
+(** Render the report.  Deterministic: equal inputs give equal bytes.
+    Malformed lines are counted and skipped, never fatal. *)

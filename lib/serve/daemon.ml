@@ -3,6 +3,10 @@
 
 type input = Stdin | In_file of string | In_socket of string
 
+module Sp = Dbp_obs.Span
+
+let version = "1.0.0"
+
 type config = {
   input : input;
   output : string;
@@ -10,6 +14,9 @@ type config = {
   resume : bool;
   metrics_out : string option;
   trace_out : string option;
+  span_sample : int;
+  span_out : string option;
+  span_ring : int;
   throttle_us : int;
   crash_after : int option;
   max_arrivals : int option;
@@ -24,6 +31,9 @@ let default_config =
     resume = false;
     metrics_out = None;
     trace_out = None;
+    span_sample = 0;
+    span_out = None;
+    span_ring = 1024;
     throttle_us = 0;
     crash_after = None;
     max_arrivals = None;
@@ -113,6 +123,28 @@ let dump_metrics cfg registry =
       end
   | _ -> ()
 
+(* Build the span recorder the config asks for (plus the --span-out
+   channel to close at teardown).  Shared with the sharded daemon. *)
+let make_spans cfg ?metrics ~shards () =
+  if cfg.span_sample <= 0 then begin
+    if Option.is_some cfg.span_out then
+      cfg.log "serve: --span-out has no effect without --span-sample";
+    (Sp.disabled, None)
+  end
+  else begin
+    let oc = Option.map open_out cfg.span_out in
+    let sink =
+      Option.map
+        (fun oc line ->
+          output_string oc line;
+          output_char oc '\n')
+        oc
+    in
+    ( Sp.create ?metrics ?sink ~ring:cfg.span_ring ~sample:cfg.span_sample
+        ~shards (),
+      oc )
+  end
+
 (* ---- the drive loop (shared by all input flavours) -------------------- *)
 
 exception Fatal_outcome of Session.fatal
@@ -123,6 +155,7 @@ type drive = {
   cfg : config;
   registry : Dbp_obs.Metrics.t option;
   health : Dbp_obs.Health.t option;
+  spans : Sp.t;
   usr1 : bool ref;
   mutable d_lines : int;
   mutable d_emitted : int;
@@ -145,18 +178,29 @@ let save_snapshot d =
 let drive_line d ~depth line =
   if !(d.usr1) then begin
     d.usr1 := false;
+    Sp.export d.spans;
     dump_metrics d.cfg d.registry
   end;
   Option.iter Dbp_obs.Health.tick d.health;
   d.d_lines <- d.d_lines + 1;
   d.d_last_emit <- None;
-  (match Session.feed d.session ~depth line with
+  let tk = Sp.issue d.spans in
+  Sp.set_depth tk depth;
+  (* Only armed tickets go through [~span]: passing a value to the
+     optional argument boxes a [Some] on every line, which the span
+     bench's zero-alloc gate on the disabled path forbids. *)
+  let outcome =
+    if Sp.active tk then Session.feed d.session ~span:tk ~depth line
+    else Session.feed d.session ~depth line
+  in
+  (match outcome with
   | Session.Fatal f -> raise (Fatal_outcome f)
   | Session.Skipped _ -> ()
   | Session.Replayed -> d.d_replayed <- d.d_replayed + 1
   | Session.Emit decision ->
       output_string d.out decision;
       output_char d.out '\n';
+      Sp.stamp d.spans tk Sp.Journal;
       d.d_emitted <- d.d_emitted + 1;
       d.d_last_emit <- Some decision;
       (match d.cfg.crash_after with
@@ -167,6 +211,7 @@ let drive_line d ~depth line =
           Unix.kill (Unix.getpid ()) Sys.sigkill
       | _ -> ());
       if Session.snapshot_due d.session then save_snapshot d);
+  Sp.commit d.spans tk;
   if d.cfg.throttle_us > 0 then
     Unix.sleepf (float_of_int d.cfg.throttle_us /. 1e6);
   match d.cfg.max_arrivals with Some n -> d.d_lines < n | None -> true
@@ -323,6 +368,10 @@ let run_inner cfg scfg =
     | None -> None
   in
   let health = Option.map Dbp_obs.Health.create registry in
+  Option.iter
+    (Dbp_obs.Health.set_build_info ~family:"dbp_serve_build_info" ~version)
+    registry;
+  let spans, span_oc = make_spans cfg ?metrics:registry ~shards:1 () in
   let trace_oc = Option.map open_out cfg.trace_out in
   let observer =
     Option.map
@@ -332,8 +381,10 @@ let run_inner cfg scfg =
             output_char oc '\n'))
       trace_oc
   in
+  let span_clock = if Sp.enabled spans then Some (Sp.clock spans) else None in
   let session =
-    Session.create ?metrics:registry ?observer ?journal ?checkpoint scfg
+    Session.create ?metrics:registry ?observer ?span_clock ?journal
+      ?checkpoint scfg
   in
   let out =
     if String.equal cfg.output "-" then stdout
@@ -353,6 +404,7 @@ let run_inner cfg scfg =
       cfg;
       registry;
       health;
+      spans;
       usr1;
       d_lines = 0;
       d_emitted = 0;
@@ -369,6 +421,8 @@ let run_inner cfg scfg =
            unverified replay. *)
         if Option.is_some cfg.snapshot_path && scfg.Session.snapshot_every > 0
         then save_snapshot d;
+        Option.iter Dbp_obs.Health.tick health;
+        Sp.export spans;
         dump_metrics cfg registry;
         Ok
           {
@@ -409,6 +463,7 @@ let run_inner cfg scfg =
   flush d.out;
   if not (String.equal cfg.output "-") then close_out d.out;
   Option.iter close_out trace_oc;
+  Option.iter close_out span_oc;
   result
 
 let run cfg scfg =

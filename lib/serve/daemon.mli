@@ -28,6 +28,10 @@ type input =
   | In_file of string
   | In_socket of string  (** Unix-domain socket path; daemon binds it *)
 
+val version : string
+(** The build version advertised by the [dbp_serve_build_info] gauge
+    (and the CLI's [--version]). *)
+
 type config = {
   input : input;
   output : string;  (** decision/journal path; ["-"] = stdout (no resume) *)
@@ -36,6 +40,11 @@ type config = {
   metrics_out : string option;
       (** [Some "-"] = stdout; [.json] suffix switches format *)
   trace_out : string option;  (** JSONL decision trace (shed under load) *)
+  span_sample : int;
+      (** sample every N-th arrival into a latency span (0 = off);
+          deterministic, seq-keyed — see {!Dbp_obs.Span} *)
+  span_out : string option;  (** JSONL span log (needs [span_sample]) *)
+  span_ring : int;  (** in-memory span ring capacity *)
   throttle_us : int;
   crash_after : int option;
   max_arrivals : int option;  (** stop after this many input lines *)
@@ -74,3 +83,13 @@ val journal_reader : string -> unit -> (Decision.t, string) result option
 (** Stream the (already truncated) journal back one parsed entry per
     pull — [None] at end of file — so resume memory stays O(open jobs),
     never O(journal). *)
+
+val make_spans :
+  config ->
+  ?metrics:Dbp_obs.Metrics.t ->
+  shards:int ->
+  unit ->
+  Dbp_obs.Span.t * out_channel option
+(** Build the span recorder [span_sample]/[span_out]/[span_ring] ask
+    for ({!Dbp_obs.Span.disabled} when sampling is off), plus the
+    [--span-out] channel the caller must close at teardown. *)

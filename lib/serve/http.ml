@@ -69,3 +69,11 @@ let response ~status ?(content_type = "text/plain; charset=utf-8") body =
     "HTTP/1.0 %d %s\r\nContent-Type: %s\r\nContent-Length: %d\r\nConnection: \
      close\r\n\r\n%s"
     status (status_text status) content_type (String.length body) body
+
+(* The Prometheus text exposition format version this repo emits; /metrics
+   responses must advertise it (scrapers content-negotiate on it), not the
+   generic plain-text default above. *)
+let prometheus_content_type = "text/plain; version=0.0.4; charset=utf-8"
+
+let metrics_response body =
+  response ~status:200 ~content_type:prometheus_content_type body

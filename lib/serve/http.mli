@@ -24,4 +24,11 @@ val response : status:int -> ?content_type:string -> string -> string
 (** Full HTTP/1.0 response bytes: status line, [Content-Type],
     [Content-Length], [Connection: close], body. *)
 
+val prometheus_content_type : string
+(** ["text/plain; version=0.0.4; charset=utf-8"] — the Prometheus text
+    exposition content type every [/metrics] response must carry. *)
+
+val metrics_response : string -> string
+(** [response ~status:200 ~content_type:prometheus_content_type]. *)
+
 val status_text : int -> string

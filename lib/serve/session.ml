@@ -1,6 +1,7 @@
 open Dbp_core
 module E = Dbp_online.Engine
 module M = Dbp_obs.Metrics
+module Sp = Dbp_obs.Span
 
 type config = {
   algo_name : string;
@@ -124,6 +125,9 @@ type t = {
   engine : Stream_engine.t;
   base_observer : Observer.t option;
   meters : meters option;
+  span_clock : Dbp_obs.Clock.t option;
+      (* injected, never Clock.monotonic from here: this module is an
+         R12 decision path and must not reach a wall-clock source *)
   render_buf : Buffer.t;  (* reused for every emitted decision line *)
   mutable journal : (unit -> (Decision.t, string) result option) option;
   mutable checkpoint : checkpoint option;
@@ -139,12 +143,14 @@ type t = {
   mutable last_snapshot_seq : int;
 }
 
-let create ?metrics ?metric_labels ?observer ?journal ?checkpoint cfg =
+let create ?metrics ?metric_labels ?observer ?span_clock ?journal ?checkpoint
+    cfg =
   {
     cfg;
     engine = Stream_engine.create ?observer cfg.algo;
     base_observer = observer;
     meters = Option.map (meters_of ?labels:metric_labels) metrics;
+    span_clock;
     render_buf = Buffer.create 96;
     journal;
     checkpoint;
@@ -161,6 +167,11 @@ let create ?metrics ?metric_labels ?observer ?journal ?checkpoint cfg =
   }
 
 let metered t f = match t.meters with Some m -> f m | None -> ()
+
+(* Stamp a span phase iff a clock was injected and the ticket is armed;
+   one match + one length test on the unsampled hot path. *)
+let span_mark t span phase =
+  match t.span_clock with Some c -> Sp.mark c span phase | None -> ()
 
 let update_rung t ~depth =
   let rung = Admission.rung_for t.cfg.watermarks ~depth in
@@ -322,33 +333,53 @@ let pre t ~depth =
   update_rung t ~depth;
   check_now t
 
-let feed_skip t ~depth reason =
+(* The [~span] parameters below are plain (not optional) on purpose:
+   passing a value to an optional argument boxes it in [Some] — two
+   minor words on every call — which the span bench's zero-alloc gate
+   on the disabled path would catch.  The public [feed*] wrappers keep
+   the [?span] ergonomics; hot loops that already hold a ticket (or
+   {!Sp.null}) go through these without allocating. *)
+
+let skip_line t ~span ~depth reason =
   match pre t ~depth with
   | Some fatal -> Fatal fatal
   | None ->
+      span_mark t span Sp.Admission;
       t.skipped <- t.skipped + 1;
       metered t (fun m -> M.inc m.m_skipped);
       Skipped reason
 
-let feed_item t ~depth item =
+let item_line t ~span ~depth item =
   match pre t ~depth with
   | Some fatal -> Fatal fatal
-  | None -> (
-      match t.journal with
-      | Some pull ->
-          let outcome = replay t pull item in
-          (* Replay never snapshots; keep the cadence clock pinned
-             to the replay frontier. *)
-          if Option.is_some t.journal then t.last_snapshot_seq <- t.seq;
-          outcome
-      | None -> live t item)
+  | None ->
+      span_mark t span Sp.Admission;
+      let outcome =
+        match t.journal with
+        | Some pull ->
+            let outcome = replay t pull item in
+            (* Replay never snapshots; keep the cadence clock pinned
+               to the replay frontier. *)
+            if Option.is_some t.journal then t.last_snapshot_seq <- t.seq;
+            outcome
+        | None -> live t item
+      in
+      span_mark t span Sp.Engine;
+      outcome
 
-let feed t ~depth line =
-  (* Parsing is pure, so hoisting it above [pre] (which [feed_item] and
-     [feed_skip] run) is unobservable: same outcomes, same counters. *)
+let feed_skip t ?(span = Sp.null) ~depth reason = skip_line t ~span ~depth reason
+let feed_item t ?(span = Sp.null) ~depth item = item_line t ~span ~depth item
+
+let feed t ?(span = Sp.null) ~depth line =
+  (* Parsing is pure, so hoisting it above [pre] (which [item_line] and
+     [skip_line] run) is unobservable: same outcomes, same counters. *)
   match Arrival.parse line with
-  | Error reason -> feed_skip t ~depth reason
-  | Ok item -> feed_item t ~depth item
+  | Error reason ->
+      span_mark t span Sp.Parse;
+      skip_line t ~span ~depth reason
+  | Ok item ->
+      span_mark t span Sp.Parse;
+      item_line t ~span ~depth item
 
 let finish t =
   match check_now t with

@@ -92,6 +92,7 @@ val create :
   ?metrics:Dbp_obs.Metrics.t ->
   ?metric_labels:(string * string) list ->
   ?observer:Dbp_core.Observer.t ->
+  ?span_clock:Dbp_obs.Clock.t ->
   ?journal:(unit -> (Decision.t, string) result option) ->
   ?checkpoint:checkpoint ->
   config ->
@@ -100,22 +101,31 @@ val create :
     O(open jobs), not O(journal)); [None] from it ends replay mode.
     [metric_labels] (e.g. [[("shard","2")]]) are prepended to every
     metric this session registers, so sharded sessions sharing one
-    registry stay distinguishable on [/metrics]. *)
+    registry stay distinguishable on [/metrics].  [span_clock] is the
+    clock the session stamps span phases with (see {!feed}); it is
+    {e injected} because this module is an R12 decision path and must
+    never reach a wall-clock source itself. *)
 
-val feed : t -> depth:int -> string -> outcome
+val feed : t -> ?span:Dbp_obs.Span.ticket -> depth:int -> string -> outcome
 (** Process one input line under the given queue depth (drives the
-    ladder; pass 0 when there is no queue). *)
+    ladder; pass 0 when there is no queue).  With an armed [span]
+    ticket (and a [span_clock] at {!create}), stamps the [Parse],
+    [Admission] and [Engine] phases; the default {!Dbp_obs.Span.null}
+    costs one match per stamp site.  Spans never change outcomes,
+    counters or emitted bytes. *)
 
-val feed_item : t -> depth:int -> Dbp_core.Item.t -> outcome
+val feed_item :
+  t -> ?span:Dbp_obs.Span.ticket -> depth:int -> Dbp_core.Item.t -> outcome
 (** {!feed} for a line already parsed elsewhere — the sharded daemon
     parses once on the router thread ([Arrival.parse_into]) and posts
     the item, not the line.  [feed line] is exactly
-    [feed_item (parse line)] when the line is well-formed. *)
+    [feed_item (parse line)] when the line is well-formed.  Stamps
+    [Admission] and [Engine] ([Parse] belongs to whoever parsed). *)
 
-val feed_skip : t -> depth:int -> string -> outcome
+val feed_skip : t -> ?span:Dbp_obs.Span.ticket -> depth:int -> string -> outcome
 (** {!feed} for a line already known to be malformed: counts the line
     and the skip against {e this} session so per-shard skip counters add
-    up to the unsharded run's. *)
+    up to the unsharded run's.  Stamps [Admission] only. *)
 
 val finish : t -> (unit, fatal) result
 (** End of input: verifies any unconsumed checkpoint/journal suffix

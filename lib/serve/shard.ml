@@ -6,6 +6,7 @@
 
 open Dbp_core
 module M = Dbp_obs.Metrics
+module Sp = Dbp_obs.Span
 module Pool = Dbp_par.Pool
 
 type config = {
@@ -22,9 +23,17 @@ type config = {
    gidx order, so a gap would stall the stream.  Items cross domains as
    immutable records; the line string itself never does. *)
 
+(* [span] is the arrival's latency-span ticket (Span.null when the
+   arrival is unsampled): armed at ingest, stamped by the worker, handed
+   back through the result so the sequencer commits it in merge order.
+   Strict hand-off — the ticket is never visible to two domains at
+   once. *)
 type msg =
-  | M_item of { gidx : int; client : int; depth : int; item : Item.t }
-  | M_skip of { gidx : int; client : int; depth : int; reason : string }
+  | M_item of
+      { gidx : int; client : int; depth : int; item : Item.t; span : Sp.ticket }
+  | M_skip of
+      { gidx : int; client : int; depth : int; reason : string;
+        span : Sp.ticket }
 
 type res = {
   r_gidx : int;
@@ -33,6 +42,7 @@ type res = {
   r_live : bool;  (* decided by this run (false for replay re-emits) *)
   r_echo : string option;  (* decision line for the socket client *)
   r_fatal : string option;
+  r_span : Sp.ticket;
 }
 
 (* ---- per-shard worker state (owned by the resident domain) ------------ *)
@@ -40,6 +50,7 @@ type res = {
 type worker = {
   w_idx : int;
   w_session : Session.t;
+  w_clock : Dbp_obs.Clock.t;  (* span stamps on the resident domain *)
   w_seg : out_channel;
   w_snap_path : string option;
   w_last_pull : (Decision.t, string) result option ref;
@@ -70,9 +81,10 @@ let maybe_snapshot w =
         Snapshot.save ~path (Session.take_snapshot w.w_session);
         w.w_snapshots <- w.w_snapshots + 1
 
-let result ~gidx ~client ?merged ?(live = false) ?echo ?fatal () =
+let result ~gidx ~client ?merged ?(live = false) ?echo ?fatal
+    ?(span = Sp.null) () =
   { r_gidx = gidx; r_client = client; r_merged = merged; r_live = live;
-    r_echo = echo; r_fatal = fatal }
+    r_echo = echo; r_fatal = fatal; r_span = span }
 
 (* The resident handler: feed the shard's session, append to its
    segment, hand the sequencer one result per message.  After a fatal
@@ -81,35 +93,41 @@ let result ~gidx ~client ?merged ?(live = false) ?echo ?fatal () =
 let handle collector w msg =
   match msg with
   | _ when w.w_failed ->
-      let gidx, client =
+      let gidx, client, span =
         match msg with
-        | M_item { gidx; client; _ } | M_skip { gidx; client; _ } ->
-            (gidx, client)
+        | M_item { gidx; client; span; _ } | M_skip { gidx; client; span; _ }
+          ->
+            (gidx, client, span)
       in
-      Pool.Collector.push collector (result ~gidx ~client ())
-  | M_skip { gidx; client; depth; reason } -> (
-      match Session.feed_skip w.w_session ~depth reason with
+      Pool.Collector.push collector (result ~gidx ~client ~span ())
+  | M_skip { gidx; client; depth; reason; span } -> (
+      Sp.mark w.w_clock span Sp.Mailbox;
+      Sp.set_shard span w.w_idx;
+      match Session.feed_skip w.w_session ~span ~depth reason with
       | Session.Skipped _ ->
-          Pool.Collector.push collector (result ~gidx ~client ())
+          Pool.Collector.push collector (result ~gidx ~client ~span ())
       | Session.Fatal f ->
           w.w_failed <- true;
           Pool.Collector.push collector
-            (result ~gidx ~client ~fatal:(Session.fatal_to_string f) ())
+            (result ~gidx ~client ~fatal:(Session.fatal_to_string f) ~span ())
       | Session.Emit _ | Session.Replayed ->
           (* feed_skip never emits or replays; treat drift as fatal. *)
           w.w_failed <- true;
           Pool.Collector.push collector
             (result ~gidx ~client
-               ~fatal:"shard: feed_skip returned a decision outcome" ()))
-  | M_item { gidx; client; depth; item } -> (
-      match Session.feed_item w.w_session ~depth item with
+               ~fatal:"shard: feed_skip returned a decision outcome" ~span ()))
+  | M_item { gidx; client; depth; item; span } -> (
+      Sp.mark w.w_clock span Sp.Mailbox;
+      Sp.set_shard span w.w_idx;
+      match Session.feed_item w.w_session ~span ~depth item with
       | Session.Emit line ->
           output_string w.w_seg line;
           output_char w.w_seg '\n';
+          Sp.mark w.w_clock span Sp.Journal;
           maybe_snapshot w;
           Pool.Collector.push collector
             (result ~gidx ~client ~merged:(merged_line w line) ~live:true
-               ~echo:line ())
+               ~echo:line ~span ())
       | Session.Replayed ->
           w.w_replayed <- w.w_replayed + 1;
           (* Reconstruct the merged line from the journal entry replay
@@ -121,17 +139,17 @@ let handle collector w msg =
             | Some (Error _) | None -> None
           in
           Pool.Collector.push collector
-            (result ~gidx ~client ?merged ())
+            (result ~gidx ~client ?merged ~span ())
       | Session.Fatal f ->
           w.w_failed <- true;
           Pool.Collector.push collector
-            (result ~gidx ~client ~fatal:(Session.fatal_to_string f) ())
+            (result ~gidx ~client ~fatal:(Session.fatal_to_string f) ~span ())
       | Session.Skipped _ ->
           (* feed_item takes a parsed item; it cannot skip. *)
           w.w_failed <- true;
           Pool.Collector.push collector
             (result ~gidx ~client
-               ~fatal:"shard: feed_item skipped a parsed item" ()))
+               ~fatal:"shard: feed_item skipped a parsed item" ~span ()))
 
 (* ---- paths ------------------------------------------------------------ *)
 
@@ -167,6 +185,12 @@ let run cfg scfg =
     else None
   in
   let health = Option.map Dbp_obs.Health.create registry in
+  Option.iter
+    (Dbp_obs.Health.set_build_info ~family:"dbp_serve_build_info"
+       ~version:Daemon.version)
+    registry;
+  let spans, span_oc = Daemon.make_spans b ?metrics:registry ~shards:cfg.shards () in
+  let span_clock = if Sp.enabled spans then Some (Sp.clock spans) else None in
   (* Per-shard resume state + sessions + segments, all built on the main
      thread before any domain exists. *)
   let build_shard i =
@@ -230,7 +254,7 @@ let run cfg scfg =
     let session =
       Session.create ?metrics:registry
         ~metric_labels:[ ("shard", string_of_int i) ]
-        ?journal ?checkpoint scfg
+        ?span_clock ?journal ?checkpoint scfg
     in
     let seg_oc =
       if b.Daemon.resume then
@@ -242,6 +266,7 @@ let run cfg scfg =
       ( {
           w_idx = i;
           w_session = session;
+          w_clock = Sp.clock spans;
           w_seg = seg_oc;
           w_snap_path = snap;
           w_last_pull = last_pull;
@@ -317,6 +342,8 @@ let run cfg scfg =
     match (b.Daemon.metrics_out, registry) with
     | Some path, Some m ->
         update_pool_gauges ();
+        Option.iter Dbp_obs.Health.tick health;
+        Sp.export spans;
         let content =
           if path <> "-" && Filename.check_suffix path ".json" then
             M.to_json m
@@ -357,9 +384,8 @@ let run cfg scfg =
           | Some m ->
               update_pool_gauges ();
               Option.iter Dbp_obs.Health.tick health;
-              Http.response ~status:200
-                ~content_type:"text/plain; version=0.0.4; charset=utf-8"
-                (M.to_prometheus m)
+              Sp.export spans;
+              Http.metrics_response (M.to_prometheus m)
           | None -> Http.response ~status:404 "metrics registry disabled\n")
       | _ -> Http.response ~status:404 "Not Found\n"
   in
@@ -393,12 +419,14 @@ let run cfg scfg =
     | Some line ->
         output_string merged_oc line;
         output_char merged_oc '\n';
+        Sp.stamp spans r.r_span Sp.Merge;
         merged_written := !merged_written + 1;
         if r.r_live then emitted := !emitted + 1;
         (match b.Daemon.crash_after with
         | Some n when !merged_written >= n -> crash_now ()
         | _ -> ())
     | None -> ());
+    Sp.commit spans r.r_span;
     match r.r_echo with Some line -> !echo_sink r.r_client line | None -> ()
   in
   let drain () =
@@ -416,11 +444,16 @@ let run cfg scfg =
     in
     go ()
   in
-  let housekeeping () =
+  (* Checked on every line (not just the housekeeping cadence) so a
+     SIGUSR1 dump lands promptly even on short file inputs. *)
+  let check_usr1 () =
     if !usr1 then begin
       usr1 := false;
       dump_metrics ()
-    end;
+    end
+  in
+  let housekeeping () =
+    check_usr1 ();
     Option.iter Dbp_obs.Health.tick health;
     Option.iter (fun l -> Http_listener.service l ~respond) http;
     drain ()
@@ -433,24 +466,34 @@ let run cfg scfg =
     incr lines;
     let g = !gidx in
     incr gidx;
+    (* Sampling is keyed on the ingest order (gidx), so whether a line
+       is sampled is deterministic for a given interleave. *)
+    let tk = Sp.issue spans in
     match Arrival.parse_into scratch line with
     | Ok () ->
+        Sp.stamp spans tk Sp.Parse;
         let k = Arrival.shard_for router scratch in
+        Sp.stamp spans tk Sp.Route;
         let depth =
           match file_depth with
           | Some d -> d
           | None -> Pool.Resident.depth residents.(k)
         in
+        Sp.set_depth tk depth;
         Pool.Resident.post residents.(k)
-          (M_item { gidx = g; client; depth; item = Arrival.item scratch })
+          (M_item
+             { gidx = g; client; depth; item = Arrival.item scratch;
+               span = tk })
     | Error reason ->
+        Sp.stamp spans tk Sp.Parse;
         let depth =
           match file_depth with
           | Some d -> d
           | None -> Pool.Resident.depth residents.(0)
         in
+        Sp.set_depth tk depth;
         Pool.Resident.post residents.(0)
-          (M_skip { gidx = g; client; depth; reason })
+          (M_skip { gidx = g; client; depth; reason; span = tk })
   in
   let budget_left () =
     match b.Daemon.max_arrivals with Some n -> !lines < n | None -> true
@@ -469,6 +512,7 @@ let run cfg scfg =
             post_line ~client:(-1) ~file_depth:(Some 0) line;
             throttle ();
             incr tick;
+            check_usr1 ();
             if !tick land 255 = 0 then housekeeping () else drain ();
             loop ()
         | exception End_of_file -> ()
@@ -689,6 +733,7 @@ let run cfg scfg =
      flush merged_oc;
      close_out merged_oc
    with Sys_error _ -> ());
+  Option.iter close_out span_oc;
   Option.iter Http_listener.close http;
   result
 

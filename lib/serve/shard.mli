@@ -47,7 +47,13 @@ type config = {
       (** input/output/resume/snapshot/throttle/crash/budget/log — same
           meanings as unsharded, except [output] must be a file (the
           segment paths derive from it) and [crash_after] counts merged
-          lines.  [trace_out] is ignored (logged). *)
+          lines.  [trace_out] is ignored (logged).  [span_sample]/
+          [span_out]/[span_ring] enable the per-arrival span pipeline:
+          tickets are armed at ingest (gidx-keyed sampling), stamped
+          Parse/Route on the router thread, Mailbox/Admission/Engine/
+          Journal on the shard domain, Merge at sequencer release, and
+          committed in merge order on the main thread
+          ([dbp_serve_phase_seconds{phase,shard}] on [/metrics]). *)
   shards : int;
   routes : (string * int) list;
       (** tenant → shard pins (from [Router.parse_overrides]); win over

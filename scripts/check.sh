@@ -12,7 +12,10 @@
 # socket clients, scraped over HTTP, SIGKILLed mid-stream, resumed,
 # and its journal segments diffed against an uninterrupted reference),
 # plus the serve mini-sweep (throughput / soak / restart / ladder /
-# shard-scaling / allocation gates all asserted inside the bench).
+# shard-scaling / allocation gates all asserted inside the bench), and
+# a span-pipeline smoke: a sharded daemon with per-arrival latency
+# spans sampled 1/4, a SIGUSR1 metrics dump mid-run, and two `dbp
+# analyze` passes over the span log + journals byte-compared.
 # Run from the repo root:  scripts/check.sh
 set -eu
 
@@ -185,5 +188,38 @@ cmp "$shard_dir/ref.out.shard1" "$shard_dir/live.out.shard1"
 echo "resumed segments byte-identical to the uninterrupted run"
 
 dune exec bench/main.exe -- serve --quick
+
+echo "== span pipeline smoke: sharded --span-out + SIGUSR1 + dbp analyze =="
+# PR-10 observability contract (DESIGN.md section 17): a sharded daemon
+# with deterministic 1/4 span sampling emits a merge-ordered span log;
+# a SIGUSR1 mid-run flushes sampled spans and dumps the metrics
+# registry — including the span phase histograms and the build-info
+# gauge — without disturbing the decision stream; and `dbp analyze`
+# over the span log + journal segments + arrivals is byte-
+# deterministic: two passes over the same inputs must compare equal.
+span_dir=$(mktemp -d)
+trap 'rm -rf "$obs_dir" "$serve_dir" "$shard_dir" "$span_dir"' EXIT
+"$dbp_bin" gen --jsonl --tenants 2 --horizon 400 --seed 17 \
+  -o "$span_dir/arrivals.jsonl"
+"$dbp_bin" serve --input "$span_dir/arrivals.jsonl" --shards 2 \
+  --output "$span_dir/dec.out" --snapshot "$span_dir/dec.snap" \
+  --snapshot-every 64 --span-sample 4 --span-out "$span_dir/spans.jsonl" \
+  --metrics-out "$span_dir/metrics.prom" --throttle-us 1000 2> /dev/null &
+span_pid=$!
+sleep 0.4
+kill -USR1 "$span_pid" 2> /dev/null || true
+wait "$span_pid"
+grep -q 'dbp_serve_phase_seconds' "$span_dir/metrics.prom"
+grep -q 'dbp_serve_build_info' "$span_dir/metrics.prom"
+echo "metrics dump carries span histograms + build info"
+echo "$(wc -l < "$span_dir/spans.jsonl") span lines at 1/4 sampling"
+"$dbp_bin" analyze --spans "$span_dir/spans.jsonl" \
+  -j shard0="$span_dir/dec.out.shard0" -j shard1="$span_dir/dec.out.shard1" \
+  --input "$span_dir/arrivals.jsonl" -o "$span_dir/report.a"
+"$dbp_bin" analyze --spans "$span_dir/spans.jsonl" \
+  -j shard0="$span_dir/dec.out.shard0" -j shard1="$span_dir/dec.out.shard1" \
+  --input "$span_dir/arrivals.jsonl" -o "$span_dir/report.b"
+cmp "$span_dir/report.a" "$span_dir/report.b"
+echo "analyze report byte-identical across two runs"
 
 echo "All checks passed."

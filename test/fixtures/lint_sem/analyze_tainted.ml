@@ -1,0 +1,7 @@
+(* Seeded R12 violation: a clock read in the offline reporter (compiled
+   at lib/serve/analyze.ml, an R12 target since the span pipeline — the
+   report's contract is "same inputs, same bytes", so wall time must
+   never leak into it). *)
+let report lines =
+  Printf.sprintf "generated at %f over %d lines" (Unix.gettimeofday ())
+    (List.length lines)

@@ -1,0 +1,148 @@
+(* The dbp analyze offline reporter: determinism, malformed-line
+   accounting, episode replay and the hand-computed efficiency table. *)
+
+open Helpers
+module An = Dbp_serve.Analyze
+
+(* Three jobs, one bin reused: episode 1 is [0, 10] (jobs 1 and 2,
+   closing at job 1's departure), episode 2 is [20, 25] (job 3).
+   usage = 15; span_lb = |[0,10] u [2,6] u [20,25]| = 15; ratio 1. *)
+let arrivals =
+  [
+    "{\"id\":1,\"size\":0.5,\"arrival\":0,\"departure\":10}";
+    "{\"id\":2,\"size\":0.5,\"arrival\":2,\"departure\":6}";
+    "{\"id\":3,\"size\":0.5,\"arrival\":20,\"departure\":25}";
+  ]
+
+let journal =
+  [
+    "{\"seq\":0,\"job\":1,\"bin\":0,\"opened\":true,\"t\":0}";
+    "{\"seq\":1,\"job\":2,\"bin\":0,\"opened\":false,\"t\":2}";
+    "{\"seq\":2,\"job\":3,\"bin\":0,\"opened\":true,\"t\":20}";
+    "{\"seq\":3,\"job\":4,\"rejected\":\"overload\",\"t\":21}";
+    "this is not a decision line";
+  ]
+
+let spans =
+  [
+    "{\"seq\":0,\"shard\":0,\"depth\":1,\"t\":0,\"parse\":0.001,\"engine\":0.002}";
+    "{\"seq\":4,\"shard\":1,\"depth\":3,\"t\":10,\"parse\":0.003,\"mailbox\":0.004}";
+    "nope";
+  ]
+
+let full_input =
+  {
+    An.spans;
+    journals = [ ("ff", journal) ];
+    arrivals = Some arrivals;
+    time_buckets = 4;
+  }
+
+let lines_of report = String.split_on_char '\n' report
+
+let has_line report line =
+  if not (List.mem line (lines_of report)) then
+    Alcotest.failf "report missing line %S:\n%s" line report
+
+let has_prefix report prefix =
+  if
+    not
+      (List.exists
+         (fun l -> String.length l >= String.length prefix
+                   && String.sub l 0 (String.length prefix) = prefix)
+         (lines_of report))
+  then Alcotest.failf "report has no line starting %S:\n%s" prefix report
+
+let test_deterministic () =
+  check_string "same inputs, same bytes" (An.report full_input)
+    (An.report full_input)
+
+let test_counts () =
+  let r = An.report full_input in
+  has_line r "spans: 2 parsed, 1 malformed";
+  has_line r "arrivals: 3 parsed, 0 malformed";
+  has_line r "decisions: 3 placed, 1 rejected, 1 malformed";
+  has_line r "bins opened: 2";
+  (* phase table: parse seen twice, mailbox once, route never *)
+  has_prefix r (Printf.sprintf "%-10s %8d" "parse" 2);
+  has_prefix r (Printf.sprintf "%-10s %8d" "mailbox" 1);
+  has_prefix r (Printf.sprintf "%-10s %8d" "route" 0)
+
+let test_efficiency_row () =
+  let r = An.report full_input in
+  (* usage = (10 - 0) + (25 - 20) = 15; span_lb = 15; demand =
+     0.5*10 + 0.5*4 + 0.5*5 = 9.5; ratio = 1. *)
+  has_line r
+    (Printf.sprintf "%-14s %7d %8d %6d %12s %12s %12s %8.3f" "ff" 3 1 2 "15"
+       "15" "9.5" 1.0)
+
+let test_no_arrivals () =
+  let r =
+    An.report { full_input with An.arrivals = None }
+  in
+  has_prefix r "unavailable: pass the arrivals input";
+  (* journal accounting still works without departures *)
+  has_line r "decisions: 3 placed, 1 rejected, 1 malformed"
+
+let test_unmatched_jobs () =
+  (* Journal references a job the arrivals never delivered. *)
+  let r =
+    An.report
+      {
+        full_input with
+        An.journals =
+          [
+            ( "ff",
+              [ "{\"seq\":0,\"job\":99,\"bin\":0,\"opened\":true,\"t\":1}" ]
+            );
+          ];
+      }
+  in
+  has_line r
+    "decisions: 1 placed, 0 rejected, 0 malformed (1 placed jobs missing \
+     from arrivals)"
+
+let test_shard_field_tolerated () =
+  (* The sharded merged stream splices a "shard" field into each line;
+     Decision.parse ignores unknown fields, so the replay must too. *)
+  let r =
+    An.report
+      {
+        full_input with
+        An.journals =
+          [
+            ( "merged",
+              [
+                "{\"shard\":1,\"seq\":0,\"job\":1,\"bin\":0,\"opened\":true,\"t\":0}";
+              ] );
+          ];
+      }
+  in
+  has_line r "decisions: 1 placed, 0 rejected, 0 malformed"
+
+let test_empty_input () =
+  let r =
+    An.report
+      { An.spans = []; journals = []; arrivals = None; time_buckets = 4 }
+  in
+  has_line r "spans: 0 parsed, 0 malformed";
+  has_prefix r "unavailable: pass the arrivals input"
+
+let test_shard_table () =
+  let r = An.report full_input in
+  (* shard 1's one span: depth 3, mailbox wait 0.004 *)
+  has_prefix r (Printf.sprintf "%-6d %8d %10d %11.2f" 1 1 3 3.0)
+
+let suite =
+  [
+    Alcotest.test_case "deterministic" `Quick test_deterministic;
+    Alcotest.test_case "line accounting" `Quick test_counts;
+    Alcotest.test_case "hand-computed efficiency row" `Quick
+      test_efficiency_row;
+    Alcotest.test_case "no arrivals input" `Quick test_no_arrivals;
+    Alcotest.test_case "unmatched placed jobs" `Quick test_unmatched_jobs;
+    Alcotest.test_case "merged-stream shard field" `Quick
+      test_shard_field_tolerated;
+    Alcotest.test_case "empty input" `Quick test_empty_input;
+    Alcotest.test_case "shard table" `Quick test_shard_table;
+  ]

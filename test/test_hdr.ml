@@ -1,0 +1,152 @@
+(* Log-bucketed HDR histograms: bucket math, quantiles and the merge
+   law (merge = concatenation, exactly, at the bucket level). *)
+
+open Helpers
+module Hdr = Dbp_obs.Hdr
+
+(* ---- bucket math ---- *)
+
+let test_bracket () =
+  (* Every recordable value sits inside its bucket's bounds, and the
+     bucket is tight: relative width <= precision. *)
+  List.iter
+    (fun v ->
+      let i = Hdr.index_of v in
+      let lo = Hdr.bucket_lower i and hi = Hdr.bucket_upper i in
+      if not (lo <= v && v <= hi) then
+        Alcotest.failf "%g outside bucket %d [%g, %g]" v i lo hi;
+      if hi /. lo > Hdr.precision +. 1e-12 then
+        Alcotest.failf "bucket %d too wide: [%g, %g]" i lo hi)
+    [ 1e-9; 2.5e-7; 1e-6; 3.1e-4; 0.02; 0.5; 1.0; 7.25; 60. ]
+
+let test_clamping () =
+  (* Below/above the covered range clamps to the edge buckets instead
+     of raising. *)
+  check_int "tiny clamps to 0" 0 (Hdr.index_of 1e-40);
+  check_int "zero clamps to 0" 0 (Hdr.index_of 0.);
+  check_int "huge clamps to top" (Hdr.buckets - 1) (Hdr.index_of 1e12)
+
+let qcheck_index_monotone =
+  qtest "index_of is monotone in the value"
+    QCheck2.Gen.(
+      let* a = float_range 1e-9 64. in
+      let* b = float_range 1e-9 64. in
+      return (a, b))
+    (fun (a, b) ->
+      let lo = Float.min a b and hi = Float.max a b in
+      Hdr.index_of lo <= Hdr.index_of hi)
+
+(* ---- quantiles ---- *)
+
+let test_quantiles_known () =
+  let h = Hdr.create () in
+  (* 100 samples: 1ms..100ms in 1ms steps. *)
+  for i = 1 to 100 do
+    Hdr.record h (float_of_int i /. 1000.)
+  done;
+  let s = Hdr.snapshot h in
+  check_int "count" 100 (Hdr.count s);
+  check_float_eps 1e-9 "sum" 5.05 (Hdr.sum s);
+  check_float_eps 1e-12 "max exact" 0.1 (Hdr.max_value s);
+  check_float_eps 1e-12 "min" 0.001 (Hdr.min_value s);
+  (* The p50 estimate must bracket the true median within one bucket's
+     relative precision. *)
+  let p50 = Hdr.quantile s 0.5 in
+  if not (p50 >= 0.05 && p50 <= 0.05 *. Hdr.precision) then
+    Alcotest.failf "p50 %g outside [0.05, 0.05 * precision]" p50;
+  (* q = 1 always returns the exact max, not a bucket bound. *)
+  check_float_eps 1e-12 "p100 is exact max" 0.1 (Hdr.quantile s 1.0)
+
+let test_empty () =
+  let s = Hdr.empty_snapshot in
+  check_int "count" 0 (Hdr.count s);
+  check_float "sum" 0. (Hdr.sum s);
+  check_float "max" 0. (Hdr.max_value s);
+  check_float "quantile" 0. (Hdr.quantile s 0.99);
+  check_bool "nonzero" true (Hdr.nonzero s = [])
+
+let test_reset () =
+  let h = Hdr.create () in
+  Hdr.record h 0.5;
+  Hdr.reset h;
+  check_int "count after reset" 0 (Hdr.count (Hdr.snapshot h))
+
+let qcheck_quantile_brackets =
+  qtest "quantile estimate is within bucket precision of a true sample"
+    QCheck2.Gen.(
+      let* n = int_range 1 200 in
+      flatten_l (List.init n (fun _ -> float_range 1e-6 10.)))
+    (fun samples ->
+      let h = Hdr.create () in
+      List.iter (Hdr.record h) samples;
+      let s = Hdr.snapshot h in
+      let sorted = List.sort Float.compare samples in
+      let n = List.length sorted in
+      List.for_all
+        (fun q ->
+          let est = Hdr.quantile s q in
+          let rank =
+            let r = int_of_float (ceil (q *. float_of_int n)) in
+            max 1 (min n r)
+          in
+          let true_v = List.nth sorted (rank - 1) in
+          (* The estimate is the bucket's upper bound (or the exact max
+             in the top occupied bucket): never below the true rank
+             value, never more than one bucket above it. *)
+          est >= true_v -. 1e-15
+          && est <= (true_v *. Hdr.precision) +. 1e-15)
+        [ 0.5; 0.9; 0.95; 0.99; 1.0 ])
+
+(* ---- the merge law (ISSUE satellite: merge(a,b) == concat) ---- *)
+
+let qcheck_merge_law =
+  qtest "merge(a, b) behaves exactly like recording a @ b"
+    QCheck2.Gen.(
+      let samples = list_size (int_range 0 60) (float_range 1e-6 10.) in
+      let* a = samples in
+      let* b = samples in
+      return (a, b))
+    (fun (a, b) ->
+      let record xs =
+        let h = Hdr.create () in
+        List.iter (Hdr.record h) xs;
+        Hdr.snapshot h
+      in
+      let m = Hdr.merge (record a) (record b) in
+      let c = record (a @ b) in
+      (* Counts, bucket contents, min/max and hence every quantile are
+         exact under merge; only [sum] is float addition, compared with
+         a tolerance. *)
+      Hdr.count m = Hdr.count c
+      && Hdr.nonzero m = Hdr.nonzero c
+      && Hdr.max_value m = Hdr.max_value c
+      && Hdr.min_value m = Hdr.min_value c
+      && List.for_all
+           (fun q -> Hdr.quantile m q = Hdr.quantile c q)
+           [ 0.; 0.25; 0.5; 0.9; 0.95; 0.99; 1.0 ]
+      && Float.abs (Hdr.sum m -. Hdr.sum c)
+         <= 1e-9 *. Float.max 1. (Float.abs (Hdr.sum c)))
+
+let test_merge_empty_identity () =
+  let h = Hdr.create () in
+  Hdr.record h 0.25;
+  Hdr.record h 0.5;
+  let s = Hdr.snapshot h in
+  let m = Hdr.merge s Hdr.empty_snapshot in
+  check_int "count" (Hdr.count s) (Hdr.count m);
+  check_float "p99" (Hdr.quantile s 0.99) (Hdr.quantile m 0.99);
+  check_float "max" (Hdr.max_value s) (Hdr.max_value m)
+
+let suite =
+  [
+    Alcotest.test_case "bucket bounds bracket the value" `Quick test_bracket;
+    Alcotest.test_case "out-of-range values clamp" `Quick test_clamping;
+    qcheck_index_monotone;
+    Alcotest.test_case "known quantiles" `Quick test_quantiles_known;
+    Alcotest.test_case "empty snapshot" `Quick test_empty;
+    Alcotest.test_case "reset" `Quick test_reset;
+    qcheck_quantile_brackets;
+    qcheck_merge_law;
+    Alcotest.test_case "merge with empty is identity" `Quick
+      test_merge_empty_identity;
+  ]

@@ -160,6 +160,20 @@ let test_r12_http_designated () =
           hint_has f "Domain.spawn"
       | fs -> Alcotest.failf "expected one finding, got %d" (List.length fs))
 
+(* PR 10 designation: analyze.ml joined r12_targets (the span-pipeline
+   reporter must stay byte-deterministic), same proof obligation. *)
+let test_r12_analyze_designated () =
+  with_corpus
+    [ ("analyze_tainted.ml", "lib/serve/analyze.ml", true) ]
+    (fun () ->
+      match sem ~rules:[ "R12" ] [ "lib" ] with
+      | [ f ] as findings ->
+          Alcotest.check hits "one R12 at the tainted reporter def"
+            [ ("R12", 5, 0) ] (hits_of findings);
+          message_has f "wall-clock";
+          hint_has f "Unix.gettimeofday"
+      | fs -> Alcotest.failf "expected one finding, got %d" (List.length fs))
+
 let test_semantic_suppression () =
   with_corpus
     [ ("suppressed_alias.ml", "lib/sim/suppressed_alias.ml", true) ]
@@ -308,6 +322,8 @@ let suite =
       test_r12_router_designated;
     Alcotest.test_case "R12 covers the HTTP parser" `Quick
       test_r12_http_designated;
+    Alcotest.test_case "R12 covers the analyze reporter" `Quick
+      test_r12_analyze_designated;
     Alcotest.test_case "suppression covers semantic findings" `Quick
       test_semantic_suppression;
     Alcotest.test_case "unused semantic marker is R0" `Quick

@@ -583,6 +583,17 @@ let test_http_response_shape () =
   check_bool "connection close" true
     (Str_exists.contains_substring r "Connection: close")
 
+(* Prometheus scrapers key format detection off this exact string; pin
+   it so a refactor can't silently drift the /metrics content type. *)
+let test_metrics_response_content_type () =
+  check_string "content type pinned"
+    "text/plain; version=0.0.4; charset=utf-8" Http.prometheus_content_type;
+  let r = Http.metrics_response "x 1\n" in
+  check_bool "header on /metrics responses" true
+    (Str_exists.contains_substring r
+       "Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n");
+  check_bool "body intact" true (Str_exists.contains_substring r "\r\n\r\nx 1\n")
+
 (* Drive a real listener from a loopback client.  [service] is
    non-blocking, so pump it between client-side socket operations. *)
 let with_listener ?max_clients ?max_request ?max_rounds ~respond f =
@@ -670,6 +681,108 @@ let test_listener_sheds_slowloris () =
       Unix.close fd; (* dbp-lint: allow R9 test client socket *)
       check_string "connection closed without a response" "" resp)
 
+(* ---- per-arrival spans through the daemons ----------------------------- *)
+
+let span_fields line =
+  match Json_lite.parse_object line with
+  | Ok fields -> fields
+  | Error e -> Alcotest.failf "bad span line %S: %s" line e
+
+let require_fields line fields keys =
+  List.iter
+    (fun k ->
+      if Json_lite.field fields k = None then
+        Alcotest.failf "span line missing %S: %s" k line)
+    keys
+
+let span_seq line =
+  match Json_lite.int_field (span_fields line) "seq" with
+  | Ok v -> v
+  | Error e -> Alcotest.failf "span line %S: %s" line e
+
+let test_daemon_span_log () =
+  in_tmp (fun dir ->
+      let n = 10 in
+      let input = Filename.concat dir "input.jsonl" in
+      write_file input (String.concat "\n" (input_lines n) ^ "\n");
+      let span_out = Filename.concat dir "spans.jsonl" in
+      let cfg =
+        {
+          Daemon.default_config with
+          Daemon.input = Daemon.In_file input;
+          output = Filename.concat dir "out.jsonl";
+          span_sample = 4;
+          span_out = Some span_out;
+        }
+      in
+      (match Daemon.run cfg (scfg "first-fit") with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "Daemon.run: %s" e);
+      let spans = lines_of (read_file span_out) in
+      check_int "every 4th arrival sampled" 3 (List.length spans);
+      Alcotest.(check (list int))
+        "seq-keyed stride" [ 0; 4; 8 ] (List.map span_seq spans);
+      List.iter
+        (fun l ->
+          let fields = span_fields l in
+          require_fields l fields
+            [ "seq"; "shard"; "depth"; "t"; "parse"; "admission"; "engine" ];
+          (* no router/mailbox/sequencer in the unsharded pipeline *)
+          List.iter
+            (fun k ->
+              if Json_lite.field fields k <> None then
+                Alcotest.failf "unsharded span has %S: %s" k l)
+            [ "route"; "mailbox"; "merge" ])
+        spans)
+
+let test_sharded_span_log () =
+  in_tmp (fun dir ->
+      let n = 20 in
+      let input = Filename.concat dir "input.jsonl" in
+      write_file input (String.concat "\n" (input_lines n) ^ "\n");
+      let span_out = Filename.concat dir "spans.jsonl" in
+      let base = shard_cfg ~dir ~prefix:"sp" ~input () in
+      let cfg =
+        {
+          base with
+          Shard.base =
+            {
+              base.Shard.base with
+              Daemon.span_sample = 3;
+              span_out = Some span_out;
+            };
+        }
+      in
+      ignore (run_ok cfg (scfg "first-fit"));
+      let spans = lines_of (read_file span_out) in
+      (* gidx-keyed sampling, committed in merge order: ceil(20/3)
+         spans, seqs 0, 3, ..., 18 ascending. *)
+      Alcotest.(check (list int))
+        "gidx-keyed, merge-ordered"
+        (List.init 7 (fun i -> 3 * i))
+        (List.map span_seq spans);
+      let router = Router.create ~shards:2 () in
+      List.iter
+        (fun l ->
+          let fields = span_fields l in
+          require_fields l fields
+            [
+              "seq"; "shard"; "depth"; "t"; "parse"; "route"; "mailbox";
+              "admission"; "engine"; "journal"; "merge";
+            ];
+          (* the shard stamped into the ticket is the router's *)
+          let seq = span_seq l in
+          let expected =
+            Router.shard_for router
+              (match tenant_of seq with
+              | Some t -> t
+              | None -> Router.default_tenant)
+          in
+          match Json_lite.int_field fields "shard" with
+          | Ok k -> check_int (Printf.sprintf "span %d shard" seq) expected k
+          | Error e -> Alcotest.fail e)
+        spans)
+
 let suite =
   [
     prop_router_stable;
@@ -705,6 +818,10 @@ let suite =
     Alcotest.test_case "request framing" `Quick test_http_framing;
     Alcotest.test_case "request-line parsing" `Quick test_http_parse_request;
     Alcotest.test_case "response shape" `Quick test_http_response_shape;
+    Alcotest.test_case "/metrics content type pinned" `Quick
+      test_metrics_response_content_type;
+    Alcotest.test_case "unsharded daemon span log" `Quick test_daemon_span_log;
+    Alcotest.test_case "sharded daemon span log" `Quick test_sharded_span_log;
     Alcotest.test_case "listener serves two clients, rejects garbage" `Quick
       test_listener_serves_and_rejects;
     Alcotest.test_case "listener caps request size (431)" `Quick

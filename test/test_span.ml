@@ -1,0 +1,264 @@
+(* Per-arrival latency spans: sampling determinism, the disabled-path
+   contract, duration accounting, the JSONL sink line, the Prometheus
+   series, and the session stamping integration. *)
+
+open Helpers
+module Sp = Dbp_obs.Span
+module Hdr = Dbp_obs.Hdr
+module Clock = Dbp_obs.Clock
+module Metrics = Dbp_obs.Metrics
+
+let fake_recorder ?metrics ?sink ?(start = 0.) ?(sample = 1) ?(shards = 1) ()
+    =
+  let fk = Clock.fake ~start () in
+  let t =
+    Sp.create ~clock:(Clock.of_fake fk) ?metrics ?sink ~sample ~shards ()
+  in
+  (fk, t)
+
+(* ---- disabled path ---- *)
+
+let test_disabled () =
+  let _, t = fake_recorder ~sample:0 () in
+  check_bool "not enabled" false (Sp.enabled t);
+  for _ = 1 to 5 do
+    let tk = Sp.issue t in
+    check_bool "null ticket" false (Sp.active tk);
+    (* Every helper is a no-op on null — must not raise or allocate
+       stamps. *)
+    Sp.stamp t tk Sp.Parse;
+    Sp.set_depth tk 3;
+    Sp.set_shard tk 1;
+    Sp.commit t tk
+  done;
+  (* Disabled really means zero work: not even the arrival counter
+     moves (issue is a single integer test). *)
+  check_int "seen untouched" 0 (Sp.seen t);
+  check_int "nothing committed" 0 (Sp.committed t)
+
+(* ---- sampling determinism ---- *)
+
+let test_sampling_stride () =
+  let _, t = fake_recorder ~sample:3 () in
+  let armed = ref [] in
+  for _ = 0 to 9 do
+    let tk = Sp.issue t in
+    if Sp.active tk then armed := Sp.ticket_seq tk :: !armed
+  done;
+  check_int "seen" 10 (Sp.seen t);
+  check_bool "every 3rd arrival, seq-keyed" true
+    (List.rev !armed = [ 0; 3; 6; 9 ])
+
+let test_sampling_is_replayable () =
+  (* Two recorders over the same ingest order arm the same arrivals —
+     no Random anywhere (the R12 designation test pins this at the
+     taint level; this pins the behaviour). *)
+  let run () =
+    let _, t = fake_recorder ~sample:4 () in
+    List.init 20 (fun _ -> Sp.active (Sp.issue t))
+  in
+  check_bool "deterministic choice" true (run () = run ())
+
+(* ---- duration accounting + sink line ---- *)
+
+let test_pipeline_golden () =
+  let lines = ref [] in
+  let fk, t =
+    fake_recorder
+      ~sink:(fun l -> lines := l :: !lines)
+      ~start:100. ~sample:1 ~shards:2 ()
+  in
+  let clk = Sp.clock t in
+  let tk = Sp.issue t in
+  check_bool "armed" true (Sp.active tk);
+  (* Each phase takes twice the previous one; durations are deltas
+     from the preceding stamp, so they come out as the advances. *)
+  Clock.advance fk 0.001;
+  Sp.mark clk tk Sp.Parse;
+  Clock.advance fk 0.002;
+  Sp.mark clk tk Sp.Route;
+  Sp.set_depth tk 5;
+  Sp.set_shard tk 1;
+  Clock.advance fk 0.004;
+  Sp.mark clk tk Sp.Mailbox;
+  Clock.advance fk 0.008;
+  Sp.mark clk tk Sp.Admission;
+  Clock.advance fk 0.016;
+  Sp.mark clk tk Sp.Engine;
+  Clock.advance fk 0.032;
+  Sp.mark clk tk Sp.Journal;
+  Clock.advance fk 0.064;
+  Sp.mark clk tk Sp.Merge;
+  Sp.commit t tk;
+  check_int "committed" 1 (Sp.committed t);
+  check_int "one sink line" 1 (List.length !lines);
+  (* [t] is relative to recorder creation, so logs from a fresh daemon
+     start near 0 whatever the wall clock says. *)
+  check_string "sink line"
+    "{\"seq\":0,\"shard\":1,\"depth\":5,\"t\":0,\"parse\":0.001,\"route\":0.002,\"mailbox\":0.004,\"admission\":0.008,\"engine\":0.016,\"journal\":0.032,\"merge\":0.064}"
+    (List.hd !lines);
+  (* The histogram matrix files the durations under shard 1. *)
+  check_int "shard 1 engine count" 1
+    (Hdr.count (Sp.snapshot t ~shard:1 Sp.Engine));
+  check_int "shard 0 engine count" 0
+    (Hdr.count (Sp.snapshot t ~shard:0 Sp.Engine));
+  check_float_eps 1e-12 "engine duration" 0.016
+    (Hdr.max_value (Sp.snapshot t ~shard:1 Sp.Engine));
+  check_float_eps 1e-12 "merge duration" 0.064
+    (Hdr.max_value (Sp.merged t Sp.Merge));
+  check_int "ring holds the ticket" 1 (List.length (Sp.rows t))
+
+let test_partial_stamps () =
+  (* Unsharded pipeline: no Route/Mailbox/Merge stamps.  Durations
+     chain across the gaps (engine = its stamp minus the parse stamp
+     when admission wasn't stamped). *)
+  let lines = ref [] in
+  let fk, t =
+    fake_recorder ~sink:(fun l -> lines := l :: !lines) ~sample:1 ()
+  in
+  let clk = Sp.clock t in
+  let tk = Sp.issue t in
+  Clock.advance fk 0.5;
+  Sp.mark clk tk Sp.Parse;
+  Clock.advance fk 0.25;
+  Sp.mark clk tk Sp.Engine;
+  Sp.commit t tk;
+  check_string "only stamped phases in the line"
+    "{\"seq\":0,\"shard\":0,\"depth\":0,\"t\":0,\"parse\":0.5,\"engine\":0.25}"
+    (List.hd !lines);
+  check_int "route not recorded" 0 (Hdr.count (Sp.merged t Sp.Route));
+  check_float_eps 1e-12 "engine = gap from parse" 0.25
+    (Hdr.max_value (Sp.merged t Sp.Engine))
+
+let test_ring_wraps () =
+  let fk = Clock.fake () in
+  let t =
+    Sp.create ~clock:(Clock.of_fake fk) ~ring:3 ~sample:1 ~shards:1 ()
+  in
+  for _ = 1 to 5 do
+    let tk = Sp.issue t in
+    Clock.advance fk 1.;
+    Sp.stamp t tk Sp.Parse;
+    Sp.commit t tk
+  done;
+  check_int "committed" 5 (Sp.committed t);
+  let rows = Sp.rows t in
+  check_int "ring keeps last 3" 3 (List.length rows);
+  check_bool "oldest first" true
+    (List.map (fun r -> Sp.ticket_seq r) rows = [ 2; 3; 4 ])
+
+(* ---- Prometheus exposition (ISSUE satellite: golden series) ---- *)
+
+let test_prometheus_golden () =
+  let reg = Metrics.create () in
+  let fk, t = fake_recorder ~metrics:reg ~sample:1 ~shards:1 () in
+  let clk = Sp.clock t in
+  (* Two engine samples an octave apart: the p50 estimate must come
+     from the lower bucket's upper bound, the max from the exact top
+     sample. *)
+  List.iter
+    (fun d ->
+      let tk = Sp.issue t in
+      Clock.advance fk d;
+      Sp.mark clk tk Sp.Engine;
+      Sp.commit t tk)
+    [ 0.008; 0.032 ];
+  Sp.export t;
+  let exposition = Metrics.to_prometheus reg in
+  let has line = check_bool line true
+      (List.mem line (String.split_on_char '\n' exposition))
+  in
+  (* Histogram: 0.008 lands in the le=0.01 bucket, both under 0.1.
+     Label order is the registry's (sorted: le first). *)
+  has "dbp_serve_phase_seconds_bucket{le=\"0.01\",phase=\"engine\",shard=\"0\"} 1";
+  has "dbp_serve_phase_seconds_bucket{le=\"0.1\",phase=\"engine\",shard=\"0\"} 2";
+  has "dbp_serve_phase_seconds_bucket{le=\"0.001\",phase=\"engine\",shard=\"0\"} 0";
+  has "dbp_serve_phase_seconds_count{phase=\"engine\",shard=\"0\"} 2";
+  has "dbp_serve_phase_seconds_sum{phase=\"engine\",shard=\"0\"} 0.04";
+  has "dbp_serve_phase_quantile_seconds{phase=\"engine\",quantile=\"max\"} 0.032";
+  has
+    (Printf.sprintf
+       "dbp_serve_phase_quantile_seconds{phase=\"engine\",quantile=\"p50\"} %.12g"
+       (Hdr.bucket_upper (Hdr.index_of 0.008)));
+  (* Phases with no samples still expose their series (count 0). *)
+  has "dbp_serve_phase_seconds_count{phase=\"merge\",shard=\"0\"} 0"
+
+(* ---- session integration ---- *)
+
+let test_session_stamps () =
+  let engine =
+    match Dbp_serve.Portfolio.by_name "first-fit" with
+    | Some e -> e
+    | None -> Alcotest.fail "first-fit missing"
+  in
+  let cfg = Dbp_serve.Session.config ~name:"first-fit" engine in
+  let fk, t = fake_recorder ~sample:1 () in
+  let session =
+    Dbp_serve.Session.create ~span_clock:(Sp.clock t) cfg
+  in
+  let tk = Sp.issue t in
+  Clock.advance fk 0.25;
+  (match
+     Dbp_serve.Session.feed session ~span:tk ~depth:0
+       "{\"id\":1,\"size\":0.5,\"arrival\":0,\"departure\":2}"
+   with
+  | Dbp_serve.Session.Emit _ -> ()
+  | _ -> Alcotest.fail "expected Emit");
+  Sp.commit t tk;
+  (* feed stamps Parse, Admission and Engine; never Route/Mailbox. *)
+  check_int "parse stamped" 1 (Hdr.count (Sp.merged t Sp.Parse));
+  check_int "admission stamped" 1 (Hdr.count (Sp.merged t Sp.Admission));
+  check_int "engine stamped" 1 (Hdr.count (Sp.merged t Sp.Engine));
+  check_int "route untouched" 0 (Hdr.count (Sp.merged t Sp.Route));
+  check_int "mailbox untouched" 0 (Hdr.count (Sp.merged t Sp.Mailbox))
+
+let test_session_without_clock_ignores_spans () =
+  (* No span_clock injected: feeding with an armed ticket is harmless
+     and stamps nothing — outcomes are identical. *)
+  let engine =
+    match Dbp_serve.Portfolio.by_name "first-fit" with
+    | Some e -> e
+    | None -> Alcotest.fail "first-fit missing"
+  in
+  let cfg = Dbp_serve.Session.config ~name:"first-fit" engine in
+  let _, t = fake_recorder ~sample:1 () in
+  let session = Dbp_serve.Session.create cfg in
+  let tk = Sp.issue t in
+  (match
+     Dbp_serve.Session.feed session ~span:tk ~depth:0
+       "{\"id\":1,\"size\":0.5,\"arrival\":0,\"departure\":2}"
+   with
+  | Dbp_serve.Session.Emit _ -> ()
+  | _ -> Alcotest.fail "expected Emit");
+  Sp.commit t tk;
+  check_int "nothing recorded" 0 (Hdr.count (Sp.merged t Sp.Parse))
+
+let test_create_validation () =
+  let raises f =
+    match f () with
+    | exception Invalid_argument _ -> true
+    | _ -> false
+  in
+  check_bool "sample < 0" true
+    (raises (fun () -> Sp.create ~sample:(-1) ~shards:1 ()));
+  check_bool "shards < 1" true
+    (raises (fun () -> Sp.create ~sample:1 ~shards:0 ()));
+  check_bool "ring < 1" true
+    (raises (fun () -> Sp.create ~ring:0 ~sample:1 ~shards:1 ()))
+
+let suite =
+  [
+    Alcotest.test_case "disabled path is inert" `Quick test_disabled;
+    Alcotest.test_case "sampling stride" `Quick test_sampling_stride;
+    Alcotest.test_case "sampling is replayable" `Quick
+      test_sampling_is_replayable;
+    Alcotest.test_case "full pipeline golden" `Quick test_pipeline_golden;
+    Alcotest.test_case "partial stamps chain" `Quick test_partial_stamps;
+    Alcotest.test_case "ring wraps" `Quick test_ring_wraps;
+    Alcotest.test_case "prometheus exposition" `Quick test_prometheus_golden;
+    Alcotest.test_case "session stamps parse/admission/engine" `Quick
+      test_session_stamps;
+    Alcotest.test_case "session without span clock" `Quick
+      test_session_without_clock_ignores_spans;
+    Alcotest.test_case "create validation" `Quick test_create_validation;
+  ]
